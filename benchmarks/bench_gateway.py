@@ -1,0 +1,99 @@
+"""E9 — gateway queues + reliable messaging survive failures
+(paper §2.1.2, §3.6).
+
+Claim: persistent gateway queues with WS-ReliableMessaging "support
+reliable sending across system failures"; without the extension, a
+transport failure surfaces as an error message instead.
+
+Measured: delivery ratio under an injected failure rate, with and
+without the reliable-messaging extension, plus raw two-node throughput.
+"""
+
+import pytest
+
+from repro import DemaqServer, Network, run_cluster
+from repro.queues import VirtualClock
+
+SENDER_TEMPLATE = """
+create queue work kind basic mode persistent;
+create queue toRemote kind outgoingGateway mode persistent
+    endpoint "demaq://remote/inbox"{extension};
+create queue netErrors kind basic mode persistent;
+create errorqueue netErrors;
+create rule fwd for work
+    if (//job) then do enqueue <job id="{{string(//job/@id)}}"/>
+        into toRemote
+"""
+
+RECEIVER = """
+create queue inbox kind incomingGateway mode persistent
+    endpoint "demaq://remote/inbox";
+create queue done kind basic mode persistent;
+create rule handle for inbox
+    if (//job) then do enqueue <ack id="{string(//job/@id)}"/> into done
+"""
+
+JOBS = 60
+
+
+def build(reliable: bool, drop_rate: float = 0.0, seed: int = 11):
+    clock = VirtualClock()
+    network = Network(clock, drop_rate=drop_rate, seed=seed)
+    extension = ("\n    using WS-ReliableMessaging policy wsrm.xml"
+                 if reliable else "")
+    sender = DemaqServer(SENDER_TEMPLATE.format(extension=extension),
+                         clock=clock, network=network, name="local")
+    receiver = DemaqServer(RECEIVER, clock=clock, network=network,
+                           name="remote")
+    return network, sender, receiver
+
+
+def run_jobs(sender, receiver):
+    for index in range(JOBS):
+        sender.enqueue("work", f'<job id="{index}"/>')
+    run_cluster([sender, receiver])
+    delivered = len(receiver.queue_texts("done"))
+    errors = len(sender.queue_documents("netErrors"))
+    return delivered, errors
+
+
+@pytest.mark.benchmark(group="E9-gateway")
+@pytest.mark.parametrize("mode", ["reliable", "best-effort"])
+def test_gateway_throughput_lossy_link(benchmark, mode):
+    def run():
+        _, sender, receiver = build(reliable=(mode == "reliable"),
+                                    drop_rate=0.3)
+        return run_jobs(sender, receiver)
+
+    delivered, errors = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert delivered + errors >= JOBS * 0.5
+
+
+def test_shape_reliable_messaging_delivers_everything(report):
+    _, sender, receiver = build(reliable=True, drop_rate=0.3)
+    delivered, errors = run_jobs(sender, receiver)
+    report("WS-RM on lossy link (30% drop)",
+           jobs=JOBS, delivered=delivered, errors=errors,
+           ratio=f"{delivered / JOBS:.2f}")
+    assert delivered == JOBS          # every job arrives
+    assert errors == 0
+    # exactly once: no duplicate acks
+    ids = [d.root_element.attribute_value("id")
+           for d in receiver.queue_documents("done")]
+    assert len(ids) == len(set(ids))
+
+
+def test_shape_best_effort_surfaces_errors(report):
+    _, sender, receiver = build(reliable=False, drop_rate=0.3)
+    delivered, errors = run_jobs(sender, receiver)
+    report("best effort on lossy link (30% drop)",
+           jobs=JOBS, delivered=delivered, errors=errors)
+    assert delivered < JOBS           # drops become...
+    assert errors == JOBS - delivered  # ...error messages, not silence
+
+
+def test_shape_clean_link_equivalence(report):
+    _, sender, receiver = build(reliable=True, drop_rate=0.0)
+    delivered, errors = run_jobs(sender, receiver)
+    report("clean link", delivered=delivered, errors=errors)
+    assert (delivered, errors) == (JOBS, 0)

@@ -1,0 +1,77 @@
+"""E4 — compiled per-queue plans with prefilters vs naive evaluation
+(paper §4.4.1).
+
+Claim: compiling all rules of a queue into one plan and exploiting
+"XML filtering" lets the engine skip rules whose condition cannot match;
+the gap grows with the number of rules per queue.
+"""
+
+import pytest
+
+from conftest import timed
+from repro import DemaqServer
+
+MESSAGES = 60
+
+
+def make_app(rules: int) -> str:
+    lines = ["create queue q kind basic mode persistent;",
+             "create queue out kind basic mode persistent;"]
+    for index in range(rules):
+        lines.append(
+            f"create rule r{index} for q "
+            f"if (//type{index}) then do enqueue <hit n=\"{index}\"/> "
+            f"into out;")
+    return "\n".join(lines)
+
+
+def drive(server) -> int:
+    # every message matches exactly one of the rules
+    for index in range(MESSAGES):
+        server.enqueue("q", f"<type0><n>{index}</n></type0>")
+    server.run_until_idle()
+    return len(server.queue_texts("out"))
+
+
+@pytest.mark.benchmark(group="E4-rules-32")
+@pytest.mark.parametrize("mode", ["optimized", "naive"])
+def test_rule_processing_32_rules(benchmark, mode):
+    def run():
+        server = DemaqServer(make_app(32),
+                             optimize_rules=(mode == "optimized"))
+        return drive(server)
+
+    hits = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert hits == MESSAGES
+
+
+def test_shape_prefilter_gap_grows_with_rule_count(report):
+    speedups = []
+    for rules in (8, 32):
+        t_opt, hits_opt = timed(
+            lambda r=rules: drive(DemaqServer(make_app(r),
+                                              optimize_rules=True)),
+            repeat=2)
+        t_naive, hits_naive = timed(
+            lambda r=rules: drive(DemaqServer(make_app(r),
+                                              optimize_rules=False)),
+            repeat=2)
+        assert hits_opt == hits_naive == MESSAGES
+        speedups.append(t_naive / t_opt)
+        report("rule evaluation", rules=rules,
+               optimized_s=f"{t_opt:.4f}", naive_s=f"{t_naive:.4f}",
+               speedup=f"{t_naive / t_opt:.2f}x")
+    assert speedups[-1] > 1.2, "prefilters should win with many rules"
+    assert speedups[-1] > speedups[0], "gap should grow with rule count"
+
+
+def test_shape_skip_counters(report):
+    server = DemaqServer(make_app(32), optimize_rules=True)
+    drive(server)
+    stats = server.executor.stats
+    report("prefilter effectiveness",
+           evaluated=stats.rules_evaluated,
+           skipped=stats.rules_skipped_by_prefilter)
+    # 32 rules x 60 messages; only 1 rule per message should evaluate
+    assert stats.rules_evaluated == MESSAGES
+    assert stats.rules_skipped_by_prefilter == MESSAGES * 31

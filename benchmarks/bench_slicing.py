@@ -1,0 +1,71 @@
+"""E1 — materialized slices vs merged-query evaluation (paper §2.3/§4.3).
+
+Claim: "Despite their logical nature, slices can be physically stored to
+speed up message access, similar to indexes and materialized views."
+The materialized B+-tree slice index answers a slice access with one
+range scan; the merged-query baseline scans the whole store.  The gap
+must grow with the total number of stored messages.
+"""
+
+import pytest
+
+from conftest import timed
+from repro.storage import MessageStore
+
+KEYS = 20
+
+
+def build_store(total_messages: int) -> MessageStore:
+    store = MessageStore()
+    for index in range(total_messages):
+        txn = store.begin()
+        txn.insert_message(
+            "orders", f"<order><n>{index}</n></order>".encode(),
+            {"customer": f"c{index % KEYS}"},
+            [("byCustomer", f"c{index % KEYS}")])
+        store.commit(txn)
+    return store
+
+
+def lookup_all_keys(store, accessor):
+    total = 0
+    for key in range(KEYS):
+        total += len(accessor("byCustomer", f"c{key}"))
+    return total
+
+
+@pytest.mark.benchmark(group="E1-slicing-2000")
+@pytest.mark.parametrize("strategy", ["materialized", "scan"])
+def test_slice_access_2000(benchmark, strategy):
+    store = build_store(2000)
+    accessor = (store.slice_messages if strategy == "materialized"
+                else store.slice_messages_scan)
+    result = benchmark(lookup_all_keys, store, accessor)
+    assert result == 2000
+
+
+@pytest.mark.benchmark(group="E1-slicing-8000")
+@pytest.mark.parametrize("strategy", ["materialized", "scan"])
+def test_slice_access_8000(benchmark, strategy):
+    store = build_store(8000)
+    accessor = (store.slice_messages if strategy == "materialized"
+                else store.slice_messages_scan)
+    result = benchmark(lookup_all_keys, store, accessor)
+    assert result == 8000
+
+
+def test_shape_materialized_wins_and_gap_grows(report):
+    rows = []
+    for total in (1000, 4000):
+        store = build_store(total)
+        t_index, hits = timed(lookup_all_keys, store, store.slice_messages)
+        t_scan, hits_scan = timed(lookup_all_keys, store,
+                                  store.slice_messages_scan)
+        assert hits == hits_scan == total
+        speedup = t_scan / t_index
+        rows.append(speedup)
+        report("slice access", messages=total,
+               materialized_s=f"{t_index:.5f}", scan_s=f"{t_scan:.5f}",
+               speedup=f"{speedup:.1f}x")
+    assert rows[0] > 1.5, "materialized slice index should win"
+    assert rows[1] > rows[0], "gap should grow with store size"

@@ -1,0 +1,102 @@
+"""E5 — message-based state vs per-instance contexts with dehydration
+(paper §2.1).
+
+Claim: keeping process state in per-instance runtime contexts "leads to
+scalability issues if the number of processes is large"; engines
+dehydrate stale instances to a store and pay rehydration on every
+revival.  Demaq keeps all state as stored messages and correlates with
+slices, so cost per message stays flat as live-instance count grows.
+
+Workload: P two-step processes; the two messages of each process arrive
+P apart (worst case for an LRU context cache of fixed size).
+"""
+
+import pytest
+
+from conftest import timed
+from repro import DemaqServer
+from repro.baselines import BPELLikeEngine
+
+RESIDENT_CONTEXTS = 64
+
+DEMAQ_APP = """
+create queue steps kind basic mode persistent;
+create queue done kind basic mode persistent;
+create property pid as xs:string fixed
+    queue steps value //pid;
+create slicing byProcess on pid;
+create rule complete for byProcess
+    if (qs:slice()[//step = "1"] and qs:slice()[//step = "2"]
+        and not(qs:slice()[/finished])) then
+        do enqueue <finished><pid>{string(qs:slicekey())}</pid></finished>
+            into steps;
+create rule cleanup for byProcess
+    if (qs:slice()[/finished]) then do reset
+"""
+
+
+def interleaved_messages(processes: int):
+    for step in ("1", "2"):
+        for pid in range(processes):
+            yield f"<msg><pid>p{pid}</pid><step>{step}</step></msg>"
+
+
+def run_demaq(processes: int) -> int:
+    server = DemaqServer(DEMAQ_APP)
+    for message in interleaved_messages(processes):
+        server.enqueue("steps", message)
+    server.run_until_idle()
+    server.collect_garbage()
+    return server.executor.stats.resets
+
+
+def run_bpel(processes: int) -> int:
+    def handler(context, message):
+        context.variables[f"step{context.step}"] = message
+        context.step += 1
+        return context.step >= 2
+
+    def correlate(document):
+        return document.root_element.first_child("pid").text
+
+    engine = BPELLikeEngine(handler, correlate,
+                            max_resident=RESIDENT_CONTEXTS)
+    for message in interleaved_messages(processes):
+        engine.deliver(message)
+    assert engine.completed == processes
+    return engine.store.rehydrations
+
+
+@pytest.mark.benchmark(group="E5-state-256")
+@pytest.mark.parametrize("engine", ["demaq", "bpel-like"])
+def test_state_scaling_256_processes(benchmark, engine):
+    fn = run_demaq if engine == "demaq" else run_bpel
+    benchmark.pedantic(fn, args=(256,), rounds=2, iterations=1)
+
+
+def test_shape_dehydration_costs_grow(report):
+    ratios = []
+    for processes in (128, 512):
+        t_demaq, _ = timed(run_demaq, processes, repeat=1)
+        t_bpel, rehydrations = timed(run_bpel, processes, repeat=1)
+        per_msg_demaq = t_demaq / (2 * processes)
+        per_msg_bpel = t_bpel / (2 * processes)
+        ratios.append(per_msg_bpel / per_msg_demaq)
+        report("per-message cost", processes=processes,
+               demaq_ms=f"{1000 * per_msg_demaq:.3f}",
+               bpel_ms=f"{1000 * per_msg_bpel:.3f}",
+               rehydrations=rehydrations)
+    # Past the resident limit every second message rehydrates: the
+    # BPEL-like engine's relative cost must grow with instance count.
+    assert ratios[1] > ratios[0]
+
+
+def test_shape_dehydration_counts(report):
+    def rehydrations(processes):
+        return run_bpel(processes)
+
+    small = rehydrations(RESIDENT_CONTEXTS // 2)   # fits: no dehydration
+    large = rehydrations(8 * RESIDENT_CONTEXTS)    # 8x over: thrashing
+    report("rehydration count", within_limit=small, past_limit=large)
+    assert small == 0
+    assert large >= 7 * RESIDENT_CONTEXTS

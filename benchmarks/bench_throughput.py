@@ -1,0 +1,64 @@
+"""F1/baseline — end-to-end engine throughput on the procurement workload.
+
+Not tied to a single claim; this is the headline msgs/sec number for the
+whole stack (parse → rules → snapshot updates → transactional store) that
+the other benches are normalized against, plus the persistent-store
+variant showing the WAL cost.
+"""
+
+import pytest
+
+from repro import DemaqServer
+from repro.workloads import procurement_application, request_stream
+
+REQUESTS = 30
+
+
+def drive(server) -> int:
+    for _, _, body in request_stream(REQUESTS):
+        server.enqueue("crm", body)
+    server.run_until_idle()
+    return server.executor.stats.messages_processed
+
+
+@pytest.mark.benchmark(group="F1-throughput")
+def test_in_memory_throughput(benchmark):
+    def run():
+        return drive(DemaqServer(procurement_application()))
+
+    processed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert processed == REQUESTS * 6   # request + 2 checks + 2 results + offer
+
+
+@pytest.mark.benchmark(group="F1-throughput")
+def test_persistent_throughput(benchmark, tmp_path):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        server = DemaqServer(procurement_application(),
+                             data_dir=str(tmp_path / f"n{counter[0]}"),
+                             sync_commits=False)
+        processed = drive(server)
+        server.close()
+        return processed
+
+    processed = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert processed == REQUESTS * 6
+
+
+@pytest.mark.benchmark(group="F1-throughput")
+def test_persistent_synced_throughput(benchmark, tmp_path):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        server = DemaqServer(procurement_application(),
+                             data_dir=str(tmp_path / f"s{counter[0]}"),
+                             sync_commits=True)
+        processed = drive(server)
+        server.close()
+        return processed
+
+    processed = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert processed == REQUESTS * 6

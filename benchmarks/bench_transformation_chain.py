@@ -1,0 +1,84 @@
+"""E8 — the middleware transformation chain hurts performance (paper §1).
+
+Claim: each middleware tier transforms the message into its own
+representation and back ("this not only hurts performance...").  Demaq
+evaluates rules directly over the stored XML.  Measured: per-message cost
+of the same business logic as the tier count grows, vs the Demaq engine.
+"""
+
+import pytest
+
+from conftest import timed
+from repro import DemaqServer
+from repro.baselines import ImperativePipeline
+from repro.workloads import order_message
+
+MESSAGES = 50
+
+DEMAQ_APP = """
+create queue orders kind basic mode persistent;
+create queue acks kind basic mode persistent;
+create rule ack for orders
+    if (//customerOrder) then
+        do enqueue <ack><ref>{string(//orderID)}</ref>
+            <lines>{count(//line)}</lines></ack> into acks
+"""
+
+
+def business_logic(data: dict) -> dict:
+    order = data["customerOrder"]
+    lines = order.get("line", [])
+    if isinstance(lines, dict):
+        lines = [lines]
+    return {"ack": {"ref": order["orderID"], "lines": str(len(lines))}}
+
+
+def run_demaq() -> int:
+    server = DemaqServer(DEMAQ_APP)
+    for index in range(MESSAGES):
+        server.enqueue("orders", order_message(index, f"c{index % 7}"))
+    server.run_until_idle()
+    return len(server.queue_texts("acks"))
+
+
+def run_pipeline(tiers: int) -> int:
+    pipeline = ImperativePipeline(business_logic, tiers=tiers)
+    out = 0
+    for index in range(MESSAGES):
+        result = pipeline.handle(order_message(index, f"c{index % 7}"))
+        out += 1
+        assert "<ack>" in result
+    return out
+
+
+@pytest.mark.benchmark(group="E8-chain")
+def test_demaq_native_processing(benchmark):
+    acks = benchmark.pedantic(run_demaq, rounds=2, iterations=1)
+    assert acks == MESSAGES
+
+
+@pytest.mark.benchmark(group="E8-chain")
+@pytest.mark.parametrize("tiers", [0, 2, 4, 6])
+def test_pipeline_with_tiers(benchmark, tiers):
+    acks = benchmark.pedantic(run_pipeline, args=(tiers,), rounds=2,
+                              iterations=1)
+    assert acks == MESSAGES
+
+
+def test_shape_cost_grows_with_tiers(report):
+    times = {}
+    for tiers in (0, 2, 6):
+        times[tiers], _ = timed(run_pipeline, tiers, repeat=2)
+        report("pipeline", tiers=tiers, seconds=f"{times[tiers]:.4f}")
+    assert times[2] > times[0]
+    assert times[6] > times[2]
+    # the 6-tier stack costs a multiple of the direct implementation
+    assert times[6] / times[0] > 1.5
+
+
+def test_shape_transformation_counts(report):
+    pipeline = ImperativePipeline(business_logic, tiers=5)
+    pipeline.handle(order_message(1, "c"))
+    report("representation changes per message",
+           tiers=5, transformations=pipeline.transformations)
+    assert pipeline.transformations == 2 + 4 * 5

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench reproduces one claim from DESIGN.md §5 (E1-E9).  Absolute
+numbers depend on the host; the *shape* assertions (who wins, how the gap
+scales) encode what the paper predicts.
+"""
+
+import time
+
+import pytest
+
+
+def timed(fn, *args, repeat=3, **kwargs):
+    """Best-of-N wall-clock measurement for in-test shape comparisons."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture()
+def report(request):
+    """Print a paper-style result row, visible in bench_output.txt."""
+
+    def emit(label, **fields):
+        parts = "  ".join(f"{key}={value}" for key, value in fields.items())
+        print(f"\n[{request.node.name}] {label}: {parts}")
+
+    return emit

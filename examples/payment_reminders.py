@@ -1,0 +1,85 @@
+"""Example 3.4 (Fig. 9) — time-based behaviour with echo queues:
+invoices, grace periods, and payment reminders.
+
+An invoice registers a timeout at the echo queue.  If the payment is
+confirmed before the timeout fires, the invoice slice is reset and no
+reminder goes out; otherwise the timeout notification triggers a
+reminder to the customer.
+
+Run:  python examples/payment_reminders.py
+"""
+
+from repro import DemaqServer
+
+GRACE_PERIOD = 14 * 24 * 3600        # two weeks, in (virtual) seconds
+
+APPLICATION = """
+create queue invoices kind basic mode persistent;
+create queue finance kind basic mode persistent;
+create queue customer kind basic mode persistent;
+create queue echoQueue kind echo mode persistent;
+
+create property messageRequestID as xs:string fixed
+    queue invoices, finance value //requestID;
+create slicing invoiceRetention on messageRequestID;
+
+(: issuing an invoice also starts the grace-period timer :)
+create rule startTimer for invoices
+    if (/invoice) then
+        do enqueue <timeoutNotification>{//requestID}</timeoutNotification>
+            into echoQueue
+            with timeout value %d
+            with target value "finance";
+
+(: Fig. 9, checkPayment: reminder if the timeout beats the payment :)
+create rule checkPayment for finance
+    if (//timeoutNotification) then
+        let $mRID := string(qs:message()//requestID)
+        let $payments := qs:queue()[/paymentConfirmation]
+        return
+            if (not($payments[//requestID = $mRID])) then
+                do enqueue <reminder><requestID>{$mRID}</requestID>
+                    </reminder> into customer
+            else ();
+
+(: Fig. 9, resetPayedInvoices: retention ends once paid AND timed out :)
+create rule resetPayedInvoices for invoiceRetention
+    if (qs:slice()[//timeoutNotification]
+        and qs:slice()[/paymentConfirmation]) then
+        do reset
+""" % GRACE_PERIOD
+
+
+def main() -> None:
+    server = DemaqServer(APPLICATION)
+
+    for invoice_id in ("inv-paid", "inv-unpaid"):
+        server.enqueue("invoices",
+                       f"<invoice><requestID>{invoice_id}</requestID>"
+                       f"<amount>100</amount></invoice>")
+    server.run_until_idle()
+
+    # one customer pays within the grace period
+    server.enqueue("finance",
+                   "<paymentConfirmation><requestID>inv-paid</requestID>"
+                   "</paymentConfirmation>")
+    server.run_until_idle()
+
+    print(f"advancing virtual time by {GRACE_PERIOD} seconds …")
+    server.advance_time(GRACE_PERIOD + 1)
+
+    reminders = server.queue_texts("customer")
+    print("reminders sent:", reminders)
+    assert reminders == [
+        "<reminder><requestID>inv-unpaid</requestID></reminder>"]
+
+    # the paid invoice's slice was reset → reclaimable; unpaid retained
+    assert server.store.slice_lifetime("invoiceRetention", "inv-paid") == 1
+    assert server.store.slice_lifetime("invoiceRetention", "inv-unpaid") == 0
+    assert len(server.slice_live_messages("invoiceRetention",
+                                          "inv-unpaid")) > 0
+    print("payment reminder example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""The paper's procurement case study (Fig. 3/4) as a *distributed*
+application: a buyer node and a supplier node exchanging XML messages
+over (simulated) gateway queues.
+
+This is the two-node variant of tests/integration/test_paper_examples.py:
+the supplier's capacity check really runs on a second Demaq server, and
+the capacity result travels back through gateway queues — the message
+flow of Fig. 4.
+
+Run:  python examples/procurement.py
+"""
+
+from repro import DemaqServer, Network, run_cluster
+from repro.queues import VirtualClock
+
+BUYER = """
+create queue crm kind basic mode persistent;
+create queue finance kind basic mode persistent;
+create queue legal kind basic mode persistent;
+create queue invoices kind basic mode persistent;
+create queue customer kind basic mode persistent;
+create queue crmErrors kind basic mode persistent;
+create errorqueue crmErrors;
+
+(: the supplier is a remote party, reached through a gateway pair :)
+create queue supplier kind outgoingGateway mode persistent
+    endpoint "demaq://supplier/requests"
+    using WS-ReliableMessaging policy wsrmpol.xml;
+create queue supplierReplies kind incomingGateway mode persistent
+    endpoint "demaq://buyer/supplierReplies";
+
+create property requestID as xs:string fixed
+    queue crm, customer, supplierReplies value //requestID;
+create slicing requestMsgs on requestID;
+
+(: Example 3.1 — fork the three checks :)
+create rule newOfferRequest for crm
+    if (//offerRequest) then (
+        do enqueue <requestCustomerInfo>
+                {//requestID} {//customerID}
+            </requestCustomerInfo> into finance,
+        do enqueue <requestRestrictionsInfo>
+                {//requestID} {//items}
+            </requestRestrictionsInfo> into legal,
+        do enqueue <requestCapacityInfo>
+                {//requestID} {//items}
+            </requestCapacityInfo> into supplier
+            with Sender value "demaq://buyer/supplierReplies"
+    );
+
+(: Example 3.2 — credit rating against the invoices queue :)
+create rule checkCreditRating for finance
+    if (//requestCustomerInfo) then
+        do enqueue
+            <customerInfoResult>{//requestID}
+                {if (qs:queue("invoices")
+                     [//customerID = qs:message()//customerID])
+                 then <refuse/> else <accept/>}
+            </customerInfoResult> into crm;
+
+create rule checkRestrictions for legal
+    if (//requestRestrictionsInfo) then
+        do enqueue
+            <restrictionsResult>{//requestID}
+                {if (//item[@restricted = "true"])
+                 then <restrictedItem/> else <clear/>}
+            </restrictionsResult> into crm;
+
+(: capacity results arrive from the supplier node :)
+create rule relayCapacity for supplierReplies
+    if (//capacityResult) then
+        do enqueue <capacityResult>{//requestID}{//accept}{//reject}
+            </capacityResult> into crm;
+
+(: Example 3.3 — join the parallel checks :)
+create rule joinOrder for requestMsgs
+    if (qs:slice()[//customerInfoResult] and
+        qs:slice()[//restrictionsResult] and
+        qs:slice()[//capacityResult] and
+        not(qs:slice()[/offer]) and not(qs:slice()[/refusal])) then
+        if (qs:slice()[//customerInfoResult//accept] and
+            not(qs:slice()[//restrictionsResult//restrictedItem]) and
+            qs:slice()[//capacityResult//accept]) then
+            do enqueue <offer><requestID>{string(qs:slicekey())}
+                </requestID></offer> into customer
+        else
+            do enqueue <refusal><requestID>{string(qs:slicekey())}
+                </requestID></refusal> into customer;
+
+(: Fig. 8 — retention: drop the request slice once answered :)
+create rule cleanupRequest for requestMsgs
+    if (qs:slice()[/offer] or qs:slice()[/refusal]) then do reset
+"""
+
+SUPPLIER = """
+create queue requests kind incomingGateway mode persistent
+    endpoint "demaq://supplier/requests";
+create queue replies kind outgoingGateway mode persistent
+    endpoint "demaq://buyer/supplierReplies";
+
+(: Check Plant Capacity (Fig. 3): accept orders of up to 3 items :)
+create rule checkPlantCapacity for requests
+    if (//requestCapacityInfo) then
+        do enqueue
+            <capacityResult>{//requestID}
+                {if (count(//item) <= 3) then <accept/> else <reject/>}
+            </capacityResult> into replies
+"""
+
+
+def offer_request(request_id, customer_id, items=2, restricted=False):
+    flag = ' restricted="true"' if restricted else ""
+    body = "".join(f"<item{flag if i == 0 else ''}>substance-{i}</item>"
+                   for i in range(items))
+    return (f"<offerRequest><requestID>{request_id}</requestID>"
+            f"<customerID>{customer_id}</customerID>"
+            f"<items>{body}</items></offerRequest>")
+
+
+def main() -> None:
+    clock = VirtualClock()
+    network = Network(clock, latency=0.05)
+    buyer = DemaqServer(BUYER, clock=clock, network=network, name="buyer")
+    supplier = DemaqServer(SUPPLIER, clock=clock, network=network,
+                           name="supplier")
+
+    # a debtor with an unpaid invoice (drives the refuse path of Fig. 6)
+    buyer.enqueue("invoices",
+                  "<invoice><requestID>old-1</requestID>"
+                  "<customerID>debtor-gmbh</customerID></invoice>")
+
+    scenarios = [
+        ("r-accept", "acme", 2, False),       # all checks pass
+        ("r-credit", "debtor-gmbh", 2, False),  # unpaid bills → refusal
+        ("r-export", "acme", 2, True),        # restricted item → refusal
+        ("r-capacity", "acme", 5, False),     # too large → supplier rejects
+    ]
+    for request_id, customer, items, restricted in scenarios:
+        buyer.enqueue("crm", offer_request(request_id, customer,
+                                           items, restricted))
+
+    # messages need simulated time to cross the network
+    for _ in range(10):
+        run_cluster([buyer, supplier])
+        clock.advance(0.1)
+    run_cluster([buyer, supplier])
+
+    print("decisions sent to the customer:")
+    decisions = {}
+    for doc in buyer.queue_documents("customer"):
+        root = doc.root_element
+        request_id = root.first_child("requestID").text
+        decisions[request_id] = root.name.local_name
+        print(f"  {request_id:12s} -> {root.name.local_name}")
+
+    assert decisions == {
+        "r-accept": "offer",
+        "r-credit": "refusal",
+        "r-export": "refusal",
+        "r-capacity": "refusal",
+    }
+
+    # retention: every answered request slice was reset, so GC can run
+    reclaimed = buyer.collect_garbage()
+    print(f"garbage collector reclaimed {reclaimed} messages")
+    assert reclaimed > 0
+    print("procurement scenario OK")
+
+
+if __name__ == "__main__":
+    main()

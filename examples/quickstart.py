@@ -1,0 +1,37 @@
+"""Quickstart: a two-queue Demaq application in ~30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DemaqServer
+
+APPLICATION = """
+create queue inbox kind basic mode persistent;
+create queue outbox kind basic mode persistent;
+
+(: one ECA rule: on every ping in the inbox, answer with a pong :)
+create rule reply for inbox
+    if (//ping) then
+        do enqueue <pong to="{string(//ping/@from)}"/> into outbox
+"""
+
+
+def main() -> None:
+    server = DemaqServer(APPLICATION)
+
+    server.enqueue("inbox", '<ping from="alice"/>')
+    server.enqueue("inbox", '<ping from="bob"/>')
+    server.enqueue("inbox", "<noise/>")          # matches no rule
+
+    steps = server.run_until_idle()
+    print(f"engine quiesced after {steps} steps")
+    for text in server.queue_texts("outbox"):
+        print("outbox:", text)
+
+    assert server.queue_texts("outbox") == [
+        '<pong to="alice"/>', '<pong to="bob"/>']
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

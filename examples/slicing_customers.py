@@ -1,0 +1,86 @@
+"""Fig. 2 — slices as virtual queues across physical queues.
+
+Requests, orders, and delivery notifications for one customer live in
+three different physical queues but form one logical group (the
+customer's transaction history).  A slicing on the customerID property
+gives each customer a virtual queue; an auditing rule and a retention
+policy both work on that granularity.
+
+Run:  python examples/slicing_customers.py
+"""
+
+from repro import DemaqServer
+
+APPLICATION = """
+create queue requests kind basic mode persistent;
+create queue orders kind basic mode persistent;
+create queue deliveryNotifications kind basic mode persistent;
+create queue audit kind basic mode persistent;
+create queue admin kind basic mode persistent;
+
+create property customerID as xs:string fixed
+    queue requests, orders, deliveryNotifications value //customerID;
+create slicing byCustomer on customerID;
+
+(: audit: when a delivery completes, summarize the customer's history :)
+create rule summarize for byCustomer
+    if (qs:message()/deliveryNotification) then
+        do enqueue
+            <customerSummary customer="{string(qs:slicekey())}"
+                requests="{count(qs:slice()[/request])}"
+                orders="{count(qs:slice()[/order])}"
+                deliveries="{count(qs:slice()[/deliveryNotification])}"/>
+            into audit;
+
+(: data protection: an admin message wipes one customer's history :)
+create rule forget for admin
+    if (//forgetCustomer) then
+        do reset(byCustomer, string(//forgetCustomer/@id))
+"""
+
+
+def message(kind: str, customer: str, n: int) -> str:
+    return (f"<{kind}><customerID>{customer}</customerID>"
+            f"<seq>{n}</seq></{kind}>")
+
+
+def main() -> None:
+    server = DemaqServer(APPLICATION)
+
+    # interleaved traffic for two customers (the 23 / 42 of Fig. 2)
+    for n in range(3):
+        server.enqueue("requests", message("request", "cust-23", n))
+    server.enqueue("requests", message("request", "cust-42", 0))
+    for n in range(2):
+        server.enqueue("orders", message("order", "cust-23", n))
+    server.enqueue("orders", message("order", "cust-42", 0))
+    server.enqueue("deliveryNotifications",
+                   message("deliveryNotification", "cust-23", 0))
+    server.run_until_idle()
+
+    print("audit summaries:")
+    for text in server.queue_texts("audit"):
+        print("  ", text)
+    summary = server.queue_documents("audit")[0].root_element
+    assert summary.attribute_value("customer") == "cust-23"
+    assert summary.attribute_value("requests") == "3"
+    assert summary.attribute_value("orders") == "2"
+
+    live_23 = len(server.slice_live_messages("byCustomer", "cust-23"))
+    live_42 = len(server.slice_live_messages("byCustomer", "cust-42"))
+    print(f"slice sizes: cust-23={live_23}  cust-42={live_42}")
+    assert (live_23, live_42) == (6, 2)
+
+    # the right-to-be-forgotten path: reset cust-23's slice, then GC
+    server.enqueue("admin", '<forgetCustomer id="cust-23"/>')
+    server.run_until_idle()
+    assert server.slice_live_messages("byCustomer", "cust-23") == []
+    reclaimed = server.collect_garbage()
+    print(f"after forgetCustomer: reclaimed {reclaimed} messages; "
+          f"cust-42 keeps {len(server.slice_live_messages('byCustomer', 'cust-42'))}")
+    assert len(server.slice_live_messages("byCustomer", "cust-42")) == 2
+    print("slicing example OK")
+
+
+if __name__ == "__main__":
+    main()

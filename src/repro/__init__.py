@@ -1,0 +1,40 @@
+"""Demaq: declarative XML message processing (CIDR 2007 reproduction).
+
+Public API::
+
+    from repro import DemaqServer, compile_application
+
+    server = DemaqServer('''
+        create queue inbox kind basic mode persistent;
+        create queue outbox kind basic mode persistent;
+        create rule reply for inbox
+            if (//ping) then do enqueue <pong/> into outbox
+    ''')
+    server.enqueue("inbox", "<ping/>")
+    server.run_until_idle()
+    server.queue_texts("outbox")     # -> ['<pong/>']
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-claim -> benchmark mapping.
+"""
+
+from .engine import DemaqServer, run_cluster
+from .network import Network
+from .qdl import Application, ValidationError, compile_application, parse_qdl
+from .queues import Message, RealClock, VirtualClock
+from .storage import MessageStore
+from .xmldm import Document, QName, XMLParseError, parse, serialize
+from .xquery import XQueryError, compile_expression, evaluate_expression
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DemaqServer", "run_cluster",
+    "Network",
+    "Application", "ValidationError", "compile_application", "parse_qdl",
+    "Message", "RealClock", "VirtualClock",
+    "MessageStore",
+    "Document", "QName", "XMLParseError", "parse", "serialize",
+    "XQueryError", "compile_expression", "evaluate_expression",
+    "__version__",
+]

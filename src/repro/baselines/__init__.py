@@ -1,0 +1,13 @@
+"""Comparison baselines reproducing the architectures the paper argues
+against: BPEL-style per-instance contexts with a dehydration store (§2.1)
+and the imperative middleware transformation chain (§1)."""
+
+from .bpel_like import BPELLikeEngine, DehydrationStore, ProcessContext
+from .imperative import (ImperativePipeline, dict_to_rows, dict_to_xml,
+                         rows_to_dict, xml_to_dict)
+
+__all__ = [
+    "BPELLikeEngine", "DehydrationStore", "ProcessContext",
+    "ImperativePipeline", "dict_to_rows", "dict_to_xml", "rows_to_dict",
+    "xml_to_dict",
+]

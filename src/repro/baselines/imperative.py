@@ -1,0 +1,149 @@
+"""The middleware "transformation chain" baseline (paper §1).
+
+"An incoming message travels through the various layers: The XML body of
+the message is transformed into the middleware's representation, again
+transformed into the programming language's representation, with further
+transformations thrown in as other components such as relational DBMSs
+are accessed.  Delivering a result requires a reverse traversal of this
+'transformation chain'."
+
+This baseline makes that chain concrete and measurable: each tier
+serializes the message out of the previous representation and parses it
+into its own (XML text ⇄ DOM ⇄ dict ⇄ ORM rows).  The business logic in
+the middle is the same logic a Demaq rule expresses directly over the
+stored XML.  ``bench_transformation_chain`` (E8) sweeps the tier count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..xmldm import Document, Element, Text, parse, serialize
+
+
+def xml_to_dict(document: Document) -> dict:
+    """Tier transformation: DOM → middleware objects."""
+    root = document.root_element
+
+    def convert(element: Element):
+        children = element.child_elements()
+        if not children:
+            return element.text
+        out: dict = {}
+        for child in children:
+            name = child.name.local_name
+            value = convert(child)
+            if name in out:
+                existing = out[name]
+                if not isinstance(existing, list):
+                    out[name] = [existing]
+                out[name].append(value)
+            else:
+                out[name] = value
+        return out
+
+    return {root.name.local_name: convert(root)} if root is not None else {}
+
+
+def dict_to_xml(data: dict) -> Document:
+    """Tier transformation: middleware objects → DOM."""
+    def convert(name: str, value) -> list[Element]:
+        if isinstance(value, list):
+            return [e for item in value for e in convert(name, item)]
+        element = Element(name)
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                for child in convert(key, sub):
+                    element.append(child)
+        elif value is not None and value != "":
+            element.append(Text(str(value)))
+        return [element]
+
+    document = Document()
+    for name, value in data.items():
+        for element in convert(name, value):
+            document.append(element)
+    return document
+
+
+def dict_to_rows(data: dict, prefix: str = "") -> list[tuple[str, str]]:
+    """Tier transformation: objects → flattened ORM-style rows."""
+    rows: list[tuple[str, str]] = []
+    for key, value in data.items():
+        path = f"{prefix}/{key}"
+        if isinstance(value, dict):
+            rows.extend(dict_to_rows(value, path))
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                if isinstance(item, dict):
+                    rows.extend(dict_to_rows(item, f"{path}[{index}]"))
+                else:
+                    rows.append((f"{path}[{index}]", str(item)))
+        else:
+            rows.append((path, "" if value is None else str(value)))
+    return rows
+
+
+def rows_to_dict(rows: list[tuple[str, str]]) -> dict:
+    """Tier transformation: rows → objects (reverse traversal)."""
+    out: dict = {}
+    for path, value in rows:
+        parts = [p.split("[")[0] for p in path.strip("/").split("/")]
+        cursor = out
+        for part in parts[:-1]:
+            nxt = cursor.get(part)
+            if not isinstance(nxt, dict):
+                nxt = {}
+                cursor[part] = nxt
+            cursor = nxt
+        leaf = parts[-1]
+        if leaf in cursor:
+            existing = cursor[leaf]
+            if not isinstance(existing, list):
+                cursor[leaf] = [existing]
+            cursor[leaf].append(value)
+        else:
+            cursor[leaf] = value
+    return out
+
+
+class ImperativePipeline:
+    """An n-tier middleware stack around one piece of business logic.
+
+    ``tiers`` counts the representation changes on the way *in* (and the
+    same number on the way out): 0 → logic runs directly on the parsed
+    XML (the Demaq-like configuration); each extra tier adds a
+    serialize/parse or convert round trip.
+    """
+
+    def __init__(self, logic: Callable[[dict], dict], tiers: int = 3):
+        if tiers < 0:
+            raise ValueError("tiers must be non-negative")
+        self.logic = logic
+        self.tiers = tiers
+        self.transformations = 0
+
+    def handle(self, message: str) -> str:
+        document = parse(message)
+        data = xml_to_dict(document)
+        self.transformations += 1
+        # inbound chain
+        for tier in range(self.tiers):
+            if tier % 2 == 0:
+                rows = dict_to_rows(data)
+                data = rows_to_dict(rows)
+            else:
+                data = xml_to_dict(parse(serialize(dict_to_xml(data))))
+            self.transformations += 2
+        result = self.logic(data)
+        # reverse traversal of the chain
+        for tier in range(self.tiers):
+            if tier % 2 == 0:
+                rows = dict_to_rows(result)
+                result = rows_to_dict(rows)
+            else:
+                result = xml_to_dict(parse(serialize(dict_to_xml(result))))
+            self.transformations += 2
+        out = serialize(dict_to_xml(result))
+        self.transformations += 1
+        return out

@@ -1,0 +1,24 @@
+"""The Demaq rule engine: compiler, scheduler, executor, server."""
+
+from .compiler import (CompiledApplication, CompiledRule, QueuePlan,
+                       compile_rules, element_names)
+from .environment import RuleEnvironment
+from .errors import (APPLICATION, DISCONNECTED, MESSAGE, NETWORK, SYSTEM,
+                     TIMEOUT, EngineError, build_error_message,
+                     resolve_error_queue)
+from .executor import ExecutionStatistics, RuleExecutor
+from .locking import LockingPolicy
+from .scheduler import Scheduler
+from .server import DemaqServer, run_cluster
+
+__all__ = [
+    "CompiledApplication", "CompiledRule", "QueuePlan", "compile_rules",
+    "element_names",
+    "RuleEnvironment",
+    "APPLICATION", "DISCONNECTED", "MESSAGE", "NETWORK", "SYSTEM", "TIMEOUT",
+    "EngineError", "build_error_message", "resolve_error_queue",
+    "ExecutionStatistics", "RuleExecutor",
+    "LockingPolicy",
+    "Scheduler",
+    "DemaqServer", "run_cluster",
+]

@@ -1,0 +1,68 @@
+"""The rule-evaluation environment: glue between qs: functions and the
+engine state, with lock acquisition on every read the rule performs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..xquery import Environment
+from ..xquery.atomics import XSDateTime
+from ..xquery.errors import DynamicError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..queues import Message
+    from .server import DemaqServer
+
+
+class RuleEnvironment(Environment):
+    """Environment for evaluating one rule against one message."""
+
+    def __init__(self, server: "DemaqServer", message: "Message",
+                 txn_id: int,
+                 slicing: str | None = None,
+                 slice_key: object | None = None):
+        self.server = server
+        self.msg = message
+        self.txn_id = txn_id
+        self.slicing = slicing
+        self._slice_key = slice_key
+
+    # -- qs: hooks ---------------------------------------------------------------
+
+    def message(self):
+        return self.msg.body
+
+    def queue(self, name: Optional[str]):
+        if name is None:
+            name = self.msg.queue
+        if name not in self.server.app.queues:
+            raise DynamicError(f"qs:queue(): unknown queue {name!r}")
+        self.server.locking.lock_queue_read(self.txn_id, name)
+        return [m.body for m in self.server.live_messages(name)]
+
+    def slice_messages(self):
+        if self.slicing is None:
+            raise DynamicError(
+                "qs:slice() is only available in rules defined on slicings")
+        self.server.locking.lock_slice_read(self.txn_id, self.slicing,
+                                            self._slice_key)
+        return [m.body for m in
+                self.server.slice_live_messages(self.slicing,
+                                                self._slice_key)]
+
+    def slice_key(self):
+        if self.slicing is None:
+            raise DynamicError(
+                "qs:slicekey() is only available in rules defined on "
+                "slicings")
+        return self._slice_key
+
+    def property(self, name: str):
+        return self.msg.property(name)
+
+    def collection(self, name: str):
+        return self.server.collection_documents(name)
+
+    def current_datetime(self) -> XSDateTime:
+        return self.server.clock.now_datetime()

@@ -1,0 +1,91 @@
+"""Error handling as messages (paper §3.6).
+
+"Like all other events in the Demaq system, errors are represented by
+XML messages sent to error queues."  This module builds those messages
+and resolves the error queue for a failure, walking the paper's
+escalation chain: rule level → queue level → module/system level.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..qdl.model import Application
+from ..xmldm import Document, Element, Text, deep_copy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..queues import Message
+
+#: Error kinds (the §3.6 taxonomy).
+APPLICATION = "applicationError"
+MESSAGE = "messageError"
+NETWORK = "networkError"
+SYSTEM = "systemError"
+
+#: Specific network failure markers (Fig. 10 matches on these elements).
+DISCONNECTED = "disconnectedTransport"
+TIMEOUT = "deliveryTimeout"
+
+
+class EngineError(Exception):
+    """An unhandled engine failure (no error queue was configured)."""
+
+
+def build_error_message(kind: str, description: str,
+                        rule: str | None = None,
+                        queue: str | None = None,
+                        marker: str | None = None,
+                        code: str | None = None,
+                        initial_message: "Message | Document | None" = None
+                        ) -> Document:
+    """Construct the error document per the predefined schema.
+
+    Shape (matching the Fig. 10 access patterns
+    ``/error/disconnectedTransport`` and
+    ``/error/initialMessage//orderID``)::
+
+        <error>
+          <applicationError/>            <!-- kind marker -->
+          <disconnectedTransport/>       <!-- optional specific marker -->
+          <code>err:XPDY0002</code>
+          <description>…</description>
+          <rule>checkPayment</rule>
+          <queue>finance</queue>
+          <initialMessage>…copy of the triggering body…</initialMessage>
+        </error>
+    """
+    error = Element("error")
+    error.append(Element(kind))
+    if marker:
+        error.append(Element(marker))
+    if code:
+        error.append(Element("code", children=[Text(code)]))
+    error.append(Element("description", children=[Text(description)]))
+    if rule:
+        error.append(Element("rule", children=[Text(rule)]))
+    if queue:
+        error.append(Element("queue", children=[Text(queue)]))
+    if initial_message is not None:
+        body = (initial_message.body
+                if hasattr(initial_message, "body") else initial_message)
+        wrapper = Element("initialMessage")
+        root = body.root_element if isinstance(body, Document) else body
+        if root is not None:
+            wrapper.append(deep_copy(root))
+        error.append(wrapper)
+    return Document([error])
+
+
+def resolve_error_queue(app: Application,
+                        rule_name: str | None = None,
+                        queue_name: str | None = None) -> Optional[str]:
+    """The paper's escalation: rule errorqueue > queue errorqueue > system."""
+    if rule_name is not None:
+        for rule in app.rules:
+            if rule.name == rule_name and rule.error_queue:
+                return rule.error_queue
+    if queue_name is not None:
+        queue = app.queues.get(queue_name)
+        if queue is not None and queue.error_queue:
+            return queue.error_queue
+    return app.system_error_queue

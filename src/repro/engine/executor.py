@@ -1,0 +1,262 @@
+"""The rule executor: one message, one transaction (paper §3.1).
+
+Processing a message means evaluating every rule attached to its queue
+(and to every slice it belongs to), collecting all pending updates, and
+executing them together with the processed-mark in a single transaction
+against the message store.  Evaluation never observes its own updates —
+snapshot semantics — and concurrency control is 2PL through the
+:class:`~repro.engine.locking.LockingPolicy`; a deadlock aborts the
+transaction and the message is retried.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..qdl.model import QueueKind
+from ..queues import Message, PropertyError
+from ..storage.errors import DeadlockError, LockTimeoutError
+from ..xmldm import Document, XMLError, serialize
+from ..xquery import DynamicContext, PendingUpdateList, evaluate
+from ..xquery.errors import XQueryError
+from ..xquery.updates import EnqueuePrimitive, ResetPrimitive
+from . import errors as err
+from .compiler import CompiledRule, element_names
+from .environment import RuleEnvironment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import DemaqServer
+
+
+class ExecutionStatistics:
+    """Per-server counters the benchmarks read."""
+
+    def __init__(self) -> None:
+        self.messages_processed = 0
+        self.rules_evaluated = 0
+        self.rules_skipped_by_prefilter = 0
+        self.rule_errors = 0
+        self.deadlock_retries = 0
+        self.enqueues = 0
+        self.resets = 0
+
+
+class RuleExecutor:
+    """Executes the compiled plans against arriving messages."""
+
+    def __init__(self, server: "DemaqServer"):
+        self.server = server
+        self.stats = ExecutionStatistics()
+
+    # -- main entry ---------------------------------------------------------------
+
+    def process_message(self, msg_id: int) -> bool:
+        """Process one message; False means "aborted, retry later"."""
+        server = self.server
+        store = server.store
+        meta = store.get(msg_id)
+        if meta is None or meta.processed:
+            return True
+        message = Message(meta, store)
+        queue_def = server.app.queues.get(meta.queue)
+        if queue_def is None:
+            return True
+        plan = server.compiled.plan_for(meta.queue)
+
+        txn = store.begin()
+        try:
+            pending: list[tuple[CompiledRule | None, object]] = []
+            body_names = None
+            for compiled in plan.rules:
+                body_names = self._evaluate_rule(
+                    compiled, message, txn, pending, body_names)
+            for compiled in plan.slice_rules:
+                body_names = self._evaluate_slice_rule(
+                    compiled, message, txn, pending, body_names)
+
+            for compiled, primitive in pending:
+                self._apply_primitive(txn, compiled, message, primitive)
+
+            # Echo and outgoing-gateway messages stay unprocessed until
+            # their delivery completes (see server pumps); rule-triggered
+            # processing must not let GC take them first.
+            if queue_def.kind in (QueueKind.BASIC, QueueKind.INCOMING_GATEWAY):
+                txn.mark_processed(msg_id)
+                self.server.locking.lock_queue_write(txn.txn_id, meta.queue)
+
+            store.commit(txn)
+        except (DeadlockError, LockTimeoutError):
+            store.abort(txn)
+            self.stats.deadlock_retries += 1
+            return False
+        finally:
+            server.locking.release(txn.txn_id)
+
+        self.stats.messages_processed += 1
+        server.after_commit(txn, trigger=message)
+        return True
+
+    # -- rule evaluation -------------------------------------------------------------
+
+    def _evaluate_rule(self, compiled: CompiledRule, message: Message,
+                       txn, pending, body_names,
+                       slicing: str | None = None,
+                       slice_key: object | None = None):
+        if compiled.required_elements is not None:
+            if body_names is None:
+                body_names = element_names(message.body)
+            if not (compiled.required_elements & body_names):
+                self.stats.rules_skipped_by_prefilter += 1
+                return body_names
+
+        environment = RuleEnvironment(self.server, message, txn.txn_id,
+                                      slicing, slice_key)
+        pul = PendingUpdateList()
+        ctx = DynamicContext(item=message.body, environment=environment,
+                             updates=pul)
+        self.stats.rules_evaluated += 1
+        try:
+            evaluate(compiled.body, ctx)
+        except (DeadlockError, LockTimeoutError):
+            raise
+        except (XQueryError, XMLError, PropertyError) as exc:
+            self._handle_rule_error(txn, compiled, message, exc, pending)
+            return body_names
+        pending.extend((compiled, primitive) for primitive in pul)
+        return body_names
+
+    def _evaluate_slice_rule(self, compiled: CompiledRule, message: Message,
+                             txn, pending, body_names):
+        slicing = compiled.slicing
+        assert slicing is not None
+        prop_name = slicing.property_name
+        key = message.property(prop_name)
+        if key is None:
+            return body_names   # message carries no key: not in any slice
+        return self._evaluate_rule(compiled, message, txn, pending,
+                                   body_names, slicing=slicing.name,
+                                   slice_key=key)
+
+    # -- pending update application ------------------------------------------------------
+
+    def _apply_primitive(self, txn, compiled: CompiledRule | None,
+                         message: Message, primitive) -> None:
+        if isinstance(primitive, EnqueuePrimitive):
+            rule_name = compiled.name if compiled else None
+            try:
+                self.enqueue_in_txn(
+                    txn, primitive.queue, primitive.body,
+                    explicit=primitive.property_dict(),
+                    trigger=message, creating_rule=rule_name)
+            except (DeadlockError, LockTimeoutError):
+                raise
+            except (PropertyError, XMLError) as exc:
+                self._route_error(
+                    txn, err.build_error_message(
+                        err.MESSAGE, str(exc), rule=rule_name,
+                        queue=message.queue, initial_message=message),
+                    rule_name, message.queue)
+        elif isinstance(primitive, ResetPrimitive):
+            self._apply_reset(txn, compiled, message, primitive)
+        else:  # pragma: no cover - defensive
+            raise err.EngineError(f"unknown primitive {primitive!r}")
+
+    def _apply_reset(self, txn, compiled: CompiledRule | None,
+                     message: Message, primitive: ResetPrimitive) -> None:
+        slicing = primitive.slicing
+        key = primitive.key
+        if slicing is None:
+            assert compiled is not None and compiled.slicing is not None
+            slicing = compiled.slicing.name
+        if key is None:
+            slicing_def = self.server.app.slicings[slicing]
+            key = message.property(slicing_def.property_name)
+            if key is None:
+                return
+        self.server.locking.lock_slice_write(txn.txn_id, slicing, key)
+        txn.reset_slice(slicing, key)
+        self.stats.resets += 1
+
+    def enqueue_in_txn(self, txn, queue_name: str, body: Document,
+                       explicit: dict[str, object] | None = None,
+                       trigger: Message | None = None,
+                       creating_rule: str | None = None,
+                       system_extra: dict[str, object] | None = None) -> None:
+        """Insert one new message into *queue_name* within *txn*.
+
+        Validates against the queue schema, resolves properties, derives
+        slice memberships, and takes the write locks.  Raises
+        :class:`PropertyError`/:class:`XMLError` for message-level
+        problems (callers route those to error queues).
+        """
+        server = self.server
+        queue_def = server.app.queues.get(queue_name)
+        if queue_def is None:
+            raise err.EngineError(f"enqueue into unknown queue {queue_name!r}")
+        if queue_def.schema is not None:
+            failures = queue_def.schema.validate(body)
+            if failures:
+                raise XMLError(
+                    f"message rejected by schema of queue {queue_name!r}: "
+                    + "; ".join(str(f) for f in failures[:3]))
+
+        system: dict[str, object] = {
+            "creationTime": server.clock.now_datetime(),
+        }
+        if creating_rule:
+            system["creatingRule"] = creating_rule
+        if trigger is not None:
+            system["sourceQueue"] = trigger.queue
+            # Connection handles "automatically propagate with the
+            # messages" (§2.2) so synchronous replies can be correlated.
+            handle = trigger.property("connectionHandle")
+            if handle is not None and (explicit is None
+                                       or "connectionHandle" not in explicit):
+                system["connectionHandle"] = handle
+        if system_extra:
+            system.update(system_extra)
+
+        trigger_properties = trigger.properties if trigger is not None else {}
+        properties = server.resolver.resolve(
+            queue_name, body, explicit=explicit,
+            trigger_properties=trigger_properties, system=system)
+
+        slices = []
+        for slicing in server.app.slicings.values():
+            prop = server.app.properties.get(slicing.property_name)
+            if prop is None or not prop.defined_on(queue_name):
+                continue
+            key = properties.get(slicing.property_name)
+            if key is not None:
+                slices.append((slicing.name, key))
+
+        server.locking.lock_queue_write(txn.txn_id, queue_name)
+        for slicing_name, key in slices:
+            server.locking.lock_slice_write(txn.txn_id, slicing_name, key)
+
+        payload = serialize(body).encode("utf-8")
+        txn.insert_message(queue_name, payload, properties, slices,
+                           persistent=queue_def.persistent)
+        self.stats.enqueues += 1
+
+    # -- error routing -----------------------------------------------------------------------
+
+    def _handle_rule_error(self, txn, compiled: CompiledRule,
+                           message: Message, exc: Exception,
+                           pending) -> None:
+        self.stats.rule_errors += 1
+        kind = err.MESSAGE if isinstance(exc, XMLError) else err.APPLICATION
+        code = getattr(exc, "code", None)
+        document = err.build_error_message(
+            kind, str(exc), rule=compiled.name, queue=message.queue,
+            code=code, initial_message=message)
+        self._route_error(txn, document, compiled.name, message.queue)
+
+    def _route_error(self, txn, document: Document,
+                     rule_name: str | None, queue_name: str | None) -> None:
+        target = err.resolve_error_queue(self.server.app, rule_name,
+                                         queue_name)
+        if target is None:
+            self.server.unhandled_errors.append(document)
+            return
+        self.enqueue_in_txn(txn, target, document, creating_rule=rule_name)

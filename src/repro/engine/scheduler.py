@@ -1,0 +1,76 @@
+"""The message scheduler (paper §3.1, §4.4.2).
+
+"The scheduler maintains a list of all unprocessed messages and chooses
+the next message to be handled, considering both their temporal ordering
+and the priority of the containing queues.  Thus, a message in a high
+priority queue may be processed before another one stored in a queue
+with a lower priority, even if it has been created more recently."
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+
+from ..qdl.model import Application
+
+
+@dataclass(order=True)
+class _Entry:
+    neg_priority: int
+    seqno: int
+    msg_id: int = field(compare=False)
+
+
+class Scheduler:
+    """Priority-then-FIFO scheduling of unprocessed messages."""
+
+    def __init__(self, app: Application):
+        self.app = app
+        self._heap: list[_Entry] = []
+        self._enqueued: set[int] = set()
+        self._lock = threading.Lock()
+        self.scheduled = 0
+        self.dispatched = 0
+
+    def queue_priority(self, queue: str) -> int:
+        definition = self.app.queues.get(queue)
+        return definition.priority if definition is not None else 0
+
+    def notify(self, msg_id: int, queue: str, seqno: int) -> None:
+        """Make a new unprocessed message known to the scheduler."""
+        with self._lock:
+            if msg_id in self._enqueued:
+                return
+            self._enqueued.add(msg_id)
+            heapq.heappush(self._heap,
+                           _Entry(-self.queue_priority(queue), seqno, msg_id))
+            self.scheduled += 1
+
+    def next_message(self) -> int | None:
+        """Pop the most urgent unprocessed message id."""
+        with self._lock:
+            if not self._heap:
+                return None
+            entry = heapq.heappop(self._heap)
+            self._enqueued.discard(entry.msg_id)
+            self.dispatched += 1
+            return entry.msg_id
+
+    def requeue(self, msg_id: int, queue: str, seqno: int) -> None:
+        """Put a message back (e.g. after a deadlock abort)."""
+        with self._lock:
+            if msg_id in self._enqueued:
+                return
+            self._enqueued.add(msg_id)
+            heapq.heappush(self._heap,
+                           _Entry(-self.queue_priority(queue), seqno, msg_id))
+
+    def has_work(self) -> bool:
+        with self._lock:
+            return bool(self._heap)
+
+    def backlog(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -1,0 +1,458 @@
+"""The Demaq server (paper Fig. 1, §4).
+
+Wires every subsystem together: compiled application, message store,
+lock manager, scheduler, rule executor, echo timers, gateway
+communication, collections, and garbage collection.  One instance is one
+Active Web node; several instances connected through a
+:class:`~repro.network.Network` form a distributed application.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..network import Network, build_envelope, parse_envelope, parse_wsdl
+from ..qdl import Application, compile_application
+from ..qdl.model import QueueDef, QueueKind
+from ..queues import (Clock, EchoService, Message, PropertyError,
+                      PropertyResolver, VirtualClock)
+from ..storage import LockManager, MessageStore
+from ..storage.transactions import InsertOp
+from ..xmldm import Document, XMLError, parse
+from ..xquery.atomics import XSDateTime, cast_to_double
+from ..xquery.errors import DynamicError
+from . import errors as err
+from .compiler import compile_rules
+from .executor import RuleExecutor
+from .locking import LockingPolicy
+from .scheduler import Scheduler
+
+_HANDLE_COUNTER = itertools.count(1)
+
+#: Properties consumed by the system; not forwarded by echo/gateway relays.
+_INTERNAL_PROPERTIES = frozenset(
+    {"timeout", "target", "creationTime", "creatingRule", "sourceQueue"})
+
+_MAX_RELIABLE_ATTEMPTS = 16
+
+
+class DemaqServer:
+    """One Demaq node executing a declarative application."""
+
+    def __init__(self, app: Application | str,
+                 data_dir: str | None = None,
+                 clock: Clock | None = None,
+                 network: Network | None = None,
+                 name: str = "demaq",
+                 lock_granularity: str = "slice",
+                 optimize_rules: bool = True,
+                 sync_commits: bool = True,
+                 log_deletes: bool = True,
+                 buffer_capacity: int = 256,
+                 lock_timeout: float = 10.0):
+        if isinstance(app, str):
+            app = compile_application(app)
+        self.app = app
+        self.name = name
+        self.clock = clock or VirtualClock()
+        self.network = network
+        self.store = MessageStore(data_dir, buffer_capacity=buffer_capacity,
+                                  sync_commits=sync_commits,
+                                  log_deletes=log_deletes)
+        self.locks = LockManager(lock_timeout)
+        self.locking = LockingPolicy(self.locks, lock_granularity,
+                                     lock_timeout)
+        self.resolver = PropertyResolver(app)
+        self.compiled = compile_rules(app, optimize=optimize_rules)
+        self.scheduler = Scheduler(app)
+        self.executor = RuleExecutor(self)
+        self.echo = EchoService(self.clock)
+        self.collections: dict[str, list[Document]] = {
+            name: [] for name in app.collections}
+        self.unhandled_errors: list[Document] = []
+        self._pending_sends: list[int] = []
+        self._send_attempts: dict[int, int] = {}
+        self._wsdl_sources: dict[str, str] = {}
+        self._bootstrap()
+        if network is not None:
+            self._register_incoming_gateways()
+
+    # -- deployment helpers --------------------------------------------------------
+
+    def register_wsdl(self, file_name: str, source: str) -> None:
+        """Supply the content of a WSDL file referenced by a gateway."""
+        parse_wsdl(source)   # validate eagerly
+        self._wsdl_sources[file_name] = source
+
+    def load_collection(self, name: str,
+                        documents: Iterable[str | Document]) -> None:
+        """Load master data accessed via ``fn:collection`` (§3.5.2)."""
+        docs = [parse(d) if isinstance(d, str) else d for d in documents]
+        self.collections.setdefault(name, []).extend(docs)
+
+    def collection_documents(self, name: str) -> list[Document]:
+        if name not in self.collections:
+            raise DynamicError(f"no collection {name!r} is available")
+        return list(self.collections[name])
+
+    # -- external message injection ----------------------------------------------------
+
+    def enqueue(self, queue: str, body: str | Document,
+                properties: dict[str, object] | None = None) -> int:
+        """Inject a message from outside (tests, examples, drivers).
+
+        Schema violations raise synchronously — an external producer gets
+        the error directly rather than via an error queue.
+        """
+        document = parse(body) if isinstance(body, str) else body
+        txn = self.store.begin()
+        try:
+            self.executor.enqueue_in_txn(txn, queue, document,
+                                         explicit=properties)
+            self.store.commit(txn)
+        except Exception:
+            if txn.state.value == "active":
+                self.store.abort(txn)
+            raise
+        finally:
+            self.locking.release(txn.txn_id)
+        self.after_commit(txn)
+        return next(op.msg_id for op in txn.ops if isinstance(op, InsertOp))
+
+    def request(self, queue: str, body: str | Document,
+                properties: dict[str, object] | None = None
+                ) -> Optional[Document]:
+        """Synchronous request/response via connection handles (§2.2).
+
+        Enqueues the request with a fresh ``connectionHandle``, runs the
+        server to quiescence, and returns the first reply carrying the
+        same handle in an outgoing gateway queue.
+        """
+        handle = f"conn-{next(_HANDLE_COUNTER)}"
+        merged = dict(properties or {})
+        merged["connectionHandle"] = handle
+        self.enqueue(queue, body, merged)
+        self.run_until_idle()
+        for queue_def in self.app.queues.values():
+            if queue_def.kind is not QueueKind.OUTGOING_GATEWAY:
+                continue
+            for message in self.live_messages(queue_def.name):
+                if message.property("connectionHandle") == handle:
+                    return message.body
+        return None
+
+    # -- post-commit dispatch -------------------------------------------------------------
+
+    def after_commit(self, txn, trigger: Message | None = None) -> None:
+        """Register every inserted message with the right subsystem."""
+        for op in txn.ops:
+            if not isinstance(op, InsertOp) or op.msg_id is None:
+                continue
+            meta = self.store.get(op.msg_id)
+            if meta is None:
+                continue
+            queue_def = self.app.queues.get(op.queue)
+            if queue_def is None:
+                continue
+            if queue_def.kind is QueueKind.ECHO:
+                self._schedule_echo(meta)
+            elif queue_def.kind is QueueKind.OUTGOING_GATEWAY:
+                self._pending_sends.append(meta.msg_id)
+            self.scheduler.notify(meta.msg_id, meta.queue, meta.seqno)
+
+    def _schedule_echo(self, meta) -> None:
+        target = meta.properties.get("target")
+        if not isinstance(target, str) or target not in self.app.queues:
+            self._report_error(err.build_error_message(
+                err.MESSAGE,
+                f"echo message {meta.msg_id} has no valid 'target' property",
+                queue=meta.queue,
+                initial_message=Message(meta, self.store)),
+                None, meta.queue)
+            return
+        timeout = meta.properties.get("timeout", 0)
+        try:
+            seconds = cast_to_double(timeout)
+        except Exception:
+            seconds = 0.0
+        self.echo.schedule(meta.msg_id, seconds, target)
+
+    # -- the execution loop ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Do one unit of work; False when idle."""
+        msg_id = self.scheduler.next_message()
+        if msg_id is not None:
+            if not self.executor.process_message(msg_id):
+                meta = self.store.get(msg_id)
+                if meta is not None:
+                    self.scheduler.requeue(msg_id, meta.queue, meta.seqno)
+            return True
+        due = self.echo.due_deliveries()
+        if due:
+            for msg_id, target in due:
+                self._deliver_echo(msg_id, target)
+            return True
+        if self._pending_sends:
+            self._initiate_sends()
+            return True
+        if self.network is not None and self.network.pump():
+            return True
+        return False
+
+    def run_until_idle(self, max_steps: int = 1_000_000) -> int:
+        """Process work until quiescent; returns the number of steps."""
+        steps = 0
+        while steps < max_steps and self.step():
+            steps += 1
+        return steps
+
+    def advance_time(self, seconds: float) -> int:
+        """Advance the virtual clock, then drain newly due work."""
+        if isinstance(self.clock, VirtualClock):
+            self.clock.advance(seconds)
+        return self.run_until_idle()
+
+    # -- echo delivery ----------------------------------------------------------------------
+
+    def _deliver_echo(self, msg_id: int, target: str) -> None:
+        meta = self.store.get(msg_id)
+        if meta is None:
+            return
+        message = Message(meta, self.store)
+        txn = self.store.begin()
+        try:
+            explicit = self._forwardable_properties(target,
+                                                    message.properties)
+            self.executor.enqueue_in_txn(txn, target, message.body,
+                                         explicit=explicit, trigger=message)
+            txn.mark_processed(msg_id)
+            self.store.commit(txn)
+        except (PropertyError, XMLError) as exc:
+            self.store.abort(txn)
+            self.locking.release(txn.txn_id)
+            self._report_error(err.build_error_message(
+                err.MESSAGE, str(exc), queue=meta.queue,
+                initial_message=message), None, meta.queue)
+            return
+        finally:
+            if txn.state.value == "active":
+                self.store.abort(txn)
+            self.locking.release(txn.txn_id)
+        self.after_commit(txn, trigger=message)
+
+    def _forwardable_properties(self, queue: str,
+                                properties: dict[str, object]
+                                ) -> dict[str, object]:
+        """Ad-hoc properties a relay passes along (fixed ones recompute)."""
+        out = {}
+        for name, value in properties.items():
+            if name in _INTERNAL_PROPERTIES:
+                continue
+            declared = self.app.properties.get(name)
+            if declared is not None and declared.fixed:
+                continue
+            out[name] = value
+        return out
+
+    # -- gateway sending ------------------------------------------------------------------------
+
+    def _endpoint_for(self, queue_def: QueueDef) -> str | None:
+        if queue_def.endpoint:
+            return queue_def.endpoint
+        if queue_def.interface and queue_def.interface in self._wsdl_sources:
+            interface = parse_wsdl(self._wsdl_sources[queue_def.interface])
+            if queue_def.port:
+                return interface.port(queue_def.port).address
+        return None
+
+    def _initiate_sends(self) -> None:
+        pending, self._pending_sends = self._pending_sends, []
+        for msg_id in pending:
+            self._send_one(msg_id)
+
+    def _send_one(self, msg_id: int) -> None:
+        meta = self.store.get(msg_id)
+        if meta is None or meta.processed:
+            return
+        message = Message(meta, self.store)
+        queue_def = self.app.queues[meta.queue]
+        endpoint = self._endpoint_for(queue_def)
+        if self.network is None or endpoint is None:
+            self._send_failed(msg_id, err.DISCONNECTED)
+            return
+        if queue_def.interface in self._wsdl_sources and queue_def.port:
+            interface = parse_wsdl(self._wsdl_sources[queue_def.interface])
+            root = message.body.root_element
+            if root is not None and not interface.port(
+                    queue_def.port).accepts(root.name.local_name):
+                self._report_error(err.build_error_message(
+                    err.MESSAGE,
+                    f"<{root.name.local_name}> matches no operation of "
+                    f"port {queue_def.port!r}", queue=meta.queue,
+                    initial_message=message), None, meta.queue)
+                self._mark_processed(msg_id)
+                return
+        envelope = build_envelope(message.body, message.properties)
+        self.network.send(
+            endpoint, envelope, source=f"demaq://{self.name}",
+            on_delivered=lambda: self._mark_processed(msg_id),
+            on_failed=lambda marker: self._send_failed(msg_id, marker))
+
+    def _mark_processed(self, msg_id: int) -> None:
+        meta = self.store.get(msg_id)
+        if meta is None or meta.processed:
+            return
+        txn = self.store.begin()
+        txn.mark_processed(msg_id)
+        self.store.commit(txn)
+        self.locking.release(txn.txn_id)
+
+    def _send_failed(self, msg_id: int, marker: str) -> None:
+        meta = self.store.get(msg_id)
+        if meta is None:
+            return
+        queue_def = self.app.queues[meta.queue]
+        attempts = self._send_attempts.get(msg_id, 0) + 1
+        self._send_attempts[msg_id] = attempts
+        if queue_def.uses_extension("WS-ReliableMessaging") \
+                and attempts < _MAX_RELIABLE_ATTEMPTS:
+            self._pending_sends.append(msg_id)   # retry on the next pump
+            return
+        message = Message(meta, self.store)
+        self._report_error(err.build_error_message(
+            err.NETWORK, f"delivery to remote endpoint failed ({marker})",
+            queue=meta.queue, marker=marker, initial_message=message),
+            None, meta.queue)
+        self._mark_processed(msg_id)
+
+    def _register_incoming_gateways(self) -> None:
+        for queue_def in self.app.queues.values():
+            if queue_def.kind is not QueueKind.INCOMING_GATEWAY:
+                continue
+            endpoint = queue_def.endpoint or \
+                f"demaq://{self.name}/{queue_def.name}"
+            self.network.register(
+                endpoint,
+                lambda envelope, source, q=queue_def.name:
+                    self._receive(q, envelope, source))
+
+    def _receive(self, queue: str, envelope: Document, source: str) -> None:
+        body, properties = parse_envelope(envelope)
+        explicit = self._forwardable_properties(queue, properties)
+        txn = self.store.begin()
+        try:
+            self.executor.enqueue_in_txn(
+                txn, queue, body, explicit=explicit,
+                system_extra={"Sender": source})
+            self.store.commit(txn)
+        except (PropertyError, XMLError) as exc:
+            self.store.abort(txn)
+            self.locking.release(txn.txn_id)
+            self._report_error(err.build_error_message(
+                err.MESSAGE, str(exc), queue=queue, initial_message=body),
+                None, queue)
+            return
+        finally:
+            if txn.state.value == "active":
+                self.store.abort(txn)
+            self.locking.release(txn.txn_id)
+        self.after_commit(txn)
+
+    # -- error reporting outside a rule transaction ------------------------------------------------
+
+    def _report_error(self, document: Document, rule_name: str | None,
+                      queue_name: str | None) -> None:
+        target = err.resolve_error_queue(self.app, rule_name, queue_name)
+        if target is None:
+            self.unhandled_errors.append(document)
+            return
+        txn = self.store.begin()
+        try:
+            self.executor.enqueue_in_txn(txn, target, document)
+            self.store.commit(txn)
+        finally:
+            if txn.state.value == "active":
+                self.store.abort(txn)
+            self.locking.release(txn.txn_id)
+        self.after_commit(txn)
+
+    # -- accessors --------------------------------------------------------------------------------------
+
+    def live_messages(self, queue: str) -> list[Message]:
+        """All retained messages of a queue (processed and not), in order."""
+        return [Message(meta, self.store)
+                for meta in self.store.queue_messages(queue)]
+
+    def slice_live_messages(self, slicing: str, key: object
+                            ) -> list[Message]:
+        return [Message(meta, self.store)
+                for meta in self.store.slice_messages(slicing, key)]
+
+    def queue_documents(self, queue: str) -> list[Document]:
+        return [m.body for m in self.live_messages(queue)]
+
+    def queue_texts(self, queue: str) -> list[str]:
+        return [m.body_text() for m in self.live_messages(queue)]
+
+    # -- maintenance -------------------------------------------------------------------------------------
+
+    def collect_garbage(self) -> int:
+        return self.store.collect_garbage()
+
+    def checkpoint(self) -> None:
+        self.store.checkpoint()
+
+    def crash_and_recover(self) -> None:
+        """Test/bench hook: lose volatile state, then run recovery."""
+        self.store.simulate_crash()
+        self.store.recover()
+        self.scheduler = Scheduler(self.app)
+        self.echo = EchoService(self.clock)
+        self._pending_sends.clear()
+        self._send_attempts.clear()
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Register every unprocessed message after startup/recovery."""
+        for meta in self.store.unprocessed_messages():
+            queue_def = self.app.queues.get(meta.queue)
+            if queue_def is None:
+                continue
+            if queue_def.kind is QueueKind.ECHO:
+                self._reschedule_recovered_echo(meta)
+            elif queue_def.kind is QueueKind.OUTGOING_GATEWAY:
+                # at-least-once resend across failures (WS-RM semantics)
+                self._pending_sends.append(meta.msg_id)
+            else:
+                self.scheduler.notify(meta.msg_id, meta.queue, meta.seqno)
+
+    def _reschedule_recovered_echo(self, meta) -> None:
+        target = meta.properties.get("target")
+        if not isinstance(target, str):
+            return
+        created = meta.properties.get("creationTime")
+        timeout = meta.properties.get("timeout", 0)
+        try:
+            seconds = cast_to_double(timeout)
+        except Exception:
+            seconds = 0.0
+        if isinstance(created, XSDateTime):
+            remaining = created.epoch() + seconds - self.clock.now()
+        else:
+            remaining = seconds
+        self.echo.schedule(meta.msg_id, max(0.0, remaining), target)
+
+    def close(self) -> None:
+        self.store.close()
+
+
+def run_cluster(servers: Iterable[DemaqServer], max_rounds: int = 10_000
+                ) -> None:
+    """Run several connected servers until the whole system is idle."""
+    servers = list(servers)
+    for _ in range(max_rounds):
+        if not any(server.step() for server in servers):
+            return
+    raise err.EngineError("cluster did not quiesce")

@@ -1,0 +1,11 @@
+"""Simulated network: transport, SOAP envelopes, WSDL-lite interfaces."""
+
+from .soap import build_envelope, parse_envelope
+from .transport import Network
+from .wsdl import Operation, Port, WSDLError, WSDLInterface, parse_wsdl
+
+__all__ = [
+    "build_envelope", "parse_envelope",
+    "Network",
+    "Operation", "Port", "WSDLError", "WSDLInterface", "parse_wsdl",
+]

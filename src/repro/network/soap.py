@@ -1,0 +1,62 @@
+"""SOAP-style envelopes for gateway traffic (paper §4.2).
+
+Demaq "provides SOAP bindings to transport protocols such as HTTP and
+SMTP".  The simulated transport carries the same structure: an Envelope
+with a Header holding message properties and a Body holding the payload.
+"""
+
+from __future__ import annotations
+
+from ..storage.store import decode_value, encode_value
+from ..xmldm import Document, Element, Text, deep_copy
+
+ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+
+def build_envelope(body: Document, properties: dict[str, object]
+                   ) -> Document:
+    """Wrap a message body and its transport properties."""
+    header = Element("Header")
+    for name, value in sorted(properties.items()):
+        tag, lexical = encode_value(value)
+        header.append(Element("property", children=[
+            Element("name", children=[Text(name)]),
+            Element("type", children=[Text(tag)]),
+            Element("value", children=[Text(str(lexical))]),
+        ]))
+    body_wrapper = Element("Body")
+    root = body.root_element
+    if root is not None:
+        body_wrapper.append(deep_copy(root))
+    envelope = Element("Envelope", namespaces={"soap": ENVELOPE_NS},
+                       children=[header, body_wrapper])
+    return Document([envelope])
+
+
+def parse_envelope(envelope: Document) -> tuple[Document, dict[str, object]]:
+    """Unwrap an envelope into (body document, properties)."""
+    root = envelope.root_element
+    if root is None or root.name.local_name != "Envelope":
+        raise ValueError("not a SOAP envelope")
+    properties: dict[str, object] = {}
+    header = root.first_child("Header")
+    if header is not None:
+        for prop in header.child_elements("property"):
+            name = prop.first_child("name")
+            tag = prop.first_child("type")
+            value = prop.first_child("value")
+            if name is None or tag is None or value is None:
+                raise ValueError("malformed envelope property")
+            raw: object = value.text
+            if tag.text in ("i",):
+                raw = int(value.text)
+            elif tag.text == "f":
+                raw = float(value.text)
+            elif tag.text == "b":
+                raw = value.text in ("True", "true", "1")
+            properties[name.text] = decode_value([tag.text, raw])
+    body_wrapper = root.first_child("Body")
+    body = Document()
+    if body_wrapper is not None and body_wrapper.child_elements():
+        body.append(deep_copy(body_wrapper.child_elements()[0]))
+    return body, properties

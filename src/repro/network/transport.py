@@ -1,0 +1,127 @@
+"""The simulated transport network.
+
+Substitutes for the real TCP/HTTP/SMTP stack (see DESIGN.md §2): an
+in-process registry of endpoints with configurable latency and
+deterministic failure injection.  Deliveries are scheduled against the
+server clock and released by ``pump()`` — so network behaviour composes
+with virtual time and stays reproducible.
+
+Failure modes mirror the paper's §3.6 taxonomy of network errors:
+endpoints can be *down* (→ ``disconnectedTransport``), individual sends
+can be told to fail, and a random drop rate models lossy links for the
+reliable-messaging benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..queues.timers import Clock
+from ..xmldm import Document
+
+#: handler(envelope, source_endpoint) — registered per endpoint.
+Handler = Callable[[Document, str], None]
+#: callbacks for the sender
+OnDelivered = Callable[[], None]
+OnFailed = Callable[[str], None]   # receives a failure marker name
+
+
+@dataclass(order=True)
+class _InFlight:
+    due: float
+    order: int
+    envelope: Document = field(compare=False)
+    endpoint: str = field(compare=False)
+    source: str = field(compare=False)
+    on_delivered: Optional[OnDelivered] = field(compare=False, default=None)
+    on_failed: Optional[OnFailed] = field(compare=False, default=None)
+
+
+class Network:
+    """Endpoint registry plus a latency/failure simulator."""
+
+    def __init__(self, clock: Clock, latency: float = 0.0,
+                 drop_rate: float = 0.0, seed: int = 7):
+        self.clock = clock
+        self.latency = latency
+        self.drop_rate = drop_rate
+        self._random = random.Random(seed)
+        self._handlers: dict[str, Handler] = {}
+        self._down: set[str] = set()
+        self._fail_next: dict[str, int] = {}
+        self._in_flight: list[_InFlight] = []
+        self._order = itertools.count()
+        self.sent = 0
+        self.delivered = 0
+        self.failed = 0
+
+    # -- topology ------------------------------------------------------------------
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        if endpoint in self._handlers:
+            raise ValueError(f"endpoint {endpoint!r} already registered")
+        self._handlers[endpoint] = handler
+
+    def unregister(self, endpoint: str) -> None:
+        self._handlers.pop(endpoint, None)
+
+    def set_down(self, endpoint: str, down: bool = True) -> None:
+        if down:
+            self._down.add(endpoint)
+        else:
+            self._down.discard(endpoint)
+
+    def fail_next(self, endpoint: str, count: int = 1) -> None:
+        """Force the next *count* sends to this endpoint to fail."""
+        self._fail_next[endpoint] = self._fail_next.get(endpoint, 0) + count
+
+    # -- sending ----------------------------------------------------------------------
+
+    def send(self, endpoint: str, envelope: Document, source: str = "",
+             on_delivered: OnDelivered | None = None,
+             on_failed: OnFailed | None = None) -> None:
+        """Queue a delivery; outcome is decided when it comes due."""
+        self.sent += 1
+        due = self.clock.now() + self.latency
+        heapq.heappush(self._in_flight,
+                       _InFlight(due, next(self._order), envelope, endpoint,
+                                 source, on_delivered, on_failed))
+
+    def pump(self, now: float | None = None) -> int:
+        """Deliver (or fail) every due in-flight message; returns count."""
+        now = self.clock.now() if now is None else now
+        handled = 0
+        while self._in_flight and self._in_flight[0].due <= now:
+            entry = heapq.heappop(self._in_flight)
+            handled += 1
+            self._complete(entry)
+        return handled
+
+    def pending(self) -> int:
+        return len(self._in_flight)
+
+    def _complete(self, entry: _InFlight) -> None:
+        endpoint = entry.endpoint
+        if self._fail_next.get(endpoint, 0) > 0:
+            self._fail_next[endpoint] -= 1
+            self._fail(entry, "deliveryTimeout")
+            return
+        if endpoint in self._down or endpoint not in self._handlers:
+            self._fail(entry, "disconnectedTransport")
+            return
+        if self.drop_rate and self._random.random() < self.drop_rate:
+            self._fail(entry, "deliveryTimeout")
+            return
+        self._handlers[endpoint](entry.envelope, entry.source)
+        self.delivered += 1
+        if entry.on_delivered is not None:
+            entry.on_delivered()
+
+    def _fail(self, entry: _InFlight, marker: str) -> None:
+        self.failed += 1
+        if entry.on_failed is not None:
+            entry.on_failed(marker)

@@ -1,0 +1,91 @@
+"""WSDL-lite interface descriptors (paper §2.1.2).
+
+``create queue … interface supplier.wsdl port CapacityRequestPort``
+imports a service interface.  We implement a compact WSDL dialect
+(services → ports → operations with input element names and an address)
+sufficient to (a) resolve a gateway's remote endpoint and (b) check that
+outgoing messages match a declared operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xmldm import Document, parse
+
+
+class WSDLError(Exception):
+    """Malformed interface description or unknown port."""
+
+
+@dataclass
+class Operation:
+    name: str
+    input_element: str
+
+
+@dataclass
+class Port:
+    name: str
+    address: str
+    operations: dict[str, Operation] = field(default_factory=dict)
+
+    def accepts(self, root_element: str) -> bool:
+        return any(op.input_element == root_element
+                   for op in self.operations.values())
+
+
+@dataclass
+class WSDLInterface:
+    """A parsed interface: named ports with operations."""
+
+    name: str
+    ports: dict[str, Port] = field(default_factory=dict)
+
+    def port(self, name: str) -> Port:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise WSDLError(
+                f"interface {self.name!r} has no port {name!r} "
+                f"(available: {sorted(self.ports)})") from None
+
+
+def parse_wsdl(source: str | Document) -> WSDLInterface:
+    """Parse the compact WSDL dialect.
+
+    >>> wsdl = parse_wsdl('''
+    ...   <definitions name="supplier">
+    ...     <port name="CapacityRequestPort"
+    ...           address="demaq://supplier/requests">
+    ...       <operation name="checkCapacity" input="plantCapacityInfo"/>
+    ...     </port>
+    ...   </definitions>''')
+    >>> wsdl.port("CapacityRequestPort").accepts("plantCapacityInfo")
+    True
+    """
+    document = parse(source) if isinstance(source, str) else source
+    root = document.root_element
+    if root is None or root.name.local_name != "definitions":
+        raise WSDLError("interface description must have a "
+                        "<definitions> root")
+    interface = WSDLInterface(root.attribute_value("name") or "")
+    for port_el in root.child_elements("port"):
+        name = port_el.attribute_value("name")
+        address = port_el.attribute_value("address")
+        if not name or not address:
+            raise WSDLError("port needs name and address attributes")
+        port = Port(name, address)
+        for op_el in port_el.child_elements("operation"):
+            op_name = op_el.attribute_value("name")
+            input_el = op_el.attribute_value("input")
+            if not op_name or not input_el:
+                raise WSDLError(
+                    f"operation in port {name!r} needs name and input")
+            port.operations[op_name] = Operation(op_name, input_el)
+        if name in interface.ports:
+            raise WSDLError(f"duplicate port {name!r}")
+        interface.ports[name] = port
+    if not interface.ports:
+        raise WSDLError("interface declares no ports")
+    return interface

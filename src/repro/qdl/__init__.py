@@ -1,0 +1,39 @@
+"""QDL/QML: the Demaq application language compiler.
+
+``compile_application`` is the one-stop entry: parse + validate.
+"""
+
+from __future__ import annotations
+
+from .model import (Application, CollectionDef, ExtensionUse, PropertyBinding,
+                    PropertyDef, QueueDef, QueueKind, QueueMode, RuleDef,
+                    SlicingDef)
+from .parser import parse_qdl
+from .validator import SYSTEM_PROPERTIES, ValidationError, validate
+
+
+def compile_application(source: str,
+                        namespaces: dict[str, str] | None = None
+                        ) -> Application:
+    """Compile and validate a QDL module.
+
+    >>> app = compile_application('''
+    ...     create queue crm kind basic mode persistent;
+    ...     create rule r1 for crm
+    ...         if (//ping) then do enqueue <pong/> into crm
+    ... ''')
+    >>> app.rule_names()
+    ['r1']
+    """
+    app = parse_qdl(source, namespaces)
+    validate(app)
+    return app
+
+
+__all__ = [
+    "Application", "CollectionDef", "ExtensionUse", "PropertyBinding",
+    "PropertyDef", "QueueDef", "QueueKind", "QueueMode", "RuleDef",
+    "SlicingDef",
+    "parse_qdl", "validate", "ValidationError", "SYSTEM_PROPERTIES",
+    "compile_application",
+]

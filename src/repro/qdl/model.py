@@ -1,0 +1,166 @@
+"""The application model produced by the QDL compiler.
+
+A Demaq application (paper Fig. 1) is a set of queue definitions,
+property definitions, slicings, and rules.  These dataclasses are the
+compiled, name-resolved form the engine deploys; each keeps the original
+source text of embedded expressions for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..xmldm.schema import Schema
+from ..xquery import ast
+
+
+class QueueKind(str, Enum):
+    """The queue kinds of paper §2.1."""
+
+    BASIC = "basic"
+    INCOMING_GATEWAY = "incomingGateway"
+    OUTGOING_GATEWAY = "outgoingGateway"
+    ECHO = "echo"
+
+
+class QueueMode(str, Enum):
+    """Persistent queues survive crashes; transient queues may lose data."""
+
+    PERSISTENT = "persistent"
+    TRANSIENT = "transient"
+
+
+@dataclass
+class ExtensionUse:
+    """A ``using <extension> policy <file>`` clause (WS-RM, WS-Security…)."""
+
+    name: str
+    policy: str
+
+
+@dataclass
+class QueueDef:
+    """One ``create queue`` statement."""
+
+    name: str
+    kind: QueueKind
+    mode: QueueMode
+    priority: int = 0
+    schema_source: Optional[str] = None
+    schema: Optional[Schema] = None
+    interface: Optional[str] = None
+    port: Optional[str] = None
+    extensions: list[ExtensionUse] = field(default_factory=list)
+    error_queue: Optional[str] = None
+    endpoint: Optional[str] = None     # remote address for gateway queues
+
+    @property
+    def is_gateway(self) -> bool:
+        return self.kind in (QueueKind.INCOMING_GATEWAY,
+                             QueueKind.OUTGOING_GATEWAY)
+
+    @property
+    def persistent(self) -> bool:
+        return self.mode is QueueMode.PERSISTENT
+
+    def uses_extension(self, name: str) -> bool:
+        return any(e.name == name for e in self.extensions)
+
+
+@dataclass
+class PropertyBinding:
+    """One ``queue a, b value <expr>`` clause of a property definition."""
+
+    queues: list[str]
+    value_source: str
+    value: ast.Expr
+
+
+@dataclass
+class PropertyDef:
+    """One ``create property`` statement (paper §2.2).
+
+    Value resolution per message, in priority order:
+
+    1. *fixed* properties always take the computed value (explicit
+       setting is a deployment error, enforced at runtime);
+    2. an explicit ``with name value`` on the enqueue;
+    3. an inherited value from the triggering message (``inherited``);
+    4. the computed/default value expression bound to the target queue;
+    5. otherwise the property is absent.
+    """
+
+    name: str
+    type_name: str = "xs:string"
+    inherited: bool = False
+    fixed: bool = False
+    bindings: list[PropertyBinding] = field(default_factory=list)
+
+    def binding_for(self, queue: str) -> Optional[PropertyBinding]:
+        for binding in self.bindings:
+            if queue in binding.queues:
+                return binding
+        return None
+
+    def defined_on(self, queue: str) -> bool:
+        return self.binding_for(queue) is not None
+
+
+@dataclass
+class SlicingDef:
+    """One ``create slicing <name> on <property>`` statement (§2.3.1)."""
+
+    name: str
+    property_name: str
+
+
+@dataclass
+class RuleDef:
+    """One ``create rule`` statement: an updating expression on a target.
+
+    The target is either a physical queue or a slicing (in which case the
+    rule fires for every slice of that slicing, §3.5.1).
+    """
+
+    name: str
+    target: str
+    body_source: str
+    body: ast.Expr
+    error_queue: Optional[str] = None
+
+
+@dataclass
+class CollectionDef:
+    """A named master-data collection (accessed via fn:collection, §3.5.2)."""
+
+    name: str
+
+
+@dataclass
+class Application:
+    """A complete compiled Demaq application."""
+
+    queues: dict[str, QueueDef] = field(default_factory=dict)
+    properties: dict[str, PropertyDef] = field(default_factory=dict)
+    slicings: dict[str, SlicingDef] = field(default_factory=dict)
+    rules: list[RuleDef] = field(default_factory=list)
+    collections: dict[str, CollectionDef] = field(default_factory=dict)
+    system_error_queue: Optional[str] = None
+
+    def rules_for(self, target: str) -> list[RuleDef]:
+        """Rules attached to a queue or slicing, in definition order."""
+        return [rule for rule in self.rules if rule.target == target]
+
+    def slicings_on_queue(self, queue: str) -> list[SlicingDef]:
+        """Slicings whose property is defined on *queue*."""
+        out = []
+        for slicing in self.slicings.values():
+            prop = self.properties.get(slicing.property_name)
+            if prop is not None and prop.defined_on(queue):
+                out.append(slicing)
+        return out
+
+    def rule_names(self) -> list[str]:
+        return [rule.name for rule in self.rules]

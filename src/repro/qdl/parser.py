@@ -1,0 +1,207 @@
+"""Parser for QDL statements (``create queue|property|slicing|rule|...``).
+
+Reuses the XQuery lexer/parser: property value expressions and rule
+bodies are parsed in-place with the shared recursive-descent machinery,
+so a QDL module is a single token stream — no fragile regex splitting.
+Statements may optionally be separated by ``;``.
+"""
+
+from __future__ import annotations
+
+from ..xquery.errors import StaticError
+from ..xquery.lexer import EOF, INTEGER, NAME, STRING, SYMBOL
+from ..xquery.parser import Parser
+from .model import (Application, CollectionDef, ExtensionUse, PropertyBinding,
+                    PropertyDef, QueueDef, QueueKind, QueueMode, RuleDef,
+                    SlicingDef)
+
+_QUEUE_KINDS = {kind.value: kind for kind in QueueKind}
+_QUEUE_MODES = {mode.value: mode for mode in QueueMode}
+
+
+class QDLParser(Parser):
+    """Extends the expression parser with statement productions."""
+
+    def parse_module(self) -> Application:
+        app = Application()
+        while True:
+            while self.current.is_symbol(";"):
+                self.advance()
+            if self.current.type == EOF:
+                return app
+            self.parse_statement(app)
+
+    def parse_statement(self, app: Application) -> None:
+        self.expect_name("create")
+        token = self.current
+        if token.is_name("queue"):
+            self.advance()
+            queue = self.parse_queue()
+            self._define(app.queues, queue.name, queue, "queue")
+        elif token.is_name("property"):
+            self.advance()
+            prop = self.parse_property()
+            self._define(app.properties, prop.name, prop, "property")
+        elif token.is_name("slicing"):
+            self.advance()
+            slicing = self.parse_slicing()
+            self._define(app.slicings, slicing.name, slicing, "slicing")
+        elif token.is_name("rule"):
+            self.advance()
+            app.rules.append(self.parse_rule(app))
+        elif token.is_name("collection"):
+            self.advance()
+            name = self.expect_qname()
+            self._define(app.collections, name, CollectionDef(name),
+                         "collection")
+        elif token.is_name("errorqueue"):
+            # module-level default error queue: `create errorqueue <name>`
+            self.advance()
+            app.system_error_queue = self.expect_qname()
+        else:
+            raise self.error(
+                "expected 'queue', 'property', 'slicing', 'rule', "
+                "'collection', or 'errorqueue'")
+
+    def _define(self, table: dict, name: str, value, what: str) -> None:
+        if name in table:
+            raise self.error(f"duplicate {what} definition {name!r}")
+        table[name] = value
+
+    # -- create queue -------------------------------------------------------
+
+    def parse_queue(self) -> QueueDef:
+        name = self.expect_qname()
+        self.expect_name("kind")
+        kind_token = self.expect_qname()
+        try:
+            kind = _QUEUE_KINDS[kind_token]
+        except KeyError:
+            raise self.error(
+                f"unknown queue kind {kind_token!r} "
+                f"(expected one of {sorted(_QUEUE_KINDS)})") from None
+        self.expect_name("mode")
+        mode_token = self.expect_qname()
+        try:
+            mode = _QUEUE_MODES[mode_token]
+        except KeyError:
+            raise self.error(
+                f"unknown queue mode {mode_token!r} "
+                f"(expected persistent or transient)") from None
+        queue = QueueDef(name, kind, mode)
+
+        while True:
+            token = self.current
+            if token.is_name("priority"):
+                self.advance()
+                sign = 1
+                if self.current.is_symbol("-"):
+                    self.advance()
+                    sign = -1
+                if self.current.type != INTEGER:
+                    raise self.error("expected an integer priority")
+                queue.priority = sign * int(self.advance().value)
+            elif token.is_name("schema"):
+                self.advance()
+                if self.current.type != STRING:
+                    raise self.error("expected a schema string literal")
+                queue.schema_source = self.advance().value
+            elif token.is_name("interface"):
+                self.advance()
+                queue.interface = self._file_or_name()
+                self.expect_name("port")
+                queue.port = self.expect_qname()
+            elif token.is_name("using"):
+                self.advance()
+                extension = self.expect_qname()
+                self.expect_name("policy")
+                queue.extensions.append(
+                    ExtensionUse(extension, self._file_or_name()))
+            elif token.is_name("errorqueue"):
+                self.advance()
+                queue.error_queue = self.expect_qname()
+            elif token.is_name("endpoint"):
+                self.advance()
+                if self.current.type == STRING:
+                    queue.endpoint = self.advance().value
+                else:
+                    queue.endpoint = self.expect_qname()
+            else:
+                return queue
+
+    def _file_or_name(self) -> str:
+        if self.current.type == STRING:
+            return self.advance().value
+        if self.current.type == NAME:
+            return self.advance().value
+        raise self.error("expected a file name")
+
+    # -- create property -----------------------------------------------------
+
+    def parse_property(self) -> PropertyDef:
+        name = self.expect_qname()
+        self.expect_name("as")
+        type_name = self.expect_qname()
+        prop = PropertyDef(name, type_name)
+        while self.current.is_name("inherited", "fixed"):
+            flag = self.advance().value
+            if flag == "inherited":
+                prop.inherited = True
+            else:
+                prop.fixed = True
+        while self.current.is_name("queue"):
+            self.advance()
+            queues = [self.expect_qname()]
+            while self.current.is_symbol(","):
+                self.advance()
+                queues.append(self.expect_qname())
+            self.expect_name("value")
+            start = self.current.start
+            value = self.parse_expr_single()
+            source = self.lexer.text[start:self._previous_end()].strip()
+            prop.bindings.append(PropertyBinding(queues, source, value))
+        if not prop.bindings:
+            raise self.error(
+                f"property {name!r} needs at least one 'queue … value …' "
+                "binding")
+        return prop
+
+    def _previous_end(self) -> int:
+        # The current token starts after the expression just parsed.
+        return self.current.start
+
+    # -- create slicing --------------------------------------------------------
+
+    def parse_slicing(self) -> SlicingDef:
+        name = self.expect_qname()
+        self.expect_name("on")
+        property_name = self.expect_qname()
+        return SlicingDef(name, property_name)
+
+    # -- create rule -------------------------------------------------------------
+
+    def parse_rule(self, app: Application) -> RuleDef:
+        name = self.expect_qname()
+        self.expect_name("for")
+        target = self.expect_qname()
+        error_queue = None
+        if self.current.is_name("errorqueue"):
+            self.advance()
+            error_queue = self.expect_qname()
+        start = self.current.start
+        body = self.parse_expr_single()
+        source = self.lexer.text[start:self._previous_end()].strip()
+        if any(rule.name == name for rule in app.rules):
+            raise self.error(f"duplicate rule definition {name!r}")
+        return RuleDef(name, target, source, body, error_queue)
+
+
+def parse_qdl(text: str,
+              namespaces: dict[str, str] | None = None) -> Application:
+    """Parse a QDL module into an (unvalidated) :class:`Application`.
+
+    >>> app = parse_qdl("create queue crm kind basic mode persistent")
+    >>> app.queues["crm"].persistent
+    True
+    """
+    return QDLParser(text, namespaces).parse_module()

@@ -1,0 +1,150 @@
+"""Static validation of compiled applications.
+
+The paper (§3.6) distinguishes compile-time detectable errors from
+runtime errors; this pass catches everything that can be caught before
+deployment: dangling names, slice functions outside slicing rules,
+schema problems, and the WS-ReliableMessaging persistence constraint
+(§2.1.2: "the created queue must be persistent").
+"""
+
+from __future__ import annotations
+
+from ..xmldm.schema import SchemaError, compile_schema
+from ..xquery import ast
+from ..xquery.errors import StaticError
+from .model import Application, QueueKind
+
+#: Property names reserved for the system (paper §2.2 "System" values).
+SYSTEM_PROPERTIES = frozenset({
+    "messageID", "creationTime", "creatingRule", "sourceQueue",
+    "Sender", "Recipient", "connectionHandle", "timeout", "target",
+})
+
+
+class ValidationError(StaticError):
+    """A static application error, with every finding in the message."""
+
+    def __init__(self, findings: list[str]):
+        self.findings = findings
+        summary = "; ".join(findings)
+        super().__init__(f"invalid application: {summary}")
+
+
+def validate(app: Application) -> None:
+    """Raise :class:`ValidationError` if *app* is not deployable."""
+    findings: list[str] = []
+    _check_queues(app, findings)
+    _check_properties(app, findings)
+    _check_slicings(app, findings)
+    _check_rules(app, findings)
+    if app.system_error_queue and app.system_error_queue not in app.queues:
+        findings.append(
+            f"system error queue {app.system_error_queue!r} is not defined")
+    if findings:
+        raise ValidationError(findings)
+
+
+def _check_queues(app: Application, findings: list[str]) -> None:
+    for queue in app.queues.values():
+        if queue.schema_source is not None:
+            try:
+                queue.schema = compile_schema(queue.schema_source)
+            except (SchemaError, Exception) as exc:  # parse errors too
+                if not isinstance(exc, (SchemaError,)) and \
+                        type(exc).__name__ != "XMLParseError":
+                    raise
+                findings.append(
+                    f"queue {queue.name!r}: bad schema ({exc})")
+        if queue.error_queue and queue.error_queue not in app.queues:
+            findings.append(
+                f"queue {queue.name!r}: error queue "
+                f"{queue.error_queue!r} is not defined")
+        if queue.uses_extension("WS-ReliableMessaging") and not queue.persistent:
+            findings.append(
+                f"queue {queue.name!r}: WS-ReliableMessaging requires a "
+                "persistent queue")
+        if queue.is_gateway and queue.interface is None \
+                and queue.endpoint is None:
+            findings.append(
+                f"gateway queue {queue.name!r} needs an interface or "
+                "endpoint")
+        if not queue.is_gateway and (queue.interface or queue.extensions):
+            findings.append(
+                f"queue {queue.name!r}: interface/extension clauses are "
+                "only valid on gateway queues")
+
+
+def _check_properties(app: Application, findings: list[str]) -> None:
+    for prop in app.properties.values():
+        if prop.name in SYSTEM_PROPERTIES:
+            findings.append(
+                f"property {prop.name!r} shadows a system property")
+        for binding in prop.bindings:
+            for queue in binding.queues:
+                if queue not in app.queues:
+                    findings.append(
+                        f"property {prop.name!r}: queue {queue!r} is not "
+                        "defined")
+
+
+def _check_slicings(app: Application, findings: list[str]) -> None:
+    for slicing in app.slicings.values():
+        if slicing.name in app.queues:
+            findings.append(
+                f"slicing {slicing.name!r} collides with a queue name")
+        if slicing.property_name not in app.properties:
+            findings.append(
+                f"slicing {slicing.name!r}: property "
+                f"{slicing.property_name!r} is not defined")
+
+
+def _check_rules(app: Application, findings: list[str]) -> None:
+    seen: set[str] = set()
+    for rule in app.rules:
+        if rule.name in seen:
+            findings.append(f"duplicate rule name {rule.name!r}")
+        seen.add(rule.name)
+
+        on_slicing = rule.target in app.slicings
+        if not on_slicing and rule.target not in app.queues:
+            findings.append(
+                f"rule {rule.name!r}: target {rule.target!r} is neither a "
+                "queue nor a slicing")
+        if rule.error_queue and rule.error_queue not in app.queues:
+            findings.append(
+                f"rule {rule.name!r}: error queue {rule.error_queue!r} is "
+                "not defined")
+
+        for node in ast.walk(rule.body):
+            if isinstance(node, ast.FunctionCall):
+                if node.name in ("qs:slice", "qs:slicekey") and not on_slicing:
+                    findings.append(
+                        f"rule {rule.name!r}: {node.name}() is only "
+                        "available in rules on slicings (paper §3.5.2)")
+            if isinstance(node, ast.EnqueueExpr):
+                if node.queue not in app.queues:
+                    findings.append(
+                        f"rule {rule.name!r}: enqueue into unknown queue "
+                        f"{node.queue!r}")
+                else:
+                    target = app.queues[node.queue]
+                    if target.kind is QueueKind.INCOMING_GATEWAY:
+                        findings.append(
+                            f"rule {rule.name!r}: cannot enqueue into "
+                            f"incoming gateway {node.queue!r}")
+                for prop_name, _ in node.properties:
+                    fixed = app.properties.get(prop_name)
+                    if fixed is not None and fixed.fixed:
+                        findings.append(
+                            f"rule {rule.name!r}: property {prop_name!r} is "
+                            "fixed and may not be set explicitly")
+            if isinstance(node, ast.ResetExpr):
+                if node.slicing is None and not on_slicing:
+                    findings.append(
+                        f"rule {rule.name!r}: bare 'do reset' is only "
+                        "available in rules on slicings")
+                if node.slicing is not None \
+                        and node.slicing not in app.slicings:
+                    findings.append(
+                        f"rule {rule.name!r}: reset of unknown slicing "
+                        f"{node.slicing!r}")

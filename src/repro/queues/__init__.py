@@ -1,0 +1,11 @@
+"""Queue runtime: messages, property resolution, clocks and echo timers."""
+
+from .message import Message
+from .properties import PropertyError, PropertyResolver
+from .timers import Clock, EchoService, RealClock, VirtualClock
+
+__all__ = [
+    "Message",
+    "PropertyError", "PropertyResolver",
+    "Clock", "EchoService", "RealClock", "VirtualClock",
+]

@@ -1,0 +1,65 @@
+"""Runtime message objects.
+
+A :class:`Message` wraps a catalog entry from the store and parses its
+body on first access (messages are append-only, so the parse can be
+cached safely).  Everything rules see — ``qs:message()``, ``qs:queue()``,
+``qs:slice()`` — goes through these wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..xmldm import Document, parse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage import MessageStore, StoredMessage
+
+
+class Message:
+    """A live message: metadata plus lazily-parsed XML body."""
+
+    __slots__ = ("meta", "_store", "_body")
+
+    def __init__(self, meta: "StoredMessage", store: "MessageStore"):
+        self.meta = meta
+        self._store = store
+        self._body: Optional[Document] = None
+
+    @property
+    def msg_id(self) -> int:
+        return self.meta.msg_id
+
+    @property
+    def queue(self) -> str:
+        return self.meta.queue
+
+    @property
+    def seqno(self) -> int:
+        return self.meta.seqno
+
+    @property
+    def processed(self) -> bool:
+        return self.meta.processed
+
+    @property
+    def properties(self) -> dict[str, object]:
+        return self.meta.properties
+
+    @property
+    def body(self) -> Document:
+        if self._body is None:
+            raw = self._store.body_bytes(self.msg_id)
+            self._body = parse(raw.decode("utf-8"))
+        return self._body
+
+    # Defined after the decorated members: the method name shadows the
+    # builtin ``property`` for the rest of the class body.
+    def property(self, name: str) -> object | None:
+        return self.meta.properties.get(name)
+
+    def body_text(self) -> str:
+        return self._store.body_bytes(self.msg_id).decode("utf-8")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Message {self.msg_id} in {self.queue!r}>"

@@ -1,0 +1,127 @@
+"""Message property resolution (paper §2.2).
+
+Properties are key/value pairs "determined during message creation and
+remain fixed over the message's lifetime".  Four sources, resolved here
+in the order the paper implies:
+
+* **fixed/computed** — a *fixed* property always takes its computed value
+  (explicit settings are rejected at compile time; a runtime attempt is a
+  property error);
+* **explicit** — a ``with name value expr`` clause on the enqueue;
+* **inherited** — copied from the triggering message if the property is
+  declared ``inherited``;
+* **computed default** — the ``queue … value <expr>`` expression evaluated
+  against the new message's body.
+
+System properties (``creationTime``, ``creatingRule``, ``sourceQueue``,
+``Sender``, ``connectionHandle`` …) are merged in by the executor and the
+gateway subsystem and cannot be shadowed (enforced by the validator).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..qdl.model import Application
+from ..xmldm import Document
+from ..xquery import DynamicContext, evaluate
+from ..xquery.atomics import UntypedAtomic, cast_atomic
+from ..xquery.errors import XQueryError
+from ..xquery.sequence import atomize
+
+
+class PropertyError(Exception):
+    """A property could not be established for a new message."""
+
+
+class PropertyResolver:
+    """Computes the full property set of a message entering a queue."""
+
+    def __init__(self, app: Application):
+        self.app = app
+
+    def resolve(self, queue: str, body: Document,
+                explicit: dict[str, object] | None = None,
+                trigger_properties: dict[str, object] | None = None,
+                system: dict[str, object] | None = None
+                ) -> dict[str, object]:
+        """The property dict for a new message.
+
+        *explicit* comes from ``with`` clauses, *trigger_properties* from
+        the message whose processing created this one, *system* from the
+        engine (clock, rule name, transport metadata).
+        """
+        explicit = dict(explicit or {})
+        trigger_properties = trigger_properties or {}
+        resolved: dict[str, object] = {}
+
+        for prop in self.app.properties.values():
+            binding = prop.binding_for(queue)
+            if binding is None:
+                continue
+            if prop.fixed:
+                if prop.name in explicit:
+                    raise PropertyError(
+                        f"property {prop.name!r} is fixed and may not be "
+                        "set explicitly")
+                value = self._compute(binding.value, body, prop.type_name,
+                                      prop.name)
+            elif prop.name in explicit:
+                value = self._cast(explicit.pop(prop.name), prop.type_name,
+                                   prop.name)
+            elif prop.inherited and prop.name in trigger_properties:
+                value = trigger_properties[prop.name]
+            else:
+                value = self._compute(binding.value, body, prop.type_name,
+                                      prop.name)
+            if value is not None:
+                resolved[prop.name] = value
+
+        # Ad-hoc explicit properties (undeclared): kept as-is — the paper's
+        # Fig. 5 sets "Sender" this way for the communication subsystem.
+        for name, value in explicit.items():
+            resolved[name] = _plain(value)
+
+        # Inherited-but-undeclared system values (e.g. connectionHandle)
+        # propagate when the app marks them inherited; system values win.
+        for name, value in (system or {}).items():
+            resolved[name] = _plain(value)
+        return resolved
+
+    def inheritable(self, trigger_properties: dict[str, object]
+                    ) -> dict[str, object]:
+        """The subset of a trigger's properties that may be inherited."""
+        out = {}
+        for prop in self.app.properties.values():
+            if prop.inherited and prop.name in trigger_properties:
+                out[prop.name] = trigger_properties[prop.name]
+        return out
+
+    def _compute(self, expr, body: Document, type_name: str,
+                 prop_name: str) -> object | None:
+        ctx = DynamicContext(item=body)
+        try:
+            result = atomize(evaluate(expr, ctx))
+        except XQueryError as exc:
+            raise PropertyError(
+                f"computing property {prop_name!r}: {exc}") from exc
+        if not result:
+            return None
+        if len(result) > 1:
+            raise PropertyError(
+                f"property {prop_name!r} expression produced "
+                f"{len(result)} values")
+        return self._cast(result[0], type_name, prop_name)
+
+    def _cast(self, value: object, type_name: str, prop_name: str) -> object:
+        if isinstance(value, UntypedAtomic):
+            value = str(value)
+        try:
+            return cast_atomic(value, type_name)
+        except XQueryError as exc:
+            raise PropertyError(
+                f"property {prop_name!r}: {exc}") from exc
+
+
+def _plain(value: object) -> object:
+    return str(value) if isinstance(value, UntypedAtomic) else value

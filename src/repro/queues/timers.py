@@ -1,0 +1,94 @@
+"""Clocks and the echo-queue timer service (paper §2.1.3).
+
+Echo queues "enqueue any message sent to them into some target queue
+after a timeout has expired.  Both the timeout and target queue are
+specified as message properties."  The :class:`EchoService` keeps a heap
+of pending deliveries ordered by due time; the server pumps it.
+
+Time is pluggable: the :class:`VirtualClock` makes timer tests and
+benchmarks deterministic, :class:`RealClock` runs on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time as _time
+from dataclasses import dataclass, field
+
+from ..xquery.atomics import XSDateTime
+
+
+class Clock:
+    """Abstract time source (seconds since epoch)."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def now_datetime(self) -> XSDateTime:
+        return XSDateTime.from_epoch(self.now())
+
+
+class RealClock(Clock):
+    def now(self) -> float:
+        return _time.time()
+
+
+class VirtualClock(Clock):
+    """Deterministic simulated time, advanced explicitly."""
+
+    def __init__(self, start: float = 1_000_000.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+
+
+@dataclass(order=True)
+class _PendingDelivery:
+    due: float
+    order: int
+    msg_id: int = field(compare=False)
+    target: str = field(compare=False)
+
+
+class EchoService:
+    """Schedules echo-queue deliveries on a clock."""
+
+    def __init__(self, clock: Clock):
+        self.clock = clock
+        self._heap: list[_PendingDelivery] = []
+        self._counter = itertools.count()
+        self.scheduled = 0
+        self.delivered = 0
+
+    def schedule(self, msg_id: int, timeout_seconds: float,
+                 target: str) -> None:
+        """Register a message for delivery after *timeout_seconds*."""
+        due = self.clock.now() + max(0.0, float(timeout_seconds))
+        heapq.heappush(self._heap,
+                       _PendingDelivery(due, next(self._counter), msg_id,
+                                        target))
+        self.scheduled += 1
+
+    def due_deliveries(self) -> list[tuple[int, str]]:
+        """Pop every delivery whose time has come: [(msg_id, target)]."""
+        now = self.clock.now()
+        out: list[tuple[int, str]] = []
+        while self._heap and self._heap[0].due <= now:
+            entry = heapq.heappop(self._heap)
+            out.append((entry.msg_id, entry.target))
+            self.delivered += 1
+        return out
+
+    def next_due(self) -> float | None:
+        """Due time of the earliest pending delivery, if any."""
+        return self._heap[0].due if self._heap else None
+
+    def pending_count(self) -> int:
+        return len(self._heap)

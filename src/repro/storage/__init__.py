@@ -1,0 +1,35 @@
+"""The storage engine: transactional, recoverable XML message queues.
+
+This package substitutes for the Natix native XML store the paper builds
+on (see DESIGN.md §2): slotted pages, a buffer manager with WAL-before-
+data, a write-ahead log with checkpoints and crash recovery, a B+-tree
+for the materialized slice index, a hierarchical lock manager, and
+deferred-update transactions.
+"""
+
+from .btree import BPlusTree
+from .buffer import BufferManager
+from .disk import PAGE_SIZE, FileDiskManager, InMemoryDiskManager
+from .errors import (BufferError_, DeadlockError, LockError, LockTimeoutError,
+                     PageError, StorageError, TransactionError, WALError)
+from .heap import RID, RecordHeap
+from .locks import IS, IX, S, X, LockManager, compatible
+from .pages import MAX_RECORD, SlottedPage
+from .store import (MessageStore, StoredMessage, StoreStatistics,
+                    decode_value, encode_value)
+from .transactions import Transaction, TransactionManager, TxnState
+from .wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "BPlusTree", "BufferManager", "PAGE_SIZE", "FileDiskManager",
+    "InMemoryDiskManager",
+    "BufferError_", "DeadlockError", "LockError", "LockTimeoutError",
+    "PageError", "StorageError", "TransactionError", "WALError",
+    "RID", "RecordHeap",
+    "IS", "IX", "S", "X", "LockManager", "compatible",
+    "MAX_RECORD", "SlottedPage",
+    "MessageStore", "StoredMessage", "StoreStatistics",
+    "decode_value", "encode_value",
+    "Transaction", "TransactionManager", "TxnState",
+    "LogRecord", "WriteAheadLog",
+]

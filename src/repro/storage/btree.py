@@ -1,0 +1,373 @@
+"""A B+-tree with real node mechanics (splits, merges, range scans).
+
+Used for the materialized slice index and the per-queue message index —
+the paper (§4.3) proposes exactly this: "similar to the materialized
+views concept in RDBMSs, it is possible to maintain a physical
+representation of the slices, for example using a B-Tree indexed by the
+slice key".
+
+Keys are tuples of ints/strings compared lexicographically (mixed-type
+positions are ordered type-first so comparisons are total).  The tree is
+memory-resident and serialized wholesale at checkpoints; recovery rebuilds
+it from the checkpoint plus the WAL tail (see DESIGN.md substitution
+table).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+DEFAULT_ORDER = 32
+
+Key = tuple
+
+
+def _norm(key: Key) -> tuple:
+    """Make mixed int/str keys totally ordered: (type_rank, value) pairs."""
+    out = []
+    for part in key:
+        if isinstance(part, bool):
+            out.append((0, int(part)))
+        elif isinstance(part, (int, float)):
+            out.append((0, part))
+        else:
+            out.append((1, str(part)))
+    return tuple(out)
+
+
+class _Node:
+    __slots__ = ("keys", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.keys: list[tuple] = []
+        self.is_leaf = is_leaf
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self):
+        super().__init__(True)
+        self.values: list[Any] = []
+        self.next: Optional[_Leaf] = None
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self):
+        super().__init__(False)
+        self.children: list[_Node] = []
+
+
+class BPlusTree:
+    """Map from tuple keys to single values with ordered iteration."""
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 4:
+            raise ValueError("B+-tree order must be at least 4")
+        self.order = order
+        self._root: _Node = _Leaf()
+        self._size = 0
+        self.node_splits = 0
+        self.node_merges = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- search ---------------------------------------------------------------
+
+    def _find_leaf(self, nkey: tuple) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            index = _upper_bound(node.keys, nkey)
+            node = node.children[index]
+        return node  # type: ignore[return-value]
+
+    def get(self, key: Key, default=None):
+        nkey = _norm(key)
+        leaf = self._find_leaf(nkey)
+        index = _lower_bound(leaf.keys, nkey)
+        if index < len(leaf.keys) and leaf.keys[index] == nkey:
+            return leaf.values[index]
+        return default
+
+    def __contains__(self, key: Key) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    # -- insertion ----------------------------------------------------------------
+
+    def insert(self, key: Key, value) -> None:
+        """Insert or overwrite."""
+        nkey = _norm(key)
+        split = self._insert(self._root, nkey, value)
+        if split is not None:
+            separator, right = split
+            root = _Internal()
+            root.keys = [separator]
+            root.children = [self._root, right]
+            self._root = root
+
+    def _insert(self, node: _Node, nkey: tuple, value):
+        if node.is_leaf:
+            leaf: _Leaf = node  # type: ignore[assignment]
+            index = _lower_bound(leaf.keys, nkey)
+            if index < len(leaf.keys) and leaf.keys[index] == nkey:
+                leaf.values[index] = value
+                return None
+            leaf.keys.insert(index, nkey)
+            leaf.values.insert(index, value)
+            self._size += 1
+            if len(leaf.keys) > self.order:
+                return self._split_leaf(leaf)
+            return None
+        internal: _Internal = node  # type: ignore[assignment]
+        index = _upper_bound(internal.keys, nkey)
+        split = self._insert(internal.children[index], nkey, value)
+        if split is None:
+            return None
+        separator, right = split
+        internal.keys.insert(index, separator)
+        internal.children.insert(index + 1, right)
+        if len(internal.children) > self.order:
+            return self._split_internal(internal)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        self.node_splits += 1
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        self.node_splits += 1
+        mid = len(node.children) // 2
+        right = _Internal()
+        separator = node.keys[mid - 1]
+        right.keys = node.keys[mid:]
+        right.children = node.children[mid:]
+        node.keys = node.keys[:mid - 1]
+        node.children = node.children[:mid]
+        return separator, right
+
+    # -- deletion -------------------------------------------------------------------
+
+    def delete(self, key: Key) -> bool:
+        """Remove *key*; returns False if absent.
+
+        Rebalancing is lazy (underflowed nodes are merged when a sibling
+        can absorb them); the root collapses when it has one child.
+        """
+        nkey = _norm(key)
+        removed = self._delete(self._root, nkey)
+        if removed:
+            self._size -= 1
+            while (not self._root.is_leaf
+                   and len(self._root.children) == 1):  # type: ignore[attr-defined]
+                self._root = self._root.children[0]  # type: ignore[attr-defined]
+        return removed
+
+    def _delete(self, node: _Node, nkey: tuple) -> bool:
+        if node.is_leaf:
+            leaf: _Leaf = node  # type: ignore[assignment]
+            index = _lower_bound(leaf.keys, nkey)
+            if index < len(leaf.keys) and leaf.keys[index] == nkey:
+                leaf.keys.pop(index)
+                leaf.values.pop(index)
+                return True
+            return False
+        internal: _Internal = node  # type: ignore[assignment]
+        index = _upper_bound(internal.keys, nkey)
+        removed = self._delete(internal.children[index], nkey)
+        if removed:
+            self._maybe_merge(internal, index)
+        return removed
+
+    def _maybe_merge(self, parent: _Internal, index: int) -> None:
+        child = parent.children[index]
+        if child.is_leaf:
+            min_fill = max(1, self.order // 4)
+            size = len(child.keys)
+        else:
+            # Internal nodes underflow below two children so degenerate
+            # single-child chains always merge away.
+            min_fill = max(2, self.order // 4)
+            size = len(child.children)
+        if size >= min_fill:
+            return
+        sibling_index = index - 1 if index > 0 else index + 1
+        if not 0 <= sibling_index < len(parent.children):
+            return
+        left_index = min(index, sibling_index)
+        left = parent.children[left_index]
+        right = parent.children[left_index + 1]
+        if left.is_leaf != right.is_leaf:
+            return
+        combined = (len(left.keys) + len(right.keys) if left.is_leaf
+                    else len(left.children) + len(right.children))
+        if combined > self.order:
+            self._redistribute(parent, left_index, left, right,
+                               underflow_on_left=(child is left))
+            return
+        self.node_merges += 1
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)           # type: ignore[attr-defined]
+            left.next = right.next                      # type: ignore[attr-defined]
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)        # type: ignore[attr-defined]
+        parent.keys.pop(left_index)
+        parent.children.pop(left_index + 1)
+
+    def _redistribute(self, parent: _Internal, left_index: int,
+                      left: _Node, right: _Node,
+                      underflow_on_left: bool) -> None:
+        """Borrow one entry from the bigger sibling into the underflowed one."""
+        if left.is_leaf:
+            if underflow_on_left and right.keys:
+                left.keys.append(right.keys.pop(0))
+                left.values.append(right.values.pop(0))    # type: ignore[attr-defined]
+            elif not underflow_on_left and left.keys:
+                right.keys.insert(0, left.keys.pop())
+                right.values.insert(0, left.values.pop())  # type: ignore[attr-defined]
+            if right.keys:
+                parent.keys[left_index] = right.keys[0]
+            return
+        if underflow_on_left and right.children:               # type: ignore[attr-defined]
+            left.keys.append(parent.keys[left_index])
+            parent.keys[left_index] = right.keys.pop(0)
+            left.children.append(right.children.pop(0))        # type: ignore[attr-defined]
+        elif not underflow_on_left and left.children:           # type: ignore[attr-defined]
+            right.keys.insert(0, parent.keys[left_index])
+            parent.keys[left_index] = left.keys.pop()
+            right.children.insert(0, left.children.pop())       # type: ignore[attr-defined]
+
+    # -- scans -------------------------------------------------------------------------
+
+    def items(self, low: Key | None = None,
+              high: Key | None = None) -> Iterator[tuple[tuple, Any]]:
+        """Yield (normalized_key, value) for low ≤ key < high, in order."""
+        nlow = _norm(low) if low is not None else None
+        nhigh = _norm(high) if high is not None else None
+        leaf = self._find_leaf(nlow) if nlow is not None else self._leftmost()
+        index = _lower_bound(leaf.keys, nlow) if nlow is not None else 0
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if nhigh is not None and key >= nhigh:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def prefix_items(self, prefix: Key) -> Iterator[tuple[tuple, Any]]:
+        """All entries whose key starts with *prefix* (tuple-prefix scan)."""
+        nprefix = _norm(prefix)
+        leaf = self._find_leaf(nprefix)
+        index = _lower_bound(leaf.keys, nprefix)
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key[:len(nprefix)] != nprefix:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def _leftmost(self) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+        return node  # type: ignore[return-value]
+
+    def depth(self) -> int:
+        depth = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+            depth += 1
+        return depth
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by property tests)."""
+        leaves: list[_Leaf] = []
+        self._check_node(self._root, None, None, leaves,
+                         self._height(self._root))
+        chained = []
+        leaf = self._leftmost()
+        while leaf is not None:
+            chained.append(leaf)
+            leaf = leaf.next
+        assert leaves == chained, "leaf chain does not match tree order"
+        keys = [k for leaf in leaves for k in leaf.keys]
+        assert keys == sorted(keys), "keys out of order"
+        assert len(keys) == self._size, "size counter out of sync"
+
+    def _height(self, node: _Node) -> int:
+        height = 0
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+            height += 1
+        return height
+
+    def _check_node(self, node: _Node, low, high, leaves, expected_height):
+        for key in node.keys:
+            assert (low is None or key >= low) and \
+                (high is None or key < high), "separator violation"
+        if node.is_leaf:
+            assert expected_height == 0, "leaves at different depths"
+            leaves.append(node)
+            return
+        internal: _Internal = node  # type: ignore[assignment]
+        assert len(internal.children) == len(internal.keys) + 1
+        bounds = [low, *internal.keys, high]
+        for child, (child_low, child_high) in zip(
+                internal.children, zip(bounds, bounds[1:])):
+            self._check_node(child, child_low, child_high, leaves,
+                             expected_height - 1)
+
+    # -- serialization (checkpoints) ------------------------------------------------------
+
+    def dump(self) -> list[tuple[tuple, Any]]:
+        return list(self.items())
+
+    @classmethod
+    def load(cls, entries, order: int = DEFAULT_ORDER) -> "BPlusTree":
+        tree = cls(order)
+        for key, value in entries:
+            # keys are stored normalized; denormalize for insert
+            tree.insert(tuple(v for _, v in key), value)
+        return tree
+
+
+def _lower_bound(keys: list, key) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _upper_bound(keys: list, key) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

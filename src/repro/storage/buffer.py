@@ -1,0 +1,145 @@
+"""The buffer manager: pinned frames over a disk manager.
+
+Steal/no-force with clock eviction.  The write-ahead rule is enforced
+here: before a dirty page goes to disk, the WAL must be flushed up to
+that page's LSN (``wal.flush_to``).  Natix's buffer manager plays the
+same role for the paper's prototype.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from .disk import DiskManager
+from .errors import BufferError_
+from .pages import SlottedPage
+
+
+class _Frame:
+    __slots__ = ("page_id", "page", "pin_count", "dirty", "referenced")
+
+    def __init__(self, page_id: int, page: SlottedPage):
+        self.page_id = page_id
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+        self.referenced = True
+
+
+class BufferManager:
+    """Caches pages; at most *capacity* frames resident."""
+
+    def __init__(self, disk: DiskManager, capacity: int = 256,
+                 flush_to_lsn: Optional[Callable[[int], None]] = None):
+        if capacity < 1:
+            raise BufferError_("buffer capacity must be at least 1")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: dict[int, _Frame] = {}
+        self._clock: list[int] = []
+        self._hand = 0
+        self._lock = threading.RLock()
+        self._flush_to_lsn = flush_to_lsn
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- pinning -----------------------------------------------------------------
+
+    def new_page(self) -> tuple[int, SlottedPage]:
+        """Allocate, pin, and return a fresh page."""
+        page_id = self.disk.allocate()
+        with self._lock:
+            frame = _Frame(page_id, SlottedPage())
+            frame.pin_count = 1
+            frame.dirty = True
+            self._admit(page_id, frame)
+            return page_id, frame.page
+
+    def pin(self, page_id: int) -> SlottedPage:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.hits += 1
+                frame.pin_count += 1
+                frame.referenced = True
+                return frame.page
+            self.misses += 1
+            page = SlottedPage(self.disk.read(page_id))
+            frame = _Frame(page_id, page)
+            frame.pin_count = 1
+            self._admit(page_id, frame)
+            return frame.page
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise BufferError_(f"unpin of unpinned page {page_id}")
+            frame.pin_count -= 1
+            frame.dirty = frame.dirty or dirty
+
+    # -- eviction ------------------------------------------------------------------
+
+    def _admit(self, page_id: int, frame: _Frame) -> None:
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page_id] = frame
+        self._clock.append(page_id)
+
+    def _evict_one(self) -> None:
+        """Second-chance clock sweep over unpinned frames."""
+        if not self._clock:
+            raise BufferError_("buffer pool is empty but full?")
+        scanned = 0
+        limit = 2 * len(self._clock)
+        while scanned <= limit:
+            self._hand %= len(self._clock)
+            page_id = self._clock[self._hand]
+            frame = self._frames[page_id]
+            if frame.pin_count == 0:
+                if frame.referenced:
+                    frame.referenced = False
+                else:
+                    self._write_back(frame)
+                    del self._frames[page_id]
+                    self._clock.pop(self._hand)
+                    self.evictions += 1
+                    return
+            self._hand += 1
+            scanned += 1
+        raise BufferError_(
+            f"no evictable frame: all {len(self._frames)} pages pinned")
+
+    def _write_back(self, frame: _Frame) -> None:
+        if frame.dirty:
+            if self._flush_to_lsn is not None:
+                self._flush_to_lsn(frame.page.lsn)   # WAL-before-data
+            self.disk.write(frame.page_id, bytes(frame.page.data))
+            frame.dirty = False
+
+    # -- checkpoint support ------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> None:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._write_back(frame)
+
+    def flush_all(self) -> None:
+        with self._lock:
+            for frame in self._frames.values():
+                self._write_back(frame)
+            self.disk.sync()
+
+    def drop_all(self) -> None:
+        """Simulate a crash: discard every frame without writing back."""
+        with self._lock:
+            self._frames.clear()
+            self._clock.clear()
+            self._hand = 0
+
+    def resident_pages(self) -> list[int]:
+        with self._lock:
+            return sorted(self._frames)

@@ -1,0 +1,142 @@
+"""Disk managers: fixed-size page I/O against a file or memory.
+
+The unit of I/O is a :data:`PAGE_SIZE`-byte page addressed by integer id.
+``FileDiskManager`` is what persistent queues use; the in-memory variant
+backs transient queues and tests.  Both count physical reads/writes so
+benchmarks can report I/O, not just wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from .errors import PageError
+
+#: Natix uses small fixed pages; 4 KiB mirrors its default segment pages.
+PAGE_SIZE = 4096
+
+
+class DiskManager:
+    """Abstract page store."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def allocate(self) -> int:
+        raise NotImplementedError
+
+    def read(self, page_id: int) -> bytearray:
+        raise NotImplementedError
+
+    def write(self, page_id: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    @property
+    def page_count(self) -> int:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Force pages to durable storage."""
+
+    def close(self) -> None:
+        """Release resources."""
+
+
+class InMemoryDiskManager(DiskManager):
+    """Pages in RAM: transient queues and unit tests."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pages: list[bytearray] = []
+        self._lock = threading.Lock()
+
+    def allocate(self) -> int:
+        with self._lock:
+            self._pages.append(bytearray(PAGE_SIZE))
+            return len(self._pages) - 1
+
+    def read(self, page_id: int) -> bytearray:
+        with self._lock:
+            if not 0 <= page_id < len(self._pages):
+                raise PageError(f"read of unallocated page {page_id}")
+            self.reads += 1
+            return bytearray(self._pages[page_id])
+
+    def write(self, page_id: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise PageError(f"page write of {len(data)} bytes")
+        with self._lock:
+            if not 0 <= page_id < len(self._pages):
+                raise PageError(f"write of unallocated page {page_id}")
+            self.writes += 1
+            self._pages[page_id] = bytearray(data)
+
+    @property
+    def page_count(self) -> int:
+        with self._lock:
+            return len(self._pages)
+
+
+class FileDiskManager(DiskManager):
+    """Pages in a single file; page *n* lives at byte offset ``n * PAGE_SIZE``."""
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = path
+        self._lock = threading.Lock()
+        exists = os.path.exists(path)
+        self._file = open(path, "r+b" if exists else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE:
+            raise PageError(
+                f"{path} is not page aligned ({size} bytes); refusing to "
+                "open a corrupt page file")
+        self._count = size // PAGE_SIZE
+
+    def allocate(self) -> int:
+        with self._lock:
+            page_id = self._count
+            self._count += 1
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(b"\x00" * PAGE_SIZE)
+            return page_id
+
+    def read(self, page_id: int) -> bytearray:
+        with self._lock:
+            if not 0 <= page_id < self._count:
+                raise PageError(f"read of unallocated page {page_id}")
+            self.reads += 1
+            self._file.seek(page_id * PAGE_SIZE)
+            data = self._file.read(PAGE_SIZE)
+            if len(data) != PAGE_SIZE:
+                raise PageError(f"short read on page {page_id}")
+            return bytearray(data)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise PageError(f"page write of {len(data)} bytes")
+        with self._lock:
+            if not 0 <= page_id < self._count:
+                raise PageError(f"write of unallocated page {page_id}")
+            self.writes += 1
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(data)
+
+    @property
+    def page_count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def sync(self) -> None:
+        with self._lock:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()

@@ -1,0 +1,35 @@
+"""Storage engine error types."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for storage engine failures."""
+
+
+class PageError(StorageError):
+    """Slotted-page level failure (bad slot, page full, corruption)."""
+
+
+class BufferError_(StorageError):
+    """Buffer manager failure (no evictable frame, bad pin count)."""
+
+
+class WALError(StorageError):
+    """Log corruption or protocol violation."""
+
+
+class LockError(StorageError):
+    """Base for lock acquisition failures."""
+
+
+class DeadlockError(LockError):
+    """A waits-for cycle was detected; the requesting transaction must abort."""
+
+
+class LockTimeoutError(LockError):
+    """Lock wait exceeded its timeout."""
+
+
+class TransactionError(StorageError):
+    """Transaction protocol violation (use after commit, double commit…)."""

@@ -1,0 +1,113 @@
+"""A record heap: variable-length records over slotted pages.
+
+Records larger than one page are chained across *overflow chunks*; the
+record id (RID) is the (page, slot) of the first chunk.  Message bodies —
+serialized XML plus properties — are stored here; indexes hold RIDs.
+
+Chunk layout: ``[u32 next_page][u16 next_slot][payload]`` with
+``0xFFFFFFFF`` marking the end of the chain.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .buffer import BufferManager
+from .errors import PageError, StorageError
+from .pages import MAX_RECORD
+
+_CHUNK_HEADER = struct.Struct("<IH")
+_NO_PAGE = 0xFFFFFFFF
+_CHUNK_CAPACITY = MAX_RECORD - _CHUNK_HEADER.size
+
+
+@dataclass(frozen=True)
+class RID:
+    """A record id: first chunk's (page, slot)."""
+
+    page_id: int
+    slot: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.page_id, self.slot)
+
+
+class RecordHeap:
+    """Store/fetch/delete byte records through a buffer manager."""
+
+    def __init__(self, buffer: BufferManager):
+        self.buffer = buffer
+        self._open_page: int | None = None
+
+    def store(self, record: bytes, lsn: int = 0) -> RID:
+        """Write *record*, returning its RID.
+
+        Chunks are written back-to-front so each chunk knows its
+        successor's address.
+        """
+        chunks = [record[i:i + _CHUNK_CAPACITY]
+                  for i in range(0, len(record), _CHUNK_CAPACITY)] or [b""]
+        next_page, next_slot = _NO_PAGE, 0
+        rid = None
+        for chunk in reversed(chunks):
+            payload = _CHUNK_HEADER.pack(next_page, next_slot) + chunk
+            page_id, slot = self._insert_chunk(payload, lsn)
+            next_page, next_slot = page_id, slot
+            rid = RID(page_id, slot)
+        assert rid is not None
+        return rid
+
+    def _insert_chunk(self, payload: bytes, lsn: int) -> tuple[int, int]:
+        if self._open_page is not None:
+            page_id = self._open_page
+            page = self.buffer.pin(page_id)
+            try:
+                slot = page.insert(payload)
+                page.lsn = max(page.lsn, lsn)
+                return page_id, slot
+            except PageError:
+                pass
+            finally:
+                self.buffer.unpin(page_id, dirty=True)
+        page_id, page = self.buffer.new_page()
+        try:
+            slot = page.insert(payload)
+            page.lsn = max(page.lsn, lsn)
+        finally:
+            self.buffer.unpin(page_id, dirty=True)
+        self._open_page = page_id
+        return page_id, slot
+
+    def fetch(self, rid: RID) -> bytes:
+        """Read a full record, following the overflow chain."""
+        parts: list[bytes] = []
+        page_id, slot = rid.page_id, rid.slot
+        hops = 0
+        while page_id != _NO_PAGE:
+            if hops > 1_000_000:
+                raise StorageError("overflow chain cycle detected")
+            page = self.buffer.pin(page_id)
+            try:
+                raw = page.read(slot)
+            finally:
+                self.buffer.unpin(page_id)
+            next_page, next_slot = _CHUNK_HEADER.unpack_from(raw, 0)
+            parts.append(raw[_CHUNK_HEADER.size:])
+            page_id, slot = next_page, next_slot
+            hops += 1
+        return b"".join(parts)
+
+    def delete(self, rid: RID, lsn: int = 0) -> None:
+        """Free every chunk of a record."""
+        page_id, slot = rid.page_id, rid.slot
+        while page_id != _NO_PAGE:
+            page = self.buffer.pin(page_id)
+            try:
+                raw = page.read(slot)
+                next_page, next_slot = _CHUNK_HEADER.unpack_from(raw, 0)
+                page.delete(slot)
+                page.lsn = max(page.lsn, lsn)
+            finally:
+                self.buffer.unpin(page_id, dirty=True)
+            page_id, slot = next_page, next_slot

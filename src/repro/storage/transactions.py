@@ -1,0 +1,130 @@
+"""Transactions over the message store.
+
+Demaq's execution model maps the processing of one message — evaluation
+of all its rules plus execution of the resulting update list — onto one
+transaction (paper §3.1).  Because the language's update primitives are
+*pending* (snapshot semantics), transactions here are deferred-update:
+an in-flight transaction buffers operations and never touches shared
+state, so
+
+* isolation comes from 2PL via the :class:`~repro.storage.locks.LockManager`
+  (readers take S locks on queues/slices, commit takes X locks),
+* abort is trivial (drop the buffer — nothing was written), and
+* the WAL protocol is BEGIN + ops + COMMIT appended and flushed
+  atomically at commit, which recovery treats as all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .errors import TransactionError
+
+_TXN_IDS = itertools.count(1)
+
+
+class TxnState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class InsertOp:
+    queue: str
+    payload: bytes                     # serialized message body
+    properties: dict[str, object]
+    slices: list[tuple[str, object]]   # (slicing, key)
+    persistent: bool = True
+    msg_id: int | None = None          # assigned at commit
+
+
+@dataclass
+class MarkProcessedOp:
+    msg_id: int
+
+
+@dataclass
+class SliceResetOp:
+    slicing: str
+    key: object
+
+
+@dataclass
+class DeleteOp:
+    msg_id: int
+
+
+@dataclass
+class Transaction:
+    """A buffered unit of work against the message store."""
+
+    txn_id: int = field(default_factory=lambda: next(_TXN_IDS))
+    state: TxnState = TxnState.ACTIVE
+    ops: list = field(default_factory=list)
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"txn {self.txn_id} is {self.state.value}, not active")
+
+    def insert_message(self, queue: str, payload: bytes,
+                       properties: dict[str, object],
+                       slices: list[tuple[str, object]],
+                       persistent: bool = True) -> InsertOp:
+        self._require_active()
+        op = InsertOp(queue, payload, dict(properties), list(slices),
+                      persistent)
+        self.ops.append(op)
+        return op
+
+    def mark_processed(self, msg_id: int) -> None:
+        self._require_active()
+        self.ops.append(MarkProcessedOp(msg_id))
+
+    def reset_slice(self, slicing: str, key: object) -> None:
+        self._require_active()
+        self.ops.append(SliceResetOp(slicing, key))
+
+    def delete_message(self, msg_id: int) -> None:
+        self._require_active()
+        self.ops.append(DeleteOp(msg_id))
+
+    @property
+    def touches_persistent_state(self) -> bool:
+        return any(
+            not isinstance(op, InsertOp) or op.persistent
+            for op in self.ops)
+
+
+class TransactionManager:
+    """Creates transactions and funnels commits into the store."""
+
+    def __init__(self, store):
+        self.store = store
+        self._lock = threading.Lock()
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self) -> Transaction:
+        with self._lock:
+            self.begun += 1
+        return Transaction()
+
+    def commit(self, txn: Transaction) -> None:
+        txn._require_active()
+        self.store.apply_transaction(txn)
+        txn.state = TxnState.COMMITTED
+        with self._lock:
+            self.committed += 1
+
+    def abort(self, txn: Transaction) -> None:
+        txn._require_active()
+        txn.ops.clear()
+        txn.state = TxnState.ABORTED
+        with self._lock:
+            self.aborted += 1

@@ -1,0 +1,181 @@
+"""The write-ahead log.
+
+Record format on disk: ``[u32 length][u32 crc32][payload]`` where the
+payload is a JSON object; the LSN of a record is its byte offset.  A torn
+tail (partial record after a crash) is detected by length/CRC and cleanly
+truncated — everything before it is intact.
+
+Demaq's append-only message model (paper §2.3.3/§4.1) shows up here
+directly: message *inserts* carry their payload (the log is the data, so
+redo needs no undo images), and with retention-derived deletion the store
+doesn't log individual message deletions at all — recovery recomputes
+deletability from slice state.  ``bench_logging`` quantifies that claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .errors import WALError
+
+_FRAME = struct.Struct("<II")
+
+# Record types
+BEGIN = "begin"
+COMMIT = "commit"
+ABORT = "abort"
+MSG_INSERT = "msg_insert"
+MSG_PROCESSED = "msg_processed"
+MSG_DELETE = "msg_delete"
+SLICE_RESET = "slice_reset"
+CHECKPOINT = "checkpoint"
+
+RECORD_TYPES = frozenset({
+    BEGIN, COMMIT, ABORT, MSG_INSERT, MSG_PROCESSED, MSG_DELETE,
+    SLICE_RESET, CHECKPOINT,
+})
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One decoded log record."""
+
+    lsn: int
+    type: str
+    txn: Optional[int]
+    data: dict
+
+    def __post_init__(self):
+        if self.type not in RECORD_TYPES:
+            raise WALError(f"unknown log record type {self.type!r}")
+
+
+class WriteAheadLog:
+    """An append-only log over a file (or memory buffer for tests)."""
+
+    def __init__(self, path: str | None = None):
+        self.path = path
+        self._lock = threading.RLock()
+        if path is None:
+            self._file = None
+            self._buffer = bytearray()
+        else:
+            self._file = open(path, "a+b")
+            self._buffer = None
+        self._flushed_lsn = self.end_lsn()
+        self.appended_records = 0
+        self.flushes = 0
+
+    # -- appending ------------------------------------------------------------
+
+    def append(self, type_: str, txn: int | None = None,
+               **data) -> int:
+        """Append one record; returns its LSN.  Does not flush."""
+        payload = json.dumps({"type": type_, "txn": txn, "data": data},
+                             separators=(",", ":")).encode("utf-8")
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        with self._lock:
+            lsn = self.end_lsn()
+            if self._file is not None:
+                self._file.seek(0, os.SEEK_END)
+                self._file.write(frame)
+            else:
+                self._buffer.extend(frame)
+            self.appended_records += 1
+            return lsn
+
+    def end_lsn(self) -> int:
+        with self._lock:
+            if self._file is not None:
+                self._file.seek(0, os.SEEK_END)
+                return self._file.tell()
+            return len(self._buffer)
+
+    # -- durability ----------------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            self._flushed_lsn = self.end_lsn()
+            self.flushes += 1
+
+    def flush_to(self, lsn: int) -> None:
+        """WAL-before-data hook: ensure records up to *lsn* are durable."""
+        with self._lock:
+            if lsn > self._flushed_lsn:
+                self.flush()
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    # -- reading ---------------------------------------------------------------------
+
+    def records(self, from_lsn: int = 0) -> Iterator[LogRecord]:
+        """Iterate records from *from_lsn*; stops cleanly at a torn tail."""
+        with self._lock:
+            if self._file is not None:
+                self._file.seek(0, os.SEEK_END)
+                size = self._file.tell()
+                self._file.seek(0)
+                raw = self._file.read(size)
+            else:
+                raw = bytes(self._buffer)
+        offset = from_lsn
+        while offset + _FRAME.size <= len(raw):
+            length, crc = _FRAME.unpack_from(raw, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(raw):
+                return  # torn tail
+            payload = raw[start:end]
+            if zlib.crc32(payload) != crc:
+                return  # torn/corrupt tail
+            try:
+                decoded = json.loads(payload)
+            except ValueError:
+                return
+            yield LogRecord(offset, decoded["type"], decoded["txn"],
+                            decoded["data"])
+            offset = end
+
+    def last_checkpoint(self) -> Optional[LogRecord]:
+        checkpoint = None
+        for record in self.records():
+            if record.type == CHECKPOINT:
+                checkpoint = record
+        return checkpoint
+
+    def size_bytes(self) -> int:
+        return self.end_lsn()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None and not self._file.closed:
+                self._file.flush()
+                self._file.close()
+
+
+def analyze(records: Iterator[LogRecord]) -> tuple[set[int], set[int]]:
+    """The analysis pass: (committed, aborted) transaction ids."""
+    committed: set[int] = set()
+    aborted: set[int] = set()
+    seen: set[int] = set()
+    for record in records:
+        if record.txn is not None:
+            seen.add(record.txn)
+        if record.type == COMMIT:
+            committed.add(record.txn)
+        elif record.type == ABORT:
+            aborted.add(record.txn)
+    # Losers (seen but neither committed nor aborted) are implicitly
+    # aborted: with deferred updates there is nothing to undo.
+    return committed, aborted

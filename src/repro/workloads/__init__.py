@@ -1,0 +1,10 @@
+"""Workload generators shared by tests, examples, and benchmarks."""
+
+from .generators import (WorkloadConfig, offer_request, order_message,
+                         payment_confirmation, procurement_application,
+                         request_stream)
+
+__all__ = [
+    "WorkloadConfig", "offer_request", "order_message",
+    "payment_confirmation", "procurement_application", "request_stream",
+]

@@ -1,0 +1,84 @@
+"""Synthetic message workloads modelled on the paper's procurement
+scenario (Fig. 3/4): offer requests, orders, confirmations, payments.
+
+Deterministic by seed so benchmark runs are comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class WorkloadConfig:
+    customers: int = 50
+    items_per_order: int = 3
+    seed: int = 42
+
+
+def offer_request(request_id: str, customer_id: str,
+                  items: int = 3, restricted: bool = False) -> str:
+    flag = ' restricted="true"' if restricted else ""
+    body = "".join(f"<item{flag if i == 0 else ''}>substance-{i}</item>"
+                   for i in range(items))
+    return (f"<offerRequest><requestID>{request_id}</requestID>"
+            f"<customerID>{customer_id}</customerID>"
+            f"<items>{body}</items></offerRequest>")
+
+
+def order_message(order_id: int, customer_id: str, items: int = 3) -> str:
+    lines = "".join(
+        f"<line><sku>SKU-{i}</sku><qty>{(i % 5) + 1}</qty></line>"
+        for i in range(items))
+    return (f"<customerOrder><orderID>{order_id}</orderID>"
+            f"<customerID>{customer_id}</customerID>{lines}</customerOrder>")
+
+
+def payment_confirmation(request_id: str) -> str:
+    return (f"<paymentConfirmation><requestID>{request_id}</requestID>"
+            f"</paymentConfirmation>")
+
+
+def request_stream(count: int, config: WorkloadConfig | None = None):
+    """Yield (request_id, customer_id, body) triples."""
+    config = config or WorkloadConfig()
+    rng = random.Random(config.seed)
+    for index in range(count):
+        customer = f"cust-{rng.randrange(config.customers)}"
+        request_id = f"req-{index}"
+        yield request_id, customer, offer_request(
+            request_id, customer, config.items_per_order)
+
+
+def procurement_application(priority_crm: int = 0) -> str:
+    """A compact procurement app used by throughput benchmarks."""
+    return f"""
+create queue crm kind basic mode persistent priority {priority_crm};
+create queue finance kind basic mode persistent;
+create queue legal kind basic mode persistent;
+create queue customer kind basic mode persistent;
+create property requestID as xs:string fixed
+    queue crm, customer value //requestID;
+create slicing requestMsgs on requestID;
+create rule fork for crm
+    if (//offerRequest) then (
+        do enqueue <check kind="credit">{{//requestID}}</check> into finance,
+        do enqueue <check kind="legal">{{//requestID}}</check> into legal
+    );
+create rule credit for finance
+    if (//check) then
+        do enqueue <result kind="credit"><requestID>
+            {{string(//requestID)}}</requestID><accept/></result> into crm;
+create rule legalCheck for legal
+    if (//check) then
+        do enqueue <result kind="legal"><requestID>
+            {{string(//requestID)}}</requestID><accept/></result> into crm;
+create rule join for requestMsgs
+    if (count(qs:slice()[//result]) = 2
+        and not(qs:slice()[/offer])) then
+        do enqueue <offer><requestID>{{string(qs:slicekey())}}</requestID>
+            </offer> into customer;
+create rule cleanup for requestMsgs
+    if (qs:slice()[/offer]) then do reset
+"""

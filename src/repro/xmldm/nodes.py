@@ -1,0 +1,393 @@
+"""XML data model node classes.
+
+This is the tree model every other subsystem builds on: the XQuery engine
+navigates it, the message store serializes it, and queue schemas validate
+it.  The model is deliberately close to the XQuery/XPath Data Model (XDM):
+
+* seven node kinds, of which we implement the six that can occur in
+  messages (document, element, attribute, text, comment,
+  processing-instruction — namespace nodes are folded into elements);
+* every node knows its parent, so reverse axes work;
+* nodes are ordered by *document order*, maintained lazily per document
+  so construction stays O(1) amortized.
+
+Demaq messages are append-only — trees are built once and then only read —
+so the model favours cheap construction and fast navigation over in-place
+mutation (mutators exist for tree *construction* but are not part of the
+public message API).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from .qname import QName
+
+_DOC_COUNTER = itertools.count(1)
+
+
+class XMLError(Exception):
+    """Base class for XML data model errors."""
+
+
+class Node:
+    """Abstract base of all node kinds."""
+
+    __slots__ = ("parent", "_ord")
+
+    kind: str = "node"
+
+    def __init__(self) -> None:
+        self.parent: Optional[Node] = None
+        self._ord: int = -1
+
+    # -- tree navigation ------------------------------------------------
+
+    @property
+    def children(self) -> list["Node"]:
+        """Child nodes (empty for leaf kinds)."""
+        return []
+
+    @property
+    def root(self) -> "Node":
+        """The root of the containing tree (a Document for parsed messages)."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    @property
+    def document(self) -> Optional["Document"]:
+        """The owning document, or ``None`` for parentless fragments."""
+        root = self.root
+        return root if isinstance(root, Document) else None
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["Node"]:
+        """Descendants in document order (attributes excluded, per XDM)."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def descendants_or_self(self) -> Iterator["Node"]:
+        yield self
+        yield from self.descendants()
+
+    def following_siblings(self) -> Iterator["Node"]:
+        if self.parent is None:
+            return
+        siblings = self.parent.children
+        try:
+            idx = siblings.index(self)
+        except ValueError:
+            return
+        yield from siblings[idx + 1:]
+
+    def preceding_siblings(self) -> Iterator["Node"]:
+        """Preceding siblings in *reverse* document order (axis order)."""
+        if self.parent is None:
+            return
+        siblings = self.parent.children
+        try:
+            idx = siblings.index(self)
+        except ValueError:
+            return
+        yield from reversed(siblings[:idx])
+
+    # -- document order ---------------------------------------------------
+
+    def order_key(self) -> tuple[int, int]:
+        """A sortable key implementing document order across documents.
+
+        Nodes from different trees compare by tree identity (creation
+        order of their root), nodes within a tree by pre-order position.
+        """
+        root = self.root
+        if isinstance(root, Document):
+            root.ensure_order()
+            return (root.doc_id, self._ord)
+        # Parentless fragment: give it a stable per-tree numbering.
+        _number_tree(root)
+        return (id(root), self._ord)
+
+    # -- values -----------------------------------------------------------
+
+    @property
+    def string_value(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def node_name(self) -> Optional[QName]:
+        """The node's expanded name, or ``None`` for unnamed kinds."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.kind} {self.node_name or ''}>"
+
+
+def _number_tree(root: Node) -> None:
+    """Assign pre-order positions to every node under *root*."""
+    counter = itertools.count(0)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        node._ord = next(counter)
+        if isinstance(node, Element):
+            for attr in node.attributes:
+                attr._ord = next(counter)
+        stack.extend(reversed(node.children))
+
+
+class Document(Node):
+    """A document node: the root of every parsed message."""
+
+    __slots__ = ("_children", "doc_id", "base_uri", "_order_clean")
+
+    kind = "document"
+
+    def __init__(self, children: list[Node] | None = None, base_uri: str | None = None):
+        super().__init__()
+        self._children: list[Node] = []
+        self.doc_id = next(_DOC_COUNTER)
+        self.base_uri = base_uri
+        self._order_clean = False
+        for child in children or []:
+            self.append(child)
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    def append(self, child: Node) -> None:
+        if isinstance(child, (Attribute, Document)):
+            raise XMLError(f"cannot append {child.kind} node to a document")
+        child.parent = self
+        self._children.append(child)
+        self._order_clean = False
+
+    @property
+    def root_element(self) -> Optional["Element"]:
+        """The single element child, or ``None`` for element-less documents."""
+        for child in self._children:
+            if isinstance(child, Element):
+                return child
+        return None
+
+    @property
+    def string_value(self) -> str:
+        return "".join(c.string_value for c in self._children
+                       if isinstance(c, (Element, Text)))
+
+    def ensure_order(self) -> None:
+        if not self._order_clean:
+            _number_tree(self)
+            self._order_clean = True
+
+    def invalidate_order(self) -> None:
+        self._order_clean = False
+
+
+class Element(Node):
+    """An element node with attributes and children."""
+
+    __slots__ = ("name", "attributes", "_children", "namespaces")
+
+    kind = "element"
+
+    def __init__(self, name: QName | str,
+                 attributes: list["Attribute"] | None = None,
+                 children: list[Node] | None = None,
+                 namespaces: dict[str, str] | None = None):
+        super().__init__()
+        self.name = QName(name) if isinstance(name, str) else name
+        self.attributes: list[Attribute] = []
+        self._children: list[Node] = []
+        #: In-scope namespace declarations made *on this element*.
+        self.namespaces: dict[str, str] = dict(namespaces or {})
+        for attr in attributes or []:
+            self.set_attribute(attr)
+        for child in children or []:
+            self.append(child)
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    @property
+    def node_name(self) -> QName:
+        return self.name
+
+    def append(self, child: Node) -> None:
+        if isinstance(child, Document):
+            # Appending a document node splices in its children (XQuery
+            # constructor semantics).
+            for sub in list(child.children):
+                self.append(sub)
+            return
+        if isinstance(child, Attribute):
+            self.set_attribute(child)
+            return
+        child.parent = self
+        self._children.append(child)
+        self._invalidate()
+
+    def set_attribute(self, attr: "Attribute") -> None:
+        if any(existing.name == attr.name for existing in self.attributes):
+            raise XMLError(f"duplicate attribute {attr.name} on <{self.name}>")
+        attr.parent = self
+        self.attributes.append(attr)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        doc = self.document
+        if doc is not None:
+            doc.invalidate_order()
+
+    # -- convenience accessors used throughout the code base ------------
+
+    def attribute_value(self, name: str | QName) -> Optional[str]:
+        """The value of the named attribute, or ``None``."""
+        want = QName(name) if isinstance(name, str) else name
+        for attr in self.attributes:
+            if attr.name == want:
+                return attr.value
+        return None
+
+    def child_elements(self, name: str | QName | None = None) -> list["Element"]:
+        """Element children, optionally filtered by name."""
+        want = QName(name) if isinstance(name, str) else name
+        return [c for c in self._children
+                if isinstance(c, Element) and (want is None or c.name == want)]
+
+    def first_child(self, name: str | QName) -> Optional["Element"]:
+        elements = self.child_elements(name)
+        return elements[0] if elements else None
+
+    @property
+    def text(self) -> str:
+        """Concatenated text of *direct* text-node children."""
+        return "".join(c.value for c in self._children if isinstance(c, Text))
+
+    @property
+    def string_value(self) -> str:
+        return "".join(c.string_value for c in self._children
+                       if isinstance(c, (Element, Text)))
+
+    def in_scope_namespaces(self) -> dict[str, str]:
+        """Prefix→URI bindings visible at this element."""
+        scopes: list[dict[str, str]] = [self.namespaces]
+        for ancestor in self.ancestors():
+            if isinstance(ancestor, Element):
+                scopes.append(ancestor.namespaces)
+        result: dict[str, str] = {}
+        for scope in reversed(scopes):
+            result.update(scope)
+        return result
+
+
+class Attribute(Node):
+    """An attribute node.  Not a child of its element, per XDM."""
+
+    __slots__ = ("name", "value")
+
+    kind = "attribute"
+
+    def __init__(self, name: QName | str, value: str):
+        super().__init__()
+        self.name = QName(name) if isinstance(name, str) else name
+        self.value = str(value)
+
+    @property
+    def node_name(self) -> QName:
+        return self.name
+
+    @property
+    def string_value(self) -> str:
+        return self.value
+
+
+class Text(Node):
+    """A text node."""
+
+    __slots__ = ("value",)
+
+    kind = "text"
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = str(value)
+
+    @property
+    def string_value(self) -> str:
+        return self.value
+
+
+class Comment(Node):
+    """A comment node."""
+
+    __slots__ = ("value",)
+
+    kind = "comment"
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    @property
+    def string_value(self) -> str:
+        return self.value
+
+
+class ProcessingInstruction(Node):
+    """A processing-instruction node."""
+
+    __slots__ = ("target", "data")
+
+    kind = "processing-instruction"
+
+    def __init__(self, target: str, data: str = ""):
+        super().__init__()
+        self.target = target
+        self.data = data
+
+    @property
+    def node_name(self) -> QName:
+        return QName(self.target)
+
+    @property
+    def string_value(self) -> str:
+        return self.data
+
+
+def deep_copy(node: Node) -> Node:
+    """Structurally copy a node (new identity, fresh document order).
+
+    XQuery constructors copy their content; enqueue copies message bodies
+    into the store.  Parents are not copied — the copy is parentless.
+    """
+    if isinstance(node, Document):
+        return Document([deep_copy(c) for c in node.children],
+                        base_uri=node.base_uri)
+    if isinstance(node, Element):
+        return Element(
+            node.name,
+            attributes=[Attribute(a.name, a.value) for a in node.attributes],
+            children=[deep_copy(c) for c in node.children],
+            namespaces=dict(node.namespaces),
+        )
+    if isinstance(node, Attribute):
+        return Attribute(node.name, node.value)
+    if isinstance(node, Text):
+        return Text(node.value)
+    if isinstance(node, Comment):
+        return Comment(node.value)
+    if isinstance(node, ProcessingInstruction):
+        return ProcessingInstruction(node.target, node.data)
+    raise XMLError(f"cannot copy node kind {node.kind!r}")

@@ -1,0 +1,87 @@
+"""Qualified names for the XML data model.
+
+A :class:`QName` carries an optional namespace URI, a local name, and the
+prefix it was written with (kept only for serialization; equality and
+hashing ignore the prefix, as required by the XML namespaces
+recommendation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Reserved namespace bound to the ``xml`` prefix.
+XML_NAMESPACE = "http://www.w3.org/XML/1998/namespace"
+
+#: Reserved namespace bound to the ``xmlns`` prefix.
+XMLNS_NAMESPACE = "http://www.w3.org/2000/xmlns/"
+
+#: Namespace of the built-in Demaq queue-system function library (``qs:``).
+QS_NAMESPACE = "http://demaq.net/queue-system"
+
+#: Namespace of the XQuery/XPath functions library (``fn:``).
+FN_NAMESPACE = "http://www.w3.org/2005/xpath-functions"
+
+#: Namespace of XML Schema atomic types (``xs:``).
+XS_NAMESPACE = "http://www.w3.org/2001/XMLSchema"
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """An expanded XML name: ``(namespace_uri, local_name)`` plus prefix.
+
+    >>> QName("order") == QName("order")
+    True
+    >>> QName("order", "urn:x") == QName("order")
+    False
+    >>> QName("order", "urn:x", prefix="p") == QName("order", "urn:x")
+    True
+    """
+
+    local_name: str
+    namespace_uri: str | None = None
+    prefix: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.local_name:
+            raise ValueError("QName local name must be non-empty")
+
+    @property
+    def lexical(self) -> str:
+        """The name as written in a document (``prefix:local`` or ``local``)."""
+        if self.prefix:
+            return f"{self.prefix}:{self.local_name}"
+        return self.local_name
+
+    @property
+    def clark(self) -> str:
+        """Clark notation: ``{uri}local`` (or just ``local`` if unqualified)."""
+        if self.namespace_uri:
+            return f"{{{self.namespace_uri}}}{self.local_name}"
+        return self.local_name
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    @classmethod
+    def parse(cls, lexical: str, namespaces: dict[str, str] | None = None,
+              default_namespace: str | None = None) -> "QName":
+        """Parse ``prefix:local`` using a prefix→URI mapping.
+
+        Unprefixed names resolve to *default_namespace* (``None`` means the
+        name stays in no namespace, which is the common case for Demaq
+        applications).
+        """
+        namespaces = namespaces or {}
+        if ":" in lexical:
+            prefix, local = lexical.split(":", 1)
+            if not prefix or not local:
+                raise ValueError(f"malformed QName: {lexical!r}")
+            if prefix == "xml":
+                return cls(local, XML_NAMESPACE, prefix)
+            try:
+                uri = namespaces[prefix]
+            except KeyError:
+                raise ValueError(f"undeclared namespace prefix: {prefix!r}") from None
+            return cls(local, uri, prefix)
+        return cls(lexical, default_namespace)

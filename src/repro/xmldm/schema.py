@@ -1,0 +1,338 @@
+"""A compact XML-Schema-subset validator for queue message schemas.
+
+The paper (§2.1.1) lets ``create queue`` name "a schema all queued
+messages have to conform to"; enqueueing a non-conforming message is a
+*message related error* (§3.6) routed to an error queue.  Full W3C XML
+Schema is far out of scope; this module implements the structural subset
+that queue validation needs:
+
+* element declarations with ``sequence`` / ``choice`` content models,
+* occurrence constraints (``minOccurs`` / ``maxOccurs`` / ``unbounded``),
+* simple-typed leaves (``xs:string``, ``xs:integer``, ``xs:decimal``,
+  ``xs:double``, ``xs:boolean``, ``xs:dateTime``, ``xs:anyType``),
+* attribute declarations with ``use="required|optional"``,
+* wildcard ``any`` particles.
+
+Schemas are themselves written as XML (a compact, XSD-flavoured dialect),
+so applications keep the everything-is-XML property.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .nodes import Comment, Document, Element, Node, ProcessingInstruction, Text
+from .parser import parse
+
+_UNBOUNDED = float("inf")
+
+
+class SchemaError(Exception):
+    """Raised for malformed schema documents."""
+
+
+@dataclass
+class ValidationError:
+    """One validation failure with a /path/to/the/offender."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.message}"
+
+
+# -- simple type checks ------------------------------------------------------
+
+_BOOLEAN_VALUES = {"true", "false", "0", "1"}
+_INTEGER_RE = re.compile(r"^[+-]?\d+$")
+_DECIMAL_RE = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)$")
+_DOUBLE_RE = re.compile(r"^([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|INF|-INF|NaN)$")
+_DATETIME_RE = re.compile(
+    r"^-?\d{4,}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(\.\d+)?(Z|[+-]\d{2}:\d{2})?$")
+
+
+def check_simple_type(type_name: str, value: str) -> bool:
+    """True if *value*'s lexical form conforms to the named ``xs:`` type."""
+    if type_name in ("xs:string", "xs:anyType", "string"):
+        return True
+    stripped = value.strip()
+    if type_name in ("xs:integer", "xs:int", "xs:long"):
+        return bool(_INTEGER_RE.match(stripped))
+    if type_name == "xs:decimal":
+        return bool(_DECIMAL_RE.match(stripped))
+    if type_name == "xs:double":
+        return bool(_DOUBLE_RE.match(stripped))
+    if type_name == "xs:boolean":
+        return stripped in _BOOLEAN_VALUES
+    if type_name == "xs:dateTime":
+        return bool(_DATETIME_RE.match(stripped))
+    raise SchemaError(f"unknown simple type {type_name!r}")
+
+
+# -- schema components -------------------------------------------------------
+
+@dataclass
+class AttributeDecl:
+    name: str
+    type_name: str = "xs:string"
+    required: bool = False
+
+
+@dataclass
+class Particle:
+    """A slot in a content model: an element decl, wildcard, or group."""
+
+    min_occurs: int = 1
+    max_occurs: float = 1
+
+
+@dataclass
+class ElementDecl(Particle):
+    name: str = ""
+    type_name: str | None = None           # simple content type, if a leaf
+    content: "Group | None" = None         # complex content model
+    attributes: list[AttributeDecl] = field(default_factory=list)
+
+
+@dataclass
+class AnyParticle(Particle):
+    """Matches any single element (xs:any)."""
+
+
+@dataclass
+class Group(Particle):
+    kind: str = "sequence"                  # "sequence" | "choice"
+    particles: list[Particle] = field(default_factory=list)
+
+
+@dataclass
+class Schema:
+    """A compiled schema: one or more permitted root element declarations."""
+
+    roots: dict[str, ElementDecl] = field(default_factory=dict)
+
+    def validate(self, document: Document | Element) -> list[ValidationError]:
+        """Validate a message; an empty list means the message conforms."""
+        root = (document.root_element if isinstance(document, Document)
+                else document)
+        if root is None:
+            return [ValidationError("/", "document has no root element")]
+        decl = self.roots.get(root.name.local_name)
+        if decl is None:
+            allowed = ", ".join(sorted(self.roots)) or "(none)"
+            return [ValidationError(
+                "/", f"unexpected root element <{root.name.local_name}>; "
+                     f"schema allows: {allowed}")]
+        errors: list[ValidationError] = []
+        _validate_element(root, decl, f"/{root.name.local_name}", errors)
+        return errors
+
+    def is_valid(self, document: Document | Element) -> bool:
+        return not self.validate(document)
+
+
+def _content_children(element: Element) -> list[Element]:
+    return [c for c in element.children if isinstance(c, Element)]
+
+
+def _validate_element(element: Element, decl: ElementDecl, path: str,
+                      errors: list[ValidationError]) -> None:
+    declared = {attr.name: attr for attr in decl.attributes}
+    seen = set()
+    for attr in element.attributes:
+        name = attr.name.local_name
+        seen.add(name)
+        attr_decl = declared.get(name)
+        if attr_decl is None:
+            errors.append(ValidationError(path, f"undeclared attribute @{name}"))
+        elif not check_simple_type(attr_decl.type_name, attr.value):
+            errors.append(ValidationError(
+                path, f"@{name}={attr.value!r} is not a valid "
+                      f"{attr_decl.type_name}"))
+    for name, attr_decl in declared.items():
+        if attr_decl.required and name not in seen:
+            errors.append(ValidationError(path, f"missing required attribute @{name}"))
+
+    if decl.content is not None:
+        children = _content_children(element)
+        saved = len(errors)
+        result = _match_group_once(children, 0, decl.content, path, errors)
+        if result is None:
+            if len(errors) == saved:
+                errors.append(ValidationError(
+                    path, f"content does not match the "
+                          f"{decl.content.kind} model"))
+        elif result < len(children):
+            extra = children[result]
+            errors.append(ValidationError(
+                f"{path}/{extra.name.local_name}",
+                "element not allowed by the content model"))
+    else:
+        type_name = decl.type_name or "xs:string"
+        if _content_children(element):
+            errors.append(ValidationError(
+                path, f"element declared with simple type {type_name} "
+                      "must not have element children"))
+        elif not check_simple_type(type_name, element.string_value):
+            errors.append(ValidationError(
+                path, f"value {element.string_value!r} is not a valid {type_name}"))
+
+
+def _match_particle(children: list[Element], pos: int, particle: Particle,
+                    path: str, errors: list[ValidationError]) -> int | None:
+    """Try to match one occurrence; return new position or None."""
+    if isinstance(particle, AnyParticle):
+        return pos + 1 if pos < len(children) else None
+    if isinstance(particle, ElementDecl):
+        if pos < len(children) and children[pos].name.local_name == particle.name:
+            child = children[pos]
+            _validate_element(child, particle,
+                              f"{path}/{particle.name}", errors)
+            return pos + 1
+        return None
+    if isinstance(particle, Group):
+        saved = len(errors)
+        result = _match_group_once(children, pos, particle, path, errors)
+        if result is None:
+            del errors[saved:]
+        return result
+    raise SchemaError(f"unknown particle {particle!r}")
+
+
+def _match_group_once(children: list[Element], pos: int, group: Group,
+                      path: str, errors: list[ValidationError]) -> int | None:
+    if group.kind == "sequence":
+        for particle in group.particles:
+            new_pos = _match_occurrences(children, pos, particle, path, errors)
+            if new_pos is None:
+                return None
+            pos = new_pos
+        return pos
+    if group.kind == "choice":
+        for particle in group.particles:
+            new_pos = _match_occurrences(children, pos, particle, path, errors,
+                                         choice_branch=True)
+            if new_pos is not None:
+                return new_pos
+        return None
+    raise SchemaError(f"unknown group kind {group.kind!r}")
+
+
+def _match_occurrences(children: list[Element], pos: int, particle: Particle,
+                       path: str, errors: list[ValidationError],
+                       choice_branch: bool = False) -> int | None:
+    count = 0
+    while count < particle.max_occurs:
+        new_pos = _match_particle(children, pos, particle, path, errors)
+        if new_pos is None:
+            break
+        pos = new_pos
+        count += 1
+    if count < particle.min_occurs:
+        if choice_branch:
+            return None
+        label = (particle.name if isinstance(particle, ElementDecl)
+                 else getattr(particle, "kind", "any"))
+        errors.append(ValidationError(
+            path, f"expected at least {particle.min_occurs} <{label}>, "
+                  f"found {count}"))
+        return None
+    return pos
+
+
+# -- schema compilation from the XML dialect ---------------------------------
+
+def _occurs(element: Element) -> tuple[int, float]:
+    min_raw = element.attribute_value("minOccurs")
+    max_raw = element.attribute_value("maxOccurs")
+    min_occurs = int(min_raw) if min_raw is not None else 1
+    if max_raw is None:
+        max_occurs: float = 1
+    elif max_raw == "unbounded":
+        max_occurs = _UNBOUNDED
+    else:
+        max_occurs = int(max_raw)
+    if min_occurs < 0 or max_occurs < min_occurs:
+        raise SchemaError(
+            f"bad occurrence bounds on <{element.name.local_name}>: "
+            f"{min_occurs}..{max_raw}")
+    return min_occurs, max_occurs
+
+
+def _compile_element(element: Element) -> ElementDecl:
+    name = element.attribute_value("name")
+    if not name:
+        raise SchemaError("element declaration needs a name attribute")
+    min_occurs, max_occurs = _occurs(element)
+    decl = ElementDecl(name=name, min_occurs=min_occurs, max_occurs=max_occurs,
+                       type_name=element.attribute_value("type"))
+    for child in element.child_elements():
+        local = child.name.local_name
+        if local == "attribute":
+            attr_name = child.attribute_value("name")
+            if not attr_name:
+                raise SchemaError(f"attribute declaration in <{name}> needs a name")
+            decl.attributes.append(AttributeDecl(
+                name=attr_name,
+                type_name=child.attribute_value("type") or "xs:string",
+                required=child.attribute_value("use") == "required"))
+        elif local in ("sequence", "choice"):
+            if decl.content is not None:
+                raise SchemaError(f"<{name}> has more than one content model")
+            decl.content = _compile_group(child)
+        else:
+            raise SchemaError(f"unexpected <{local}> inside element declaration")
+    if decl.content is not None and decl.type_name is not None:
+        raise SchemaError(f"<{name}> cannot have both a type and a content model")
+    return decl
+
+
+def _compile_group(element: Element) -> Group:
+    min_occurs, max_occurs = _occurs(element)
+    group = Group(kind=element.name.local_name,
+                  min_occurs=min_occurs, max_occurs=max_occurs)
+    for child in element.child_elements():
+        local = child.name.local_name
+        if local == "element":
+            group.particles.append(_compile_element(child))
+        elif local in ("sequence", "choice"):
+            group.particles.append(_compile_group(child))
+        elif local == "any":
+            any_min, any_max = _occurs(child)
+            group.particles.append(AnyParticle(any_min, any_max))
+        else:
+            raise SchemaError(f"unexpected <{local}> inside a content model")
+    if not group.particles:
+        raise SchemaError(f"empty <{group.kind}> group")
+    return group
+
+
+def compile_schema(source: str | Document) -> Schema:
+    """Compile a schema document into a :class:`Schema`.
+
+    >>> schema = compile_schema('''
+    ...   <schema>
+    ...     <element name="order">
+    ...       <sequence><element name="id" type="xs:integer"/></sequence>
+    ...     </element>
+    ...   </schema>''')
+    >>> schema.is_valid(parse("<order><id>12</id></order>"))
+    True
+    >>> [str(e) for e in schema.validate(parse("<order><id>x</id></order>"))]
+    ["/order/id: value 'x' is not a valid xs:integer"]
+    """
+    document = parse(source) if isinstance(source, str) else source
+    root = document.root_element
+    if root is None or root.name.local_name != "schema":
+        raise SchemaError("schema document must have a <schema> root")
+    schema = Schema()
+    for child in root.child_elements("element"):
+        decl = _compile_element(child)
+        if decl.name in schema.roots:
+            raise SchemaError(f"duplicate root declaration <{decl.name}>")
+        schema.roots[decl.name] = decl
+    if not schema.roots:
+        raise SchemaError("schema declares no root elements")
+    return schema

@@ -1,0 +1,97 @@
+"""Serialization of XML data model trees back to markup.
+
+The round-trip property ``parse(serialize(parse(x)))`` ≡ ``parse(x)`` is
+exercised by property-based tests; the message store persists messages in
+serialized form, so correctness here is load-bearing for recovery.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .nodes import (Attribute, Comment, Document, Element, Node,
+                    ProcessingInstruction, Text, XMLError)
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace(">", "&gt;"))
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for double-quoted serialization."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace('"', "&quot;")
+                 .replace("\n", "&#10;")
+                 .replace("\t", "&#9;"))
+
+
+def serialize(node: Node, indent: int | None = None,
+              xml_declaration: bool = False) -> str:
+    """Serialize a node (document, element, or leaf) to markup.
+
+    *indent* enables pretty printing with the given step; note that pretty
+    printing inserts whitespace text and therefore does not round-trip
+    mixed content — the store always serializes compactly.
+    """
+    out = StringIO()
+    if xml_declaration:
+        out.write('<?xml version="1.0" encoding="UTF-8"?>')
+        if indent is not None:
+            out.write("\n")
+    _write(node, out, indent, 0)
+    return out.getvalue()
+
+
+def _write(node: Node, out: StringIO, indent: int | None, depth: int) -> None:
+    if isinstance(node, Document):
+        first = True
+        for child in node.children:
+            if indent is not None and not first:
+                out.write("\n")
+            _write(child, out, indent, depth)
+            first = False
+    elif isinstance(node, Element):
+        _write_element(node, out, indent, depth)
+    elif isinstance(node, Text):
+        out.write(escape_text(node.value))
+    elif isinstance(node, Comment):
+        out.write(f"<!--{node.value}-->")
+    elif isinstance(node, ProcessingInstruction):
+        data = f" {node.data}" if node.data else ""
+        out.write(f"<?{node.target}{data}?>")
+    elif isinstance(node, Attribute):
+        out.write(f'{node.name.lexical}="{escape_attribute(node.value)}"')
+    else:
+        raise XMLError(f"cannot serialize node kind {node.kind!r}")
+
+
+def _write_element(element: Element, out: StringIO,
+                   indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    out.write(f"{pad}<{element.name.lexical}")
+    for prefix, uri in sorted(element.namespaces.items()):
+        attr = "xmlns" if prefix == "" else f"xmlns:{prefix}"
+        out.write(f' {attr}="{escape_attribute(uri)}"')
+    for attr in element.attributes:
+        out.write(f' {attr.name.lexical}="{escape_attribute(attr.value)}"')
+    children = element.children
+    if not children:
+        out.write("/>")
+        return
+    out.write(">")
+    only_elements = all(isinstance(c, (Element, Comment, ProcessingInstruction))
+                        for c in children)
+    pretty_children = indent is not None and only_elements
+    for child in children:
+        if pretty_children:
+            out.write("\n")
+            if not isinstance(child, Element):
+                out.write(" " * (indent * (depth + 1)))
+        _write(child, out, indent if pretty_children else None, depth + 1)
+    if pretty_children:
+        out.write("\n" + pad)
+    out.write(f"</{element.name.lexical}>")

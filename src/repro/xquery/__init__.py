@@ -1,0 +1,58 @@
+"""The XQuery-subset engine: lexer, parser, evaluator, update primitives.
+
+High-level API::
+
+    from repro.xquery import compile_expression, evaluate_expression
+
+    expr = compile_expression("//order[id = 7]")
+    result = evaluate_expression(expr, context_item=document)
+"""
+
+from __future__ import annotations
+
+from ..xmldm import Node
+from . import ast
+from .atomics import UntypedAtomic, XSDateTime, cast_atomic
+from .context import DynamicContext, Environment
+from .errors import (DynamicError, FunctionError, StaticError, TypeError_,
+                     UpdateError, XQueryError)
+from .evaluator import evaluate
+from .parser import parse_expression as compile_expression
+from .sequence import (atomize, document_order, effective_boolean_value,
+                       string_value)
+from .updates import (EnqueuePrimitive, PendingUpdateList, ResetPrimitive,
+                      as_message_body)
+
+
+def evaluate_expression(expr: "ast.Expr | str",
+                        context_item: object = None,
+                        variables: dict[str, list] | None = None,
+                        environment: Environment | None = None,
+                        namespaces: dict[str, str] | None = None,
+                        updates: PendingUpdateList | None = None) -> list:
+    """Compile (if needed) and evaluate an expression.
+
+    >>> from repro.xmldm import parse
+    >>> doc = parse("<order><id>7</id></order>")
+    >>> evaluate_expression("//id = 7", context_item=doc)
+    [True]
+    """
+    if isinstance(expr, str):
+        expr = compile_expression(expr, namespaces)
+    ctx = DynamicContext(item=context_item, variables=variables,
+                         environment=environment, namespaces=namespaces,
+                         updates=updates)
+    return evaluate(expr, ctx)
+
+
+__all__ = [
+    "ast", "Node",
+    "UntypedAtomic", "XSDateTime", "cast_atomic",
+    "DynamicContext", "Environment",
+    "DynamicError", "FunctionError", "StaticError", "TypeError_",
+    "UpdateError", "XQueryError",
+    "evaluate", "compile_expression", "evaluate_expression",
+    "atomize", "document_order", "effective_boolean_value", "string_value",
+    "EnqueuePrimitive", "PendingUpdateList", "ResetPrimitive",
+    "as_message_body",
+]

@@ -1,0 +1,263 @@
+"""AST node classes for the XQuery subset.
+
+Plain dataclasses; evaluation lives in :mod:`repro.xquery.evaluator` and
+rewriting (the rule compiler's view merging / inlining) in
+:mod:`repro.engine.compiler`.  Keeping the tree passive makes rewrites
+straightforward structural transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..xmldm import QName
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> list["Expr"]:
+        """Direct sub-expressions (used by rewrite passes)."""
+        out: list[Expr] = []
+        for name in getattr(self, "__dataclass_fields__", {}):
+            value = getattr(self, name)
+            if isinstance(value, Expr):
+                out.append(value)
+            elif isinstance(value, (list, tuple)):
+                out.extend(v for v in value if isinstance(v, Expr))
+        return out
+
+
+@dataclass
+class Literal(Expr):
+    value: object  # str | int | Decimal | float
+
+
+@dataclass
+class SequenceExpr(Expr):
+    """The comma operator."""
+    items: list[Expr]
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class ContextItem(Expr):
+    """The ``.`` expression."""
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str                       # lexical QName, e.g. "qs:message"
+    args: list[Expr]
+
+
+@dataclass
+class IfExpr(Expr):
+    condition: Expr
+    then_branch: Expr
+    else_branch: Optional[Expr]    # None → empty sequence (QML shorthand)
+
+
+@dataclass
+class ForClause:
+    var: str
+    position_var: Optional[str]
+    source: Expr
+
+
+@dataclass
+class LetClause:
+    var: str
+    value: Expr
+
+
+@dataclass
+class OrderSpec:
+    key: Expr
+    descending: bool = False
+    empty_least: bool = True
+
+
+@dataclass
+class FLWORExpr(Expr):
+    clauses: list[Union[ForClause, LetClause]]
+    where: Optional[Expr]
+    order_by: list[OrderSpec]
+    return_expr: Expr
+
+    def children(self) -> list[Expr]:
+        out: list[Expr] = []
+        for clause in self.clauses:
+            out.append(clause.source if isinstance(clause, ForClause)
+                       else clause.value)
+        if self.where is not None:
+            out.append(self.where)
+        out.extend(spec.key for spec in self.order_by)
+        out.append(self.return_expr)
+        return out
+
+
+@dataclass
+class QuantifiedExpr(Expr):
+    quantifier: str                 # "some" | "every"
+    bindings: list[tuple[str, Expr]]
+    satisfies: Expr
+
+    def children(self) -> list[Expr]:
+        return [expr for _, expr in self.bindings] + [self.satisfies]
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str                          # "and" "or" "+" "-" "*" "div" "idiv"
+    left: Expr                       # "mod" "to" "union" "intersect" "except"
+    right: Expr
+
+
+@dataclass
+class Comparison(Expr):
+    op: str                          # "=" "!=" "<" "<=" ">" ">=" (general)
+    left: Expr                       # "eq" "ne" "lt" "le" "gt" "ge" (value)
+    right: Expr                      # "is" "<<" ">>"   (node)
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str                          # "-" | "+"
+    operand: Expr
+
+
+# -- paths -------------------------------------------------------------------
+
+@dataclass
+class NameTest:
+    """Element/attribute name test: ``n``, ``p:n``, ``*``, ``p:*``, ``*:n``."""
+    local_name: Optional[str]        # None → any local name
+    namespace: Optional[str] = None  # resolved URI; None → no namespace
+    any_namespace: bool = False
+
+
+@dataclass
+class KindTest:
+    kind: str                        # "node" "text" "comment" "element"
+    name: Optional[NameTest] = None  # "attribute" "document-node"
+                                     # "processing-instruction"
+
+
+@dataclass
+class AxisStep(Expr):
+    axis: str                        # child descendant descendant-or-self self
+    test: Union[NameTest, KindTest]  # parent ancestor ancestor-or-self
+    predicates: list[Expr] = field(default_factory=list)
+                                     # attribute following-sibling
+                                     # preceding-sibling following preceding
+
+    def children(self) -> list[Expr]:
+        return list(self.predicates)
+
+
+@dataclass
+class PathExpr(Expr):
+    """A path: optional root anchor plus steps."""
+    steps: list[Expr]                # AxisStep or arbitrary expr (postfix)
+    absolute: bool = False           # leading "/"  (or "//")
+
+
+@dataclass
+class FilterExpr(Expr):
+    """A primary expression with predicates: ``expr[pred]…``."""
+    base: Expr
+    predicates: list[Expr]
+
+    def children(self) -> list[Expr]:
+        return [self.base, *self.predicates]
+
+
+# -- constructors -------------------------------------------------------------
+
+@dataclass
+class AttributeConstructor:
+    name: QName
+    #: Alternating literal strings and Expr (attribute value template).
+    parts: list[Union[str, Expr]]
+
+
+@dataclass
+class DirectElementConstructor(Expr):
+    name: QName
+    attributes: list[AttributeConstructor]
+    #: Literal text (str), nested constructors, or enclosed Exprs.
+    content: list[Union[str, Expr]]
+    namespaces: dict[str, str] = field(default_factory=dict)
+
+    def children(self) -> list[Expr]:
+        out = [p for a in self.attributes for p in a.parts
+               if isinstance(p, Expr)]
+        out.extend(c for c in self.content if isinstance(c, Expr))
+        return out
+
+
+@dataclass
+class ComputedElementConstructor(Expr):
+    name_expr: Union[QName, Expr]
+    content: Optional[Expr]
+
+    def children(self) -> list[Expr]:
+        out = [self.name_expr] if isinstance(self.name_expr, Expr) else []
+        if self.content is not None:
+            out.append(self.content)
+        return out
+
+
+@dataclass
+class ComputedAttributeConstructor(Expr):
+    name_expr: Union[QName, Expr]
+    content: Optional[Expr]
+
+    def children(self) -> list[Expr]:
+        out = [self.name_expr] if isinstance(self.name_expr, Expr) else []
+        if self.content is not None:
+            out.append(self.content)
+        return out
+
+
+@dataclass
+class TextConstructor(Expr):
+    content: Optional[Expr]
+
+
+# -- Demaq update primitives ---------------------------------------------------
+
+@dataclass
+class EnqueueExpr(Expr):
+    """``do enqueue Expr into QName (with Name value Expr)*`` (paper §3.4)."""
+    message: Expr
+    queue: str
+    properties: list[tuple[str, Expr]] = field(default_factory=list)
+
+    def children(self) -> list[Expr]:
+        return [self.message, *(expr for _, expr in self.properties)]
+
+
+@dataclass
+class ResetExpr(Expr):
+    """``do reset`` / ``do reset(slicing, key)`` (paper §3.5.3)."""
+    slicing: Optional[str] = None
+    key: Optional[Expr] = None
+
+    def children(self) -> list[Expr]:
+        return [self.key] if self.key is not None else []
+
+
+def walk(expr: Expr):
+    """Pre-order traversal over an expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)

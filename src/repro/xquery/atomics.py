@@ -1,0 +1,292 @@
+"""Atomic values of the XQuery data model.
+
+We map XDM atomic types onto Python natives where the semantics line up —
+``xs:string``→``str``, ``xs:integer``→``int``, ``xs:decimal``→``Decimal``,
+``xs:double``→``float``, ``xs:boolean``→``bool`` — plus two dedicated
+classes: :class:`UntypedAtomic` (atomization of unvalidated nodes, with
+its special coercion rules) and :class:`XSDateTime` (timestamps for
+message metadata and echo queues).
+
+The helpers here implement the coercion machinery the evaluator needs:
+casting, numeric promotion, untyped-atomic comparison rules.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from datetime import datetime, timedelta, timezone
+from decimal import Decimal, InvalidOperation
+
+from .errors import DynamicError, FunctionError, TypeError_
+
+AtomicValue = object  # str | int | float | bool | Decimal | UntypedAtomic | XSDateTime
+
+
+class UntypedAtomic(str):
+    """The ``xs:untypedAtomic`` type: a string that coerces by context."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"untypedAtomic({str.__repr__(self)})"
+
+
+_DATETIME_RE = re.compile(
+    r"^(?P<y>-?\d{4,})-(?P<mo>\d{2})-(?P<d>\d{2})"
+    r"T(?P<h>\d{2}):(?P<mi>\d{2}):(?P<s>\d{2})(?P<frac>\.\d+)?"
+    r"(?P<tz>Z|[+-]\d{2}:\d{2})?$")
+
+
+class XSDateTime:
+    """An ``xs:dateTime`` value.
+
+    Backed by :class:`datetime.datetime`; values without a timezone are
+    treated as UTC (Demaq stamps all message metadata in UTC).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: datetime):
+        if value.tzinfo is None:
+            value = value.replace(tzinfo=timezone.utc)
+        self.value = value
+
+    @classmethod
+    def parse(cls, lexical: str) -> "XSDateTime":
+        match = _DATETIME_RE.match(lexical.strip())
+        if not match:
+            raise FunctionError(f"invalid xs:dateTime literal: {lexical!r}",
+                                "FORG0001")
+        frac = match.group("frac") or ""
+        microsecond = int(float(frac) * 1_000_000) if frac else 0
+        tz_raw = match.group("tz")
+        if tz_raw in (None, "Z"):
+            tzinfo = timezone.utc
+        else:
+            sign = 1 if tz_raw[0] == "+" else -1
+            hours, minutes = int(tz_raw[1:3]), int(tz_raw[4:6])
+            tzinfo = timezone(sign * timedelta(hours=hours, minutes=minutes))
+        try:
+            value = datetime(int(match.group("y")), int(match.group("mo")),
+                             int(match.group("d")), int(match.group("h")),
+                             int(match.group("mi")), int(match.group("s")),
+                             microsecond, tzinfo)
+        except ValueError as exc:
+            raise FunctionError(f"invalid xs:dateTime: {exc}", "FORG0001")
+        return cls(value)
+
+    @classmethod
+    def from_epoch(cls, seconds: float) -> "XSDateTime":
+        return cls(datetime.fromtimestamp(seconds, tz=timezone.utc))
+
+    def epoch(self) -> float:
+        return self.value.timestamp()
+
+    def __str__(self) -> str:
+        base = self.value.astimezone(timezone.utc)
+        text = base.strftime("%Y-%m-%dT%H:%M:%S")
+        if base.microsecond:
+            text += f".{base.microsecond:06d}".rstrip("0")
+        return text + "Z"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"XSDateTime({self})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, XSDateTime) and self.value == other.value
+
+    def __lt__(self, other: "XSDateTime") -> bool:
+        if not isinstance(other, XSDateTime):
+            raise TypeError_(f"cannot compare xs:dateTime with {type_name(other)}")
+        return self.value < other.value
+
+    def __le__(self, other: "XSDateTime") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "XSDateTime") -> bool:
+        return not self <= other
+
+    def __ge__(self, other: "XSDateTime") -> bool:
+        return not self < other
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+
+def is_atomic(item: object) -> bool:
+    """True for any XDM atomic value (as opposed to a node)."""
+    return isinstance(item, (str, int, float, bool, Decimal, XSDateTime))
+
+
+def is_numeric(item: object) -> bool:
+    return isinstance(item, (int, float, Decimal)) and not isinstance(item, bool)
+
+
+def type_name(item: object) -> str:
+    """The ``xs:`` type name of an atomic value (diagnostics)."""
+    if isinstance(item, UntypedAtomic):
+        return "xs:untypedAtomic"
+    if isinstance(item, bool):
+        return "xs:boolean"
+    if isinstance(item, int):
+        return "xs:integer"
+    if isinstance(item, Decimal):
+        return "xs:decimal"
+    if isinstance(item, float):
+        return "xs:double"
+    if isinstance(item, str):
+        return "xs:string"
+    if isinstance(item, XSDateTime):
+        return "xs:dateTime"
+    return type(item).__name__
+
+
+def atomic_to_string(value: AtomicValue) -> str:
+    """The canonical lexical form (fn:string of an atomic)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_double(value)
+    if isinstance(value, Decimal):
+        return format_decimal(value)
+    return str(value)
+
+
+def format_double(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "INF" if value > 0 else "-INF"
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def format_decimal(value: Decimal) -> str:
+    text = format(value, "f")
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text or "0"
+
+
+def cast_to_boolean(value: AtomicValue) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (UntypedAtomic, str)):
+        stripped = value.strip()
+        if stripped in ("true", "1"):
+            return True
+        if stripped in ("false", "0"):
+            return False
+        raise FunctionError(f"cannot cast {value!r} to xs:boolean", "FORG0001")
+    if is_numeric(value):
+        return bool(value) and not (isinstance(value, float) and math.isnan(value))
+    raise TypeError_(f"cannot cast {type_name(value)} to xs:boolean")
+
+
+def cast_to_integer(value: AtomicValue) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, (Decimal, float)):
+        if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+            raise FunctionError(f"cannot cast {value} to xs:integer", "FOCA0002")
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(value.strip())
+        except ValueError:
+            raise FunctionError(f"cannot cast {value!r} to xs:integer", "FORG0001")
+    raise TypeError_(f"cannot cast {type_name(value)} to xs:integer")
+
+
+def cast_to_decimal(value: AtomicValue) -> Decimal:
+    if isinstance(value, bool):
+        return Decimal(int(value))
+    if isinstance(value, Decimal):
+        return value
+    if isinstance(value, int):
+        return Decimal(value)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise FunctionError(f"cannot cast {value} to xs:decimal", "FOCA0002")
+        return Decimal(str(value))
+    if isinstance(value, str):
+        try:
+            return Decimal(value.strip())
+        except InvalidOperation:
+            raise FunctionError(f"cannot cast {value!r} to xs:decimal", "FORG0001")
+    raise TypeError_(f"cannot cast {type_name(value)} to xs:decimal")
+
+
+def cast_to_double(value: AtomicValue) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, Decimal):
+        return float(value)
+    if isinstance(value, str):
+        stripped = value.strip()
+        specials = {"INF": math.inf, "+INF": math.inf,
+                    "-INF": -math.inf, "NaN": math.nan}
+        if stripped in specials:
+            return specials[stripped]
+        try:
+            return float(stripped)
+        except ValueError:
+            raise FunctionError(f"cannot cast {value!r} to xs:double", "FORG0001")
+    raise TypeError_(f"cannot cast {type_name(value)} to xs:double")
+
+
+def cast_to_datetime(value: AtomicValue) -> XSDateTime:
+    if isinstance(value, XSDateTime):
+        return value
+    if isinstance(value, str):
+        return XSDateTime.parse(value)
+    raise TypeError_(f"cannot cast {type_name(value)} to xs:dateTime")
+
+
+#: Casts used by property typing and the ``xs:`` constructor functions.
+CASTS = {
+    "xs:string": lambda v: atomic_to_string(v),
+    "xs:boolean": cast_to_boolean,
+    "xs:integer": cast_to_integer,
+    "xs:int": cast_to_integer,
+    "xs:long": cast_to_integer,
+    "xs:decimal": cast_to_decimal,
+    "xs:double": cast_to_double,
+    "xs:dateTime": cast_to_datetime,
+    "xs:untypedAtomic": lambda v: UntypedAtomic(atomic_to_string(v)),
+}
+
+
+def cast_atomic(value: AtomicValue, target: str) -> AtomicValue:
+    """Cast *value* to the named ``xs:`` type."""
+    try:
+        cast = CASTS[target]
+    except KeyError:
+        raise DynamicError(f"unsupported atomic type {target!r}", "XPST0051")
+    return cast(value)
+
+
+def numeric_pair(left: AtomicValue, right: AtomicValue):
+    """Promote two values for arithmetic, per the XQuery promotion rules.
+
+    untypedAtomic operands are cast to xs:double first.
+    """
+    if isinstance(left, UntypedAtomic):
+        left = cast_to_double(left)
+    if isinstance(right, UntypedAtomic):
+        right = cast_to_double(right)
+    for value in (left, right):
+        if not is_numeric(value):
+            raise TypeError_(
+                f"arithmetic on non-numeric operand of type {type_name(value)}")
+    if isinstance(left, float) or isinstance(right, float):
+        return cast_to_double(left), cast_to_double(right)
+    if isinstance(left, Decimal) or isinstance(right, Decimal):
+        return cast_to_decimal(left), cast_to_decimal(right)
+    return left, right

@@ -1,0 +1,49 @@
+"""XQuery error conditions.
+
+Errors carry the W3C-style error codes (``err:XPST0003`` …) so rule
+authors get diagnoses comparable to a conforming processor, and so the
+engine's error-queue messages (paper §3.6) can embed a stable code.
+"""
+
+from __future__ import annotations
+
+
+class XQueryError(Exception):
+    """Base class: a static, dynamic, or type error with a W3C code."""
+
+    default_code = "FOER0000"
+
+    def __init__(self, message: str, code: str | None = None):
+        self.code = code or self.default_code
+        super().__init__(f"[err:{self.code}] {message}")
+        self.bare_message = message
+
+
+class StaticError(XQueryError):
+    """Grammar or static-context violation (XPST*)."""
+
+    default_code = "XPST0003"
+
+
+class TypeError_(XQueryError):
+    """Dynamic type mismatch (XPTY*)."""
+
+    default_code = "XPTY0004"
+
+
+class DynamicError(XQueryError):
+    """Runtime evaluation failure (XPDY*, FO*)."""
+
+    default_code = "XPDY0002"
+
+
+class FunctionError(XQueryError):
+    """Raised by fn:error() and library functions (FO*)."""
+
+    default_code = "FORG0001"
+
+
+class UpdateError(XQueryError):
+    """Violation of update semantics (XUTY*, XUDY*)."""
+
+    default_code = "XUTY0004"

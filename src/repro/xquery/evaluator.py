@@ -1,0 +1,702 @@
+"""The dynamic evaluator for the XQuery subset.
+
+Evaluation is a structural recursion over the AST: every handler takes
+``(expr, ctx)`` and returns a sequence (a Python list of nodes/atomics).
+Update primitives append to ``ctx.updates`` — the pending update list —
+and return the empty sequence, implementing the XQuery Update Facility's
+snapshot semantics (paper §3.1/§3.2: evaluation never observes its own
+updates; the executor applies the list afterwards).
+"""
+
+from __future__ import annotations
+
+import math
+from decimal import Decimal, DivisionByZero, InvalidOperation
+
+from ..xmldm import (Attribute, Comment, Document, Element, Node, QName, Text,
+                     deep_copy)
+from . import ast
+from .atomics import (UntypedAtomic, XSDateTime, atomic_to_string,
+                      cast_to_boolean, cast_to_datetime, cast_to_double,
+                      is_numeric, numeric_pair, type_name)
+from .context import DynamicContext
+from .errors import DynamicError, TypeError_
+from .functions import lookup
+from .parser import _CommentMarker
+from .sequence import (Sequence, atomize, document_order,
+                       effective_boolean_value, optional_singleton,
+                       string_value)
+from .updates import EnqueuePrimitive, ResetPrimitive, as_message_body
+
+
+def evaluate(expr: ast.Expr, ctx: DynamicContext) -> Sequence:
+    """Evaluate *expr* in *ctx*, returning its value sequence."""
+    handler = _HANDLERS.get(type(expr))
+    if handler is None:
+        raise DynamicError(f"no evaluator for {type(expr).__name__}")
+    return handler(expr, ctx)
+
+
+# -- literals, variables, sequences ------------------------------------------
+
+def _eval_literal(expr: ast.Literal, ctx) -> Sequence:
+    if isinstance(expr.value, _CommentMarker):
+        return [Comment(expr.value.value)]
+    return [expr.value]
+
+
+def _eval_sequence(expr: ast.SequenceExpr, ctx) -> Sequence:
+    out: Sequence = []
+    for item in expr.items:
+        out.extend(evaluate(item, ctx))
+    return out
+
+
+def _eval_var(expr: ast.VarRef, ctx) -> Sequence:
+    try:
+        return list(ctx.variables[expr.name])
+    except KeyError:
+        raise DynamicError(f"unbound variable ${expr.name}", "XPST0008")
+
+
+def _eval_context_item(expr: ast.ContextItem, ctx) -> Sequence:
+    return [ctx.require_context_item()]
+
+
+def _eval_function_call(expr: ast.FunctionCall, ctx) -> Sequence:
+    fn = lookup(expr.name, len(expr.args))
+    args = [evaluate(arg, ctx) for arg in expr.args]
+    return fn(ctx, args)
+
+
+# -- control flow ----------------------------------------------------------------
+
+def _eval_if(expr: ast.IfExpr, ctx) -> Sequence:
+    if effective_boolean_value(evaluate(expr.condition, ctx)):
+        return evaluate(expr.then_branch, ctx)
+    if expr.else_branch is None:
+        return []
+    return evaluate(expr.else_branch, ctx)
+
+
+def _eval_flwor(expr: ast.FLWORExpr, ctx) -> Sequence:
+    tuples: list[DynamicContext] = [ctx]
+    for clause in expr.clauses:
+        if isinstance(clause, ast.LetClause):
+            tuples = [t.bind(clause.var, evaluate(clause.value, t))
+                      for t in tuples]
+        else:
+            expanded: list[DynamicContext] = []
+            for t in tuples:
+                source = evaluate(clause.source, t)
+                for position, item in enumerate(source, 1):
+                    bound = t.bind(clause.var, [item])
+                    if clause.position_var:
+                        bound = bound.bind(clause.position_var, [position])
+                    expanded.append(bound)
+            tuples = expanded
+
+    if expr.where is not None:
+        tuples = [t for t in tuples
+                  if effective_boolean_value(evaluate(expr.where, t))]
+
+    if expr.order_by:
+        decorated = []
+        for index, t in enumerate(tuples):
+            keys = []
+            for spec in expr.order_by:
+                value = optional_singleton(
+                    atomize(evaluate(spec.key, t)), "order by key")
+                keys.append(_OrderKey(value, spec))
+            decorated.append((keys, index, t))
+        decorated.sort(key=lambda entry: (entry[0], entry[1]))
+        tuples = [t for _, _, t in decorated]
+
+    out: Sequence = []
+    for t in tuples:
+        out.extend(evaluate(expr.return_expr, t))
+    return out
+
+
+class _OrderKey:
+    """Comparable wrapper implementing order-by semantics (asc/desc, empty)."""
+
+    __slots__ = ("value", "spec")
+
+    def __init__(self, value, spec: ast.OrderSpec):
+        if isinstance(value, UntypedAtomic):
+            value = str(value)
+        self.value = value
+        self.spec = spec
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return self.spec.empty_least is not self.spec.descending
+        if b is None:
+            return self.spec.empty_least is self.spec.descending
+        less = _value_lt(a, b)
+        if self.spec.descending:
+            return _value_lt(b, a)
+        return less
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _OrderKey):
+            return NotImplemented
+        if self.value is None or other.value is None:
+            return self.value is None and other.value is None
+        return not _value_lt(self.value, other.value) \
+            and not _value_lt(other.value, self.value)
+
+
+def _value_lt(a, b) -> bool:
+    if isinstance(a, str) and isinstance(b, str):
+        return a < b
+    if isinstance(a, XSDateTime) and isinstance(b, XSDateTime):
+        return a < b
+    if isinstance(a, bool) and isinstance(b, bool):
+        return a < b
+    if is_numeric(a) and is_numeric(b):
+        left, right = numeric_pair(a, b)
+        return left < right
+    raise TypeError_(
+        f"cannot order {type_name(a)} against {type_name(b)}")
+
+
+def _eval_quantified(expr: ast.QuantifiedExpr, ctx) -> Sequence:
+    def recurse(bindings: list[tuple[str, ast.Expr]],
+                current: DynamicContext) -> bool:
+        if not bindings:
+            return effective_boolean_value(evaluate(expr.satisfies, current))
+        (var, source_expr), rest = bindings[0], bindings[1:]
+        source = evaluate(source_expr, current)
+        if expr.quantifier == "some":
+            return any(recurse(rest, current.bind(var, [item]))
+                       for item in source)
+        return all(recurse(rest, current.bind(var, [item]))
+                   for item in source)
+
+    return [recurse(expr.bindings, ctx)]
+
+
+# -- operators ---------------------------------------------------------------------
+
+def _eval_unary(expr: ast.UnaryOp, ctx) -> Sequence:
+    value = optional_singleton(atomize(evaluate(expr.operand, ctx)),
+                               "unary arithmetic")
+    if value is None:
+        return []
+    if isinstance(value, UntypedAtomic):
+        value = cast_to_double(value)
+    if not is_numeric(value):
+        raise TypeError_(f"unary {expr.op} on {type_name(value)}")
+    return [value if expr.op == "+" else -value]
+
+
+def _eval_binary(expr: ast.BinaryOp, ctx) -> Sequence:
+    op = expr.op
+    if op == "and":
+        left = effective_boolean_value(evaluate(expr.left, ctx))
+        if not left:
+            return [False]
+        return [effective_boolean_value(evaluate(expr.right, ctx))]
+    if op == "or":
+        left = effective_boolean_value(evaluate(expr.left, ctx))
+        if left:
+            return [True]
+        return [effective_boolean_value(evaluate(expr.right, ctx))]
+
+    if op in ("union", "intersect", "except"):
+        return _eval_set_op(expr, ctx)
+
+    left = optional_singleton(atomize(evaluate(expr.left, ctx)), f"'{op}'")
+    right = optional_singleton(atomize(evaluate(expr.right, ctx)), f"'{op}'")
+    if left is None or right is None:
+        return []
+
+    if op == "to":
+        start = _require_integer(left, "to")
+        end = _require_integer(right, "to")
+        return list(range(start, end + 1))
+
+    left, right = numeric_pair(left, right)
+    try:
+        if op == "+":
+            return [left + right]
+        if op == "-":
+            return [left - right]
+        if op == "*":
+            return [left * right]
+        if op == "div":
+            if isinstance(left, int):
+                left, right = Decimal(left), Decimal(right)
+            return [left / right]
+        if op == "idiv":
+            return [int(_trunc_div(left, right))]
+        if op == "mod":
+            return [_xquery_mod(left, right)]
+    except (ZeroDivisionError, DivisionByZero, InvalidOperation):
+        if op == "div" and isinstance(left, float):
+            if left == 0:
+                return [math.nan]
+            return [math.inf if (left > 0) == (right >= 0) else -math.inf]
+        raise DynamicError("division by zero", "FOAR0001")
+    raise DynamicError(f"unknown operator {op!r}")
+
+
+def _trunc_div(left, right):
+    """idiv truncates toward zero (unlike Python's floor division)."""
+    if right == 0:
+        raise ZeroDivisionError
+    quotient = float(left) / float(right)
+    return math.floor(quotient) if quotient >= 0 else math.ceil(quotient)
+
+
+def _xquery_mod(left, right):
+    """XQuery mod keeps the sign of the dividend (C-style fmod)."""
+    if isinstance(left, float) or isinstance(right, float):
+        return math.fmod(float(left), float(right))
+    if right == 0:
+        raise ZeroDivisionError
+    result = abs(left) % abs(right)
+    return result if left >= 0 else -result
+
+
+def _require_integer(value, what: str) -> int:
+    if isinstance(value, UntypedAtomic):
+        value = cast_to_double(value)
+    if isinstance(value, bool) or not isinstance(value, int):
+        if is_numeric(value) and float(value) == int(value):
+            return int(value)
+        raise TypeError_(f"'{what}' requires integers, got {type_name(value)}")
+    return value
+
+
+def _eval_set_op(expr: ast.BinaryOp, ctx) -> Sequence:
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    for item in (*left, *right):
+        if not isinstance(item, Node):
+            raise TypeError_(f"{expr.op} requires node sequences")
+    right_ids = {id(n) for n in right}
+    if expr.op == "union":
+        return document_order([*left, *right])
+    if expr.op == "intersect":
+        return document_order([n for n in left if id(n) in right_ids])
+    return document_order([n for n in left if id(n) not in right_ids])
+
+
+# -- comparisons --------------------------------------------------------------------
+
+def _eval_comparison(expr: ast.Comparison, ctx) -> Sequence:
+    op = expr.op
+    if op in ("is", "<<", ">>"):
+        return _eval_node_comparison(expr, ctx)
+
+    left_seq = evaluate(expr.left, ctx)
+    right_seq = evaluate(expr.right, ctx)
+
+    if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+        left = optional_singleton(atomize(left_seq), f"'{op}'")
+        right = optional_singleton(atomize(right_seq), f"'{op}'")
+        if left is None or right is None:
+            return []
+        return [_value_compare(op, left, right)]
+
+    # General comparison: existential over the atomized sequences.
+    mapping = {"=": "eq", "!=": "ne", "<": "lt", "<=": "le",
+               ">": "gt", ">=": "ge"}
+    value_op = mapping[op]
+    left_atoms = atomize(left_seq)
+    right_atoms = atomize(right_seq)
+    for a in left_atoms:
+        for b in right_atoms:
+            if _general_compare(value_op, a, b):
+                return [True]
+    return [False]
+
+
+def _eval_node_comparison(expr: ast.Comparison, ctx) -> Sequence:
+    left = optional_singleton(evaluate(expr.left, ctx), expr.op)
+    right = optional_singleton(evaluate(expr.right, ctx), expr.op)
+    if left is None or right is None:
+        return []
+    if not isinstance(left, Node) or not isinstance(right, Node):
+        raise TypeError_(f"'{expr.op}' requires nodes")
+    if expr.op == "is":
+        return [left is right]
+    if expr.op == "<<":
+        return [left.order_key() < right.order_key()]
+    return [left.order_key() > right.order_key()]
+
+
+def _value_compare(op: str, left, right) -> bool:
+    """Value comparison: untypedAtomic is treated as xs:string."""
+    if isinstance(left, UntypedAtomic):
+        left = str(left)
+    if isinstance(right, UntypedAtomic):
+        right = str(right)
+    return _apply_compare(op, left, right)
+
+
+def _general_compare(op: str, left, right) -> bool:
+    """General comparison coercion rules (XQuery 1.0 §3.5.2)."""
+    if isinstance(left, UntypedAtomic):
+        left = _coerce_untyped(left, right)
+    if isinstance(right, UntypedAtomic):
+        right = _coerce_untyped(right, left)
+    return _apply_compare(op, left, right)
+
+
+def _coerce_untyped(untyped: UntypedAtomic, other):
+    if is_numeric(other):
+        return cast_to_double(untyped)
+    if isinstance(other, bool):
+        return cast_to_boolean(untyped)
+    if isinstance(other, XSDateTime):
+        return cast_to_datetime(untyped)
+    return str(untyped)
+
+
+def _apply_compare(op: str, left, right) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        if not (isinstance(left, bool) and isinstance(right, bool)):
+            raise TypeError_(
+                f"cannot compare {type_name(left)} with {type_name(right)}")
+        pair = (left, right)
+    elif is_numeric(left) and is_numeric(right):
+        pair = numeric_pair(left, right)
+    elif isinstance(left, str) and isinstance(right, str):
+        pair = (left, right)
+    elif isinstance(left, XSDateTime) and isinstance(right, XSDateTime):
+        pair = (left, right)
+    else:
+        raise TypeError_(
+            f"cannot compare {type_name(left)} with {type_name(right)}")
+    a, b = pair
+    if op == "eq":
+        return a == b
+    if op == "ne":
+        return a != b
+    if op == "lt":
+        return a < b
+    if op == "le":
+        return a <= b
+    if op == "gt":
+        return a > b
+    return a >= b
+
+
+# -- paths ---------------------------------------------------------------------------
+
+def _eval_path(expr: ast.PathExpr, ctx) -> Sequence:
+    if expr.absolute:
+        item = ctx.require_context_item()
+        if not isinstance(item, Node):
+            raise TypeError_("'/' requires a node context item", "XPTY0020")
+        current: Sequence = [item.root]
+        steps = expr.steps
+        if not steps:
+            return current
+    else:
+        current = [None]  # placeholder: first step uses the outer focus
+        steps = expr.steps
+
+    first = True
+    for step in steps:
+        results: Sequence = []
+        any_nodes = False
+        any_atomics = False
+        if first and not expr.absolute:
+            contexts = [ctx]
+        else:
+            contexts = [ctx.focus(item, position, len(current))
+                        for position, item in enumerate(current, 1)]
+        for sub_ctx in contexts:
+            for item in evaluate(step, sub_ctx):
+                if isinstance(item, Node):
+                    any_nodes = True
+                else:
+                    any_atomics = True
+                results.append(item)
+        if any_nodes and any_atomics:
+            raise TypeError_(
+                "path step mixes nodes and atomic values", "XPTY0018")
+        if any_nodes:
+            results = document_order(results)
+        current = results
+        first = False
+        if not current:
+            return []
+    return current
+
+
+_REVERSE_AXES = frozenset(
+    {"parent", "ancestor", "ancestor-or-self", "preceding-sibling",
+     "preceding"})
+
+
+def _eval_axis_step(expr: ast.AxisStep, ctx) -> Sequence:
+    item = ctx.require_context_item()
+    if not isinstance(item, Node):
+        raise TypeError_(
+            f"axis step on a {type_name(item)} context item", "XPTY0020")
+    candidates = _axis_candidates(item, expr.axis)
+    matched = [n for n in candidates if _matches_test(n, expr.test, expr.axis)]
+    # Predicates see axis order (position 1 = nearest for reverse axes);
+    # the step's *value* is in document order.
+    result = _apply_predicates(matched, expr.predicates, ctx)
+    if expr.axis in _REVERSE_AXES:
+        return document_order(result)
+    return result
+
+
+def _axis_candidates(node: Node, axis: str) -> list[Node]:
+    if axis == "child":
+        return list(node.children)
+    if axis == "descendant":
+        return list(node.descendants())
+    if axis == "descendant-or-self":
+        return list(node.descendants_or_self())
+    if axis == "self":
+        return [node]
+    if axis == "attribute":
+        if isinstance(node, Element):
+            return list(node.attributes)
+        return []
+    if axis == "parent":
+        return [node.parent] if node.parent is not None else []
+    if axis == "ancestor":
+        return list(node.ancestors())
+    if axis == "ancestor-or-self":
+        return [node, *node.ancestors()]
+    if axis == "following-sibling":
+        return list(node.following_siblings())
+    if axis == "preceding-sibling":
+        return list(node.preceding_siblings())
+    if axis == "following":
+        out = []
+        current = node
+        while current is not None:
+            for sibling in current.following_siblings():
+                out.extend(sibling.descendants_or_self())
+            current = current.parent
+        return out
+    if axis == "preceding":
+        out = []
+        current = node
+        while current is not None:
+            for sibling in current.preceding_siblings():
+                out.extend(reversed(list(sibling.descendants_or_self())))
+            current = current.parent
+        return out
+    raise DynamicError(f"unsupported axis {axis!r}")
+
+
+def _matches_test(node: Node, test, axis: str) -> bool:
+    if isinstance(test, ast.KindTest):
+        return _matches_kind(node, test)
+    # A name test selects the axis's principal node kind.
+    principal = Attribute if axis == "attribute" else Element
+    if not isinstance(node, principal):
+        return False
+    return _matches_name(node.name, test)
+
+
+def _matches_name(name: QName, test: ast.NameTest) -> bool:
+    if test.local_name is not None and name.local_name != test.local_name:
+        return False
+    if test.any_namespace:
+        return True
+    return name.namespace_uri == test.namespace
+
+
+def _matches_kind(node: Node, test: ast.KindTest) -> bool:
+    kind = test.kind
+    if kind == "node":
+        return True
+    if kind == "text":
+        return isinstance(node, Text)
+    if kind == "comment":
+        return isinstance(node, Comment)
+    if kind == "document-node":
+        return isinstance(node, Document)
+    if kind == "element":
+        if not isinstance(node, Element):
+            return False
+        return test.name is None or _matches_name(node.name, test.name)
+    if kind == "attribute":
+        if not isinstance(node, Attribute):
+            return False
+        return test.name is None or _matches_name(node.name, test.name)
+    if kind == "processing-instruction":
+        from ..xmldm import ProcessingInstruction
+        if not isinstance(node, ProcessingInstruction):
+            return False
+        return test.name is None or node.target == test.name.local_name
+    raise DynamicError(f"unsupported kind test {kind!r}")
+
+
+def _apply_predicates(items: Sequence, predicates: list[ast.Expr],
+                      ctx: DynamicContext) -> Sequence:
+    for predicate in predicates:
+        size = len(items)
+        kept = []
+        for position, item in enumerate(items, 1):
+            inner = ctx.focus(item, position, size)
+            result = evaluate(predicate, inner)
+            if _predicate_truth(result, position):
+                kept.append(item)
+        items = kept
+    return items
+
+
+def _predicate_truth(result: Sequence, position: int) -> bool:
+    """Numeric predicates select by position; everything else is EBV."""
+    if len(result) == 1 and is_numeric(result[0]) \
+            and not isinstance(result[0], bool):
+        return float(result[0]) == position
+    return effective_boolean_value(result)
+
+
+def _eval_filter(expr: ast.FilterExpr, ctx) -> Sequence:
+    base = evaluate(expr.base, ctx)
+    return _apply_predicates(base, expr.predicates, ctx)
+
+
+# -- constructors -------------------------------------------------------------------
+
+def _eval_direct_constructor(expr: ast.DirectElementConstructor,
+                             ctx) -> Sequence:
+    element = Element(expr.name, namespaces=dict(expr.namespaces))
+    for attr in expr.attributes:
+        element.set_attribute(Attribute(attr.name,
+                                        _eval_value_template(attr.parts, ctx)))
+    for part in expr.content:
+        if isinstance(part, str):
+            element.append(Text(part))
+        else:
+            _append_content(element, evaluate(part, ctx))
+    return [element]
+
+
+def _eval_value_template(parts: list, ctx) -> str:
+    out: list[str] = []
+    for part in parts:
+        if isinstance(part, str):
+            out.append(part)
+        else:
+            values = atomize(evaluate(part, ctx))
+            out.append(" ".join(atomic_to_string(v) for v in values))
+    return "".join(out)
+
+
+def _append_content(element: Element, items: Sequence) -> None:
+    """Enclosed-expression content: copy nodes, space-join adjacent atomics."""
+    pending_atoms: list[str] = []
+
+    def flush() -> None:
+        if pending_atoms:
+            element.append(Text(" ".join(pending_atoms)))
+            pending_atoms.clear()
+
+    for item in items:
+        if isinstance(item, Node):
+            flush()
+            if isinstance(item, Attribute):
+                element.set_attribute(Attribute(item.name, item.value))
+            else:
+                element.append(deep_copy(item))
+        else:
+            pending_atoms.append(atomic_to_string(item))
+    flush()
+
+
+def _eval_computed_element(expr: ast.ComputedElementConstructor,
+                           ctx) -> Sequence:
+    if isinstance(expr.name_expr, QName):
+        name = expr.name_expr
+    else:
+        raw = string_value(optional_singleton(
+            evaluate(expr.name_expr, ctx), "element name") or "")
+        name = QName.parse(raw, ctx.namespaces)
+    element = Element(name)
+    if expr.content is not None:
+        _append_content(element, evaluate(expr.content, ctx))
+    return [element]
+
+
+def _eval_computed_attribute(expr: ast.ComputedAttributeConstructor,
+                             ctx) -> Sequence:
+    if isinstance(expr.name_expr, QName):
+        name = expr.name_expr
+    else:
+        raw = string_value(optional_singleton(
+            evaluate(expr.name_expr, ctx), "attribute name") or "")
+        name = QName.parse(raw, ctx.namespaces)
+    value = ""
+    if expr.content is not None:
+        values = atomize(evaluate(expr.content, ctx))
+        value = " ".join(atomic_to_string(v) for v in values)
+    return [Attribute(name, value)]
+
+
+def _eval_text_constructor(expr: ast.TextConstructor, ctx) -> Sequence:
+    if expr.content is None:
+        return []
+    values = atomize(evaluate(expr.content, ctx))
+    if not values:
+        return []
+    return [Text(" ".join(atomic_to_string(v) for v in values))]
+
+
+# -- Demaq update primitives -----------------------------------------------------
+
+def _eval_enqueue(expr: ast.EnqueueExpr, ctx) -> Sequence:
+    body = as_message_body(evaluate(expr.message, ctx))
+    properties = []
+    for name, value_expr in expr.properties:
+        value = optional_singleton(atomize(evaluate(value_expr, ctx)),
+                                   f"property {name}")
+        if isinstance(value, UntypedAtomic):
+            value = str(value)
+        properties.append((name, value))
+    ctx.updates.add(EnqueuePrimitive(expr.queue, body, tuple(properties)))
+    return []
+
+
+def _eval_reset(expr: ast.ResetExpr, ctx) -> Sequence:
+    key = None
+    if expr.key is not None:
+        key = optional_singleton(atomize(evaluate(expr.key, ctx)),
+                                 "slice key")
+        if isinstance(key, UntypedAtomic):
+            key = str(key)
+    ctx.updates.add(ResetPrimitive(expr.slicing, key))
+    return []
+
+
+_HANDLERS = {
+    ast.Literal: _eval_literal,
+    ast.SequenceExpr: _eval_sequence,
+    ast.VarRef: _eval_var,
+    ast.ContextItem: _eval_context_item,
+    ast.FunctionCall: _eval_function_call,
+    ast.IfExpr: _eval_if,
+    ast.FLWORExpr: _eval_flwor,
+    ast.QuantifiedExpr: _eval_quantified,
+    ast.UnaryOp: _eval_unary,
+    ast.BinaryOp: _eval_binary,
+    ast.Comparison: _eval_comparison,
+    ast.PathExpr: _eval_path,
+    ast.AxisStep: _eval_axis_step,
+    ast.FilterExpr: _eval_filter,
+    ast.DirectElementConstructor: _eval_direct_constructor,
+    ast.ComputedElementConstructor: _eval_computed_element,
+    ast.ComputedAttributeConstructor: _eval_computed_attribute,
+    ast.TextConstructor: _eval_text_constructor,
+    ast.EnqueueExpr: _eval_enqueue,
+    ast.ResetExpr: _eval_reset,
+}

@@ -1,0 +1,249 @@
+"""Tokenizer for the XQuery subset (shared with the QDL statement parser).
+
+The lexer is *pull based*: the parser asks for one token at a time and can
+reposition the cursor, which is how direct XML constructors are handled —
+when the parser decides a ``<`` opens a constructor rather than a
+comparison, it rewinds to the token's start offset and switches to
+character-level scanning (see :meth:`Lexer.seek`).
+
+Keywords are contextual (as in real XQuery): every keyword is tokenized
+as a NAME and the parser decides from context whether ``for`` is a
+FLWOR keyword or an element called *for*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import StaticError
+
+# Token types
+EOF = "eof"
+NAME = "name"            # possibly-prefixed QName
+VARIABLE = "variable"    # $name (value excludes the $)
+STRING = "string"
+INTEGER = "integer"
+DECIMAL = "decimal"
+DOUBLE = "double"
+SYMBOL = "symbol"
+
+#: Multi-character operators, longest first so maximal munch works.
+_SYMBOLS = [
+    "(#", "#)", ":=", "::", "!=", "<=", ">=", "<<", ">>", "//", "..",
+    "(", ")", "[", "]", "{", "}", ",", ";", "$", "@", "|", "+", "-",
+    "*", "/", "=", "<", ">", ".", "?", ":",
+]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_DIGITS = set("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    start: int
+    end: int
+    line: int
+    column: int
+
+    def is_name(self, *names: str) -> bool:
+        return self.type == NAME and self.value in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.type == SYMBOL and self.value in symbols
+
+    def describe(self) -> str:
+        if self.type == EOF:
+            return "end of input"
+        return f"{self.type} {self.value!r}"
+
+
+class Lexer:
+    """Tokenizes *text* on demand from the current cursor position."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- low level --------------------------------------------------------
+
+    def location(self, pos: int) -> tuple[int, int]:
+        line = self.text.count("\n", 0, pos) + 1
+        last_nl = self.text.rfind("\n", 0, pos)
+        return line, pos - last_nl
+
+    def error(self, message: str, pos: int | None = None) -> StaticError:
+        line, column = self.location(self.pos if pos is None else pos)
+        return StaticError(f"{message} (line {line}, column {column})")
+
+    def seek(self, pos: int) -> None:
+        """Reposition the cursor (used for constructor rescans)."""
+        self.pos = pos
+
+    def skip_ignorable(self) -> None:
+        """Skip whitespace and (nestable) ``(: … :)`` comments."""
+        text = self.text
+        while self.pos < len(text):
+            char = text[self.pos]
+            if char in " \t\r\n":
+                self.pos += 1
+            elif text.startswith("(:", self.pos):
+                depth = 1
+                self.pos += 2
+                while self.pos < len(text) and depth:
+                    if text.startswith("(:", self.pos):
+                        depth += 1
+                        self.pos += 2
+                    elif text.startswith(":)", self.pos):
+                        depth -= 1
+                        self.pos += 2
+                    else:
+                        self.pos += 1
+                if depth:
+                    raise self.error("unterminated comment")
+            else:
+                return
+
+    # -- tokenization -------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self.skip_ignorable()
+        start = self.pos
+        line, column = self.location(start)
+        text = self.text
+
+        def make(type_: str, value: str) -> Token:
+            return Token(type_, value, start, self.pos, line, column)
+
+        if start >= len(text):
+            return make(EOF, "")
+
+        char = text[start]
+
+        if char == "$":
+            self.pos += 1
+            name = self._read_qname()
+            if name is None:
+                raise self.error("expected a variable name after '$'")
+            return make(VARIABLE, name)
+
+        if char in ("'", '"'):
+            return make(STRING, self._read_string(char))
+
+        if char in _DIGITS or (char == "." and start + 1 < len(text)
+                               and text[start + 1] in _DIGITS):
+            return self._read_number(make)
+
+        if char in _NAME_START:
+            name = self._read_qname()
+            return make(NAME, name)
+
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, start):
+                self.pos = start + len(symbol)
+                return make(SYMBOL, symbol)
+
+        raise self.error(f"unexpected character {char!r}")
+
+    def _read_qname(self) -> str | None:
+        text = self.text
+        if self.pos >= len(text) or text[self.pos] not in _NAME_START:
+            return None
+        begin = self.pos
+        self.pos += 1
+        while self.pos < len(text) and text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        # NCName must not end with '.' or '-' (they'd belong to an operator).
+        while text[self.pos - 1] in ".-":
+            self.pos -= 1
+        name = text[begin:self.pos]
+        # Optional prefix, but not '::' (axis) and not 'Q{'-style.
+        if (self.pos < len(text) and text[self.pos] == ":"
+                and self.pos + 1 < len(text) and text[self.pos + 1] in _NAME_START
+                and not text.startswith("::", self.pos)):
+            self.pos += 1
+            rest = self._read_qname()
+            if rest is None:  # pragma: no cover - guarded by the check above
+                raise self.error("malformed QName")
+            name = f"{name}:{rest}"
+        return name
+
+    def _read_string(self, quote: str) -> str:
+        text = self.text
+        self.pos += 1
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(text):
+                raise self.error("unterminated string literal")
+            char = text[self.pos]
+            if char == quote:
+                if text.startswith(quote * 2, self.pos):
+                    parts.append(quote)
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return "".join(parts)
+            if char == "&":
+                self.pos += 1
+                parts.append(self._read_entity())
+                continue
+            parts.append(char)
+            self.pos += 1
+
+    def _read_entity(self) -> str:
+        from ..xmldm.parser import _PREDEFINED_ENTITIES
+        text = self.text
+        end = text.find(";", self.pos)
+        if end < 0:
+            raise self.error("unterminated entity reference")
+        body = text[self.pos:end]
+        self.pos = end + 1
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                return chr(int(body[2:], 16))
+            except (ValueError, OverflowError):
+                raise self.error(f"bad character reference &{body};")
+        if body.startswith("#"):
+            try:
+                return chr(int(body[1:], 10))
+            except (ValueError, OverflowError):
+                raise self.error(f"bad character reference &{body};")
+        try:
+            return _PREDEFINED_ENTITIES[body]
+        except KeyError:
+            raise self.error(f"unknown entity &{body};") from None
+
+    def _read_number(self, make) -> Token:
+        text = self.text
+        begin = self.pos
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(text):
+            char = text[self.pos]
+            if char in _DIGITS:
+                self.pos += 1
+            elif char == "." and not seen_dot and not seen_exp:
+                # ".." is the parent-axis abbreviation, not a decimal point.
+                if text.startswith("..", self.pos):
+                    break
+                seen_dot = True
+                self.pos += 1
+            elif char in "eE" and not seen_exp:
+                lookahead = self.pos + 1
+                if lookahead < len(text) and text[lookahead] in "+-":
+                    lookahead += 1
+                if lookahead < len(text) and text[lookahead] in _DIGITS:
+                    seen_exp = True
+                    self.pos = lookahead + 1
+                else:
+                    break
+            else:
+                break
+        literal = text[begin:self.pos]
+        if seen_exp:
+            return make(DOUBLE, literal)
+        if seen_dot:
+            return make(DECIMAL, literal)
+        return make(INTEGER, literal)

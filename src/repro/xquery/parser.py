@@ -1,0 +1,866 @@
+"""Recursive-descent parser for the XQuery subset plus Demaq extensions.
+
+The grammar follows XQuery 1.0 where implemented, with the two Demaq
+update primitives from the paper grafted on at the ExprSingle level:
+
+* ``do enqueue ExprSingle into QName (with Name value ExprSingle)*``
+* ``do reset`` / ``do reset(SlicingName, ExprSingle)``
+
+Direct element constructors switch the lexer into character-level
+scanning; enclosed expressions (``{...}``) switch back.  See
+:mod:`repro.xquery.lexer` for the mechanics.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+
+from ..xmldm import QName
+from ..xmldm.parser import _PREDEFINED_ENTITIES
+from .ast import (AttributeConstructor, AxisStep, BinaryOp, Comparison,
+                  ComputedAttributeConstructor, ComputedElementConstructor,
+                  ContextItem, DirectElementConstructor, EnqueueExpr, Expr,
+                  FilterExpr, FLWORExpr, ForClause, FunctionCall, IfExpr,
+                  KindTest, LetClause, Literal, NameTest, OrderSpec, PathExpr,
+                  QuantifiedExpr, ResetExpr, SequenceExpr, TextConstructor,
+                  UnaryOp, VarRef)
+from .errors import StaticError
+from .lexer import (DECIMAL, DOUBLE, EOF, INTEGER, NAME, STRING, SYMBOL,
+                    VARIABLE, Lexer, Token)
+
+_AXES = {
+    "child", "descendant", "descendant-or-self", "self", "attribute",
+    "parent", "ancestor", "ancestor-or-self", "following-sibling",
+    "preceding-sibling", "following", "preceding",
+}
+
+_KIND_TESTS = {
+    "node", "text", "comment", "element", "attribute", "document-node",
+    "processing-instruction",
+}
+
+_VALUE_COMPARISONS = {"eq", "ne", "lt", "le", "gt", "ge"}
+_GENERAL_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+_NAME_START_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START_CHARS | set("0123456789.-:")
+
+
+class Parser:
+    """Parses one expression (or statement fragment, for QDL reuse)."""
+
+    def __init__(self, text: str, namespaces: dict[str, str] | None = None):
+        self.lexer = Lexer(text)
+        self.namespaces = dict(namespaces or {})
+        self.current: Token = self.lexer.next_token()
+
+    # -- token plumbing ----------------------------------------------------
+
+    def advance(self) -> Token:
+        token = self.current
+        self.current = self.lexer.next_token()
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> StaticError:
+        token = token or self.current
+        return StaticError(
+            f"{message}, found {token.describe()} "
+            f"(line {token.line}, column {token.column})")
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise self.error(f"expected {symbol!r}")
+        return self.advance()
+
+    def expect_name(self, *names: str) -> Token:
+        if not self.current.is_name(*names):
+            expected = " or ".join(repr(n) for n in names)
+            raise self.error(f"expected keyword {expected}")
+        return self.advance()
+
+    def expect_qname(self) -> str:
+        if self.current.type != NAME:
+            raise self.error("expected a name")
+        return self.advance().value
+
+    def at_end(self) -> bool:
+        return self.current.type == EOF
+
+    def _resume_tokens_at(self, pos: int) -> None:
+        """Re-enter token mode at character offset *pos*."""
+        self.lexer.seek(pos)
+        self.current = self.lexer.next_token()
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        expr = self.parse_expr()
+        if not self.at_end():
+            raise self.error("unexpected trailing input")
+        return expr
+
+    def parse_expr(self) -> Expr:
+        items = [self.parse_expr_single()]
+        while self.current.is_symbol(","):
+            self.advance()
+            items.append(self.parse_expr_single())
+        if len(items) == 1:
+            return items[0]
+        return SequenceExpr(items)
+
+    # -- ExprSingle level -----------------------------------------------------
+
+    def parse_expr_single(self) -> Expr:
+        token = self.current
+        if token.type == NAME:
+            if token.value in ("for", "let") and self._next_is_variable():
+                return self.parse_flwor()
+            if token.value in ("some", "every") and self._next_is_variable():
+                return self.parse_quantified()
+            if token.value == "if" and self._next_is_symbol("("):
+                return self.parse_if()
+            if token.value == "do" and self._next_is_name("enqueue", "reset"):
+                return self.parse_update_primitive()
+            if token.value == "text" and self._next_is_symbol("{"):
+                return self.parse_computed_constructor()
+            if (token.value in ("element", "attribute")
+                    and (self._next_is_symbol("{")
+                         or self._next_is_constructor_name())):
+                return self.parse_computed_constructor()
+        return self.parse_or()
+
+    def _peek(self) -> Token:
+        saved_pos = self.lexer.pos
+        token = self.lexer.next_token()
+        self.lexer.seek(saved_pos)
+        return token
+
+    def _next_is_variable(self) -> bool:
+        return self._peek().type == VARIABLE
+
+    def _next_is_symbol(self, symbol: str) -> bool:
+        return self._peek().is_symbol(symbol)
+
+    def _next_is_name(self, *names: str) -> bool:
+        return self._peek().is_name(*names)
+
+    def _next_is_constructor_name(self) -> bool:
+        """True for ``element NAME {`` / ``attribute NAME {`` forms."""
+        saved_pos = self.lexer.pos
+        first = self.lexer.next_token()
+        second = self.lexer.next_token()
+        self.lexer.seek(saved_pos)
+        return first.type == NAME and second.is_symbol("{")
+
+    def parse_flwor(self) -> Expr:
+        clauses: list[ForClause | LetClause] = []
+        while self.current.is_name("for", "let"):
+            keyword = self.advance().value
+            while True:
+                if self.current.type != VARIABLE:
+                    raise self.error("expected a variable binding")
+                var = self.advance().value
+                if keyword == "for":
+                    position_var = None
+                    if self.current.is_name("at"):
+                        self.advance()
+                        if self.current.type != VARIABLE:
+                            raise self.error("expected a positional variable")
+                        position_var = self.advance().value
+                    self.expect_name("in")
+                    clauses.append(ForClause(var, position_var,
+                                             self.parse_expr_single()))
+                else:
+                    self.expect_symbol(":=")
+                    clauses.append(LetClause(var, self.parse_expr_single()))
+                if self.current.is_symbol(","):
+                    self.advance()
+                    continue
+                break
+
+        where = None
+        if self.current.is_name("where"):
+            self.advance()
+            where = self.parse_expr_single()
+
+        order_by: list[OrderSpec] = []
+        if self.current.is_name("stable"):
+            self.advance()
+            self.expect_name("order")
+            self.expect_name("by")
+            order_by = self.parse_order_specs()
+        elif self.current.is_name("order"):
+            self.advance()
+            self.expect_name("by")
+            order_by = self.parse_order_specs()
+
+        # The paper's examples chain `let ... let ... return`; the return
+        # keyword is mandatory, as in XQuery.
+        self.expect_name("return")
+        return FLWORExpr(clauses, where, order_by, self.parse_expr_single())
+
+    def parse_order_specs(self) -> list[OrderSpec]:
+        specs = [self.parse_order_spec()]
+        while self.current.is_symbol(","):
+            self.advance()
+            specs.append(self.parse_order_spec())
+        return specs
+
+    def parse_order_spec(self) -> OrderSpec:
+        key = self.parse_expr_single()
+        descending = False
+        if self.current.is_name("ascending"):
+            self.advance()
+        elif self.current.is_name("descending"):
+            self.advance()
+            descending = True
+        empty_least = not descending
+        if self.current.is_name("empty"):
+            self.advance()
+            token = self.expect_name("greatest", "least")
+            empty_least = token.value == "least"
+        return OrderSpec(key, descending, empty_least)
+
+    def parse_quantified(self) -> Expr:
+        quantifier = self.advance().value
+        bindings: list[tuple[str, Expr]] = []
+        while True:
+            if self.current.type != VARIABLE:
+                raise self.error("expected a variable binding")
+            var = self.advance().value
+            self.expect_name("in")
+            bindings.append((var, self.parse_expr_single()))
+            if self.current.is_symbol(","):
+                self.advance()
+                continue
+            break
+        self.expect_name("satisfies")
+        return QuantifiedExpr(quantifier, bindings, self.parse_expr_single())
+
+    def parse_if(self) -> Expr:
+        self.expect_name("if")
+        self.expect_symbol("(")
+        condition = self.parse_expr()
+        self.expect_symbol(")")
+        self.expect_name("then")
+        then_branch = self.parse_expr_single()
+        else_branch = None
+        if self.current.is_name("else"):
+            self.advance()
+            else_branch = self.parse_expr_single()
+        # QML convenience (paper §3.3): the else part may be absent, in
+        # which case the rule produces an empty update list.
+        return IfExpr(condition, then_branch, else_branch)
+
+    # -- Demaq update primitives ---------------------------------------------
+
+    def parse_update_primitive(self) -> Expr:
+        self.expect_name("do")
+        keyword = self.expect_name("enqueue", "reset").value
+        if keyword == "enqueue":
+            message = self.parse_expr_single()
+            self.expect_name("into")
+            queue = self.expect_qname()
+            properties: list[tuple[str, Expr]] = []
+            while self.current.is_name("with"):
+                self.advance()
+                prop = self.expect_qname()
+                self.expect_name("value")
+                properties.append((prop, self.parse_expr_single()))
+            return EnqueueExpr(message, queue, properties)
+        # do reset, optionally parameterized
+        if self.current.is_symbol("("):
+            self.advance()
+            if self.current.is_symbol(")"):
+                self.advance()
+                return ResetExpr()
+            slicing = self.expect_qname()
+            self.expect_symbol(",")
+            key = self.parse_expr_single()
+            self.expect_symbol(")")
+            return ResetExpr(slicing, key)
+        return ResetExpr()
+
+    # -- operator precedence chain ---------------------------------------------
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.current.is_name("or"):
+            self.advance()
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_comparison()
+        while self.current.is_name("and"):
+            self.advance()
+            left = BinaryOp("and", left, self.parse_comparison())
+        return left
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_range()
+        token = self.current
+        if token.type == SYMBOL and token.value in _GENERAL_COMPARISONS:
+            self.advance()
+            return Comparison(token.value, left, self.parse_range())
+        if token.type == NAME and token.value in _VALUE_COMPARISONS:
+            # Contextual: `a eq b` is a comparison, a trailing `eq` is not.
+            if self._starts_operand(self._peek()):
+                self.advance()
+                return Comparison(token.value, left, self.parse_range())
+        if token.is_name("is"):
+            self.advance()
+            return Comparison("is", left, self.parse_range())
+        if token.is_symbol("<<") or token.is_symbol(">>"):
+            self.advance()
+            return Comparison(token.value, left, self.parse_range())
+        return left
+
+    def _starts_operand(self, token: Token) -> bool:
+        if token.type in (NAME, VARIABLE, STRING, INTEGER, DECIMAL, DOUBLE):
+            return True
+        return token.type == SYMBOL and token.value in (
+            "(", "$", "@", "/", "//", ".", "..", "-", "+", "*", "<")
+
+    def parse_range(self) -> Expr:
+        left = self.parse_additive()
+        if self.current.is_name("to") and self._starts_operand(self._peek()):
+            self.advance()
+            return BinaryOp("to", left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.current.is_symbol("+", "-"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_union()
+        while True:
+            token = self.current
+            if token.is_symbol("*"):
+                op = "*"
+            elif token.type == NAME and token.value in ("div", "idiv", "mod") \
+                    and self._starts_operand(self._peek()):
+                op = token.value
+            else:
+                return left
+            self.advance()
+            left = BinaryOp(op, left, self.parse_union())
+
+    def parse_union(self) -> Expr:
+        left = self.parse_intersect()
+        while (self.current.is_symbol("|")
+               or (self.current.is_name("union")
+                   and self._starts_operand(self._peek()))):
+            self.advance()
+            left = BinaryOp("union", left, self.parse_intersect())
+        return left
+
+    def parse_intersect(self) -> Expr:
+        left = self.parse_unary()
+        while (self.current.type == NAME
+               and self.current.value in ("intersect", "except")
+               and self._starts_operand(self._peek())):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.current.is_symbol("-", "+"):
+            op = self.advance().value
+            return UnaryOp(op, self.parse_unary())
+        return self.parse_path()
+
+    # -- paths --------------------------------------------------------------
+
+    #: Keywords that, after a lone "/", continue the *enclosing* expression
+    #: rather than starting a step named like the keyword.  (The W3C grammar
+    #: solves this with the "leading-lone-slash" constraint; an element
+    #: really named e.g. `into` is reachable as /child::into.)
+    _PATH_TERMINATORS = frozenset({
+        "into", "with", "return", "then", "else", "satisfies",
+        "ascending", "descending",
+    })
+
+    def parse_path(self) -> Expr:
+        token = self.current
+        if token.is_symbol("/"):
+            self.advance()
+            if self._can_start_step() and not (
+                    self.current.type == NAME
+                    and self.current.value in self._PATH_TERMINATORS):
+                steps = self._parse_relative_steps()
+            else:
+                steps = []
+            return PathExpr(steps, absolute=True)
+        if token.is_symbol("//"):
+            self.advance()
+            steps: list[Expr] = [
+                AxisStep("descendant-or-self", KindTest("node"))]
+            steps.extend(self._parse_relative_steps())
+            return PathExpr(steps, absolute=True)
+        if not self._can_start_step():
+            raise self.error("expected an expression")
+        steps = self._parse_relative_steps()
+        if len(steps) == 1:
+            return steps[0]
+        return PathExpr(steps, absolute=False)
+
+    def _can_start_step(self) -> bool:
+        token = self.current
+        if token.type in (NAME, VARIABLE, STRING, INTEGER, DECIMAL, DOUBLE):
+            return True
+        return token.type == SYMBOL and token.value in (
+            "(", "@", ".", "..", "*", "<")
+
+    def _parse_relative_steps(self) -> list[Expr]:
+        steps = [self.parse_step()]
+        while True:
+            if self.current.is_symbol("/"):
+                self.advance()
+                steps.append(self.parse_step())
+            elif self.current.is_symbol("//"):
+                self.advance()
+                steps.append(AxisStep("descendant-or-self", KindTest("node")))
+                steps.append(self.parse_step())
+            else:
+                return steps
+
+    def parse_step(self) -> Expr:
+        token = self.current
+
+        if token.is_symbol(".."):
+            self.advance()
+            return AxisStep("parent", KindTest("node"),
+                            self._parse_predicates())
+
+        if token.is_symbol("@"):
+            self.advance()
+            test = self.parse_name_test()
+            return AxisStep("attribute", test, self._parse_predicates())
+
+        if token.type == NAME and token.value in _AXES \
+                and self._next_is_symbol("::"):
+            axis = self.advance().value
+            self.expect_symbol("::")
+            test = self.parse_node_test(axis)
+            return AxisStep(axis, test, self._parse_predicates())
+
+        if token.type == NAME and token.value in _KIND_TESTS \
+                and self._next_is_symbol("("):
+            test = self.parse_kind_test()
+            axis = "attribute" if test.kind == "attribute" else "child"
+            return AxisStep(axis, test, self._parse_predicates())
+
+        if (token.type == NAME and not self._next_is_symbol("(")) \
+                or token.is_symbol("*"):
+            test = self.parse_name_test()
+            return AxisStep("child", test, self._parse_predicates())
+
+        # Fall through to a primary expression with optional predicates.
+        primary = self.parse_primary()
+        predicates = self._parse_predicates()
+        if predicates:
+            return FilterExpr(primary, predicates)
+        return primary
+
+    def _parse_predicates(self) -> list[Expr]:
+        predicates: list[Expr] = []
+        while self.current.is_symbol("["):
+            self.advance()
+            predicates.append(self.parse_expr())
+            self.expect_symbol("]")
+        return predicates
+
+    def parse_node_test(self, axis: str) -> NameTest | KindTest:
+        if self.current.type == NAME and self.current.value in _KIND_TESTS \
+                and self._next_is_symbol("("):
+            return self.parse_kind_test()
+        return self.parse_name_test()
+
+    def parse_name_test(self) -> NameTest:
+        token = self.current
+        if token.is_symbol("*"):
+            self.advance()
+            if self.current.is_symbol(":"):
+                # *:local
+                self.advance()
+                local = self.expect_qname()
+                return NameTest(local, any_namespace=True)
+            return NameTest(None, any_namespace=True)
+        if token.type != NAME:
+            raise self.error("expected a name test")
+        name = self.advance().value
+        if self.current.is_symbol(":") and self._next_is_symbol("*"):
+            # prefix:*
+            self.advance()
+            self.advance()
+            uri = self._resolve_prefix(name, token)
+            return NameTest(None, uri)
+        if ":" in name:
+            prefix, local = name.split(":", 1)
+            uri = self._resolve_prefix(prefix, token)
+            return NameTest(local, uri)
+        return NameTest(name, None)
+
+    def _resolve_prefix(self, prefix: str, token: Token) -> str:
+        try:
+            return self.namespaces[prefix]
+        except KeyError:
+            raise self.error(f"undeclared namespace prefix {prefix!r}",
+                             token) from None
+
+    def parse_kind_test(self) -> KindTest:
+        kind = self.advance().value
+        self.expect_symbol("(")
+        name_test = None
+        if not self.current.is_symbol(")"):
+            if kind == "processing-instruction":
+                if self.current.type in (NAME, STRING):
+                    name_test = NameTest(self.advance().value)
+                else:
+                    raise self.error("expected a PI target")
+            elif kind in ("element", "attribute"):
+                name_test = self.parse_name_test()
+            else:
+                raise self.error(f"{kind}() takes no arguments")
+        self.expect_symbol(")")
+        return KindTest(kind, name_test)
+
+    # -- primaries -------------------------------------------------------------
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+
+        if token.type == STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type == INTEGER:
+            self.advance()
+            return Literal(int(token.value))
+        if token.type == DECIMAL:
+            self.advance()
+            return Literal(Decimal(token.value))
+        if token.type == DOUBLE:
+            self.advance()
+            return Literal(float(token.value))
+        if token.type == VARIABLE:
+            self.advance()
+            return VarRef(token.value)
+        if token.is_symbol("."):
+            self.advance()
+            return ContextItem()
+        if token.is_symbol("("):
+            self.advance()
+            if self.current.is_symbol(")"):
+                self.advance()
+                return SequenceExpr([])
+            expr = self.parse_expr()
+            self.expect_symbol(")")
+            return expr
+        if token.is_symbol("<"):
+            return self.parse_direct_constructor()
+        if token.type == NAME and self._next_is_symbol("("):
+            return self.parse_function_call()
+        raise self.error("expected an expression")
+
+    def parse_function_call(self) -> Expr:
+        name = self.advance().value
+        self.expect_symbol("(")
+        args: list[Expr] = []
+        if not self.current.is_symbol(")"):
+            args.append(self.parse_expr_single())
+            while self.current.is_symbol(","):
+                self.advance()
+                args.append(self.parse_expr_single())
+        self.expect_symbol(")")
+        return FunctionCall(name, args)
+
+    def parse_computed_constructor(self) -> Expr:
+        kind = self.advance().value
+        if kind == "text":
+            self.expect_symbol("{")
+            content = None if self.current.is_symbol("}") else self.parse_expr()
+            self.expect_symbol("}")
+            return TextConstructor(content)
+        # element {name} {content} — we support the literal-name form
+        # `element name {content}` as well.
+        if self.current.type == NAME:
+            name_expr: QName | Expr = QName(self.advance().value)
+        else:
+            self.expect_symbol("{")
+            name_expr = self.parse_expr()
+            self.expect_symbol("}")
+        self.expect_symbol("{")
+        content = None if self.current.is_symbol("}") else self.parse_expr()
+        self.expect_symbol("}")
+        if kind == "element":
+            return ComputedElementConstructor(name_expr, content)
+        return ComputedAttributeConstructor(name_expr, content)
+
+    # -- direct constructors (character-level) ----------------------------------
+
+    def parse_direct_constructor(self) -> Expr:
+        start = self.current.start
+        element, end_pos = self._scan_element(start)
+        self._resume_tokens_at(end_pos)
+        return element
+
+    def _char_error(self, message: str, pos: int) -> StaticError:
+        line, column = self.lexer.location(pos)
+        return StaticError(f"{message} (line {line}, column {column})")
+
+    def _scan_element(self, pos: int) -> tuple[DirectElementConstructor, int]:
+        text = self.lexer.text
+        if not text.startswith("<", pos):
+            raise self._char_error("expected '<'", pos)
+        pos += 1
+        raw_name, pos = self._scan_xml_name(pos)
+
+        attributes: list[AttributeConstructor] = []
+        namespaces: dict[str, str] = {}
+        while True:
+            while pos < len(text) and text[pos] in " \t\r\n":
+                pos += 1
+            if pos >= len(text):
+                raise self._char_error("unterminated start tag", pos)
+            if text.startswith("/>", pos) or text[pos] == ">":
+                break
+            attr_name, pos = self._scan_xml_name(pos)
+            while pos < len(text) and text[pos] in " \t\r\n":
+                pos += 1
+            if pos >= len(text) or text[pos] != "=":
+                raise self._char_error("expected '=' in attribute", pos)
+            pos += 1
+            while pos < len(text) and text[pos] in " \t\r\n":
+                pos += 1
+            parts, pos = self._scan_attribute_value(pos)
+            if attr_name == "xmlns" or attr_name.startswith("xmlns:"):
+                if not all(isinstance(p, str) for p in parts):
+                    raise self._char_error(
+                        "namespace declarations must be literal", pos)
+                uri = "".join(parts)  # type: ignore[arg-type]
+                prefix = "" if attr_name == "xmlns" else attr_name[6:]
+                namespaces[prefix] = uri
+            else:
+                attributes.append(
+                    AttributeConstructor(self._constructor_qname(attr_name),
+                                         parts))
+
+        scope = dict(self.namespaces)
+        scope.update({p: u for p, u in namespaces.items() if p})
+        name = self._constructor_qname(raw_name, scope,
+                                       namespaces.get(""))
+        element = DirectElementConstructor(name, attributes, [], namespaces)
+
+        if text.startswith("/>", pos):
+            return element, pos + 2
+        pos += 1  # consume ">"
+        pos = self._scan_content(element, pos, scope, namespaces.get(""))
+        # at "</"
+        pos += 2
+        close_name, pos = self._scan_xml_name(pos)
+        if close_name != raw_name:
+            raise self._char_error(
+                f"mismatched constructor end tag </{close_name}>", pos)
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        if pos >= len(text) or text[pos] != ">":
+            raise self._char_error("expected '>'", pos)
+        return element, pos + 1
+
+    def _constructor_qname(self, raw: str,
+                           scope: dict[str, str] | None = None,
+                           default_ns: str | None = None) -> QName:
+        scope = scope if scope is not None else self.namespaces
+        try:
+            return QName.parse(raw, scope, default_ns)
+        except ValueError as exc:
+            raise StaticError(str(exc)) from None
+
+    def _scan_xml_name(self, pos: int) -> tuple[str, int]:
+        text = self.lexer.text
+        if pos >= len(text) or text[pos] not in _NAME_START_CHARS:
+            raise self._char_error("expected an XML name", pos)
+        begin = pos
+        while pos < len(text) and text[pos] in _NAME_CHARS:
+            pos += 1
+        return text[begin:pos], pos
+
+    def _scan_attribute_value(self, pos: int) -> tuple[list, int]:
+        text = self.lexer.text
+        if pos >= len(text) or text[pos] not in ("'", '"'):
+            raise self._char_error("expected a quoted attribute value", pos)
+        quote = text[pos]
+        pos += 1
+        parts: list = []
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                parts.append("".join(buffer))
+                buffer.clear()
+
+        while True:
+            if pos >= len(text):
+                raise self._char_error("unterminated attribute value", pos)
+            char = text[pos]
+            if char == quote:
+                if text.startswith(quote * 2, pos):
+                    buffer.append(quote)
+                    pos += 2
+                    continue
+                flush()
+                return parts, pos + 1
+            if char == "{":
+                if text.startswith("{{", pos):
+                    buffer.append("{")
+                    pos += 2
+                    continue
+                flush()
+                expr, pos = self._parse_enclosed(pos)
+                parts.append(expr)
+                continue
+            if char == "}":
+                if text.startswith("}}", pos):
+                    buffer.append("}")
+                    pos += 2
+                    continue
+                raise self._char_error("unescaped '}' in attribute value", pos)
+            if char == "&":
+                decoded, pos = self._scan_entity(pos)
+                buffer.append(decoded)
+                continue
+            if char == "<":
+                raise self._char_error("'<' not allowed in attribute value", pos)
+            buffer.append(char)
+            pos += 1
+
+    def _scan_entity(self, pos: int) -> tuple[str, int]:
+        text = self.lexer.text
+        end = text.find(";", pos)
+        if end < 0:
+            raise self._char_error("unterminated entity reference", pos)
+        body = text[pos + 1:end]
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                return chr(int(body[2:], 16)), end + 1
+            except (ValueError, OverflowError):
+                raise self._char_error(f"bad character reference &{body};", pos)
+        if body.startswith("#"):
+            try:
+                return chr(int(body[1:], 10)), end + 1
+            except (ValueError, OverflowError):
+                raise self._char_error(f"bad character reference &{body};", pos)
+        try:
+            return _PREDEFINED_ENTITIES[body], end + 1
+        except KeyError:
+            raise self._char_error(f"unknown entity &{body};", pos) from None
+
+    def _parse_enclosed(self, pos: int) -> tuple[Expr, int]:
+        """Parse ``{Expr}`` starting at the ``{``; return (expr, end_pos)."""
+        self._resume_tokens_at(pos)
+        self.expect_symbol("{")
+        expr = self.parse_expr()
+        if not self.current.is_symbol("}"):
+            raise self.error("expected '}'")
+        return expr, self.current.end
+
+    def _scan_content(self, element: DirectElementConstructor, pos: int,
+                      scope: dict[str, str], default_ns: str | None) -> int:
+        text = self.lexer.text
+        buffer: list[str] = []
+        significant = False   # entity refs and CDATA defeat ws-stripping
+
+        def flush() -> None:
+            nonlocal significant
+            if buffer:
+                chunk = "".join(buffer)
+                # Boundary-whitespace stripping (XQuery 1.0 §3.7.1.4):
+                # whitespace-only literal text between constructs is
+                # dropped unless it came from references or CDATA.
+                if significant or not chunk.isspace():
+                    element.content.append(chunk)
+                buffer.clear()
+            significant = False
+
+        while True:
+            if pos >= len(text):
+                raise self._char_error(
+                    f"unterminated constructor <{element.name}>", pos)
+            if text.startswith("</", pos):
+                flush()
+                return pos
+            if text.startswith("<![CDATA[", pos):
+                end = text.find("]]>", pos)
+                if end < 0:
+                    raise self._char_error("unterminated CDATA section", pos)
+                buffer.append(text[pos + 9:end])
+                significant = True
+                pos = end + 3
+                continue
+            if text.startswith("<!--", pos):
+                end = text.find("-->", pos)
+                if end < 0:
+                    raise self._char_error("unterminated comment", pos)
+                flush()
+                element.content.append(Literal(_CommentMarker(text[pos + 4:end])))
+                pos = end + 3
+                continue
+            char = text[pos]
+            if char == "<":
+                flush()
+                saved_ns = self.namespaces
+                self.namespaces = scope
+                try:
+                    child, pos = self._scan_element(pos)
+                finally:
+                    self.namespaces = saved_ns
+                element.content.append(child)
+                continue
+            if char == "{":
+                if text.startswith("{{", pos):
+                    buffer.append("{")
+                    pos += 2
+                    continue
+                flush()
+                expr, pos = self._parse_enclosed(pos)
+                element.content.append(expr)
+                continue
+            if char == "}":
+                if text.startswith("}}", pos):
+                    buffer.append("}")
+                    pos += 2
+                    continue
+                raise self._char_error("unescaped '}' in element content", pos)
+            if char == "&":
+                decoded, pos = self._scan_entity(pos)
+                buffer.append(decoded)
+                significant = True
+                continue
+            buffer.append(char)
+            pos += 1
+
+
+class _CommentMarker:
+    """Wrapper marking a literal comment inside constructor content."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+
+def parse_expression(text: str,
+                     namespaces: dict[str, str] | None = None) -> Expr:
+    """Parse a complete XQuery/QML expression.
+
+    >>> expr = parse_expression("if (//offerRequest) then 1 else 2")
+    >>> type(expr).__name__
+    'IfExpr'
+    """
+    return Parser(text, namespaces).parse_expression()

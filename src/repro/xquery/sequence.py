@@ -1,0 +1,144 @@
+"""Sequence operations of the XQuery data model.
+
+A *sequence* is a flat Python list whose items are either
+:class:`repro.xmldm.Node` instances or atomic values
+(:mod:`repro.xquery.atomics`).  This module provides the core operations
+the evaluator leans on: atomization, effective boolean value, string
+value, and document-order normalization for path results.
+"""
+
+from __future__ import annotations
+
+import math
+from decimal import Decimal
+
+from ..xmldm import Node
+from .atomics import (UntypedAtomic, XSDateTime, atomic_to_string, is_atomic,
+                      is_numeric)
+from .errors import TypeError_
+
+Sequence = list
+
+
+def atomize_item(item: object) -> object:
+    """Atomize one item: nodes yield untypedAtomic of their string value."""
+    if isinstance(item, Node):
+        return UntypedAtomic(item.string_value)
+    if is_atomic(item):
+        return item
+    raise TypeError_(f"cannot atomize {type(item).__name__}")
+
+
+def atomize(sequence: Sequence) -> Sequence:
+    """fn:data — atomize every item."""
+    return [atomize_item(item) for item in sequence]
+
+
+def string_value(item: object) -> str:
+    """fn:string of a single item."""
+    if isinstance(item, Node):
+        return item.string_value
+    if is_atomic(item):
+        return atomic_to_string(item)
+    raise TypeError_(f"no string value for {type(item).__name__}")
+
+
+def effective_boolean_value(sequence: Sequence) -> bool:
+    """The EBV rules of XQuery 1.0 §2.4.3."""
+    if not sequence:
+        return False
+    first = sequence[0]
+    if isinstance(first, Node):
+        return True
+    if len(sequence) > 1:
+        raise TypeError_(
+            "effective boolean value of a multi-item atomic sequence",
+            "FORG0006")
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, (UntypedAtomic, str)):
+        return len(first) > 0
+    if is_numeric(first):
+        if isinstance(first, float) and math.isnan(first):
+            return False
+        return first != 0
+    raise TypeError_(
+        f"no effective boolean value for a {type(first).__name__}", "FORG0006")
+
+
+def singleton(sequence: Sequence, what: str) -> object:
+    """Require exactly one item (for operators that demand singletons)."""
+    if len(sequence) != 1:
+        raise TypeError_(
+            f"{what} requires a singleton sequence, got {len(sequence)} items")
+    return sequence[0]
+
+
+def optional_singleton(sequence: Sequence, what: str) -> object | None:
+    """Require zero or one items; empty returns None."""
+    if not sequence:
+        return None
+    return singleton(sequence, what)
+
+
+def document_order(nodes: list[Node]) -> list[Node]:
+    """Sort nodes into document order and drop duplicates (by identity)."""
+    seen: set[int] = set()
+    unique: list[Node] = []
+    for node in nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+    unique.sort(key=lambda n: n.order_key())
+    return unique
+
+
+def all_nodes(sequence: Sequence) -> bool:
+    return all(isinstance(item, Node) for item in sequence)
+
+
+def deep_equal_items(a: object, b: object) -> bool:
+    """fn:deep-equal on two items."""
+    if isinstance(a, Node) and isinstance(b, Node):
+        return _deep_equal_nodes(a, b)
+    if isinstance(a, Node) or isinstance(b, Node):
+        return False
+    if isinstance(a, (UntypedAtomic, str)) and isinstance(b, (UntypedAtomic, str)):
+        return str(a) == str(b)
+    if is_numeric(a) and is_numeric(b) and not (
+            isinstance(a, bool) or isinstance(b, bool)):
+        return float(a) == float(b)
+    if isinstance(a, bool) and isinstance(b, bool):
+        return a == b
+    if isinstance(a, XSDateTime) and isinstance(b, XSDateTime):
+        return a == b
+    return False
+
+
+def _deep_equal_nodes(a: Node, b: Node) -> bool:
+    from ..xmldm import Attribute, Comment, Document, Element, Text
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Element):
+        if a.name != b.name:
+            return False
+        attrs_a = sorted((x.name.clark, x.value) for x in a.attributes)
+        attrs_b = sorted((x.name.clark, x.value) for x in b.attributes)
+        if attrs_a != attrs_b:
+            return False
+        kids_a = [c for c in a.children if isinstance(c, (Element, Text))]
+        kids_b = [c for c in b.children if isinstance(c, (Element, Text))]
+        if len(kids_a) != len(kids_b):
+            return False
+        return all(_deep_equal_nodes(x, y) for x, y in zip(kids_a, kids_b))
+    if isinstance(a, Document):
+        kids_a = [c for c in a.children if isinstance(c, (Element, Text))]
+        kids_b = [c for c in b.children if isinstance(c, (Element, Text))]
+        if len(kids_a) != len(kids_b):
+            return False
+        return all(_deep_equal_nodes(x, y) for x, y in zip(kids_a, kids_b))
+    if isinstance(a, (Text, Comment)):
+        return a.value == b.value
+    if isinstance(a, Attribute):
+        return a.name == b.name and a.value == b.value
+    return a.string_value == b.string_value

@@ -1,0 +1,109 @@
+"""Tests for the comparison baselines (BPEL-like engine, transformation
+chain) used by the benchmark harness."""
+
+import pytest
+
+from repro.baselines import (BPELLikeEngine, ImperativePipeline,
+                             dict_to_rows, dict_to_xml, rows_to_dict,
+                             xml_to_dict)
+from repro.xmldm import parse, serialize
+
+
+def correlate(document):
+    node = document.root_element.first_child("id")
+    return node.text if node is not None else "anonymous"
+
+
+def two_step_handler(context, message):
+    context.variables[f"msg{context.step}"] = message
+    context.step += 1
+    return context.step >= 2
+
+
+def test_bpel_instances_complete():
+    engine = BPELLikeEngine(two_step_handler, correlate, max_resident=10)
+    engine.deliver("<m><id>a</id></m>")
+    assert engine.completed == 0
+    engine.deliver("<m><id>a</id></m>")
+    assert engine.completed == 1
+    assert engine.active_instances() == 0
+
+
+def test_bpel_instances_isolated():
+    engine = BPELLikeEngine(two_step_handler, correlate, max_resident=10)
+    engine.deliver("<m><id>a</id></m>")
+    engine.deliver("<m><id>b</id></m>")
+    assert engine.completed == 0
+    assert engine.active_instances() == 2
+
+
+def test_dehydration_kicks_in_beyond_resident_limit():
+    engine = BPELLikeEngine(two_step_handler, correlate, max_resident=2)
+    for key in ("a", "b", "c", "d"):
+        engine.deliver(f"<m><id>{key}</id></m>")
+    assert engine.store.dehydrations >= 2
+    # finishing a dehydrated instance requires rehydration
+    engine.deliver("<m><id>a</id></m>")
+    assert engine.store.rehydrations >= 1
+    assert engine.completed == 1
+
+
+def test_rehydrated_context_preserves_variables():
+    engine = BPELLikeEngine(two_step_handler, correlate, max_resident=1)
+    engine.deliver("<m><id>a</id><payload>hello</payload></m>")
+    engine.deliver("<m><id>b</id></m>")      # evicts a
+    assert "a" in engine.store
+    context = engine._acquire("a")
+    assert context.step == 1
+    assert context.variables["msg0"].root_element.first_child(
+        "payload").text == "hello"
+
+
+def test_xml_dict_round_trip():
+    doc = parse("<order><id>1</id><items><item>a</item><item>b</item>"
+                "</items></order>")
+    data = xml_to_dict(doc)
+    assert data == {"order": {"id": "1", "items": {"item": ["a", "b"]}}}
+    back = dict_to_xml(data)
+    assert xml_to_dict(back) == data
+
+
+def test_rows_round_trip():
+    data = {"order": {"id": "1", "customer": {"name": "acme"}}}
+    rows = dict_to_rows(data)
+    assert ("/order/id", "1") in rows
+    assert rows_to_dict(rows) == data
+
+
+def test_pipeline_zero_tiers_is_identity_logic():
+    pipeline = ImperativePipeline(lambda d: d, tiers=0)
+    out = pipeline.handle("<a><b>x</b></a>")
+    assert parse(out).root_element.first_child("b").text == "x"
+    assert pipeline.transformations == 2     # in + out only
+
+
+def test_pipeline_transformation_count_grows_with_tiers():
+    counts = []
+    for tiers in (0, 1, 2, 4):
+        pipeline = ImperativePipeline(lambda d: d, tiers=tiers)
+        pipeline.handle("<a><b>x</b></a>")
+        counts.append(pipeline.transformations)
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+
+
+def test_pipeline_preserves_business_result_across_tiers():
+    def logic(data):
+        order = data["order"]
+        return {"ack": {"ref": order["id"]}}
+
+    results = set()
+    for tiers in (0, 1, 3, 5):
+        pipeline = ImperativePipeline(logic, tiers=tiers)
+        results.add(pipeline.handle("<order><id>42</id></order>"))
+    assert results == {"<ack><ref>42</ref></ack>"}
+
+
+def test_pipeline_rejects_negative_tiers():
+    with pytest.raises(ValueError):
+        ImperativePipeline(lambda d: d, tiers=-1)

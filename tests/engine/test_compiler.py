@@ -1,0 +1,154 @@
+"""Tests for rule compilation: rewrites and prefilters (§4.4.1)."""
+
+from repro.engine.compiler import compile_rules, element_names
+from repro.qdl import parse_qdl
+from repro.xmldm import parse
+from repro.xquery import ast
+
+APP = parse_qdl("""
+    create queue crm kind basic mode persistent;
+    create queue out kind basic mode persistent;
+    create property orderID as xs:string fixed
+        queue crm value //orderID;
+    create slicing orders on orderID;
+    create rule r1 for crm
+        if (//offerRequest) then do enqueue <a/> into out;
+    create rule r2 for crm
+        if (qs:property("orderID") = "x" and qs:queue()) then
+            do enqueue <b/> into out;
+    create rule r3 for orders
+        if (qs:slice()) then do reset
+""")
+
+
+def find_calls(expr, name):
+    return [n for n in ast.walk(expr)
+            if isinstance(n, ast.FunctionCall) and n.name == name]
+
+
+def test_queue_rules_in_plan():
+    compiled = compile_rules(APP)
+    plan = compiled.plan_for("crm")
+    assert [r.name for r in plan.rules] == ["r1", "r2"]
+    assert [r.name for r in plan.slice_rules] == ["r3"]
+    assert compiled.plan_for("out").rules == []
+
+
+def test_slice_rule_attached_to_covered_queues_only():
+    compiled = compile_rules(APP)
+    assert compiled.plan_for("out").slice_rules == []
+
+
+def test_default_queue_argument_supplied():
+    compiled = compile_rules(APP)
+    r2 = compiled.plan_for("crm").rules[1]
+    calls = find_calls(r2.body, "qs:queue")
+    assert len(calls) == 1
+    assert isinstance(calls[0].args[0], ast.Literal)
+    assert calls[0].args[0].value == "crm"
+
+
+def test_fixed_property_inlined():
+    compiled = compile_rules(APP)
+    r2 = compiled.plan_for("crm").rules[1]
+    assert find_calls(r2.body, "qs:property") == []
+    # replaced by xs:string(<value expr>) preserving the declared type
+    casts = find_calls(r2.body, "xs:string")
+    assert len(casts) == 1
+
+
+def test_original_rule_ast_untouched():
+    compile_rules(APP)
+    source_rule = APP.rules[1]
+    assert find_calls(source_rule.body, "qs:property")
+
+
+def test_unoptimized_plan_keeps_everything():
+    compiled = compile_rules(APP, optimize=False)
+    r2 = compiled.plan_for("crm").rules[1]
+    assert find_calls(r2.body, "qs:property")
+    assert not find_calls(r2.body, "qs:queue")[0].args
+    assert r2.required_elements is None
+
+
+def test_prefilter_extracted_from_condition():
+    compiled = compile_rules(APP)
+    r1 = compiled.plan_for("crm").rules[0]
+    assert r1.required_elements == frozenset({"offerRequest"})
+
+
+def test_prefilter_none_for_unanalyzable():
+    compiled = compile_rules(APP)
+    r3 = compiled.plan_for("crm").slice_rules[0]
+    assert r3.required_elements is None     # qs:slice() tells us nothing
+
+
+def test_prefilter_conjunction_uses_any_conjunct():
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create rule r for q
+            if (//a and qs:queue("q")) then do enqueue <x/> into q
+    """)
+    compiled = compile_rules(app)
+    rule = compiled.plan_for("q").rules[0]
+    assert rule.required_elements == frozenset({"a"})
+
+
+def test_prefilter_disjunction_unions():
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create rule r for q
+            if (//a or //b) then do enqueue <x/> into q
+    """)
+    rule = compile_rules(app).plan_for("q").rules[0]
+    assert rule.required_elements == frozenset({"a", "b"})
+
+
+def test_prefilter_disjunction_with_opaque_side_is_none():
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create rule r for q
+            if (//a or qs:queue("q")) then do enqueue <x/> into q
+    """)
+    assert compile_rules(app).plan_for("q").rules[0].required_elements is None
+
+
+def test_prefilter_from_comparison():
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create rule r for q
+            if (//customerID = 23) then do enqueue <x/> into q
+    """)
+    rule = compile_rules(app).plan_for("q").rules[0]
+    assert rule.required_elements == frozenset({"customerID"})
+
+
+def test_rule_with_else_branch_never_prefiltered():
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create rule r for q
+            if (//a) then do enqueue <x/> into q
+            else do enqueue <y/> into q
+    """)
+    assert compile_rules(app).plan_for("q").rules[0].required_elements is None
+
+
+def test_element_names_one_pass():
+    doc = parse("<a><b><c/></b><d x='1'/></a>")
+    assert element_names(doc) == frozenset({"a", "b", "c", "d"})
+
+
+def test_prefilter_behaviour_end_to_end():
+    from repro import DemaqServer
+    server = DemaqServer("""
+        create queue q kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create rule only_offers for q
+            if (//offerRequest) then do enqueue <hit/> into out
+    """)
+    server.enqueue("q", "<other/>")
+    server.enqueue("q", "<offerRequest/>")
+    server.run_until_idle()
+    assert server.queue_texts("out") == ["<hit/>"]
+    assert server.executor.stats.rules_skipped_by_prefilter == 1
+    assert server.executor.stats.rules_evaluated == 1

@@ -1,0 +1,111 @@
+"""Tests for the locking policies and concurrent message processing."""
+
+import threading
+
+import pytest
+
+from repro import DemaqServer
+from repro.engine.locking import LockingPolicy
+from repro.storage import IS, IX, LockManager, LockTimeoutError, S, X
+
+
+def test_granularity_validation():
+    with pytest.raises(ValueError):
+        LockingPolicy(LockManager(), "page")
+
+
+def test_slice_mode_uses_intention_locks():
+    locks = LockManager()
+    policy = LockingPolicy(locks, "slice")
+    policy.lock_queue_write(1, "crm")
+    policy.lock_slice_write(1, "orders", "k1")
+    assert locks.mode_of(1, ("queue", "crm")) == IX
+    assert locks.mode_of(1, ("slicing", "orders")) == IX
+    assert locks.mode_of(1, ("slice", "orders", "k1")) == X
+
+
+def test_queue_mode_locks_whole_resources():
+    locks = LockManager()
+    policy = LockingPolicy(locks, "queue")
+    policy.lock_queue_write(1, "crm")
+    policy.lock_slice_write(1, "orders", "k1")
+    assert locks.mode_of(1, ("queue", "crm")) == X
+    assert locks.mode_of(1, ("slicing", "orders")) == X
+    assert locks.mode_of(1, ("slice", "orders", "k1")) is None
+
+
+def test_slice_mode_readers_of_disjoint_slices_dont_block():
+    locks = LockManager(default_timeout=0.2)
+    policy = LockingPolicy(locks, "slice")
+    policy.lock_slice_read(1, "orders", "k1")
+    policy.lock_slice_write(2, "orders", "k2")   # different slice: fine
+    assert locks.mode_of(2, ("slice", "orders", "k2")) == X
+
+
+def test_queue_mode_serializes_slice_access():
+    locks = LockManager(default_timeout=0.05)
+    policy = LockingPolicy(locks, "queue")
+    policy.lock_slice_read(1, "orders", "k1")
+    with pytest.raises(LockTimeoutError):
+        policy.lock_slice_write(2, "orders", "k2")
+
+
+def test_same_slice_write_conflicts_in_slice_mode():
+    locks = LockManager(default_timeout=0.05)
+    policy = LockingPolicy(locks, "slice")
+    policy.lock_slice_write(1, "orders", "k1")
+    with pytest.raises(LockTimeoutError):
+        policy.lock_slice_write(2, "orders", "k1")
+
+
+def test_release_frees_everything():
+    locks = LockManager()
+    policy = LockingPolicy(locks, "slice")
+    policy.lock_queue_read(1, "a")
+    policy.lock_slice_write(1, "s", "k")
+    policy.release(1)
+    assert locks.held(1) == set()
+
+
+CONCURRENT_APP = """
+create queue jobs kind basic mode persistent;
+create queue done kind basic mode persistent;
+create property bucket as xs:string fixed
+    queue jobs value //bucket;
+create slicing byBucket on bucket;
+create rule work for byBucket
+    if (qs:message()//job) then
+        do enqueue <ack n="{count(qs:slice())}"/> into done
+"""
+
+
+@pytest.mark.parametrize("granularity", ["slice", "queue"])
+def test_concurrent_processing_is_complete_and_exactly_once(granularity):
+    server = DemaqServer(CONCURRENT_APP, lock_granularity=granularity,
+                         lock_timeout=30.0)
+    total = 60
+    for index in range(total):
+        server.enqueue(
+            "jobs", f"<job><bucket>b{index % 6}</bucket></job>")
+
+    def worker():
+        while True:
+            msg_id = server.scheduler.next_message()
+            if msg_id is None:
+                return
+            if not server.executor.process_message(msg_id):
+                meta = server.store.get(msg_id)
+                if meta is not None:
+                    server.scheduler.requeue(msg_id, meta.queue, meta.seqno)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    server.run_until_idle()   # drain anything requeued late
+    acks = server.queue_texts("done")
+    assert len(acks) == total                       # every job acked once
+    jobs = server.store.queue_messages("jobs")
+    assert all(meta.processed for meta in jobs)     # exactly once
+    assert server.unhandled_errors == []

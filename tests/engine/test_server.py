@@ -1,0 +1,553 @@
+"""Integration tests for the Demaq server: the execution model of §3.1,
+slicing semantics, retention, error handling, echo queues, priorities,
+and recovery."""
+
+import pytest
+
+from repro import DemaqServer
+from repro.qdl import ValidationError
+
+PING_PONG = """
+create queue inbox kind basic mode persistent;
+create queue outbox kind basic mode persistent;
+create rule reply for inbox
+    if (//ping) then do enqueue <pong>{string(//ping/@n)}</pong> into outbox
+"""
+
+
+def make(source, **kwargs):
+    return DemaqServer(source, **kwargs)
+
+
+def test_basic_rule_fires():
+    server = make(PING_PONG)
+    server.enqueue("inbox", '<ping n="1"/>')
+    server.run_until_idle()
+    assert server.queue_texts("outbox") == ["<pong>1</pong>"]
+
+
+def test_exactly_once_processing():
+    server = make(PING_PONG)
+    server.enqueue("inbox", '<ping n="1"/>')
+    server.run_until_idle()
+    server.run_until_idle()
+    assert len(server.queue_texts("outbox")) == 1
+    assert server.executor.stats.messages_processed == 2  # ping + pong
+
+
+def test_condition_false_produces_nothing():
+    server = make(PING_PONG)
+    server.enqueue("inbox", "<other/>")
+    server.run_until_idle()
+    assert server.queue_texts("outbox") == []
+    meta = server.store.queue_messages("inbox")[0]
+    assert meta.processed
+
+
+def test_cascading_rules():
+    server = make("""
+        create queue a kind basic mode persistent;
+        create queue b kind basic mode persistent;
+        create queue c kind basic mode persistent;
+        create rule ab for a if (//go) then do enqueue <go/> into b;
+        create rule bc for b if (//go) then do enqueue <done/> into c
+    """)
+    server.enqueue("a", "<go/>")
+    server.run_until_idle()
+    assert server.queue_texts("c") == ["<done/>"]
+
+
+def test_multiple_rules_one_queue_all_fire():
+    server = make("""
+        create queue q kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create rule r1 for q if (//m) then do enqueue <from1/> into out;
+        create rule r2 for q if (//m) then do enqueue <from2/> into out
+    """)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()
+    assert sorted(server.queue_texts("out")) == ["<from1/>", "<from2/>"]
+
+
+def test_rule_reads_other_queue():
+    # the checkCreditRating pattern of Fig. 6
+    server = make("""
+        create queue finance kind basic mode persistent;
+        create queue invoices kind basic mode persistent;
+        create queue crm kind basic mode persistent;
+        create rule check for finance
+            if (//requestCustomerInfo) then
+                let $unpaid := qs:queue("invoices")
+                    [//customerID = qs:message()//customerID]
+                return
+                    if ($unpaid) then do enqueue <refuse/> into crm
+                    else do enqueue <accept/> into crm
+    """)
+    server.enqueue("invoices", "<invoice><customerID>23</customerID></invoice>")
+    server.run_until_idle()
+    server.enqueue("finance",
+                   "<requestCustomerInfo><customerID>23</customerID>"
+                   "</requestCustomerInfo>")
+    server.run_until_idle()
+    assert server.queue_texts("crm") == ["<refuse/>"]
+    server.enqueue("finance",
+                   "<requestCustomerInfo><customerID>42</customerID>"
+                   "</requestCustomerInfo>")
+    server.run_until_idle()
+    assert server.queue_texts("crm")[-1] == "<accept/>"
+
+
+def test_snapshot_semantics_enqueue_not_visible_to_same_evaluation():
+    # a rule that enqueues into its own queue must not see the new message
+    server = make("""
+        create queue q kind basic mode persistent;
+        create rule grow for q
+            if (//seed and count(qs:queue()) < 3)
+                then do enqueue <seed/> into q
+    """)
+    server.enqueue("q", "<seed/>")
+    server.run_until_idle()
+    # 1 seed -> sees 1 -> adds; 2nd sees 2 -> adds; 3rd sees 3 -> stops
+    assert len(server.queue_texts("q")) == 3
+
+
+def test_properties_flow_to_new_messages():
+    server = make("""
+        create queue crm kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property orderID as xs:string fixed
+            queue crm value //orderID
+            queue out value //ref;
+        create rule fwd for crm
+            if (//orderID) then
+                do enqueue <fwd><ref>{string(//orderID)}</ref></fwd> into out
+    """)
+    server.enqueue("crm", "<o><orderID>o-9</orderID></o>")
+    server.run_until_idle()
+    out_msg = server.live_messages("out")[0]
+    assert out_msg.property("orderID") == "o-9"
+    assert out_msg.property("creatingRule") == "fwd"
+    assert out_msg.property("sourceQueue") == "crm"
+    assert out_msg.property("creationTime") is not None
+
+
+def test_inherited_property_propagates():
+    server = make("""
+        create queue a kind basic mode persistent;
+        create queue b kind basic mode persistent;
+        create property vip as xs:boolean inherited
+            queue a, b value false();
+        create rule fwd for a
+            if (//m) then do enqueue <m2/> into b
+    """)
+    server.enqueue("a", "<m/>", properties={"vip": True})
+    server.run_until_idle()
+    assert server.live_messages("b")[0].property("vip") is True
+
+
+def test_explicit_with_property():
+    server = make("""
+        create queue a kind basic mode persistent;
+        create queue b kind basic mode persistent;
+        create rule fwd for a
+            if (//m) then do enqueue <m2/> into b
+                with Sender value "http://ws.chem.invalid/"
+                with retries value 1 + 2
+    """)
+    server.enqueue("a", "<m/>")
+    server.run_until_idle()
+    message = server.live_messages("b")[0]
+    assert message.property("Sender") == "http://ws.chem.invalid/"
+    assert message.property("retries") == 3
+
+
+# -- slicing ----------------------------------------------------------------------
+
+SLICED = """
+create queue orders kind basic mode persistent;
+create queue confirmations kind basic mode persistent;
+create queue joined kind basic mode persistent;
+create property orderID as xs:string fixed
+    queue orders value //orderID
+    queue confirmations value //orderID;
+create slicing orderMsgs on orderID;
+create rule joinPair for orderMsgs
+    if (qs:slice()[/order] and qs:slice()[/confirmation]) then
+        do enqueue <pair id="{qs:slicekey()}"/> into joined
+"""
+
+
+def test_slice_rule_joins_control_flow():
+    server = make(SLICED)
+    server.enqueue("orders", "<order><orderID>A</orderID></order>")
+    server.run_until_idle()
+    assert server.queue_texts("joined") == []
+    server.enqueue("confirmations",
+                   "<confirmation><orderID>A</orderID></confirmation>")
+    server.run_until_idle()
+    assert server.queue_texts("joined") == ['<pair id="A"/>']
+
+
+def test_slices_are_isolated_by_key():
+    server = make(SLICED)
+    server.enqueue("orders", "<order><orderID>A</orderID></order>")
+    server.enqueue("confirmations",
+                   "<confirmation><orderID>B</orderID></confirmation>")
+    server.run_until_idle()
+    assert server.queue_texts("joined") == []
+
+
+def test_slice_rule_fires_per_arrival_in_slice():
+    # Rules fire once per *message arrival* (§3.1).  When both messages
+    # are already stored before processing starts, each arrival sees the
+    # complete slice and the join rule fires for both — the paper's
+    # model has no built-in idempotence (applications reset the slice,
+    # as Fig. 8 does, to get fire-once behaviour).
+    server = make(SLICED)
+    server.enqueue("orders", "<order><orderID>A</orderID></order>")
+    server.enqueue("confirmations",
+                   "<confirmation><orderID>A</orderID></confirmation>")
+    server.run_until_idle()
+    assert len(server.queue_texts("joined")) == 2
+
+
+def test_message_without_slice_property_skips_slice_rules():
+    server = make(SLICED)
+    server.enqueue("orders", "<order/>")   # no orderID
+    server.run_until_idle()
+    assert server.queue_texts("joined") == []
+
+
+RESET_APP = SLICED + """
+;
+create rule cleanup for orderMsgs
+    if (qs:slice()[/confirmation]) then do reset
+"""
+
+
+def test_slice_reset_hides_old_messages():
+    server = make(RESET_APP)
+    server.enqueue("orders", "<order><orderID>A</orderID></order>")
+    server.enqueue("confirmations",
+                   "<confirmation><orderID>A</orderID></confirmation>")
+    server.run_until_idle()
+    assert server.slice_live_messages("orderMsgs", "A") == []
+    assert server.store.slice_lifetime("orderMsgs", "A") >= 1
+
+
+def test_retention_gc_after_reset():
+    server = make(RESET_APP)
+    server.enqueue("orders", "<order><orderID>A</orderID></order>")
+    server.enqueue("confirmations",
+                   "<confirmation><orderID>A</orderID></confirmation>")
+    server.run_until_idle()
+    collected = server.collect_garbage()
+    assert collected == 3   # order + confirmation + the joined pair msg
+    assert server.store.message_count() == 0
+
+
+def test_unreset_slice_retains_messages():
+    server = make(SLICED)
+    server.enqueue("orders", "<order><orderID>A</orderID></order>")
+    server.run_until_idle()
+    assert server.collect_garbage() == 0
+    assert server.store.message_count() == 1
+
+
+def test_parameterized_reset_from_queue_rule():
+    server = make("""
+        create queue q kind basic mode persistent;
+        create property k as xs:string fixed queue q value //k;
+        create slicing s on k;
+        create queue admin kind basic mode persistent;
+        create rule wipe for admin
+            if (//wipe) then do reset(s, string(//wipe/@key))
+    """)
+    server.enqueue("q", "<m><k>K1</k></m>")
+    server.run_until_idle()
+    assert len(server.slice_live_messages("s", "K1")) == 1
+    server.enqueue("admin", '<wipe key="K1"/>')
+    server.run_until_idle()
+    assert server.slice_live_messages("s", "K1") == []
+
+
+# -- error handling (§3.6) -------------------------------------------------------------
+
+def test_rule_error_routed_to_rule_errorqueue():
+    server = make("""
+        create queue q kind basic mode persistent;
+        create queue qErrors kind basic mode persistent;
+        create rule boom for q errorqueue qErrors
+            if (//m) then do enqueue <x>{1 idiv 0}</x> into q
+    """)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()
+    errors = server.queue_documents("qErrors")
+    assert len(errors) == 1
+    root = errors[0].root_element
+    assert root.name.local_name == "error"
+    assert root.first_child("applicationError") is not None
+    assert root.first_child("rule").text == "boom"
+    assert root.first_child("initialMessage") is not None
+
+
+def test_error_includes_initial_message_content():
+    server = make("""
+        create queue q kind basic mode persistent;
+        create queue errs kind basic mode persistent;
+        create rule bad for q errorqueue errs
+            if (//order) then do enqueue <x>{error('APP1', 'no stock')}</x>
+                into q
+    """)
+    server.enqueue("q", "<order><orderID>77</orderID></order>")
+    server.run_until_idle()
+    error = server.queue_documents("errs")[0]
+    # the Fig. 10 access pattern: /error/initialMessage//orderID
+    from repro.xquery import evaluate_expression
+    ids = evaluate_expression("/error/initialMessage//orderID/text()",
+                              context_item=error)
+    assert [n.value for n in ids] == ["77"]
+
+
+def test_queue_level_errorqueue_fallback():
+    server = make("""
+        create queue errs kind basic mode persistent;
+        create queue q kind basic mode persistent errorqueue errs;
+        create rule boom for q
+            if (//m) then do enqueue <x>{1 idiv 0}</x> into q
+    """)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()
+    assert len(server.queue_documents("errs")) == 1
+
+
+def test_system_errorqueue_fallback():
+    server = make("""
+        create queue sysErrs kind basic mode persistent;
+        create errorqueue sysErrs;
+        create queue q kind basic mode persistent;
+        create rule boom for q
+            if (//m) then do enqueue <x>{error()}</x> into q
+    """)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()
+    assert len(server.queue_documents("sysErrs")) == 1
+
+
+def test_unrouted_error_recorded():
+    server = make("""
+        create queue q kind basic mode persistent;
+        create rule boom for q
+            if (//m) then do enqueue <x>{error()}</x> into q
+    """)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()
+    assert len(server.unhandled_errors) == 1
+
+
+def test_error_in_one_rule_does_not_block_others():
+    server = make("""
+        create queue q kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create queue errs kind basic mode persistent;
+        create rule bad for q errorqueue errs
+            if (//m) then do enqueue <x>{error()}</x> into q;
+        create rule good for q
+            if (//m) then do enqueue <ok/> into out
+    """)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()
+    assert server.queue_texts("out") == ["<ok/>"]
+    assert len(server.queue_documents("errs")) == 1
+
+
+def test_schema_validation_on_rule_enqueue():
+    server = make("""
+        create queue q kind basic mode persistent;
+        create queue errs kind basic mode persistent;
+        create queue strict kind basic mode persistent
+            schema "<schema><element name='ok' type='xs:integer'/></schema>";
+        create rule fwd for q errorqueue errs
+            if (//m) then do enqueue <ok>not-a-number</ok> into strict
+    """)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()
+    assert server.queue_texts("strict") == []
+    error = server.queue_documents("errs")[0]
+    assert error.root_element.first_child("messageError") is not None
+
+
+def test_schema_validation_on_external_enqueue_raises():
+    from repro.xmldm import XMLError
+    server = make("""
+        create queue strict kind basic mode persistent
+            schema "<schema><element name='ok' type='xs:integer'/></schema>"
+    """)
+    with pytest.raises(XMLError, match="schema"):
+        server.enqueue("strict", "<nope/>")
+    assert server.enqueue("strict", "<ok>5</ok>") > 0
+
+
+# -- echo queues (§2.1.3) ----------------------------------------------------------------
+
+ECHO_APP = """
+create queue echoQueue kind echo mode persistent;
+create queue finance kind basic mode persistent;
+create queue out kind basic mode persistent;
+create rule onTimeout for finance
+    if (//timeoutNotification) then do enqueue <reminderSent/> into out
+"""
+
+
+def test_echo_delivers_after_timeout():
+    server = make(ECHO_APP)
+    server.enqueue("echoQueue", "<timeoutNotification/>",
+                   properties={"timeout": 30, "target": "finance"})
+    server.run_until_idle()
+    assert server.queue_texts("finance") == []
+    server.advance_time(31)
+    assert len(server.queue_documents("finance")) == 1
+    assert server.queue_texts("out") == ["<reminderSent/>"]
+
+
+def test_echo_missing_target_is_message_error():
+    server = make("""
+        create queue errs kind basic mode persistent;
+        create errorqueue errs;
+        create queue echoQueue kind echo mode persistent;
+    """)
+    server.enqueue("echoQueue", "<m/>", properties={"timeout": 1})
+    server.run_until_idle()
+    assert len(server.queue_documents("errs")) == 1
+
+
+def test_echo_message_gc_after_delivery():
+    server = make(ECHO_APP)
+    server.enqueue("echoQueue", "<timeoutNotification/>",
+                   properties={"timeout": 1, "target": "finance"})
+    server.run_until_idle()
+    assert server.collect_garbage() == 0    # undelivered: retained
+    server.advance_time(2)
+    assert server.collect_garbage() >= 1    # delivered echo msg collectible
+
+
+# -- priorities (§4.4.2) --------------------------------------------------------------------
+
+def test_high_priority_queue_processed_first():
+    server = make("""
+        create queue slow kind basic mode persistent priority 0;
+        create queue fast kind basic mode persistent priority 5;
+        create queue log kind basic mode persistent;
+        create rule rs for slow if (//m) then
+            do enqueue <done q="slow"/> into log;
+        create rule rf for fast if (//m) then
+            do enqueue <done q="fast"/> into log
+    """)
+    server.enqueue("slow", "<m/>")
+    server.enqueue("slow", "<m/>")
+    server.enqueue("fast", "<m/>")   # arrives last, runs first
+    server.run_until_idle()
+    order = [d.root_element.attribute_value("q")
+             for d in server.queue_documents("log")]
+    assert order[0] == "fast"
+
+
+# -- persistence and recovery ------------------------------------------------------------------
+
+def test_unprocessed_messages_survive_crash(tmp_path):
+    source = PING_PONG
+    server = make(source, data_dir=str(tmp_path / "node"))
+    server.enqueue("inbox", '<ping n="9"/>')
+    # crash before any processing
+    server.crash_and_recover()
+    server.run_until_idle()
+    assert server.queue_texts("outbox") == ["<pong>9</pong>"]
+    server.close()
+
+
+def test_processed_state_survives_crash(tmp_path):
+    server = make(PING_PONG, data_dir=str(tmp_path / "node"))
+    server.enqueue("inbox", '<ping n="1"/>')
+    server.run_until_idle()
+    server.crash_and_recover()
+    server.run_until_idle()
+    # not processed again: still exactly one pong
+    assert len(server.queue_texts("outbox")) == 1
+    server.close()
+
+
+def test_transient_queue_loses_messages_on_crash(tmp_path):
+    server = make("""
+        create queue keep kind basic mode persistent;
+        create queue scratch kind basic mode transient
+    """, data_dir=str(tmp_path / "node"))
+    server.enqueue("keep", "<a/>")
+    server.enqueue("scratch", "<b/>")
+    server.crash_and_recover()
+    assert len(server.queue_texts("keep")) == 1
+    assert server.queue_texts("scratch") == []
+    server.close()
+
+
+def test_pending_echo_survives_crash(tmp_path):
+    server = make(ECHO_APP, data_dir=str(tmp_path / "node"))
+    server.enqueue("echoQueue", "<timeoutNotification/>",
+                   properties={"timeout": 50, "target": "finance"})
+    server.run_until_idle()
+    server.crash_and_recover()
+    server.advance_time(51)
+    assert len(server.queue_documents("finance")) == 1
+    server.close()
+
+
+# -- misc ---------------------------------------------------------------------------------------
+
+def test_invalid_application_rejected():
+    with pytest.raises(ValidationError):
+        make("create rule r for nowhere if (//x) then do enqueue <y/> "
+             "into nowhere")
+
+
+def test_collections_feed_rules():
+    server = make("""
+        create collection pricelist;
+        create queue q kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create rule priced for q
+            if (//item) then
+                let $price := collection("pricelist")
+                    //entry[sku = string(qs:message()//item)]/price
+                return do enqueue <quote>{string($price)}</quote> into out
+    """)
+    server.load_collection("pricelist", [
+        "<list><entry><sku>A</sku><price>10</price></entry></list>"])
+    server.enqueue("q", "<order><item>A</item></order>")
+    server.run_until_idle()
+    assert server.queue_texts("out") == ["<quote>10</quote>"]
+
+
+def test_request_response_with_connection_handle():
+    server = make("""
+        create queue api kind basic mode persistent;
+        create queue replies kind outgoingGateway mode persistent
+            endpoint "demaq://caller";
+        create rule answer for api
+            if (//question) then do enqueue <answer>42</answer> into replies
+    """)
+    response = server.request("api", "<question/>")
+    assert response is not None
+    assert response.root_element.string_value == "42"
+
+
+def test_multiple_echo_deliveries_due_at_once():
+    # regression: step() must deliver *every* due echo message, not
+    # just the first popped from the timer heap
+    server = make(ECHO_APP)
+    for index in range(4):
+        server.enqueue("echoQueue", "<timeoutNotification/>",
+                       properties={"timeout": 10 + index,
+                                   "target": "finance"})
+    server.run_until_idle()
+    server.advance_time(60)
+    assert len(server.queue_documents("finance")) == 4
+    assert len(server.queue_texts("out")) == 4

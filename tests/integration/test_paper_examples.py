@@ -1,0 +1,355 @@
+"""The paper's procurement case study (Fig. 3-10, Examples 3.1-3.5),
+executed end to end on the engine.
+
+Every rule below is the paper's listing, modulo (a) concrete content for
+the '...' elisions and (b) supplier/legal stand-in rules for the remote
+parties of Fig. 4 so the scenario runs on one node (the two-node variant
+lives in examples/procurement.py).
+"""
+
+import pytest
+
+from repro import DemaqServer
+from repro.xquery import evaluate_expression
+
+PROCUREMENT = """
+create queue crm kind basic mode persistent;
+create queue finance kind basic mode persistent;
+create queue legal kind basic mode persistent;
+create queue supplier kind basic mode persistent;
+create queue customer kind basic mode persistent;
+create queue invoices kind basic mode persistent;
+create queue echoQueue kind echo mode persistent;
+create queue crmErrors kind basic mode persistent;
+create queue postalService kind basic mode persistent;
+
+create property requestID as xs:string fixed
+    queue crm, customer value //requestID;
+create slicing requestMsgs on requestID;
+
+create property messageRequestID as xs:string fixed
+    queue invoices, finance value //requestID;
+create slicing invoiceRetention on messageRequestID;
+
+(: Example 3.1 / Fig. 5 — fork the three checks :)
+create rule newOfferRequest for crm
+    if (//offerRequest) then
+        let $customerInfo :=
+            <requestCustomerInfo>
+                {//requestID} {//customerID}
+            </requestCustomerInfo>
+        let $exportRestrictionsInfo :=
+            <requestRestrictionsInfo>
+                {//requestID} {//items}
+            </requestRestrictionsInfo>
+        let $plantCapacityInfo :=
+            <requestCapacityInfo>
+                {//requestID} {//items}
+            </requestCapacityInfo>
+        return (
+            do enqueue $customerInfo into finance,
+            do enqueue $exportRestrictionsInfo into legal,
+            do enqueue $plantCapacityInfo into supplier
+                with Sender value "http://ws.chem.invalid/"
+        );
+
+(: Example 3.2 / Fig. 6 — credit rating from the invoices queue :)
+create rule checkCreditRating for finance
+    if (//requestCustomerInfo) then
+        let $result :=
+            <customerInfoResult>{//requestID}{//customerID}
+                {let $invoices := qs:queue("invoices")
+                 return
+                    if ($invoices[//customerID = qs:message()//customerID])
+                    then <refuse/> (: unpaid bills! :)
+                    else <accept/>}
+            </customerInfoResult>
+        return do enqueue $result into crm;
+
+(: stand-ins for the remote legal / supplier parties of Fig. 4 :)
+create rule checkRestrictions for legal
+    if (//requestRestrictionsInfo) then
+        do enqueue
+            <restrictionsResult>{//requestID}
+                {if (//item[@restricted = "true"])
+                 then <restrictedItem/> else <clear/>}
+            </restrictionsResult> into crm;
+
+create rule checkCapacity for supplier
+    if (//requestCapacityInfo) then
+        do enqueue
+            <capacityResult>{//requestID}<accept/></capacityResult>
+            into crm;
+
+(: Example 3.3 / Fig. 7 — join the parallel control flows.  The guard on
+   offer/refusal is one of the paper's '...' elisions: without it the
+   rule would fire a second time when the offer itself (which carries the
+   requestID and therefore joins the slice) arrives. :)
+create rule joinOrder for requestMsgs
+    if (qs:slice()[//customerInfoResult] and
+        qs:slice()[//restrictionsResult] and
+        qs:slice()[//capacityResult] and
+        not(qs:slice()[/offer]) and not(qs:slice()[/refusal])) then
+        if (qs:slice()[//customerInfoResult//accept] and
+            not(qs:slice()[//restrictionsResult//restrictedItem])
+            and qs:slice()[//capacityResult//accept]) then
+            let $offer := <offer><requestID>{string(qs:slicekey())}</requestID>
+                          </offer>
+            return do enqueue $offer into customer
+        else (: problems :)
+            do enqueue
+                <refusal><requestID>{string(qs:slicekey())}</requestID>
+                </refusal> into customer;
+
+(: Fig. 8 — reset the request slice when an offer or refusal went out :)
+create rule cleanupRequest for requestMsgs
+    if (qs:slice()[/offer] or qs:slice()[/refusal]) then
+        do reset;
+
+(: Example 3.4 / Fig. 9 — payment reminder via an echo queue :)
+create rule resetPayedInvoices for invoiceRetention
+    if (qs:slice()[//timeoutNotification]
+        and qs:slice()[/paymentConfirmation]) then
+        do reset;
+
+create rule checkPayment for finance
+    if (//timeoutNotification) then
+        let $mRID := string(qs:message()//requestID)
+        let $payments := qs:queue()[/paymentConfirmation]
+        return
+            if (not($payments[//requestID = $mRID])) then
+                let $invoice := qs:queue("invoices")[//requestID = $mRID]
+                let $reminder := <reminder>{$invoice[1]//requestID}</reminder>
+                return do enqueue $reminder into customer
+            else ();
+
+(: Example 3.5 / Fig. 10 — order confirmation with an error queue :)
+create property orderID as xs:integer
+    queue crm value //customerOrder/orderID;
+create rule confirmOrder for crm errorqueue crmErrors
+    if (//customerOrder) then (: send confirmation :)
+        let $confirmation := <confirmation>
+            {//orderID} (: additional details :)
+        </confirmation>
+        return do enqueue $confirmation into customer;
+
+create rule deadLink for crmErrors
+    if (/error/disconnectedTransport) then
+        (: send confirmation via snail mail :)
+        let $initialOrderID := /error/initialMessage//orderID
+        let $request := <sendMessage>{$initialOrderID}</sendMessage>
+        return do enqueue $request into postalService
+"""
+
+
+@pytest.fixture()
+def server():
+    return DemaqServer(PROCUREMENT)
+
+
+def offer_request(request_id, customer_id, restricted=False):
+    flag = ' restricted="true"' if restricted else ""
+    return (f"<offerRequest><requestID>{request_id}</requestID>"
+            f"<customerID>{customer_id}</customerID>"
+            f"<items><item{flag}>acetone</item></items></offerRequest>")
+
+
+def texts(server, queue):
+    return server.queue_texts(queue)
+
+
+def query(doc, expr):
+    return evaluate_expression(expr, context_item=doc)
+
+
+# -- Example 3.1: fork ---------------------------------------------------------------
+
+def test_fig5_forks_three_checks(server):
+    server.enqueue("crm", offer_request("r1", "c1"))
+    # process just the offerRequest (one step is one message)
+    server.step()
+    assert len(server.queue_documents("finance")) == 1
+    assert len(server.queue_documents("legal")) == 1
+    assert len(server.queue_documents("supplier")) == 1
+    supplier_msg = server.live_messages("supplier")[0]
+    assert supplier_msg.property("Sender") == "http://ws.chem.invalid/"
+
+
+def test_fig5_messages_carry_correlation_ids(server):
+    server.enqueue("crm", offer_request("r1", "c1"))
+    server.step()
+    for queue in ("finance", "legal", "supplier"):
+        doc = server.queue_documents(queue)[0]
+        assert query(doc, "string(//requestID)") == ["r1"]
+
+
+# -- Example 3.2: queue access -------------------------------------------------------
+
+def test_fig6_accepts_without_unpaid_bills(server):
+    server.enqueue("crm", offer_request("r1", "clean-customer"))
+    server.run_until_idle()
+    results = [d for d in server.queue_documents("crm")
+               if d.root_element.name.local_name == "customerInfoResult"]
+    assert len(results) == 1
+    assert query(results[0], "exists(//accept)") == [True]
+
+
+def test_fig6_refuses_with_unpaid_bills(server):
+    server.enqueue("invoices",
+                   "<invoice><requestID>old</requestID>"
+                   "<customerID>debtor</customerID></invoice>")
+    server.run_until_idle()
+    server.enqueue("crm", offer_request("r2", "debtor"))
+    server.run_until_idle()
+    results = [d for d in server.queue_documents("crm")
+               if d.root_element.name.local_name == "customerInfoResult"]
+    assert query(results[0], "exists(//refuse)") == [True]
+
+
+# -- Example 3.3: join --------------------------------------------------------------
+
+def test_fig7_join_produces_offer(server):
+    server.enqueue("crm", offer_request("r1", "good"))
+    server.run_until_idle()
+    offers = [t for t in texts(server, "customer") if "offer" in t]
+    assert offers == ["<offer><requestID>r1</requestID></offer>"]
+
+
+def test_fig7_refusal_on_restricted_items(server):
+    server.enqueue("crm", offer_request("r3", "good", restricted=True))
+    server.run_until_idle()
+    refusals = [t for t in texts(server, "customer") if "refusal" in t]
+    assert refusals == ["<refusal><requestID>r3</requestID></refusal>"]
+
+
+def test_fig7_refusal_on_bad_credit(server):
+    server.enqueue("invoices",
+                   "<invoice><requestID>x</requestID>"
+                   "<customerID>debtor</customerID></invoice>")
+    server.run_until_idle()
+    server.enqueue("crm", offer_request("r4", "debtor"))
+    server.run_until_idle()
+    assert any("refusal" in t for t in texts(server, "customer"))
+    assert not any("<offer" in t for t in texts(server, "customer"))
+
+
+def test_fig7_requests_isolated_per_slice(server):
+    server.enqueue("crm", offer_request("rA", "good"))
+    server.enqueue("crm", offer_request("rB", "good"))
+    server.run_until_idle()
+    offers = sorted(t for t in texts(server, "customer") if "offer" in t)
+    assert offers == [
+        "<offer><requestID>rA</requestID></offer>",
+        "<offer><requestID>rB</requestID></offer>"]
+
+
+# -- Fig. 8: slice reset & retention ---------------------------------------------------
+
+def test_fig8_slice_reset_after_offer(server):
+    server.enqueue("crm", offer_request("r1", "good"))
+    server.run_until_idle()
+    assert server.store.slice_lifetime("requestMsgs", "r1") >= 1
+    assert server.slice_live_messages("requestMsgs", "r1") == []
+
+
+def test_fig8_gc_reclaims_request_messages(server):
+    server.enqueue("crm", offer_request("r1", "good"))
+    server.run_until_idle()
+    before = server.store.message_count()
+    collected = server.collect_garbage()
+    assert collected > 0
+    assert server.store.message_count() < before
+
+
+# -- Example 3.4: reminder via echo queue ------------------------------------------------
+
+def issue_invoice(server, request_id):
+    server.enqueue("invoices",
+                   f"<invoice><requestID>{request_id}</requestID>"
+                   f"<customerID>c</customerID></invoice>")
+    server.enqueue("echoQueue",
+                   f"<timeoutNotification><requestID>{request_id}"
+                   f"</requestID></timeoutNotification>",
+                   properties={"timeout": 3600, "target": "finance"})
+    server.run_until_idle()
+
+
+def test_fig9_reminder_when_unpaid(server):
+    issue_invoice(server, "inv-1")
+    server.advance_time(3601)
+    reminders = [t for t in texts(server, "customer") if "reminder" in t]
+    assert reminders == ["<reminder><requestID>inv-1</requestID></reminder>"]
+
+
+def test_fig9_no_reminder_when_paid(server):
+    issue_invoice(server, "inv-2")
+    server.enqueue("finance",
+                   "<paymentConfirmation><requestID>inv-2</requestID>"
+                   "</paymentConfirmation>")
+    server.run_until_idle()
+    server.advance_time(3601)
+    assert [t for t in texts(server, "customer") if "reminder" in t] == []
+
+
+def test_fig9_invoice_slice_reset_after_payment_and_timeout(server):
+    issue_invoice(server, "inv-3")
+    server.enqueue("finance",
+                   "<paymentConfirmation><requestID>inv-3</requestID>"
+                   "</paymentConfirmation>")
+    server.run_until_idle()
+    server.advance_time(3601)
+    assert server.store.slice_lifetime("invoiceRetention", "inv-3") >= 1
+
+
+def test_fig9_invoice_retained_until_timeout(server):
+    issue_invoice(server, "inv-4")
+    # invoice and (future) payment are retained while the timer runs
+    assert server.collect_garbage() == 0 or \
+        len(server.slice_live_messages("invoiceRetention", "inv-4")) > 0
+
+
+# -- Example 3.5: error handling -----------------------------------------------------------
+
+def test_fig10_confirmation_sent(server):
+    server.enqueue("crm",
+                   "<customerOrder><orderID>7</orderID></customerOrder>")
+    server.run_until_idle()
+    confirmations = [t for t in texts(server, "customer")
+                     if "confirmation" in t]
+    assert len(confirmations) == 1
+    assert "<orderID>7</orderID>" in confirmations[0]
+
+
+def test_fig10_dead_link_compensation(server):
+    # inject the error message a failed transport would produce
+    from repro.engine.errors import (DISCONNECTED, NETWORK,
+                                     build_error_message)
+    from repro.xmldm import parse
+    initial = parse("<customerOrder><orderID>9</orderID></customerOrder>")
+    error = build_error_message(NETWORK, "endpoint unreachable",
+                                queue="customer", marker=DISCONNECTED,
+                                initial_message=initial)
+    txn = server.store.begin()
+    server.executor.enqueue_in_txn(txn, "crmErrors", error)
+    server.store.commit(txn)
+    server.locking.release(txn.txn_id)
+    server.after_commit(txn)
+    server.run_until_idle()
+    mails = texts(server, "postalService")
+    assert mails == ["<sendMessage><orderID>9</orderID></sendMessage>"]
+
+
+# -- whole-scenario sanity ---------------------------------------------------------------------
+
+def test_full_scenario_is_quiescent_and_consistent(server):
+    for index in range(5):
+        server.enqueue("crm", offer_request(f"req-{index}", "good"))
+    server.enqueue("crm",
+                   "<customerOrder><orderID>1</orderID></customerOrder>")
+    issue_invoice(server, "inv-9")
+    server.advance_time(4000)
+    server.run_until_idle()
+    assert server.scheduler.backlog() == 0
+    assert server.unhandled_errors == []
+    offers = [t for t in texts(server, "customer") if "offer" in t]
+    assert len(offers) == 5

@@ -1,0 +1,168 @@
+"""Tests for the simulated transport, SOAP envelopes, and WSDL-lite."""
+
+import pytest
+
+from repro.network import (Network, WSDLError, build_envelope, parse_envelope,
+                           parse_wsdl)
+from repro.queues import VirtualClock
+from repro.xmldm import parse, serialize
+
+
+# -- SOAP envelopes ---------------------------------------------------------------
+
+def test_envelope_round_trip():
+    body = parse("<order><id>7</id></order>")
+    envelope = build_envelope(body, {"Sender": "demaq://a", "retries": 3,
+                                     "urgent": True})
+    unwrapped, properties = parse_envelope(envelope)
+    assert serialize(unwrapped) == "<order><id>7</id></order>"
+    assert properties == {"Sender": "demaq://a", "retries": 3,
+                          "urgent": True}
+
+
+def test_envelope_empty_properties():
+    body = parse("<m/>")
+    unwrapped, properties = parse_envelope(build_envelope(body, {}))
+    assert properties == {}
+    assert unwrapped.root_element.name.local_name == "m"
+
+
+def test_envelope_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_envelope(parse("<notanenvelope/>"))
+
+
+# -- WSDL-lite ------------------------------------------------------------------------
+
+WSDL = """
+<definitions name="supplier">
+  <port name="CapacityRequestPort" address="demaq://supplier/requests">
+    <operation name="checkCapacity" input="plantCapacityInfo"/>
+    <operation name="reserve" input="reservation"/>
+  </port>
+</definitions>
+"""
+
+
+def test_wsdl_parse_and_lookup():
+    interface = parse_wsdl(WSDL)
+    port = interface.port("CapacityRequestPort")
+    assert port.address == "demaq://supplier/requests"
+    assert port.accepts("plantCapacityInfo")
+    assert port.accepts("reservation")
+    assert not port.accepts("other")
+
+
+def test_wsdl_unknown_port():
+    with pytest.raises(WSDLError, match="no port"):
+        parse_wsdl(WSDL).port("Nope")
+
+
+@pytest.mark.parametrize("bad", [
+    "<x/>",
+    "<definitions name='d'/>",
+    "<definitions><port name='p'/></definitions>",
+    ("<definitions><port name='p' address='a'>"
+     "<operation name='o'/></port></definitions>"),
+])
+def test_wsdl_malformed(bad):
+    with pytest.raises(WSDLError):
+        parse_wsdl(bad)
+
+
+# -- transport --------------------------------------------------------------------------
+
+def make_network(latency=0.0, **kwargs):
+    clock = VirtualClock()
+    return clock, Network(clock, latency=latency, **kwargs)
+
+
+def test_delivery_to_registered_endpoint():
+    clock, network = make_network()
+    received = []
+    network.register("demaq://b/in", lambda env, src: received.append(src))
+    network.send("demaq://b/in", parse("<m/>"), source="demaq://a")
+    assert received == []       # not before pump
+    network.pump()
+    assert received == ["demaq://a"]
+    assert network.delivered == 1
+
+
+def test_latency_delays_delivery():
+    clock, network = make_network(latency=5.0)
+    received = []
+    network.register("e", lambda env, src: received.append(1))
+    network.send("e", parse("<m/>"))
+    network.pump()
+    assert received == []
+    clock.advance(5)
+    network.pump()
+    assert received == [1]
+
+
+def test_unknown_endpoint_fails_with_disconnected():
+    _, network = make_network()
+    failures = []
+    network.send("nowhere", parse("<m/>"), on_failed=failures.append)
+    network.pump()
+    assert failures == ["disconnectedTransport"]
+
+
+def test_down_endpoint_fails_and_recovers():
+    _, network = make_network()
+    outcomes = []
+    network.register("e", lambda env, src: outcomes.append("ok"))
+    network.set_down("e")
+    network.send("e", parse("<m/>"), on_failed=outcomes.append)
+    network.pump()
+    network.set_down("e", down=False)
+    network.send("e", parse("<m/>"),
+                 on_delivered=lambda: outcomes.append("ack"))
+    network.pump()
+    assert outcomes == ["disconnectedTransport", "ok", "ack"]
+
+
+def test_fail_next_injects_failures():
+    _, network = make_network()
+    outcomes = []
+    network.register("e", lambda env, src: outcomes.append("ok"))
+    network.fail_next("e", 2)
+    for _ in range(3):
+        network.send("e", parse("<m/>"), on_failed=outcomes.append)
+        network.pump()
+    assert outcomes == ["deliveryTimeout", "deliveryTimeout", "ok"]
+
+
+def test_drop_rate_is_deterministic_per_seed():
+    def run(seed):
+        _, network = make_network(drop_rate=0.5)
+        network._random.seed(seed)
+        network.register("e", lambda env, src: None)
+        results = []
+        for _ in range(20):
+            network.send("e", parse("<m/>"),
+                         on_delivered=lambda: results.append("d"),
+                         on_failed=lambda m: results.append("f"))
+        network.pump()
+        return results
+
+    assert run(3) == run(3)
+    assert "f" in run(3) and "d" in run(3)
+
+
+def test_duplicate_registration_rejected():
+    _, network = make_network()
+    network.register("e", lambda env, src: None)
+    with pytest.raises(ValueError):
+        network.register("e", lambda env, src: None)
+
+
+def test_in_order_delivery_same_due_time():
+    _, network = make_network()
+    received = []
+    network.register("e", lambda env, src:
+                     received.append(env.root_element.name.local_name))
+    network.send("e", parse("<first/>"))
+    network.send("e", parse("<second/>"))
+    network.pump()
+    assert received == ["first", "second"]

@@ -1,0 +1,195 @@
+"""Tests for QDL statement parsing."""
+
+import pytest
+
+from repro.qdl import QueueKind, QueueMode, parse_qdl
+from repro.xquery import ast
+from repro.xquery.errors import StaticError
+
+
+def test_basic_queue_from_paper():
+    app = parse_qdl("create queue finance kind basic mode persistent")
+    queue = app.queues["finance"]
+    assert queue.kind is QueueKind.BASIC
+    assert queue.mode is QueueMode.PERSISTENT
+    assert queue.persistent
+
+
+def test_transient_queue():
+    app = parse_qdl("create queue scratch kind basic mode transient")
+    assert not app.queues["scratch"].persistent
+
+
+def test_gateway_queue_from_paper():
+    app = parse_qdl("""
+        create queue supplier kind outgoingGateway mode persistent
+            interface supplier.wsdl port CapacityRequestPort
+            using WS-ReliableMessaging policy wsrmpol.xml
+            using WS-Security policy wssecpol.xml
+    """)
+    queue = app.queues["supplier"]
+    assert queue.kind is QueueKind.OUTGOING_GATEWAY
+    assert queue.interface == "supplier.wsdl"
+    assert queue.port == "CapacityRequestPort"
+    assert [e.name for e in queue.extensions] == [
+        "WS-ReliableMessaging", "WS-Security"]
+    assert queue.extensions[0].policy == "wsrmpol.xml"
+    assert queue.is_gateway
+
+
+def test_echo_queue_from_paper():
+    app = parse_qdl("create queue echoQueue kind echo mode persistent")
+    assert app.queues["echoQueue"].kind is QueueKind.ECHO
+
+
+def test_queue_priority_and_schema():
+    app = parse_qdl("""
+        create queue hot kind basic mode transient priority 9
+            schema "<schema><element name='ping' type='xs:string'/></schema>"
+    """)
+    queue = app.queues["hot"]
+    assert queue.priority == 9
+    assert "ping" in queue.schema_source
+
+
+def test_negative_priority():
+    app = parse_qdl(
+        "create queue cold kind basic mode transient priority -3")
+    assert app.queues["cold"].priority == -3
+
+
+def test_queue_error_queue_clause():
+    app = parse_qdl("""
+        create queue errs kind basic mode persistent;
+        create queue crm kind basic mode persistent errorqueue errs
+    """)
+    assert app.queues["crm"].error_queue == "errs"
+
+
+def test_unknown_kind_or_mode():
+    with pytest.raises(StaticError, match="kind"):
+        parse_qdl("create queue q kind fancy mode persistent")
+    with pytest.raises(StaticError, match="mode"):
+        parse_qdl("create queue q kind basic mode sometimes")
+
+
+def test_inherited_property_from_paper():
+    app = parse_qdl("""
+        create queue crm kind basic mode persistent;
+        create queue finance kind basic mode persistent;
+        create queue legal kind basic mode persistent;
+        create queue customer kind basic mode persistent;
+        create property isVIPorder as xs:boolean inherited
+            queue crm, finance, legal, customer value false()
+    """)
+    prop = app.properties["isVIPorder"]
+    assert prop.inherited and not prop.fixed
+    assert prop.type_name == "xs:boolean"
+    binding = prop.binding_for("legal")
+    assert binding is not None
+    assert binding.queues == ["crm", "finance", "legal", "customer"]
+
+
+def test_fixed_computed_property_from_paper():
+    app = parse_qdl("""
+        create queue order kind basic mode persistent;
+        create queue confirmation kind basic mode persistent;
+        create property orderID as xs:string fixed
+            queue order value //orderID
+            queue confirmation value /confirmedOrder/ID
+    """)
+    prop = app.properties["orderID"]
+    assert prop.fixed
+    assert len(prop.bindings) == 2
+    assert prop.binding_for("order").value_source == "//orderID"
+    assert prop.binding_for("confirmation").value_source == "/confirmedOrder/ID"
+    assert prop.binding_for("elsewhere") is None
+    assert isinstance(prop.bindings[0].value, ast.Expr)
+
+
+def test_property_requires_binding():
+    with pytest.raises(StaticError, match="binding"):
+        parse_qdl("create property p as xs:string fixed")
+
+
+def test_slicing_from_paper():
+    app = parse_qdl("""
+        create queue crm kind basic mode persistent;
+        create property requestID as xs:string fixed
+            queue crm value //requestID;
+        create slicing requestMsgs on requestID
+    """)
+    slicing = app.slicings["requestMsgs"]
+    assert slicing.property_name == "requestID"
+
+
+def test_rule_with_errorqueue():
+    app = parse_qdl("""
+        create queue crm kind basic mode persistent;
+        create queue crmErrors kind basic mode persistent;
+        create queue customer kind basic mode persistent;
+        create rule confirmOrder for crm errorqueue crmErrors
+            if (//customerOrder) then
+                do enqueue <confirmation>{//orderID}</confirmation>
+                    into customer
+    """)
+    rule = app.rules[0]
+    assert rule.name == "confirmOrder"
+    assert rule.target == "crm"
+    assert rule.error_queue == "crmErrors"
+    assert "customerOrder" in rule.body_source
+
+
+def test_statements_without_semicolons():
+    app = parse_qdl("""
+        create queue a kind basic mode persistent
+        create queue b kind basic mode persistent
+        create rule r for a if (//x) then do enqueue <y/> into b
+        create rule s for b if (//y) then do enqueue <x/> into a
+    """)
+    assert set(app.queues) == {"a", "b"}
+    assert app.rule_names() == ["r", "s"]
+
+
+def test_module_error_queue():
+    app = parse_qdl("""
+        create queue sysErrors kind basic mode persistent;
+        create errorqueue sysErrors
+    """)
+    assert app.system_error_queue == "sysErrors"
+
+
+def test_collection_statement():
+    app = parse_qdl("create collection pricelists")
+    assert "pricelists" in app.collections
+
+
+def test_duplicate_definitions_rejected():
+    with pytest.raises(StaticError, match="duplicate queue"):
+        parse_qdl("""
+            create queue a kind basic mode persistent;
+            create queue a kind basic mode transient
+        """)
+    with pytest.raises(StaticError, match="duplicate rule"):
+        parse_qdl("""
+            create queue a kind basic mode persistent;
+            create rule r for a if (//x) then do enqueue <y/> into a;
+            create rule r for a if (//y) then do enqueue <z/> into a
+        """)
+
+
+def test_rules_for_lookup():
+    app = parse_qdl("""
+        create queue a kind basic mode persistent;
+        create rule r1 for a if (//x) then do enqueue <y/> into a;
+        create rule r2 for a if (//y) then do enqueue <z/> into a
+    """)
+    assert [r.name for r in app.rules_for("a")] == ["r1", "r2"]
+    assert app.rules_for("b") == []
+
+
+def test_garbage_statement():
+    with pytest.raises(StaticError, match="expected"):
+        parse_qdl("create gizmo x")
+    with pytest.raises(StaticError):
+        parse_qdl("drop queue x")

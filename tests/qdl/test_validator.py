@@ -1,0 +1,196 @@
+"""Tests for static application validation."""
+
+import pytest
+
+from repro.qdl import ValidationError, compile_application, parse_qdl, validate
+
+BASE = """
+create queue crm kind basic mode persistent;
+create queue customer kind basic mode persistent;
+create property requestID as xs:string fixed
+    queue crm, customer value //requestID;
+create slicing requestMsgs on requestID;
+"""
+
+
+def check(extra, match):
+    with pytest.raises(ValidationError, match=match):
+        compile_application(BASE + extra)
+
+
+def test_valid_application_passes():
+    app = compile_application(BASE + """
+        create rule r for crm
+            if (//x) then do enqueue <y/> into customer
+    """)
+    assert app.rule_names() == ["r"]
+
+
+def test_rule_target_must_exist():
+    check("create rule r for nowhere if (//x) then do enqueue <y/> into crm",
+          "neither a queue nor a slicing")
+
+
+def test_enqueue_target_must_exist():
+    check("create rule r for crm if (//x) then do enqueue <y/> into void",
+          "unknown queue 'void'")
+
+
+def test_slicing_property_must_exist():
+    with pytest.raises(ValidationError, match="property 'ghost'"):
+        compile_application("""
+            create queue q kind basic mode persistent;
+            create slicing s on ghost
+        """)
+
+
+def test_property_queue_must_exist():
+    with pytest.raises(ValidationError, match="queue 'ghost'"):
+        compile_application("""
+            create queue q kind basic mode persistent;
+            create property p as xs:string queue ghost value //x
+        """)
+
+
+def test_slice_functions_only_on_slicing_rules():
+    check("create rule r for crm if (qs:slice()) then "
+          "do enqueue <y/> into customer",
+          "only available in rules on slicings")
+    # and they are fine on slicing rules
+    app = compile_application(BASE + """
+        create rule r for requestMsgs
+            if (qs:slice()[//x] and qs:slicekey() = 'k') then do reset
+    """)
+    assert app.rules[0].target == "requestMsgs"
+
+
+def test_bare_reset_only_on_slicing_rules():
+    check("create rule r for crm if (//x) then do reset",
+          "bare 'do reset'")
+
+
+def test_parameterized_reset_of_unknown_slicing():
+    check("create rule r for crm if (//x) then do reset(ghost, 'k')",
+          "unknown slicing 'ghost'")
+
+
+def test_parameterized_reset_allowed_on_queue_rules():
+    app = compile_application(BASE + """
+        create rule r for crm
+            if (//x) then do reset(requestMsgs, string(//requestID))
+    """)
+    assert app.rules[0].name == "r"
+
+
+def test_fixed_property_cannot_be_set_explicitly():
+    check("create rule r for crm if (//x) then "
+          "do enqueue <y/> into customer with requestID value 'boom'",
+          "fixed and may not be set")
+
+
+def test_rule_error_queue_must_exist():
+    check("create rule r for crm errorqueue ghosts "
+          "if (//x) then do enqueue <y/> into customer",
+          "error queue 'ghosts'")
+
+
+def test_queue_error_queue_must_exist():
+    with pytest.raises(ValidationError, match="error queue 'ghosts'"):
+        compile_application(
+            "create queue q kind basic mode persistent errorqueue ghosts")
+
+
+def test_ws_rm_requires_persistence():
+    # paper §2.1.2: reliable messaging needs a persistent queue
+    with pytest.raises(ValidationError, match="requires a persistent"):
+        compile_application("""
+            create queue out kind outgoingGateway mode transient
+                interface s.wsdl port P
+                using WS-ReliableMessaging policy pol.xml
+        """)
+
+
+def test_gateway_needs_interface_or_endpoint():
+    with pytest.raises(ValidationError, match="interface or endpoint"):
+        compile_application(
+            "create queue out kind outgoingGateway mode persistent")
+    app = compile_application("""
+        create queue out kind outgoingGateway mode persistent
+            endpoint "demaq://remote/in"
+    """)
+    assert app.queues["out"].endpoint == "demaq://remote/in"
+
+
+def test_interface_only_on_gateways():
+    with pytest.raises(ValidationError, match="only valid on gateway"):
+        compile_application("""
+            create queue q kind basic mode persistent
+                interface x.wsdl port P
+        """)
+
+
+def test_enqueue_into_incoming_gateway_rejected():
+    with pytest.raises(ValidationError, match="incoming gateway"):
+        compile_application("""
+            create queue inbox kind incomingGateway mode persistent
+                endpoint "demaq://self/inbox";
+            create queue q kind basic mode persistent;
+            create rule r for q
+                if (//x) then do enqueue <y/> into inbox
+        """)
+
+
+def test_system_property_shadowing_rejected():
+    with pytest.raises(ValidationError, match="shadows a system property"):
+        compile_application("""
+            create queue q kind basic mode persistent;
+            create property creationTime as xs:string queue q value //x
+        """)
+
+
+def test_bad_schema_reported():
+    with pytest.raises(ValidationError, match="bad schema"):
+        compile_application("""
+            create queue q kind basic mode persistent
+                schema "<notaschema/>"
+        """)
+
+
+def test_good_schema_compiled():
+    app = compile_application("""
+        create queue q kind basic mode persistent
+            schema "<schema><element name='ping' type='xs:string'/></schema>"
+    """)
+    assert app.queues["q"].schema is not None
+
+
+def test_slicing_name_collision_with_queue():
+    with pytest.raises(ValidationError, match="collides"):
+        compile_application("""
+            create queue s kind basic mode persistent;
+            create property p as xs:string queue s value //x;
+            create slicing s on p
+        """)
+
+
+def test_system_error_queue_checked():
+    with pytest.raises(ValidationError, match="system error queue"):
+        compile_application("create errorqueue ghosts")
+
+
+def test_all_findings_collected():
+    try:
+        compile_application("""
+            create queue q kind basic mode persistent;
+            create rule r for nowhere if (//x) then do enqueue <y/> into void
+        """)
+    except ValidationError as exc:
+        assert len(exc.findings) == 2
+    else:  # pragma: no cover
+        pytest.fail("expected ValidationError")
+
+
+def test_validate_is_idempotent():
+    app = parse_qdl(BASE)
+    validate(app)
+    validate(app)

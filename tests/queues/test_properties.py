@@ -1,0 +1,130 @@
+"""Tests for property resolution (paper §2.2 semantics)."""
+
+import pytest
+
+from repro.qdl import parse_qdl
+from repro.queues import PropertyError, PropertyResolver
+from repro.xmldm import parse
+from repro.xquery.atomics import XSDateTime
+
+APP = parse_qdl("""
+    create queue crm kind basic mode persistent;
+    create queue finance kind basic mode persistent;
+    create queue legal kind basic mode persistent;
+    create property orderID as xs:string fixed
+        queue crm value //orderID
+        queue finance value /payment/order;
+    create property isVIP as xs:boolean inherited
+        queue crm, finance, legal value false();
+    create property amount as xs:integer
+        queue finance value //amount
+""")
+
+
+@pytest.fixture()
+def resolver():
+    return PropertyResolver(APP)
+
+
+def test_fixed_property_computed_from_body(resolver):
+    body = parse("<order><orderID>o-1</orderID></order>")
+    props = resolver.resolve("crm", body)
+    assert props["orderID"] == "o-1"
+
+
+def test_fixed_property_per_queue_expression(resolver):
+    body = parse("<payment><order>o-2</order></payment>")
+    props = resolver.resolve("finance", body)
+    assert props["orderID"] == "o-2"
+
+
+def test_fixed_property_rejects_explicit(resolver):
+    body = parse("<order><orderID>o-1</orderID></order>")
+    with pytest.raises(PropertyError, match="fixed"):
+        resolver.resolve("crm", body, explicit={"orderID": "boom"})
+
+
+def test_fixed_property_absent_when_expression_empty(resolver):
+    body = parse("<order/>")
+    props = resolver.resolve("crm", body)
+    assert "orderID" not in props
+
+
+def test_default_value_expression(resolver):
+    body = parse("<anything/>")
+    props = resolver.resolve("legal", body)
+    assert props["isVIP"] is False
+
+
+def test_explicit_overrides_default(resolver):
+    body = parse("<anything/>")
+    props = resolver.resolve("legal", body, explicit={"isVIP": "true"})
+    assert props["isVIP"] is True     # cast to xs:boolean
+
+
+def test_inherited_beats_default(resolver):
+    body = parse("<anything/>")
+    props = resolver.resolve("legal", body,
+                             trigger_properties={"isVIP": True})
+    assert props["isVIP"] is True
+
+
+def test_explicit_beats_inherited(resolver):
+    body = parse("<anything/>")
+    props = resolver.resolve(
+        "legal", body, explicit={"isVIP": False},
+        trigger_properties={"isVIP": True})
+    assert props["isVIP"] is False
+
+
+def test_non_inherited_property_not_propagated(resolver):
+    body = parse("<x/>")
+    props = resolver.resolve("finance", body,
+                             trigger_properties={"amount": 99})
+    assert "amount" not in props      # //amount empty, no inheritance
+
+
+def test_typed_computed_value(resolver):
+    body = parse("<payment><amount>250</amount></payment>")
+    props = resolver.resolve("finance", body)
+    assert props["amount"] == 250
+    assert isinstance(props["amount"], int)
+
+
+def test_type_cast_failure_raises(resolver):
+    body = parse("<payment><amount>lots</amount></payment>")
+    with pytest.raises(PropertyError, match="amount"):
+        resolver.resolve("finance", body)
+
+
+def test_multivalued_expression_rejected(resolver):
+    body = parse("<o><orderID>1</orderID><orderID>2</orderID></o>")
+    with pytest.raises(PropertyError, match="2 values"):
+        resolver.resolve("crm", body)
+
+
+def test_adhoc_explicit_properties_kept(resolver):
+    body = parse("<x/>")
+    props = resolver.resolve("crm", body,
+                             explicit={"Sender": "http://ws.chem.invalid/"})
+    assert props["Sender"] == "http://ws.chem.invalid/"
+
+
+def test_system_values_merged_and_win(resolver):
+    body = parse("<x/>")
+    stamp = XSDateTime.parse("2026-06-12T00:00:00Z")
+    props = resolver.resolve("crm", body,
+                             explicit={"creationTime": "fake"},
+                             system={"creationTime": stamp})
+    assert props["creationTime"] == stamp
+
+
+def test_inheritable_subset(resolver):
+    trigger = {"isVIP": True, "orderID": "o-9", "random": 1}
+    assert resolver.inheritable(trigger) == {"isVIP": True}
+
+
+def test_properties_unbound_queue_empty(resolver):
+    body = parse("<order><orderID>o-1</orderID></order>")
+    props = resolver.resolve("legal", body)
+    assert "orderID" not in props     # orderID not defined on legal

@@ -1,0 +1,83 @@
+"""Tests for clocks and the echo service."""
+
+import pytest
+
+from repro.queues import EchoService, RealClock, VirtualClock
+
+
+def test_virtual_clock_advances():
+    clock = VirtualClock(start=100.0)
+    assert clock.now() == 100.0
+    clock.advance(5)
+    assert clock.now() == 105.0
+
+
+def test_virtual_clock_rejects_negative():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_now_datetime_matches_epoch():
+    clock = VirtualClock(start=1_000_000.0)
+    assert clock.now_datetime().epoch() == 1_000_000.0
+
+
+def test_real_clock_monotone_enough():
+    clock = RealClock()
+    assert clock.now() > 0
+
+
+def test_echo_delivery_after_timeout():
+    clock = VirtualClock()
+    echo = EchoService(clock)
+    echo.schedule(1, 10.0, "target")
+    assert echo.due_deliveries() == []
+    clock.advance(9.999)
+    assert echo.due_deliveries() == []
+    clock.advance(0.001)
+    assert echo.due_deliveries() == [(1, "target")]
+    assert echo.due_deliveries() == []      # delivered once
+
+
+def test_echo_ordering_by_due_time():
+    clock = VirtualClock()
+    echo = EchoService(clock)
+    echo.schedule(1, 30.0, "a")
+    echo.schedule(2, 10.0, "b")
+    echo.schedule(3, 20.0, "c")
+    clock.advance(60)
+    assert echo.due_deliveries() == [(2, "b"), (3, "c"), (1, "a")]
+
+
+def test_echo_zero_timeout_due_immediately():
+    clock = VirtualClock()
+    echo = EchoService(clock)
+    echo.schedule(5, 0.0, "t")
+    assert echo.due_deliveries() == [(5, "t")]
+
+
+def test_echo_negative_timeout_clamped():
+    clock = VirtualClock()
+    echo = EchoService(clock)
+    echo.schedule(5, -3.0, "t")
+    assert echo.due_deliveries() == [(5, "t")]
+
+
+def test_next_due_and_pending():
+    clock = VirtualClock(start=0.0)
+    echo = EchoService(clock)
+    assert echo.next_due() is None
+    echo.schedule(1, 15.0, "t")
+    echo.schedule(2, 5.0, "t")
+    assert echo.next_due() == 5.0
+    assert echo.pending_count() == 2
+
+
+def test_fifo_among_same_due_time():
+    clock = VirtualClock()
+    echo = EchoService(clock)
+    echo.schedule(1, 1.0, "a")
+    echo.schedule(2, 1.0, "b")
+    clock.advance(1)
+    assert echo.due_deliveries() == [(1, "a"), (2, "b")]

@@ -1,0 +1,181 @@
+"""Tests for the B+-tree (slice/message index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BPlusTree
+
+
+def test_insert_get():
+    tree = BPlusTree(order=4)
+    tree.insert(("a", 1), "v1")
+    tree.insert(("a", 2), "v2")
+    assert tree.get(("a", 1)) == "v1"
+    assert tree.get(("a", 2)) == "v2"
+    assert tree.get(("a", 3)) is None
+    assert tree.get(("a", 3), "dflt") == "dflt"
+
+
+def test_overwrite_keeps_size():
+    tree = BPlusTree(order=4)
+    tree.insert(("k",), 1)
+    tree.insert(("k",), 2)
+    assert len(tree) == 1
+    assert tree.get(("k",)) == 2
+
+
+def test_contains():
+    tree = BPlusTree(order=4)
+    tree.insert((5,), "x")
+    assert (5,) in tree
+    assert (6,) not in tree
+
+
+def test_many_inserts_force_splits():
+    tree = BPlusTree(order=4)
+    for i in range(500):
+        tree.insert((i,), i * 10)
+    assert len(tree) == 500
+    assert tree.node_splits > 0
+    assert tree.depth() > 1
+    for i in range(500):
+        assert tree.get((i,)) == i * 10
+    tree.check_invariants()
+
+
+def test_ordered_iteration():
+    tree = BPlusTree(order=4)
+    keys = list(range(200))
+    random.Random(7).shuffle(keys)
+    for k in keys:
+        tree.insert((k,), k)
+    values = [v for _, v in tree.items()]
+    assert values == list(range(200))
+
+
+def test_range_scan():
+    tree = BPlusTree(order=4)
+    for i in range(100):
+        tree.insert((i,), i)
+    got = [v for _, v in tree.items(low=(10,), high=(20,))]
+    assert got == list(range(10, 20))
+
+
+def test_prefix_scan_composite_keys():
+    tree = BPlusTree(order=4)
+    for queue in ("crm", "finance", "legal"):
+        for seqno in range(10):
+            tree.insert((queue, seqno), f"{queue}-{seqno}")
+    got = [v for _, v in tree.prefix_items(("finance",))]
+    assert got == [f"finance-{i}" for i in range(10)]
+    assert list(tree.prefix_items(("nothing",))) == []
+
+
+def test_slice_index_key_shape():
+    # (slicing, key, lifetime, seqno) — the store's slice index layout
+    tree = BPlusTree(order=4)
+    for seq in range(5):
+        tree.insert(("orders", "cust-7", 0, seq), seq)
+    for seq in range(5, 8):
+        tree.insert(("orders", "cust-7", 1, seq), seq)
+    lifetime0 = [v for _, v in tree.prefix_items(("orders", "cust-7", 0))]
+    lifetime1 = [v for _, v in tree.prefix_items(("orders", "cust-7", 1))]
+    assert lifetime0 == [0, 1, 2, 3, 4]
+    assert lifetime1 == [5, 6, 7]
+
+
+def test_mixed_type_keys_totally_ordered():
+    tree = BPlusTree(order=4)
+    tree.insert(("s", 1), "int")
+    tree.insert(("s", "1"), "str")
+    assert tree.get(("s", 1)) == "int"
+    assert tree.get(("s", "1")) == "str"
+    assert len(tree) == 2
+    tree.check_invariants()
+
+
+def test_delete_simple():
+    tree = BPlusTree(order=4)
+    for i in range(20):
+        tree.insert((i,), i)
+    assert tree.delete((10,))
+    assert tree.get((10,)) is None
+    assert not tree.delete((10,))
+    assert len(tree) == 19
+    tree.check_invariants()
+
+
+def test_delete_everything_collapses_root():
+    tree = BPlusTree(order=4)
+    for i in range(300):
+        tree.insert((i,), i)
+    for i in range(300):
+        assert tree.delete((i,))
+    assert len(tree) == 0
+    assert tree.depth() == 1
+    assert list(tree.items()) == []
+    tree.check_invariants()
+
+
+def test_merges_happen_on_shrink():
+    tree = BPlusTree(order=4)
+    for i in range(400):
+        tree.insert((i,), i)
+    for i in range(0, 400, 2):
+        tree.delete((i,))
+    for i in range(1, 400, 7):
+        tree.delete((i,))
+    tree.check_invariants()
+    assert tree.node_merges > 0
+
+
+def test_dump_load_round_trip():
+    tree = BPlusTree(order=8)
+    for i in range(50):
+        tree.insert(("q", i), i * 2)
+    loaded = BPlusTree.load(tree.dump(), order=8)
+    assert len(loaded) == 50
+    assert [v for _, v in loaded.items()] == [v for _, v in tree.items()]
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=300))
+def test_matches_dict_semantics(keys):
+    tree = BPlusTree(order=4)
+    reference = {}
+    for k in keys:
+        tree.insert((k,), k * 3)
+        reference[(k,)] = k * 3
+    assert len(tree) == len(reference)
+    for k in reference:
+        assert tree.get(k) == reference[k]
+    assert [v for _, v in tree.items()] == \
+        [reference[k] for k in sorted(reference)]
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=100),
+                          st.booleans()), max_size=200))
+def test_insert_delete_fuzz(operations):
+    tree = BPlusTree(order=4)
+    reference = {}
+    for key, delete_it in operations:
+        if delete_it:
+            assert tree.delete((key,)) == ((key,) in reference)
+            reference.pop((key,), None)
+        else:
+            tree.insert((key,), key)
+            reference[(key,)] = key
+    assert len(tree) == len(reference)
+    expected = sorted(tuple((0, v) for v in key) for key in reference)
+    assert [k for k, _ in tree.items()] == expected
+    tree.check_invariants()

@@ -1,0 +1,282 @@
+"""Tests for the transactional message store: commits, recovery, GC."""
+
+import pytest
+
+from repro.storage import MessageStore, StorageError, TransactionError
+from repro.storage.store import decode_value, encode_value
+from repro.xquery.atomics import XSDateTime
+
+
+def enqueue(store, queue, body, properties=None, slices=(), persistent=True):
+    txn = store.begin()
+    op = txn.insert_message(queue, body.encode(), properties or {},
+                            list(slices), persistent)
+    store.commit(txn)
+    return op.msg_id
+
+
+def test_insert_and_read_back():
+    store = MessageStore()
+    msg_id = enqueue(store, "crm", "<order><id>1</id></order>",
+                     {"orderID": "1"})
+    meta = store.get(msg_id)
+    assert meta.queue == "crm"
+    assert meta.property("orderID") == "1"
+    assert store.body_bytes(msg_id) == b"<order><id>1</id></order>"
+
+
+def test_queue_scan_in_arrival_order():
+    store = MessageStore()
+    ids = [enqueue(store, "crm", f"<m>{i}</m>") for i in range(5)]
+    enqueue(store, "other", "<x/>")
+    scanned = [m.msg_id for m in store.queue_messages("crm")]
+    assert scanned == ids
+    assert store.queue_depth("crm") == 5
+    assert store.queue_depth("other") == 1
+    assert store.queue_depth("empty") == 0
+
+
+def test_transaction_atomicity_on_abort():
+    store = MessageStore()
+    txn = store.begin()
+    txn.insert_message("crm", b"<m/>", {}, [])
+    store.abort(txn)
+    assert store.message_count() == 0
+    with pytest.raises(TransactionError):
+        store.commit(txn)
+
+
+def test_multi_op_transaction():
+    store = MessageStore()
+    trigger = enqueue(store, "crm", "<in/>")
+    txn = store.begin()
+    txn.mark_processed(trigger)
+    txn.insert_message("out", b"<a/>", {}, [])
+    txn.insert_message("out", b"<b/>", {}, [])
+    store.commit(txn)
+    assert store.get(trigger).processed
+    assert store.queue_depth("out") == 2
+
+
+def test_unprocessed_messages_ordering():
+    store = MessageStore()
+    first = enqueue(store, "a", "<m/>")
+    second = enqueue(store, "b", "<m/>")
+    txn = store.begin()
+    txn.mark_processed(first)
+    store.commit(txn)
+    assert [m.msg_id for m in store.unprocessed_messages()] == [second]
+
+
+def test_slice_membership_and_scan():
+    store = MessageStore()
+    ids = [enqueue(store, "crm", f"<m>{i}</m>", slices=[("orders", "k1")])
+           for i in range(3)]
+    enqueue(store, "crm", "<m>other</m>", slices=[("orders", "k2")])
+    got = [m.msg_id for m in store.slice_messages("orders", "k1")]
+    assert got == ids
+    assert store.slice_messages("orders", "nope") == []
+
+
+def test_slice_scan_matches_index():
+    store = MessageStore()
+    for i in range(20):
+        enqueue(store, "crm", f"<m>{i}</m>",
+                slices=[("orders", f"k{i % 3}")])
+    for key in ("k0", "k1", "k2"):
+        via_index = [m.msg_id for m in store.slice_messages("orders", key)]
+        via_scan = [m.msg_id
+                    for m in store.slice_messages_scan("orders", key)]
+        assert via_index == via_scan
+
+
+def test_slice_reset_starts_new_lifetime():
+    store = MessageStore()
+    old = enqueue(store, "crm", "<old/>", slices=[("orders", "k")])
+    txn = store.begin()
+    txn.reset_slice("orders", "k")
+    store.commit(txn)
+    assert store.slice_lifetime("orders", "k") == 1
+    new = enqueue(store, "crm", "<new/>", slices=[("orders", "k")])
+    visible = [m.msg_id for m in store.slice_messages("orders", "k")]
+    assert visible == [new]
+    # the old message still exists physically until GC
+    assert store.get(old) is not None
+
+
+def test_retention_until_all_slices_reset():
+    store = MessageStore()
+    msg = enqueue(store, "crm", "<m/>",
+                  slices=[("a", "k"), ("b", "k")])
+    txn = store.begin()
+    txn.mark_processed(msg)
+    txn.reset_slice("a", "k")
+    store.commit(txn)
+    assert store.collect_garbage() == 0     # still in slice b
+    txn = store.begin()
+    txn.reset_slice("b", "k")
+    store.commit(txn)
+    assert store.collect_garbage() == 1
+    assert store.get(msg) is None
+
+
+def test_sliceless_processed_messages_collected():
+    store = MessageStore()
+    msg = enqueue(store, "crm", "<m/>")
+    assert store.collect_garbage() == 0     # unprocessed: keep
+    txn = store.begin()
+    txn.mark_processed(msg)
+    store.commit(txn)
+    assert store.collect_garbage() == 1
+
+
+def test_unprocessed_sliced_message_never_collected():
+    store = MessageStore()
+    enqueue(store, "crm", "<m/>", slices=[("s", "k")])
+    txn = store.begin()
+    txn.reset_slice("s", "k")
+    store.commit(txn)
+    assert store.collect_garbage() == 0     # not processed yet
+
+
+def test_recovery_replays_committed_transactions(tmp_path):
+    path = str(tmp_path / "store")
+    store = MessageStore(path)
+    msg = enqueue(store, "crm", "<survivor/>", {"p": "v"},
+                  slices=[("s", "k")])
+    store.simulate_crash()
+    store.recover()
+    meta = store.get(msg)
+    assert meta is not None
+    assert meta.property("p") == "v"
+    assert store.body_bytes(msg) == b"<survivor/>"
+    assert [m.msg_id for m in store.slice_messages("s", "k")] == [msg]
+    store.close()
+
+
+def test_recovery_skips_uncommitted(tmp_path):
+    path = str(tmp_path / "store")
+    store = MessageStore(path)
+    enqueue(store, "crm", "<committed/>")
+    # hand-craft a loser transaction in the log: BEGIN+INSERT, no COMMIT
+    from repro.storage import wal as walmod
+    store.wal.append(walmod.BEGIN, 999)
+    store.wal.append(walmod.MSG_INSERT, 999, msg_id=777, queue="crm",
+                     payload="<loser/>", properties={}, slices=[])
+    store.wal.flush()
+    store.simulate_crash()
+    store.recover()
+    assert store.message_count() == 1
+    assert store.get(777) is None
+    store.close()
+
+
+def test_transient_messages_lost_on_crash(tmp_path):
+    path = str(tmp_path / "store")
+    store = MessageStore(path)
+    enqueue(store, "durable", "<keep/>", persistent=True)
+    enqueue(store, "scratch", "<lose/>", persistent=False)
+    assert store.message_count() == 2
+    store.simulate_crash()
+    store.recover()
+    assert store.queue_depth("durable") == 1
+    assert store.queue_depth("scratch") == 0
+    store.close()
+
+
+def test_reopen_from_disk(tmp_path):
+    path = str(tmp_path / "store")
+    store = MessageStore(path)
+    msg = enqueue(store, "crm", "<m/>" * 100)
+    store.close()
+    reopened = MessageStore(path)
+    assert reopened.get(msg) is not None
+    assert reopened.body_bytes(msg) == b"<m/>" * 100
+    reopened.close()
+
+
+def test_checkpoint_shortens_replay(tmp_path):
+    path = str(tmp_path / "store")
+    store = MessageStore(path)
+    for i in range(20):
+        enqueue(store, "crm", f"<m>{i}</m>")
+    store.checkpoint()
+    enqueue(store, "crm", "<after/>")
+    store.simulate_crash()
+    store.recover()
+    assert store.message_count() == 21
+    # only the post-checkpoint transaction is replayed (3 records)
+    assert store.stats.replayed_records <= 4
+    store.close()
+
+
+def test_recovery_after_checkpoint_reads_heap_pages(tmp_path):
+    path = str(tmp_path / "store")
+    store = MessageStore(path)
+    ids = [enqueue(store, "crm", f"<body-{i}/>") for i in range(5)]
+    store.checkpoint()
+    store.simulate_crash()
+    store.recover()
+    for i, msg_id in enumerate(ids):
+        assert store.body_bytes(msg_id) == f"<body-{i}/>".encode()
+    store.close()
+
+
+def test_derived_deletion_mode_recovers_gc(tmp_path):
+    path = str(tmp_path / "store")
+    store = MessageStore(path, log_deletes=False)
+    keep = enqueue(store, "crm", "<keep/>", slices=[("s", "live")])
+    drop = enqueue(store, "crm", "<drop/>", slices=[("s", "dead")])
+    txn = store.begin()
+    txn.mark_processed(drop)
+    txn.reset_slice("s", "dead")
+    store.commit(txn)
+    deleted = store.collect_garbage()
+    assert deleted == 1
+    # No MSG_DELETE record was written...
+    from repro.storage import wal as walmod
+    assert all(r.type != walmod.MSG_DELETE for r in store.wal.records())
+    # ...yet recovery reaches the same state by re-deriving deletability.
+    store.simulate_crash()
+    store.recover()
+    assert store.get(keep) is not None
+    assert store.get(drop) is None
+    store.close()
+
+
+def test_logged_deletion_mode_writes_delete_records(tmp_path):
+    path = str(tmp_path / "store")
+    store = MessageStore(path, log_deletes=True)
+    msg = enqueue(store, "crm", "<m/>")
+    txn = store.begin()
+    txn.mark_processed(msg)
+    store.commit(txn)
+    store.collect_garbage()
+    from repro.storage import wal as walmod
+    assert any(r.type == walmod.MSG_DELETE for r in store.wal.records())
+    store.close()
+
+
+def test_property_value_codec_round_trip():
+    values = ["text", 42, 2.5, True, False,
+              XSDateTime.parse("2026-06-12T10:00:00Z")]
+    for value in values:
+        assert decode_value(encode_value(value)) == value
+
+
+def test_property_codec_rejects_unknown():
+    with pytest.raises(StorageError):
+        encode_value(object())
+    with pytest.raises(StorageError):
+        decode_value(["??", 1])
+
+
+def test_large_message_body(tmp_path):
+    store = MessageStore(str(tmp_path / "store"))
+    body = "<big>" + "x" * 50_000 + "</big>"
+    msg = enqueue(store, "crm", body)
+    assert store.body_bytes(msg).decode() == body
+    store.simulate_crash()
+    store.recover()
+    assert store.body_bytes(msg).decode() == body
+    store.close()

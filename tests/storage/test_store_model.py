@@ -1,0 +1,140 @@
+"""Property-based model test: the message store against a reference model.
+
+Random interleavings of insert / process / reset / GC / crash+recover
+must keep the store equivalent to a trivial in-memory model.  This is the
+deep invariant behind the paper's retention semantics (§2.3.3): a message
+is physically removable iff it is processed and belongs to no live slice.
+"""
+
+from dataclasses import dataclass, field
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, invariant,
+                                 rule)
+
+from repro.storage import MessageStore
+
+SLICINGS = ["s1", "s2"]
+KEYS = ["k1", "k2", "k3"]
+
+
+@dataclass
+class ModelMessage:
+    msg_id: int
+    queue: str
+    body: bytes
+    slices: list[tuple[str, str, int]] = field(default_factory=list)
+    processed: bool = False
+
+
+class StoreModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = MessageStore()
+        self.model: dict[int, ModelMessage] = {}
+        self.lifetimes: dict[tuple[str, str], int] = {}
+
+    messages = Bundle("messages")
+
+    @rule(target=messages,
+          queue=st.sampled_from(["a", "b"]),
+          memberships=st.lists(
+              st.tuples(st.sampled_from(SLICINGS), st.sampled_from(KEYS)),
+              max_size=2, unique=True),
+          payload=st.integers(min_value=0, max_value=999))
+    def insert(self, queue, memberships, payload):
+        body = f"<m>{payload}</m>".encode()
+        txn = self.store.begin()
+        op = txn.insert_message(queue, body, {}, list(memberships))
+        self.store.commit(txn)
+        entry = ModelMessage(op.msg_id, queue, body)
+        for slicing, key in memberships:
+            lifetime = self.lifetimes.get((slicing, key), 0)
+            entry.slices.append((slicing, key, lifetime))
+        self.model[op.msg_id] = entry
+        return op.msg_id
+
+    @rule(msg_id=messages)
+    def process(self, msg_id):
+        if msg_id not in self.model:
+            return
+        txn = self.store.begin()
+        txn.mark_processed(msg_id)
+        self.store.commit(txn)
+        self.model[msg_id].processed = True
+
+    @rule(slicing=st.sampled_from(SLICINGS), key=st.sampled_from(KEYS))
+    def reset(self, slicing, key):
+        txn = self.store.begin()
+        txn.reset_slice(slicing, key)
+        self.store.commit(txn)
+        self.lifetimes[(slicing, key)] = \
+            self.lifetimes.get((slicing, key), 0) + 1
+
+    @rule()
+    def collect(self):
+        deleted = self.store.collect_garbage()
+        expected = {mid for mid, m in self.model.items()
+                    if m.processed and not self._retained(m)}
+        assert deleted == len(expected)
+        for mid in expected:
+            del self.model[mid]
+
+    def _retained(self, message: ModelMessage) -> bool:
+        return any(self.lifetimes.get((s, k), 0) == lifetime
+                   for s, k, lifetime in message.slices)
+
+    @invariant()
+    def store_matches_model(self):
+        assert self.store.message_count() == len(self.model)
+        for mid, entry in self.model.items():
+            meta = self.store.get(mid)
+            assert meta is not None
+            assert meta.queue == entry.queue
+            assert meta.processed == entry.processed
+            assert self.store.body_bytes(mid) == entry.body
+
+    @invariant()
+    def slice_scans_agree(self):
+        for slicing in SLICINGS:
+            for key in KEYS:
+                via_index = [m.msg_id for m in
+                             self.store.slice_messages(slicing, key)]
+                via_scan = [m.msg_id for m in
+                            self.store.slice_messages_scan(slicing, key)]
+                assert via_index == via_scan
+                expected = sorted(
+                    mid for mid, m in self.model.items()
+                    if (slicing, key,
+                        self.lifetimes.get((slicing, key), 0)) in m.slices)
+                assert via_index == expected
+
+
+StoreModelTest = StoreModel.TestCase
+StoreModelTest.settings = settings(max_examples=25,
+                                   stateful_step_count=30,
+                                   deadline=None)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                max_size=40))
+def test_persistent_store_recovers_random_population(tmp_path_factory,
+                                                     payloads):
+    directory = str(tmp_path_factory.mktemp("store"))
+    store = MessageStore(directory)
+    ids = []
+    for index, payload in enumerate(payloads):
+        txn = store.begin()
+        op = txn.insert_message(
+            "q", f"<m>{payload}</m>".encode(), {"n": index},
+            [("s", f"k{payload % 3}")])
+        store.commit(txn)
+        ids.append((op.msg_id, payload))
+    store.simulate_crash()
+    store.recover()
+    assert store.message_count() == len(payloads)
+    for msg_id, payload in ids:
+        assert store.body_bytes(msg_id) == f"<m>{payload}</m>".encode()
+    store.close()

@@ -1,0 +1,130 @@
+"""Tests for the write-ahead log."""
+
+import pytest
+
+from repro.storage import WALError, WriteAheadLog
+from repro.storage.wal import (ABORT, BEGIN, CHECKPOINT, COMMIT, MSG_INSERT,
+                               MSG_PROCESSED, analyze)
+
+
+def test_append_and_read_back():
+    wal = WriteAheadLog(None)
+    wal.append(BEGIN, 1)
+    wal.append(MSG_INSERT, 1, msg_id=7, queue="crm", payload="<m/>",
+               properties={}, slices=[])
+    wal.append(COMMIT, 1)
+    records = list(wal.records())
+    assert [r.type for r in records] == [BEGIN, MSG_INSERT, COMMIT]
+    assert records[1].data["msg_id"] == 7
+    assert records[1].data["payload"] == "<m/>"
+
+
+def test_lsns_are_monotonic_offsets():
+    wal = WriteAheadLog(None)
+    lsns = [wal.append(BEGIN, i) for i in range(5)]
+    assert lsns == sorted(lsns)
+    assert lsns[0] == 0
+    read_back = [r.lsn for r in wal.records()]
+    assert read_back == lsns
+
+
+def test_records_from_offset():
+    wal = WriteAheadLog(None)
+    wal.append(BEGIN, 1)
+    middle = wal.append(COMMIT, 1)
+    wal.append(BEGIN, 2)
+    tail = list(wal.records(middle))
+    assert [r.type for r in tail] == [COMMIT, BEGIN]
+
+
+def test_file_backed_persistence(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append(BEGIN, 1)
+    wal.append(COMMIT, 1)
+    wal.flush()
+    wal.close()
+    reopened = WriteAheadLog(path)
+    assert [r.type for r in reopened.records()] == [BEGIN, COMMIT]
+    reopened.close()
+
+
+def test_torn_tail_detected(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append(BEGIN, 1)
+    wal.append(COMMIT, 1)
+    wal.flush()
+    wal.close()
+    # simulate a torn write: append garbage bytes
+    with open(path, "ab") as fh:
+        fh.write(b"\x99\x10\x00\x00partial")
+    reopened = WriteAheadLog(path)
+    assert [r.type for r in reopened.records()] == [BEGIN, COMMIT]
+    reopened.close()
+
+
+def test_corrupt_crc_stops_iteration(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append(BEGIN, 1)
+    second = wal.append(COMMIT, 1)
+    wal.flush()
+    wal.close()
+    with open(path, "r+b") as fh:
+        fh.seek(second + 9)   # inside the second record's payload
+        fh.write(b"X")
+    reopened = WriteAheadLog(path)
+    assert [r.type for r in reopened.records()] == [BEGIN]
+    reopened.close()
+
+
+def test_flush_to_is_cheap_when_flushed():
+    wal = WriteAheadLog(None)
+    lsn = wal.append(BEGIN, 1)
+    wal.flush()
+    flushes = wal.flushes
+    wal.flush_to(lsn)
+    assert wal.flushes == flushes
+
+
+def test_unknown_record_type_rejected():
+    wal = WriteAheadLog(None)
+    wal.append(BEGIN, 1)
+    with pytest.raises(WALError):
+        list(_corrupt_type(wal))
+
+
+def _corrupt_type(wal):
+    from repro.storage.wal import LogRecord
+    yield LogRecord(0, "bogus", 1, {})
+
+
+def test_last_checkpoint():
+    wal = WriteAheadLog(None)
+    assert wal.last_checkpoint() is None
+    wal.append(CHECKPOINT, None, wal_end=0)
+    wal.append(BEGIN, 1)
+    second = wal.append(CHECKPOINT, None, wal_end=99)
+    checkpoint = wal.last_checkpoint()
+    assert checkpoint.lsn == second
+    assert checkpoint.data["wal_end"] == 99
+
+
+def test_analyze_committed_and_losers():
+    wal = WriteAheadLog(None)
+    wal.append(BEGIN, 1)
+    wal.append(COMMIT, 1)
+    wal.append(BEGIN, 2)          # loser: no commit
+    wal.append(BEGIN, 3)
+    wal.append(ABORT, 3)
+    committed, aborted = analyze(wal.records())
+    assert committed == {1}
+    assert aborted == {3}
+
+
+def test_size_tracking():
+    wal = WriteAheadLog(None)
+    assert wal.size_bytes() == 0
+    wal.append(MSG_PROCESSED, 1, msg_id=1)
+    assert wal.size_bytes() > 0

@@ -1,0 +1,196 @@
+"""Tests for the hand-written XML parser."""
+
+import pytest
+
+from repro.xmldm import (Comment, Element, ProcessingInstruction, QName, Text,
+                         XMLParseError, parse, parse_fragment)
+
+
+def test_simple_document():
+    doc = parse("<order><id>42</id></order>")
+    assert doc.root_element.name == QName("order")
+    assert doc.root_element.first_child("id").text == "42"
+
+
+def test_empty_element_forms_equivalent():
+    assert parse("<a/>").root_element.children == []
+    assert parse("<a></a>").root_element.children == []
+
+
+def test_attributes_both_quote_styles():
+    doc = parse("""<e a="1" b='2'/>""")
+    root = doc.root_element
+    assert root.attribute_value("a") == "1"
+    assert root.attribute_value("b") == "2"
+
+
+def test_predefined_entities_in_text():
+    doc = parse("<e>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</e>")
+    assert doc.root_element.text == "<tag> & \"q\" 'a'"
+
+
+def test_numeric_character_references():
+    doc = parse("<e>&#65;&#x42;&#x20AC;</e>")
+    assert doc.root_element.text == "AB€"
+
+
+def test_entities_in_attributes():
+    doc = parse('<e a="&amp;&lt;&#x41;"/>')
+    assert doc.root_element.attribute_value("a") == "&<A"
+
+
+def test_cdata_section():
+    doc = parse("<e><![CDATA[<not & parsed>]]></e>")
+    assert doc.root_element.text == "<not & parsed>"
+
+
+def test_cdata_merges_with_adjacent_text():
+    doc = parse("<e>a<![CDATA[b]]>c</e>")
+    assert len(doc.root_element.children) == 1
+    assert doc.root_element.text == "abc"
+
+
+def test_comments_and_pis_preserved():
+    doc = parse("<e><!-- note --><?target data?></e>")
+    comment, pi = doc.root_element.children
+    assert isinstance(comment, Comment)
+    assert comment.value == " note "
+    assert isinstance(pi, ProcessingInstruction)
+    assert pi.target == "target"
+    assert pi.data == "data"
+
+
+def test_xml_declaration_and_prolog_misc():
+    doc = parse('<?xml version="1.0"?><!-- lead --><e/>')
+    assert doc.root_element.name == QName("e")
+    assert isinstance(doc.children[0], Comment)
+
+
+def test_trailing_misc_allowed():
+    doc = parse("<e/><!-- after -->")
+    assert isinstance(doc.children[-1], Comment)
+
+
+def test_whitespace_text_preserved_inside_elements():
+    doc = parse("<e>  spaced  </e>")
+    assert doc.root_element.text == "  spaced  "
+
+
+def test_mixed_content():
+    doc = parse("<p>hello <b>bold</b> world</p>")
+    kinds = [type(c) for c in doc.root_element.children]
+    assert kinds == [Text, Element, Text]
+
+
+def test_default_namespace_applies_to_elements():
+    doc = parse('<order xmlns="urn:shop"><id>1</id></order>')
+    root = doc.root_element
+    assert root.name == QName("order", "urn:shop")
+    assert root.child_elements()[0].name == QName("id", "urn:shop")
+
+
+def test_default_namespace_not_applied_to_attributes():
+    doc = parse('<e xmlns="urn:x" a="1"/>')
+    attr = doc.root_element.attributes[0]
+    assert attr.name == QName("a")
+
+
+def test_prefixed_names():
+    doc = parse('<s:order xmlns:s="urn:shop" s:kind="web"/>')
+    root = doc.root_element
+    assert root.name == QName("order", "urn:shop")
+    assert root.attributes[0].name == QName("kind", "urn:shop")
+
+
+def test_namespace_scoping_and_override():
+    doc = parse('<a xmlns:p="urn:1"><b xmlns:p="urn:2"><p:x/></b><p:y/></a>')
+    a = doc.root_element
+    b = a.child_elements()[0]
+    x = b.child_elements()[0]
+    y = a.child_elements()[1]
+    assert x.name.namespace_uri == "urn:2"
+    assert y.name.namespace_uri == "urn:1"
+
+
+def test_default_namespace_undeclaration():
+    doc = parse('<a xmlns="urn:x"><b xmlns=""><c/></b></a>')
+    c = doc.root_element.child_elements()[0].child_elements()[0]
+    assert c.name == QName("c")
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(XMLParseError):
+        parse('<e a="1" a="2"/>')
+
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "   ",
+    "<a>",
+    "<a><b></a></b>",
+    "<a></b>",
+    "<a", "text only",
+    "<a/><b/>",
+    "<a a=1/>",
+    "<a 'x'/>",
+    "<a>&unknown;</a>",
+    "<a>&#xZZ;</a>",
+    "<a>&#99999999999;</a>",
+    '<a b="<"/>',
+    "<a><!-- -- --></a>",
+    "<a><![CDATA[x</a>",
+    "<p:a/>",
+    "<a]]></a>",
+])
+def test_malformed_documents_rejected(bad):
+    with pytest.raises(XMLParseError):
+        parse(bad)
+
+
+def test_truncated_message_error_has_position():
+    with pytest.raises(XMLParseError) as excinfo:
+        parse("<order>\n  <id>42")
+    assert excinfo.value.line >= 1
+    assert "line" in str(excinfo.value)
+
+
+def test_dtd_rejected():
+    with pytest.raises(XMLParseError, match="DTD"):
+        parse("<!DOCTYPE foo [<!ENTITY x 'y'>]><foo/>")
+
+
+def test_reserved_pi_target_rejected():
+    with pytest.raises(XMLParseError):
+        parse("<a><?xml bad?></a>")
+
+
+def test_content_after_root_rejected():
+    with pytest.raises(XMLParseError, match="after the root"):
+        parse("<a/>text")
+
+
+def test_parse_fragment_multiple_roots():
+    nodes = parse_fragment("<a/>text<b/>")
+    assert len(nodes) == 3
+    assert all(n.parent is None for n in nodes)
+    assert isinstance(nodes[1], Text)
+
+
+def test_parse_rejects_bytes():
+    with pytest.raises(TypeError):
+        parse(b"<a/>")
+
+
+def test_deeply_nested_document():
+    depth = 200
+    text = "".join(f"<n{i}>" for i in range(depth))
+    text += "x"
+    text += "".join(f"</n{i}>" for i in reversed(range(depth)))
+    doc = parse(text)
+    assert doc.root_element.string_value == "x"
+
+
+def test_large_flat_document():
+    text = "<r>" + "<i>v</i>" * 5000 + "</r>"
+    doc = parse(text)
+    assert len(doc.root_element.children) == 5000

@@ -1,0 +1,64 @@
+"""Tests for qualified names."""
+
+import pytest
+
+from repro.xmldm import QName
+from repro.xmldm.qname import XML_NAMESPACE
+
+
+def test_equality_ignores_prefix():
+    assert QName("a", "urn:x", prefix="p") == QName("a", "urn:x", prefix="q")
+    assert QName("a", "urn:x", prefix="p") == QName("a", "urn:x")
+
+
+def test_equality_respects_namespace():
+    assert QName("a", "urn:x") != QName("a", "urn:y")
+    assert QName("a", "urn:x") != QName("a")
+
+
+def test_hash_consistent_with_equality():
+    assert hash(QName("a", "urn:x", prefix="p")) == hash(QName("a", "urn:x"))
+
+
+def test_lexical_and_clark_forms():
+    name = QName("order", "urn:shop", prefix="s")
+    assert name.lexical == "s:order"
+    assert name.clark == "{urn:shop}order"
+    assert QName("order").lexical == "order"
+    assert QName("order").clark == "order"
+
+
+def test_str_is_lexical():
+    assert str(QName("order", "urn:shop", prefix="s")) == "s:order"
+
+
+def test_empty_local_name_rejected():
+    with pytest.raises(ValueError):
+        QName("")
+
+
+def test_parse_unprefixed_uses_default_namespace():
+    assert QName.parse("order", {}, "urn:d") == QName("order", "urn:d")
+    assert QName.parse("order", {}) == QName("order")
+
+
+def test_parse_prefixed():
+    name = QName.parse("s:order", {"s": "urn:shop"})
+    assert name == QName("order", "urn:shop")
+    assert name.prefix == "s"
+
+
+def test_parse_xml_prefix_is_builtin():
+    assert QName.parse("xml:lang", {}).namespace_uri == XML_NAMESPACE
+
+
+def test_parse_undeclared_prefix():
+    with pytest.raises(ValueError, match="undeclared"):
+        QName.parse("s:order", {})
+
+
+def test_parse_malformed():
+    with pytest.raises(ValueError):
+        QName.parse(":order", {})
+    with pytest.raises(ValueError):
+        QName.parse("s:", {"s": "urn:x"})

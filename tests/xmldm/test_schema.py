@@ -1,0 +1,216 @@
+"""Tests for the XML-Schema-subset validator."""
+
+import pytest
+
+from repro.xmldm import SchemaError, check_simple_type, compile_schema, parse
+
+ORDER_SCHEMA = """
+<schema>
+  <element name="order">
+    <sequence>
+      <element name="id" type="xs:integer"/>
+      <element name="customer" type="xs:string"/>
+      <element name="item" minOccurs="1" maxOccurs="unbounded">
+        <sequence>
+          <element name="sku" type="xs:string"/>
+          <element name="qty" type="xs:integer"/>
+        </sequence>
+        <attribute name="priority" type="xs:boolean"/>
+      </element>
+      <element name="note" type="xs:string" minOccurs="0"/>
+    </sequence>
+    <attribute name="channel" type="xs:string" use="required"/>
+  </element>
+</schema>
+"""
+
+VALID_ORDER = """
+<order channel="web">
+  <id>42</id>
+  <customer>acme</customer>
+  <item priority="true"><sku>A-1</sku><qty>2</qty></item>
+  <item><sku>B-2</sku><qty>1</qty></item>
+  <note>rush</note>
+</order>
+"""
+
+
+@pytest.fixture()
+def order_schema():
+    return compile_schema(ORDER_SCHEMA)
+
+
+def _strip_ws(markup: str) -> str:
+    import re
+    return re.sub(r">\s+<", "><", markup.strip())
+
+
+def test_valid_document_accepted(order_schema):
+    assert order_schema.validate(parse(_strip_ws(VALID_ORDER))) == []
+
+
+def test_wrong_root_rejected(order_schema):
+    errors = order_schema.validate(parse("<invoice/>"))
+    assert len(errors) == 1
+    assert "unexpected root" in errors[0].message
+
+
+def test_missing_required_child(order_schema):
+    doc = parse('<order channel="web"><id>1</id></order>')
+    errors = order_schema.validate(doc)
+    assert any("customer" in e.message for e in errors)
+
+
+def test_bad_simple_type_reports_path(order_schema):
+    doc = parse(_strip_ws("""
+      <order channel="web"><id>NaN-ish</id><customer>c</customer>
+      <item><sku>A</sku><qty>1</qty></item></order>"""))
+    errors = order_schema.validate(doc)
+    assert any(e.path == "/order/id" for e in errors)
+
+
+def test_missing_required_attribute(order_schema):
+    doc = parse(_strip_ws("""
+      <order><id>1</id><customer>c</customer>
+      <item><sku>A</sku><qty>1</qty></item></order>"""))
+    errors = order_schema.validate(doc)
+    assert any("@channel" in e.message for e in errors)
+
+
+def test_undeclared_attribute_rejected(order_schema):
+    doc = parse(_strip_ws("""
+      <order channel="web" bogus="1"><id>1</id><customer>c</customer>
+      <item><sku>A</sku><qty>1</qty></item></order>"""))
+    errors = order_schema.validate(doc)
+    assert any("@bogus" in e.message for e in errors)
+
+
+def test_bad_attribute_type(order_schema):
+    doc = parse(_strip_ws("""
+      <order channel="web"><id>1</id><customer>c</customer>
+      <item priority="maybe"><sku>A</sku><qty>1</qty></item></order>"""))
+    errors = order_schema.validate(doc)
+    assert any("priority" in e.message for e in errors)
+
+
+def test_extra_trailing_element_rejected(order_schema):
+    doc = parse(_strip_ws("""
+      <order channel="web"><id>1</id><customer>c</customer>
+      <item><sku>A</sku><qty>1</qty></item><surprise/></order>"""))
+    errors = order_schema.validate(doc)
+    assert any("surprise" in e.path for e in errors)
+
+
+def test_unbounded_repetition(order_schema):
+    items = "".join(
+        f"<item><sku>S{i}</sku><qty>{i}</qty></item>" for i in range(20))
+    doc = parse(f'<order channel="web"><id>1</id>'
+                f"<customer>c</customer>{items}</order>")
+    assert order_schema.is_valid(doc)
+
+
+def test_choice_content_model():
+    schema = compile_schema("""
+      <schema>
+        <element name="msg">
+          <choice>
+            <element name="ok" type="xs:string"/>
+            <element name="err" type="xs:string"/>
+          </choice>
+        </element>
+      </schema>""")
+    assert schema.is_valid(parse("<msg><ok>fine</ok></msg>"))
+    assert schema.is_valid(parse("<msg><err>bad</err></msg>"))
+    assert not schema.is_valid(parse("<msg><other/></msg>"))
+    assert not schema.is_valid(parse("<msg/>"))
+
+
+def test_nested_groups_and_optional_choice():
+    schema = compile_schema("""
+      <schema>
+        <element name="r">
+          <sequence>
+            <element name="a" type="xs:string"/>
+            <choice minOccurs="0" maxOccurs="2">
+              <element name="b" type="xs:string"/>
+              <element name="c" type="xs:string"/>
+            </choice>
+          </sequence>
+        </element>
+      </schema>""")
+    assert schema.is_valid(parse("<r><a>x</a></r>"))
+    assert schema.is_valid(parse("<r><a>x</a><b>1</b><c>2</c></r>"))
+    assert not schema.is_valid(parse("<r><a>x</a><b/><b/><b/></r>"))
+
+
+def test_any_wildcard():
+    schema = compile_schema("""
+      <schema>
+        <element name="env">
+          <sequence>
+            <element name="head" type="xs:string"/>
+            <any minOccurs="0" maxOccurs="unbounded"/>
+          </sequence>
+        </element>
+      </schema>""")
+    assert schema.is_valid(parse("<env><head>h</head><x/><y><z/></y></env>"))
+
+
+def test_simple_leaf_must_not_have_children():
+    schema = compile_schema("""
+      <schema><element name="n" type="xs:integer"/></schema>""")
+    assert schema.is_valid(parse("<n>17</n>"))
+    assert not schema.is_valid(parse("<n><sub/></n>"))
+
+
+def test_multiple_roots():
+    schema = compile_schema("""
+      <schema>
+        <element name="ping" type="xs:string"/>
+        <element name="pong" type="xs:string"/>
+      </schema>""")
+    assert schema.is_valid(parse("<ping>x</ping>"))
+    assert schema.is_valid(parse("<pong>y</pong>"))
+    assert not schema.is_valid(parse("<other/>"))
+
+
+@pytest.mark.parametrize("bad_schema", [
+    "<notschema/>",
+    "<schema/>",
+    "<schema><element/></schema>",
+    "<schema><element name='a'><sequence/></element></schema>",
+    "<schema><element name='a'/><element name='a'/></schema>",
+    ("<schema><element name='a' type='xs:string'>"
+     "<sequence><element name='b' type='xs:string'/></sequence>"
+     "</element></schema>"),
+    ("<schema><element name='a' minOccurs='3' maxOccurs='1'>"
+     "<sequence><element name='b' type='xs:string'/></sequence>"
+     "</element></schema>"),
+])
+def test_malformed_schemas_rejected(bad_schema):
+    with pytest.raises(SchemaError):
+        compile_schema(bad_schema)
+
+
+@pytest.mark.parametrize("type_name,good,bad", [
+    ("xs:integer", "42", "4.2"),
+    ("xs:integer", "-7", "seven"),
+    ("xs:decimal", "3.14", "3.1.4"),
+    ("xs:double", "1e10", "e10"),
+    ("xs:double", "INF", "Infinity"),
+    ("xs:boolean", "true", "yes"),
+    ("xs:boolean", "1", "2"),
+    ("xs:dateTime", "2026-06-12T10:00:00Z", "yesterday"),
+])
+def test_simple_type_lexical_checks(type_name, good, bad):
+    assert check_simple_type(type_name, good)
+    assert not check_simple_type(type_name, bad)
+
+
+def test_simple_type_whitespace_tolerant():
+    assert check_simple_type("xs:integer", "  42  ")
+
+
+def test_unknown_simple_type():
+    with pytest.raises(SchemaError):
+        check_simple_type("xs:fancy", "x")

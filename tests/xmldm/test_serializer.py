@@ -1,0 +1,138 @@
+"""Tests for XML serialization, including the parse/serialize round trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmldm import (Attribute, Comment, Element, ProcessingInstruction,
+                         Text, parse, serialize)
+
+
+def test_simple_round_trip():
+    source = '<order id="7"><item sku="A">widget &amp; gadget</item></order>'
+    doc = parse(source)
+    assert serialize(doc) == source
+
+
+def test_escaping_in_text_and_attributes():
+    element = Element("e", [Attribute("a", 'x"<&')], [Text("<&>")])
+    out = serialize(element)
+    assert out == '<e a="x&quot;&lt;&amp;">&lt;&amp;&gt;</e>'
+    round_tripped = parse(out).root_element
+    assert round_tripped.attribute_value("a") == 'x"<&'
+    assert round_tripped.text == "<&>"
+
+
+def test_empty_element_serialized_self_closing():
+    assert serialize(Element("e")) == "<e/>"
+
+
+def test_comment_and_pi_serialization():
+    assert serialize(Comment(" hello ")) == "<!-- hello -->"
+    assert serialize(ProcessingInstruction("t", "d")) == "<?t d?>"
+    assert serialize(ProcessingInstruction("t")) == "<?t?>"
+
+
+def test_namespace_declarations_serialized():
+    doc = parse('<s:a xmlns:s="urn:x"><s:b/></s:a>')
+    out = serialize(doc)
+    assert 'xmlns:s="urn:x"' in out
+    reparsed = parse(out)
+    assert reparsed.root_element.name.namespace_uri == "urn:x"
+
+
+def test_default_namespace_serialized():
+    doc = parse('<a xmlns="urn:d"><b/></a>')
+    out = serialize(doc)
+    assert 'xmlns="urn:d"' in out
+    assert parse(out).root_element.name.namespace_uri == "urn:d"
+
+
+def test_xml_declaration_option():
+    out = serialize(parse("<a/>"), xml_declaration=True)
+    assert out.startswith("<?xml")
+    assert parse(out).root_element.name.local_name == "a"
+
+
+def test_pretty_printing_element_only_content():
+    doc = parse("<a><b><c/></b><d/></a>")
+    out = serialize(doc, indent=2)
+    assert out == "<a>\n  <b>\n    <c/>\n  </b>\n  <d/>\n</a>"
+
+
+def test_pretty_printing_preserves_mixed_content():
+    doc = parse("<p>one <b>two</b> three</p>")
+    assert serialize(doc, indent=2) == "<p>one <b>two</b> three</p>"
+
+
+def test_attribute_newline_escaped():
+    out = serialize(Element("e", [Attribute("a", "x\ny")]))
+    assert "&#10;" in out
+    assert parse(out).root_element.attribute_value("a") == "x\ny"
+
+
+def _equivalent(a, b) -> bool:
+    """Structural equivalence of two trees."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Element):
+        if a.name != b.name:
+            return False
+        attrs_a = sorted((x.name.clark, x.value) for x in a.attributes)
+        attrs_b = sorted((x.name.clark, x.value) for x in b.attributes)
+        if attrs_a != attrs_b:
+            return False
+        if len(a.children) != len(b.children):
+            return False
+        return all(_equivalent(x, y) for x, y in zip(a.children, b.children))
+    if isinstance(a, Text):
+        return a.value == b.value
+    return True
+
+
+_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,8}", fullmatch=True)
+_text_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF,
+                           blacklist_characters="\r"),
+    min_size=1, max_size=20)
+
+
+def _elements(depth):
+    children = st.lists(
+        st.one_of(_text_values.map(Text), _elements(depth - 1)),
+        max_size=3) if depth > 0 else st.lists(_text_values.map(Text), max_size=2)
+    return st.builds(
+        lambda name, attrs, kids: Element(
+            name,
+            [Attribute(n, v) for n, v in
+             {a: v for a, v in attrs}.items()],
+            _merge_adjacent_text(kids)),
+        _names,
+        st.lists(st.tuples(_names.filter(lambda n: not n.startswith("xmlns")),
+                           _text_values), max_size=3),
+        children)
+
+
+def _merge_adjacent_text(kids):
+    """The parser never yields adjacent text nodes, so merge them upfront."""
+    merged = []
+    for kid in kids:
+        if isinstance(kid, Text) and merged and isinstance(merged[-1], Text):
+            merged[-1] = Text(merged[-1].value + kid.value)
+        else:
+            merged.append(kid)
+    return merged
+
+
+@given(_elements(3))
+@settings(max_examples=150, deadline=None)
+def test_round_trip_property(element):
+    reparsed = parse(serialize(element)).root_element
+    assert _equivalent(element, reparsed)
+
+
+@given(_elements(2))
+@settings(max_examples=50, deadline=None)
+def test_double_round_trip_is_fixpoint(element):
+    once = serialize(parse(serialize(element)))
+    twice = serialize(parse(once))
+    assert once == twice

@@ -1,0 +1,45 @@
+"""Shared fixtures for the XQuery engine tests."""
+
+import pytest
+
+from repro.xmldm import parse
+from repro.xquery import evaluate_expression
+
+ORDER_DOC = """\
+<order priority="high">
+  <id>42</id>
+  <customer vip="true">acme</customer>
+  <items>
+    <item sku="A" qty="2"><price>10.5</price></item>
+    <item sku="B" qty="1"><price>20</price></item>
+    <item sku="C" qty="5"><price>3</price></item>
+  </items>
+  <note>rush</note>
+</order>"""
+
+
+@pytest.fixture()
+def order():
+    return parse(ORDER_DOC)
+
+
+@pytest.fixture()
+def q(order):
+    """Evaluate an expression against the order document."""
+
+    def run(expression, **kwargs):
+        return evaluate_expression(expression, context_item=order, **kwargs)
+
+    return run
+
+
+@pytest.fixture()
+def q1(q):
+    """Evaluate and unwrap a singleton result."""
+
+    def run(expression, **kwargs):
+        result = q(expression, **kwargs)
+        assert len(result) == 1, f"expected singleton, got {result!r}"
+        return result[0]
+
+    return run

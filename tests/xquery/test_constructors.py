@@ -1,0 +1,171 @@
+"""Tests for direct and computed constructors."""
+
+import pytest
+
+from repro.xmldm import Attribute, Comment, Element, Text, serialize
+from repro.xquery import evaluate_expression as E
+from repro.xquery.errors import StaticError
+
+
+def one(expression, **kwargs):
+    result = E(expression, **kwargs)
+    assert len(result) == 1
+    return result[0]
+
+
+def test_empty_element():
+    element = one("<a/>")
+    assert isinstance(element, Element)
+    assert element.children == []
+
+
+def test_literal_content_and_attributes():
+    element = one('<a x="1">text</a>')
+    assert element.attribute_value("x") == "1"
+    assert element.text == "text"
+
+
+def test_nested_literal_elements():
+    element = one("<a><b><c/></b></a>")
+    assert serialize(element) == "<a><b><c/></b></a>"
+
+
+def test_enclosed_expression_in_content(q):
+    element = one("<total>{1 + 2}</total>")
+    assert element.text == "3"
+
+
+def test_adjacent_atomics_space_separated():
+    element = one("<s>{1, 2, 3}</s>")
+    assert element.text == "1 2 3"
+
+
+def test_node_content_is_copied(order):
+    element = E("<wrap>{//id}</wrap>", context_item=order)[0]
+    inner = element.child_elements("id")[0]
+    original = order.root_element.first_child("id")
+    assert inner is not original
+    assert inner.string_value == original.string_value
+
+
+def test_mixed_text_and_enclosed(order):
+    element = E("<m>id is {//id}!</m>", context_item=order)[0]
+    assert element.string_value == "id is 42!"
+
+
+def test_paper_fig5_customer_info(order):
+    # The let-bound constructor pattern from Example 3.1
+    result = E("""
+        let $customerInfo :=
+            <requestCustomerInfo>
+              {//id} {//customer}
+            </requestCustomerInfo>
+        return $customerInfo
+    """, context_item=order)
+    element = result[0]
+    assert element.name.local_name == "requestCustomerInfo"
+    assert [c.name.local_name for c in element.child_elements()] == [
+        "id", "customer"]
+
+
+def test_attribute_value_template(order):
+    element = E('<a id="x{//id}y"/>', context_item=order)[0]
+    assert element.attribute_value("id") == "x42y"
+
+
+def test_attribute_value_template_sequence():
+    element = one('<a v="{1, 2}"/>')
+    assert element.attribute_value("v") == "1 2"
+
+
+def test_curly_brace_escapes():
+    element = one("<a>{{literal}}</a>")
+    assert element.text == "{literal}"
+    attr = one('<a v="{{x}}"/>')
+    assert attr.attribute_value("v") == "{x}"
+
+
+def test_entities_in_constructor():
+    element = one("<a>&lt;&amp;&gt;</a>")
+    assert element.text == "<&>"
+
+
+def test_cdata_in_constructor():
+    element = one("<a><![CDATA[{not an expr}]]></a>")
+    assert element.text == "{not an expr}"
+
+
+def test_comment_in_constructor():
+    element = one("<a><!--remark--></a>")
+    assert isinstance(element.children[0], Comment)
+    assert element.children[0].value == "remark"
+
+
+def test_namespace_declaration_on_constructor():
+    element = one('<p:a xmlns:p="urn:x"><p:b/></p:a>')
+    assert element.name.namespace_uri == "urn:x"
+    assert element.child_elements()[0].name.namespace_uri == "urn:x"
+
+
+def test_constructed_tree_is_navigable():
+    assert E("<a><b>1</b><b>2</b></a>//b[2]/text()")[0].value == "2"
+
+
+def test_constructor_in_flwor(order):
+    result = E("""
+        for $i in //item
+        return <line sku="{$i/@sku}">{string($i/price)}</line>
+    """, context_item=order)
+    assert [e.attribute_value("sku") for e in result] == ["A", "B", "C"]
+    assert [e.text for e in result] == ["10.5", "20", "3"]
+
+
+def test_attribute_node_content_attaches(order):
+    element = E("<a>{//item[1]/@sku}</a>", context_item=order)[0]
+    assert element.attribute_value("sku") == "A"
+    assert element.children == []
+
+
+def test_computed_element_constructor():
+    element = one("element foo {1 + 1}")
+    assert element.name.local_name == "foo"
+    assert element.text == "2"
+
+
+def test_computed_element_dynamic_name():
+    element = one("element {concat('a', 'b')} {()}")
+    assert element.name.local_name == "ab"
+
+
+def test_computed_attribute_constructor():
+    attr = one("attribute priority {3}")
+    assert isinstance(attr, Attribute)
+    assert attr.value == "3"
+
+
+def test_text_constructor():
+    node = one("text {'hi'}")
+    assert isinstance(node, Text)
+    assert node.value == "hi"
+    assert E("text {()}") == []
+
+
+def test_mismatched_constructor_tags():
+    with pytest.raises(StaticError, match="mismatched"):
+        E("<a></b>")
+
+
+def test_unterminated_constructor():
+    with pytest.raises(StaticError):
+        E("<a><b></a>")
+
+
+def test_unescaped_brace_rejected():
+    with pytest.raises(StaticError):
+        E("<a>}</a>")
+
+
+def test_expression_after_constructor_continues():
+    # token mode must resume correctly after char-mode scanning
+    assert one("count((<a/>, <b/>))") == 2
+    assert one("<a>1</a> = 1") is True

@@ -1,0 +1,144 @@
+"""Tests for FLWOR, quantified, and conditional expressions."""
+
+import pytest
+
+from repro.xquery import evaluate_expression as E
+from repro.xquery.errors import DynamicError, XQueryError
+
+
+def test_for_iterates():
+    assert E("for $x in (1, 2, 3) return $x * 2") == [2, 4, 6]
+
+
+def test_for_over_empty_source():
+    assert E("for $x in () return $x") == []
+
+
+def test_let_binds_sequence():
+    assert E("let $s := (1, 2, 3) return count($s)") == [3]
+
+
+def test_nested_for_clauses_cartesian():
+    result = E("for $x in (1, 2), $y in (10, 20) return $x + $y")
+    assert result == [11, 21, 12, 22]
+
+
+def test_positional_variable():
+    result = E("for $x at $i in ('a', 'b', 'c') return $i")
+    assert result == [1, 2, 3]
+
+
+def test_where_filters_tuples():
+    result = E("for $x in (1, 2, 3, 4) where $x mod 2 = 0 return $x")
+    assert result == [2, 4]
+
+
+def test_order_by_ascending_default():
+    result = E("for $x in (3, 1, 2) order by $x return $x")
+    assert result == [1, 2, 3]
+
+
+def test_order_by_descending():
+    result = E("for $x in (3, 1, 2) order by $x descending return $x")
+    assert result == [3, 2, 1]
+
+
+def test_order_by_string_keys(q):
+    result = q("for $i in //item order by string($i/@sku) descending "
+               "return string($i/@sku)")
+    assert result == ["C", "B", "A"]
+
+
+def test_order_by_multiple_keys():
+    result = E("for $x in (3, 1, 2, 1) order by $x mod 2, $x return $x")
+    assert result == [2, 1, 1, 3]
+
+
+def test_order_by_is_stable():
+    # ties keep tuple order
+    result = E("for $x in (21, 11, 22, 12) order by $x mod 10 return $x")
+    assert result == [21, 11, 22, 12]
+
+
+def test_order_by_empty_least():
+    result = E("for $x in (2, 1) order by ()[1] return $x")
+    assert result == [2, 1]
+
+
+def test_stable_order_by_keyword():
+    result = E("for $x in (2, 1) stable order by $x return $x")
+    assert result == [1, 2]
+
+
+def test_let_shadowing():
+    result = E("let $x := 1 let $x := $x + 1 return $x")
+    assert result == [2]
+
+
+def test_for_let_interleaved():
+    result = E("for $x in (1, 2) let $y := $x * 10 for $z in (1, 2) "
+               "return $y + $z")
+    assert result == [11, 12, 21, 22]
+
+
+def test_flwor_scoping_does_not_leak():
+    with pytest.raises(DynamicError):
+        E("(for $x in (1) return $x, $x)")
+
+
+def test_unbound_variable():
+    with pytest.raises(DynamicError, match="unbound"):
+        E("$nope")
+
+
+def test_variables_injected_from_host():
+    assert E("$n + 1", variables={"n": [41]}) == [42]
+
+
+# -- quantified ----------------------------------------------------------------
+
+def test_some_quantifier():
+    assert E("some $x in (1, 2, 3) satisfies $x = 2") == [True]
+    assert E("some $x in (1, 2, 3) satisfies $x = 9") == [False]
+    assert E("some $x in () satisfies $x") == [False]
+
+
+def test_every_quantifier():
+    assert E("every $x in (1, 2, 3) satisfies $x > 0") == [True]
+    assert E("every $x in (1, 2, 3) satisfies $x > 1") == [False]
+    assert E("every $x in () satisfies $x") == [True]
+
+
+def test_quantifier_multiple_bindings():
+    assert E("some $x in (1, 2), $y in (2, 3) satisfies $x = $y") == [True]
+    assert E("every $x in (1, 2), $y in (2, 3) satisfies $x < $y") == [False]
+
+
+# -- conditionals ----------------------------------------------------------------
+
+def test_if_branches(q):
+    assert q("if (//item) then 'yes' else 'no'") == ["yes"]
+    assert q("if (//missing) then 'yes' else 'no'") == ["no"]
+
+
+def test_if_without_else_yields_empty(q):
+    assert q("if (//missing) then 'yes'") == []
+
+
+def test_untaken_branch_not_evaluated():
+    assert E("if (true()) then 1 else (1 idiv 0)") == [1]
+
+
+def test_nested_ifs_like_paper_join_rule(q):
+    # the Fig. 7 pattern: outer readiness check, inner accept/refuse
+    result = q("""
+        if (//item and //note) then
+            if (//item[@qty = 5]) then 'accept' else 'refuse'
+        else 'wait'
+    """)
+    assert result == ["accept"]
+
+
+def test_condition_ebv_error_propagates():
+    with pytest.raises(XQueryError):
+        E("if ((1, 2)) then 1 else 2")

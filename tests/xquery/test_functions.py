@@ -1,0 +1,324 @@
+"""Tests for the fn:/xs:/qs: function library."""
+
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.xmldm import parse
+from repro.xquery import Environment, evaluate_expression as E
+from repro.xquery.errors import (DynamicError, FunctionError, TypeError_,
+                                 XQueryError)
+
+
+def one(expression, **kwargs):
+    result = E(expression, **kwargs)
+    assert len(result) == 1
+    return result[0]
+
+
+# -- sequence functions ---------------------------------------------------------
+
+def test_count_empty_exists():
+    assert one("count((1, 2, 3))") == 3
+    assert one("count(())") == 0
+    assert one("empty(())") is True
+    assert one("exists((1))") is True
+
+
+def test_not_boolean():
+    assert one("not(0)") is True
+    assert one("not('x')") is False
+
+
+def test_distinct_values():
+    assert E("distinct-values((1, 2, 1, 3, 2))") == [1, 2, 3]
+    assert E("distinct-values(('a', 'a'))") == ["a"]
+    # numeric equality across types
+    assert E("distinct-values((1, 1.0))") == [1]
+
+
+def test_reverse_subsequence():
+    assert E("reverse((1, 2, 3))") == [3, 2, 1]
+    assert E("subsequence((1, 2, 3, 4), 2)") == [2, 3, 4]
+    assert E("subsequence((1, 2, 3, 4), 2, 2)") == [2, 3]
+
+
+def test_index_of_insert_remove():
+    assert E("index-of((10, 20, 10), 10)") == [1, 3]
+    assert E("insert-before((1, 2), 2, (9))") == [1, 9, 2]
+    assert E("remove((1, 2, 3), 2)") == [1, 3]
+
+
+def test_cardinality_checks():
+    assert one("exactly-one((5))") == 5
+    with pytest.raises(FunctionError):
+        one("exactly-one((1, 2))")
+    assert E("zero-or-one(())") == []
+    with pytest.raises(FunctionError):
+        E("zero-or-one((1, 2))")
+    with pytest.raises(FunctionError):
+        E("one-or-more(())")
+
+
+def test_deep_equal():
+    assert one("deep-equal((1, 2), (1, 2))") is True
+    assert one("deep-equal((1, 2), (2, 1))") is False
+    assert one("deep-equal(<a><b>1</b></a>, <a><b>1</b></a>)") is True
+    assert one("deep-equal(<a b='1'/>, <a b='2'/>)") is False
+
+
+# -- strings ---------------------------------------------------------------------
+
+def test_string_functions(q):
+    assert q("string(//id)") == ["42"]
+    assert q("string-length(//customer)") == [4]
+    assert one("concat('a', 'b', 'c')") == "abc"
+    assert one("concat('a', 1, true())") == "a1true"
+
+
+def test_concat_needs_two_args():
+    with pytest.raises(XQueryError):
+        one("concat('a')")
+
+
+def test_string_join():
+    assert one("string-join(('a', 'b'), '-')") == "a-b"
+    assert one("string-join((), '-')") == ""
+    assert one("string-join(('a', 'b'))") == "ab"
+
+
+def test_contains_family():
+    assert one("contains('hello', 'ell')") is True
+    assert one("starts-with('hello', 'he')") is True
+    assert one("ends-with('hello', 'lo')") is True
+    assert one("contains('hello', '')") is True
+
+
+def test_substring():
+    assert one("substring('12345', 2)") == "2345"
+    assert one("substring('12345', 2, 3)") == "234"
+    assert one("substring('12345', 0)") == "12345"
+    assert one("substring('12345', 1.5, 2.6)") == "234"  # spec example
+
+
+def test_substring_before_after():
+    assert one("substring-before('a=b', '=')") == "a"
+    assert one("substring-after('a=b', '=')") == "b"
+    assert one("substring-before('ab', 'x')") == ""
+    assert one("substring-after('ab', 'x')") == ""
+
+
+def test_case_and_space():
+    assert one("upper-case('abc')") == "ABC"
+    assert one("lower-case('ABC')") == "abc"
+    assert one("normalize-space('  a   b ')") == "a b"
+
+
+def test_translate():
+    assert one("translate('abcabc', 'ab', 'BA')") == "BAcBAc"
+    assert one("translate('abc', 'c', '')") == "ab"
+
+
+def test_regex_functions():
+    assert one("matches('a123', '[0-9]+')") is True
+    assert one("replace('a1b2', '[0-9]', '#')") == "a#b#"
+    assert E("tokenize('a,b,,c', ',')") == ["a", "b", "", "c"]
+    assert E("tokenize('', ',')") == []
+
+
+def test_bad_regex():
+    with pytest.raises(FunctionError):
+        one("matches('x', '(')")
+
+
+# -- numbers --------------------------------------------------------------------
+
+def test_number(q):
+    assert q("number(//id)") == [42.0]
+    assert math.isnan(one("number('nope')"))
+
+
+def test_aggregates(q):
+    assert one("sum((1, 2, 3))") == 6
+    assert one("sum(())") == 0
+    assert one("avg((1, 2, 3))") == 2
+    assert one("max((1, 5, 3))") == 5
+    assert one("min((4, 2, 8))") == 2
+    assert E("avg(())") == []
+    assert E("max(())") == []
+    assert q("sum(//item/@qty)") == [8.0]
+
+
+def test_aggregate_type_error():
+    with pytest.raises(XQueryError):
+        one("sum(('a', 'b'))")
+
+
+def test_rounding():
+    assert one("floor(2.7)") == 2
+    assert one("ceiling(2.1)") == 3
+    assert one("round(2.5)") == 3
+    assert one("round(-2.5)") == -2  # round half to positive infinity
+    assert one("abs(-3)") == 3
+    assert E("floor(())") == []
+
+
+# -- node functions --------------------------------------------------------------
+
+def test_name_functions(q):
+    assert q("name(//item[1])") == ["item"]
+    assert q("local-name(//item[1])") == ["item"]
+    assert q("name((//item)[1]/@sku)") == ["sku"]
+
+
+def test_namespace_uri():
+    doc = parse('<p:a xmlns:p="urn:x"/>')
+    assert E("namespace-uri(/*)", context_item=doc) == ["urn:x"]
+    assert E("namespace-uri(<b/>)") == [""]
+
+
+def test_root_function(q, order):
+    assert q("root((//price)[1]) is /") == [True]
+
+
+def test_name_of_empty():
+    assert one("name(())") == ""
+
+
+# -- error and datetime ------------------------------------------------------------
+
+def test_fn_error():
+    with pytest.raises(FunctionError) as excinfo:
+        one("error()")
+    assert "FOER0000" in str(excinfo.value)
+    with pytest.raises(FunctionError, match="boom"):
+        one("error('APP0001', 'boom')")
+
+
+def test_current_datetime_uses_environment():
+    class FixedClock(Environment):
+        def current_datetime(self):
+            from repro.xquery.atomics import XSDateTime
+            return XSDateTime.parse("2026-06-12T08:00:00Z")
+
+    value = one("string(current-dateTime())", environment=FixedClock())
+    assert value == "2026-06-12T08:00:00Z"
+
+
+# -- xs constructors -----------------------------------------------------------------
+
+def test_xs_constructors():
+    assert one("xs:integer('42')") == 42
+    assert one("xs:string(42)") == "42"
+    assert one("xs:double('1.5')") == 1.5
+    assert one("xs:decimal('1.5')") == Decimal("1.5")
+    assert one("xs:boolean('true')") is True
+    assert one("xs:boolean('0')") is False
+    assert str(one("xs:dateTime('2026-01-01T00:00:00Z')")) == \
+        "2026-01-01T00:00:00Z"
+
+
+def test_xs_constructor_empty_propagates():
+    assert E("xs:integer(())") == []
+
+
+def test_xs_constructor_failure():
+    with pytest.raises(XQueryError):
+        one("xs:integer('abc')")
+    with pytest.raises(XQueryError):
+        one("xs:boolean('maybe')")
+
+
+# -- qs functions and the environment -------------------------------------------------
+
+class FakeEnvironment(Environment):
+    """A scripted environment standing in for the rule executor."""
+
+    def __init__(self):
+        self.msg = parse("<m><requestID>9</requestID></m>")
+        self.queues = {
+            "invoices": [parse("<invoice><customerID>1</customerID></invoice>"),
+                         parse("<invoice><customerID>2</customerID></invoice>")],
+        }
+        self.current = [parse("<x/>")]
+
+    def message(self):
+        return self.msg
+
+    def queue(self, name):
+        if name is None:
+            return self.current
+        try:
+            return self.queues[name]
+        except KeyError:
+            raise DynamicError(f"unknown queue {name!r}")
+
+    def slice_messages(self):
+        return self.queues["invoices"]
+
+    def slice_key(self):
+        return "key-7"
+
+    def property(self, name):
+        return {"orderID": 77}.get(name)
+
+    def collection(self, name):
+        return self.queues["invoices"]
+
+
+def test_qs_message():
+    env = FakeEnvironment()
+    assert E("qs:message()//requestID = 9", environment=env,
+             context_item=env.msg) == [True]
+
+
+def test_qs_queue_named():
+    env = FakeEnvironment()
+    assert one("count(qs:queue('invoices'))", environment=env) == 2
+
+
+def test_qs_queue_default():
+    env = FakeEnvironment()
+    assert one("count(qs:queue())", environment=env) == 1
+
+
+def test_qs_queue_unknown():
+    with pytest.raises(DynamicError):
+        E("qs:queue('nope')", environment=FakeEnvironment())
+
+
+def test_qs_slice_and_key():
+    env = FakeEnvironment()
+    assert one("count(qs:slice())", environment=env) == 2
+    assert one("qs:slicekey()", environment=env) == "key-7"
+
+
+def test_qs_property():
+    env = FakeEnvironment()
+    assert one("qs:property('orderID')", environment=env) == 77
+    assert E("qs:property('missing')", environment=env) == []
+
+
+def test_collection():
+    env = FakeEnvironment()
+    assert one("count(collection('master'))", environment=env) == 2
+
+
+def test_qs_functions_fail_without_engine():
+    with pytest.raises(DynamicError, match="only available"):
+        E("qs:message()")
+    with pytest.raises(DynamicError, match="only available"):
+        E("qs:slice()")
+    with pytest.raises(DynamicError, match="slicing"):
+        E("qs:slicekey()")
+
+
+def test_unknown_function():
+    with pytest.raises(XQueryError, match="unknown function"):
+        E("fn:frobnicate()")
+
+
+def test_wrong_arity_reported():
+    with pytest.raises(XQueryError, match="not with 3"):
+        E("contains('a', 'b', 'c')")

@@ -1,0 +1,104 @@
+"""Tests for the XQuery tokenizer."""
+
+import pytest
+
+from repro.xquery.errors import StaticError
+from repro.xquery.lexer import (DECIMAL, DOUBLE, EOF, INTEGER, NAME, STRING,
+                                SYMBOL, VARIABLE, Lexer)
+
+
+def tokens(text):
+    lexer = Lexer(text)
+    out = []
+    while True:
+        token = lexer.next_token()
+        if token.type == EOF:
+            return out
+        out.append((token.type, token.value))
+
+
+def test_names_and_symbols():
+    assert tokens("foo/bar") == [(NAME, "foo"), (SYMBOL, "/"), (NAME, "bar")]
+
+
+def test_prefixed_qname_is_one_token():
+    assert tokens("qs:message()") == [
+        (NAME, "qs:message"), (SYMBOL, "("), (SYMBOL, ")")]
+
+
+def test_axis_double_colon_not_a_prefix():
+    assert tokens("child::x") == [
+        (NAME, "child"), (SYMBOL, "::"), (NAME, "x")]
+
+
+def test_variables():
+    assert tokens("$x + $long-name") == [
+        (VARIABLE, "x"), (SYMBOL, "+"), (VARIABLE, "long-name")]
+
+
+def test_numbers():
+    assert tokens("1 2.5 .5 3e2 1.5E-2") == [
+        (INTEGER, "1"), (DECIMAL, "2.5"), (DECIMAL, ".5"),
+        (DOUBLE, "3e2"), (DOUBLE, "1.5E-2")]
+
+
+def test_number_then_parent_abbreviation():
+    assert tokens("1..") == [(INTEGER, "1"), (SYMBOL, "..")]
+
+
+def test_strings_with_escapes():
+    assert tokens('"a""b"') == [(STRING, 'a"b')]
+    assert tokens("'a''b'") == [(STRING, "a'b")]
+
+
+def test_strings_with_entities():
+    assert tokens('"&lt;&amp;&#65;"') == [(STRING, "<&A")]
+
+
+def test_unterminated_string():
+    with pytest.raises(StaticError):
+        tokens('"abc')
+
+
+def test_comments_skipped_and_nested():
+    assert tokens("1 (: outer (: inner :) still :) 2") == [
+        (INTEGER, "1"), (INTEGER, "2")]
+
+
+def test_unterminated_comment():
+    with pytest.raises(StaticError):
+        tokens("1 (: never closed")
+
+
+def test_multi_char_operators():
+    assert tokens("a != b <= c >= d << e") == [
+        (NAME, "a"), (SYMBOL, "!="), (NAME, "b"), (SYMBOL, "<="),
+        (NAME, "c"), (SYMBOL, ">="), (NAME, "d"), (SYMBOL, "<<"),
+        (NAME, "e")]
+
+
+def test_slash_vs_double_slash():
+    assert tokens("//a/b") == [
+        (SYMBOL, "//"), (NAME, "a"), (SYMBOL, "/"), (NAME, "b")]
+
+
+def test_assign_operator():
+    assert tokens("$x := 1") == [
+        (VARIABLE, "x"), (SYMBOL, ":="), (INTEGER, "1")]
+
+
+def test_unexpected_character():
+    with pytest.raises(StaticError, match="unexpected character"):
+        tokens("a ~ b")
+
+
+def test_name_with_dots_and_dashes():
+    assert tokens("wsrm-pol.v2") == [(NAME, "wsrm-pol.v2")]
+
+
+def test_line_column_tracking():
+    lexer = Lexer("a\n  b")
+    first = lexer.next_token()
+    second = lexer.next_token()
+    assert (first.line, first.column) == (1, 1)
+    assert (second.line, second.column) == (2, 3)

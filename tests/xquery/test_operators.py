@@ -1,0 +1,221 @@
+"""Tests for arithmetic, comparisons, and logic."""
+
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.xquery import evaluate_expression as E
+from repro.xquery.errors import DynamicError, TypeError_, XQueryError
+
+
+def one(expression, **kwargs):
+    result = E(expression, **kwargs)
+    assert len(result) == 1
+    return result[0]
+
+
+# -- arithmetic ---------------------------------------------------------------
+
+def test_integer_arithmetic():
+    assert one("1 + 2") == 3
+    assert one("2 * 3 - 4") == 2
+    assert isinstance(one("1 + 2"), int)
+
+
+def test_decimal_propagation():
+    result = one("1.5 + 1")
+    assert result == Decimal("2.5")
+    assert isinstance(result, Decimal)
+
+
+def test_double_propagation():
+    assert one("1e0 + 1") == 2.0
+    assert isinstance(one("1e0 + 1"), float)
+
+
+def test_div_on_integers_gives_decimal():
+    result = one("7 div 2")
+    assert result == Decimal("3.5")
+    assert isinstance(result, Decimal)
+
+
+def test_idiv_truncates_toward_zero():
+    assert one("7 idiv 2") == 3
+    assert one("-7 idiv 2") == -3
+    assert one("7 idiv -2") == -3
+
+
+def test_mod_sign_follows_dividend():
+    assert one("7 mod 3") == 1
+    assert one("-7 mod 3") == -1
+    assert one("7 mod -3") == 1
+
+
+def test_division_by_zero():
+    with pytest.raises(DynamicError):
+        one("1 div 0")
+    with pytest.raises(DynamicError):
+        one("1 idiv 0")
+    with pytest.raises(DynamicError):
+        one("1 mod 0")
+
+
+def test_double_division_by_zero_is_inf():
+    assert one("1e0 div 0") == math.inf
+    assert one("-1e0 div 0") == -math.inf
+    assert math.isnan(one("0e0 div 0"))
+
+
+def test_unary_minus():
+    assert one("-(3)") == -3
+    assert one("--3") == 3
+    assert one("+3") == 3
+
+
+def test_unary_on_non_numeric_rejected():
+    with pytest.raises(TypeError_):
+        one("-'abc'")
+
+
+def test_arithmetic_with_empty_sequence_is_empty():
+    assert E("() + 1") == []
+    assert E("1 - ()") == []
+
+
+def test_arithmetic_on_multiple_items_rejected():
+    with pytest.raises(TypeError_):
+        E("(1, 2) + 1")
+
+
+def test_untyped_operands_become_double(q1):
+    value = q1("//item[1]/price + 1")
+    assert value == 11.5
+    assert isinstance(value, float)
+
+
+def test_range_operator():
+    assert E("1 to 4") == [1, 2, 3, 4]
+    assert E("3 to 2") == []
+    assert E("5 to 5") == [5]
+    assert E("() to 3") == []
+
+
+# -- value comparisons -----------------------------------------------------------
+
+def test_value_comparison_singletons():
+    assert one("1 eq 1") is True
+    assert one("1 ne 2") is True
+    assert one("'a' lt 'b'") is True
+    assert one("2 ge 3") is False
+
+
+def test_value_comparison_empty_gives_empty():
+    assert E("() eq 1") == []
+    assert E("1 eq ()") == []
+
+
+def test_value_comparison_rejects_sequences(q):
+    with pytest.raises(TypeError_):
+        q("//item/price eq 10.5")
+
+
+def test_value_comparison_untyped_is_string(q):
+    # untypedAtomic compares as string under value comparison
+    assert q("//item[1]/@qty eq '2'") == [True]
+
+
+def test_value_comparison_type_mismatch():
+    with pytest.raises(TypeError_):
+        one("1 eq 'x'")
+
+
+# -- general comparisons ------------------------------------------------------------
+
+def test_general_comparison_existential(q):
+    assert q("//item/@qty = 5") == [True]
+    assert q("//item/@qty = 99") == [False]
+    assert q("//item/@qty != 2") == [True]  # some item differs
+
+
+def test_general_comparison_untyped_vs_number(q):
+    assert q("//id = 42") == [True]
+    assert q("//id < 43") == [True]
+
+
+def test_general_comparison_untyped_vs_string(q):
+    assert q("//customer = 'acme'") == [True]
+
+
+def test_general_comparison_both_sides_sequences(q):
+    assert q("//item/@qty = (1, 7)") == [True]
+    assert q("(0, 99) = //item/@qty") == [False]
+
+
+def test_general_comparison_empty_is_false():
+    assert one("() = ()") is False
+    assert one("1 = ()") is False
+
+
+def test_boolean_general_comparison():
+    assert one("true() = true()") is True
+    with pytest.raises(TypeError_):
+        one("true() = 1")
+
+
+def test_datetime_comparison():
+    assert one("xs:dateTime('2026-01-01T00:00:00Z') lt "
+               "xs:dateTime('2026-06-12T00:00:00Z')") is True
+    assert one("xs:dateTime('2026-01-01T10:00:00+02:00') eq "
+               "xs:dateTime('2026-01-01T08:00:00Z')") is True
+
+
+# -- node comparisons ------------------------------------------------------------------
+
+def test_is_comparison(q):
+    assert q("//item[1] is //item[1]") == [True]
+    assert q("//item[1] is //item[2]") == [False]
+
+
+def test_node_order_comparisons(q):
+    assert q("//id << //note") == [True]
+    assert q("//note >> //id") == [True]
+    assert q("//note << //id") == [False]
+
+
+def test_node_comparison_empty():
+    assert E("() is ()") == []
+
+
+def test_node_comparison_requires_nodes():
+    with pytest.raises(TypeError_):
+        one("1 is 2")
+
+
+# -- logic --------------------------------------------------------------------------------
+
+def test_and_or():
+    assert one("1 and 'x'") is True
+    assert one("1 and 0") is False
+    assert one("0 or ''") is False
+    assert one("0 or 3") is True
+
+
+def test_short_circuit_and():
+    # The right operand would raise; and must not evaluate it.
+    assert one("false() and (1 idiv 0)") is False
+    assert one("true() or (1 idiv 0)") is True
+
+
+def test_ebv_of_node_sequence(q):
+    assert q("boolean(//item)") == [True]
+    assert q("boolean(//missing)") == [False]
+
+
+def test_ebv_multi_atomic_rejected():
+    with pytest.raises(XQueryError):
+        one("boolean((1, 2))")
+
+
+def test_ebv_nan_is_false():
+    assert one("boolean(number('x'))") is False

@@ -1,0 +1,247 @@
+"""Tests for expression parsing (structure and static errors)."""
+
+import pytest
+
+from repro.xquery import ast, compile_expression
+from repro.xquery.errors import StaticError
+
+
+def test_literals():
+    assert compile_expression("42").value == 42
+    assert compile_expression("'x'").value == "x"
+    assert str(compile_expression("1.5").value) == "1.5"
+    assert compile_expression("1e3").value == 1000.0
+
+
+def test_sequence_expr():
+    expr = compile_expression("1, 2, 3")
+    assert isinstance(expr, ast.SequenceExpr)
+    assert len(expr.items) == 3
+
+
+def test_empty_parens():
+    expr = compile_expression("()")
+    assert isinstance(expr, ast.SequenceExpr)
+    assert expr.items == []
+
+
+def test_if_without_else_allowed():
+    expr = compile_expression("if (1) then 2")
+    assert isinstance(expr, ast.IfExpr)
+    assert expr.else_branch is None
+
+
+def test_if_with_else():
+    expr = compile_expression("if (1) then 2 else 3")
+    assert expr.else_branch is not None
+
+
+def test_flwor_structure():
+    expr = compile_expression(
+        "for $x at $i in (1,2), $y in (3,4) let $z := $x "
+        "where $x < $y order by $z descending return $z")
+    assert isinstance(expr, ast.FLWORExpr)
+    kinds = [type(c).__name__ for c in expr.clauses]
+    assert kinds == ["ForClause", "ForClause", "LetClause"]
+    assert expr.clauses[0].position_var == "i"
+    assert expr.where is not None
+    assert expr.order_by[0].descending is True
+
+
+def test_flwor_requires_return():
+    with pytest.raises(StaticError):
+        compile_expression("for $x in (1,2) $x")
+
+
+def test_quantified():
+    expr = compile_expression("some $x in (1,2) satisfies $x = 2")
+    assert isinstance(expr, ast.QuantifiedExpr)
+    assert expr.quantifier == "some"
+
+
+def test_operator_precedence():
+    # or < and < comparison < additive < multiplicative
+    expr = compile_expression("1 + 2 * 3 = 7 and 1 or 0")
+    assert isinstance(expr, ast.BinaryOp) and expr.op == "or"
+    left = expr.left
+    assert left.op == "and"
+    comparison = left.left
+    assert isinstance(comparison, ast.Comparison)
+    addition = comparison.left
+    assert addition.op == "+"
+    assert addition.right.op == "*"
+
+
+def test_value_vs_general_comparison():
+    general = compile_expression("a = b")
+    value = compile_expression("a eq b")
+    assert general.op == "="
+    assert value.op == "eq"
+
+
+def test_name_called_eq_is_not_operator_at_end():
+    # a path of one step named "eq" must still parse standalone
+    expr = compile_expression("eq")
+    assert isinstance(expr, ast.AxisStep)
+    assert expr.test.local_name == "eq"
+
+
+def test_paths_absolute_and_relative():
+    absolute = compile_expression("/a/b")
+    assert isinstance(absolute, ast.PathExpr) and absolute.absolute
+    relative = compile_expression("a/b")
+    assert isinstance(relative, ast.PathExpr) and not relative.absolute
+    assert len(relative.steps) == 2
+
+
+def test_double_slash_inserts_descendant_step():
+    expr = compile_expression("//b")
+    assert expr.absolute
+    first = expr.steps[0]
+    assert isinstance(first, ast.AxisStep)
+    assert first.axis == "descendant-or-self"
+    assert isinstance(first.test, ast.KindTest)
+
+
+def test_lone_slash():
+    expr = compile_expression("/")
+    assert isinstance(expr, ast.PathExpr) and expr.absolute
+    assert expr.steps == []
+
+
+def test_attribute_abbreviation():
+    expr = compile_expression("@sku")
+    assert isinstance(expr, ast.AxisStep)
+    assert expr.axis == "attribute"
+
+
+def test_parent_abbreviation():
+    expr = compile_expression("../x")
+    assert isinstance(expr, ast.PathExpr)
+    assert expr.steps[0].axis == "parent"
+
+
+def test_explicit_axes():
+    for axis in ("child", "descendant", "ancestor", "self",
+                 "following-sibling", "preceding-sibling"):
+        expr = compile_expression(f"{axis}::x")
+        assert isinstance(expr, ast.AxisStep)
+        assert expr.axis == axis
+
+
+def test_kind_tests():
+    expr = compile_expression("text()")
+    assert isinstance(expr, ast.AxisStep)
+    assert expr.test.kind == "text"
+    expr = compile_expression("element(foo)")
+    assert expr.test.kind == "element"
+    assert expr.test.name.local_name == "foo"
+
+
+def test_wildcard_name_tests():
+    assert compile_expression("*").test.local_name is None
+    star_local = compile_expression("*:id").test
+    assert star_local.local_name == "id" and star_local.any_namespace
+
+
+def test_prefix_wildcard_requires_declared_namespace():
+    expr = compile_expression("p:*", namespaces={"p": "urn:x"})
+    assert expr.test.namespace == "urn:x"
+    with pytest.raises(StaticError):
+        compile_expression("p:*")
+
+
+def test_prefixed_name_test_resolution():
+    expr = compile_expression("p:item", namespaces={"p": "urn:x"})
+    assert expr.test.namespace == "urn:x"
+    assert expr.test.local_name == "item"
+    with pytest.raises(StaticError, match="undeclared"):
+        compile_expression("p:item")
+
+
+def test_predicates_attach_to_steps():
+    expr = compile_expression("a[1]/b[@x][2]")
+    assert len(expr.steps[0].predicates) == 1
+    assert len(expr.steps[1].predicates) == 2
+
+
+def test_filter_on_primary():
+    expr = compile_expression("(1,2,3)[2]")
+    assert isinstance(expr, ast.FilterExpr)
+
+
+def test_function_call_in_path():
+    expr = compile_expression('qs:queue("invoices")/payment')
+    assert isinstance(expr, ast.PathExpr)
+    assert isinstance(expr.steps[0], ast.FunctionCall)
+
+
+def test_do_enqueue_parses():
+    expr = compile_expression(
+        'do enqueue <a/> into finance with Sender value "http://x/" '
+        'with priority value 3')
+    assert isinstance(expr, ast.EnqueueExpr)
+    assert expr.queue == "finance"
+    assert [name for name, _ in expr.properties] == ["Sender", "priority"]
+
+
+def test_do_reset_forms():
+    bare = compile_expression("do reset")
+    assert isinstance(bare, ast.ResetExpr)
+    assert bare.slicing is None
+    empty = compile_expression("do reset()")
+    assert empty.slicing is None
+    full = compile_expression("do reset(orders, //orderID)")
+    assert full.slicing == "orders"
+    assert full.key is not None
+
+
+def test_enqueue_sequence_from_paper_example():
+    # Fig. 5: several enqueues combined with the comma operator.
+    expr = compile_expression("""
+        do enqueue $customerInfo into finance,
+        do enqueue $exportRestrictionsInfo into legal,
+        do enqueue $plantCapacityInfo into supplier
+            with Sender value "http://ws.chem.invalid/"
+    """)
+    assert isinstance(expr, ast.SequenceExpr)
+    assert all(isinstance(i, ast.EnqueueExpr) for i in expr.items)
+
+
+def test_element_named_like_keywords():
+    # keyword-looking names must still work as path steps
+    for name in ("for", "let", "if", "do", "union", "order", "value"):
+        expr = compile_expression(f"/{name}")
+        assert isinstance(expr, ast.PathExpr)
+
+
+def test_unary_minus_chain():
+    expr = compile_expression("--1")
+    assert isinstance(expr, ast.UnaryOp)
+    assert isinstance(expr.operand, ast.UnaryOp)
+
+
+def test_range_and_union_precedence():
+    expr = compile_expression("1 to 2 + 3")
+    assert expr.op == "to"
+    assert expr.right.op == "+"
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(StaticError, match="trailing"):
+        compile_expression("1 2")
+
+
+@pytest.mark.parametrize("bad", [
+    "", "let $x 1 return $x", "for x in y return x", "if (1) 2",
+    "some $x in 1", "do enqueue into q", "do enqueue <a/> finance",
+    "(1,", "a[", "@", "$", "a eq", "1 +",
+])
+def test_malformed_expressions(bad):
+    with pytest.raises(StaticError):
+        compile_expression(bad)
+
+
+def test_error_reports_location():
+    with pytest.raises(StaticError, match="line"):
+        compile_expression("if (1)\nthen !")

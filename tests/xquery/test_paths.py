@@ -1,0 +1,192 @@
+"""Tests for path evaluation: axes, name/kind tests, predicates."""
+
+import pytest
+
+from repro.xmldm import Attribute, Element, parse
+from repro.xquery import evaluate_expression as E
+from repro.xquery.errors import TypeError_, XQueryError
+
+
+def names(result):
+    return [n.name.local_name for n in result]
+
+
+def test_child_steps(q):
+    assert names(q("/order/items/item")) == ["item", "item", "item"]
+
+
+def test_descendant_abbreviation(q):
+    assert len(q("//item")) == 3
+    assert len(q("//price")) == 3
+
+
+def test_descendant_from_inner_context(order):
+    items = order.root_element.first_child("items")
+    assert len(E("//price", context_item=items)) == 3  # // is from root
+    assert len(E(".//price", context_item=items)) == 3
+
+
+def test_attribute_axis(q):
+    assert [a.value for a in q("//item/@sku")] == ["A", "B", "C"]
+    assert q("string(/order/@priority)") == ["high"]
+
+
+def test_parent_axis(q):
+    assert names(q("//price/..")) == ["item", "item", "item"]
+    assert names(q("//price/parent::item")) == ["item", "item", "item"]
+    assert q("//price/parent::nomatch") == []
+
+
+def test_ancestor_axes(q):
+    assert names(q("(//price)[1]/ancestor::*")) == ["order", "items", "item"]
+    result = q("(//price)[1]/ancestor-or-self::*")
+    assert names(result) == ["order", "items", "item", "price"]
+
+
+def test_per_context_numeric_predicate(q):
+    # //price[1] selects the first price *per item*, not overall
+    assert len(q("//price[1]")) == 3
+    assert len(q("(//price)[1]")) == 1
+
+
+def test_self_axis(q):
+    assert names(q("//item/self::item")) == ["item"] * 3
+    assert q("//item/self::other") == []
+
+
+def test_sibling_axes(q):
+    assert names(q("/order/customer/following-sibling::*")) == [
+        "items", "note"]
+    assert names(q("/order/note/preceding-sibling::*")) == [
+        "id", "customer", "items"]
+
+
+def test_following_and_preceding_axes(q):
+    following = q("/order/customer/following::*")
+    assert "item" in names(following) and "note" in names(following)
+    preceding = q("/order/note/preceding::price")
+    assert len(preceding) == 3
+
+
+def test_wildcard_tests(q):
+    assert len(q("/order/*")) == 4
+    assert names(q("//item/*")) == ["price"] * 3
+    assert [a.value for a in q("//item[1]/@*")] == ["A", "2"]
+
+
+def test_kind_tests(q):
+    assert [t.value for t in q("/order/note/text()")] == ["rush"]
+    assert len(q("//node()")) > 5
+    assert names(q("//element(item)")) == ["item"] * 3
+
+
+def test_numeric_predicates(q):
+    assert q("string(//item[1]/@sku)") == ["A"]
+    assert q("string(//item[3]/@sku)") == ["C"]
+    assert q("//item[4]") == []
+
+
+def test_last_predicate(q):
+    assert q("string(//item[last()]/@sku)") == ["C"]
+    assert q("string(//item[last() - 1]/@sku)") == ["B"]
+
+
+def test_position_function_in_predicate(q):
+    assert q("string(//item[position() = 2]/@sku)") == ["B"]
+    skus = q("for $i in //item[position() > 1] return string($i/@sku)")
+    assert skus == ["B", "C"]
+
+
+def test_boolean_predicates(q):
+    assert q("string(//item[price > 5][last()]/@sku)") == ["B"]
+    assert names(q("//item[@qty = 5]/price")) == ["price"]
+
+
+def test_predicate_on_reverse_axis_positions(q):
+    # ancestor axis: position 1 is the nearest ancestor
+    assert names(q("(//price)[1]/ancestor::*[1]")) == ["item"]
+    assert names(q("(//price)[1]/ancestor::*[last()]")) == ["order"]
+
+
+def test_chained_predicates(q):
+    assert q("string(//item[price > 2][2]/@sku)") == ["B"]
+
+
+def test_document_order_and_dedup(q):
+    result = q("//item/.. | //items")
+    assert len(result) == 1
+    merged = q("(//price, //price)")
+    assert len(merged) == 6
+    via_path = q("//item/../..//price")
+    assert len(via_path) == 3
+
+
+def test_path_result_document_order(q):
+    # Even when steps visit nodes in another order, results are doc-ordered
+    result = q("(//note | //id)")
+    assert names(result) == ["id", "note"]
+
+
+def test_union_intersect_except(q):
+    assert names(q("//id union //note")) == ["id", "note"]
+    assert names(q("(//id | //note) intersect //note")) == ["note"]
+    assert names(q("(//id | //note) except //note")) == ["id"]
+
+
+def test_set_ops_require_nodes(q):
+    with pytest.raises(TypeError_):
+        q("(1, 2) union (3)")
+
+
+def test_atomic_in_middle_of_path_rejected(q):
+    with pytest.raises(XQueryError):
+        q("//item/string(@sku)/x")
+
+
+def test_mixed_nodes_and_atomics_in_last_step(q):
+    # A final step may return atomics...
+    assert q("//item/string(@sku)") == ["A", "B", "C"]
+    # ...but not a mixture of both.
+    with pytest.raises(TypeError_):
+        q("//item/(price, 1)")
+
+
+def test_absolute_path_requires_node_context():
+    with pytest.raises(XQueryError):
+        E("/a", context_item=42)
+
+
+def test_path_on_constructed_tree():
+    result = E("<a><b>1</b><b>2</b></a>/b")
+    assert [n.string_value for n in result] == ["1", "2"]
+
+
+def test_attribute_step_on_attribute_is_empty(q):
+    assert q("//item/@sku/@x") == []
+
+
+def test_namespace_name_tests():
+    doc = parse('<a xmlns:s="urn:shop"><s:item/><item/></a>')
+    result = E("//s:item", context_item=doc, namespaces={"s": "urn:shop"})
+    assert len(result) == 1
+    unqualified = E("//item", context_item=doc)
+    assert len(unqualified) == 1
+    any_ns = E("//*:item", context_item=doc)
+    assert len(any_ns) == 2
+
+
+def test_default_element_namespace_not_assumed():
+    doc = parse('<a xmlns="urn:d"><b/></a>')
+    # unprefixed name test matches no-namespace, so needs the prefix form
+    assert E("//b", context_item=doc) == []
+    assert len(E("//p:b", context_item=doc, namespaces={"p": "urn:d"})) == 1
+
+
+def test_empty_intermediate_step_short_circuits(q):
+    assert q("//nothing/anything/deeper") == []
+
+
+def test_context_position_in_nested_predicate(q):
+    # inner predicate has its own focus
+    result = q("//items[item[2]/@sku = 'B']")
+    assert len(result) == 1

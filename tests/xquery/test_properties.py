@@ -1,0 +1,129 @@
+"""Property-based tests for evaluator invariants."""
+
+from decimal import Decimal
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmldm import Element, Text, parse, serialize
+from repro.xquery import evaluate_expression as E
+
+ints = st.integers(min_value=-10_000, max_value=10_000)
+small_ints = st.integers(min_value=1, max_value=50)
+
+
+@given(ints, ints)
+def test_integer_arithmetic_matches_python(a, b):
+    assert E(f"{a} + {b}") == [a + b]
+    assert E(f"{a} - {b}") == [a - b]
+    assert E(f"{a} * {b}") == [a * b]
+
+
+@given(ints, ints.filter(lambda v: v != 0))
+def test_idiv_truncates_like_int_division(a, b):
+    assert E(f"{a} idiv {b}") == [int(a / b)]
+
+
+@given(ints, ints.filter(lambda v: v != 0))
+def test_mod_identity(a, b):
+    quotient = E(f"{a} idiv {b}")[0]
+    remainder = E(f"{a} mod {b}")[0]
+    assert quotient * b + remainder == a
+
+
+@given(st.lists(ints, max_size=12))
+def test_count_and_sum_agree_with_python(values):
+    literal = f"({', '.join(map(str, values))})"
+    assert E(f"count({literal})") == [len(values)]
+    assert E(f"sum({literal})") == [sum(values)]
+
+
+@given(st.lists(ints, min_size=1, max_size=12))
+def test_min_max_agree_with_python(values):
+    literal = f"({', '.join(map(str, values))})"
+    assert E(f"max({literal})") == [max(values)]
+    assert E(f"min({literal})") == [min(values)]
+
+
+@given(st.lists(ints, max_size=10))
+def test_reverse_is_involutive(values):
+    literal = f"({', '.join(map(str, values))})"
+    assert E(f"reverse(reverse({literal}))") == values
+
+
+@given(st.lists(ints, max_size=10))
+def test_order_by_sorts(values):
+    literal = f"({', '.join(map(str, values))})"
+    result = E(f"for $x in {literal} order by $x return $x")
+    assert result == sorted(values)
+
+
+@given(small_ints, small_ints)
+def test_range_length(a, b):
+    result = E(f"{a} to {b}")
+    assert len(result) == max(0, b - a + 1)
+
+
+@given(ints, ints)
+def test_comparison_trichotomy(a, b):
+    lt = E(f"{a} lt {b}")[0]
+    gt = E(f"{a} gt {b}")[0]
+    eq = E(f"{a} eq {b}")[0]
+    assert sum((lt, gt, eq)) == 1
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                      blacklist_characters="'\"&<>{}"),
+               max_size=15))
+def test_string_literal_round_trip(text):
+    assert E(f"'{text}'" if "'" not in text else f'"{text}"') == [text]
+    assert E(f"string-length('{text}')") == [len(text)]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                max_size=8))
+def test_path_over_generated_tree(values):
+    root = Element("r", children=[
+        Element("v", children=[Text(str(v))]) for v in values])
+    assert E("count(v)", context_item=root) == [len(values)]
+    total = E("sum(v)", context_item=root)[0]
+    assert total == sum(values)
+    # predicates by position agree with list indexing
+    for index in range(1, len(values) + 1):
+        got = E(f"string(v[{index}])", context_item=root)
+        assert got == [str(values[index - 1])]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                max_size=8))
+def test_distinct_values_semantics(values):
+    literal = f"({', '.join(map(str, values))})"
+    result = E(f"distinct-values({literal})")
+    assert sorted(result) == sorted(set(values))
+
+
+@settings(max_examples=40)
+@given(st.lists(ints, max_size=8), st.lists(ints, max_size=8))
+def test_sequence_concatenation_length(a, b):
+    lit_a = f"({', '.join(map(str, a))})"
+    lit_b = f"({', '.join(map(str, b))})"
+    assert E(f"count(({lit_a}, {lit_b}))") == [len(a) + len(b)]
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=-999, max_value=999),
+       st.integers(min_value=1, max_value=3))
+def test_decimal_div_exact(a, scale):
+    divisor = 2 ** scale
+    result = E(f"{a} div {divisor}")[0]
+    assert result == Decimal(a) / Decimal(divisor)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.sampled_from("abc"), min_size=1, max_size=6))
+def test_constructed_element_serialization_parses(letters):
+    expr = "<r>" + "".join(f"<{c}/>" for c in letters) + "</r>"
+    element = E(expr)[0]
+    reparsed = parse(serialize(element))
+    assert [e.name.local_name
+            for e in reparsed.root_element.child_elements()] == letters

@@ -1,0 +1,138 @@
+"""Tests for the Demaq update primitives and pending update lists."""
+
+import pytest
+
+from repro.xmldm import Document, parse, serialize
+from repro.xquery import (EnqueuePrimitive, PendingUpdateList, ResetPrimitive,
+                          evaluate_expression as E)
+from repro.xquery.errors import UpdateError
+
+
+def run(expression, **kwargs):
+    pul = PendingUpdateList()
+    result = E(expression, updates=pul, **kwargs)
+    return result, pul
+
+
+def test_enqueue_produces_primitive():
+    result, pul = run("do enqueue <ping/> into out")
+    assert result == []
+    assert len(pul) == 1
+    primitive = pul.enqueues()[0]
+    assert primitive.queue == "out"
+    assert isinstance(primitive.body, Document)
+    assert serialize(primitive.body) == "<ping/>"
+
+
+def test_enqueue_with_properties(order):
+    _, pul = run("""
+        do enqueue <req/> into supplier
+            with Sender value "http://ws.chem.invalid/"
+            with qty value sum(//item/@qty)
+    """, context_item=order)
+    properties = pul.enqueues()[0].property_dict()
+    assert properties["Sender"] == "http://ws.chem.invalid/"
+    assert properties["qty"] == 8.0
+
+
+def test_enqueue_copies_body(order):
+    _, pul = run("do enqueue //items into audit", context_item=order)
+    body = pul.enqueues()[0].body
+    original = order.root_element.first_child("items")
+    assert body.root_element is not original
+    assert body.root_element.string_value == original.string_value
+
+
+def test_enqueue_body_mutation_does_not_leak(order):
+    _, pul = run("do enqueue //items into audit", context_item=order)
+    from repro.xmldm import Element
+    pul.enqueues()[0].body.root_element.append(Element("extra"))
+    assert order.root_element.first_child("items").child_elements("extra") == []
+
+
+def test_sequence_of_enqueues_ordered(order):
+    _, pul = run("""
+        do enqueue <a/> into finance,
+        do enqueue <b/> into legal,
+        do enqueue <c/> into supplier
+    """, context_item=order)
+    assert [p.queue for p in pul.enqueues()] == ["finance", "legal", "supplier"]
+
+
+def test_conditional_enqueue_untaken(order):
+    result, pul = run("if (//missing) then do enqueue <a/> into out",
+                      context_item=order)
+    assert result == []
+    assert len(pul) == 0
+
+
+def test_enqueue_in_flwor(order):
+    _, pul = run("""
+        for $i in //item
+        return do enqueue <pick sku="{$i/@sku}"/> into warehouse
+    """, context_item=order)
+    assert len(pul) == 3
+    skus = [p.body.root_element.attribute_value("sku") for p in pul.enqueues()]
+    assert skus == ["A", "B", "C"]
+
+
+def test_enqueue_requires_single_node(order):
+    with pytest.raises(UpdateError):
+        run("do enqueue //item into out", context_item=order)
+    with pytest.raises(UpdateError):
+        run("do enqueue () into out", context_item=order)
+    with pytest.raises(UpdateError):
+        run("do enqueue 42 into out", context_item=order)
+
+
+def test_enqueue_document_node(order):
+    _, pul = run("do enqueue / into archive", context_item=order)
+    body = pul.enqueues()[0].body
+    assert body.root_element.name.local_name == "order"
+
+
+def test_reset_bare():
+    _, pul = run("do reset")
+    resets = pul.resets()
+    assert len(resets) == 1
+    assert resets[0].slicing is None
+    assert resets[0].key is None
+
+
+def test_reset_parameterized(order):
+    _, pul = run("do reset(orders, string(//id))", context_item=order)
+    reset = pul.resets()[0]
+    assert reset.slicing == "orders"
+    assert reset.key == "42"
+
+
+def test_reset_untyped_key_becomes_string(order):
+    _, pul = run("do reset(orders, //id)", context_item=order)
+    assert pul.resets()[0].key == "42"
+    assert type(pul.resets()[0].key) is str
+
+
+def test_mixed_primitives_keep_order(order):
+    _, pul = run("""
+        do enqueue <a/> into x, do reset, do enqueue <b/> into y
+    """, context_item=order)
+    kinds = [type(p).__name__ for p in pul]
+    assert kinds == ["EnqueuePrimitive", "ResetPrimitive", "EnqueuePrimitive"]
+
+
+def test_merge_pending_update_lists():
+    first = PendingUpdateList()
+    second = PendingUpdateList()
+    E("do enqueue <a/> into x", updates=first)
+    E("do enqueue <b/> into y", updates=second)
+    first.merge(second)
+    assert [p.queue for p in first.enqueues()] == ["x", "y"]
+
+
+def test_snapshot_semantics_value_and_updates(order):
+    # an expression can both return a value and emit updates
+    pul = PendingUpdateList()
+    result = E("(do enqueue <a/> into x, 42)", context_item=order,
+               updates=pul)
+    assert result == [42]
+    assert len(pul) == 1
