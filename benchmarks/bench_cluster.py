@@ -1,0 +1,106 @@
+"""F2/cluster — sharded scale-out throughput (DESIGN.md §6).
+
+A uniform multi-queue audit workload: orders and payments, both sliced
+by customer, whose rules correlate against their queues (dedup /
+orphan-payment matching).  Per-message cost grows with shard depth, so
+partitioning the slices over N nodes cuts the scan scope N-fold — the
+core scale-out claim of the cluster runtime.
+
+The acceptance bar: a 4-node sharded cluster beats a single
+``DemaqServer`` by >= 1.5x on the same workload, with identical audit
+output.
+"""
+
+import pytest
+
+from conftest import timed
+
+from repro import ClusterServer, DemaqServer
+
+APP = """
+create queue orders kind basic mode persistent;
+create queue payments kind basic mode persistent;
+create queue audit kind basic mode persistent;
+create property customer as xs:string fixed
+    queue orders, payments value //customerID;
+create slicing byCustomer on customer;
+create rule dedupOrder for orders
+    if (count(qs:queue()[//orderID = qs:message()//orderID]) = 1) then
+        do enqueue <audited kind="order">{//orderID}</audited> into audit;
+create rule matchPayment for payments
+    if (not(qs:queue("orders")[//orderID = qs:message()//orderID])) then
+        do enqueue <audited kind="orphan">{//orderID}</audited> into audit
+"""
+
+MESSAGES = 240
+CUSTOMERS = 40
+
+
+def workload():
+    for index in range(MESSAGES):
+        customer = f"cust-{index % CUSTOMERS}"
+        if index % 3 == 2:
+            yield ("payments",
+                   f"<payment><orderID>p{index}</orderID>"
+                   f"<customerID>{customer}</customerID></payment>")
+        else:
+            yield ("orders",
+                   f"<order><orderID>o{index}</orderID>"
+                   f"<customerID>{customer}</customerID></order>")
+
+
+def run_single():
+    server = DemaqServer(APP)
+    for queue, body in workload():
+        server.enqueue(queue, body)
+    server.run_until_idle()
+    return server.store.queue_depth("audit")
+
+
+def run_sharded(nodes):
+    cluster = ClusterServer(APP, nodes=nodes)
+    for queue, body in workload():
+        cluster.enqueue(queue, body)
+    cluster.run_until_idle()
+    return cluster.queue_depth("audit")
+
+
+@pytest.mark.bench
+def test_cluster_scaling_beats_single_server(report):
+    base_seconds, base_audit = timed(run_single, repeat=2)
+    report("single", seconds=round(base_seconds, 3),
+           rate=int(MESSAGES / base_seconds), audit=base_audit)
+
+    rates = {}
+    for nodes in (1, 2, 4):
+        seconds, audit = timed(run_sharded, nodes, repeat=2)
+        rates[nodes] = MESSAGES / seconds
+        report(f"sharded-{nodes}", seconds=round(seconds, 3),
+               rate=int(rates[nodes]),
+               speedup=round(base_seconds / seconds, 2), audit=audit)
+        # sharding must not change the audit outcome
+        assert audit == base_audit
+
+    # 1 node through the cluster machinery costs < 50% overhead
+    assert rates[1] >= (MESSAGES / base_seconds) / 1.5
+    # the headline claim: 4 sharded nodes >= 1.5x one server
+    speedup = rates[4] / (MESSAGES / base_seconds)
+    assert speedup >= 1.5, f"4-node speedup only {speedup:.2f}x"
+    # and scaling is monotone
+    assert rates[4] > rates[2] > rates[1] * 0.9
+
+
+@pytest.mark.bench
+def test_sharding_balances_queue_depth(report):
+    cluster = ClusterServer(APP, nodes=4)
+    for queue, body in workload():
+        cluster.enqueue(queue, body)
+    cluster.run_until_idle()
+    depths = cluster.shard_depths("orders")
+    report("orders-shards", **{node: depth
+                               for node, depth in depths.items()})
+    assert sum(depths.values()) == sum(
+        1 for queue, _ in workload() if queue == "orders")
+    # every node carries a share, and no node carries a majority
+    assert all(depth > 0 for depth in depths.values())
+    assert max(depths.values()) < 0.75 * sum(depths.values())

@@ -14,10 +14,20 @@ Public API::
     server.run_until_idle()
     server.queue_texts("outbox")     # -> ['<pong/>']
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+Scale-out: the same application runs sharded over N nodes behind the
+:class:`ClusterServer` facade (consistent-hash partitioning, owner
+routing, concurrent thread-per-node driving — DESIGN.md §6)::
+
+    cluster = ClusterServer(source, nodes=4)
+    cluster.enqueue("inbox", "<ping/>")
+    cluster.run_until_idle()
+
+See DESIGN.md for the system inventory and its §5 for the
 paper-claim -> benchmark mapping.
 """
 
+from .cluster import (ClusterDriver, ClusterServer, HashRing,
+                      run_cluster_concurrent)
 from .engine import DemaqServer, run_cluster
 from .network import Network
 from .qdl import Application, ValidationError, compile_application, parse_qdl
@@ -30,6 +40,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DemaqServer", "run_cluster",
+    "ClusterDriver", "ClusterServer", "HashRing", "run_cluster_concurrent",
     "Network",
     "Application", "ValidationError", "compile_application", "parse_qdl",
     "Message", "RealClock", "VirtualClock",

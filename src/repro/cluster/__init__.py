@@ -1,0 +1,39 @@
+"""Sharded cluster runtime: partitioned queues, routing, concurrency.
+
+The paper scopes one Demaq instance to one node and leaves distribution
+to the application (§5); this package makes scale-out a runtime concern:
+
+* :mod:`~repro.cluster.partitioner` — consistent-hash ring (virtual
+  nodes) mapping queues and slice keys to owners;
+* :mod:`~repro.cluster.membership` — node registry with join/leave and
+  deterministic rebalance plans;
+* :mod:`~repro.cluster.router` — owner resolution plus envelope
+  forwarding, with §3.6 error-queue fallback;
+* :mod:`~repro.cluster.driver` — thread-per-node concurrent execution
+  with a shared quiescence barrier;
+* :mod:`~repro.cluster.rebalance` — transactional message migration;
+* :mod:`~repro.cluster.server` — the :class:`ClusterServer` facade.
+
+See DESIGN.md §6 for the partitioning and routing model.
+"""
+
+from .driver import ClusterDriver, run_cluster_concurrent
+from .membership import (ClusterMembership, QueueMove, RebalancePlan,
+                         partitioned_queues, per_message_queues,
+                         sliced_queues)
+from .partitioner import DEFAULT_REPLICAS, HashRing, partition_key
+from .rebalance import (MigrationReport, apply_plan, drain_node,
+                        migrate_queue, stored_message_owner)
+from .router import ClusterRouter, RoutingKeys, routing_property
+from .server import ClusterServer
+
+__all__ = [
+    "ClusterDriver", "run_cluster_concurrent",
+    "ClusterMembership", "QueueMove", "RebalancePlan",
+    "partitioned_queues", "per_message_queues", "sliced_queues",
+    "DEFAULT_REPLICAS", "HashRing", "partition_key",
+    "MigrationReport", "apply_plan", "drain_node", "migrate_queue",
+    "stored_message_owner",
+    "ClusterRouter", "RoutingKeys", "routing_property",
+    "ClusterServer",
+]

@@ -1,0 +1,165 @@
+"""The concurrent cluster driver (replaces serial ``run_cluster`` loops).
+
+One thread per node, synchronized by a shared quiescence barrier:
+
+* **work phase** — every node thread drains its *local* work
+  (:meth:`DemaqServer.step_local`: rule processing, echo deliveries,
+  gateway send initiation) in parallel.  Node threads only touch their
+  own store, scheduler, and timers; the only shared object they write is
+  the thread-safe :class:`~repro.network.Network` send queue.
+* **barrier action** — exactly one thread pumps the shared network,
+  delivering every due envelope serially into the destination nodes'
+  ingest handlers, then decides quiescence: a round in which no node did
+  local work and the pump delivered nothing ends the run.
+
+With a :class:`~repro.queues.VirtualClock` this is deterministic per
+node: each node consumes its own scheduler heap in the same order a
+serial ``run_cluster`` would, and cross-node deliveries happen at a
+serialization point, never concurrently with rule execution.  With a
+:class:`~repro.queues.RealClock` (``real_time=True``) the driver keeps
+polling while messages are in flight or timers are pending instead of
+declaring quiescence, giving wall-time runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..engine import errors as err
+from ..network.transport import Network
+from ..queues import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.server import DemaqServer
+
+
+class DriverStatistics:
+    """Per-run counters."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.local_steps = 0
+        self.deliveries = 0
+        self.runs = 0
+
+
+class ClusterDriver:
+    """Drives a set of connected servers to quiescence, concurrently."""
+
+    def __init__(self, servers: "Iterable[DemaqServer]",
+                 network: Network | None = None,
+                 real_time: bool = False,
+                 poll_interval: float = 0.002):
+        self.servers = list(servers)
+        if not self.servers:
+            raise ValueError("driver needs at least one server")
+        self.network = network if network is not None \
+            else self.servers[0].network
+        self.real_time = real_time
+        self.poll_interval = poll_interval
+        self.stats = DriverStatistics()
+
+    # -- membership (kept in sync by ClusterServer) -----------------------------
+
+    def add_server(self, server: "DemaqServer") -> None:
+        self.servers.append(server)
+
+    def remove_server(self, server: "DemaqServer") -> None:
+        self.servers.remove(server)
+
+    # -- the run loop -----------------------------------------------------------
+
+    def run_until_idle(self, max_rounds: int = 100_000) -> int:
+        """Run all nodes until the whole cluster is idle; returns steps."""
+        workers = list(self.servers)
+        count = len(workers)
+        work = [0] * count
+        state = {"done": False, "steps": 0, "rounds": 0}
+        errors: list[BaseException] = []
+
+        def finish_round() -> None:
+            delivered = self.network.pump() if self.network is not None else 0
+            local = sum(work)
+            state["steps"] += local + delivered
+            self.stats.rounds += 1
+            self.stats.local_steps += local
+            self.stats.deliveries += delivered
+            if local == 0 and delivered == 0:
+                # Idle wall-time waits don't count toward max_rounds:
+                # a cluster waiting on a timer is patient, not livelocked.
+                if self.real_time and self._in_flight_work():
+                    time.sleep(self._wait_interval())
+                    return
+                state["done"] = True
+                return
+            state["rounds"] += 1
+            if state["rounds"] >= max_rounds:
+                state["done"] = True
+                errors.append(err.EngineError(
+                    f"cluster did not quiesce within {max_rounds} rounds"))
+
+        barrier = threading.Barrier(count, action=finish_round)
+
+        def run_node(index: int, server: "DemaqServer") -> None:
+            try:
+                while True:
+                    steps = 0
+                    while server.step_local():
+                        steps += 1
+                    work[index] = steps
+                    barrier.wait()
+                    if state["done"]:
+                        return
+            except threading.BrokenBarrierError:
+                return
+            except BaseException as exc:   # surface node failures to caller
+                errors.append(exc)
+                state["done"] = True
+                barrier.abort()
+
+        threads = [threading.Thread(target=run_node, args=(i, server),
+                                    name=f"demaq-node-{server.name}",
+                                    daemon=True)
+                   for i, server in enumerate(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        self.stats.runs += 1
+        if errors:
+            raise errors[0]
+        return state["steps"]
+
+    def _in_flight_work(self) -> bool:
+        """Anything pending that mere waiting will make due (real time)?"""
+        if self.network is not None and self.network.pending() > 0:
+            return True
+        return any(server.echo.pending_count() > 0
+                   for server in self.servers)
+
+    def _wait_interval(self) -> float:
+        """Sleep until the earliest pending due time (bounded both ways)."""
+        dues = [server.echo.next_due() for server in self.servers]
+        if self.network is not None:
+            dues.append(self.network.next_due())
+        dues = [due for due in dues if due is not None]
+        if not dues:
+            return self.poll_interval
+        remaining = min(dues) - self.servers[0].clock.now()
+        return min(max(remaining, self.poll_interval), 0.25)
+
+    def advance_time(self, seconds: float) -> int:
+        """Advance a shared virtual clock, then drain newly due work."""
+        clock = self.servers[0].clock
+        if isinstance(clock, VirtualClock):
+            clock.advance(seconds)
+        return self.run_until_idle()
+
+
+def run_cluster_concurrent(servers: "Iterable[DemaqServer]",
+                           network: Optional[Network] = None,
+                           max_rounds: int = 100_000) -> int:
+    """Drop-in concurrent replacement for :func:`repro.run_cluster`."""
+    return ClusterDriver(servers, network=network).run_until_idle(max_rounds)

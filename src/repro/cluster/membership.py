@@ -1,0 +1,150 @@
+"""Cluster membership: the node registry and rebalancing plans.
+
+Membership is static-first (a fixed node list at construction) with
+dynamic join/leave on top.  Every change bumps an *epoch* and yields a
+deterministic :class:`RebalancePlan` — the same sequence of joins and
+leaves always produces the same plan, because placement comes from the
+stable hashes of :mod:`repro.cluster.partitioner`.
+
+A plan has two parts:
+
+* **moves** — whole queues whose owner changed (they live on exactly
+  one node, so the plan can name source and target up front);
+* **rescans** — queues whose messages are placed individually: sliced
+  queues (per slice key) and echo queues (with their target's shard).
+  The key population cannot be enumerated without reading the stores, so
+  the plan names the queues and :mod:`repro.cluster.rebalance` resolves
+  them into per-message migrations against the new ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..qdl.model import Application, QueueKind
+from .partitioner import DEFAULT_REPLICAS, HashRing
+
+
+@dataclass(frozen=True)
+class QueueMove:
+    """Reassignment of one whole (unsliced) queue."""
+
+    queue: str
+    source: str
+    target: str
+
+
+@dataclass
+class RebalancePlan:
+    """What has to move after one membership change."""
+
+    epoch: int
+    joined: tuple[str, ...] = ()
+    left: tuple[str, ...] = ()
+    moves: list[QueueMove] = field(default_factory=list)
+    rescans: list[str] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.moves and not self.rescans
+
+
+def partitioned_queues(app: Application) -> list[str]:
+    """The queues the cluster distributes: every declared queue.
+
+    Gateway and echo queues ride along — their owner runs the pumps —
+    so a node failure never silently orphans a queue kind.
+    """
+    return sorted(app.queues)
+
+
+def sliced_queues(app: Application) -> set[str]:
+    """Queues distributed per slice key rather than as one unit."""
+    return {name for name in app.queues
+            if app.slicings_on_queue(name)
+            and app.queues[name].kind is QueueKind.BASIC}
+
+
+def per_message_queues(app: Application) -> set[str]:
+    """Queues whose messages are placed individually, not as one unit:
+    sliced queues (by slice key) and echo queues (by target shard)."""
+    return sliced_queues(app) | {
+        name for name, queue_def in app.queues.items()
+        if queue_def.kind is QueueKind.ECHO}
+
+
+class ClusterMembership:
+    """Tracks live nodes and derives rebalancing plans from changes."""
+
+    def __init__(self, app: Application, nodes: Iterable[str],
+                 replicas: int = DEFAULT_REPLICAS):
+        names = list(nodes)
+        if not names:
+            raise ValueError("a cluster needs at least one node")
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate node names")
+        self.app = app
+        self.ring = HashRing(names, replicas=replicas)
+        self.epoch = 0
+        self._queues = partitioned_queues(app)
+        self._sliced = sliced_queues(app)
+        self._per_message = per_message_queues(app)
+        # Sliced queues are partitioned in their *slicing's* namespace so
+        # all members of one slice — across every queue the slicing spans
+        # (paper §2.3.1) — land on the same node.
+        self._routing_slicing = {
+            queue: app.slicings_on_queue(queue)[0].name
+            for queue in self._sliced}
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return self.ring.nodes
+
+    def is_sliced(self, queue: str) -> bool:
+        return queue in self._sliced
+
+    def owner_for(self, queue: str, key: object | None = None) -> str:
+        """The node a message of *queue* with slice key *key* lives on."""
+        slicing = self._routing_slicing.get(queue)
+        if key is None or slicing is None:
+            return self.ring.owner(queue)
+        return self.ring.owner(slicing, key)
+
+    def owner_map(self) -> dict[str, str]:
+        """Owner of every whole-unit queue.
+
+        Sliced and echo queues are absent — their messages are placed
+        individually (by slice key / by target shard), so they have no
+        single owner to move.
+        """
+        return {queue: self.ring.owner(queue) for queue in self._queues
+                if queue not in self._per_message}
+
+    # -- changes ---------------------------------------------------------------
+
+    def join(self, node: str) -> RebalancePlan:
+        """Add *node*; plan the partitions it takes over."""
+        before = self.owner_map()
+        self.ring.add_node(node)
+        self.epoch += 1
+        return self._plan(before, joined=(node,))
+
+    def leave(self, node: str) -> RebalancePlan:
+        """Remove *node*; plan the handoff of everything it owned."""
+        if len(self.ring) == 1:
+            raise ValueError("cannot remove the last node")
+        before = self.owner_map()
+        self.ring.remove_node(node)
+        self.epoch += 1
+        return self._plan(before, left=(node,))
+
+    def _plan(self, before: dict[str, str], joined: tuple[str, ...] = (),
+              left: tuple[str, ...] = ()) -> RebalancePlan:
+        after = self.owner_map()
+        moves = [QueueMove(queue, before[queue], after[queue])
+                 for queue in sorted(before)
+                 if before[queue] != after[queue]]
+        return RebalancePlan(epoch=self.epoch, joined=joined, left=left,
+                             moves=moves, rescans=sorted(self._per_message))

@@ -1,0 +1,130 @@
+"""Consistent-hash partitioning of queues across cluster nodes.
+
+The Demaq paper (§5, "Demaq applications may be distributed among
+several queue systems") leaves placement to the application; this module
+makes it a first-class runtime concern.  A :class:`HashRing` maps every
+*partition key* — a queue name, or ``(queue, slice key)`` for sliced
+queues — to an owner node.  Sliced queues are therefore spread across
+the whole cluster by slice key while each individual slice stays wholly
+local, which preserves slice-rule semantics (``qs:slice()`` only ever
+needs one node's store).
+
+Virtual nodes smooth the distribution: each physical node occupies
+``replicas`` points on the ring, so load spreads evenly and a
+join/leave only moves the keys adjacent to the affected node's points
+(minimal disruption).  Hashing uses :mod:`hashlib` — not Python's
+salted ``hash()`` — so placement is stable across processes and runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+DEFAULT_REPLICAS = 64
+
+#: separator that cannot appear in node names / queue names
+_SEP = "\x1f"
+
+
+def _hash(value: str) -> int:
+    """A stable 64-bit position on the ring."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def partition_key(queue: str, slice_key: object | None = None) -> str:
+    """The ring key for a message: per-queue, or per-slice when sliced."""
+    if slice_key is None:
+        return queue
+    return f"{queue}{_SEP}{slice_key}"
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._ring: list[tuple[int, str]] = []   # sorted (position, node)
+        self._positions: list[int] = []          # parallel sorted positions
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for index in range(self.replicas):
+            position = _hash(f"{node}{_SEP}vn{index}")
+            at = bisect.bisect_left(self._ring, (position, node))
+            self._ring.insert(at, (position, node))
+            self._positions.insert(at, position)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        kept = [entry for entry in self._ring if entry[1] != node]
+        self._ring = kept
+        self._positions = [position for position, _ in kept]
+
+    # -- lookups -----------------------------------------------------------------
+
+    def owner(self, queue: str, slice_key: object | None = None) -> str:
+        """The node owning *queue* (or the slice of *queue*)."""
+        return self.owner_of_key(partition_key(queue, slice_key))
+
+    def owner_of_key(self, key: str) -> str:
+        if not self._ring:
+            raise LookupError("hash ring has no nodes")
+        index = bisect.bisect_right(self._positions, _hash(key))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def preference_list(self, queue: str, slice_key: object | None = None,
+                        count: Optional[int] = None) -> list[str]:
+        """Distinct nodes in ring order starting at the key's owner.
+
+        The first entry is the owner; the rest are the failover
+        successors a router walks when the owner is unreachable.
+        """
+        if not self._ring:
+            raise LookupError("hash ring has no nodes")
+        wanted = len(self._nodes) if count is None else count
+        start = bisect.bisect_right(self._positions,
+                                    _hash(partition_key(queue, slice_key)))
+        out: list[str] = []
+        for offset in range(len(self._ring)):
+            node = self._ring[(start + offset) % len(self._ring)][1]
+            if node not in out:
+                out.append(node)
+                if len(out) >= wanted:
+                    break
+        return out
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def load_distribution(self, keys: Iterable[str]) -> dict[str, int]:
+        """How many of *keys* each node owns (balance diagnostics)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.owner_of_key(key)] += 1
+        return counts

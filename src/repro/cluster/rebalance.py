@@ -1,0 +1,196 @@
+"""Rebalancing: move messages of reassigned partitions to new owners.
+
+Executes a :class:`~repro.cluster.membership.RebalancePlan`:
+
+* whole-queue **moves** ship every live message of the queue from the
+  old owner's store to the new owner's;
+* **rescans** walk each node's local shard of every per-message-placed
+  queue (sliced queues and echo queues) and move the messages that now
+  belong to a different node — resolved through the same
+  :class:`~repro.cluster.router.RoutingKeys` logic the router uses, so
+  routing and migration can never disagree on placement.
+
+A migrated message keeps its resolved properties (the paper fixes them
+at creation time), its *live* slice memberships, and its processed
+flag.  Slice generations travel with the messages: the target's slice
+lifetime is first caught up to the source's (replaying resets in the
+same transaction), and memberships of already-reset generations are
+dropped rather than resurrected into the target's current slice.  The
+transfer uses the store's transaction ops on both sides — an insert
+(+ processed mark) committed at the target before a delete commits at
+the source, so a crash mid-migration duplicates a message (at-least-
+once, matching the WS-RM stance of the gateway layer) but never loses
+one.  Unprocessed arrivals re-enter the target's scheduler, echo timer
+(with *remaining* timeout), and gateway machinery through
+``DemaqServer.register_unprocessed``; incoming-gateway endpoint
+registrations move with their queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..qdl.model import QueueKind
+from ..storage.transactions import InsertOp
+from ..xmldm import parse
+from .membership import ClusterMembership, RebalancePlan
+from .router import RoutingKeys, routing_property
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.server import DemaqServer
+
+
+@dataclass
+class MigrationReport:
+    """What one rebalance actually moved."""
+
+    epoch: int
+    moved_by_queue: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_moved(self) -> int:
+        return sum(self.moved_by_queue.values())
+
+    def record(self, queue: str, count: int) -> None:
+        if count:
+            self.moved_by_queue[queue] = \
+                self.moved_by_queue.get(queue, 0) + count
+
+
+def stored_message_owner(membership: ClusterMembership, keys: RoutingKeys,
+                         queue: str, meta, source: "DemaqServer") -> str:
+    """Where a *stored* message belongs under the current ring.
+
+    Mirrors the router's placement: echo messages go with their target's
+    shard (re-deriving the key from the body), sliced queues place by
+    the resolved slicing property, everything else by queue name.
+    """
+    app = membership.app
+    if app.queues[queue].kind is QueueKind.ECHO:
+        target = meta.properties.get("target")
+        if isinstance(target, str) and target in app.queues:
+            body = parse(source.store.body_bytes(meta.msg_id)
+                         .decode("utf-8"))
+            return membership.owner_for(target, keys.key_for(target, body))
+        return membership.owner_for(queue)
+    prop_name = routing_property(app, queue) \
+        if membership.is_sliced(queue) else None
+    if prop_name is None:
+        return membership.owner_for(queue)
+    raw = meta.properties.get(prop_name)
+    return membership.owner_for(queue, None if raw is None else str(raw))
+
+
+def migrate_message(meta, payload: bytes, queue: str,
+                    source: "DemaqServer", target: "DemaqServer") -> None:
+    """Hand one stored message over, preserving its catalog state."""
+    txn = target.store.begin()
+    # Carry slice generations across: catch the target's lifetime up to
+    # the source's (the insert below then joins the *current* slice),
+    # and drop memberships whose generation was already reset — they
+    # must not resurrect into the target's live slice.
+    live_slices = []
+    for slicing, key, lifetime in meta.slices:
+        current = source.store.slice_lifetime(slicing, key)
+        if lifetime != current:
+            continue
+        behind = current - target.store.slice_lifetime(slicing, key)
+        for _ in range(behind):
+            txn.reset_slice(slicing, key)
+        live_slices.append((slicing, key))
+    txn.insert_message(queue, payload, dict(meta.properties), live_slices,
+                       persistent=meta.persistent)
+    target.store.commit(txn)
+    target.locking.release(txn.txn_id)
+    new_id = next(op.msg_id for op in txn.ops if isinstance(op, InsertOp))
+    if meta.processed:
+        mark = target.store.begin()
+        mark.mark_processed(new_id)
+        target.store.commit(mark)
+        target.locking.release(mark.txn_id)
+    else:
+        # recovered state, not a fresh enqueue: echo timers resume with
+        # their remaining timeout, gateway sends re-arm, rules reschedule
+        target.register_unprocessed(target.store.get(new_id))
+
+    drop = source.store.begin()
+    drop.delete_message(meta.msg_id)
+    source.store.commit(drop)
+    source.locking.release(drop.txn_id)
+
+
+def migrate_queue(queue: str, source: "DemaqServer",
+                  target: "DemaqServer") -> int:
+    """Move every message of *queue*; returns how many moved."""
+    moved = 0
+    for meta, payload in source.store.export_queue_messages(queue):
+        migrate_message(meta, payload, queue, source, target)
+        moved += 1
+    return moved
+
+
+def _migrate_misplaced(queue: str, node: str, source: "DemaqServer",
+                       membership: ClusterMembership, keys: RoutingKeys,
+                       servers: "dict[str, DemaqServer]",
+                       report: MigrationReport) -> None:
+    """Move every message of *queue* on *node* that belongs elsewhere.
+
+    Filters on catalog entries first; payloads are fetched only for the
+    (typically ~1/N) messages that actually move.
+    """
+    for meta in source.store.queue_messages(queue):
+        owner = stored_message_owner(membership, keys, queue, meta, source)
+        # a departing node is off the ring, so everything leaves it
+        if owner == node:
+            continue
+        target = servers.get(owner)
+        if target is None or target is source:
+            continue
+        migrate_message(meta, source.store.body_bytes(meta.msg_id),
+                        queue, source, target)
+        report.record(queue, 1)
+
+
+def apply_plan(plan: RebalancePlan, membership: ClusterMembership,
+               servers: "dict[str, DemaqServer]") -> MigrationReport:
+    """Execute a rebalance plan against the live servers."""
+    report = MigrationReport(epoch=plan.epoch)
+    app = membership.app
+    keys = RoutingKeys(app, membership)
+
+    for move in plan.moves:
+        source = servers.get(move.source)
+        target = servers.get(move.target)
+        if source is None or target is None:
+            continue
+        report.record(move.queue,
+                      migrate_queue(move.queue, source, target))
+        if app.queues[move.queue].kind is QueueKind.INCOMING_GATEWAY:
+            source.unregister_incoming_gateway(move.queue)
+            target.register_incoming_gateway(move.queue)
+
+    for queue in plan.rescans:
+        for node, source in sorted(servers.items()):
+            _migrate_misplaced(queue, node, source, membership, keys,
+                               servers, report)
+    return report
+
+
+def drain_node(name: str, membership: ClusterMembership,
+               servers: "dict[str, DemaqServer]",
+               report: MigrationReport | None = None) -> MigrationReport:
+    """Move *every* message off one node to the ring owners.
+
+    Rule-triggered enqueues are node-local (rules never hop the network
+    mid-transaction), so a node can legitimately hold messages of queues
+    it does not own.  Removing a node therefore drains its whole store,
+    not just the partitions a rebalance plan names.
+    """
+    source = servers[name]
+    report = report or MigrationReport(epoch=membership.epoch)
+    keys = RoutingKeys(membership.app, membership)
+    for queue in membership.app.queues:
+        _migrate_misplaced(queue, name, source, membership, keys,
+                           servers, report)
+    return report

@@ -1,0 +1,200 @@
+"""The cluster front-end: route enqueues to partition owners.
+
+A :class:`ClusterRouter` is what external producers talk to instead of a
+single :class:`~repro.engine.DemaqServer`.  For every enqueue it
+
+1. extracts the *routing key* — for sliced queues, the value of the
+   slicing property evaluated against the message body (the same
+   expression the owner's property resolver will use), so all messages
+   of one slice land on one node;
+2. resolves the owner through the membership ring;
+3. forwards the message, either as a gateway envelope over the shared
+   :class:`~repro.network.Network` (the default — exercises the same
+   transport path as inter-node traffic) or by a direct in-process call.
+
+Failures follow the paper's §3.6 taxonomy: a delivery that fails (owner
+down, endpoint unregistered, transport timeout) becomes an XML error
+message which the router enqueues into the application's error queue on
+the first *reachable* node of that queue's preference list.  Only when
+no error queue is configured, or no node can take it, does the error
+surface on ``router.undeliverable``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..engine import errors as err
+from ..network import build_envelope
+from ..network.transport import Network, node_endpoint
+from ..qdl.model import Application, QueueKind
+from ..xmldm import Document, parse
+from ..xquery import DynamicContext, evaluate
+from ..xquery.atomics import UntypedAtomic, cast_atomic
+from ..xquery.errors import XQueryError
+from ..xquery.sequence import atomize
+from .membership import ClusterMembership
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.server import DemaqServer
+
+ROUTER_SOURCE = "demaq://router"
+
+
+def routing_property(app: Application, queue: str) -> Optional[str]:
+    """The slicing property that partitions *queue*, if any.
+
+    The first slicing (in declaration order) whose property is defined
+    on the queue; rebalancing uses the same choice so routing and
+    migration always agree.
+    """
+    slicings = app.slicings_on_queue(queue)
+    return slicings[0].property_name if slicings else None
+
+
+class RouterStatistics:
+    """Counters the cluster benchmarks read."""
+
+    def __init__(self) -> None:
+        self.routed = 0
+        self.forwarded_by_node: dict[str, int] = {}
+        self.failovers = 0
+        self.errors_routed = 0
+
+
+class RoutingKeys:
+    """Slice-key extraction shared by the router and the rebalancer.
+
+    Casts through the property's declared type exactly like the owner's
+    :class:`~repro.queues.PropertyResolver` will, so everything that
+    places messages — router forwards, rescans, drains — hashes the
+    same lexical form: ``007`` routes as the integer ``7`` for an
+    ``xs:integer`` key.
+    """
+
+    def __init__(self, app: Application, membership: ClusterMembership):
+        self.app = app
+        self.membership = membership
+        self._key_exprs = {
+            queue: self._binding_expr(queue)
+            for queue in app.queues if membership.is_sliced(queue)}
+
+    def _binding_expr(self, queue: str):
+        prop_name = routing_property(self.app, queue)
+        if prop_name is None:
+            return None
+        prop = self.app.properties[prop_name]
+        binding = prop.binding_for(queue)
+        if binding is None:
+            return None
+        return binding.value, prop.type_name
+
+    def key_for(self, queue: str, body: Document) -> str | None:
+        """The slice key that places *body* on the ring (None: by queue)."""
+        compiled = self._key_exprs.get(queue)
+        if compiled is None:
+            return None
+        expr, type_name = compiled
+        try:
+            result = atomize(evaluate(expr, DynamicContext(item=body)))
+            if not result:
+                return None
+            value = result[0]
+            if isinstance(value, UntypedAtomic):
+                value = str(value)
+            return str(cast_atomic(value, type_name))
+        except XQueryError:
+            # the owner's resolver will raise the proper PropertyError
+            return None
+
+    def owner_for_document(self, queue: str, body: Document,
+                           properties: dict[str, object] | None) -> str:
+        """The node a new message belongs on, echo-aware.
+
+        Echo messages are placed with their *target*'s shard: the timer
+        delivery is node-local, so the echoed message must already sit
+        where the target queue's slice lives for correlation to work.
+        """
+        queue_def = self.app.queues[queue]
+        if queue_def.kind is QueueKind.ECHO:
+            target = (properties or {}).get("target")
+            if isinstance(target, str) and target in self.app.queues:
+                return self.membership.owner_for(
+                    target, self.key_for(target, body))
+        return self.membership.owner_for(queue, self.key_for(queue, body))
+
+
+class ClusterRouter:
+    """Routes external enqueues to the owning cluster node."""
+
+    def __init__(self, app: Application, membership: ClusterMembership,
+                 network: Network,
+                 servers: "dict[str, DemaqServer] | None" = None,
+                 via_network: bool = True):
+        self.app = app
+        self.membership = membership
+        self.network = network
+        self.servers = servers or {}
+        self.via_network = via_network
+        self.stats = RouterStatistics()
+        self.undeliverable: list[Document] = []
+        self.keys = RoutingKeys(app, membership)
+
+    # -- enqueue path -----------------------------------------------------------
+
+    def routing_key(self, queue: str, body: Document) -> str | None:
+        return self.keys.key_for(queue, body)
+
+    def owner_of(self, queue: str, body: Document | None = None) -> str:
+        key = None if body is None else self.keys.key_for(queue, body)
+        return self.membership.owner_for(queue, key)
+
+    def _resolve_owner(self, queue: str, document: Document,
+                       properties: dict[str, object] | None) -> str:
+        return self.keys.owner_for_document(queue, document, properties)
+
+    def enqueue(self, queue: str, body: str | Document,
+                properties: dict[str, object] | None = None) -> str:
+        """Route one message to its owner; returns the owner node name."""
+        if queue not in self.app.queues:
+            raise err.EngineError(f"enqueue into unknown queue {queue!r}")
+        document = parse(body) if isinstance(body, str) else body
+        owner = self._resolve_owner(queue, document, properties)
+        self.stats.routed += 1
+        self.stats.forwarded_by_node[owner] = \
+            self.stats.forwarded_by_node.get(owner, 0) + 1
+        if not self.via_network and owner in self.servers:
+            self.servers[owner].enqueue(queue, document, properties)
+            return owner
+        envelope = build_envelope(document, dict(properties or {}))
+        self.network.send(
+            node_endpoint(owner, queue), envelope, source=ROUTER_SOURCE,
+            on_failed=lambda marker: self._forward_failed(
+                queue, document, owner, marker))
+        return owner
+
+    # -- failure fallback (§3.6) -------------------------------------------------
+
+    def _forward_failed(self, queue: str, document: Document, owner: str,
+                        marker: str) -> None:
+        error = err.build_error_message(
+            err.NETWORK,
+            f"cluster delivery to owner {owner!r} of queue {queue!r} "
+            f"failed ({marker})",
+            queue=queue, marker=marker, initial_message=document)
+        target = err.resolve_error_queue(self.app, None, queue)
+        if target is None:
+            self.undeliverable.append(error)
+            return
+        for node in self.membership.ring.preference_list(target):
+            endpoint = node_endpoint(node, target)
+            if node == owner or self.network.is_down(endpoint) \
+                    or not self.network.is_registered(endpoint):
+                continue
+            self.stats.failovers += 1
+            self.stats.errors_routed += 1
+            self.network.send(
+                endpoint, build_envelope(error, {}), source=ROUTER_SOURCE,
+                on_failed=lambda _marker: self.undeliverable.append(error))
+            return
+        self.undeliverable.append(error)

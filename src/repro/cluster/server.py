@@ -1,0 +1,208 @@
+"""The sharded cluster facade: one Demaq application over many nodes.
+
+A :class:`ClusterServer` looks like a single
+:class:`~repro.engine.DemaqServer` from the outside — ``enqueue``,
+``run_until_idle``, ``advance_time``, ``queue_texts`` — but internally
+deploys the application onto N nodes that share one clock and one
+simulated network:
+
+* placement comes from the consistent-hash ring
+  (:mod:`~repro.cluster.partitioner`): unsliced queues live wholly on
+  their owner node, sliced queues are spread per slice key;
+* external enqueues go through the :class:`~repro.cluster.router`,
+  which forwards gateway envelopes to the owner;
+* execution uses the concurrent :class:`~repro.cluster.driver`
+  (thread per node, shared quiescence barrier);
+* ``add_node``/``remove_node`` change membership at runtime and migrate
+  messages via :mod:`~repro.cluster.rebalance`.
+
+Reads (``queue_texts`` …) gather node-major: each node's shard in its
+local arrival order, nodes in sorted name order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import os
+
+from ..engine.server import DemaqServer
+from ..network.transport import Network, node_endpoint
+from ..qdl import Application, compile_application
+from ..qdl.model import QueueKind
+from ..queues import Clock, Message, VirtualClock
+from .driver import ClusterDriver
+from .membership import ClusterMembership, RebalancePlan
+from .partitioner import DEFAULT_REPLICAS
+from .rebalance import MigrationReport, apply_plan, drain_node
+from .router import ClusterRouter
+
+
+class ClusterServer:
+    """A sharded Demaq cluster behind a single-server-like interface."""
+
+    def __init__(self, app: Application | str,
+                 nodes: int | Iterable[str] = 4,
+                 clock: Clock | None = None,
+                 network: Network | None = None,
+                 replicas: int = DEFAULT_REPLICAS,
+                 latency: float = 0.0,
+                 via_network: bool = True,
+                 data_dir: str | None = None,
+                 real_time: bool = False,
+                 **server_kwargs):
+        if isinstance(app, str):
+            app = compile_application(app)
+        self.app = app
+        self.clock = clock or VirtualClock()
+        self.network = network or Network(self.clock, latency=latency)
+        names = [f"node{i}" for i in range(nodes)] \
+            if isinstance(nodes, int) else list(nodes)
+        self._data_dir = data_dir
+        self._server_kwargs = dict(server_kwargs)
+
+        self.membership = ClusterMembership(app, names, replicas=replicas)
+        self.servers: dict[str, DemaqServer] = {
+            name: self._spawn(name) for name in names}
+        for name in names:
+            self._register_ingests(name)
+        self._place_gateways()
+
+        self.router = ClusterRouter(app, self.membership, self.network,
+                                    servers=self.servers,
+                                    via_network=via_network)
+        self.driver = ClusterDriver(list(self.servers.values()),
+                                    network=self.network,
+                                    real_time=real_time)
+
+    # -- node lifecycle ---------------------------------------------------------
+
+    def _spawn(self, name: str) -> DemaqServer:
+        directory = None if self._data_dir is None \
+            else os.path.join(self._data_dir, name)
+        return DemaqServer(self.app, clock=self.clock, network=self.network,
+                           name=name, data_dir=directory,
+                           register_gateways=False, **self._server_kwargs)
+
+    def _register_ingests(self, name: str) -> None:
+        server = self.servers[name]
+        for queue in self.app.queues:
+            server.register_ingest(node_endpoint(name, queue), queue)
+
+    def _unregister_ingests(self, name: str) -> None:
+        for queue in self.app.queues:
+            self.network.unregister(node_endpoint(name, queue))
+
+    def _place_gateways(self) -> None:
+        for queue_def in self.app.queues.values():
+            if queue_def.kind is QueueKind.INCOMING_GATEWAY:
+                owner = self.membership.ring.owner(queue_def.name)
+                self.servers[owner].register_incoming_gateway(queue_def.name)
+
+    def node(self, name: str) -> DemaqServer:
+        return self.servers[name]
+
+    @property
+    def node_names(self) -> list[str]:
+        return self.membership.nodes
+
+    def add_node(self, name: str | None = None
+                 ) -> tuple[RebalancePlan, MigrationReport]:
+        """Join a node, rebalance, and return what moved."""
+        if name is None:
+            index = len(self.servers)
+            while f"node{index}" in self.servers:
+                index += 1
+            name = f"node{index}"
+        server = self._spawn(name)
+        self.servers[name] = server
+        self._register_ingests(name)
+        plan = self.membership.join(name)
+        report = apply_plan(plan, self.membership, self.servers)
+        self.driver.add_server(server)
+        return plan, report
+
+    def remove_node(self, name: str
+                    ) -> tuple[RebalancePlan, MigrationReport]:
+        """Drain a node out of the cluster, migrating its messages."""
+        server = self.servers[name]
+        plan = self.membership.leave(name)
+        report = apply_plan(plan, self.membership, self.servers)
+        drain_node(name, self.membership, self.servers, report)
+        self._unregister_ingests(name)
+        self.driver.remove_server(server)
+        del self.servers[name]
+        server.close()
+        return plan, report
+
+    # -- the single-server-like surface ----------------------------------------
+
+    def enqueue(self, queue: str, body, properties=None) -> str:
+        """Route a message to its owner; returns the owner node name."""
+        return self.router.enqueue(queue, body, properties)
+
+    def run_until_idle(self, max_rounds: int = 100_000) -> int:
+        return self.driver.run_until_idle(max_rounds)
+
+    def advance_time(self, seconds: float) -> int:
+        if isinstance(self.clock, VirtualClock):
+            self.clock.advance(seconds)
+        return self.run_until_idle()
+
+    def live_messages(self, queue: str) -> list[Message]:
+        out: list[Message] = []
+        for name in sorted(self.servers):
+            out.extend(self.servers[name].live_messages(queue))
+        return out
+
+    def queue_documents(self, queue: str):
+        return [message.body for message in self.live_messages(queue)]
+
+    def queue_texts(self, queue: str) -> list[str]:
+        return [message.body_text() for message in self.live_messages(queue)]
+
+    def queue_depth(self, queue: str) -> int:
+        return sum(server.store.queue_depth(queue)
+                   for server in self.servers.values())
+
+    def shard_depths(self, queue: str) -> dict[str, int]:
+        """Per-node depth of one queue (skew diagnostics)."""
+        return {name: server.store.queue_depth(queue)
+                for name, server in sorted(self.servers.items())}
+
+    @property
+    def unhandled_errors(self) -> list:
+        out = list(self.router.undeliverable)
+        for name in sorted(self.servers):
+            out.extend(self.servers[name].unhandled_errors)
+        return out
+
+    def messages_processed(self) -> int:
+        return sum(server.executor.stats.messages_processed
+                   for server in self.servers.values())
+
+    def collect_garbage(self) -> int:
+        return sum(server.collect_garbage()
+                   for server in self.servers.values())
+
+    def checkpoint(self) -> None:
+        for server in self.servers.values():
+            server.checkpoint()
+
+    def load_collection(self, name: str, documents) -> None:
+        """Replicate master data to every node (fn:collection reads)."""
+        documents = list(documents)
+        for server in self.servers.values():
+            server.load_collection(name, documents)
+
+    def close(self) -> None:
+        for server in self.servers.values():
+            server.close()
+
+    # -- context manager --------------------------------------------------------
+
+    def __enter__(self) -> "ClusterServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -50,7 +50,8 @@ class DemaqServer:
                  sync_commits: bool = True,
                  log_deletes: bool = True,
                  buffer_capacity: int = 256,
-                 lock_timeout: float = 10.0):
+                 lock_timeout: float = 10.0,
+                 register_gateways: bool = True):
         if isinstance(app, str):
             app = compile_application(app)
         self.app = app
@@ -75,7 +76,7 @@ class DemaqServer:
         self._send_attempts: dict[int, int] = {}
         self._wsdl_sources: dict[str, str] = {}
         self._bootstrap()
-        if network is not None:
+        if network is not None and register_gateways:
             self._register_incoming_gateways()
 
     # -- deployment helpers --------------------------------------------------------
@@ -180,8 +181,14 @@ class DemaqServer:
 
     # -- the execution loop ------------------------------------------------------------------
 
-    def step(self) -> bool:
-        """Do one unit of work; False when idle."""
+    def step_local(self) -> bool:
+        """One unit of *node-local* work; False when locally idle.
+
+        Everything but the shared network pump: rule processing, echo
+        deliveries, and gateway send initiation.  The cluster driver
+        runs this concurrently per node and pumps the network itself at
+        a barrier, so node threads never touch each other's stores.
+        """
         msg_id = self.scheduler.next_message()
         if msg_id is not None:
             if not self.executor.process_message(msg_id):
@@ -196,6 +203,12 @@ class DemaqServer:
             return True
         if self._pending_sends:
             self._initiate_sends()
+            return True
+        return False
+
+    def step(self) -> bool:
+        """Do one unit of work; False when idle."""
+        if self.step_local():
             return True
         if self.network is not None and self.network.pump():
             return True
@@ -329,18 +342,61 @@ class DemaqServer:
 
     def _register_incoming_gateways(self) -> None:
         for queue_def in self.app.queues.values():
-            if queue_def.kind is not QueueKind.INCOMING_GATEWAY:
-                continue
-            endpoint = queue_def.endpoint or \
-                f"demaq://{self.name}/{queue_def.name}"
-            self.network.register(
-                endpoint,
-                lambda envelope, source, q=queue_def.name:
-                    self._receive(q, envelope, source))
+            if queue_def.kind is QueueKind.INCOMING_GATEWAY:
+                self.register_incoming_gateway(queue_def.name)
 
-    def _receive(self, queue: str, envelope: Document, source: str) -> None:
+    def gateway_endpoint(self, queue: str) -> str:
+        """The transport address of an incoming gateway on this node."""
+        queue_def = self.app.queues[queue]
+        return queue_def.endpoint or f"demaq://{self.name}/{queue_def.name}"
+
+    def register_incoming_gateway(self, queue: str) -> None:
+        """Attach one incoming gateway's endpoint to this node.
+
+        Standalone servers do this for every gateway at startup; in a
+        sharded cluster only the queue's ring owner holds the endpoint,
+        and rebalancing moves it by unregister/register.
+        """
+        self.network.register(
+            self.gateway_endpoint(queue),
+            lambda envelope, source, q=queue:
+                self._receive(q, envelope, source))
+
+    def unregister_incoming_gateway(self, queue: str) -> None:
+        self.network.unregister(self.gateway_endpoint(queue))
+
+    def register_ingest(self, endpoint: str, queue: str) -> None:
+        """Expose *queue* for envelope ingest at *endpoint*.
+
+        The cluster router uses this to address any queue of a node —
+        not just declared incoming gateways — when forwarding enqueues
+        to the partition owner.
+        """
+        if self.network is None:
+            raise err.EngineError(
+                f"server {self.name!r} has no network to register on")
+        if queue not in self.app.queues:
+            raise err.EngineError(f"no queue {queue!r} to expose as ingest")
+        self.network.register(
+            endpoint,
+            lambda envelope, source, q=queue:
+                self.ingest(q, envelope, source))
+
+    def ingest(self, queue: str, envelope: Document, source: str) -> None:
+        """Accept one router envelope into *queue* (public hook).
+
+        Unlike a gateway relay, a router forward is an *original*
+        enqueue on behalf of an external producer, so explicit
+        properties (``timeout``, ``target``, …) pass through intact
+        instead of being stripped as internal relay state.
+        """
+        self._receive(queue, envelope, source, relay=False)
+
+    def _receive(self, queue: str, envelope: Document, source: str,
+                 relay: bool = True) -> None:
         body, properties = parse_envelope(envelope)
-        explicit = self._forwardable_properties(queue, properties)
+        explicit = self._forwardable_properties(queue, properties) \
+            if relay else dict(properties)
         txn = self.store.begin()
         try:
             self.executor.enqueue_in_txn(
@@ -417,16 +473,25 @@ class DemaqServer:
     def _bootstrap(self) -> None:
         """Register every unprocessed message after startup/recovery."""
         for meta in self.store.unprocessed_messages():
-            queue_def = self.app.queues.get(meta.queue)
-            if queue_def is None:
-                continue
-            if queue_def.kind is QueueKind.ECHO:
-                self._reschedule_recovered_echo(meta)
-            elif queue_def.kind is QueueKind.OUTGOING_GATEWAY:
-                # at-least-once resend across failures (WS-RM semantics)
-                self._pending_sends.append(meta.msg_id)
-            else:
-                self.scheduler.notify(meta.msg_id, meta.queue, meta.seqno)
+            self.register_unprocessed(meta)
+
+    def register_unprocessed(self, meta) -> None:
+        """Hand one pre-existing unprocessed message to its subsystem.
+
+        Shared by startup, recovery, and cluster rebalancing (a migrated
+        message is recovered state, not a fresh enqueue): echo timers
+        resume with their *remaining* timeout rather than restarting.
+        """
+        queue_def = self.app.queues.get(meta.queue)
+        if queue_def is None:
+            return
+        if queue_def.kind is QueueKind.ECHO:
+            self._reschedule_recovered_echo(meta)
+        elif queue_def.kind is QueueKind.OUTGOING_GATEWAY:
+            # at-least-once resend across failures (WS-RM semantics)
+            self._pending_sends.append(meta.msg_id)
+        else:
+            self.scheduler.notify(meta.msg_id, meta.queue, meta.seqno)
 
     def _reschedule_recovered_echo(self, meta) -> None:
         target = meta.properties.get("target")

@@ -17,11 +17,23 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..queues.timers import Clock
 from ..xmldm import Document
+
+
+def node_endpoint(node: str, queue: str) -> str:
+    """Canonical transport address of *queue* on cluster node *node*.
+
+    The ``!shard`` path segment keeps cluster-ingest addresses disjoint
+    from application-declared gateway endpoints
+    (``demaq://<node>/<queue>``), so a sharded node can also expose
+    ordinary incoming gateways without collisions.
+    """
+    return f"demaq://{node}/!shard/{queue}"
 
 #: handler(envelope, source_endpoint) — registered per endpoint.
 Handler = Callable[[Document, str], None]
@@ -42,7 +54,13 @@ class _InFlight:
 
 
 class Network:
-    """Endpoint registry plus a latency/failure simulator."""
+    """Endpoint registry plus a latency/failure simulator.
+
+    Thread-safe: several cluster node threads may ``send`` concurrently
+    while one driver thread pumps.  The mutex covers the in-flight heap
+    and the topology maps; handlers themselves run outside the lock so a
+    delivery may trigger further sends without deadlocking.
+    """
 
     def __init__(self, clock: Clock, latency: float = 0.0,
                  drop_rate: float = 0.0, seed: int = 7):
@@ -50,6 +68,7 @@ class Network:
         self.latency = latency
         self.drop_rate = drop_rate
         self._random = random.Random(seed)
+        self._mutex = threading.Lock()
         self._handlers: dict[str, Handler] = {}
         self._down: set[str] = set()
         self._fail_next: dict[str, int] = {}
@@ -62,22 +81,35 @@ class Network:
     # -- topology ------------------------------------------------------------------
 
     def register(self, endpoint: str, handler: Handler) -> None:
-        if endpoint in self._handlers:
-            raise ValueError(f"endpoint {endpoint!r} already registered")
-        self._handlers[endpoint] = handler
+        with self._mutex:
+            if endpoint in self._handlers:
+                raise ValueError(f"endpoint {endpoint!r} already registered")
+            self._handlers[endpoint] = handler
 
     def unregister(self, endpoint: str) -> None:
-        self._handlers.pop(endpoint, None)
+        with self._mutex:
+            self._handlers.pop(endpoint, None)
+
+    def is_registered(self, endpoint: str) -> bool:
+        with self._mutex:
+            return endpoint in self._handlers
 
     def set_down(self, endpoint: str, down: bool = True) -> None:
-        if down:
-            self._down.add(endpoint)
-        else:
-            self._down.discard(endpoint)
+        with self._mutex:
+            if down:
+                self._down.add(endpoint)
+            else:
+                self._down.discard(endpoint)
+
+    def is_down(self, endpoint: str) -> bool:
+        with self._mutex:
+            return endpoint in self._down
 
     def fail_next(self, endpoint: str, count: int = 1) -> None:
         """Force the next *count* sends to this endpoint to fail."""
-        self._fail_next[endpoint] = self._fail_next.get(endpoint, 0) + count
+        with self._mutex:
+            self._fail_next[endpoint] = \
+                self._fail_next.get(endpoint, 0) + count
 
     # -- sending ----------------------------------------------------------------------
 
@@ -85,43 +117,55 @@ class Network:
              on_delivered: OnDelivered | None = None,
              on_failed: OnFailed | None = None) -> None:
         """Queue a delivery; outcome is decided when it comes due."""
-        self.sent += 1
         due = self.clock.now() + self.latency
-        heapq.heappush(self._in_flight,
-                       _InFlight(due, next(self._order), envelope, endpoint,
-                                 source, on_delivered, on_failed))
+        with self._mutex:
+            self.sent += 1
+            heapq.heappush(self._in_flight,
+                           _InFlight(due, next(self._order), envelope,
+                                     endpoint, source, on_delivered,
+                                     on_failed))
 
     def pump(self, now: float | None = None) -> int:
         """Deliver (or fail) every due in-flight message; returns count."""
         now = self.clock.now() if now is None else now
         handled = 0
-        while self._in_flight and self._in_flight[0].due <= now:
-            entry = heapq.heappop(self._in_flight)
+        while True:
+            with self._mutex:
+                if not self._in_flight or self._in_flight[0].due > now:
+                    return handled
+                entry = heapq.heappop(self._in_flight)
             handled += 1
             self._complete(entry)
-        return handled
 
     def pending(self) -> int:
-        return len(self._in_flight)
+        with self._mutex:
+            return len(self._in_flight)
+
+    def next_due(self) -> float | None:
+        """Due time of the earliest in-flight delivery, if any."""
+        with self._mutex:
+            return self._in_flight[0].due if self._in_flight else None
 
     def _complete(self, entry: _InFlight) -> None:
         endpoint = entry.endpoint
-        if self._fail_next.get(endpoint, 0) > 0:
-            self._fail_next[endpoint] -= 1
-            self._fail(entry, "deliveryTimeout")
+        with self._mutex:
+            if self._fail_next.get(endpoint, 0) > 0:
+                self._fail_next[endpoint] -= 1
+                marker, handler = "deliveryTimeout", None
+            elif endpoint in self._down or endpoint not in self._handlers:
+                marker, handler = "disconnectedTransport", None
+            elif self.drop_rate and self._random.random() < self.drop_rate:
+                marker, handler = "deliveryTimeout", None
+            else:
+                marker, handler = None, self._handlers[endpoint]
+            if marker is None:
+                self.delivered += 1
+            else:
+                self.failed += 1
+        if marker is not None:
+            if entry.on_failed is not None:
+                entry.on_failed(marker)
             return
-        if endpoint in self._down or endpoint not in self._handlers:
-            self._fail(entry, "disconnectedTransport")
-            return
-        if self.drop_rate and self._random.random() < self.drop_rate:
-            self._fail(entry, "deliveryTimeout")
-            return
-        self._handlers[endpoint](entry.envelope, entry.source)
-        self.delivered += 1
+        handler(entry.envelope, entry.source)
         if entry.on_delivered is not None:
             entry.on_delivered()
-
-    def _fail(self, entry: _InFlight, marker: str) -> None:
-        self.failed += 1
-        if entry.on_failed is not None:
-            entry.on_failed(marker)

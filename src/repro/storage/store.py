@@ -313,6 +313,20 @@ class MessageStore:
             out.sort(key=lambda m: m.seqno)
             return out
 
+    def export_queue_messages(self, queue: str
+                              ) -> list[tuple[StoredMessage, bytes]]:
+        """Handoff read for rebalancing: (catalog entry, body bytes) of
+        every live message of *queue*, in arrival order, under one latch
+        so a migrator sees a consistent cut of the queue.
+        """
+        with self._mutex:
+            out = []
+            for _, msg_id in self._queue_index.prefix_items((queue,)):
+                meta = self._catalog.get(msg_id)
+                if meta is not None:
+                    out.append((meta, self.heap.fetch(RID(*meta.rid))))
+            return out
+
     def unprocessed_messages(self) -> list[StoredMessage]:
         with self._mutex:
             out = [m for m in self._catalog.values() if not m.processed]

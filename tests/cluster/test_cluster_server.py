@@ -1,0 +1,102 @@
+"""The ClusterServer facade: sharded runs match single-server results."""
+
+from repro import ClusterServer, DemaqServer
+from repro.workloads import procurement_application, request_stream
+from tests.integration.test_paper_examples import PROCUREMENT, offer_request
+
+REQUESTS = 12
+
+
+def test_sharded_procurement_matches_single_server():
+    app = procurement_application()
+    single = DemaqServer(app)
+    cluster = ClusterServer(app, nodes=4)
+    for _, _, body in request_stream(REQUESTS):
+        single.enqueue("crm", body)
+        cluster.enqueue("crm", body)
+    single.run_until_idle()
+    cluster.run_until_idle()
+    for queue in ("crm", "finance", "legal", "customer"):
+        assert sorted(cluster.queue_texts(queue)) == \
+            sorted(single.queue_texts(queue)), queue
+    assert cluster.messages_processed() == \
+        single.executor.stats.messages_processed
+    assert cluster.unhandled_errors == []
+
+
+def test_work_is_actually_sharded():
+    cluster = ClusterServer(procurement_application(), nodes=4)
+    for _, _, body in request_stream(40):
+        cluster.enqueue("crm", body)
+    cluster.run_until_idle()
+    busy = [server for server in cluster.servers.values()
+            if server.executor.stats.messages_processed > 0]
+    assert len(busy) >= 3      # 40 slice keys spread over 4 nodes
+
+
+def test_paper_examples_on_a_sharded_cluster():
+    cluster = ClusterServer(PROCUREMENT, nodes=3)
+    cluster.enqueue("crm", offer_request("rA", "good"))
+    cluster.enqueue("crm", offer_request("rB", "good"))
+    cluster.enqueue("crm", offer_request("rC", "good", restricted=True))
+    cluster.run_until_idle()
+    offers = sorted(t for t in cluster.queue_texts("customer")
+                    if "offer" in t)
+    assert offers == ["<offer><requestID>rA</requestID></offer>",
+                      "<offer><requestID>rB</requestID></offer>"]
+    refusals = [t for t in cluster.queue_texts("customer")
+                if "refusal" in t]
+    assert refusals == ["<refusal><requestID>rC</requestID></refusal>"]
+
+
+def test_echo_timers_fire_cluster_wide():
+    cluster = ClusterServer(PROCUREMENT, nodes=3)
+    cluster.enqueue("invoices",
+                    "<invoice><requestID>inv-1</requestID>"
+                    "<customerID>c</customerID></invoice>")
+    cluster.enqueue("echoQueue",
+                    "<timeoutNotification><requestID>inv-1</requestID>"
+                    "</timeoutNotification>",
+                    properties={"timeout": 3600, "target": "finance"})
+    cluster.run_until_idle()
+    assert [t for t in cluster.queue_texts("customer")
+            if "reminder" in t] == []
+    cluster.advance_time(3601)
+    reminders = [t for t in cluster.queue_texts("customer")
+                 if "reminder" in t]
+    assert reminders == \
+        ["<reminder><requestID>inv-1</requestID></reminder>"]
+
+
+def test_hot_slice_skew_is_observable():
+    cluster = ClusterServer(PROCUREMENT, nodes=4)
+    for _ in range(12):   # one hot request slice: all traffic on one owner
+        cluster.enqueue("crm", offer_request("hot", "whale"))
+    cluster.run_until_idle()
+    depths = cluster.shard_depths("crm")
+    assert sum(depths.values()) >= 12
+    assert sum(1 for depth in depths.values() if depth > 0) == 1
+
+
+def test_garbage_collection_across_nodes():
+    cluster = ClusterServer(PROCUREMENT, nodes=3)
+    cluster.enqueue("crm", offer_request("r1", "good"))
+    cluster.run_until_idle()
+    assert cluster.collect_garbage() > 0
+
+
+def test_collections_are_replicated():
+    source = PROCUREMENT + ";\ncreate collection suppliers"
+    cluster = ClusterServer(source, nodes=2)
+    cluster.load_collection("suppliers", ["<supplier>acme</supplier>"])
+    for server in cluster.servers.values():
+        assert len(server.collection_documents("suppliers")) == 1
+
+
+def test_context_manager_closes_all_nodes(tmp_path):
+    with ClusterServer(PROCUREMENT, nodes=2,
+                       data_dir=str(tmp_path)) as cluster:
+        cluster.enqueue("crm", offer_request("r1", "good"))
+        cluster.run_until_idle()
+        assert (tmp_path / "node0").exists()
+        assert (tmp_path / "node1").exists()

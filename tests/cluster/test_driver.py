@@ -1,0 +1,146 @@
+"""The concurrent driver must match serial ``run_cluster`` results.
+
+The acceptance bar: on the paper-example scenarios, queue contents after
+the concurrent driver are byte-identical to those after the serial
+round-robin stepper.
+"""
+
+import pytest
+
+from repro import DemaqServer, Network, run_cluster
+from repro.cluster import ClusterDriver, run_cluster_concurrent
+from repro.engine.errors import EngineError
+from repro.queues import VirtualClock
+from tests.integration.test_paper_examples import PROCUREMENT, offer_request
+
+
+def paper_scenarios(server):
+    """The integration-test stimuli, replayed onto one server."""
+    server.enqueue("crm", offer_request("r1", "good"))
+    server.enqueue("crm", offer_request("r2", "good", restricted=True))
+    server.enqueue("invoices",
+                   "<invoice><requestID>x</requestID>"
+                   "<customerID>debtor</customerID></invoice>")
+    server.enqueue("crm", offer_request("r3", "debtor"))
+    server.enqueue("crm",
+                   "<customerOrder><orderID>7</orderID></customerOrder>")
+    server.enqueue("echoQueue",
+                   "<timeoutNotification><requestID>inv-1</requestID>"
+                   "</timeoutNotification>",
+                   properties={"timeout": 3600, "target": "finance"})
+
+
+def contents(server):
+    return {queue: server.queue_texts(queue) for queue in server.app.queues}
+
+
+def test_concurrent_driver_matches_serial_on_paper_examples():
+    serial = DemaqServer(PROCUREMENT)
+    paper_scenarios(serial)
+    run_cluster([serial])
+    serial.advance_time(3601)
+    run_cluster([serial])
+
+    concurrent = DemaqServer(PROCUREMENT)
+    paper_scenarios(concurrent)
+    driver = ClusterDriver([concurrent])
+    driver.run_until_idle()
+    driver.advance_time(3601)
+
+    assert contents(concurrent) == contents(serial)
+    assert concurrent.scheduler.backlog() == 0
+    assert concurrent.unhandled_errors == []
+
+
+SENDER = """
+create queue work kind basic mode persistent;
+create queue toRemote kind outgoingGateway mode persistent
+    endpoint "demaq://remote/inbox";
+create queue netErrors kind basic mode persistent;
+create errorqueue netErrors;
+create rule fwd for work
+    if (//job) then do enqueue <job id="{string(//job/@id)}"/> into toRemote
+"""
+
+RECEIVER = """
+create queue inbox kind incomingGateway mode persistent
+    endpoint "demaq://remote/inbox";
+create queue done kind basic mode persistent;
+create rule handle for inbox
+    if (//job) then do enqueue <ack id="{string(//job/@id)}"/> into done
+"""
+
+
+def gateway_pair():
+    clock = VirtualClock()
+    network = Network(clock)
+    sender = DemaqServer(SENDER, clock=clock, network=network, name="local")
+    receiver = DemaqServer(RECEIVER, clock=clock, network=network,
+                           name="remote")
+    return sender, receiver
+
+
+def test_concurrent_driver_matches_serial_across_two_nodes():
+    serial_sender, serial_receiver = gateway_pair()
+    for index in range(10):
+        serial_sender.enqueue("work", f'<job id="{index}"/>')
+    run_cluster([serial_sender, serial_receiver])
+
+    sender, receiver = gateway_pair()
+    for index in range(10):
+        sender.enqueue("work", f'<job id="{index}"/>')
+    run_cluster_concurrent([sender, receiver])
+
+    assert contents(receiver) == contents(serial_receiver)
+    assert contents(sender) == contents(serial_sender)
+
+
+def test_driver_counts_steps_and_rounds():
+    sender, receiver = gateway_pair()
+    sender.enqueue("work", '<job id="1"/>')
+    driver = ClusterDriver([sender, receiver])
+    steps = driver.run_until_idle()
+    assert steps > 0
+    assert driver.stats.rounds >= 2       # work round + quiescence round
+    assert driver.stats.deliveries == 1
+    # an idle cluster quiesces immediately
+    assert driver.run_until_idle() == 0
+
+
+def test_driver_propagates_node_failures():
+    server = DemaqServer(SENDER)
+
+    def boom():
+        raise RuntimeError("node crashed")
+
+    server.step_local = boom
+    with pytest.raises(RuntimeError, match="node crashed"):
+        ClusterDriver([server]).run_until_idle()
+
+
+def test_driver_round_limit():
+    sender, receiver = gateway_pair()
+    sender.enqueue("work", '<job id="1"/>')
+    with pytest.raises(EngineError, match="did not quiesce"):
+        ClusterDriver([sender, receiver]).run_until_idle(max_rounds=1)
+
+
+def test_driver_needs_servers():
+    with pytest.raises(ValueError):
+        ClusterDriver([])
+
+
+def test_real_time_waits_do_not_count_toward_round_limit():
+    from repro.queues import RealClock
+
+    clock = RealClock()
+    network = Network(clock, latency=0.3)
+    sender = DemaqServer(SENDER, clock=clock, network=network, name="local")
+    receiver = DemaqServer(RECEIVER, clock=clock, network=network,
+                           name="remote")
+    sender.enqueue("work", '<job id="rt"/>')
+    driver = ClusterDriver([sender, receiver], real_time=True)
+    # 0.3s of wall-clock latency means many idle polls; they must not
+    # trip the round limit while the cluster is legitimately waiting
+    driver.run_until_idle(max_rounds=25)
+    assert receiver.queue_texts("done") == ['<ack id="rt"/>']

@@ -1,0 +1,78 @@
+"""Membership changes and the rebalance plans they produce."""
+
+import pytest
+
+from repro.cluster.membership import (ClusterMembership, partitioned_queues,
+                                      sliced_queues)
+from repro.qdl import compile_application
+
+APP_SOURCE = """
+create queue orders kind basic mode persistent;
+create queue invoices kind basic mode persistent;
+create queue intake kind incomingGateway mode persistent
+    endpoint "demaq://cluster/intake";
+create property customer as xs:string fixed
+    queue orders value //customerID;
+create slicing byCustomer on customer;
+create rule noop for orders if (false()) then ()
+"""
+
+
+@pytest.fixture()
+def app():
+    return compile_application(APP_SOURCE)
+
+
+def test_partition_catalog(app):
+    assert partitioned_queues(app) == ["intake", "invoices", "orders"]
+    # only basic queues with a slicing are key-partitioned
+    assert sliced_queues(app) == {"orders"}
+
+
+def test_owner_map_excludes_sliced_queues(app):
+    membership = ClusterMembership(app, ["a", "b"])
+    owners = membership.owner_map()
+    assert set(owners) == {"intake", "invoices"}
+    assert all(owner in ("a", "b") for owner in owners.values())
+
+
+def test_join_bumps_epoch_and_is_deterministic(app):
+    one = ClusterMembership(app, ["a", "b"])
+    two = ClusterMembership(app, ["a", "b"])
+    plan_one = one.join("c")
+    plan_two = two.join("c")
+    assert one.epoch == two.epoch == 1
+    assert plan_one.moves == plan_two.moves
+    assert plan_one.rescans == ["orders"]
+    assert plan_one.joined == ("c",)
+
+
+def test_join_moves_only_target_new_node(app):
+    membership = ClusterMembership(app, ["a", "b"])
+    plan = membership.join("c")
+    for move in plan.moves:
+        assert move.target == "c"
+        assert move.source in ("a", "b")
+
+
+def test_leave_moves_only_come_from_departed(app):
+    membership = ClusterMembership(app, ["a", "b", "c"])
+    owned_by_c = [queue for queue, owner in membership.owner_map().items()
+                  if owner == "c"]
+    plan = membership.leave("c")
+    assert sorted(move.queue for move in plan.moves) == sorted(owned_by_c)
+    assert all(move.source == "c" for move in plan.moves)
+    assert "c" not in membership.nodes
+
+
+def test_cannot_remove_last_node(app):
+    membership = ClusterMembership(app, ["only"])
+    with pytest.raises(ValueError):
+        membership.leave("only")
+
+
+def test_duplicate_nodes_rejected(app):
+    with pytest.raises(ValueError):
+        ClusterMembership(app, ["a", "a"])
+    with pytest.raises(ValueError):
+        ClusterMembership(app, [])

@@ -1,0 +1,91 @@
+"""Ring distribution, balance, stability, and preference properties."""
+
+import pytest
+
+from repro.cluster.partitioner import HashRing, partition_key
+
+NODES = ["alpha", "beta", "gamma", "delta"]
+
+
+def keys(count):
+    return [partition_key("orders", f"cust-{i}") for i in range(count)]
+
+
+def test_deterministic_across_instances():
+    one = HashRing(NODES)
+    two = HashRing(reversed(NODES))   # construction order must not matter
+    for key in keys(500):
+        assert one.owner_of_key(key) == two.owner_of_key(key)
+
+
+def test_every_node_gets_load():
+    ring = HashRing(NODES)
+    counts = ring.load_distribution(keys(2000))
+    assert set(counts) == set(NODES)
+    assert all(count > 0 for count in counts.values())
+
+
+def test_balance_within_tolerance():
+    ring = HashRing(NODES, replicas=128)
+    counts = ring.load_distribution(keys(8000))
+    expected = 8000 / len(NODES)
+    for node, count in counts.items():
+        assert count == pytest.approx(expected, rel=0.5), (node, counts)
+
+
+def test_unsliced_queue_has_single_owner():
+    ring = HashRing(NODES)
+    assert ring.owner("invoices") == ring.owner("invoices")
+    assert ring.owner("invoices") in NODES
+
+
+def test_same_slice_key_same_owner_different_keys_spread():
+    ring = HashRing(NODES)
+    assert ring.owner("orders", "cust-1") == ring.owner("orders", "cust-1")
+    owners = {ring.owner("orders", f"cust-{i}") for i in range(200)}
+    assert owners == set(NODES)
+
+
+def test_removal_only_moves_departed_nodes_keys():
+    ring = HashRing(NODES)
+    before = {key: ring.owner_of_key(key) for key in keys(2000)}
+    ring.remove_node("beta")
+    for key, owner in before.items():
+        if owner == "beta":
+            assert ring.owner_of_key(key) != "beta"
+        else:
+            assert ring.owner_of_key(key) == owner
+
+
+def test_join_only_steals_keys():
+    ring = HashRing(NODES)
+    before = {key: ring.owner_of_key(key) for key in keys(2000)}
+    ring.add_node("epsilon")
+    moved = 0
+    for key, owner in before.items():
+        now = ring.owner_of_key(key)
+        if now != owner:
+            assert now == "epsilon"   # moves only go TO the new node
+            moved += 1
+    assert 0 < moved < 2000 * 0.6     # roughly 1/5 expected
+
+
+def test_preference_list_distinct_and_owner_first():
+    ring = HashRing(NODES)
+    prefs = ring.preference_list("orders", "cust-7")
+    assert prefs[0] == ring.owner("orders", "cust-7")
+    assert sorted(prefs) == sorted(NODES)   # all nodes, no duplicates
+    assert ring.preference_list("orders", "cust-7", count=2) == prefs[:2]
+
+
+def test_duplicate_and_missing_nodes_rejected():
+    ring = HashRing(["solo"])
+    with pytest.raises(ValueError):
+        ring.add_node("solo")
+    with pytest.raises(ValueError):
+        ring.remove_node("ghost")
+
+
+def test_empty_ring_lookup_fails():
+    with pytest.raises(LookupError):
+        HashRing([]).owner("anything")

@@ -1,0 +1,250 @@
+"""Message migration on membership changes."""
+
+import pytest
+
+from repro import ClusterServer
+
+APP = """
+create queue jobs kind basic mode persistent;
+create queue ledger kind basic mode persistent;
+create queue results kind basic mode persistent;
+create property customer as xs:string fixed
+    queue ledger value //customerID;
+create slicing byCustomer on customer;
+create rule work for jobs
+    if (//job) then do enqueue <done id="{string(//job/@id)}"/> into results
+"""
+
+
+def fill(cluster, jobs=12, entries=24):
+    for index in range(jobs):
+        cluster.enqueue("jobs", f'<job id="{index}"/>')
+    for index in range(entries):
+        cluster.enqueue("ledger",
+                        f"<entry><customerID>c{index % 8}</customerID>"
+                        f"<n>{index}</n></entry>")
+    cluster.run_until_idle()
+
+
+def test_join_migrates_and_preserves_contents():
+    cluster = ClusterServer(APP, nodes=2)
+    fill(cluster)
+    before = {queue: sorted(cluster.queue_texts(queue))
+              for queue in cluster.app.queues}
+    plan, report = cluster.add_node()
+    assert plan.epoch == 1
+    after = {queue: sorted(cluster.queue_texts(queue))
+             for queue in cluster.app.queues}
+    assert after == before
+    # sliced messages now respect the 3-node ring
+    for name, server in cluster.servers.items():
+        for message in server.live_messages("ledger"):
+            key = str(message.property("customer"))
+            assert cluster.membership.owner_for("ledger", key) == name
+
+
+def test_leave_drains_everything_and_loses_nothing():
+    cluster = ClusterServer(APP, nodes=3)
+    fill(cluster)
+    before = {queue: sorted(cluster.queue_texts(queue))
+              for queue in cluster.app.queues}
+    victim = cluster.node_names[0]
+    plan, report = cluster.remove_node(victim)
+    assert victim not in cluster.node_names
+    assert report.total_moved > 0
+    after = {queue: sorted(cluster.queue_texts(queue))
+             for queue in cluster.app.queues}
+    assert after == before
+
+
+def test_unprocessed_messages_resume_on_new_owner():
+    cluster = ClusterServer(APP, nodes=2)
+    # park unprocessed work: enqueue without running the driver
+    for index in range(10):
+        cluster.enqueue("jobs", f'<job id="{index}"/>')
+    cluster.network.pump()          # deliver enqueues, no rule processing
+    assert cluster.queue_depth("jobs") == 10
+    assert cluster.queue_depth("results") == 0
+
+    owner = cluster.router.owner_of("jobs")
+    other = next(name for name in cluster.node_names if name != owner)
+    plan, report = cluster.remove_node(owner)
+    assert report.moved_by_queue.get("jobs") == 10
+    cluster.run_until_idle()
+    assert sorted(cluster.queue_texts("results")) == sorted(
+        f'<done id="{index}"/>' for index in range(10))
+    # jobs plus their <done/> results were all processed on the survivor
+    assert cluster.node(other).executor.stats.messages_processed == 20
+
+
+def test_processed_flag_survives_migration():
+    cluster = ClusterServer(APP, nodes=2)
+    fill(cluster, jobs=4, entries=0)
+    processed_before = sum(
+        1 for message in cluster.live_messages("jobs") if message.processed)
+    assert processed_before == 4
+    cluster.add_node()
+    cluster.run_until_idle()
+    processed_after = sum(
+        1 for message in cluster.live_messages("jobs") if message.processed)
+    assert processed_after == 4
+    # nothing was re-processed after the move
+    assert sorted(cluster.queue_texts("results")) == sorted(
+        f'<done id="{index}"/>' for index in range(4))
+
+
+def test_new_traffic_routes_to_post_rebalance_owner():
+    cluster = ClusterServer(APP, nodes=2)
+    fill(cluster, jobs=2, entries=0)
+    cluster.add_node()
+    owner = cluster.enqueue("jobs", '<job id="late"/>')
+    cluster.run_until_idle()
+    assert owner == cluster.membership.ring.owner("jobs")
+    assert '<job id="late"/>' in cluster.node(owner).queue_texts("jobs")
+
+
+TYPED_KEY_APP = """
+create queue ledger kind basic mode persistent;
+create property account as xs:integer fixed
+    queue ledger value //accountID;
+create slicing byAccount on account;
+create rule keep for ledger if (false()) then ()
+"""
+
+
+def test_router_and_rebalance_agree_on_typed_keys():
+    # the router hashes the *cast* key (007 -> 7), matching what the
+    # owner resolves and what the rebalancer later reads back
+    cluster = ClusterServer(TYPED_KEY_APP, nodes=2)
+    for index in range(1, 21):
+        cluster.enqueue("ledger",
+                        f"<entry><accountID>{index:03d}</accountID></entry>")
+    cluster.run_until_idle()
+    cluster.add_node()
+    # repeat traffic for the same accounts, zero-padded lexical form
+    for index in range(1, 21):
+        cluster.enqueue("ledger",
+                        f"<entry><accountID>{index:03d}</accountID></entry>")
+    cluster.run_until_idle()
+    assert cluster.queue_depth("ledger") == 40
+    for name, server in cluster.servers.items():
+        for message in server.live_messages("ledger"):
+            key = str(message.property("account"))
+            assert cluster.membership.owner_for("ledger", key) == name
+
+
+ECHO_APP = """
+create queue echoQueue kind echo mode persistent;
+create queue inbox kind basic mode persistent;
+create queue outbox kind basic mode persistent;
+create rule relay for inbox
+    if (//tick) then do enqueue <tock/> into outbox
+"""
+
+
+def test_echo_timer_keeps_remaining_timeout_across_migration():
+    cluster = ClusterServer(ECHO_APP, nodes=2)
+    cluster.enqueue("echoQueue", "<tick/>",
+                    properties={"timeout": 100, "target": "inbox"})
+    cluster.run_until_idle()
+    cluster.advance_time(70)                     # 30s left on the timer
+    holder = next(name for name, server in cluster.servers.items()
+                  if server.store.queue_depth("echoQueue") > 0)
+    cluster.remove_node(holder)                  # drain migrates the echo
+    assert cluster.advance_time(29) == 0         # not due yet
+    assert cluster.queue_texts("outbox") == []
+    cluster.advance_time(2)                      # 101s total, not 170
+    assert cluster.queue_texts("outbox") == ["<tock/>"]
+
+
+RESET_APP = """
+create queue tickets kind basic mode persistent;
+create property customer as xs:string fixed
+    queue tickets value //customerID;
+create slicing byCustomer on customer;
+create rule closeOut for byCustomer
+    if (qs:slice()[/close]) then do reset
+"""
+
+
+def test_reset_slice_generations_do_not_resurrect_after_migration():
+    cluster = ClusterServer(RESET_APP, nodes=2)
+    cluster.enqueue("tickets",
+                    "<open><customerID>alice</customerID></open>")
+    cluster.enqueue("tickets",
+                    "<close><customerID>alice</customerID></close>")
+    cluster.run_until_idle()
+    holder = next(name for name, server in cluster.servers.items()
+                  if server.store.queue_depth("tickets") > 0)
+    assert cluster.node(holder).slice_live_messages(
+        "byCustomer", "alice") == []        # reset emptied the slice
+    cluster.add_node()
+    cluster.remove_node(holder)             # force the slice to move
+    for server in cluster.servers.values():
+        assert server.slice_live_messages("byCustomer", "alice") == []
+    # the dead generation stays garbage-collectable after the move
+    assert cluster.collect_garbage() == 2
+
+
+ECHO_PAIR_APP = """
+create queue echoQueue kind echo mode persistent;
+create queue inbox kind basic mode persistent;
+create queue audit kind basic mode persistent;
+create property customer as xs:string fixed
+    queue inbox value //customerID;
+create slicing byCustomer on customer;
+create rule pair for byCustomer
+    if (count(qs:slice()) = 2 and not(qs:slice()[/paired])) then
+        do enqueue <paired>{string(qs:slicekey())}</paired> into inbox
+"""
+
+
+def test_drained_echo_messages_follow_their_target_shard():
+    cluster = ClusterServer(ECHO_PAIR_APP, nodes=3)
+    cluster.enqueue("inbox", "<msg><customerID>c0</customerID></msg>")
+    cluster.enqueue("echoQueue", "<msg><customerID>c0</customerID></msg>",
+                    properties={"timeout": 50, "target": "inbox"})
+    cluster.run_until_idle()
+    holder = next(name for name, server in cluster.servers.items()
+                  if server.echo.pending_count() > 0)
+    cluster.remove_node(holder)     # echo must land on inbox's c0 shard
+    cluster.advance_time(51)
+    assert [t for t in cluster.queue_texts("inbox") if "paired" in t] == \
+        ["<paired>c0</paired>"]
+
+
+GATEWAY_APP = """
+create queue intake kind incomingGateway mode persistent
+    endpoint "demaq://edge/intake";
+create queue results kind basic mode persistent;
+create rule handle for intake
+    if (//job) then do enqueue <ack id="{string(//job/@id)}"/> into results
+"""
+
+
+def test_gateway_endpoint_follows_owner():
+    cluster = ClusterServer(GATEWAY_APP, nodes=2)
+    from repro.network import build_envelope
+    from repro.xmldm import parse
+
+    def send(job_id):
+        cluster.network.send("demaq://edge/intake",
+                             build_envelope(parse(f'<job id="{job_id}"/>'),
+                                            {}),
+                             source="demaq://outside")
+        cluster.run_until_idle()
+
+    send(1)
+    owner_before = cluster.membership.ring.owner("intake")
+    # force enough joins that the gateway eventually changes owner
+    moved = False
+    for _ in range(4):
+        plan, _report = cluster.add_node()
+        if any(move.queue == "intake" for move in plan.moves):
+            moved = True
+            break
+    send(2)
+    assert sorted(cluster.queue_texts("results")) == [
+        '<ack id="1"/>', '<ack id="2"/>']
+    if moved:
+        assert cluster.membership.ring.owner("intake") != owner_before

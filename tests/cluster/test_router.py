@@ -1,0 +1,112 @@
+"""Router forwarding, slice-key routing, and failover to error queues."""
+
+import pytest
+
+from repro import ClusterServer
+from repro.network.transport import node_endpoint
+
+APP = """
+create queue jobs kind basic mode persistent;
+create queue ledger kind basic mode persistent;
+create queue results kind basic mode persistent;
+create queue deadLetters kind basic mode persistent;
+create errorqueue deadLetters;
+create property customer as xs:string fixed
+    queue ledger value //customerID;
+create slicing byCustomer on customer;
+create rule work for jobs
+    if (//job) then do enqueue <done id="{string(//job/@id)}"/> into results
+"""
+
+
+@pytest.fixture()
+def cluster():
+    return ClusterServer(APP, nodes=3)
+
+
+def test_unsliced_enqueue_lands_on_owner(cluster):
+    owner = cluster.enqueue("jobs", '<job id="1"/>')
+    cluster.run_until_idle()
+    assert owner == cluster.router.owner_of("jobs")
+    assert cluster.node(owner).queue_texts("jobs") == ['<job id="1"/>']
+    for name in cluster.node_names:
+        if name != owner:
+            assert cluster.node(name).queue_texts("jobs") == []
+
+
+def test_sliced_enqueue_partitions_by_key(cluster):
+    for index in range(60):
+        cluster.enqueue("ledger",
+                        f"<entry><customerID>c{index % 12}</customerID>"
+                        f"<n>{index}</n></entry>")
+    cluster.run_until_idle()
+    depths = cluster.shard_depths("ledger")
+    assert sum(depths.values()) == 60
+    assert sum(1 for depth in depths.values() if depth > 0) >= 2
+    # all entries of one customer are co-located
+    for name, server in cluster.servers.items():
+        customers = {message.property("customer")
+                     for message in server.live_messages("ledger")}
+        for other, other_server in cluster.servers.items():
+            if other == name:
+                continue
+            other_customers = {
+                message.property("customer")
+                for message in other_server.live_messages("ledger")}
+            assert not (customers & other_customers)
+
+
+def test_rule_output_is_node_local(cluster):
+    owner = cluster.enqueue("jobs", '<job id="9"/>')
+    cluster.run_until_idle()
+    assert cluster.node(owner).queue_texts("results") == ['<done id="9"/>']
+
+
+def test_owner_down_falls_back_to_error_queue(cluster):
+    owner = cluster.router.owner_of("jobs")
+    cluster.network.set_down(node_endpoint(owner, "jobs"))
+    cluster.enqueue("jobs", '<job id="13"/>')
+    cluster.run_until_idle()
+    dead = cluster.queue_texts("deadLetters")
+    assert len(dead) == 1
+    assert "<networkError/>" in dead[0]
+    assert "<disconnectedTransport/>" in dead[0]
+    assert '<job id="13"/>' in dead[0]           # initial message attached
+    assert cluster.router.stats.failovers == 1
+    # the error landed on a live node, not the downed owner
+    assert cluster.node(owner).queue_texts("deadLetters") == []
+
+
+def test_error_fallback_without_error_queue_collects(cluster):
+    source = APP.replace("create errorqueue deadLetters;", "")
+    bare = ClusterServer(source, nodes=2)
+    owner = bare.router.owner_of("jobs")
+    bare.network.set_down(node_endpoint(owner, "jobs"))
+    bare.enqueue("jobs", '<job id="1"/>')
+    bare.run_until_idle()
+    assert len(bare.router.undeliverable) == 1
+    assert bare.unhandled_errors  # surfaced on the facade too
+
+
+def test_unknown_queue_rejected(cluster):
+    from repro.engine.errors import EngineError
+    with pytest.raises(EngineError):
+        cluster.enqueue("nope", "<x/>")
+
+
+def test_direct_mode_skips_the_network(cluster):
+    direct = ClusterServer(APP, nodes=3, via_network=False)
+    sent_before = direct.network.sent
+    direct.enqueue("jobs", '<job id="2"/>')
+    assert direct.network.sent == sent_before
+    direct.run_until_idle()
+    assert direct.queue_texts("results") == ['<done id="2"/>']
+
+
+def test_router_properties_survive_forwarding(cluster):
+    cluster.enqueue("jobs", '<job id="5"/>', properties={"origin": "edge-7"})
+    cluster.run_until_idle()
+    [message] = cluster.live_messages("jobs")
+    assert message.property("origin") == "edge-7"
+    # transport source is stamped by the receiving node
+    assert message.property("Sender") == "demaq://router"
