@@ -13,7 +13,7 @@ output.
 
 import pytest
 
-from conftest import timed
+from conftest import scaled, shape, timed
 
 from repro import ClusterServer, DemaqServer
 
@@ -32,8 +32,8 @@ create rule matchPayment for payments
         do enqueue <audited kind="orphan">{//orderID}</audited> into audit
 """
 
-MESSAGES = 240
-CUSTOMERS = 40
+MESSAGES = scaled(240, smoke_size=60)
+CUSTOMERS = scaled(40, smoke_size=10)
 
 
 def workload():
@@ -82,12 +82,14 @@ def test_cluster_scaling_beats_single_server(report):
         assert audit == base_audit
 
     # 1 node through the cluster machinery costs < 50% overhead
-    assert rates[1] >= (MESSAGES / base_seconds) / 1.5
+    shape(rates[1] >= (MESSAGES / base_seconds) / 1.5,
+          "cluster-of-1 overhead above 50%")
     # the headline claim: 4 sharded nodes >= 1.5x one server
     speedup = rates[4] / (MESSAGES / base_seconds)
-    assert speedup >= 1.5, f"4-node speedup only {speedup:.2f}x"
+    shape(speedup >= 1.5, f"4-node speedup only {speedup:.2f}x")
     # and scaling is monotone
-    assert rates[4] > rates[2] > rates[1] * 0.9
+    shape(rates[4] > rates[2] > rates[1] * 0.9,
+          "scaling not monotone across 1/2/4 nodes")
 
 
 @pytest.mark.bench
@@ -102,5 +104,7 @@ def test_sharding_balances_queue_depth(report):
     assert sum(depths.values()) == sum(
         1 for queue, _ in workload() if queue == "orders")
     # every node carries a share, and no node carries a majority
-    assert all(depth > 0 for depth in depths.values())
-    assert max(depths.values()) < 0.75 * sum(depths.values())
+    shape(all(depth > 0 for depth in depths.values()),
+          "a node carries no shard at all")
+    shape(max(depths.values()) < 0.75 * sum(depths.values()),
+          "one node carries a majority of the queue")

@@ -13,10 +13,10 @@ delete logging (conventional) vs retention-derived deletion.
 
 import pytest
 
-from conftest import timed
+from conftest import scaled, timed
 from repro.storage import MessageStore
 
-MESSAGES = 600
+MESSAGES = scaled(600)
 
 
 def run_workload(store: MessageStore) -> None:

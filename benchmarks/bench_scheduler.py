@@ -8,6 +8,7 @@ messages under a pre-existing low-priority backlog.
 
 import pytest
 
+from conftest import scaled
 from repro import DemaqServer
 
 APP = """
@@ -20,7 +21,7 @@ create rule ru for urgent
     if (//m) then do enqueue <done q="urgent"/> into log
 """
 
-BULK = 200
+BULK = scaled(200, smoke_size=40)
 URGENT = 10
 
 

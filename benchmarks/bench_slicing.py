@@ -9,7 +9,7 @@ must grow with the total number of stored messages.
 
 import pytest
 
-from conftest import timed
+from conftest import scaled, shape, timed
 from repro.storage import MessageStore
 
 KEYS = 20
@@ -37,26 +37,28 @@ def lookup_all_keys(store, accessor):
 @pytest.mark.benchmark(group="E1-slicing-2000")
 @pytest.mark.parametrize("strategy", ["materialized", "scan"])
 def test_slice_access_2000(benchmark, strategy):
-    store = build_store(2000)
+    total = scaled(2000)
+    store = build_store(total)
     accessor = (store.slice_messages if strategy == "materialized"
                 else store.slice_messages_scan)
     result = benchmark(lookup_all_keys, store, accessor)
-    assert result == 2000
+    assert result == total
 
 
 @pytest.mark.benchmark(group="E1-slicing-8000")
 @pytest.mark.parametrize("strategy", ["materialized", "scan"])
 def test_slice_access_8000(benchmark, strategy):
-    store = build_store(8000)
+    total = scaled(8000)
+    store = build_store(total)
     accessor = (store.slice_messages if strategy == "materialized"
                 else store.slice_messages_scan)
     result = benchmark(lookup_all_keys, store, accessor)
-    assert result == 8000
+    assert result == total
 
 
 def test_shape_materialized_wins_and_gap_grows(report):
     rows = []
-    for total in (1000, 4000):
+    for total in (scaled(1000), scaled(4000)):
         store = build_store(total)
         t_index, hits = timed(lookup_all_keys, store, store.slice_messages)
         t_scan, hits_scan = timed(lookup_all_keys, store,
@@ -67,5 +69,5 @@ def test_shape_materialized_wins_and_gap_grows(report):
         report("slice access", messages=total,
                materialized_s=f"{t_index:.5f}", scan_s=f"{t_scan:.5f}",
                speedup=f"{speedup:.1f}x")
-    assert rows[0] > 1.5, "materialized slice index should win"
-    assert rows[1] > rows[0], "gap should grow with store size"
+    shape(rows[0] > 1.5, "materialized slice index should win")
+    shape(rows[1] > rows[0], "gap should grow with store size")

@@ -13,7 +13,7 @@ P apart (worst case for an LRU context cache of fixed size).
 
 import pytest
 
-from conftest import timed
+from conftest import scaled, shape, timed
 from repro import DemaqServer
 from repro.baselines import BPELLikeEngine
 
@@ -71,12 +71,14 @@ def run_bpel(processes: int) -> int:
 @pytest.mark.parametrize("engine", ["demaq", "bpel-like"])
 def test_state_scaling_256_processes(benchmark, engine):
     fn = run_demaq if engine == "demaq" else run_bpel
-    benchmark.pedantic(fn, args=(256,), rounds=2, iterations=1)
+    benchmark.pedantic(fn, args=(scaled(256, smoke_size=32),),
+                       rounds=2, iterations=1)
 
 
 def test_shape_dehydration_costs_grow(report):
     ratios = []
-    for processes in (128, 512):
+    for processes in (scaled(128, smoke_size=24),
+                      scaled(512, smoke_size=96)):
         t_demaq, _ = timed(run_demaq, processes, repeat=1)
         t_bpel, rehydrations = timed(run_bpel, processes, repeat=1)
         per_msg_demaq = t_demaq / (2 * processes)
@@ -88,15 +90,17 @@ def test_shape_dehydration_costs_grow(report):
                rehydrations=rehydrations)
     # Past the resident limit every second message rehydrates: the
     # BPEL-like engine's relative cost must grow with instance count.
-    assert ratios[1] > ratios[0]
+    shape(ratios[1] > ratios[0],
+          "dehydration cost should grow with instance count")
 
 
 def test_shape_dehydration_counts(report):
     def rehydrations(processes):
         return run_bpel(processes)
 
+    over = scaled(8, smoke_size=2)
     small = rehydrations(RESIDENT_CONTEXTS // 2)   # fits: no dehydration
-    large = rehydrations(8 * RESIDENT_CONTEXTS)    # 8x over: thrashing
+    large = rehydrations(over * RESIDENT_CONTEXTS)  # over the limit: thrash
     report("rehydration count", within_limit=small, past_limit=large)
     assert small == 0
-    assert large >= 7 * RESIDENT_CONTEXTS
+    assert large >= (over - 1) * RESIDENT_CONTEXTS

@@ -8,10 +8,11 @@ variant showing the WAL cost.
 
 import pytest
 
+from conftest import scaled
 from repro import DemaqServer
 from repro.workloads import procurement_application, request_stream
 
-REQUESTS = 30
+REQUESTS = scaled(30, smoke_size=6)
 
 
 def drive(server) -> int:

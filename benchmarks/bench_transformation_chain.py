@@ -8,12 +8,12 @@ of the same business logic as the tier count grows, vs the Demaq engine.
 
 import pytest
 
-from conftest import timed
+from conftest import scaled, shape, timed
 from repro import DemaqServer
 from repro.baselines import ImperativePipeline
 from repro.workloads import order_message
 
-MESSAGES = 50
+MESSAGES = scaled(50, smoke_size=10)
 
 DEMAQ_APP = """
 create queue orders kind basic mode persistent;
@@ -70,10 +70,11 @@ def test_shape_cost_grows_with_tiers(report):
     for tiers in (0, 2, 6):
         times[tiers], _ = timed(run_pipeline, tiers, repeat=2)
         report("pipeline", tiers=tiers, seconds=f"{times[tiers]:.4f}")
-    assert times[2] > times[0]
-    assert times[6] > times[2]
+    shape(times[2] > times[0], "2 tiers should cost more than none")
+    shape(times[6] > times[2], "6 tiers should cost more than 2")
     # the 6-tier stack costs a multiple of the direct implementation
-    assert times[6] / times[0] > 1.5
+    shape(times[6] / times[0] > 1.5,
+          "the tier stack should cost a multiple of direct processing")
 
 
 def test_shape_transformation_counts(report):

@@ -24,6 +24,14 @@ one.  Unprocessed arrivals re-enter the target's scheduler, echo timer
 (with *remaining* timeout), and gateway machinery through
 ``DemaqServer.register_unprocessed``; incoming-gateway endpoint
 registrations move with their queue.
+
+Property-value secondary indexes stay consistent across migrations for
+free: every node registers the application's declared indexes at spawn,
+and a migration is an ordinary insert transaction at the target and
+delete transaction at the source — the same committed operations that
+maintain the indexes on any other write.  After any join/leave the
+target's index therefore equals a fresh rebuild from its catalog
+(asserted by tests and ``bench_indexing``).
 """
 
 from __future__ import annotations

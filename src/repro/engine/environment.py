@@ -41,6 +41,25 @@ class RuleEnvironment(Environment):
         self.server.locking.lock_queue_read(self.txn_id, name)
         return [m.body for m in self.server.live_messages(name)]
 
+    def queue_lookup(self, name: str, prop: str, values):
+        """Index-backed equality read over one queue's messages.
+
+        Takes the same read lock as a full ``qs:queue()`` scan — the
+        index is an access path, not a weaker isolation level.
+        """
+        if name not in self.server.app.queues:
+            raise DynamicError(f"qs:queue-index(): unknown queue {name!r}")
+        if not self.server.store.has_property_index(name, prop):
+            # A hand-written qs:queue-index() on an unindexed pair is a
+            # dynamic error like any other, routed to the error queue —
+            # not a storage fault that kills the processing loop.
+            raise DynamicError(
+                f"qs:queue-index(): no index on queue {name!r} "
+                f"property {prop!r}")
+        self.server.locking.lock_queue_read(self.txn_id, name)
+        return [m.body for m in
+                self.server.indexed_live_messages(name, prop, values)]
+
     def slice_messages(self):
         if self.slicing is None:
             raise DynamicError(

@@ -60,7 +60,9 @@ class RuleExecutor:
         message = Message(meta, store)
         queue_def = server.app.queues.get(meta.queue)
         if queue_def is None:
-            return True
+            # A message on an undefined queue must not stay live but
+            # unscheduled forever: escalate per §3.6 and retire it.
+            return self._escalate_stranded(meta, message)
         plan = server.compiled.plan_for(meta.queue)
 
         txn = store.begin()
@@ -94,6 +96,37 @@ class RuleExecutor:
 
         self.stats.messages_processed += 1
         server.after_commit(txn, trigger=message)
+        return True
+
+    def _escalate_stranded(self, meta, message: Message) -> bool:
+        """Retire a message whose queue has no definition (§3.6).
+
+        The error document goes to the application's error queue when
+        one resolves (rule → queue → system escalation finds only the
+        system level here); either way the message is marked processed
+        so it can be garbage-collected instead of sitting in the store
+        forever.  Without an error queue the document surfaces on
+        ``server.unhandled_errors``.
+        """
+        store = self.server.store
+        document = err.build_error_message(
+            err.SYSTEM,
+            f"message {meta.msg_id} arrived on undefined queue "
+            f"{meta.queue!r}",
+            queue=meta.queue, initial_message=message)
+        txn = store.begin()
+        try:
+            self._route_error(txn, document, None, meta.queue)
+            txn.mark_processed(meta.msg_id)
+            store.commit(txn)
+        except (DeadlockError, LockTimeoutError):
+            store.abort(txn)
+            self.stats.deadlock_retries += 1
+            return False
+        finally:
+            self.server.locking.release(txn.txn_id)
+        self.stats.rule_errors += 1
+        self.server.after_commit(txn, trigger=message)
         return True
 
     # -- rule evaluation -------------------------------------------------------------

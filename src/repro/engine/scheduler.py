@@ -31,12 +31,17 @@ class Scheduler:
         self._heap: list[_Entry] = []
         self._enqueued: set[int] = set()
         self._lock = threading.Lock()
+        #: Queue priorities are snapshotted at construction: the engine
+        #: rebuilds the scheduler on (re)deployment, so a heap entry
+        #: never mixes priorities from two application versions.
+        self._priorities: dict[str, int] = {
+            name: queue.priority for name, queue in app.queues.items()}
         self.scheduled = 0
         self.dispatched = 0
+        self.requeues = 0
 
     def queue_priority(self, queue: str) -> int:
-        definition = self.app.queues.get(queue)
-        return definition.priority if definition is not None else 0
+        return self._priorities.get(queue, 0)
 
     def notify(self, msg_id: int, queue: str, seqno: int) -> None:
         """Make a new unprocessed message known to the scheduler."""
@@ -59,13 +64,18 @@ class Scheduler:
             return entry.msg_id
 
     def requeue(self, msg_id: int, queue: str, seqno: int) -> None:
-        """Put a message back (e.g. after a deadlock abort)."""
+        """Put a message back (e.g. after a deadlock abort).
+
+        Tracked in ``requeues`` (not ``scheduled``), so the counters
+        stay consistent: scheduled + requeues == dispatched + backlog.
+        """
         with self._lock:
             if msg_id in self._enqueued:
                 return
             self._enqueued.add(msg_id)
             heapq.heappush(self._heap,
                            _Entry(-self.queue_priority(queue), seqno, msg_id))
+            self.requeues += 1
 
     def has_work(self) -> bool:
         with self._lock:

@@ -20,8 +20,9 @@ from ..queues import (Clock, EchoService, Message, PropertyError,
 from ..storage import LockManager, MessageStore
 from ..storage.transactions import InsertOp
 from ..xmldm import Document, XMLError, parse
-from ..xquery.atomics import XSDateTime, cast_to_double
-from ..xquery.errors import DynamicError
+from ..xquery.atomics import (UntypedAtomic, XSDateTime, cast_atomic,
+                              cast_to_double, is_numeric)
+from ..xquery.errors import DynamicError, XQueryError
 from . import errors as err
 from .compiler import compile_rules
 from .executor import RuleExecutor
@@ -65,6 +66,9 @@ class DemaqServer:
         self.locking = LockingPolicy(self.locks, lock_granularity,
                                      lock_timeout)
         self.resolver = PropertyResolver(app)
+        for index in app.indexes.values():
+            self.store.create_property_index(index.queue,
+                                             index.property_name)
         self.compiled = compile_rules(app, optimize=optimize_rules)
         self.scheduler = Scheduler(app)
         self.executor = RuleExecutor(self)
@@ -446,6 +450,40 @@ class DemaqServer:
         return [Message(meta, self.store)
                 for meta in self.store.slice_messages(slicing, key)]
 
+    def indexed_live_messages(self, queue: str, prop: str,
+                              values: Iterable[object]) -> list[Message]:
+        """Messages of *queue* whose *prop* equals any probe value.
+
+        Probes are coerced to the property's declared type before the
+        index read — the stored value was resolved under that type at
+        enqueue time, so both sides of the equality agree.  Uncastable
+        probes match nothing (the scan-side comparison could not have
+        produced a typed match either), and so do probes the cast
+        cannot represent exactly (1.5 against an xs:integer property
+        must not match stored 1 the way a truncating cast would).
+        """
+        prop_def = self.app.properties.get(prop)
+        by_id: dict[int, object] = {}
+        for value in values:
+            if isinstance(value, UntypedAtomic):
+                value = str(value)
+            if prop_def is not None:
+                try:
+                    typed = cast_atomic(value, prop_def.type_name)
+                except XQueryError:
+                    continue
+                # For xs:double properties the scan plan compares at
+                # double precision anyway, so the cast *is* the scan's
+                # coercion; elsewhere a lossy cast must not match.
+                if prop_def.type_name != "xs:double" \
+                        and not _cast_preserves_value(value, typed):
+                    continue
+                value = typed
+            for meta in self.store.property_lookup(queue, prop, value):
+                by_id[meta.msg_id] = meta
+        metas = sorted(by_id.values(), key=lambda m: m.seqno)
+        return [Message(meta, self.store) for meta in metas]
+
     def queue_documents(self, queue: str) -> list[Document]:
         return [m.body for m in self.live_messages(queue)]
 
@@ -484,6 +522,10 @@ class DemaqServer:
         """
         queue_def = self.app.queues.get(meta.queue)
         if queue_def is None:
+            # Undefined queue (the application dropped it since this
+            # message was stored): schedule it anyway so the executor
+            # escalates per §3.6 instead of stranding it forever.
+            self.scheduler.notify(meta.msg_id, meta.queue, meta.seqno)
             return
         if queue_def.kind is QueueKind.ECHO:
             self._reschedule_recovered_echo(meta)
@@ -511,6 +553,30 @@ class DemaqServer:
 
     def close(self) -> None:
         self.store.close()
+
+
+def _cast_preserves_value(original: object, cast_value: object) -> bool:
+    """Did casting a probe to the property type keep its value?
+
+    Guards the index access path against lossy numeric casts: under the
+    scan plan ``1.5 = <stored xs:integer 1>`` is false, so the index
+    plan must not match either after the cast truncates 1.5 to 1.
+    """
+    if isinstance(original, bool) or isinstance(cast_value, bool):
+        return True     # boolean casts follow the xs:boolean lexical rules
+    numeric_cast = is_numeric(cast_value)
+    if is_numeric(original) and numeric_cast:
+        # Python's mixed int/float/Decimal == is mathematically exact
+        # (no lossy conversion), unlike comparing via float().
+        return original == cast_value
+    if isinstance(original, str) and numeric_cast:
+        # untyped lexical probe: coerced through double, as the scan
+        # plan's general comparison would coerce it
+        try:
+            return float(original) == cast_value
+        except (OverflowError, ValueError):
+            return False
+    return True
 
 
 def run_cluster(servers: Iterable[DemaqServer], max_rounds: int = 10_000

@@ -5,9 +5,9 @@
 
 from __future__ import annotations
 
-from .model import (Application, CollectionDef, ExtensionUse, PropertyBinding,
-                    PropertyDef, QueueDef, QueueKind, QueueMode, RuleDef,
-                    SlicingDef)
+from .model import (Application, CollectionDef, ExtensionUse, IndexDef,
+                    PropertyBinding, PropertyDef, QueueDef, QueueKind,
+                    QueueMode, RuleDef, SlicingDef)
 from .parser import parse_qdl
 from .validator import SYSTEM_PROPERTIES, ValidationError, validate
 
@@ -31,9 +31,9 @@ def compile_application(source: str,
 
 
 __all__ = [
-    "Application", "CollectionDef", "ExtensionUse", "PropertyBinding",
-    "PropertyDef", "QueueDef", "QueueKind", "QueueMode", "RuleDef",
-    "SlicingDef",
+    "Application", "CollectionDef", "ExtensionUse", "IndexDef",
+    "PropertyBinding", "PropertyDef", "QueueDef", "QueueKind", "QueueMode",
+    "RuleDef", "SlicingDef",
     "parse_qdl", "validate", "ValidationError", "SYSTEM_PROPERTIES",
     "compile_application",
 ]

@@ -117,6 +117,21 @@ class SlicingDef:
 
 
 @dataclass
+class IndexDef:
+    """One ``create index [<name>] on queue <q> property <p>`` statement.
+
+    Declares a property-value secondary index: the store maintains a
+    B+-tree keyed by the property's typed value over the queue's live
+    messages, and the rule compiler pushes matching equality predicates
+    over ``qs:queue(<q>)`` down to index lookups (§4.3 materialization
+    applied to property predicates)."""
+
+    name: str
+    queue: str
+    property_name: str
+
+
+@dataclass
 class RuleDef:
     """One ``create rule`` statement: an updating expression on a target.
 
@@ -145,9 +160,23 @@ class Application:
     queues: dict[str, QueueDef] = field(default_factory=dict)
     properties: dict[str, PropertyDef] = field(default_factory=dict)
     slicings: dict[str, SlicingDef] = field(default_factory=dict)
+    indexes: dict[str, IndexDef] = field(default_factory=dict)
     rules: list[RuleDef] = field(default_factory=list)
     collections: dict[str, CollectionDef] = field(default_factory=dict)
     system_error_queue: Optional[str] = None
+
+    def index_on(self, queue: str, property_name: str
+                 ) -> Optional[IndexDef]:
+        """The index covering (queue, property), if one is declared."""
+        for index in self.indexes.values():
+            if index.queue == queue and index.property_name == property_name:
+                return index
+        return None
+
+    def indexed_properties(self, queue: str) -> list[str]:
+        """Property names with a declared index on *queue*."""
+        return [index.property_name for index in self.indexes.values()
+                if index.queue == queue]
 
     def rules_for(self, target: str) -> list[RuleDef]:
         """Rules attached to a queue or slicing, in definition order."""

@@ -11,9 +11,9 @@ from __future__ import annotations
 from ..xquery.errors import StaticError
 from ..xquery.lexer import EOF, INTEGER, NAME, STRING, SYMBOL
 from ..xquery.parser import Parser
-from .model import (Application, CollectionDef, ExtensionUse, PropertyBinding,
-                    PropertyDef, QueueDef, QueueKind, QueueMode, RuleDef,
-                    SlicingDef)
+from .model import (Application, CollectionDef, ExtensionUse, IndexDef,
+                    PropertyBinding, PropertyDef, QueueDef, QueueKind,
+                    QueueMode, RuleDef, SlicingDef)
 
 _QUEUE_KINDS = {kind.value: kind for kind in QueueKind}
 _QUEUE_MODES = {mode.value: mode for mode in QueueMode}
@@ -46,6 +46,10 @@ class QDLParser(Parser):
             self.advance()
             slicing = self.parse_slicing()
             self._define(app.slicings, slicing.name, slicing, "slicing")
+        elif token.is_name("index"):
+            self.advance()
+            index = self.parse_index()
+            self._define(app.indexes, index.name, index, "index")
         elif token.is_name("rule"):
             self.advance()
             app.rules.append(self.parse_rule(app))
@@ -60,7 +64,7 @@ class QDLParser(Parser):
             app.system_error_queue = self.expect_qname()
         else:
             raise self.error(
-                "expected 'queue', 'property', 'slicing', 'rule', "
+                "expected 'queue', 'property', 'slicing', 'index', 'rule', "
                 "'collection', or 'errorqueue'")
 
     def _define(self, table: dict, name: str, value, what: str) -> None:
@@ -177,6 +181,26 @@ class QDLParser(Parser):
         self.expect_name("on")
         property_name = self.expect_qname()
         return SlicingDef(name, property_name)
+
+    # -- create index ------------------------------------------------------------
+
+    def parse_index(self) -> IndexDef:
+        """``create index [<name>] on queue <q> property <p>``.
+
+        The name is optional; an anonymous index is named
+        ``<queue>_<property>_idx``.
+        """
+        name = None
+        if not self.current.is_name("on"):
+            name = self.expect_qname()
+        self.expect_name("on")
+        self.expect_name("queue")
+        queue = self.expect_qname()
+        self.expect_name("property")
+        property_name = self.expect_qname()
+        if name is None:
+            name = f"{queue}_{property_name}_idx"
+        return IndexDef(name, queue, property_name)
 
     # -- create rule -------------------------------------------------------------
 

@@ -36,6 +36,7 @@ def validate(app: Application) -> None:
     _check_queues(app, findings)
     _check_properties(app, findings)
     _check_slicings(app, findings)
+    _check_indexes(app, findings)
     _check_rules(app, findings)
     if app.system_error_queue and app.system_error_queue not in app.queues:
         findings.append(
@@ -96,6 +97,29 @@ def _check_slicings(app: Application, findings: list[str]) -> None:
             findings.append(
                 f"slicing {slicing.name!r}: property "
                 f"{slicing.property_name!r} is not defined")
+
+
+def _check_indexes(app: Application, findings: list[str]) -> None:
+    seen: set[tuple[str, str]] = set()
+    for index in app.indexes.values():
+        if index.queue not in app.queues:
+            findings.append(
+                f"index {index.name!r}: queue {index.queue!r} is not defined")
+        prop = app.properties.get(index.property_name)
+        if prop is None:
+            findings.append(
+                f"index {index.name!r}: property {index.property_name!r} is "
+                "not defined")
+        elif index.queue in app.queues and not prop.defined_on(index.queue):
+            findings.append(
+                f"index {index.name!r}: property {index.property_name!r} has "
+                f"no binding on queue {index.queue!r}")
+        pair = (index.queue, index.property_name)
+        if pair in seen:
+            findings.append(
+                f"index {index.name!r}: duplicate index on "
+                f"({index.queue!r}, {index.property_name!r})")
+        seen.add(pair)
 
 
 def _check_rules(app: Application, findings: list[str]) -> None:

@@ -35,10 +35,18 @@ class PropertyError(Exception):
 
 
 class PropertyResolver:
-    """Computes the full property set of a message entering a queue."""
+    """Computes the full property set of a message entering a queue.
+
+    Within one resolution, computed expressions are cached by their
+    source text: when several consumers bind the same expression on a
+    queue (a property, a slicing key, an index key), the expression is
+    evaluated once against the body instead of once per consumer.
+    ``evaluations`` counts actual expression evaluations (cache misses).
+    """
 
     def __init__(self, app: Application):
         self.app = app
+        self.evaluations = 0
 
     def resolve(self, queue: str, body: Document,
                 explicit: dict[str, object] | None = None,
@@ -54,6 +62,7 @@ class PropertyResolver:
         explicit = dict(explicit or {})
         trigger_properties = trigger_properties or {}
         resolved: dict[str, object] = {}
+        computed_cache: dict[str, list] = {}
 
         for prop in self.app.properties.values():
             binding = prop.binding_for(queue)
@@ -64,16 +73,16 @@ class PropertyResolver:
                     raise PropertyError(
                         f"property {prop.name!r} is fixed and may not be "
                         "set explicitly")
-                value = self._compute(binding.value, body, prop.type_name,
-                                      prop.name)
+                value = self._compute(binding, body, prop.type_name,
+                                      prop.name, computed_cache)
             elif prop.name in explicit:
                 value = self._cast(explicit.pop(prop.name), prop.type_name,
                                    prop.name)
             elif prop.inherited and prop.name in trigger_properties:
                 value = trigger_properties[prop.name]
             else:
-                value = self._compute(binding.value, body, prop.type_name,
-                                      prop.name)
+                value = self._compute(binding, body, prop.type_name,
+                                      prop.name, computed_cache)
             if value is not None:
                 resolved[prop.name] = value
 
@@ -97,14 +106,22 @@ class PropertyResolver:
                 out[prop.name] = trigger_properties[prop.name]
         return out
 
-    def _compute(self, expr, body: Document, type_name: str,
-                 prop_name: str) -> object | None:
-        ctx = DynamicContext(item=body)
-        try:
-            result = atomize(evaluate(expr, ctx))
-        except XQueryError as exc:
-            raise PropertyError(
-                f"computing property {prop_name!r}: {exc}") from exc
+    def _compute(self, binding, body: Document, type_name: str,
+                 prop_name: str,
+                 cache: dict[str, list] | None = None) -> object | None:
+        key = binding.value_source
+        if cache is not None and key in cache:
+            result = cache[key]
+        else:
+            ctx = DynamicContext(item=body)
+            try:
+                self.evaluations += 1
+                result = atomize(evaluate(binding.value, ctx))
+            except XQueryError as exc:
+                raise PropertyError(
+                    f"computing property {prop_name!r}: {exc}") from exc
+            if cache is not None:
+                cache[key] = result
         if not result:
             return None
         if len(result) > 1:

@@ -2,8 +2,11 @@
 
 Owns the heap (message bodies on slotted pages through the buffer
 manager), the write-ahead log, the per-queue message index, the
-materialized slice index (a B+-tree keyed by slice key, §4.3), slice
-lifetimes, and the retention-driven garbage collector (§2.3.3).
+materialized slice index (a B+-tree keyed by slice key, §4.3), the
+property-value secondary indexes (B+-trees keyed by
+``(queue, property, encoded value)``, the §4.3 materialized-access idea
+applied to property predicates), slice lifetimes, and the
+retention-driven garbage collector (§2.3.3).
 
 Two deletion-logging modes reproduce the paper's §4.1 claim:
 
@@ -48,7 +51,12 @@ def encode_value(value: object) -> list:
     if isinstance(value, float):
         return ["f", value]
     if isinstance(value, Decimal):
-        return ["dec", str(value)]
+        # Normalized so numerically equal decimals (1.5 vs 1.50, -0 vs
+        # 0) share one lexical form — index keys and scan comparisons
+        # agree.
+        if value == 0:
+            value = abs(value)
+        return ["dec", format(value.normalize(), "f")]
     if isinstance(value, XSDateTime):
         return ["dt", str(value)]
     if isinstance(value, str):
@@ -145,6 +153,10 @@ class MessageStore:
         self._catalog: dict[int, StoredMessage] = {}
         self._queue_index = BPlusTree()        # (queue, seqno) -> msg_id
         self._slice_index = BPlusTree()        # (slicing, key, lifetime, seqno) -> msg_id
+        #: (queue, property) -> B+-tree of (tag, raw, seqno) -> msg_id.
+        #: Derived state like the queue/slice indexes: maintained by the
+        #: same committed operations, rebuilt (not logged) on recovery.
+        self._property_indexes: dict[tuple[str, str], BPlusTree] = {}
         self._lifetimes: dict[tuple[str, object], int] = {}
         self._next_msg_id = 1
         self._next_seqno = 1
@@ -235,8 +247,29 @@ class MessageStore:
                              persistent=persistent)
         self._catalog[msg_id] = meta
         self._queue_index.insert((queue, seqno), msg_id)
+        self._index_properties(meta)
         self.stats.inserts += 1
         return meta
+
+    def _index_properties(self, meta: StoredMessage) -> None:
+        for (queue, prop), tree in self._property_indexes.items():
+            if queue != meta.queue:
+                continue
+            value = meta.properties.get(prop)
+            if value is None:
+                continue
+            tag, raw = encode_value(value)
+            tree.insert((tag, raw, meta.seqno), meta.msg_id)
+
+    def _unindex_properties(self, meta: StoredMessage) -> None:
+        for (queue, prop), tree in self._property_indexes.items():
+            if queue != meta.queue:
+                continue
+            value = meta.properties.get(prop)
+            if value is None:
+                continue
+            tag, raw = encode_value(value)
+            tree.delete((tag, raw, meta.seqno))
 
     def _apply_processed(self, msg_id: int) -> None:
         meta = self._catalog.get(msg_id)
@@ -258,6 +291,7 @@ class MessageStore:
         self._queue_index.delete((meta.queue, meta.seqno))
         for slicing, key, lifetime in meta.slices:
             self._slice_index.delete((slicing, key, lifetime, meta.seqno))
+        self._unindex_properties(meta)
         self.stats.deletes += 1
 
     # -- reads ------------------------------------------------------------------------
@@ -281,7 +315,15 @@ class MessageStore:
                     if msg_id in self._catalog]
 
     def queue_depth(self, queue: str) -> int:
-        return len(self.queue_messages(queue))
+        """Live-message count of a queue.
+
+        Counts straight off the queue index under the latch instead of
+        materializing the full catalog-entry list.
+        """
+        with self._mutex:
+            return sum(1 for _, msg_id
+                       in self._queue_index.prefix_items((queue,))
+                       if msg_id in self._catalog)
 
     def slice_lifetime(self, slicing: str, key: object) -> int:
         with self._mutex:
@@ -311,6 +353,82 @@ class MessageStore:
             out = [meta for meta in self._catalog.values()
                    if (slicing, key, lifetime) in meta.slices]
             out.sort(key=lambda m: m.seqno)
+            return out
+
+    # -- property-value secondary indexes -------------------------------------------
+
+    def create_property_index(self, queue: str, prop: str) -> None:
+        """Register and build a ``(queue, property, value)`` index.
+
+        Registration survives crashes of the in-memory structures
+        (:meth:`recover` rebuilds registered indexes from the replayed
+        catalog); creating an existing index is a no-op.
+        """
+        with self._mutex:
+            if (queue, prop) in self._property_indexes:
+                return
+            tree = BPlusTree()
+            self._property_indexes[(queue, prop)] = tree
+            for _, msg_id in self._queue_index.prefix_items((queue,)):
+                meta = self._catalog.get(msg_id)
+                if meta is None:
+                    continue
+                value = meta.properties.get(prop)
+                if value is None:
+                    continue
+                tag, raw = encode_value(value)
+                tree.insert((tag, raw, meta.seqno), msg_id)
+
+    def drop_property_index(self, queue: str, prop: str) -> None:
+        with self._mutex:
+            self._property_indexes.pop((queue, prop), None)
+
+    def has_property_index(self, queue: str, prop: str) -> bool:
+        with self._mutex:
+            return (queue, prop) in self._property_indexes
+
+    def property_indexes(self) -> list[tuple[str, str]]:
+        with self._mutex:
+            return sorted(self._property_indexes)
+
+    def property_index_entries(self, queue: str, prop: str
+                               ) -> list[tuple[tuple, int]]:
+        """Dump one index's (normalized key, msg_id) pairs (tests/rebuild
+        comparisons)."""
+        with self._mutex:
+            tree = self._property_indexes.get((queue, prop))
+            if tree is None:
+                raise StorageError(f"no index on ({queue!r}, {prop!r})")
+            return tree.dump()
+
+    def property_lookup(self, queue: str, prop: str, value: object
+                        ) -> list[StoredMessage]:
+        """Equality lookup through the secondary index: one range scan
+        over ``(tag, raw)``, results in arrival order."""
+        tag, raw = encode_value(value)
+        with self._mutex:
+            tree = self._property_indexes.get((queue, prop))
+            if tree is None:
+                raise StorageError(f"no index on ({queue!r}, {prop!r})")
+            return [self._catalog[msg_id]
+                    for _, msg_id in tree.prefix_items((tag, raw))
+                    if msg_id in self._catalog]
+
+    def property_lookup_scan(self, queue: str, prop: str, value: object
+                             ) -> list[StoredMessage]:
+        """Baseline for :meth:`property_lookup`: full queue scan with a
+        per-message property comparison (same typed-value encoding as the
+        index, so both sides agree on e.g. ``1`` vs ``1.0`` vs ``true``)."""
+        encoded = encode_value(value)
+        with self._mutex:
+            out = []
+            for _, msg_id in self._queue_index.prefix_items((queue,)):
+                meta = self._catalog.get(msg_id)
+                if meta is None:
+                    continue
+                stored = meta.properties.get(prop)
+                if stored is not None and encode_value(stored) == encoded:
+                    out.append(meta)
             return out
 
     def export_queue_messages(self, queue: str
@@ -408,12 +526,19 @@ class MessageStore:
             self.wal.flush()
 
     def simulate_crash(self) -> None:
-        """Drop all volatile state (buffer pool + in-memory structures)."""
+        """Drop all volatile state (buffer pool + in-memory structures).
+
+        Index *registrations* model the durable catalog (they come from
+        the application definition), so they survive; contents rebuild
+        in :meth:`recover`.
+        """
         with self._mutex:
             self.buffer.drop_all()
             self._catalog.clear()
             self._queue_index = BPlusTree()
             self._slice_index = BPlusTree()
+            for pair in self._property_indexes:
+                self._property_indexes[pair] = BPlusTree()
             self._lifetimes.clear()
 
     def recover(self) -> None:
@@ -423,6 +548,8 @@ class MessageStore:
             self._catalog.clear()
             self._queue_index = BPlusTree()
             self._slice_index = BPlusTree()
+            for pair in self._property_indexes:
+                self._property_indexes[pair] = BPlusTree()
             self._lifetimes.clear()
             self._next_msg_id = 1
             self._next_seqno = 1
@@ -469,6 +596,7 @@ class MessageStore:
             for slicing, key, lifetime in meta.slices:
                 self._slice_index.insert(
                     (slicing, key, lifetime, meta.seqno), meta.msg_id)
+            self._index_properties(meta)
 
     def _redo(self, record) -> None:
         if record.type == walmod.MSG_INSERT:

@@ -36,6 +36,11 @@ class Environment:
     def queue(self, name: str | None) -> list[Node]:
         raise DynamicError("qs:queue() is only available inside a rule")
 
+    def queue_lookup(self, name: str, prop: str,
+                     values: list[object]) -> list[Node]:
+        raise DynamicError(
+            "qs:queue-index() is only available inside a rule")
+
     def slice_messages(self) -> list[Node]:
         raise DynamicError(
             "qs:slice() is only available in rules defined on slicings")

@@ -592,6 +592,24 @@ def qs_queue(ctx, args):
     return document_order(list(ctx.environment.queue(name)))
 
 
+@register("qs:queue-index", 3)
+def qs_queue_index(ctx, args):
+    """Index-backed queue access (compiler-generated, paper §4.3).
+
+    ``qs:queue-index(queue, property, probe)`` returns the messages of
+    *queue* whose *property* equals any atomized probe value — the
+    access path the rule compiler emits for indexable equality
+    predicates over ``qs:queue()``.
+    """
+    queue = _single_string(args[0], "qs:queue-index")
+    prop = _single_string(args[1], "qs:queue-index")
+    probes = atomize(args[2])
+    if not probes:
+        return []
+    return document_order(
+        list(ctx.environment.queue_lookup(queue, prop, probes)))
+
+
 @register("qs:slice", 0)
 def qs_slice(ctx, args):
     return document_order(list(ctx.environment.slice_messages()))

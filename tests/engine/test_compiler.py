@@ -138,6 +138,342 @@ def test_element_names_one_pass():
     assert element_names(doc) == frozenset({"a", "b", "c", "d"})
 
 
+# -- index predicate pushdown -------------------------------------------------
+
+IDX_APP_SOURCE = """
+    create queue orders kind basic mode persistent;
+    create queue lookups kind basic mode persistent;
+    create queue out kind basic mode persistent;
+    create property customer as xs:string fixed
+        queue orders value //customerID;
+    create property probeFor as xs:string
+        queue lookups value string(//probe/@c);
+    create index on queue orders property customer;
+    create rule postfix for lookups
+        if (//probe) then
+            do enqueue
+                <n>{count(qs:queue("orders")
+                          [//customerID = qs:property("probeFor")])}</n>
+            into out;
+    create rule flwor for lookups
+        if (//probe) then
+            for $m in qs:queue("orders")
+            where $m//customerID = qs:property("probeFor")
+                and $m//amount > 5
+            return do enqueue <hit>{string($m//amount)}</hit> into out
+"""
+
+
+def _compiled_idx_rules():
+    app = parse_qdl(IDX_APP_SOURCE)
+    plan = compile_rules(app).plan_for("lookups")
+    return {rule.name: rule for rule in plan.rules}
+
+
+def test_postfix_predicate_pushed_down():
+    rule = _compiled_idx_rules()["postfix"]
+    assert rule.index_lookups == [("orders", "customer")]
+    calls = find_calls(rule.body, "qs:queue-index")
+    assert len(calls) == 1
+    assert calls[0].args[0].value == "orders"
+    assert calls[0].args[1].value == "customer"
+    assert find_calls(rule.body, "qs:queue") == []
+
+
+def test_flwor_conjunct_pushed_down_and_residual_kept():
+    rule = _compiled_idx_rules()["flwor"]
+    assert rule.index_lookups == [("orders", "customer")]
+    assert len(find_calls(rule.body, "qs:queue-index")) == 1
+    # the non-indexable conjunct survives as the where clause
+    flwor = next(n for n in ast.walk(rule.body)
+                 if isinstance(n, ast.FLWORExpr))
+    assert isinstance(flwor.where, ast.Comparison)
+    assert flwor.where.op == ">"
+
+
+def test_no_pushdown_without_declared_index():
+    source = IDX_APP_SOURCE.replace(
+        "create index on queue orders property customer;", "")
+    plan = compile_rules(parse_qdl(source)).plan_for("lookups")
+    for rule in plan.rules:
+        assert rule.index_lookups == []
+        assert find_calls(rule.body, "qs:queue-index") == []
+
+
+def test_no_pushdown_when_unoptimized():
+    plan = compile_rules(parse_qdl(IDX_APP_SOURCE),
+                         optimize=False).plan_for("lookups")
+    for rule in plan.rules:
+        assert find_calls(rule.body, "qs:queue-index") == []
+
+
+def test_no_pushdown_for_focus_dependent_probe():
+    # string(//probe/@c) re-focuses on each *scanned* message inside a
+    # predicate, so it is not a hoistable probe
+    app = parse_qdl("""
+        create queue orders kind basic mode persistent;
+        create queue lookups kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property customer as xs:string fixed
+        queue orders value //customerID;
+        create index on queue orders property customer;
+        create rule r for lookups
+            if (count(qs:queue("orders")
+                      [//customerID = string(//probe/@c)]) > 0)
+            then do enqueue <x/> into out
+    """)
+    rule = compile_rules(app).plan_for("lookups").rules[0]
+    assert rule.index_lookups == []
+
+
+def test_no_pushdown_for_mismatched_path():
+    app = parse_qdl("""
+        create queue orders kind basic mode persistent;
+        create queue lookups kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property customer as xs:string fixed
+        queue orders value //customerID;
+        create index on queue orders property customer;
+        create rule r for lookups
+            if (count(qs:queue("orders")[//otherField = "x"]) > 0)
+            then do enqueue <x/> into out
+    """)
+    assert compile_rules(app).plan_for("lookups").rules[0].index_lookups == []
+
+
+def test_no_flwor_pushdown_when_probe_uses_flwor_variable():
+    app = parse_qdl("""
+        create queue orders kind basic mode persistent;
+        create queue refs kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property customer as xs:string fixed
+        queue orders value //customerID;
+        create index on queue orders property customer;
+        create rule r for refs
+            for $r in qs:queue("refs"), $m in qs:queue("orders")
+            where $m//customerID = $r//wanted
+            return do enqueue <x/> into out
+    """)
+    assert compile_rules(app).plan_for("refs").rules[0].index_lookups == []
+
+
+def test_no_flwor_pushdown_for_shadowed_variable():
+    """`for $m in qs:queue("orders"), $m in qs:queue("other")`: the
+    where clause's $m is the *later* binding, so the first clause must
+    not absorb the conjunct."""
+    from repro import DemaqServer
+    source = """
+        create queue orders kind basic mode persistent;
+        create queue other kind basic mode persistent;
+        create queue lookups kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property customer as xs:string fixed
+            queue orders value //customerID;
+        create property probeFor as xs:string
+            queue lookups value string(//probe/@c);
+        create index on queue orders property customer;
+        create rule r for lookups
+            for $m in qs:queue("orders"), $m in qs:queue("other")
+            where $m//customerID = qs:property("probeFor")
+            return do enqueue <hit>{string($m//tag)}</hit> into out
+    """
+    rule = compile_rules(parse_qdl(source)).plan_for("lookups").rules[0]
+    assert rule.index_lookups == []
+    for variant in (source, source.replace(
+            "create index on queue orders property customer;", "")):
+        server = DemaqServer(variant)
+        server.enqueue("orders", "<o><customerID>alice</customerID></o>")
+        server.enqueue("orders", "<o><customerID>bob</customerID></o>")
+        server.enqueue(
+            "other", "<o><customerID>alice</customerID><tag>A</tag></o>")
+        server.enqueue(
+            "other", "<o><customerID>carol</customerID><tag>C</tag></o>")
+        server.run_until_idle()
+        server.enqueue("lookups", '<probe c="alice"/>')
+        server.run_until_idle()
+        # $m in the where is the "other" binding: one match per orders row
+        assert sorted(server.queue_texts("out")) == [
+            "<hit>A</hit>", "<hit>A</hit>"]
+
+
+def test_no_flwor_pushdown_with_positional_variable():
+    app = parse_qdl("""
+        create queue orders kind basic mode persistent;
+        create queue lookups kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property customer as xs:string fixed
+        queue orders value //customerID;
+        create property probeFor as xs:string
+            queue lookups value string(//probe/@c);
+        create index on queue orders property customer;
+        create rule r for lookups
+            for $m at $i in qs:queue("orders")
+            where $m//customerID = qs:property("probeFor")
+            return do enqueue <x>{$i}</x> into out
+    """)
+    assert compile_rules(app).plan_for("lookups").rules[0].index_lookups == []
+
+
+def test_pushdown_end_to_end_matches_scan_plan():
+    from repro import DemaqServer
+    indexed = DemaqServer(IDX_APP_SOURCE)
+    scan = DemaqServer(IDX_APP_SOURCE.replace(
+        "create index on queue orders property customer;", ""))
+    for server in (indexed, scan):
+        for index in range(24):
+            server.enqueue(
+                "orders",
+                f"<order><customerID>c{index % 4}</customerID>"
+                f"<amount>{index}</amount></order>")
+        server.run_until_idle()
+        server.enqueue("lookups", '<probe c="c2"/>')
+        server.run_until_idle()
+    assert sorted(indexed.queue_texts("out")) == sorted(scan.queue_texts("out"))
+    assert indexed.queue_texts("out")          # non-trivial result
+
+
+def test_no_pushdown_for_non_fixed_property():
+    """A non-fixed property can be set explicitly (or inherited), so
+    its stored value may diverge from the body path the predicate
+    tests — both plans must keep scanning and agree."""
+    from repro import DemaqServer
+    source = IDX_APP_SOURCE.replace(
+        "create property customer as xs:string fixed",
+        "create property customer as xs:string")
+    plan = compile_rules(parse_qdl(source)).plan_for("lookups")
+    for rule in plan.rules:
+        assert rule.index_lookups == []
+    for variant in (source, source.replace(
+            "create index on queue orders property customer;", "")):
+        server = DemaqServer(variant)
+        server.enqueue("orders",
+                       "<order><customerID>alice</customerID></order>")
+        server.enqueue("orders",
+                       "<order><customerID>alice</customerID></order>",
+                       properties={"customer": "bob"})   # overrides
+        server.run_until_idle()
+        server.enqueue("lookups", '<probe c="alice"/>')
+        server.run_until_idle()
+        # the body path matches both messages regardless of the override
+        assert server.queue_texts("out") == ["<n>2</n>"]
+
+
+def test_double_property_probe_matches_scan_plan():
+    """xs:double properties compare at double precision in the scan
+    plan, so the index must accept probes the double cast rounds."""
+    from repro import DemaqServer
+    big = 2**60 + 1          # rounds to 2.0**60 as a double
+    source = f"""
+        create queue q kind basic mode persistent;
+        create queue trigger kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property amt as xs:double fixed queue q value //amt;
+        create index on queue q property amt;
+        create rule r for trigger
+            if (//go) then
+                do enqueue <n>{{count(qs:queue("q")[//amt = {big}])}}</n>
+                into out
+    """
+    for variant in (source, source.replace(
+            "create index on queue q property amt;", "")):
+        server = DemaqServer(variant)
+        server.enqueue("q", f"<m><amt>{big}</amt></m>")
+        server.enqueue("trigger", "<go/>")
+        server.run_until_idle()
+        assert server.queue_texts("out") == ["<n>1</n>"]
+
+
+def test_no_pushdown_across_type_classes():
+    """A string probe against a numeric property compares lexically in
+    the scan plan ("07" != "7"), which no typed index can answer — the
+    compiler must keep the scan.  Same for value comparisons (`eq`) on
+    non-string properties, where the scan raises a type error."""
+    from repro import DemaqServer
+    source = """
+        create queue q kind basic mode persistent;
+        create queue trigger kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property pid as xs:integer fixed queue q value //id;
+        create index on queue q property pid;
+        create rule r for trigger
+            if (//go) then
+                do enqueue <n>{count(qs:queue("q")[//id = "7"])}</n>
+                into out
+    """
+    app = parse_qdl(source)
+    assert compile_rules(app).plan_for("trigger").rules[0].index_lookups == []
+    for variant in (source, source.replace(
+            "create index on queue q property pid;", "")):
+        server = DemaqServer(variant)
+        server.enqueue("q", "<m><id>07</id></m>")
+        server.enqueue("trigger", "<go/>")
+        server.run_until_idle()
+        assert server.queue_texts("out") == ["<n>0</n>"]
+    # eq on a numeric property: scan semantics raise, so no pushdown
+    eq_app = parse_qdl(source.replace('//id = "7"', "//id eq 7"))
+    assert compile_rules(eq_app).plan_for(
+        "trigger").rules[0].index_lookups == []
+
+
+def test_matching_type_class_still_pushes_down():
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create queue trigger kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property pid as xs:integer fixed queue q value //id;
+        create index on queue q property pid;
+        create rule r for trigger
+            if (//go) then
+                do enqueue <n>{count(qs:queue("q")[//id = 7])}</n>
+                into out
+    """)
+    rule = compile_rules(app).plan_for("trigger").rules[0]
+    assert rule.index_lookups == [("q", "pid")]
+
+
+def test_lossy_numeric_probe_matches_scan_plan():
+    """1.5 against an xs:integer index must not match stored 1 the way
+    a truncating cast would — both plans must agree the rule misses."""
+    from repro import DemaqServer
+    source = """
+        create queue q kind basic mode persistent;
+        create queue trigger kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create property val as xs:integer fixed queue q value //val;
+        create index on queue q property val;
+        create rule r for trigger
+            if (//go) then
+                do enqueue <n>{count(qs:queue("q")[//val = 1.5])}</n>
+                into out
+    """
+    for app in (source, source.replace(
+            "create index on queue q property val;", "")):
+        server = DemaqServer(app)
+        server.enqueue("q", "<m><val>1</val></m>")
+        server.enqueue("trigger", "<go/>")
+        server.run_until_idle()
+        assert server.queue_texts("out") == ["<n>0</n>"]
+
+
+def test_handwritten_queue_index_on_unindexed_pair_routes_to_error_queue():
+    """qs:queue-index() on a missing index is a dynamic error (§3.6),
+    not a storage fault that kills the processing loop."""
+    from repro import DemaqServer
+    server = DemaqServer("""
+        create queue q kind basic mode persistent;
+        create queue failures kind basic mode persistent;
+        create errorqueue failures;
+        create rule r for q
+            if (count(qs:queue-index("q", "nosuch", 1)) = 0) then
+                do enqueue <x/> into q
+    """)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()          # must not raise
+    errors = server.queue_texts("failures")
+    assert len(errors) == 1
+    assert "no index" in errors[0]
+
+
 def test_prefilter_behaviour_end_to_end():
     from repro import DemaqServer
     server = DemaqServer("""

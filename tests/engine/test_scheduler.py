@@ -1,0 +1,80 @@
+"""Scheduler accounting and priority-snapshot semantics (§4.4.2)."""
+
+from repro import DemaqServer
+from repro.engine.scheduler import Scheduler
+from repro.qdl import parse_qdl
+
+APP = parse_qdl("""
+    create queue fast kind basic mode persistent priority 5;
+    create queue slow kind basic mode persistent
+""")
+
+
+def test_requeue_tracked_separately_from_scheduled():
+    scheduler = Scheduler(APP)
+    scheduler.notify(1, "slow", 1)
+    scheduler.notify(2, "fast", 2)
+    assert scheduler.scheduled == 2
+    msg = scheduler.next_message()
+    assert msg == 2                       # priority first
+    scheduler.requeue(msg, "fast", 2)
+    assert scheduler.scheduled == 2       # a requeue is not a new arrival
+    assert scheduler.requeues == 1
+    # invariant: arrivals + requeues == dispatches + backlog
+    assert scheduler.scheduled + scheduler.requeues \
+        == scheduler.dispatched + scheduler.backlog()
+    while scheduler.next_message() is not None:
+        pass
+    assert scheduler.scheduled + scheduler.requeues == scheduler.dispatched
+
+
+def test_requeue_of_enqueued_message_is_noop():
+    scheduler = Scheduler(APP)
+    scheduler.notify(1, "slow", 1)
+    scheduler.requeue(1, "slow", 1)
+    assert scheduler.requeues == 0
+    assert scheduler.backlog() == 1
+
+
+def test_priorities_snapshotted_at_construction():
+    scheduler = Scheduler(APP)
+    # a racing recompilation mutating the app must not change the
+    # ordering this scheduler instance applies
+    APP.queues["slow"].priority = 99
+    try:
+        assert scheduler.queue_priority("slow") == 0
+        scheduler.notify(1, "slow", 1)
+        scheduler.notify(2, "fast", 2)
+        assert scheduler.next_message() == 2
+    finally:
+        APP.queues["slow"].priority = 0
+
+
+def test_requeue_keeps_original_arrival_position():
+    scheduler = Scheduler(APP)
+    scheduler.notify(1, "slow", 1)
+    scheduler.notify(2, "slow", 2)
+    first = scheduler.next_message()
+    scheduler.requeue(first, "slow", 1)
+    assert scheduler.next_message() == first   # seqno order preserved
+
+
+def test_deadlock_retry_accounting_end_to_end():
+    """A failed process_message requeues; counters stay consistent."""
+    server = DemaqServer("""
+        create queue q kind basic mode persistent;
+        create queue out kind basic mode persistent;
+        create rule r for q
+            if (//m) then do enqueue <ack/> into out
+    """)
+    server.enqueue("q", "<m/>")
+    scheduler = server.scheduler
+    msg_id = scheduler.next_message()
+    # simulate the deadlock-abort path the server takes in step_local
+    meta = server.store.get(msg_id)
+    scheduler.requeue(msg_id, meta.queue, meta.seqno)
+    assert scheduler.requeues == 1
+    server.run_until_idle()
+    assert server.queue_texts("out") == ["<ack/>"]
+    assert scheduler.scheduled + scheduler.requeues \
+        == scheduler.dispatched + scheduler.backlog()

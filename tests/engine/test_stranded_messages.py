@@ -1,0 +1,85 @@
+"""Regression: messages on undefined queues must not strand (§3.6).
+
+Before the fix, ``RuleExecutor.process_message`` returned success for a
+message whose queue has no definition, leaving it live-but-unscheduled
+in the store forever.  Now it escalates to the application's error
+queue (or surfaces on ``unhandled_errors``) and the message is retired.
+"""
+
+from repro import DemaqServer
+
+
+def _strand_message(server, queue="ghost"):
+    """Insert a message bypassing the engine (as recovery against a
+    changed application would)."""
+    txn = server.store.begin()
+    op = txn.insert_message(queue, b"<orphan/>", {}, [])
+    server.store.commit(txn)
+    return op.msg_id
+
+
+APP_WITH_ERROR_QUEUE = """
+    create queue q kind basic mode persistent;
+    create queue failures kind basic mode persistent;
+    create errorqueue failures
+"""
+
+
+def test_stranded_message_escalates_to_error_queue():
+    server = DemaqServer(APP_WITH_ERROR_QUEUE)
+    msg_id = _strand_message(server)
+    assert server.executor.process_message(msg_id) is True
+    meta = server.store.get(msg_id)
+    assert meta.processed, "stranded message must be retired"
+    errors = server.queue_texts("failures")
+    assert len(errors) == 1
+    assert "systemError" in errors[0]
+    assert "ghost" in errors[0]
+    assert "<orphan/>" in errors[0]       # initialMessage copy
+
+
+def test_stranded_message_without_error_queue_is_marked_processed():
+    server = DemaqServer("create queue q kind basic mode persistent")
+    msg_id = _strand_message(server)
+    assert server.executor.process_message(msg_id) is True
+    assert server.store.get(msg_id).processed
+    assert len(server.unhandled_errors) == 1
+
+
+def test_stranded_message_is_garbage_collectable():
+    server = DemaqServer(APP_WITH_ERROR_QUEUE)
+    msg_id = _strand_message(server)
+    server.executor.process_message(msg_id)
+    server.collect_garbage()
+    assert server.store.get(msg_id) is None
+
+
+def test_stranded_message_drains_through_step_local():
+    """The scheduler path retires the message instead of looping."""
+    server = DemaqServer(APP_WITH_ERROR_QUEUE)
+    msg_id = _strand_message(server)
+    meta = server.store.get(msg_id)
+    server.scheduler.notify(msg_id, meta.queue, meta.seqno)
+    server.run_until_idle()
+    assert server.store.get(msg_id).processed
+    assert server.queue_texts("failures")
+
+
+def test_recovery_schedules_stranded_messages():
+    """The production stranding path: a message recovered for a queue
+    the application no longer defines must be scheduled and escalated
+    by _bootstrap, not silently skipped."""
+    server = DemaqServer(APP_WITH_ERROR_QUEUE)
+    _strand_message(server)
+    server.crash_and_recover()     # replays the WAL, then bootstraps
+    server.run_until_idle()
+    stranded = server.store.queue_messages("ghost")
+    assert stranded and all(meta.processed for meta in stranded)
+    assert len(server.queue_texts("failures")) == 1
+
+
+def test_defined_queues_unaffected():
+    server = DemaqServer(APP_WITH_ERROR_QUEUE)
+    server.enqueue("q", "<m/>")
+    server.run_until_idle()
+    assert server.queue_texts("failures") == []

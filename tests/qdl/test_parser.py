@@ -188,6 +188,46 @@ def test_rules_for_lookup():
     assert app.rules_for("b") == []
 
 
+def test_create_index_parses():
+    app = parse_qdl("""
+        create queue orders kind basic mode persistent;
+        create property customer as xs:string queue orders value //customerID;
+        create index on queue orders property customer
+    """)
+    index = app.indexes["orders_customer_idx"]
+    assert index.queue == "orders"
+    assert index.property_name == "customer"
+    assert app.index_on("orders", "customer") is index
+    assert app.index_on("orders", "other") is None
+
+
+def test_create_named_index():
+    app = parse_qdl("""
+        create queue orders kind basic mode persistent;
+        create property customer as xs:string queue orders value //customerID;
+        create index byCust on queue orders property customer
+    """)
+    assert list(app.indexes) == ["byCust"]
+    assert app.indexed_properties("orders") == ["customer"]
+
+
+def test_duplicate_index_name_rejected():
+    with pytest.raises(StaticError, match="duplicate index"):
+        parse_qdl("""
+            create queue q kind basic mode persistent;
+            create property p as xs:string queue q value //x;
+            create index i on queue q property p;
+            create index i on queue q property p
+        """)
+
+
+def test_index_statement_requires_on_queue_property():
+    with pytest.raises(StaticError):
+        parse_qdl("create index on orders property customer")
+    with pytest.raises(StaticError):
+        parse_qdl("create index on queue orders customer")
+
+
 def test_garbage_statement():
     with pytest.raises(StaticError, match="expected"):
         parse_qdl("create gizmo x")

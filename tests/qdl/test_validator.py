@@ -173,6 +173,40 @@ def test_slicing_name_collision_with_queue():
         """)
 
 
+def test_index_requires_defined_queue_and_property():
+    with pytest.raises(ValidationError, match="queue 'ghost'"):
+        compile_application("""
+            create queue q kind basic mode persistent;
+            create property p as xs:string queue q value //x;
+            create index on queue ghost property p
+        """)
+    with pytest.raises(ValidationError, match="property 'missing'"):
+        compile_application("""
+            create queue q kind basic mode persistent;
+            create index on queue q property missing
+        """)
+
+
+def test_index_requires_property_binding_on_queue():
+    with pytest.raises(ValidationError, match="no binding on queue"):
+        compile_application("""
+            create queue q kind basic mode persistent;
+            create queue other kind basic mode persistent;
+            create property p as xs:string queue other value //x;
+            create index on queue q property p
+        """)
+
+
+def test_duplicate_index_pair_rejected():
+    with pytest.raises(ValidationError, match="duplicate index on"):
+        compile_application("""
+            create queue q kind basic mode persistent;
+            create property p as xs:string queue q value //x;
+            create index i1 on queue q property p;
+            create index i2 on queue q property p
+        """)
+
+
 def test_system_error_queue_checked():
     with pytest.raises(ValidationError, match="system error queue"):
         compile_application("create errorqueue ghosts")

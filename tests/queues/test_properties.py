@@ -128,3 +128,43 @@ def test_properties_unbound_queue_empty(resolver):
     body = parse("<order><orderID>o-1</orderID></order>")
     props = resolver.resolve("legal", body)
     assert "orderID" not in props     # orderID not defined on legal
+
+
+def test_shared_value_expressions_evaluate_once():
+    """The resolved-value cache: several consumers binding the same
+    expression on one queue cost a single evaluation per message."""
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create property a as xs:string queue q value //customerID;
+        create property b as xs:string queue q value //customerID;
+        create property c as xs:string queue q value //other
+    """)
+    resolver = PropertyResolver(app)
+    body = parse("<m><customerID>c1</customerID><other>x</other></m>")
+    props = resolver.resolve("q", body)
+    assert props["a"] == props["b"] == "c1"
+    assert props["c"] == "x"
+    assert resolver.evaluations == 2      # //customerID once, //other once
+
+
+def test_cache_scoped_per_message():
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create property a as xs:string queue q value //customerID
+    """)
+    resolver = PropertyResolver(app)
+    first = resolver.resolve("q", parse("<m><customerID>c1</customerID></m>"))
+    second = resolver.resolve("q", parse("<m><customerID>c2</customerID></m>"))
+    assert first["a"] == "c1" and second["a"] == "c2"
+    assert resolver.evaluations == 2
+
+
+def test_explicit_value_skips_evaluation():
+    app = parse_qdl("""
+        create queue q kind basic mode persistent;
+        create property a as xs:string queue q value //customerID
+    """)
+    resolver = PropertyResolver(app)
+    props = resolver.resolve("q", parse("<m/>"), explicit={"a": "forced"})
+    assert props["a"] == "forced"
+    assert resolver.evaluations == 0

@@ -1,0 +1,124 @@
+"""Property-based equivalence: materialized indexes vs their scan baselines.
+
+Random insert/delete/lifetime-bump sequences must keep
+
+* ``slice_messages`` (the §4.3 materialized slice index) identical to
+  ``slice_messages_scan`` (the merged-query baseline), and
+* ``property_lookup`` (the secondary property index) identical to
+  ``property_lookup_scan`` (full queue scan),
+
+for every slice key and probe value, after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage import MessageStore
+
+QUEUES = ["a", "b"]
+SLICINGS = ["s1", "s2"]
+KEYS = ["k1", "k2"]
+VALUES = ["v1", "v2", 7, 7.5, True]
+
+
+def _ops():
+    insert = st.tuples(
+        st.just("insert"),
+        st.sampled_from(QUEUES),
+        st.sampled_from(VALUES),
+        st.lists(st.tuples(st.sampled_from(SLICINGS), st.sampled_from(KEYS)),
+                 max_size=2, unique=True))
+    delete = st.tuples(st.just("delete"), st.integers(1, 40))
+    reset = st.tuples(st.just("reset"), st.sampled_from(SLICINGS),
+                      st.sampled_from(KEYS))
+    return st.lists(st.one_of(insert, delete, reset), max_size=40)
+
+
+def _assert_equivalent(store):
+    for slicing in SLICINGS:
+        for key in KEYS:
+            indexed = [m.msg_id for m in store.slice_messages(slicing, key)]
+            scanned = [m.msg_id
+                       for m in store.slice_messages_scan(slicing, key)]
+            assert indexed == scanned
+    for queue in QUEUES:
+        for value in VALUES:
+            indexed = [m.msg_id
+                       for m in store.property_lookup(queue, "val", value)]
+            scanned = [m.msg_id for m in
+                       store.property_lookup_scan(queue, "val", value)]
+            assert indexed == scanned
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops())
+def test_random_histories_keep_indexes_equivalent(ops):
+    store = MessageStore()
+    for queue in QUEUES:
+        store.create_property_index(queue, "val")
+    for op in ops:
+        if op[0] == "insert":
+            _, queue, value, memberships = op
+            txn = store.begin()
+            txn.insert_message(queue, b"<m/>", {"val": value},
+                               list(memberships))
+            store.commit(txn)
+        elif op[0] == "delete":
+            _, msg_id = op
+            if store.get(msg_id) is not None:
+                txn = store.begin()
+                txn.delete_message(msg_id)
+                store.commit(txn)
+        else:
+            _, slicing, key = op
+            txn = store.begin()
+            txn.reset_slice(slicing, key)
+            store.commit(txn)
+        _assert_equivalent(store)
+
+
+class IndexEquivalence(RuleBasedStateMachine):
+    """Stateful variant: interleavings chosen adaptively by hypothesis."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = MessageStore()
+        for queue in QUEUES:
+            self.store.create_property_index(queue, "val")
+        self.inserted: list[int] = []
+
+    @rule(queue=st.sampled_from(QUEUES), value=st.sampled_from(VALUES),
+          memberships=st.lists(
+              st.tuples(st.sampled_from(SLICINGS), st.sampled_from(KEYS)),
+              max_size=2, unique=True))
+    def insert(self, queue, value, memberships):
+        txn = self.store.begin()
+        op = txn.insert_message(queue, b"<m/>", {"val": value},
+                                list(memberships))
+        self.store.commit(txn)
+        self.inserted.append(op.msg_id)
+
+    @rule(pick=st.integers(0, 200))
+    def delete(self, pick):
+        if not self.inserted:
+            return
+        msg_id = self.inserted[pick % len(self.inserted)]
+        if self.store.get(msg_id) is not None:
+            txn = self.store.begin()
+            txn.delete_message(msg_id)
+            self.store.commit(txn)
+
+    @rule(slicing=st.sampled_from(SLICINGS), key=st.sampled_from(KEYS))
+    def bump_lifetime(self, slicing, key):
+        txn = self.store.begin()
+        txn.reset_slice(slicing, key)
+        self.store.commit(txn)
+
+    @invariant()
+    def indexes_match_scans(self):
+        _assert_equivalent(self.store)
+
+
+TestIndexEquivalence = IndexEquivalence.TestCase
+TestIndexEquivalence.settings = settings(max_examples=25, deadline=None)

@@ -1,0 +1,138 @@
+"""Property-value secondary indexes over the message store."""
+
+import pytest
+
+from repro.storage import MessageStore, StorageError
+
+
+def fill(store, count=12, keys=3):
+    ids = []
+    for index in range(count):
+        txn = store.begin()
+        op = txn.insert_message(
+            "orders", f"<o>{index}</o>".encode(),
+            {"customer": f"c{index % keys}", "amount": index},
+            [])
+        store.commit(txn)
+        ids.append(op.msg_id)
+    return ids
+
+
+def test_lookup_matches_scan():
+    store = MessageStore()
+    store.create_property_index("orders", "customer")
+    fill(store)
+    for key in ("c0", "c1", "c2", "missing"):
+        indexed = [m.msg_id for m in
+                   store.property_lookup("orders", "customer", key)]
+        scanned = [m.msg_id for m in
+                   store.property_lookup_scan("orders", "customer", key)]
+        assert indexed == scanned
+
+
+def test_index_created_over_existing_messages():
+    store = MessageStore()
+    fill(store)
+    store.create_property_index("orders", "customer")
+    assert [m.msg_id for m in
+            store.property_lookup("orders", "customer", "c1")] == \
+        [m.msg_id for m in
+         store.property_lookup_scan("orders", "customer", "c1")]
+
+
+def test_lookup_without_index_raises():
+    store = MessageStore()
+    fill(store)
+    with pytest.raises(StorageError):
+        store.property_lookup("orders", "customer", "c0")
+
+
+def test_deletes_maintain_index():
+    store = MessageStore()
+    store.create_property_index("orders", "customer")
+    ids = fill(store)
+    txn = store.begin()
+    txn.delete_message(ids[1])
+    txn.delete_message(ids[4])
+    store.commit(txn)
+    hits = [m.msg_id for m in
+            store.property_lookup("orders", "customer", "c1")]
+    assert ids[1] not in hits and ids[4] not in hits
+    assert hits == [m.msg_id for m in
+                    store.property_lookup_scan("orders", "customer", "c1")]
+
+
+def test_typed_values_do_not_cross_match():
+    """1 (int), 1.0 (float) and true are distinct index keys."""
+    store = MessageStore()
+    store.create_property_index("q", "v")
+    for value in (1, 1.0, True, "1"):
+        txn = store.begin()
+        txn.insert_message("q", b"<m/>", {"v": value}, [])
+        store.commit(txn)
+    for probe in (1, 1.0, True, "1"):
+        indexed = [m.msg_id for m in store.property_lookup("q", "v", probe)]
+        scanned = [m.msg_id
+                   for m in store.property_lookup_scan("q", "v", probe)]
+        assert indexed == scanned
+        assert len(indexed) == 1
+
+
+def test_messages_without_the_property_are_absent():
+    store = MessageStore()
+    store.create_property_index("orders", "customer")
+    txn = store.begin()
+    txn.insert_message("orders", b"<o/>", {}, [])
+    store.commit(txn)
+    assert store.property_lookup("orders", "customer", "c0") == []
+    assert len(store.property_index_entries("orders", "customer")) == 0
+
+
+def test_queue_depth_counts_without_materializing():
+    store = MessageStore()
+    fill(store, count=7)
+    assert store.queue_depth("orders") == 7
+    assert store.queue_depth("empty") == 0
+    txn = store.begin()
+    txn.delete_message(1)
+    store.commit(txn)
+    assert store.queue_depth("orders") == 6
+
+
+def test_registration_is_idempotent():
+    store = MessageStore()
+    store.create_property_index("orders", "customer")
+    fill(store, count=4)
+    before = store.property_index_entries("orders", "customer")
+    store.create_property_index("orders", "customer")
+    assert store.property_index_entries("orders", "customer") == before
+    assert store.property_indexes() == [("orders", "customer")]
+
+
+def test_index_rebuilt_on_recovery(tmp_path):
+    store = MessageStore(str(tmp_path))
+    store.create_property_index("orders", "customer")
+    fill(store, count=9)
+    expected = store.property_index_entries("orders", "customer")
+    assert expected
+    store.simulate_crash()
+    assert store.property_index_entries("orders", "customer") == []
+    store.recover()
+    assert store.property_index_entries("orders", "customer") == expected
+
+
+def test_index_rebuilt_from_checkpoint_plus_tail(tmp_path):
+    store = MessageStore(str(tmp_path))
+    store.create_property_index("orders", "customer")
+    fill(store, count=5)
+    store.checkpoint()
+    fill(store, count=4)          # WAL tail past the checkpoint
+    expected = store.property_index_entries("orders", "customer")
+    store.simulate_crash()
+    store.recover()
+    assert store.property_index_entries("orders", "customer") == expected
+    for key in ("c0", "c1", "c2"):
+        assert [m.msg_id for m in
+                store.property_lookup("orders", "customer", key)] == \
+            [m.msg_id for m in
+             store.property_lookup_scan("orders", "customer", key)]
