@@ -1,0 +1,173 @@
+"""E11 — closure-compiled XQuery backend vs the tree-walking
+interpreter on the rule hot path.
+
+Claim: lowering a rule body once into nested closures (functions,
+operators, and axes resolved at compile time; specialized path steps;
+early-exit existence conditions) makes repeated rule evaluation ≥ 3×
+faster than re-interpreting the AST — and measurably lifts end-to-end
+engine throughput with the compiled backend as the default
+(``DEMAQ_XQUERY_BACKEND``).
+
+Two groups:
+
+* *rule bodies* — the procurement workload's actual rules evaluated
+  against workload-sized messages with a slice environment, the exact
+  shape the executor runs per message (shape-asserted ≥ 3×);
+* *expression families* — paths (with predicates), FLWOR, comparisons,
+  and constructors in isolation, reported per family (predicate-heavy
+  micro shapes share more time in the common semantic kernel, so their
+  individual speedups sit below the rule-body aggregate).
+"""
+
+import pytest
+
+from conftest import scaled, shape, timed
+from repro.workloads import offer_request
+from repro.xmldm import parse
+from repro.xquery import (DynamicContext, Environment, compile_expr,
+                          compile_expression, evaluate)
+from repro.xquery.updates import PendingUpdateList
+
+EVALUATIONS = scaled(400, smoke_size=20)
+
+REQUEST_DOC = parse(offer_request("req-7", "cust-3", items=24))
+
+_SLICE_DOCS = [parse(f'<result kind="{kind}"><requestID>req-7</requestID>'
+                     "<accept/></result>")
+               for kind in ("credit", "legal")] * 4
+
+
+class SliceEnvironment(Environment):
+    """Enough of the rule environment for slice-rule bodies."""
+
+    def slice_messages(self):
+        return list(_SLICE_DOCS)
+
+    def slice_key(self):
+        return "req-7"
+
+
+#: The procurement application's rule bodies (engine/compiler output
+#: shape: queue rules see the message, slice rules see the slice).
+RULE_BODIES = {
+    "fork": 'if (//offerRequest) then ('
+            'do enqueue <check kind="credit">{//requestID}</check> '
+            'into finance, '
+            'do enqueue <check kind="legal">{//requestID}</check> '
+            'into legal) else ()',
+    "check": 'if (//check) then do enqueue <result kind="credit">'
+             '<requestID>{string(//requestID)}</requestID><accept/>'
+             '</result> into crm else ()',
+    "join": 'if (count(qs:slice()[//result]) = 2 '
+            'and not(qs:slice()[/offer])) then '
+            'do enqueue <offer><requestID>{string(qs:slicekey())}'
+            '</requestID></offer> into customer else ()',
+    "cleanup": 'if (qs:slice()[/offer]) then do reset else ()',
+    "non-match": 'if (//paymentConfirmation) then '
+                 'do enqueue <ack/> into crm else ()',
+}
+
+_ITEMS = "".join(f'<item sku="S{i}" qty="{i % 7}"><price>{i % 23}.5'
+                 "</price></item>" for i in range(40))
+FAMILY_DOC = parse(f'<order priority="high"><id>42</id>'
+                   f"<items>{_ITEMS}</items><note>rush</note></order>")
+
+EXPRESSION_FAMILIES = {
+    "paths": "//item[price > 11]/@sku",
+    "flwor": "for $i in //item where xs:double($i/price) > 11 "
+             "order by xs:double($i/price) descending "
+             "return <line sku='{$i/@sku}'>{$i/price/text()}</line>",
+    "comparisons": "count(//item[@qty >= 3 and price < 15]) > 4",
+    "constructors": "<summary n='{count(//item)}'>"
+                    "<total>{sum(//price)}</total></summary>",
+}
+
+
+def _context(doc):
+    return DynamicContext(item=doc, environment=SliceEnvironment(),
+                          updates=PendingUpdateList())
+
+
+def _interp_loop(expr, doc):
+    for _ in range(EVALUATIONS):
+        evaluate(expr, _context(doc))
+
+
+def _compiled_loop(fn, doc):
+    for _ in range(EVALUATIONS):
+        fn(_context(doc))
+
+
+def _measure(sources: dict, doc):
+    """{name: (interp_s, compiled_s)} plus summed totals."""
+    rows = {}
+    total_interp = total_compiled = 0.0
+    for name, source in sources.items():
+        expr = compile_expression(source)
+        fn = compile_expr(expr)       # lowered once, like CompiledRule
+        interp_s, _ = timed(_interp_loop, expr, doc, repeat=3)
+        compiled_s, _ = timed(_compiled_loop, fn, doc, repeat=3)
+        rows[name] = (interp_s, compiled_s)
+        total_interp += interp_s
+        total_compiled += compiled_s
+    return rows, total_interp, total_compiled
+
+
+@pytest.mark.benchmark(group="E11-eval")
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_rule_body_evaluation(benchmark, backend):
+    expr = compile_expression(RULE_BODIES["fork"])
+    if backend == "compiled":
+        fn = compile_expr(expr)
+        benchmark.pedantic(_compiled_loop, (fn, REQUEST_DOC),
+                           rounds=3, iterations=1)
+    else:
+        benchmark.pedantic(_interp_loop, (expr, REQUEST_DOC),
+                           rounds=3, iterations=1)
+
+
+def test_shape_rule_bodies_compiled_3x(report):
+    rows, total_interp, total_compiled = _measure(RULE_BODIES, REQUEST_DOC)
+    for name, (interp_s, compiled_s) in rows.items():
+        report(f"rule:{name}",
+               interp_ms=round(interp_s * 1e3, 1),
+               compiled_ms=round(compiled_s * 1e3, 1),
+               speedup=round(interp_s / compiled_s, 2))
+    speedup = total_interp / total_compiled
+    report("rule bodies total", speedup=round(speedup, 2))
+    shape(speedup >= 3.0,
+          f"compiled backend should be >= 3x on rule bodies, got "
+          f"{speedup:.2f}x")
+
+
+def test_shape_expression_families(report):
+    rows, total_interp, total_compiled = _measure(EXPRESSION_FAMILIES,
+                                                  FAMILY_DOC)
+    for name, (interp_s, compiled_s) in rows.items():
+        report(f"family:{name}",
+               interp_ms=round(interp_s * 1e3, 1),
+               compiled_ms=round(compiled_s * 1e3, 1),
+               speedup=round(interp_s / compiled_s, 2))
+    speedup = total_interp / total_compiled
+    report("families total", speedup=round(speedup, 2))
+    shape(speedup >= 1.5,
+          f"compiled backend should win every family mix, got "
+          f"{speedup:.2f}x")
+
+
+def test_backends_agree_on_results():
+    """The harness itself must compare identical work."""
+    for source in {**RULE_BODIES, **EXPRESSION_FAMILIES}.values():
+        expr = compile_expression(source)
+        interp_pul = PendingUpdateList()
+        interp_ctx = DynamicContext(item=REQUEST_DOC,
+                                    environment=SliceEnvironment(),
+                                    updates=interp_pul)
+        compiled_pul = PendingUpdateList()
+        compiled_ctx = DynamicContext(item=REQUEST_DOC,
+                                      environment=SliceEnvironment(),
+                                      updates=compiled_pul)
+        interp_result = evaluate(expr, interp_ctx)
+        compiled_result = compile_expr(expr)(compiled_ctx)
+        assert len(interp_result) == len(compiled_result)
+        assert len(interp_pul) == len(compiled_pul)

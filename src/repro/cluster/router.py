@@ -29,7 +29,7 @@ from ..network import build_envelope
 from ..network.transport import Network, node_endpoint
 from ..qdl.model import Application, QueueKind
 from ..xmldm import Document, parse
-from ..xquery import DynamicContext, evaluate
+from ..xquery import DynamicContext, make_evaluator
 from ..xquery.atomics import UntypedAtomic, cast_atomic
 from ..xquery.errors import XQueryError
 from ..xquery.sequence import atomize
@@ -87,16 +87,18 @@ class RoutingKeys:
         binding = prop.binding_for(queue)
         if binding is None:
             return None
-        return binding.value, prop.type_name
+        # Compiled once per router: key extraction runs on every routed
+        # enqueue, the same hot shape as the engine's property resolver.
+        return make_evaluator(binding.value), prop.type_name
 
     def key_for(self, queue: str, body: Document) -> str | None:
         """The slice key that places *body* on the ring (None: by queue)."""
         compiled = self._key_exprs.get(queue)
         if compiled is None:
             return None
-        expr, type_name = compiled
+        run, type_name = compiled
         try:
-            result = atomize(evaluate(expr, DynamicContext(item=body)))
+            result = atomize(run(DynamicContext(item=body)))
             if not result:
                 return None
             value = result[0]

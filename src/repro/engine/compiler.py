@@ -40,11 +40,11 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..qdl.model import Application, RuleDef, SlicingDef
 from ..xmldm import Document, Element, Node
-from ..xquery import ast
+from ..xquery import active_backend, ast, make_evaluator
 
 
 @dataclass
@@ -60,10 +60,24 @@ class CompiledRule:
     #: (queue, property) pairs whose equality predicates were pushed
     #: down to secondary-index lookups.
     index_lookups: list[tuple[str, str]] = field(default_factory=list)
+    #: Per-backend evaluation callables for *body*, built lazily: the
+    #: closure-compiled form is lowered once per rule, not once per
+    #: message (the §3.1 hot path).
+    _evaluators: dict[str, Callable] = field(
+        default_factory=dict, repr=False, compare=False)
 
     @property
     def name(self) -> str:
         return self.rule.name
+
+    def evaluator(self) -> Callable:
+        """The body's evaluation callable under the active backend."""
+        backend = active_backend()
+        fn = self._evaluators.get(backend)
+        if fn is None:
+            fn = make_evaluator(self.body, backend)
+            self._evaluators[backend] = fn
+        return fn
 
 
 @dataclass

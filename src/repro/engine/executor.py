@@ -17,7 +17,7 @@ from ..qdl.model import QueueKind
 from ..queues import Message, PropertyError
 from ..storage.errors import DeadlockError, LockTimeoutError
 from ..xmldm import Document, XMLError, serialize
-from ..xquery import DynamicContext, PendingUpdateList, evaluate
+from ..xquery import DynamicContext, PendingUpdateList
 from ..xquery.errors import XQueryError
 from ..xquery.updates import EnqueuePrimitive, ResetPrimitive
 from . import errors as err
@@ -149,7 +149,7 @@ class RuleExecutor:
                              updates=pul)
         self.stats.rules_evaluated += 1
         try:
-            evaluate(compiled.body, ctx)
+            compiled.evaluator()(ctx)
         except (DeadlockError, LockTimeoutError):
             raise
         except (XQueryError, XMLError, PropertyError) as exc:

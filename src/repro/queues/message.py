@@ -1,16 +1,18 @@
 """Runtime message objects.
 
-A :class:`Message` wraps a catalog entry from the store and parses its
-body on first access (messages are append-only, so the parse can be
-cached safely).  Everything rules see — ``qs:message()``, ``qs:queue()``,
-``qs:slice()`` — goes through these wrappers.
+A :class:`Message` wraps a catalog entry from the store.  Body decoding
+and parsing live in the store's bounded parsed-document cache (messages
+are append-only, so the parse can be shared safely across every handle
+over the same message — queue scans create many short-lived handles).
+Everything rules see — ``qs:message()``, ``qs:queue()``, ``qs:slice()``
+— goes through these wrappers.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..xmldm import Document, parse
+from ..xmldm import Document
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage import MessageStore, StoredMessage
@@ -49,8 +51,7 @@ class Message:
     @property
     def body(self) -> Document:
         if self._body is None:
-            raw = self._store.body_bytes(self.msg_id)
-            self._body = parse(raw.decode("utf-8"))
+            self._body = self._store.parsed_body(self.msg_id)
         return self._body
 
     # Defined after the decorated members: the method name shadows the
@@ -59,7 +60,7 @@ class Message:
         return self.meta.properties.get(name)
 
     def body_text(self) -> str:
-        return self._store.body_bytes(self.msg_id).decode("utf-8")
+        return self._store.body_text(self.msg_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Message {self.msg_id} in {self.queue!r}>"

@@ -24,7 +24,7 @@ from typing import Optional
 
 from ..qdl.model import Application
 from ..xmldm import Document
-from ..xquery import DynamicContext, evaluate
+from ..xquery import DynamicContext, active_backend, make_evaluator
 from ..xquery.atomics import UntypedAtomic, cast_atomic
 from ..xquery.errors import XQueryError
 from ..xquery.sequence import atomize
@@ -47,6 +47,9 @@ class PropertyResolver:
     def __init__(self, app: Application):
         self.app = app
         self.evaluations = 0
+        #: (backend, value source) -> evaluation callable; property value
+        #: expressions are compiled once per deployment, not per message.
+        self._evaluators: dict[tuple[str, str], object] = {}
 
     def resolve(self, queue: str, body: Document,
                 explicit: dict[str, object] | None = None,
@@ -116,7 +119,7 @@ class PropertyResolver:
             ctx = DynamicContext(item=body)
             try:
                 self.evaluations += 1
-                result = atomize(evaluate(binding.value, ctx))
+                result = atomize(self._evaluator(binding)(ctx))
             except XQueryError as exc:
                 raise PropertyError(
                     f"computing property {prop_name!r}: {exc}") from exc
@@ -129,6 +132,15 @@ class PropertyResolver:
                 f"property {prop_name!r} expression produced "
                 f"{len(result)} values")
         return self._cast(result[0], type_name, prop_name)
+
+    def _evaluator(self, binding):
+        backend = active_backend()
+        key = (backend, binding.value_source)
+        run = self._evaluators.get(key)
+        if run is None:
+            run = make_evaluator(binding.value, backend)
+            self._evaluators[key] = run
+        return run
 
     def _cast(self, value: object, type_name: str, prop_name: str) -> object:
         if isinstance(value, UntypedAtomic):

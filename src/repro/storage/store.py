@@ -24,10 +24,12 @@ import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from decimal import Decimal
 from typing import Iterable, Optional
 
+from ..xmldm import Document, parse as parse_xml
 from ..xquery.atomics import XSDateTime
 from .buffer import BufferManager
 from .disk import FileDiskManager, InMemoryDiskManager
@@ -122,6 +124,8 @@ class StoreStatistics:
     recoveries: int = 0
     last_recovery_seconds: float = 0.0
     replayed_records: int = 0
+    body_parses: int = 0
+    parse_cache_hits: int = 0
 
 
 class MessageStore:
@@ -131,10 +135,12 @@ class MessageStore:
                  buffer_capacity: int = 256,
                  sync_commits: bool = True,
                  log_deletes: bool = True,
-                 recover: bool = True):
+                 recover: bool = True,
+                 parse_cache_capacity: int = 1024):
         self.directory = directory
         self.sync_commits = sync_commits
         self.log_deletes = log_deletes
+        self.parse_cache_capacity = parse_cache_capacity
         self._mutex = threading.RLock()
 
         if directory is None:
@@ -158,6 +164,10 @@ class MessageStore:
         #: same committed operations, rebuilt (not logged) on recovery.
         self._property_indexes: dict[tuple[str, str], BPlusTree] = {}
         self._lifetimes: dict[tuple[str, object], int] = {}
+        #: msg_id -> [decoded text, parsed Document | None]: bodies are
+        #: append-only, so every reader of a message can share one
+        #: decode and one parse.  LRU-bounded; invalidated on delete.
+        self._parse_cache: OrderedDict[int, list] = OrderedDict()
         self._next_msg_id = 1
         self._next_seqno = 1
 
@@ -288,6 +298,7 @@ class MessageStore:
         if meta is None:
             return
         self.heap.delete(RID(*meta.rid))
+        self._parse_cache.pop(msg_id, None)
         self._queue_index.delete((meta.queue, meta.seqno))
         for slicing, key, lifetime in meta.slices:
             self._slice_index.delete((slicing, key, lifetime, meta.seqno))
@@ -306,6 +317,60 @@ class MessageStore:
             if meta is None:
                 raise StorageError(f"no message {msg_id}")
             return self.heap.fetch(RID(*meta.rid))
+
+    def body_text(self, msg_id: int) -> str:
+        """The message body decoded once, shared through the cache."""
+        return self._body_entry(msg_id)[0]
+
+    def parsed_body(self, msg_id: int) -> Document:
+        """The message body parsed once, shared by every reader.
+
+        Messages are append-only (§4.1), so the parsed tree never goes
+        stale while the message lives; deletion invalidates the entry.
+        """
+        entry = self._body_entry(msg_id)
+        if entry[1] is not None:
+            return entry[1]
+        # Parse outside the latch: bodies are immutable, so a racing
+        # duplicate parse is benign — the first published tree wins.
+        document = parse_xml(entry[0])
+        with self._mutex:
+            if entry[1] is None:
+                entry[1] = document
+                self.stats.body_parses += 1
+            return entry[1]
+
+    def _body_entry(self, msg_id: int) -> list:
+        """The cache entry [text, document|None] for a live message.
+
+        Decoding (like parsing) happens outside the store latch so
+        concurrent readers and writers are never serialized on it.
+        """
+        with self._mutex:
+            entry = self._parse_cache.get(msg_id)
+            if entry is not None:
+                self.stats.parse_cache_hits += 1
+                self._parse_cache.move_to_end(msg_id)
+                return entry
+            meta = self._catalog.get(msg_id)
+            if meta is None:
+                raise StorageError(f"no message {msg_id}")
+            raw = self.heap.fetch(RID(*meta.rid))
+        text = raw.decode("utf-8")
+        with self._mutex:
+            entry = self._parse_cache.get(msg_id)
+            if entry is not None:
+                # another reader published while we decoded
+                self._parse_cache.move_to_end(msg_id)
+                return entry
+            entry = [text, None]
+            if self.parse_cache_capacity > 0 and msg_id in self._catalog:
+                # the catalog re-check keeps a concurrent delete from
+                # being resurrected into the cache
+                self._parse_cache[msg_id] = entry
+                while len(self._parse_cache) > self.parse_cache_capacity:
+                    self._parse_cache.popitem(last=False)
+            return entry
 
     def queue_messages(self, queue: str) -> list[StoredMessage]:
         """All live messages of a queue, in arrival order."""
@@ -535,6 +600,7 @@ class MessageStore:
         with self._mutex:
             self.buffer.drop_all()
             self._catalog.clear()
+            self._parse_cache.clear()
             self._queue_index = BPlusTree()
             self._slice_index = BPlusTree()
             for pair in self._property_indexes:
@@ -546,6 +612,7 @@ class MessageStore:
         started = time.perf_counter()
         with self._mutex:
             self._catalog.clear()
+            self._parse_cache.clear()
             self._queue_index = BPlusTree()
             self._slice_index = BPlusTree()
             for pair in self._property_indexes:

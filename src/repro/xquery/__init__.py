@@ -6,13 +6,28 @@ High-level API::
 
     expr = compile_expression("//order[id = 7]")
     result = evaluate_expression(expr, context_item=document)
+
+Two evaluation backends share one semantics:
+
+* ``interp`` — the tree-walking reference interpreter
+  (:mod:`repro.xquery.evaluator`);
+* ``compiled`` — the closure-compilation backend
+  (:mod:`repro.xquery.compiled`), which lowers the AST once into nested
+  Python closures and is the default on the engine's rule hot path.
+
+:func:`active_backend` reads the ``DEMAQ_XQUERY_BACKEND`` environment
+variable (``compiled`` when unset); :func:`make_evaluator` hands out a
+``Callable[[DynamicContext], Sequence]`` for either backend.
 """
 
 from __future__ import annotations
 
+import os
+
 from ..xmldm import Node
 from . import ast
 from .atomics import UntypedAtomic, XSDateTime, cast_atomic
+from .compiled import compile_expr
 from .context import DynamicContext, Environment
 from .errors import (DynamicError, FunctionError, StaticError, TypeError_,
                      UpdateError, XQueryError)
@@ -23,13 +38,54 @@ from .sequence import (atomize, document_order, effective_boolean_value,
 from .updates import (EnqueuePrimitive, PendingUpdateList, ResetPrimitive,
                       as_message_body)
 
+#: Environment variable selecting the evaluation backend.
+BACKEND_ENV_VAR = "DEMAQ_XQUERY_BACKEND"
+
+_BACKEND_ALIASES = {
+    "interp": "interp", "interpreter": "interp", "interpreted": "interp",
+    "compiled": "compiled", "closure": "compiled", "closures": "compiled",
+}
+
+
+def _resolve_backend(name: str, where: str) -> str:
+    backend = _BACKEND_ALIASES.get(name.strip().lower())
+    if backend is None:
+        raise ValueError(
+            f"unknown XQuery backend {name!r}{where} "
+            "(expected 'interp' or 'compiled')")
+    return backend
+
+
+def active_backend() -> str:
+    """The selected backend name: ``"compiled"`` (default) or ``"interp"``."""
+    raw = os.environ.get(BACKEND_ENV_VAR)
+    if raw is None or not raw.strip():
+        return "compiled"
+    return _resolve_backend(raw, f" in ${BACKEND_ENV_VAR}")
+
+
+def make_evaluator(expr: "ast.Expr", backend: str | None = None):
+    """A ``Callable[[DynamicContext], Sequence]`` evaluating *expr*.
+
+    ``backend`` of ``None`` resolves :func:`active_backend`.  Callers
+    that evaluate an expression repeatedly (the rule executor, the
+    property resolver, the cluster router) hold on to the returned
+    closure so the compiled backend's lowering happens once.
+    """
+    backend = active_backend() if backend is None \
+        else _resolve_backend(backend, "")
+    if backend == "interp":
+        return lambda ctx: evaluate(expr, ctx)
+    return compile_expr(expr)
+
 
 def evaluate_expression(expr: "ast.Expr | str",
                         context_item: object = None,
                         variables: dict[str, list] | None = None,
                         environment: Environment | None = None,
                         namespaces: dict[str, str] | None = None,
-                        updates: PendingUpdateList | None = None) -> list:
+                        updates: PendingUpdateList | None = None,
+                        backend: str | None = None) -> list:
     """Compile (if needed) and evaluate an expression.
 
     >>> from repro.xmldm import parse
@@ -42,7 +98,7 @@ def evaluate_expression(expr: "ast.Expr | str",
     ctx = DynamicContext(item=context_item, variables=variables,
                          environment=environment, namespaces=namespaces,
                          updates=updates)
-    return evaluate(expr, ctx)
+    return make_evaluator(expr, backend)(ctx)
 
 
 __all__ = [
@@ -51,7 +107,8 @@ __all__ = [
     "DynamicContext", "Environment",
     "DynamicError", "FunctionError", "StaticError", "TypeError_",
     "UpdateError", "XQueryError",
-    "evaluate", "compile_expression", "evaluate_expression",
+    "evaluate", "compile_expr", "compile_expression", "evaluate_expression",
+    "BACKEND_ENV_VAR", "active_backend", "make_evaluator",
     "atomize", "document_order", "effective_boolean_value", "string_value",
     "EnqueuePrimitive", "PendingUpdateList", "ResetPrimitive",
     "as_message_body",

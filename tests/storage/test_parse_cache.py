@@ -1,0 +1,89 @@
+"""The store's bounded parsed-document cache (messages are append-only,
+so one decode + one parse can be shared by every reader of a message).
+"""
+
+import pytest
+
+from repro.queues import Message
+from repro.storage import MessageStore
+from repro.storage.errors import StorageError
+
+
+def _insert(store, queue="q", body=b"<m><v>1</v></m>"):
+    txn = store.begin()
+    txn.insert_message(queue, body, {}, [])
+    store.commit(txn)
+    return max(m.msg_id for m in store.queue_messages(queue))
+
+
+def test_handles_share_one_parse():
+    store = MessageStore()
+    msg_id = _insert(store)
+    meta = store.get(msg_id)
+    first = Message(meta, store)
+    second = Message(meta, store)
+    assert first.body is second.body
+    assert store.stats.body_parses == 1
+    assert store.stats.parse_cache_hits >= 1
+
+
+def test_text_and_parse_share_one_decode():
+    store = MessageStore()
+    msg_id = _insert(store)
+    meta = store.get(msg_id)
+    message = Message(meta, store)
+    text = message.body_text()
+    assert text == "<m><v>1</v></m>"
+    # The parse path reuses the cached decoded text entry.
+    assert message.body.root_element.name.local_name == "m"
+    assert store.stats.body_parses == 1
+    assert message.body_text() == text
+
+
+def test_delete_invalidates_cache_entry():
+    store = MessageStore()
+    msg_id = _insert(store)
+    store.parsed_body(msg_id)
+    txn = store.begin()
+    txn.delete_message(msg_id)
+    store.commit(txn)
+    with pytest.raises(StorageError):
+        store.parsed_body(msg_id)
+    with pytest.raises(StorageError):
+        store.body_text(msg_id)
+
+
+def test_cache_is_bounded_lru():
+    store = MessageStore(parse_cache_capacity=2)
+    ids = [_insert(store, body=f"<m><v>{i}</v></m>".encode())
+           for i in range(4)]
+    for msg_id in ids:
+        store.parsed_body(msg_id)
+    assert len(store._parse_cache) == 2
+    # Most recently used entries survive; older ones re-parse on access.
+    parses = store.stats.body_parses
+    store.parsed_body(ids[-1])
+    assert store.stats.body_parses == parses
+    store.parsed_body(ids[0])
+    assert store.stats.body_parses == parses + 1
+
+
+def test_capacity_zero_disables_caching():
+    store = MessageStore(parse_cache_capacity=0)
+    msg_id = _insert(store)
+    a = store.parsed_body(msg_id)
+    b = store.parsed_body(msg_id)
+    assert a is not b
+    assert len(store._parse_cache) == 0
+
+
+def test_crash_recovery_clears_cache(tmp_path):
+    store = MessageStore(str(tmp_path))
+    msg_id = _insert(store)
+    doc = store.parsed_body(msg_id)
+    store.simulate_crash()
+    store.recover()
+    recovered = store.parsed_body(msg_id)
+    assert recovered is not doc
+    assert recovered.root_element.name.local_name == "m"
+    store.close()
