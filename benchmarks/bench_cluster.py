@@ -93,6 +93,43 @@ def test_cluster_scaling_beats_single_server(report):
 
 
 @pytest.mark.bench
+def test_durable_shards_batch_and_group_commit(tmp_path, report):
+    """E12 on the cluster: 4 durable shards, per-message fsync vs
+    batched execution over group commit — same audit output, a fraction
+    of the log forces, driven concurrently by the cluster driver."""
+    counter = [0]
+
+    def run(**server_kwargs):
+        counter[0] += 1
+        cluster = ClusterServer(APP, nodes=4,
+                                data_dir=str(tmp_path / f"c{counter[0]}"),
+                                **server_kwargs)
+        for queue, body in workload():
+            cluster.enqueue(queue, body)
+        cluster.run_until_idle()
+        audit = cluster.queue_depth("audit")
+        forces = sum(server.store.wal.stats().flushes
+                     for server in cluster.servers.values())
+        for server in cluster.servers.values():
+            server.close()
+        return audit, forces
+
+    sync_seconds, (sync_audit, sync_forces) = timed(
+        run, durability="sync", repeat=2)
+    group_seconds, (group_audit, group_forces) = timed(
+        run, durability="group", batch_size=8, repeat=2)
+    report("durable-4-node",
+           sync_s=round(sync_seconds, 3), sync_forces=sync_forces,
+           group_s=round(group_seconds, 3), group_forces=group_forces,
+           speedup=round(sync_seconds / group_seconds, 2))
+    # batching must not change the audit outcome ...
+    assert group_audit == sync_audit
+    # ... and must collapse the per-shard force count (ingest commits
+    # stay one-per-message on both sides; processing batches 8-fold)
+    assert group_forces < sync_forces * 0.7
+
+
+@pytest.mark.bench
 def test_sharding_balances_queue_depth(report):
     cluster = ClusterServer(APP, nodes=4)
     for queue, body in workload():

@@ -63,3 +63,28 @@ def test_persistent_synced_throughput(benchmark, tmp_path):
 
     processed = benchmark.pedantic(run, rounds=2, iterations=1)
     assert processed == REQUESTS * 6
+
+
+@pytest.mark.benchmark(group="F1-throughput")
+def test_persistent_batched_group_commit_throughput(benchmark, tmp_path):
+    """The durable configuration after the E12 pipeline: batches of 8
+    scheduler picks per chained transaction, group-committed — same
+    final state as per-message sync execution, a fraction of the forces.
+    """
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        server = DemaqServer(procurement_application(),
+                             data_dir=str(tmp_path / f"b{counter[0]}"),
+                             durability="group", batch_size=8)
+        processed = drive(server)
+        forces = server.store.wal.stats().flushes
+        server.close()
+        return processed, forces
+
+    processed, forces = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert processed == REQUESTS * 6
+    # every commit forced the log under sync; batching + group commit
+    # must collapse that by at least the batch factor's better part
+    assert forces < (REQUESTS * 6) / 2

@@ -9,8 +9,15 @@ via :func:`scaled` and timing-shape assertions via :func:`shape` turn
 into warnings — tiny workloads exercise every harness code path to catch
 regressions in the benchmarks themselves, without asserting performance
 claims that need real sizes to hold.
+
+Machine-readable results (``DEMAQ_BENCH_RESULTS=<path>``): every
+:func:`report` row is also recorded as JSON keyed by test node id, and
+merged into the target file at session end — CI uploads the merged file
+as the ``BENCH_RESULTS.json`` artifact, one entry per bench, so runs
+accumulate a comparable trajectory instead of scrolling away in logs.
 """
 
+import json
 import os
 import time
 import warnings
@@ -19,6 +26,11 @@ import pytest
 
 #: CI runs every bench file with this set to catch harness regressions.
 SMOKE = os.environ.get("DEMAQ_BENCH_SMOKE", "") not in ("", "0")
+
+#: When set, report() rows are merged into this JSON file at exit.
+RESULTS_PATH = os.environ.get("DEMAQ_BENCH_RESULTS", "")
+
+_session_results: dict[str, dict] = {}
 
 
 def scaled(size: int, smoke_size: int | None = None) -> int:
@@ -53,10 +65,41 @@ def timed(fn, *args, repeat=3, **kwargs):
 
 @pytest.fixture()
 def report(request):
-    """Print a paper-style result row, visible in bench_output.txt."""
+    """Print a paper-style result row, visible in bench_output.txt.
+
+    With ``DEMAQ_BENCH_RESULTS`` set, the row is also recorded for the
+    merged machine-readable results file.
+    """
 
     def emit(label, **fields):
         parts = "  ".join(f"{key}={value}" for key, value in fields.items())
         print(f"\n[{request.node.name}] {label}: {parts}")
+        if RESULTS_PATH:
+            entry = _session_results.setdefault(request.node.nodeid, {})
+            entry[label] = {
+                key: value if isinstance(value, (int, float, str, bool))
+                else str(value)
+                for key, value in fields.items()}
 
     return emit
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this invocation's rows into the results file.
+
+    CI runs each bench file in its own pytest invocation; merging keeps
+    one artifact covering all of them.
+    """
+    if not RESULTS_PATH or not _session_results:
+        return
+    merged: dict = {}
+    if os.path.exists(RESULTS_PATH):
+        try:
+            with open(RESULTS_PATH, encoding="utf-8") as fh:
+                merged = json.load(fh)
+        except ValueError:
+            merged = {}
+    merged.update(_session_results)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")

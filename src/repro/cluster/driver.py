@@ -127,6 +127,11 @@ class ClusterDriver:
             thread.start()
         for thread in threads:
             thread.join()
+        # Quiescence drain: under the ``group``/``async`` durability
+        # policies a shard may still carry acknowledged-but-unforced
+        # commits; a completed run leaves every shard durable.
+        for server in workers:
+            server.store.group_commit.drain()
         self.stats.runs += 1
         if errors:
             raise errors[0]

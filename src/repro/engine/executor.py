@@ -11,11 +11,13 @@ transaction and the message is retried.
 
 from __future__ import annotations
 
+import sys
 from typing import TYPE_CHECKING
 
 from ..qdl.model import QueueKind
 from ..queues import Message, PropertyError
 from ..storage.errors import DeadlockError, LockTimeoutError
+from ..storage.transactions import TxnState
 from ..xmldm import Document, XMLError, serialize
 from ..xquery import DynamicContext, PendingUpdateList
 from ..xquery.errors import XQueryError
@@ -39,6 +41,8 @@ class ExecutionStatistics:
         self.deadlock_retries = 0
         self.enqueues = 0
         self.resets = 0
+        self.batches_committed = 0
+        self.batch_members_rolled_back = 0
 
 
 class RuleExecutor:
@@ -52,81 +56,135 @@ class RuleExecutor:
 
     def process_message(self, msg_id: int) -> bool:
         """Process one message; False means "aborted, retry later"."""
+        return not self.process_batch([msg_id])
+
+    def process_batch(self, msg_ids: list[int]) -> list[int]:
+        """Process several messages inside one chained transaction.
+
+        Every batch member gets a savepoint before its rules run; after
+        a member succeeds its buffered operations are *published* —
+        logged and applied without forcing the WAL — so batch-mates
+        observe its effects exactly as they would under one-message-one-
+        transaction execution (snapshot semantics per member, paper
+        §3.1).  A member that aborts (deadlock, lock timeout) rolls back
+        to its own savepoint and is returned for retry; its batch-mates
+        are unaffected.  The single commit at the end forces the log
+        once for the whole batch — with the ``group`` durability policy
+        that force is further coalesced across concurrently committing
+        shards.
+
+        Returns the message ids that must be rescheduled.
+        """
         server = self.server
         store = server.store
-        meta = store.get(msg_id)
-        if meta is None or meta.processed:
-            return True
-        message = Message(meta, store)
+        retry: list[int] = []
+        abandoned: list[int] = []
+        processed = 0
+        stranded = 0
+        txn = store.begin()
+        try:
+            for position, msg_id in enumerate(msg_ids):
+                meta = store.get(msg_id)
+                if meta is None or meta.processed:
+                    continue
+                message = Message(meta, store)
+                sp = txn.savepoint()
+                try:
+                    normal = self._process_into_txn(txn, meta, message)
+                    store.publish(txn)
+                except (DeadlockError, LockTimeoutError):
+                    txn.rollback_to_savepoint(sp)
+                    self.stats.deadlock_retries += 1
+                    self.stats.batch_members_rolled_back += 1
+                    retry.append(msg_id)
+                    continue
+                except BaseException:
+                    # An engine bug must not strand this member or its
+                    # unreached batch-mates — next_batch already popped
+                    # them all from the scheduler.  Reschedule them,
+                    # commit the completed prefix, re-raise.
+                    if not txn.poisoned:
+                        txn.rollback_to_savepoint(sp)
+                    abandoned.extend(msg_ids[position:])
+                    raise
+                if normal:
+                    processed += 1
+                else:
+                    stranded += 1
+        finally:
+            try:
+                if txn.state is TxnState.ACTIVE and not txn.poisoned:
+                    if txn.published_through:
+                        store.commit(txn)
+                    else:
+                        store.abort(txn)
+                if txn.state is TxnState.COMMITTED:
+                    self.stats.messages_processed += processed
+                    self.stats.rule_errors += stranded
+                    if len(msg_ids) > 1:
+                        self.stats.batches_committed += 1
+                    server.after_commit(txn)
+            finally:
+                server.locking.release(txn.txn_id)
+                if sys.exc_info()[0] is not None:
+                    # Exception path (member bug, commit I/O failure):
+                    # the caller never sees the retry list, and every
+                    # unfinished member was already popped from the
+                    # scheduler by next_batch — reschedule them all.
+                    for msg_id in abandoned + retry:
+                        meta = store.get(msg_id)
+                        if meta is not None and not meta.processed:
+                            server.scheduler.requeue(msg_id, meta.queue,
+                                                     meta.seqno)
+                    if txn.state is not TxnState.COMMITTED \
+                            and txn.published_through:
+                        # Published members' enqueues are applied in the
+                        # store even though COMMIT failed; register them
+                        # so they are scheduled, not stranded.
+                        server.after_commit(txn)
+        return retry
+
+    def _process_into_txn(self, txn, meta, message: Message) -> bool:
+        """Buffer the full processing of one message into *txn*.
+
+        Returns True for normal rule processing, False when the message
+        was stranded on an undefined queue and escalated per §3.6 (the
+        error document goes to the resolved error queue — or
+        ``server.unhandled_errors`` — and the message is marked
+        processed so it can be garbage-collected instead of sitting in
+        the store forever).
+        """
+        server = self.server
         queue_def = server.app.queues.get(meta.queue)
         if queue_def is None:
-            # A message on an undefined queue must not stay live but
-            # unscheduled forever: escalate per §3.6 and retire it.
-            return self._escalate_stranded(meta, message)
-        plan = server.compiled.plan_for(meta.queue)
-
-        txn = store.begin()
-        try:
-            pending: list[tuple[CompiledRule | None, object]] = []
-            body_names = None
-            for compiled in plan.rules:
-                body_names = self._evaluate_rule(
-                    compiled, message, txn, pending, body_names)
-            for compiled in plan.slice_rules:
-                body_names = self._evaluate_slice_rule(
-                    compiled, message, txn, pending, body_names)
-
-            for compiled, primitive in pending:
-                self._apply_primitive(txn, compiled, message, primitive)
-
-            # Echo and outgoing-gateway messages stay unprocessed until
-            # their delivery completes (see server pumps); rule-triggered
-            # processing must not let GC take them first.
-            if queue_def.kind in (QueueKind.BASIC, QueueKind.INCOMING_GATEWAY):
-                txn.mark_processed(msg_id)
-                self.server.locking.lock_queue_write(txn.txn_id, meta.queue)
-
-            store.commit(txn)
-        except (DeadlockError, LockTimeoutError):
-            store.abort(txn)
-            self.stats.deadlock_retries += 1
-            return False
-        finally:
-            server.locking.release(txn.txn_id)
-
-        self.stats.messages_processed += 1
-        server.after_commit(txn, trigger=message)
-        return True
-
-    def _escalate_stranded(self, meta, message: Message) -> bool:
-        """Retire a message whose queue has no definition (§3.6).
-
-        The error document goes to the application's error queue when
-        one resolves (rule → queue → system escalation finds only the
-        system level here); either way the message is marked processed
-        so it can be garbage-collected instead of sitting in the store
-        forever.  Without an error queue the document surfaces on
-        ``server.unhandled_errors``.
-        """
-        store = self.server.store
-        document = err.build_error_message(
-            err.SYSTEM,
-            f"message {meta.msg_id} arrived on undefined queue "
-            f"{meta.queue!r}",
-            queue=meta.queue, initial_message=message)
-        txn = store.begin()
-        try:
+            document = err.build_error_message(
+                err.SYSTEM,
+                f"message {meta.msg_id} arrived on undefined queue "
+                f"{meta.queue!r}",
+                queue=meta.queue, initial_message=message)
             self._route_error(txn, document, None, meta.queue)
             txn.mark_processed(meta.msg_id)
-            store.commit(txn)
-        except (DeadlockError, LockTimeoutError):
-            store.abort(txn)
-            self.stats.deadlock_retries += 1
             return False
-        finally:
-            self.server.locking.release(txn.txn_id)
-        self.stats.rule_errors += 1
-        self.server.after_commit(txn, trigger=message)
+
+        plan = server.compiled.plan_for(meta.queue)
+        pending: list[tuple[CompiledRule | None, object]] = []
+        body_names = None
+        for compiled in plan.rules:
+            body_names = self._evaluate_rule(
+                compiled, message, txn, pending, body_names)
+        for compiled in plan.slice_rules:
+            body_names = self._evaluate_slice_rule(
+                compiled, message, txn, pending, body_names)
+
+        for compiled, primitive in pending:
+            self._apply_primitive(txn, compiled, message, primitive)
+
+        # Echo and outgoing-gateway messages stay unprocessed until
+        # their delivery completes (see server pumps); rule-triggered
+        # processing must not let GC take them first.
+        if queue_def.kind in (QueueKind.BASIC, QueueKind.INCOMING_GATEWAY):
+            txn.mark_processed(meta.msg_id)
+            server.locking.lock_queue_write(txn.txn_id, meta.queue)
         return True
 
     # -- rule evaluation -------------------------------------------------------------

@@ -55,13 +55,26 @@ class Scheduler:
 
     def next_message(self) -> int | None:
         """Pop the most urgent unprocessed message id."""
+        batch = self.next_batch(1)
+        return batch[0] if batch else None
+
+    def next_batch(self, limit: int) -> list[int]:
+        """Pop up to *limit* message ids in scheduling order.
+
+        Exactly the order ``limit`` successive :meth:`next_message`
+        calls would produce — priority first, arrival second — so batch
+        execution preserves the §4.4.2 scheduling contract; requeued
+        messages re-enter through the same heap and are picked the same
+        way.
+        """
         with self._lock:
-            if not self._heap:
-                return None
-            entry = heapq.heappop(self._heap)
-            self._enqueued.discard(entry.msg_id)
-            self.dispatched += 1
-            return entry.msg_id
+            batch: list[int] = []
+            while self._heap and len(batch) < limit:
+                entry = heapq.heappop(self._heap)
+                self._enqueued.discard(entry.msg_id)
+                batch.append(entry.msg_id)
+            self.dispatched += len(batch)
+            return batch
 
     def requeue(self, msg_id: int, queue: str, seqno: int) -> None:
         """Put a message back (e.g. after a deadlock abort).

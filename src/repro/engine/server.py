@@ -10,6 +10,7 @@ Active Web node; several instances connected through a
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Iterable, Optional
 
 from ..network import Network, build_envelope, parse_envelope, parse_wsdl
@@ -52,16 +53,26 @@ class DemaqServer:
                  log_deletes: bool = True,
                  buffer_capacity: int = 256,
                  lock_timeout: float = 10.0,
-                 register_gateways: bool = True):
+                 register_gateways: bool = True,
+                 durability: str | None = None,
+                 batch_size: int | None = None):
         if isinstance(app, str):
             app = compile_application(app)
         self.app = app
         self.name = name
         self.clock = clock or VirtualClock()
         self.network = network
+        if batch_size is None:
+            batch_size = int(os.environ.get("DEMAQ_BATCH_SIZE", "1") or "1")
+        if batch_size < 1:
+            raise err.EngineError(f"batch_size must be >= 1, got {batch_size}")
+        #: How many scheduler picks one execution step may run inside a
+        #: single chained, group-committed transaction (§3.1 batching).
+        self.batch_size = batch_size
         self.store = MessageStore(data_dir, buffer_capacity=buffer_capacity,
                                   sync_commits=sync_commits,
-                                  log_deletes=log_deletes)
+                                  log_deletes=log_deletes,
+                                  durability=durability)
         self.locks = LockManager(lock_timeout)
         self.locking = LockingPolicy(self.locks, lock_granularity,
                                      lock_timeout)
@@ -149,7 +160,7 @@ class DemaqServer:
 
     # -- post-commit dispatch -------------------------------------------------------------
 
-    def after_commit(self, txn, trigger: Message | None = None) -> None:
+    def after_commit(self, txn) -> None:
         """Register every inserted message with the right subsystem."""
         for op in txn.ops:
             if not isinstance(op, InsertOp) or op.msg_id is None:
@@ -193,9 +204,9 @@ class DemaqServer:
         runs this concurrently per node and pumps the network itself at
         a barrier, so node threads never touch each other's stores.
         """
-        msg_id = self.scheduler.next_message()
-        if msg_id is not None:
-            if not self.executor.process_message(msg_id):
+        batch = self.scheduler.next_batch(self.batch_size)
+        if batch:
+            for msg_id in self.executor.process_batch(batch):
                 meta = self.store.get(msg_id)
                 if meta is not None:
                     self.scheduler.requeue(msg_id, meta.queue, meta.seqno)
@@ -257,7 +268,7 @@ class DemaqServer:
             if txn.state.value == "active":
                 self.store.abort(txn)
             self.locking.release(txn.txn_id)
-        self.after_commit(txn, trigger=message)
+        self.after_commit(txn)
 
     def _forwardable_properties(self, queue: str,
                                 properties: dict[str, object]

@@ -12,24 +12,27 @@ from .buffer import BufferManager
 from .disk import PAGE_SIZE, FileDiskManager, InMemoryDiskManager
 from .errors import (BufferError_, DeadlockError, LockError, LockTimeoutError,
                      PageError, StorageError, TransactionError, WALError)
+from .groupcommit import (POLICIES as DURABILITY_POLICIES,
+                          GroupCommitCoordinator)
 from .heap import RID, RecordHeap
 from .locks import IS, IX, S, X, LockManager, compatible
 from .pages import MAX_RECORD, SlottedPage
 from .store import (MessageStore, StoredMessage, StoreStatistics,
                     decode_value, encode_value)
 from .transactions import Transaction, TransactionManager, TxnState
-from .wal import LogRecord, WriteAheadLog
+from .wal import LogAnalysis, LogRecord, WALStats, WriteAheadLog
 
 __all__ = [
     "BPlusTree", "BufferManager", "PAGE_SIZE", "FileDiskManager",
     "InMemoryDiskManager",
     "BufferError_", "DeadlockError", "LockError", "LockTimeoutError",
     "PageError", "StorageError", "TransactionError", "WALError",
+    "DURABILITY_POLICIES", "GroupCommitCoordinator",
     "RID", "RecordHeap",
     "IS", "IX", "S", "X", "LockManager", "compatible",
     "MAX_RECORD", "SlottedPage",
     "MessageStore", "StoredMessage", "StoreStatistics",
     "decode_value", "encode_value",
     "Transaction", "TransactionManager", "TxnState",
-    "LogRecord", "WriteAheadLog",
+    "LogAnalysis", "LogRecord", "WALStats", "WriteAheadLog",
 ]

@@ -1,0 +1,223 @@
+"""Group commit: coalescing WAL forces across transactions.
+
+The paper's execution model is one message, one transaction (§3.1), and
+the literal implementation pays one ``os.fsync`` per processed message —
+the dominant cost on the durable-store path once rule evaluation is
+compiled.  The classic fix is to decouple *committing* (appending the
+COMMIT record) from *forcing* (fsyncing the log): commits publish the
+LSN they need durable to a coordinator that issues one force covering
+every pending commit, then wakes all waiters the force covered.  The
+WAL is prefix-durable — one force makes every earlier record durable —
+so coalescing never reorders durability.
+
+Three policies, selected via ``MessageStore(durability=...)`` or the
+``DEMAQ_DURABILITY`` environment variable:
+
+* ``sync`` — the pre-group-commit behavior: every commit forces the log
+  inline before acknowledging.  One fsync per transaction.
+* ``group`` — leader-committer group commit: the first committer to
+  arrive becomes the leader and forces the log itself (no thread
+  handoff on an uncontended path); committers arriving while the
+  leader's fsync is in flight wait and are covered by the leader's
+  force or elect the next leader.  A waiter never waits longer than
+  ``max_wait``: past the bound it forces inline, so a stalled leader
+  delays an acknowledgement by at most ``max_wait`` seconds.
+* ``async`` — commits acknowledge immediately and a background flusher
+  thread forces the tail; a crash loses at most the unforced log tail
+  (which torn-tail truncation discards cleanly on recovery).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .errors import StorageError
+from .wal import WriteAheadLog
+
+POLICIES = ("sync", "group", "async")
+
+#: How long an idle async flusher thread lingers before exiting (it
+#: restarts on the next commit); bounds thread buildup across many
+#: short-lived stores in one process.
+_IDLE_EXIT = 0.5
+
+
+class GroupCommitStatistics:
+    """Counters the benchmarks and tests read."""
+
+    def __init__(self) -> None:
+        self.commits = 0            # commit() calls that reached the policy
+        self.group_waits = 0        # times a committer waited on a leader
+        self.leader_forces = 0      # forces issued by a group leader
+        self.inline_forces = 0      # sync forces + max_wait bailouts
+        self.background_forces = 0  # forces issued by the async flusher
+
+
+class GroupCommitCoordinator:
+    """Coalesces commit forces for one WAL under a durability policy."""
+
+    def __init__(self, wal: WriteAheadLog, policy: str = "sync",
+                 max_wait: float = 0.05):
+        if policy not in POLICIES:
+            raise StorageError(
+                f"unknown durability policy {policy!r} "
+                f"(expected one of {', '.join(POLICIES)})")
+        self.wal = wal
+        self.policy = policy
+        self.max_wait = max_wait
+        self.stats = GroupCommitStatistics()
+        self._cond = threading.Condition()
+        self._requested_lsn = 0
+        self._leader_active = False
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._paused = False
+
+    # -- the commit-side API ----------------------------------------------------
+
+    def commit(self, lsn: int) -> None:
+        """Make the log durable through *lsn* under the active policy.
+
+        ``sync`` forces inline; ``group`` coalesces through a leader
+        committer (waits bounded by ``max_wait``); ``async`` publishes
+        to the background flusher and returns.
+        """
+        # Counters are read by benchmarks/tests while committer threads
+        # run; all mutations happen under the condition lock so they
+        # never tear (the WAL's own counters are guarded the same way).
+        with self._cond:
+            self.stats.commits += 1
+        if self.policy == "sync":
+            self.wal.flush_to(lsn)
+            with self._cond:
+                self.stats.inline_forces += 1
+            return
+        if self.policy == "async":
+            with self._cond:
+                if self._closed:
+                    raise StorageError("group-commit coordinator is closed")
+                if lsn > self._requested_lsn:
+                    self._requested_lsn = lsn
+                self._ensure_flusher()
+                self._cond.notify_all()
+            return
+        self._commit_group(lsn)
+
+    def _commit_group(self, lsn: int) -> None:
+        deadline = time.monotonic() + self.max_wait
+        while True:
+            lead = False
+            with self._cond:
+                if lsn > self._requested_lsn:
+                    self._requested_lsn = lsn
+                if self.wal.flushed_lsn >= lsn:
+                    return
+                if not self._leader_active and not self._paused:
+                    self._leader_active = True
+                    lead = True
+                elif not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining > 0:
+                        self.stats.group_waits += 1
+                        self._cond.wait(remaining)
+                        continue
+            if lead:
+                try:
+                    with self._cond:
+                        target = max(self._requested_lsn, lsn)
+                    # Force outside the condition: committers arriving
+                    # during the fsync enqueue behind it — they *are*
+                    # the next group.
+                    self.wal.flush_to(target)
+                finally:
+                    with self._cond:
+                        self.stats.leader_forces += 1
+                        self._leader_active = False
+                        self._cond.notify_all()
+                if self.wal.flushed_lsn >= lsn:
+                    return
+                continue
+            # Latency bound: no coalesced force arrived within max_wait
+            # (or the coordinator closed/paused mid-wait) — force inline.
+            self.wal.flush_to(lsn)
+            with self._cond:
+                self.stats.inline_forces += 1
+            return
+
+    def drain(self) -> None:
+        """Block until every published commit LSN is durable."""
+        with self._cond:
+            target = self._requested_lsn
+        if target > self.wal.flushed_lsn:
+            self.wal.flush_to(target)
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- test hooks --------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Suspend coalesced forcing (crash tests stage unforced tails)."""
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    def pending_lsn(self) -> int:
+        """Highest LSN a commit has requested durable so far."""
+        with self._cond:
+            return self._requested_lsn
+
+    # -- the async flusher thread ------------------------------------------------
+
+    def _ensure_flusher(self) -> None:
+        # Called with the condition held.
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._run, name="demaq-wal-flusher", daemon=True)
+            self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                fired = self._cond.wait_for(
+                    lambda: self._closed
+                    or (not self._paused
+                        and self._requested_lsn > self.wal.flushed_lsn),
+                    timeout=_IDLE_EXIT)
+                if self._closed:
+                    return
+                if not fired:
+                    # Idle too long: exit; a later commit restarts us.
+                    self._thread = None
+                    return
+                target = self._requested_lsn
+            self.wal.flush_to(target)
+            with self._cond:
+                self.stats.background_forces += 1
+                self._cond.notify_all()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self, flush: bool = True) -> None:
+        """Stop the coordinator; by default force any pending tail first.
+
+        ``flush=False`` abandons the unforced tail — the crash path
+        (``MessageStore.simulate_crash``) uses it so a background force
+        cannot race the simulated power cut.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join()
+        if flush:
+            with self._cond:
+                target = self._requested_lsn
+            if target > self.wal.flushed_lsn:
+                self.wal.flush_to(target)

@@ -64,7 +64,7 @@ class RecordHeap:
             page = self.buffer.pin(page_id)
             try:
                 slot = page.insert(payload)
-                page.lsn = max(page.lsn, lsn)
+                page.raise_lsn(lsn)
                 return page_id, slot
             except PageError:
                 pass
@@ -73,7 +73,7 @@ class RecordHeap:
         page_id, page = self.buffer.new_page()
         try:
             slot = page.insert(payload)
-            page.lsn = max(page.lsn, lsn)
+            page.raise_lsn(lsn)
         finally:
             self.buffer.unpin(page_id, dirty=True)
         self._open_page = page_id

@@ -87,18 +87,28 @@ class SlottedPage:
         if len(record) > MAX_RECORD:
             raise PageError(
                 f"record of {len(record)} bytes exceeds page capacity")
-        if len(record) > self.free_space():
+        # One header read serves the space check and the update — this
+        # is the hottest page operation (every message body lands here).
+        lsn, count, free = _HEADER.unpack_from(self.data, 0)
+        if len(record) > free - (HEADER_SIZE + count * SLOT_SIZE) - SLOT_SIZE:
             # Deleted records leave holes; compaction may make room.
             self.compact()
-            if len(record) > self.free_space():
+            lsn, count, free = _HEADER.unpack_from(self.data, 0)
+            if len(record) > \
+                    free - (HEADER_SIZE + count * SLOT_SIZE) - SLOT_SIZE:
                 raise PageError("page full")
-        count = self.slot_count
-        free = self._free_pointer
         offset = free - len(record)
         self.data[offset:free] = record
-        self._set_header(count + 1, offset)
-        self._set_slot(count, offset, len(record))
+        _HEADER.pack_into(self.data, 0, lsn, count + 1, offset)
+        _SLOT.pack_into(self.data, HEADER_SIZE + count * SLOT_SIZE,
+                        offset, len(record))
         return count
+
+    def raise_lsn(self, lsn: int) -> None:
+        """``page.lsn = max(page.lsn, lsn)`` in one header read."""
+        current, count, free = _HEADER.unpack_from(self.data, 0)
+        if lsn > current:
+            _HEADER.pack_into(self.data, 0, lsn, count, free)
 
     def read(self, slot: int) -> bytes:
         offset, length = self._slot(slot)

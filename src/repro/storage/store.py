@@ -33,10 +33,12 @@ from ..xmldm import Document, parse as parse_xml
 from ..xquery.atomics import XSDateTime
 from .buffer import BufferManager
 from .disk import FileDiskManager, InMemoryDiskManager
-from .errors import StorageError
+from .errors import StorageError, TransactionError
+from .groupcommit import GroupCommitCoordinator
 from .heap import RID, RecordHeap
-from .transactions import (DeleteOp, InsertOp, MarkProcessedOp, SliceResetOp,
-                           Transaction, TransactionManager)
+from .transactions import (DeleteOp, InsertOp, MarkProcessedOp, RollbackToOp,
+                           SavepointOp, SliceResetOp, Transaction,
+                           TransactionManager, _replay)
 from .btree import BPlusTree
 from . import wal as walmod
 from .wal import WriteAheadLog
@@ -136,12 +138,24 @@ class MessageStore:
                  sync_commits: bool = True,
                  log_deletes: bool = True,
                  recover: bool = True,
-                 parse_cache_capacity: int = 1024):
+                 parse_cache_capacity: int = 1024,
+                 durability: str | None = None,
+                 group_commit_max_wait: float = 0.05):
         self.directory = directory
         self.sync_commits = sync_commits
         self.log_deletes = log_deletes
         self.parse_cache_capacity = parse_cache_capacity
         self._mutex = threading.RLock()
+
+        # Durability policy resolution: explicit argument, then the
+        # DEMAQ_DURABILITY environment (how CI runs the whole suite per
+        # policy), then the legacy sync_commits flag (False always meant
+        # "acknowledge before force").  The coordinator validates it.
+        if durability is None:
+            durability = os.environ.get("DEMAQ_DURABILITY") or \
+                ("sync" if sync_commits else "async")
+        self.durability = durability
+        self._group_commit_max_wait = group_commit_max_wait
 
         if directory is None:
             self._disk = InMemoryDiskManager()
@@ -150,6 +164,8 @@ class MessageStore:
             os.makedirs(directory, exist_ok=True)
             self._disk = FileDiskManager(os.path.join(directory, "pages.dat"))
             self.wal = WriteAheadLog(os.path.join(directory, "wal.log"))
+        self.group_commit = GroupCommitCoordinator(
+            self.wal, durability, max_wait=group_commit_max_wait)
         self.buffer = BufferManager(self._disk, buffer_capacity,
                                     flush_to_lsn=self.wal.flush_to)
         self.heap = RecordHeap(self.buffer)
@@ -168,6 +184,9 @@ class MessageStore:
         #: append-only, so every reader of a message can share one
         #: decode and one parse.  LRU-bounded; invalidated on delete.
         self._parse_cache: OrderedDict[int, list] = OrderedDict()
+        #: Chained transactions that have published but not committed;
+        #: a checkpoint must not snapshot their in-flight state.
+        self._published_open: set[int] = set()
         self._next_msg_id = 1
         self._next_seqno = 1
 
@@ -186,25 +205,111 @@ class MessageStore:
         self.transactions.abort(txn)
 
     def apply_transaction(self, txn: Transaction) -> None:
-        """Log and apply a transaction's buffered operations atomically."""
+        """Commit: publish the journal tail, log COMMIT, await durability.
+
+        The durability wait happens *outside* the store latch — that is
+        what lets the group-commit coordinator coalesce forces across
+        concurrently committing transactions.  Applied-but-unforced
+        state is safe to expose early: WAL forces are prefix-closed, so
+        any later commit's force covers this one too.
+        """
+        commit_lsn = None
         with self._mutex:
-            persistent_ops = [op for op in txn.ops
-                              if not isinstance(op, InsertOp) or op.persistent]
-            log_it = bool(persistent_ops)
-            # Assign ids up front so log records carry them.
-            for op in txn.ops:
-                if isinstance(op, InsertOp):
-                    op.msg_id = self._next_msg_id
-                    self._next_msg_id += 1
-            if log_it:
-                self.wal.append(walmod.BEGIN, txn.txn_id)
-                for op in persistent_ops:
-                    self._log_op(txn.txn_id, op)
+            self._publish(txn)
+            self._published_open.discard(txn.txn_id)
+            if txn.logged_begin:
                 self.wal.append(walmod.COMMIT, txn.txn_id)
-                if self.sync_commits:
-                    self.wal.flush()
-            for op in txn.ops:
-                self._apply_op(op)
+                commit_lsn = self.wal.end_lsn()
+        if commit_lsn is not None:
+            self.group_commit.commit(commit_lsn)
+
+    def publish(self, txn: Transaction) -> None:
+        """Chained-transaction boundary: log + apply the journal tail.
+
+        The batch executor calls this after each batch member succeeds,
+        making the member's effects visible to its batch-mates exactly
+        as a per-message commit would — without forcing the log.  Once
+        published, a span can no longer be rolled back, and the
+        transaction *must* end in commit.
+        """
+        with self._mutex:
+            self._publish(txn)
+            if txn.published_through:
+                self._published_open.add(txn.txn_id)
+
+    def _publish(self, txn: Transaction) -> None:
+        """Log and apply journal entries past the published cursor."""
+        if txn.poisoned:
+            raise TransactionError(
+                f"txn {txn.txn_id} had a failed publish; its log suffix "
+                f"is indeterminate and cannot be retried")
+        suffix = txn.ops[txn.published_through:]
+        if not suffix:
+            return
+        try:
+            self._publish_suffix(txn, suffix)
+        except BaseException:
+            # The WAL may hold part of the suffix; a retry would append
+            # it again (with fresh msg_ids) and recovery would
+            # materialize duplicates.  The transaction is dead — drop it
+            # from the open-chain set so checkpoints are not wedged
+            # forever.  Members published before the failure stay
+            # applied (each is a complete, consistent unit); without a
+            # COMMIT record they survive only through a later
+            # checkpoint, never through log replay.
+            txn.poisoned = True
+            self._published_open.discard(txn.txn_id)
+            raise
+
+    def _publish_suffix(self, txn: Transaction, suffix: list) -> None:
+        live, flags = _replay(suffix)
+        rolled_back_sps = {entry.sp_id for entry in suffix
+                           if isinstance(entry, RollbackToOp)}
+        # A suffix with no surviving persistent work logs nothing at all
+        # (the old no-persistent-effect rule) — dead spans are logged
+        # faithfully only when they ride along with live work, which is
+        # exactly the batch-with-one-failed-member shape.
+        log_suffix = any(not isinstance(op, InsertOp) or op.persistent
+                         for op in live)
+        # Assign ids to every insert (even dead or non-persistent ones)
+        # so log records and callers see stable ids.
+        for entry in suffix:
+            if isinstance(entry, InsertOp):
+                entry.msg_id = self._next_msg_id
+                self._next_msg_id += 1
+        # Logging pass.  SAVEPOINT records are only needed when a
+        # ROLLBACK_SP will reference them (rollbacks never cross publish
+        # boundaries), and only once the span logs a real record.
+        pending_sps: list[SavepointOp] = []
+        appended_sps: set[int] = set()
+        for entry in suffix:
+            if not log_suffix:
+                break
+            if isinstance(entry, SavepointOp):
+                if entry.sp_id in rolled_back_sps:
+                    pending_sps.append(entry)
+            elif isinstance(entry, RollbackToOp):
+                pending_sps = [sp for sp in pending_sps
+                               if sp.sp_id != entry.sp_id]
+                if entry.sp_id in appended_sps:
+                    self.wal.append(walmod.ROLLBACK_SP, txn.txn_id,
+                                    sp=entry.sp_id)
+            elif not isinstance(entry, InsertOp) or entry.persistent:
+                if not txn.logged_begin:
+                    self.wal.append(walmod.BEGIN, txn.txn_id)
+                    txn.logged_begin = True
+                for marker in pending_sps:
+                    self.wal.append(walmod.SAVEPOINT, txn.txn_id,
+                                    sp=marker.sp_id)
+                    appended_sps.add(marker.sp_id)
+                pending_sps.clear()
+                self._log_op(txn.txn_id, entry)
+        # Apply pass: surviving data ops only, after all records are
+        # appended so page LSNs respect WAL-before-data.
+        for entry, live in zip(suffix, flags):
+            if live and not isinstance(entry, (SavepointOp, RollbackToOp)):
+                self._apply_op(entry)
+        txn.published_through = len(txn.ops)
 
     def _log_op(self, txn_id: int, op) -> None:
         if isinstance(op, InsertOp):
@@ -560,6 +665,10 @@ class MessageStore:
         if self.directory is None:
             return
         with self._mutex:
+            if self._published_open:
+                raise StorageError(
+                    "cannot checkpoint while a chained transaction has "
+                    "published uncommitted work")
             self.buffer.flush_all()
             snapshot = {
                 "next_msg_id": self._next_msg_id,
@@ -590,13 +699,25 @@ class MessageStore:
                             wal_end=self.wal.end_lsn())
             self.wal.flush()
 
-    def simulate_crash(self) -> None:
+    def simulate_crash(self, lose_unflushed: bool = False) -> None:
         """Drop all volatile state (buffer pool + in-memory structures).
 
         Index *registrations* model the durable catalog (they come from
         the application definition), so they survive; contents rebuild
         in :meth:`recover`.
+
+        ``lose_unflushed=True`` also discards the appended-but-unforced
+        WAL tail, modelling a power cut under the ``async`` (and, for
+        in-flight commits, ``group``) durability policies.  The flusher
+        is halted *without* a final force first, so a background fsync
+        cannot race the cut.
         """
+        self.group_commit.close(flush=not lose_unflushed)
+        if lose_unflushed:
+            self.wal.discard_unflushed()
+        self.group_commit = GroupCommitCoordinator(
+            self.wal, self.durability,
+            max_wait=self._group_commit_max_wait)
         with self._mutex:
             self.buffer.drop_all()
             self._catalog.clear()
@@ -611,6 +732,10 @@ class MessageStore:
         """Restore state from the checkpoint (if any) plus the WAL tail."""
         started = time.perf_counter()
         with self._mutex:
+            # Drop any torn tail physically: appends after recovery must
+            # extend the valid log, not hide behind garbage.
+            self.wal.truncate_torn_tail()
+            self._published_open.clear()
             self._catalog.clear()
             self._parse_cache.clear()
             self._queue_index = BPlusTree()
@@ -630,10 +755,15 @@ class MessageStore:
                 self._load_snapshot(snapshot)
                 replay_from = checkpoint.data["wal_end"]
 
-            committed, _ = walmod.analyze(self.wal.records(replay_from))
+            analysis = walmod.analyze_records(self.wal.records(replay_from))
             replayed = 0
             for record in self.wal.records(replay_from):
-                if record.txn is not None and record.txn not in committed:
+                if record.txn is not None \
+                        and record.txn not in analysis.committed:
+                    continue
+                if analysis.is_rolled_back(record):
+                    # The span between SAVEPOINT and ROLLBACK_SP is a
+                    # batch member that aborted alone: logged, dead.
                     continue
                 replayed += 1
                 self._redo(record)
@@ -682,9 +812,13 @@ class MessageStore:
             self._apply_reset(record.data["slicing"], record.data["key"])
         elif record.type == walmod.MSG_DELETE:
             self._apply_delete(record.data["msg_id"])
-        # BEGIN/COMMIT/ABORT/CHECKPOINT carry no redo work.
+        # BEGIN/COMMIT/ABORT/CHECKPOINT/SAVEPOINT/ROLLBACK_SP carry no
+        # redo work of their own.
 
     def close(self) -> None:
+        # Quiesce the flusher before the latch: a background force must
+        # not race the final buffer flush / file close.
+        self.group_commit.close()
         with self._mutex:
             self.buffer.flush_all()
             self.wal.close()

@@ -59,17 +59,90 @@ class DeleteOp:
 
 
 @dataclass
+class SavepointOp:
+    """Journal marker: a rollback point (one batch member's start)."""
+
+    sp_id: int
+
+
+@dataclass
+class RollbackToOp:
+    """Journal marker: everything since the savepoint is dead.
+
+    The dead span stays in the journal — the store logs it faithfully
+    (SAVEPOINT … ROLLBACK_SP in the WAL) and recovery skips it — so a
+    batch member that aborts alone leaves an auditable trace instead of
+    silently vanishing from the log.
+    """
+
+    sp_id: int
+
+
+@dataclass
 class Transaction:
-    """A buffered unit of work against the message store."""
+    """A buffered unit of work against the message store.
+
+    ``ops`` is a *journal*: data operations interleaved with
+    savepoint/rollback markers.  ``live_ops()`` replays the journal to
+    the operations that survive rollbacks; ``published_through`` is the
+    store's cursor over the journal for chained (batched) commits —
+    entries before it are already logged and applied, so rolling back
+    across it is forbidden.
+    """
 
     txn_id: int = field(default_factory=lambda: next(_TXN_IDS))
     state: TxnState = TxnState.ACTIVE
     ops: list = field(default_factory=list)
+    published_through: int = 0
+    logged_begin: bool = False
+    #: Set when a publish died midway (e.g. a WAL I/O error): the log
+    #: may hold a partial suffix, so re-publishing would duplicate
+    #: records — the transaction can only be dropped.
+    poisoned: bool = False
+
+    def __post_init__(self):
+        self._sp_counter = itertools.count(1)
+        self._savepoints: dict[int, int] = {}   # sp_id -> journal index
 
     def _require_active(self) -> None:
         if self.state is not TxnState.ACTIVE:
             raise TransactionError(
                 f"txn {self.txn_id} is {self.state.value}, not active")
+
+    # -- savepoints --------------------------------------------------------------
+
+    def savepoint(self) -> int:
+        """Mark a rollback point; returns its id."""
+        self._require_active()
+        sp_id = next(self._sp_counter)
+        self._savepoints[sp_id] = len(self.ops)
+        self.ops.append(SavepointOp(sp_id))
+        return sp_id
+
+    def rollback_to_savepoint(self, sp_id: int) -> None:
+        """Abandon every operation buffered since *sp_id*.
+
+        The savepoint stays usable afterwards (SQL semantics); inner
+        savepoints created after it are discarded.  Rolling back work
+        the store has already published is impossible by construction.
+        """
+        self._require_active()
+        index = self._savepoints.get(sp_id)
+        if index is None:
+            raise TransactionError(
+                f"txn {self.txn_id} has no active savepoint {sp_id}")
+        if index < self.published_through:
+            raise TransactionError(
+                f"savepoint {sp_id} of txn {self.txn_id} was already "
+                f"published; published work cannot be rolled back")
+        for inner, inner_index in list(self._savepoints.items()):
+            if inner_index > index:
+                del self._savepoints[inner]
+        self.ops.append(RollbackToOp(sp_id))
+
+    def live_ops(self) -> list:
+        """The data operations that survive every rollback, in order."""
+        return _replay(self.ops)[0]
 
     def insert_message(self, queue: str, payload: bytes,
                        properties: dict[str, object],
@@ -97,7 +170,33 @@ class Transaction:
     def touches_persistent_state(self) -> bool:
         return any(
             not isinstance(op, InsertOp) or op.persistent
-            for op in self.ops)
+            for op in self.live_ops())
+
+
+def _replay(journal: list) -> tuple[list, list[bool]]:
+    """Replay a journal: (live data ops, per-entry liveness flags).
+
+    Rollback markers truncate the live list back to their savepoint's
+    mark; the flags say, for every journal entry, whether it survived
+    (markers themselves are flagged True — they are never "applied").
+    """
+    live: list = []
+    live_indexes: list[int] = []
+    flags = [True] * len(journal)
+    marks: dict[int, int] = {}
+    for index, entry in enumerate(journal):
+        if isinstance(entry, SavepointOp):
+            marks[entry.sp_id] = len(live)
+        elif isinstance(entry, RollbackToOp):
+            mark = marks[entry.sp_id]
+            for dead in live_indexes[mark:]:
+                flags[dead] = False
+            del live[mark:]
+            del live_indexes[mark:]
+        else:
+            live.append(entry)
+            live_indexes.append(index)
+    return live, flags
 
 
 class TransactionManager:
@@ -124,6 +223,12 @@ class TransactionManager:
 
     def abort(self, txn: Transaction) -> None:
         txn._require_active()
+        if txn.published_through:
+            # A chained transaction's published prefix is already logged
+            # and applied; only commit can end it consistently.
+            raise TransactionError(
+                f"txn {txn.txn_id} has published operations and can no "
+                f"longer abort")
         txn.ops.clear()
         txn.state = TxnState.ABORTED
         with self._lock:

@@ -19,7 +19,7 @@ import os
 import struct
 import threading
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from .errors import WALError
@@ -35,10 +35,12 @@ MSG_PROCESSED = "msg_processed"
 MSG_DELETE = "msg_delete"
 SLICE_RESET = "slice_reset"
 CHECKPOINT = "checkpoint"
+SAVEPOINT = "savepoint"
+ROLLBACK_SP = "rollback_sp"
 
 RECORD_TYPES = frozenset({
     BEGIN, COMMIT, ABORT, MSG_INSERT, MSG_PROCESSED, MSG_DELETE,
-    SLICE_RESET, CHECKPOINT,
+    SLICE_RESET, CHECKPOINT, SAVEPOINT, ROLLBACK_SP,
 })
 
 
@@ -65,10 +67,13 @@ class WriteAheadLog:
         if path is None:
             self._file = None
             self._buffer = bytearray()
+            self._size = 0
         else:
             self._file = open(path, "a+b")
             self._buffer = None
-        self._flushed_lsn = self.end_lsn()
+            self._file.seek(0, os.SEEK_END)
+            self._size = self._file.tell()
+        self._flushed_lsn = self._size
         self.appended_records = 0
         self.flushes = 0
 
@@ -81,21 +86,19 @@ class WriteAheadLog:
                              separators=(",", ":")).encode("utf-8")
         frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
         with self._lock:
-            lsn = self.end_lsn()
+            lsn = self._size
             if self._file is not None:
-                self._file.seek(0, os.SEEK_END)
+                # opened in append mode: writes always land at the end
                 self._file.write(frame)
             else:
                 self._buffer.extend(frame)
+            self._size += len(frame)
             self.appended_records += 1
             return lsn
 
     def end_lsn(self) -> int:
         with self._lock:
-            if self._file is not None:
-                self._file.seek(0, os.SEEK_END)
-                return self._file.tell()
-            return len(self._buffer)
+            return self._size
 
     # -- durability ----------------------------------------------------------------
 
@@ -117,16 +120,56 @@ class WriteAheadLog:
     def flushed_lsn(self) -> int:
         return self._flushed_lsn
 
+    def stats(self) -> "WALStats":
+        """A consistent snapshot of the append/flush counters.
+
+        Benchmarks and the group-commit coordinator read these while
+        driver threads append; snapshotting under the WAL lock keeps
+        the numbers from tearing (e.g. ``flushes`` from one moment and
+        ``appended_records`` from another).
+        """
+        with self._lock:
+            return WALStats(appended_records=self.appended_records,
+                            flushes=self.flushes,
+                            flushed_lsn=self._flushed_lsn,
+                            end_lsn=self.end_lsn())
+
+    def discard_unflushed(self) -> int:
+        """Crash simulation: drop everything after the last force.
+
+        Appended-but-unforced bytes live in OS/file buffers a real
+        crash would lose; tests call this to model that loss.  Returns
+        the number of bytes discarded.
+        """
+        with self._lock:
+            lost = self._size - self._flushed_lsn
+            if lost <= 0:
+                return 0
+            if self._file is not None:
+                self._file.flush()
+                self._file.truncate(self._flushed_lsn)
+            else:
+                del self._buffer[self._flushed_lsn:]
+            self._size = self._flushed_lsn
+            return lost
+
     # -- reading ---------------------------------------------------------------------
 
     def records(self, from_lsn: int = 0) -> Iterator[LogRecord]:
         """Iterate records from *from_lsn*; stops cleanly at a torn tail."""
+        for record, _ in self._scan(from_lsn):
+            yield record
+
+    def _scan(self, from_lsn: int = 0
+              ) -> Iterator[tuple[LogRecord, int]]:
+        """Yield (record, end offset) for every well-formed record,
+        stopping at the first torn/corrupt frame — the one shared frame
+        walk behind reading and tail truncation."""
         with self._lock:
             if self._file is not None:
-                self._file.seek(0, os.SEEK_END)
-                size = self._file.tell()
+                self._file.flush()
                 self._file.seek(0)
-                raw = self._file.read(size)
+                raw = self._file.read(self._size)
             else:
                 raw = bytes(self._buffer)
         offset = from_lsn
@@ -144,8 +187,37 @@ class WriteAheadLog:
             except ValueError:
                 return
             yield LogRecord(offset, decoded["type"], decoded["txn"],
-                            decoded["data"])
+                            decoded["data"]), end
             offset = end
+
+    def truncate_torn_tail(self) -> int:
+        """Physically drop a torn/corrupt tail; returns bytes dropped.
+
+        Reading already stops at a tear, but appending after one would
+        strand every later record behind unreadable garbage — recovery
+        calls this so the log ends at its last valid record before new
+        work is appended.
+        """
+        with self._lock:
+            end = self._valid_end()
+            lost = self._size - end
+            if lost <= 0:
+                return 0
+            if self._file is not None:
+                self._file.flush()
+                self._file.truncate(end)
+            else:
+                del self._buffer[end:]
+            self._size = end
+            self._flushed_lsn = min(self._flushed_lsn, end)
+            return lost
+
+    def _valid_end(self) -> int:
+        """Offset just past the last well-formed record."""
+        end = 0
+        for _, end in self._scan():
+            pass
+        return end
 
     def last_checkpoint(self) -> Optional[LogRecord]:
         checkpoint = None
@@ -164,18 +236,68 @@ class WriteAheadLog:
                 self._file.close()
 
 
-def analyze(records: Iterator[LogRecord]) -> tuple[set[int], set[int]]:
-    """The analysis pass: (committed, aborted) transaction ids."""
-    committed: set[int] = set()
-    aborted: set[int] = set()
-    seen: set[int] = set()
+@dataclass
+class WALStats:
+    """Snapshot of the WAL counters, taken under the log lock."""
+
+    appended_records: int
+    flushes: int
+    flushed_lsn: int
+    end_lsn: int
+
+
+@dataclass
+class LogAnalysis:
+    """Result of the analysis pass over one log range."""
+
+    committed: set[int] = field(default_factory=set)
+    aborted: set[int] = field(default_factory=set)
+    #: txn -> [(savepoint_lsn, rollback_lsn)] spans whose records were
+    #: rolled back in place (partial batch aborts, §3.1 batching) and
+    #: must be skipped by redo even though the transaction committed.
+    rolled_back: dict[int, list[tuple[int, int]]] = field(
+        default_factory=dict)
+
+    def is_rolled_back(self, record: LogRecord) -> bool:
+        if record.txn is None:
+            return False
+        return any(start < record.lsn < end
+                   for start, end in self.rolled_back.get(record.txn, ()))
+
+
+def analyze_records(records: Iterator[LogRecord]) -> LogAnalysis:
+    """The analysis pass: commit state plus rolled-back savepoint spans.
+
+    A ``SAVEPOINT sp`` / ``ROLLBACK_SP sp`` pair of one transaction
+    brackets records that were logged and then abandoned (a batch
+    member that aborted alone); everything strictly between the two
+    LSNs is dead even when the surrounding transaction commits.
+    """
+    analysis = LogAnalysis()
+    savepoint_lsns: dict[tuple[int, int], int] = {}
     for record in records:
-        if record.txn is not None:
-            seen.add(record.txn)
         if record.type == COMMIT:
-            committed.add(record.txn)
+            analysis.committed.add(record.txn)
         elif record.type == ABORT:
-            aborted.add(record.txn)
-    # Losers (seen but neither committed nor aborted) are implicitly
-    # aborted: with deferred updates there is nothing to undo.
-    return committed, aborted
+            analysis.aborted.add(record.txn)
+        elif record.type == SAVEPOINT:
+            savepoint_lsns[(record.txn, record.data["sp"])] = record.lsn
+        elif record.type == ROLLBACK_SP:
+            start = savepoint_lsns.get((record.txn, record.data["sp"]))
+            if start is None:
+                raise WALError(
+                    f"rollback to unknown savepoint {record.data['sp']} "
+                    f"of txn {record.txn} at lsn {record.lsn}")
+            analysis.rolled_back.setdefault(record.txn, []).append(
+                (start, record.lsn))
+    return analysis
+
+
+def analyze(records: Iterator[LogRecord]) -> tuple[set[int], set[int]]:
+    """Compatibility wrapper: (committed, aborted) transaction ids.
+
+    Losers (seen but neither committed nor aborted) are implicitly
+    aborted: with deferred updates there is nothing to undo.
+    """
+    analysis = analyze_records(records)
+    return analysis.committed, analysis.aborted

@@ -1,0 +1,274 @@
+"""Batched message execution (§3.1 batching over the group-commit
+pipeline).
+
+The deep contract: running N scheduler picks inside one chained
+transaction — each member publishing at its boundary — produces exactly
+the store state that one-message-per-transaction execution produces:
+same messages, same slices and lifetimes, same properties, same error
+queue, same escalations.  The hypothesis differential at the bottom
+asserts it over random workloads including rule errors, slice joins
+(visibility-sensitive counting), resets, and garbage collection.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DemaqServer
+from repro.qdl import compile_application
+from repro.storage import wal as walmod
+from repro.storage.errors import DeadlockError
+from repro.workloads import procurement_application, request_stream
+
+
+# -- scheduler batch picking ---------------------------------------------------
+
+def _scheduler(app_source="create queue lo kind basic mode transient;"
+                          "create queue hi kind basic mode transient"
+                          " priority 9;"):
+    from repro.engine.scheduler import Scheduler
+    return Scheduler(compile_application(app_source))
+
+
+def test_next_batch_orders_by_priority_then_arrival():
+    scheduler = _scheduler()
+    scheduler.notify(1, "lo", 1)
+    scheduler.notify(2, "lo", 2)
+    scheduler.notify(3, "hi", 3)
+    scheduler.notify(4, "hi", 4)
+    assert scheduler.next_batch(3) == [3, 4, 1]
+    assert scheduler.next_batch(3) == [2]
+    assert scheduler.next_batch(3) == []
+    assert scheduler.dispatched == 4
+
+
+def test_next_batch_includes_requeued_messages():
+    scheduler = _scheduler()
+    scheduler.notify(1, "lo", 1)
+    scheduler.notify(2, "lo", 2)
+    assert scheduler.next_batch(8) == [1, 2]
+    scheduler.requeue(1, "lo", 1)
+    assert scheduler.next_batch(8) == [1]
+    assert scheduler.requeues == 1
+
+
+# -- end-to-end batched execution ----------------------------------------------
+
+def _drive(server, requests=12):
+    for _, _, body in request_stream(requests):
+        server.enqueue("crm", body)
+    server.run_until_idle()
+    return server
+
+
+def _state(server):
+    out = {}
+    for queue in server.app.queues:
+        out[queue] = [
+            (m.meta.msg_id, m.meta.seqno, m.body_text(), m.meta.processed,
+             sorted((k, str(v)) for k, v in m.properties.items()),
+             sorted(m.meta.slices))
+            for m in server.live_messages(queue)]
+    out["#lifetimes"] = dict(server.store._lifetimes)
+    out["#unhandled"] = [str(d) for d in server.unhandled_errors]
+    return out
+
+
+def test_batched_procurement_matches_serial_execution():
+    solo = _drive(DemaqServer(procurement_application()))
+    batched = _drive(DemaqServer(procurement_application(), batch_size=8))
+    assert batched.executor.stats.batches_committed > 0
+    assert _state(solo) == _state(batched)
+    assert solo.executor.stats.messages_processed \
+        == batched.executor.stats.messages_processed
+    solo.collect_garbage()
+    batched.collect_garbage()
+    assert _state(solo) == _state(batched)
+
+
+def test_batch_size_from_environment(monkeypatch):
+    monkeypatch.setenv("DEMAQ_BATCH_SIZE", "5")
+    server = DemaqServer(procurement_application())
+    assert server.batch_size == 5
+    monkeypatch.delenv("DEMAQ_BATCH_SIZE")
+    assert DemaqServer(procurement_application()).batch_size == 1
+
+
+def test_deadlocked_member_rolls_back_alone_and_is_retried(tmp_path,
+                                                           monkeypatch):
+    server = DemaqServer("create queue q kind basic mode persistent;",
+                         data_dir=str(tmp_path / "d"),
+                         durability="group", batch_size=3)
+    ids = [server.enqueue("q", f"<m>{n}</m>") for n in range(3)]
+    victim = ids[1]
+
+    real = server.executor._process_into_txn
+    tripped = []
+
+    def flaky(txn, meta, message):
+        result = real(txn, meta, message)
+        if meta.msg_id == victim and not tripped:
+            tripped.append(meta.msg_id)   # buffered work, then "deadlock"
+            raise DeadlockError("simulated victim")
+        return result
+
+    monkeypatch.setattr(server.executor, "_process_into_txn", flaky)
+    server.run_until_idle()
+
+    assert tripped == [victim]
+    assert server.executor.stats.deadlock_retries == 1
+    assert server.executor.stats.batch_members_rolled_back == 1
+    assert server.scheduler.requeues == 1
+    assert all(server.store.get(i).processed for i in ids)
+
+    # the aborted member's span is in the log, bracketed and skipped
+    types = [r.type for r in server.store.wal.records()]
+    assert walmod.SAVEPOINT in types and walmod.ROLLBACK_SP in types
+    server.store.simulate_crash()
+    server.store.recover()
+    assert all(server.store.get(i).processed for i in ids)
+    server.close()
+
+
+def test_fatal_member_requeues_unreached_batch_mates(monkeypatch):
+    """An engine bug in one member must not strand the batch-mates that
+    next_batch already popped: the completed prefix commits, the rest
+    (including the failing member) goes back to the scheduler."""
+    server = DemaqServer("create queue q kind basic mode persistent;",
+                         batch_size=3)
+    ids = [server.enqueue("q", f"<m>{n}</m>") for n in range(3)]
+    victim = ids[1]
+
+    real = server.executor._process_into_txn
+
+    def fatal_once(txn, meta, message):
+        if meta.msg_id == victim and not server.store.get(victim).processed:
+            raise RuntimeError("engine bug")
+        return real(txn, meta, message)
+
+    monkeypatch.setattr(server.executor, "_process_into_txn", fatal_once)
+    try:
+        server.run_until_idle()
+    except RuntimeError:
+        pass
+    # the first member committed; victim and its successor are back in
+    # the scheduler, not stranded
+    assert server.store.get(ids[0]).processed
+    assert server.scheduler.backlog() == 2
+    monkeypatch.setattr(server.executor, "_process_into_txn", real)
+    server.run_until_idle()
+    assert all(server.store.get(i).processed for i in ids)
+
+
+def test_commit_failure_requeues_deadlocked_members(monkeypatch):
+    """If the batch's final commit itself dies, members parked on the
+    retry list must still go back to the scheduler — the caller never
+    receives the list on the exception path — and messages enqueued by
+    published members must still be registered for scheduling."""
+    from repro.storage.errors import DeadlockError as DLE
+
+    server = DemaqServer(
+        "create queue q kind basic mode persistent;"
+        "create queue out kind basic mode persistent;"
+        "create rule relay for q if (//m) then do enqueue <o/> into out;",
+        batch_size=2)
+    ids = [server.enqueue("q", f"<m>{n}</m>") for n in range(2)]
+    real = server.executor._process_into_txn
+
+    def deadlock_first(txn, meta, message):
+        if meta.msg_id == ids[0]:
+            real(txn, meta, message)
+            raise DLE("victim")
+        return real(txn, meta, message)
+
+    monkeypatch.setattr(server.executor, "_process_into_txn",
+                        deadlock_first)
+    monkeypatch.setattr(server.store, "apply_transaction",
+                        lambda txn: (_ for _ in ()).throw(
+                            OSError("commit I/O failure")))
+    import pytest
+    with pytest.raises(OSError):
+        server.executor.process_batch(
+            server.scheduler.next_batch(server.batch_size))
+    # the deadlocked member is rescheduled and the published member's
+    # enqueued <o/> is registered — nothing live is unscheduled
+    assert not server.store.get(ids[0]).processed
+    assert server.store.get(ids[1]).processed
+    assert server.store.queue_depth("out") == 1
+    assert server.scheduler.backlog() == 2
+
+
+def test_failed_publish_poisons_the_transaction(monkeypatch):
+    """A publish that dies midway may have half a suffix in the log;
+    retrying it would duplicate records — the store must refuse."""
+    import pytest
+    from repro.storage import TransactionError
+
+    store = DemaqServer("create queue q kind basic mode persistent;").store
+    txn = store.begin()
+    txn.insert_message("q", b"<m>1</m>", {}, [])
+    monkeypatch.setattr(store.wal, "append",
+                        lambda *a, **k: (_ for _ in ()).throw(
+                            OSError("disk full")))
+    with pytest.raises(OSError):
+        store.publish(txn)
+    assert txn.poisoned
+    monkeypatch.undo()
+    with pytest.raises(TransactionError):
+        store.commit(txn)
+
+
+# -- the differential property -------------------------------------------------
+
+DIFF_APP = """
+create errorqueue failures;
+create queue failures kind basic mode persistent;
+create queue intake kind basic mode persistent priority 2;
+create queue archive kind basic mode persistent;
+create property key as xs:string fixed queue intake, archive value //key;
+create slicing byKey on key;
+create rule split for intake
+    if (//item) then
+        do enqueue <copy><key>{string(//key)}</key><v>{string(//v)}</v></copy>
+            into archive;
+create rule boom for intake
+    if (//bad) then do enqueue <x>{1 div 0}</x> into archive;
+create rule tally for byKey
+    if (count(qs:slice()) >= 3 and not(qs:slice()[/full])) then
+        do enqueue <full><key>{string(qs:slicekey())}</key></full>
+            into archive;
+create rule retire for byKey
+    if (qs:slice()[/full]) then do reset;
+"""
+
+_message = st.tuples(st.sampled_from(["item", "bad"]),
+                     st.sampled_from(["k1", "k2", "k3"]),
+                     st.integers(min_value=0, max_value=9))
+
+
+def _run_workload(messages, batch_size):
+    server = DemaqServer(DIFF_APP, batch_size=batch_size)
+    for kind, key, value in messages:
+        if kind == "item":
+            body = f"<item><key>{key}</key><v>{value}</v></item>"
+        else:
+            body = f"<bad><key>{key}</key></bad>"
+        server.enqueue("intake", body)
+    server.run_until_idle()
+    return server
+
+
+@settings(max_examples=25, deadline=None)
+@given(messages=st.lists(_message, min_size=1, max_size=20),
+       batch_size=st.integers(min_value=2, max_value=9))
+def test_batched_execution_is_equivalent_to_serial(messages, batch_size):
+    """Same messages, slices, properties, and error queue — always."""
+    solo = _run_workload(messages, batch_size=1)
+    batched = _run_workload(messages, batch_size=batch_size)
+    assert _state(solo) == _state(batched)
+    # retention decisions agree too (processed × slice lifetimes)
+    assert solo.collect_garbage() == batched.collect_garbage()
+    assert _state(solo) == _state(batched)
+    assert solo.executor.stats.messages_processed \
+        == batched.executor.stats.messages_processed
+    assert solo.executor.stats.rule_errors \
+        == batched.executor.stats.rule_errors

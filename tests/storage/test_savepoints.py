@@ -1,0 +1,209 @@
+"""Savepoints: partial rollback inside one (chained) transaction.
+
+The batch executor marks each member with a savepoint; a member that
+fails alone rolls back to it without touching its batch-mates.  The
+rolled-back span stays in the journal, is logged faithfully
+(SAVEPOINT … ROLLBACK_SP), and recovery skips it.
+"""
+
+import pytest
+
+from repro.storage import (MessageStore, StorageError, TransactionError,
+                           WALError, WriteAheadLog)
+from repro.storage import wal as walmod
+from repro.storage.transactions import InsertOp, Transaction
+
+
+def _insert(txn, n):
+    return txn.insert_message("q", f"<m>{n}</m>".encode(), {}, [])
+
+
+class TestTransactionJournal:
+    def test_rollback_discards_ops_since_savepoint(self):
+        txn = Transaction()
+        _insert(txn, 1)
+        sp = txn.savepoint()
+        _insert(txn, 2)
+        _insert(txn, 3)
+        txn.rollback_to_savepoint(sp)
+        _insert(txn, 4)
+        live = txn.live_ops()
+        assert [op.payload for op in live] == [b"<m>1</m>", b"<m>4</m>"]
+
+    def test_savepoint_survives_rollback(self):
+        txn = Transaction()
+        sp = txn.savepoint()
+        _insert(txn, 1)
+        txn.rollback_to_savepoint(sp)
+        _insert(txn, 2)
+        txn.rollback_to_savepoint(sp)    # SQL semantics: still usable
+        assert txn.live_ops() == []
+
+    def test_nested_rollback_discards_inner_savepoints(self):
+        txn = Transaction()
+        outer = txn.savepoint()
+        _insert(txn, 1)
+        inner = txn.savepoint()
+        _insert(txn, 2)
+        txn.rollback_to_savepoint(outer)
+        assert txn.live_ops() == []
+        with pytest.raises(TransactionError):
+            txn.rollback_to_savepoint(inner)
+
+    def test_rollback_to_unknown_savepoint_raises(self):
+        txn = Transaction()
+        with pytest.raises(TransactionError):
+            txn.rollback_to_savepoint(99)
+
+    def test_touches_persistent_state_ignores_dead_ops(self):
+        txn = Transaction()
+        sp = txn.savepoint()
+        _insert(txn, 1)
+        txn.rollback_to_savepoint(sp)
+        assert not txn.touches_persistent_state
+
+
+class TestChainedPublish:
+    def test_published_work_cannot_roll_back(self):
+        store = MessageStore()
+        txn = store.begin()
+        sp = txn.savepoint()
+        _insert(txn, 1)
+        store.publish(txn)
+        with pytest.raises(TransactionError):
+            txn.rollback_to_savepoint(sp)
+        store.commit(txn)
+        store.close()
+
+    def test_published_work_cannot_abort(self):
+        store = MessageStore()
+        txn = store.begin()
+        _insert(txn, 1)
+        store.publish(txn)
+        with pytest.raises(TransactionError):
+            store.abort(txn)
+        store.commit(txn)
+        store.close()
+
+    def test_publish_makes_members_visible_before_commit(self):
+        store = MessageStore()
+        txn = store.begin()
+        op = _insert(txn, 1)
+        assert store.message_count() == 0
+        store.publish(txn)
+        assert store.get(op.msg_id) is not None   # batch-mates can read it
+        store.commit(txn)
+        store.close()
+
+    def test_checkpoint_refuses_open_chained_transaction(self, tmp_path):
+        store = MessageStore(str(tmp_path / "cp"))
+        txn = store.begin()
+        _insert(txn, 1)
+        store.publish(txn)
+        with pytest.raises(StorageError):
+            store.checkpoint()
+        store.commit(txn)
+        store.checkpoint()
+        store.close()
+
+    def test_rolled_back_member_is_logged_and_skipped(self, tmp_path):
+        store = MessageStore(str(tmp_path / "rb"), durability="group")
+        txn = store.begin()
+        txn.savepoint()
+        keep1 = _insert(txn, 1)
+        store.publish(txn)
+        sp = txn.savepoint()
+        dead = _insert(txn, 2)
+        txn.rollback_to_savepoint(sp)
+        txn.savepoint()
+        keep2 = _insert(txn, 3)
+        store.commit(txn)
+
+        types = [r.type for r in store.wal.records()]
+        assert types == [walmod.BEGIN, walmod.MSG_INSERT, walmod.SAVEPOINT,
+                         walmod.MSG_INSERT, walmod.ROLLBACK_SP,
+                         walmod.MSG_INSERT, walmod.COMMIT]
+        assert store.get(dead.msg_id) is None
+
+        store.simulate_crash()
+        store.recover()
+        assert store.get(keep1.msg_id) is not None
+        assert store.get(keep2.msg_id) is not None
+        assert store.get(dead.msg_id) is None
+        assert store.message_count() == 2
+        store.close()
+
+    def test_clean_members_log_no_savepoint_records(self, tmp_path):
+        store = MessageStore(str(tmp_path / "clean"))
+        txn = store.begin()
+        for n in range(3):
+            txn.savepoint()
+            _insert(txn, n)
+            store.publish(txn)
+        store.commit(txn)
+        types = [r.type for r in store.wal.records()]
+        assert walmod.SAVEPOINT not in types
+        assert types == [walmod.BEGIN] + [walmod.MSG_INSERT] * 3 \
+            + [walmod.COMMIT]
+        store.close()
+
+    def test_fully_rolled_back_batch_logs_nothing(self, tmp_path):
+        store = MessageStore(str(tmp_path / "empty"))
+        txn = store.begin()
+        sp = txn.savepoint()
+        _insert(txn, 1)
+        txn.rollback_to_savepoint(sp)
+        store.commit(txn)
+        assert [r.type for r in store.wal.records()] == []
+        assert store.message_count() == 0
+        store.close()
+
+    def test_uncommitted_chain_vanishes_on_crash(self, tmp_path):
+        store = MessageStore(str(tmp_path / "chain"), durability="sync")
+        txn = store.begin()
+        txn.savepoint()
+        op = _insert(txn, 1)
+        store.publish(txn)
+        assert store.get(op.msg_id) is not None
+        store.wal.flush()        # even a forced prefix without COMMIT
+        store.simulate_crash()
+        store.recover()
+        assert store.get(op.msg_id) is None
+        assert store.message_count() == 0
+        store.close()
+
+
+class TestAnalysis:
+    def test_rollback_without_savepoint_is_an_error(self):
+        wal = WriteAheadLog(None)
+        wal.append(walmod.BEGIN, 1)
+        wal.append(walmod.ROLLBACK_SP, 1, sp=7)
+        with pytest.raises(WALError):
+            walmod.analyze_records(wal.records())
+
+    def test_intervals_cover_repeated_rollbacks(self):
+        wal = WriteAheadLog(None)
+        wal.append(walmod.BEGIN, 1)
+        sp_lsn = wal.append(walmod.SAVEPOINT, 1, sp=1)
+        a = wal.append(walmod.MSG_PROCESSED, 1, msg_id=10)
+        rb1 = wal.append(walmod.ROLLBACK_SP, 1, sp=1)
+        b = wal.append(walmod.MSG_PROCESSED, 1, msg_id=11)
+        rb2 = wal.append(walmod.ROLLBACK_SP, 1, sp=1)
+        wal.append(walmod.COMMIT, 1)
+        analysis = walmod.analyze_records(wal.records())
+        assert analysis.committed == {1}
+        spans = analysis.rolled_back[1]
+        assert (sp_lsn, rb1) in spans and (sp_lsn, rb2) in spans
+        records = {r.lsn: r for r in wal.records()}
+        assert analysis.is_rolled_back(records[a])
+        assert analysis.is_rolled_back(records[b])
+
+
+def test_insert_op_exposes_msg_id_after_commit():
+    store = MessageStore()
+    txn = store.begin()
+    op = _insert(txn, 1)
+    assert op.msg_id is None
+    store.commit(txn)
+    assert isinstance(op, InsertOp) and op.msg_id is not None
+    store.close()
