@@ -1,0 +1,182 @@
+"""F3/netcluster — process-per-node beats thread-per-node on CPU work.
+
+The thread-per-node :class:`ClusterDriver` overlaps I/O but serializes
+rule execution on the GIL; the :class:`ProcessCluster` runs each node
+in its own interpreter, so CPU-bound rule work scales with cores while
+coordination rides real sockets (DESIGN.md §2).
+
+Methodology: an **open-loop** load generator emits jobs at a fixed
+arrival rate (arrival times are scheduled up front, never pushed back
+by a slow system — no coordinated omission).  Each job's rule burns
+CPU in XQuery and replies through an outgoing gateway addressed at the
+generator, which stamps the completion.  Latency is measured from the
+*scheduled* arrival, throughput from first arrival to last completion.
+
+The acceptance bar (ISSUE 6): 4 worker processes sustain >= 1.5x the
+throughput of the 4-thread driver on the same workload, with identical
+replies.
+"""
+
+import os
+import threading
+import time
+import warnings
+
+import pytest
+
+from conftest import scaled, shape
+
+from repro import ClusterServer
+from repro.network import parse_envelope
+from repro.netio import ProcessCluster
+from repro.queues import RealClock
+
+#: XQuery loop iterations per message — the CPU knob (~20ms at 4000).
+LOOP = scaled(4000, smoke_size=400)
+MESSAGES = scaled(160, smoke_size=12)
+#: Offered arrival rate (msg/s), above single-interpreter capacity so
+#: the generator exposes queueing delay instead of hiding it.
+RATE = scaled(120, smoke_size=150)
+NODES = 4
+
+REPLY_ENDPOINT = "demaq://gate/loadgen"
+
+APP = f"""
+create queue work kind basic mode persistent;
+create queue reply kind outgoingGateway mode persistent
+    endpoint "{REPLY_ENDPOINT}";
+create property reqID as xs:string fixed
+    queue work value string(//job/@id);
+create slicing byReq on reqID;
+create rule crunch for work
+    if (//job) then do enqueue
+        <r id="{{string(//job/@id)}}"
+           v="{{sum(for $i in 1 to {LOOP} return $i * $i mod 97)}}"/>
+        into reply
+"""
+
+
+def percentile(latencies, fraction):
+    index = min(len(latencies) - 1, int(len(latencies) * fraction))
+    return latencies[index]
+
+
+def open_loop(enqueue, pump, completions):
+    """Drive the fixed-rate arrival schedule; return throughput + tails.
+
+    *completions* maps job id -> completion time, filled behind our
+    back by the reply handler whenever *pump* (or a driver thread)
+    delivers gateway replies.
+    """
+    start = time.perf_counter() + 0.05
+    scheduled = {}
+    for index in range(MESSAGES):
+        due = start + index / RATE
+        while time.perf_counter() < due:
+            pump()
+            time.sleep(0.0002)
+        job_id = f"j{index}"
+        scheduled[job_id] = due          # latency from the *schedule*
+        enqueue(f'<job id="{job_id}"/>')
+    deadline = time.perf_counter() + 300.0
+    while len(completions) < MESSAGES and time.perf_counter() < deadline:
+        pump()
+        time.sleep(0.0005)
+    assert len(completions) == MESSAGES, \
+        f"only {len(completions)}/{MESSAGES} replies arrived"
+    latencies = sorted(completions[job_id] - scheduled[job_id]
+                       for job_id in scheduled)
+    span = max(completions.values()) - start
+    return {"throughput": MESSAGES / span,
+            "p50_ms": latencies[len(latencies) // 2] * 1000.0,
+            "p99_ms": percentile(latencies, 0.99) * 1000.0}
+
+
+def reply_recorder(completions, replies):
+    def handler(envelope, source):
+        body, _ = parse_envelope(envelope)
+        root = body.root_element
+        completions[root.attribute_value("id")] = time.perf_counter()
+        replies[root.attribute_value("id")] = root.attribute_value("v")
+    return handler
+
+
+def run_thread_cluster():
+    """4 node threads, one interpreter: the ClusterDriver baseline."""
+    completions, replies = {}, {}
+    cluster = ClusterServer(APP, nodes=NODES, clock=RealClock(),
+                            real_time=True)
+    cluster.network.register(REPLY_ENDPOINT,
+                             reply_recorder(completions, replies))
+    finished = threading.Event()
+
+    def drive():
+        # the real-time driver quiesces between arrivals; re-enter
+        # until the load generator is done with it
+        while not finished.is_set():
+            cluster.run_until_idle()
+            time.sleep(0.001)
+
+    driver_thread = threading.Thread(target=drive, daemon=True)
+    driver_thread.start()
+    try:
+        result = open_loop(lambda body: cluster.enqueue("work", body),
+                           lambda: None, completions)
+    finally:
+        finished.set()
+        cluster.request_stop()
+        driver_thread.join(timeout=30.0)
+        cluster.close()
+    return result, replies
+
+
+def run_process_cluster():
+    """4 worker processes over TCP: the netio scale-out path."""
+    completions, replies = {}, {}
+    with ProcessCluster(APP, nodes=NODES) as cluster:
+        cluster.transport.register(REPLY_ENDPOINT,
+                                   reply_recorder(completions, replies))
+        result = open_loop(lambda body: cluster.enqueue("work", body),
+                           cluster.pump, completions)
+        cluster.drain()
+    return result, replies
+
+
+@pytest.mark.bench
+def test_process_cluster_beats_thread_driver(report):
+    thread_stats, thread_replies = run_thread_cluster()
+    report("threads-4", throughput=round(thread_stats["throughput"], 1),
+           p50_ms=round(thread_stats["p50_ms"], 1),
+           p99_ms=round(thread_stats["p99_ms"], 1),
+           rate_offered=RATE, messages=MESSAGES, loop=LOOP)
+
+    process_stats, process_replies = run_process_cluster()
+    report("processes-4", throughput=round(process_stats["throughput"], 1),
+           p50_ms=round(process_stats["p50_ms"], 1),
+           p99_ms=round(process_stats["p99_ms"], 1),
+           rate_offered=RATE, messages=MESSAGES, loop=LOOP)
+
+    # both backends computed identical replies for every job
+    assert process_replies == thread_replies
+    assert len(process_replies) == MESSAGES
+
+    speedup = process_stats["throughput"] / thread_stats["throughput"]
+    cores = os.cpu_count() or 1
+    report("speedup", processes_over_threads=round(speedup, 2), cores=cores)
+    # The headline claim — real parallelism >= 1.5x the GIL-bound
+    # driver — needs cores to parallelize over; on a 1-core host both
+    # backends share the same cycle budget and only socket overhead
+    # differs, so the claim is asserted where it is physically possible.
+    if cores >= 4:
+        shape(speedup >= 1.5,
+              f"process-cluster speedup only {speedup:.2f}x on "
+              f"{cores} cores")
+    else:
+        warnings.warn(f"[host] {cores} core(s): GIL-vs-process speedup "
+                      f"not asserted (measured {speedup:.2f}x)")
+        # even without spare cores, processes must stay in the same
+        # league — sockets must not collapse throughput
+        shape(speedup >= 0.3,
+              f"process cluster collapsed to {speedup:.2f}x of threads")
+    shape(process_stats["p99_ms"] >= process_stats["p50_ms"] > 0.0,
+          "latency percentiles out of order")

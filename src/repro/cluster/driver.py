@@ -60,6 +60,7 @@ class ClusterDriver:
         self.real_time = real_time
         self.poll_interval = poll_interval
         self.stats = DriverStatistics()
+        self._stop_requested = threading.Event()
 
     # -- membership (kept in sync by ClusterServer) -----------------------------
 
@@ -69,10 +70,34 @@ class ClusterDriver:
     def remove_server(self, server: "DemaqServer") -> None:
         self.servers.remove(server)
 
+    # -- graceful shutdown -------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Signal a running :meth:`run_until_idle` to wind down cleanly.
+
+        Safe to call from any thread (a signal handler, a control
+        endpoint).  Node threads finish the execution step they are in —
+        an in-flight batch transaction runs to its single COMMIT, never
+        torn — then exit at the next quiescence barrier; the driver
+        drains the group-commit coordinator before returning, so every
+        acknowledged commit is forced to the log.  The §3.6 state left
+        behind is exactly a crash-free restart point: unprocessed
+        messages stay unprocessed, processed ones are durably marked.
+        """
+        self._stop_requested.set()
+
+    def stop_pending(self) -> bool:
+        return self._stop_requested.is_set()
+
     # -- the run loop -----------------------------------------------------------
 
     def run_until_idle(self, max_rounds: int = 100_000) -> int:
-        """Run all nodes until the whole cluster is idle; returns steps."""
+        """Run all nodes until the whole cluster is idle; returns steps.
+
+        A concurrent :meth:`request_stop` ends the run early at the next
+        barrier, after in-flight work committed and the log drained.
+        """
+        self._stop_requested.clear()
         workers = list(self.servers)
         count = len(workers)
         work = [0] * count
@@ -86,6 +111,9 @@ class ClusterDriver:
             self.stats.rounds += 1
             self.stats.local_steps += local
             self.stats.deliveries += delivered
+            if self._stop_requested.is_set():
+                state["done"] = True
+                return
             if local == 0 and delivered == 0:
                 # Idle wall-time waits don't count toward max_rounds:
                 # a cluster waiting on a timer is patient, not livelocked.

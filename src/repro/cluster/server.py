@@ -144,6 +144,10 @@ class ClusterServer:
     def run_until_idle(self, max_rounds: int = 100_000) -> int:
         return self.driver.run_until_idle(max_rounds)
 
+    def request_stop(self) -> None:
+        """Gracefully wind down a concurrent :meth:`run_until_idle`."""
+        self.driver.request_stop()
+
     def advance_time(self, seconds: float) -> int:
         if isinstance(self.clock, VirtualClock):
             self.clock.advance(seconds)

@@ -13,7 +13,8 @@ import itertools
 import os
 from typing import Iterable, Optional
 
-from ..network import Network, build_envelope, parse_envelope, parse_wsdl
+from ..network import (Network, build_envelope, is_reserved_endpoint,
+                       parse_envelope, parse_wsdl)
 from ..qdl import Application, compile_application
 from ..qdl.model import QueueDef, QueueKind
 from ..queues import (Clock, EchoService, Message, PropertyError,
@@ -372,8 +373,14 @@ class DemaqServer:
         sharded cluster only the queue's ring owner holds the endpoint,
         and rebalancing moves it by unregister/register.
         """
+        endpoint = self.gateway_endpoint(queue)
+        if is_reserved_endpoint(endpoint):
+            raise err.EngineError(
+                f"gateway queue {queue!r} declares endpoint {endpoint!r} "
+                f"inside the runtime-reserved '!' namespace (cluster "
+                f"ingest / control addresses); pick another address")
         self.network.register(
-            self.gateway_endpoint(queue),
+            endpoint,
             lambda envelope, source, q=queue:
                 self._receive(q, envelope, source))
 

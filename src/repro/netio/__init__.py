@@ -1,0 +1,33 @@
+"""Real network I/O: sockets, OS processes, and the live HTTP gateway.
+
+The production counterpart of the simulated :mod:`repro.network`
+backend (DESIGN.md §2):
+
+* :class:`SocketTransport` — envelopes over real TCP behind the shared
+  :class:`~repro.network.Transport` interface;
+* :class:`ProcessCluster` — each node its own OS process (own store
+  directory, own WAL), ingest/control/drain over sockets;
+* :class:`HttpGateway` — the live SOAP-over-HTTP listener in front of
+  the cluster router, serving the generated WSDL.
+
+The simulated transport remains the deterministic default: nothing in
+tier-1 imports sockets; this package is opt-in for deployments,
+``tests/netio`` (gated by ``DEMAQ_NET_TESTS=1``), and the
+``bench_netcluster`` benchmark.
+"""
+
+from .transport import SocketTransport
+
+__all__ = ["HttpGateway", "ProcessCluster", "SocketTransport"]
+
+
+def __getattr__(name: str):
+    # Lazy: the process driver and gateway pull in subprocess/http
+    # machinery that plain SocketTransport users don't need.
+    if name == "ProcessCluster":
+        from .process import ProcessCluster
+        return ProcessCluster
+    if name == "HttpGateway":
+        from .gateway import HttpGateway
+        return HttpGateway
+    raise AttributeError(name)

@@ -1,0 +1,169 @@
+"""Live HTTP gateway: the cluster's front door for external producers.
+
+The Demaq paper's gateway queues speak SOAP over a real transport; this
+module provides that transport for the process cluster.  An
+:class:`HttpGateway` wraps anything with the cluster surface
+(``app`` + ``enqueue(queue, body, properties)``, optionally ``pump()``)
+— a :class:`~repro.netio.ProcessCluster`, a
+:class:`~repro.cluster.ClusterServer`, even a bare ``DemaqServer`` —
+and serves:
+
+* ``POST /enqueue/<queue>`` — accepts a SOAP envelope (§4.2: body +
+  property header blocks) or a bare XML document, routes it through the
+  cluster router to the owning node, and answers ``202 Accepted`` with
+  the owner's name (at-least-once hand-off, matching WS-RM: the ack
+  means *routed*, the router's §3.6 failover handles delivery faults);
+* ``GET /wsdl`` — the generated WSDL view of the application
+  (:func:`~repro.network.build_wsdl`) with this gateway's base URL as
+  the service address, so the paper's "interface description derives
+  from the queue definitions" story is live;
+* ``GET /health`` — liveness probe for scripts and CI.
+
+A background pump thread drives the target's ``pump()`` so routed
+messages actually move while HTTP threads only enqueue; the transport's
+pump lock keeps that safe next to coordinator RPC polling.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..engine import errors as err
+from ..network import build_wsdl, parse_envelope
+from ..network.wsdl import WSDLError
+from ..xmldm import XMLError, parse
+
+ENQUEUE_PREFIX = "/enqueue/"
+_ENVELOPE_LOCAL = "Envelope"
+
+
+class HttpGateway:
+    """Serve one cluster over HTTP; context-managed like the cluster."""
+
+    def __init__(self, cluster, host: str = "127.0.0.1", port: int = 0,
+                 pump_interval: float = 0.002):
+        self.cluster = cluster
+        self.app = cluster.app
+        self.pump_interval = pump_interval
+        self.accepted = 0
+        self.rejected = 0
+
+        gateway = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_POST(self) -> None:
+                gateway._handle_post(self)
+
+            def do_GET(self) -> None:
+                gateway._handle_get(self)
+
+            def log_message(self, *args) -> None:   # quiet by default
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._closed = False
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"demaq-http-{self.port}", daemon=True)
+        self._serve_thread.start()
+        self._pump_thread: threading.Thread | None = None
+        if hasattr(cluster, "pump"):
+            self._pump_thread = threading.Thread(
+                target=self._pump_loop,
+                name=f"demaq-http-pump-{self.port}", daemon=True)
+            self._pump_thread.start()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling --------------------------------------------------------
+
+    def _handle_post(self, request: BaseHTTPRequestHandler) -> None:
+        if not request.path.startswith(ENQUEUE_PREFIX):
+            self._respond(request, 404, "no such resource\n")
+            return
+        queue = request.path[len(ENQUEUE_PREFIX):]
+        if queue not in self.app.queues:
+            self.rejected += 1
+            self._respond(request, 404, f"unknown queue {queue!r}\n")
+            return
+        length = int(request.headers.get("Content-Length") or 0)
+        payload = request.rfile.read(length)
+        try:
+            document = parse(payload.decode("utf-8"))
+        except (UnicodeDecodeError, XMLError) as exc:
+            self.rejected += 1
+            self._respond(request, 400, f"bad XML: {exc}\n")
+            return
+        root = document.root_element
+        if root is not None and root.name.local_name == _ENVELOPE_LOCAL:
+            body, properties = parse_envelope(document)
+        else:
+            body, properties = document, {}
+        try:
+            owner = self.cluster.enqueue(queue, body, properties)
+        except (err.EngineError, ValueError) as exc:
+            self.rejected += 1
+            self._respond(request, 400, f"enqueue failed: {exc}\n")
+            return
+        self.accepted += 1
+        self._respond(request, 202,
+                      f"<routed queue=\"{queue}\" node=\"{owner}\"/>\n",
+                      content_type="text/xml")
+
+    def _handle_get(self, request: BaseHTTPRequestHandler) -> None:
+        if request.path == "/wsdl":
+            try:
+                wsdl = build_wsdl(self.app, self.base_url)
+            except WSDLError as exc:
+                self._respond(request, 500, f"no WSDL: {exc}\n")
+                return
+            self._respond(request, 200, wsdl, content_type="text/xml")
+        elif request.path == "/health":
+            self._respond(request, 200, "ok\n")
+        else:
+            self._respond(request, 404, "no such resource\n")
+
+    @staticmethod
+    def _respond(request: BaseHTTPRequestHandler, code: int, text: str,
+                 content_type: str = "text/plain") -> None:
+        payload = text.encode("utf-8")
+        request.send_response(code)
+        request.send_header("Content-Type",
+                            f"{content_type}; charset=utf-8")
+        request.send_header("Content-Length", str(len(payload)))
+        request.end_headers()
+        request.wfile.write(payload)
+
+    # -- background pumping ------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        import time
+        while not self._closed:
+            if self.cluster.pump() == 0:
+                time.sleep(self.pump_interval)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._serve_thread.join(timeout=5.0)
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "HttpGateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,370 @@
+"""Process-per-node cluster: real parallelism over real sockets.
+
+:class:`ProcessCluster` is the OS-process counterpart of
+:class:`~repro.cluster.ClusterServer`.  Where the thread-per-node
+driver shares one Python interpreter (and therefore serializes rule
+execution on the GIL), the process cluster launches each node as its
+own ``python -m repro.netio.worker`` process with its **own store
+directory, own WAL, own interpreter** — CPU-bound rule work scales
+with cores.  All coordination is message passing over the
+:class:`~repro.netio.SocketTransport`:
+
+* external enqueues go through the same :class:`ClusterRouter` as the
+  simulated cluster, now sending over TCP to the owner's ``!shard``
+  ingest endpoints;
+* control (status, depth reads, membership changes, rebalance, drain)
+  uses request/reply envelopes on the workers' ``!ctl`` endpoints,
+  correlated by a ``ctlId`` property;
+* quiescence is observed, not barriered: the coordinator polls worker
+  status until every node reports idle with a stable local-step
+  counter across consecutive polls.
+
+The coordinator itself participates in the address book as node
+``gate`` — the same transport machinery carries data and control.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Iterable
+
+from ..cluster.membership import ClusterMembership
+from ..cluster.router import ClusterRouter
+from ..engine import errors as err
+from ..network import build_envelope, parse_envelope
+from ..qdl import compile_application
+from ..xmldm import Attribute, Document, Element, parse
+from .transport import SocketTransport
+from .worker import CTL_REPLY_PATH, READY_BANNER, ctl_endpoint
+
+GATE = "gate"
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral port that was just free (bind-and-release)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+class WorkerProcess:
+    """One spawned node process plus its plumbing."""
+
+    def __init__(self, name: str, proc: subprocess.Popen, stderr_path: str):
+        self.name = name
+        self.proc = proc
+        self.stderr_path = stderr_path
+
+    def failure_detail(self) -> str:
+        try:
+            with open(self.stderr_path, encoding="utf-8",
+                      errors="replace") as handle:
+                tail = handle.read()[-2000:]
+        except OSError:
+            tail = ""
+        return (f"worker {self.name!r} exited with "
+                f"code {self.proc.returncode}"
+                + (f"; stderr tail:\n{tail}" if tail.strip() else ""))
+
+
+class ProcessCluster:
+    """A Demaq cluster of OS processes behind a ClusterServer-like API."""
+
+    def __init__(self, app, nodes: int | Iterable[str] = 2,
+                 data_dir: str | None = None,
+                 host: str = "127.0.0.1",
+                 server_kwargs: dict | None = None,
+                 boot_timeout: float = 30.0,
+                 rpc_timeout: float = 30.0):
+        if not isinstance(app, str):
+            raise TypeError(
+                "ProcessCluster needs the QDL source text (worker "
+                "processes compile it themselves); got a compiled "
+                f"{type(app).__name__}")
+        self.app_source = app
+        self.app = compile_application(app)
+        self.host = host
+        self.server_kwargs = dict(server_kwargs or {})
+        self.boot_timeout = boot_timeout
+        self.rpc_timeout = rpc_timeout
+        self._spool = data_dir or tempfile.mkdtemp(prefix="demaq-netio-")
+        os.makedirs(self._spool, exist_ok=True)
+        self._data_dir = data_dir
+        names = [f"node{i}" for i in range(nodes)] \
+            if isinstance(nodes, int) else list(nodes)
+
+        self.addresses: dict[str, tuple[str, int]] = {
+            GATE: (host, free_port(host))}
+        for name in names:
+            self.addresses[name] = (host, free_port(host))
+        self.transport = SocketTransport(GATE, self.addresses)
+        self.membership = ClusterMembership(self.app, names)
+        self.router = ClusterRouter(self.app, self.membership,
+                                    self.transport, via_network=True)
+
+        self._replies: dict[str, Element] = {}
+        self._ctl_seq = 0
+        self.transport.register(f"demaq://{GATE}/{CTL_REPLY_PATH}",
+                                self._on_ctl_reply)
+        self.workers: dict[str, WorkerProcess] = {}
+        try:
+            for name in names:
+                self.workers[name] = self._spawn(name)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- worker lifecycle --------------------------------------------------------
+
+    def _spawn(self, name: str) -> WorkerProcess:
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        stderr_path = os.path.join(self._spool, f"{name}.stderr")
+        data_dir = None if self._data_dir is None \
+            else os.path.join(self._data_dir, name)
+        config = {"name": name,
+                  "app": self.app_source,
+                  "addresses": {node: list(addr) for node, addr
+                                in self.addresses.items()},
+                  "nodes": self.node_names + ([name] if name
+                                              not in self.node_names
+                                              else []),
+                  "data_dir": data_dir,
+                  "server": self.server_kwargs}
+        stderr = open(stderr_path, "w", encoding="utf-8")
+        try:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.netio.worker"],
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                stderr=stderr, env=env, text=True)
+        finally:
+            stderr.close()
+        worker = WorkerProcess(name, proc, stderr_path)
+        proc.stdin.write(json.dumps(config) + "\n")
+        proc.stdin.flush()
+        self._await_ready(worker)
+        return worker
+
+    def _await_ready(self, worker: WorkerProcess) -> None:
+        banner: list[str] = []
+
+        def read_line() -> None:
+            banner.append(worker.proc.stdout.readline())
+
+        reader = threading.Thread(target=read_line, daemon=True)
+        reader.start()
+        reader.join(self.boot_timeout)
+        if not banner or not banner[0].startswith(READY_BANNER):
+            worker.proc.kill()
+            worker.proc.wait()
+            raise err.EngineError(
+                f"worker {worker.name!r} failed to start: "
+                + (worker.failure_detail() if banner
+                   else f"no ready banner within {self.boot_timeout}s"))
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self.membership.nodes)
+
+    # -- control-plane RPC -------------------------------------------------------
+
+    def _on_ctl_reply(self, envelope: Document, source: str) -> None:
+        body, properties = parse_envelope(envelope)
+        ctl_id = properties.get("ctlId")
+        if isinstance(ctl_id, str) and body.root_element is not None:
+            self._replies[ctl_id] = body.root_element
+
+    def _rpc(self, node: str, op: str, attrs: dict | None = None,
+             children: list[Element] | None = None,
+             timeout: float | None = None) -> Element:
+        """One request/reply round trip on a worker's control endpoint."""
+        self._ctl_seq += 1
+        ctl_id = f"ctl-{self._ctl_seq}"
+        request = Element("ctl",
+                          attributes=[Attribute("op", op)]
+                          + [Attribute(key, str(value))
+                             for key, value in (attrs or {}).items()],
+                          children=list(children or []))
+        failures: list[str] = []
+        self.transport.send(
+            ctl_endpoint(node),
+            build_envelope(Document([request]),
+                           {"ctlId": ctl_id,
+                            "replyTo": f"demaq://{GATE}/{CTL_REPLY_PATH}"}),
+            source=f"demaq://{GATE}/{CTL_REPLY_PATH}",
+            on_failed=failures.append)
+        deadline = time.monotonic() + (timeout or self.rpc_timeout)
+        while time.monotonic() < deadline:
+            self.transport.pump()
+            if ctl_id in self._replies:
+                return self._replies.pop(ctl_id)
+            if failures:
+                raise err.EngineError(
+                    f"ctl {op!r} to {node!r} failed: {failures[0]}")
+            self._check_workers()
+            time.sleep(0.002)
+        raise err.EngineError(
+            f"ctl {op!r} to {node!r} timed out after "
+            f"{timeout or self.rpc_timeout}s")
+
+    def _check_workers(self) -> None:
+        for worker in self.workers.values():
+            code = worker.proc.poll()
+            if code is not None and code != 0:
+                raise err.EngineError(worker.failure_detail())
+
+    # -- the ClusterServer-like surface ------------------------------------------
+
+    def enqueue(self, queue: str, body, properties=None) -> str:
+        """Route one message to its owner process over TCP."""
+        return self.router.enqueue(queue, body, properties)
+
+    def pump(self) -> int:
+        return self.transport.pump()
+
+    def status(self, node: str) -> dict[str, str]:
+        reply = self._rpc(node, "status")
+        return {attr.name.local_name: attr.value
+                for attr in reply.attributes}
+
+    def wait_idle(self, timeout: float = 60.0) -> int:
+        """Poll until the whole cluster quiesces; returns local steps.
+
+        Quiescent means: the coordinator transport has nothing in
+        flight and every worker reports idle (empty scheduler, no
+        pending sends, no due timers) with an unchanged cumulative
+        step counter across two consecutive polls — the observational
+        equivalent of the thread driver's quiescence barrier, reached
+        without any shared memory.
+        """
+        deadline = time.monotonic() + timeout
+        previous: tuple | None = None
+        while time.monotonic() < deadline:
+            self.transport.pump()
+            self._check_workers()
+            statuses = {name: self.status(name) for name in self.node_names}
+            signature = tuple(sorted(
+                (name, status["steps"]) for name, status in statuses.items()))
+            all_idle = all(status["idle"] == "True"
+                           for status in statuses.values()) \
+                and self.transport.idle()
+            if all_idle and signature == previous:
+                return sum(int(status["steps"])
+                           for status in statuses.values())
+            previous = signature if all_idle else None
+            time.sleep(0.01)
+        raise err.EngineError(
+            f"process cluster did not quiesce within {timeout}s")
+
+    def queue_depth(self, queue: str) -> int:
+        return sum(int(self._rpc(name, "depth",
+                                 {"queue": queue}).attribute_value("n"))
+                   for name in self.node_names)
+
+    def shard_depths(self, queue: str) -> dict[str, int]:
+        return {name: int(self._rpc(name, "depth",
+                                    {"queue": queue}).attribute_value("n"))
+                for name in sorted(self.node_names)}
+
+    def queue_texts(self, queue: str) -> list[str]:
+        """Shard contents node-major (sorted node names), like
+        :meth:`ClusterServer.queue_texts`."""
+        out: list[str] = []
+        for name in sorted(self.node_names):
+            reply = self._rpc(name, "texts", {"queue": queue})
+            out.extend(element.string_value
+                       for element in reply.child_elements("t"))
+        return out
+
+    def messages_processed(self) -> int:
+        return sum(int(self.status(name)["processed"])
+                   for name in self.node_names)
+
+    # -- membership over the wire -------------------------------------------------
+
+    def _membership_elements(self) -> list[Element]:
+        return [Element("node",
+                        attributes=[Attribute("name", name),
+                                    Attribute("host", self.addresses[name][0]),
+                                    Attribute("port",
+                                              str(self.addresses[name][1]))])
+                for name in self.node_names]
+
+    def add_node(self, name: str | None = None) -> int:
+        """Join a new worker process and rebalance; returns moved count.
+
+        The new ring is announced to every worker over ``!ctl``
+        (``reconfigure``), then each pre-existing worker pushes the
+        unprocessed messages it no longer owns to their new owners'
+        ingest endpoints — migration traffic rides the same socket
+        transport as ordinary cluster forwards.
+        """
+        if name is None:
+            index = len(self.workers)
+            while f"node{index}" in self.workers:
+                index += 1
+            name = f"node{index}"
+        veterans = self.node_names
+        self.addresses[name] = (self.host, free_port(self.host))
+        self.transport.addresses[name] = self.addresses[name]
+        self.workers[name] = self._spawn(name)
+        self.membership.join(name)
+        self.router.keys = type(self.router.keys)(self.app, self.membership)
+        roster = self._membership_elements()
+        for node in self.node_names:
+            self._rpc(node, "reconfigure", children=roster)
+        moved = 0
+        for node in veterans:
+            reply = self._rpc(node, "rebalance")
+            moved += int(reply.attribute_value("moved") or 0)
+        self.wait_idle()
+        return moved
+
+    # -- shutdown ----------------------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful cluster stop: every worker drains and exits 0."""
+        for name, worker in list(self.workers.items()):
+            if worker.proc.poll() is None:
+                self._rpc(name, "stop", timeout=timeout)
+        for worker in self.workers.values():
+            try:
+                worker.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+                worker.proc.wait()
+                raise err.EngineError(
+                    f"worker {worker.name!r} did not drain within "
+                    f"{timeout}s")
+            if worker.proc.returncode != 0:
+                raise err.EngineError(worker.failure_detail())
+
+    def close(self) -> None:
+        """Tear everything down, forcefully if needed."""
+        for worker in getattr(self, "workers", {}).values():
+            if worker.proc.poll() is None:
+                worker.proc.terminate()
+        for worker in getattr(self, "workers", {}).values():
+            try:
+                worker.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+                worker.proc.wait()
+        if getattr(self, "transport", None) is not None:
+            self.transport.close()
+
+    def __enter__(self) -> "ProcessCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,476 @@
+"""The TCP socket transport (real counterpart of the simulated Network).
+
+A :class:`SocketTransport` is one node's view of the cluster network:
+it listens on a TCP port for frames addressed to its local endpoints
+and dials peers from a static *address book* (``node -> (host, port)``)
+to deliver envelopes to theirs.  It implements the same
+:class:`~repro.network.base.Transport` interface as the simulated
+backend, so servers, routers, and gateways run unchanged over it.
+
+Threading model — the part that keeps store access single-threaded:
+
+* background threads (the listener, one reader per connection) only
+  *queue* events: inbound ``send`` frames and completed/failed
+  acknowledgements land in an event queue;
+* :meth:`pump` — called from the owner's driver loop, exactly like the
+  simulated ``Network.pump`` — drains that queue: it parses inbound
+  envelopes, runs the registered handlers, writes acknowledgements, and
+  fires sender callbacks.  All handler and callback execution happens on
+  the pumping thread.
+
+Delivery semantics match the simulated backend's §3.6 taxonomy:
+
+* unreachable peer / unknown endpoint / endpoint down →
+  ``disconnectedTransport``;
+* injected failure (``fail_next``), handler error, or an
+  acknowledgement missing past ``ack_timeout`` → ``deliveryTimeout``.
+
+An acknowledgement is written only *after* the handler returned, so a
+delivered ack means the receiving server has committed the enqueue —
+at-least-once end to end (a crash between handler and ack duplicates,
+never loses, matching WS-RM and the rebalancer's stance).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from ..network.base import (DISCONNECTED, TIMEOUT, Handler, OnDelivered,
+                            OnFailed, Transport, collision_error,
+                            endpoint_node)
+from ..xmldm import Document, parse, serialize
+from .wire import WireError, recv_frame, send_frame
+
+Address = tuple[str, int]
+
+
+class _Peer:
+    """One outbound connection to another node."""
+
+    def __init__(self, node: str, sock: socket.socket):
+        self.node = node
+        self.sock = sock
+        self.write_lock = threading.Lock()
+        self.pending_ids: set[int] = set()
+        self.alive = True
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _PendingSend:
+    """An outbound frame awaiting its acknowledgement."""
+
+    __slots__ = ("on_delivered", "on_failed", "deadline", "peer")
+
+    def __init__(self, on_delivered: Optional[OnDelivered],
+                 on_failed: Optional[OnFailed], deadline: float,
+                 peer: _Peer | None):
+        self.on_delivered = on_delivered
+        self.on_failed = on_failed
+        self.deadline = deadline
+        self.peer = peer
+
+
+class SocketTransport(Transport):
+    """Envelope transport over real TCP sockets.
+
+    *node* is this process's cluster-node name; *addresses* maps every
+    node name (including this one) to its ``(host, port)``.  Port 0 in
+    the local entry binds an ephemeral port — read it back from
+    :attr:`port` after construction.
+    """
+
+    def __init__(self, node: str, addresses: dict[str, Address],
+                 ack_timeout: float = 10.0,
+                 connect_timeout: float = 2.0):
+        self.node = node
+        self.addresses = dict(addresses)
+        self.ack_timeout = ack_timeout
+        self.connect_timeout = connect_timeout
+
+        self._mutex = threading.Lock()
+        #: serializes concurrent pump() callers (e.g. an HTTP gateway
+        #: pump thread next to a coordinator RPC loop) so handlers and
+        #: callbacks still never run concurrently with each other
+        self._pump_lock = threading.Lock()
+        self._handlers: dict[str, Handler] = {}
+        self._down: set[str] = set()
+        self._fail_next: dict[str, int] = {}
+        self._peers: dict[str, _Peer] = {}
+        self._pending: dict[int, _PendingSend] = {}
+        #: ("deliver", frame, conn, write_lock) | ("complete", pending, ok, marker)
+        self._events: deque = deque()
+        self._send_ids = itertools.count(1)
+        self._closed = False
+        self.sent = 0
+        self.delivered = 0
+        self.failed = 0
+        #: exceptions raised by handlers during pump (ack'd as failures)
+        self.handler_errors: list[BaseException] = []
+
+        host, port = self.addresses.get(node, ("127.0.0.1", 0))
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.addresses[node] = (self.host, self.port)
+        self._server_conns: list[socket.socket] = []
+        self._threads: list[threading.Thread] = []
+        self._spawn(self._accept_loop, f"netio-accept-{node}")
+
+    # -- topology ------------------------------------------------------------
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        with self._mutex:
+            if endpoint in self._handlers:
+                raise collision_error(endpoint)
+            self._handlers[endpoint] = handler
+
+    def unregister(self, endpoint: str) -> None:
+        with self._mutex:
+            self._handlers.pop(endpoint, None)
+
+    def is_registered(self, endpoint: str) -> bool:
+        """Local endpoints: exact; remote: does the node resolve at all?
+
+        A remote peer's registry is not observable without a probe, so
+        any endpoint of a known node counts as reachable — the send
+        path reports ``disconnectedTransport`` if the peer then rejects
+        or cannot be reached.
+        """
+        with self._mutex:
+            if endpoint in self._handlers:
+                return True
+        owner = endpoint_node(endpoint)
+        return owner is not None and owner != self.node \
+            and owner in self.addresses
+
+    def set_down(self, endpoint: str, down: bool = True) -> None:
+        with self._mutex:
+            if down:
+                self._down.add(endpoint)
+            else:
+                self._down.discard(endpoint)
+
+    def is_down(self, endpoint: str) -> bool:
+        with self._mutex:
+            return endpoint in self._down
+
+    def fail_next(self, endpoint: str, count: int = 1) -> None:
+        """Force the next *count* deliveries to this local endpoint to
+        fail with ``deliveryTimeout`` (receive-side injection)."""
+        with self._mutex:
+            self._fail_next[endpoint] = \
+                self._fail_next.get(endpoint, 0) + count
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, endpoint: str, envelope: Document, source: str = "",
+             on_delivered: OnDelivered | None = None,
+             on_failed: OnFailed | None = None) -> None:
+        """Frame the envelope toward its owner node; never blocks on the
+        outcome (callbacks fire on a later :meth:`pump`)."""
+        self.sent += 1
+        owner = endpoint_node(endpoint)
+        frame = {"kind": "send", "id": next(self._send_ids),
+                 "endpoint": endpoint, "source": source,
+                 "envelope": serialize(envelope)}
+        if self.is_down(endpoint):
+            self._complete_later(on_delivered, on_failed, False, DISCONNECTED)
+            return
+        if owner is None or owner not in self.addresses:
+            self._complete_later(on_delivered, on_failed, False, DISCONNECTED)
+            return
+        if owner == self.node:
+            # Loopback: same serialize -> parse hop, no TCP round trip.
+            # The same receive-side checks apply before queueing.
+            callbacks = _PendingSend(on_delivered, on_failed, 0.0, None)
+            with self._mutex:
+                if self._fail_next.get(endpoint, 0) > 0:
+                    self._fail_next[endpoint] -= 1
+                    self._events.append(("complete", callbacks, False,
+                                         TIMEOUT))
+                elif endpoint not in self._handlers:
+                    self._events.append(("complete", callbacks, False,
+                                         DISCONNECTED))
+                else:
+                    self._events.append(("deliver", frame, None, callbacks))
+            return
+        pending = _PendingSend(on_delivered, on_failed,
+                               time.monotonic() + self.ack_timeout, None)
+        with self._mutex:
+            self._pending[frame["id"]] = pending
+        if not self._write_to(owner, frame, pending):
+            with self._mutex:
+                self._pending.pop(frame["id"], None)
+            self._complete_later(on_delivered, on_failed, False, DISCONNECTED)
+
+    def _write_to(self, owner: str, frame: dict,
+                  pending: _PendingSend) -> bool:
+        """Write over the cached peer connection, redialing once."""
+        for attempt in (0, 1):
+            try:
+                peer = self._peer(owner, fresh=attempt > 0)
+            except OSError:
+                return False
+            try:
+                with peer.write_lock:
+                    send_frame(peer.sock, frame)
+                with self._mutex:
+                    peer.pending_ids.add(frame["id"])
+                pending.peer = peer
+                return True
+            except (OSError, WireError):
+                self._drop_peer(peer)
+        return False
+
+    def _peer(self, owner: str, fresh: bool = False) -> _Peer:
+        with self._mutex:
+            peer = self._peers.get(owner)
+            if peer is not None and peer.alive and not fresh:
+                return peer
+        sock = socket.create_connection(self.addresses[owner],
+                                        timeout=self.connect_timeout)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        peer = _Peer(owner, sock)
+        with self._mutex:
+            old = self._peers.get(owner)
+            self._peers[owner] = peer
+        if old is not None:
+            old.close()
+        self._spawn(lambda: self._reader(peer.sock, peer),
+                    f"netio-peer-{self.node}-{owner}")
+        return peer
+
+    def _drop_peer(self, peer: _Peer) -> None:
+        """Retire a dead outbound connection; fail its in-flight sends."""
+        with self._mutex:
+            if self._peers.get(peer.node) is peer:
+                del self._peers[peer.node]
+            orphans = [self._pending.pop(send_id)
+                       for send_id in sorted(peer.pending_ids)
+                       if send_id in self._pending]
+            peer.pending_ids.clear()
+            for pending in orphans:
+                self._events.append(("complete", pending, False,
+                                     DISCONNECTED))
+        peer.close()
+
+    def _complete_later(self, on_delivered, on_failed, ok: bool,
+                        marker: str | None) -> None:
+        pending = _PendingSend(on_delivered, on_failed, 0.0, None)
+        with self._mutex:
+            self._events.append(("complete", pending, ok, marker))
+
+    # -- pumping (the only thread that runs handlers/callbacks) ---------------
+
+    def pump(self, now: float | None = None) -> int:
+        with self._pump_lock:
+            return self._pump()
+
+    def _pump(self) -> int:
+        handled = 0
+        self._expire_pendings()
+        while True:
+            with self._mutex:
+                if not self._events:
+                    return handled
+                event = self._events.popleft()
+            handled += 1
+            if event[0] == "deliver":
+                self._dispatch(event[1], event[2], event[3])
+            else:
+                _, pending, ok, marker = event
+                if ok:
+                    if pending.on_delivered is not None:
+                        pending.on_delivered()
+                else:
+                    self.failed += 1
+                    if pending.on_failed is not None:
+                        pending.on_failed(marker or TIMEOUT)
+
+    def _dispatch(self, frame: dict, conn, extra) -> None:
+        """Run one inbound delivery; *extra* is the connection's write
+        lock (TCP) or the sender's callbacks (loopback)."""
+        endpoint = frame.get("endpoint", "")
+        with self._mutex:
+            handler = self._handlers.get(endpoint)
+        marker: str | None = None
+        if handler is None:
+            marker = DISCONNECTED
+        else:
+            try:
+                envelope = parse(frame["envelope"])
+                handler(envelope, frame.get("source", ""))
+            except BaseException as exc:
+                self.handler_errors.append(exc)
+                marker = TIMEOUT
+        if marker is None:
+            self.delivered += 1
+        else:
+            self.failed += 1
+        if conn is None:       # loopback: fire the callbacks in place
+            callbacks: _PendingSend = extra
+            if marker is None:
+                if callbacks.on_delivered is not None:
+                    callbacks.on_delivered()
+            elif callbacks.on_failed is not None:
+                callbacks.on_failed(marker)
+            return
+        ack = {"kind": "ack", "id": frame["id"],
+               "ok": marker is None, "marker": marker}
+        try:
+            with extra:
+                send_frame(conn, ack)
+        except (OSError, WireError):
+            pass               # sender's deadline covers the lost ack
+
+    # -- background readers ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._mutex:
+                self._server_conns.append(conn)
+            self._spawn(lambda c=conn: self._reader(c, None),
+                        f"netio-conn-{self.node}")
+
+    def _reader(self, conn: socket.socket, peer: _Peer | None) -> None:
+        """Read frames until EOF; queue work, never run handlers here."""
+        write_lock = peer.write_lock if peer is not None \
+            else threading.Lock()
+        try:
+            while True:
+                frame = recv_frame(conn)
+                if frame is None:
+                    break
+                kind = frame.get("kind")
+                if kind == "send":
+                    self._on_send_frame(frame, conn, write_lock)
+                elif kind == "ack":
+                    self._on_ack_frame(frame)
+        except (OSError, WireError):
+            pass
+        finally:
+            if peer is not None:
+                self._drop_peer(peer)
+            else:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _on_send_frame(self, frame: dict, conn, write_lock) -> None:
+        """Fast-path failure checks happen here; delivery waits for pump."""
+        endpoint = frame.get("endpoint", "")
+        with self._mutex:
+            if self._fail_next.get(endpoint, 0) > 0:
+                self._fail_next[endpoint] -= 1
+                marker = TIMEOUT
+            elif endpoint in self._down or endpoint not in self._handlers:
+                marker = DISCONNECTED
+            else:
+                self._events.append(("deliver", frame, conn, write_lock))
+                return
+            self.failed += 1
+        ack = {"kind": "ack", "id": frame["id"], "ok": False,
+               "marker": marker}
+        try:
+            with write_lock:
+                send_frame(conn, ack)
+        except (OSError, WireError):
+            pass
+
+    def _on_ack_frame(self, frame: dict) -> None:
+        with self._mutex:
+            pending = self._pending.pop(frame.get("id"), None)
+            if pending is None:
+                return
+            if pending.peer is not None:
+                pending.peer.pending_ids.discard(frame.get("id"))
+            self._events.append(("complete", pending,
+                                 bool(frame.get("ok")),
+                                 frame.get("marker")))
+
+    def _expire_pendings(self) -> None:
+        now = time.monotonic()
+        with self._mutex:
+            expired = [send_id for send_id, pending in self._pending.items()
+                       if pending.deadline <= now]
+            for send_id in expired:
+                pending = self._pending.pop(send_id)
+                if pending.peer is not None:
+                    pending.peer.pending_ids.discard(send_id)
+                self._events.append(("complete", pending, False, TIMEOUT))
+
+    # -- introspection ----------------------------------------------------------
+
+    def pending(self) -> int:
+        with self._mutex:
+            return len(self._pending) + len(self._events)
+
+    def idle(self) -> bool:
+        """No queued events and nothing awaiting acknowledgement."""
+        return self.pending() == 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            # shutdown() wakes a thread blocked in accept(); a bare
+            # close() would leave it holding the port bound.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._mutex:
+            peers = list(self._peers.values())
+            conns = list(self._server_conns)
+            self._peers.clear()
+            self._server_conns.clear()
+        for peer in peers:
+            peer.close()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+
+    def _spawn(self, target, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,79 @@
+"""Frame protocol of the socket transport.
+
+One frame = a 4-byte big-endian length prefix + a UTF-8 JSON object.
+Envelopes travel as serialized XML inside the JSON (the
+serialize → TCP → parse hop the round-trip tests pin), so the wire
+format is self-describing and debuggable with ``nc``.
+
+Frame kinds:
+
+* ``send`` — ``{id, endpoint, source, envelope}``: deliver *envelope*
+  (serialized SOAP XML) to *endpoint* on the receiving node;
+* ``ack`` — ``{id, ok, marker}``: the receiver's delivery outcome for
+  the ``send`` with the same id.  ``ok=False`` carries a §3.6 failure
+  marker (``disconnectedTransport``, ``deliveryTimeout``).
+
+Acknowledgements are sent *after* the receiving server has handled the
+envelope (for ingest: after the enqueue transaction committed), so a
+delivered ack means the message is owned by the receiver — the WS-RM
+at-least-once stance.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on one frame; a parsed length beyond it means the stream
+#: is corrupt (or hostile) and the connection must be dropped.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class WireError(Exception):
+    """Corrupt or oversized frame on a transport connection."""
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Write one frame; raises OSError on a dead connection."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; None on clean EOF at a frame boundary."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise WireError(f"frame length {length} exceeds MAX_FRAME")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise WireError("connection closed mid-frame")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireError("frame payload must be a JSON object")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """*count* bytes, or None on EOF at the boundary; WireError inside."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

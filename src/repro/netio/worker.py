@@ -1,0 +1,293 @@
+"""One cluster node as an OS process: ``python -m repro.netio.worker``.
+
+The process-per-node counterpart of a :class:`ClusterDriver` node
+thread.  The worker reads a JSON config from stdin, boots a
+:class:`~repro.engine.DemaqServer` with its **own store directory and
+WAL**, attaches a :class:`~repro.netio.SocketTransport`, and announces
+``DEMAQ-WORKER-READY <port>`` on stdout.  From then on everything —
+cluster ingest, control, rebalance, drain — flows over sockets; there
+is no shared memory with the coordinator or the other nodes.
+
+Config keys::
+
+    {"name": "node0",
+     "app": "<QDL source>",
+     "addresses": {"node0": ["127.0.0.1", 9101], ...,
+                   "gate": ["127.0.0.1", 9100]},
+     "nodes": ["node0", "node1"],          # membership (ring order)
+     "data_dir": "/path/node0" | null,     # null: in-memory store
+     "server": {"durability": "group", "batch_size": 8, ...}}
+
+Control protocol — envelopes POSTed to ``demaq://<name>/!ctl`` whose
+body is ``<ctl op="..."/>`` with a ``replyTo`` property; the worker
+answers with a ``<ctlReply .../>`` envelope carrying the request's
+``ctlId`` property back:
+
+* ``status`` — cumulative step counter, processed count, idleness;
+* ``depth`` (attr ``queue``) / ``texts`` (attr ``queue``) — shard reads;
+* ``reconfigure`` — new membership + address book (join/leave);
+* ``rebalance`` — push every unprocessed message that now belongs to a
+  different owner to that owner's ``!shard`` ingest over the socket
+  transport, deleting locally only after the owner's delivered ack
+  (at-least-once; retained processed messages stay until retention
+  reclaims them);
+* ``stop`` — graceful drain: finish the in-flight execution step,
+  flush the group-commit coordinator, close the store, exit 0.
+
+SIGTERM triggers the same graceful-drain path as ``stop`` — no torn
+work on process termination.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import time
+
+from ..cluster.membership import ClusterMembership
+from ..cluster.router import RoutingKeys
+from ..engine.server import DemaqServer
+from ..network import build_envelope, parse_envelope
+from ..network.transport import node_endpoint
+from ..qdl import compile_application
+from ..qdl.model import QueueKind
+from ..queues import RealClock
+from ..xmldm import Attribute, Document, Element, Text, parse
+from .transport import SocketTransport
+
+CTL_PATH = "!ctl"
+CTL_REPLY_PATH = "!ctl-reply"
+READY_BANNER = "DEMAQ-WORKER-READY"
+
+
+def ctl_endpoint(node: str) -> str:
+    return f"demaq://{node}/{CTL_PATH}"
+
+
+class Worker:
+    """The per-process node runtime around one DemaqServer."""
+
+    def __init__(self, config: dict):
+        self.name = config["name"]
+        self.app = compile_application(config["app"])
+        addresses = {node: (host, int(port))
+                     for node, (host, port) in config["addresses"].items()}
+        self.transport = SocketTransport(self.name, addresses)
+        self.clock = RealClock()
+        self.server = DemaqServer(self.app, clock=self.clock,
+                                  network=self.transport, name=self.name,
+                                  data_dir=config.get("data_dir"),
+                                  register_gateways=False,
+                                  **(config.get("server") or {}))
+        self.nodes: list[str] = list(config.get("nodes") or [self.name])
+        self.membership = ClusterMembership(self.app, self.nodes)
+        self.keys = RoutingKeys(self.app, self.membership)
+        self._gateway_queues: set[str] = set()
+        self._register_endpoints()
+        self.steps = 0
+        self.migrated_out = 0
+        self._stopping = False
+
+    # -- endpoint wiring ------------------------------------------------------
+
+    def _register_endpoints(self) -> None:
+        for queue in self.app.queues:
+            self.server.register_ingest(node_endpoint(self.name, queue),
+                                        queue)
+        self.transport.register(ctl_endpoint(self.name), self._handle_ctl)
+        self._place_gateways()
+
+    def _place_gateways(self) -> None:
+        """Own the incoming-gateway endpoints the ring assigns here."""
+        for queue_def in self.app.queues.values():
+            if queue_def.kind is not QueueKind.INCOMING_GATEWAY:
+                continue
+            owner = self.membership.ring.owner(queue_def.name)
+            if owner == self.name \
+                    and queue_def.name not in self._gateway_queues:
+                self.server.register_incoming_gateway(queue_def.name)
+                self._gateway_queues.add(queue_def.name)
+            elif owner != self.name \
+                    and queue_def.name in self._gateway_queues:
+                self.server.unregister_incoming_gateway(queue_def.name)
+                self._gateway_queues.discard(queue_def.name)
+
+    # -- the process main loop ------------------------------------------------
+
+    def run(self) -> int:
+        while not self._stopping:
+            worked = self.server.step_local()
+            delivered = self.transport.pump()
+            if worked:
+                # local rule/echo/gateway work only — control-plane
+                # deliveries must not disturb the quiescence signature
+                self.steps += 1
+            if not worked and not delivered:
+                time.sleep(0.001)
+        self._drain()
+        return 0
+
+    def request_stop(self) -> None:
+        self._stopping = True
+
+    def _drain(self) -> None:
+        """Graceful exit: nothing torn, everything acknowledged durable.
+
+        The main loop already finished its in-flight execution step (a
+        whole batch transaction) before getting here; one last pump
+        completes outstanding acknowledgements, then the group-commit
+        coordinator forces the log tail so every acknowledged commit
+        survives the exit.
+        """
+        self.transport.pump()
+        self.server.store.group_commit.drain()
+        self.server.close()
+        self.transport.close()
+
+    # -- control channel ------------------------------------------------------
+
+    def _handle_ctl(self, envelope: Document, source: str) -> None:
+        body, properties = parse_envelope(envelope)
+        root = body.root_element
+        op = root.attribute_value("op") if root is not None else None
+        reply_to = properties.get("replyTo")
+        attrs: dict[str, object] = {"op": op or "?", "node": self.name}
+        children: list[Element] = []
+
+        if op == "status":
+            attrs.update(steps=self.steps,
+                         processed=self.server.executor.stats
+                         .messages_processed,
+                         backlog=self.server.scheduler.backlog(),
+                         pending=self.transport.pending(),
+                         migrated=self.migrated_out,
+                         idle=self._idle())
+        elif op == "depth":
+            queue = root.attribute_value("queue")
+            attrs.update(queue=queue,
+                         n=self.server.store.queue_depth(queue))
+        elif op == "texts":
+            queue = root.attribute_value("queue")
+            attrs.update(queue=queue)
+            children = [Element("t", children=[Text(text)])
+                        for text in self.server.queue_texts(queue)]
+        elif op == "reconfigure":
+            self._reconfigure(root)
+        elif op == "rebalance":
+            attrs.update(moved=self._rebalance_out())
+        elif op == "stop":
+            self.request_stop()
+        else:
+            attrs.update(error=f"unknown ctl op {op!r}")
+
+        if isinstance(reply_to, str):
+            reply = Element("ctlReply",
+                            attributes=[Attribute(key, str(value))
+                                        for key, value in attrs.items()],
+                            children=children)
+            self.transport.send(
+                reply_to, build_envelope(Document([reply]),
+                                         {"ctlId": properties.get("ctlId",
+                                                                  "")}),
+                source=ctl_endpoint(self.name))
+
+    def _idle(self) -> bool:
+        """No runnable work this instant (future echo timers excluded)."""
+        echo_due = self.server.echo.next_due()
+        return (self.server.scheduler.backlog() == 0
+                and not self.server._pending_sends
+                and self.transport.idle()
+                and (echo_due is None or echo_due > self.clock.now()))
+
+    # -- membership changes over the wire --------------------------------------
+
+    def _reconfigure(self, root: Element) -> None:
+        """Adopt a new node list + address book (join/leave)."""
+        nodes = [el.attribute_value("name")
+                 for el in root.child_elements("node")]
+        for el in root.child_elements("node"):
+            self.transport.addresses[el.attribute_value("name")] = (
+                el.attribute_value("host"), int(el.attribute_value("port")))
+        self.nodes = nodes
+        self.membership = ClusterMembership(self.app, nodes)
+        self.keys = RoutingKeys(self.app, self.membership)
+        self._place_gateways()
+
+    def _rebalance_out(self) -> int:
+        """Push every unprocessed message owned elsewhere to its owner.
+
+        Socket-era migration is at-least-once via the ingest path: the
+        local copy is deleted only in the delivered-ack callback, i.e.
+        after the new owner committed its insert.  Processed (retained)
+        messages stay put until retention reclaims them — correlation
+        against history is shard-local either way (DESIGN.md §6).
+        """
+        moved = 0
+        for queue in self.app.queues:
+            for meta in list(self.server.store.queue_messages(queue)):
+                if meta.processed:
+                    continue
+                owner = self._owner_of(queue, meta)
+                if owner == self.name or owner not in self.nodes:
+                    continue
+                payload = self.server.store.body_bytes(meta.msg_id)
+                body = parse(payload.decode("utf-8"))
+                envelope = build_envelope(
+                    body, self._portable_properties(meta.properties))
+                self.transport.send(
+                    node_endpoint(owner, queue), envelope,
+                    source=f"demaq://{self.name}/!rebalance",
+                    on_delivered=lambda msg_id=meta.msg_id:
+                        self._migration_done(msg_id))
+                moved += 1
+        return moved
+
+    def _owner_of(self, queue: str, meta) -> str:
+        from ..cluster.rebalance import stored_message_owner
+        return stored_message_owner(self.membership, self.keys, queue,
+                                    meta, self.server)
+
+    def _portable_properties(self, properties: dict) -> dict:
+        """Explicit properties that travel with a migrated message.
+
+        Fixed properties recompute from the body at the target; derived
+        system state (creationTime, Sender, …) is re-stamped there.
+        """
+        out = {}
+        for name, value in properties.items():
+            declared = self.app.properties.get(name)
+            if declared is not None and declared.fixed:
+                continue
+            if name in ("creationTime", "creatingRule", "sourceQueue",
+                        "Sender"):
+                continue
+            out[name] = value
+        return out
+
+    def _migration_done(self, msg_id: int) -> None:
+        meta = self.server.store.get(msg_id)
+        if meta is None:
+            return
+        txn = self.server.store.begin()
+        txn.delete_message(msg_id)
+        self.server.store.commit(txn)
+        self.server.locking.release(txn.txn_id)
+        self.migrated_out += 1
+
+
+def main() -> int:
+    config = json.loads(sys.stdin.readline())
+    worker = Worker(config)
+
+    def on_term(signum, frame):
+        worker.request_stop()
+
+    signal.signal(signal.SIGTERM, on_term)
+    signal.signal(signal.SIGINT, on_term)
+    print(f"{READY_BANNER} {worker.transport.port}", flush=True)
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

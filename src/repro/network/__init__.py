@@ -1,11 +1,24 @@
-"""Simulated network: transport, SOAP envelopes, WSDL-lite interfaces."""
+"""Network layer: transports, SOAP envelopes, WSDL-lite interfaces.
 
+Two transport backends implement the shared :class:`Transport`
+interface: the simulated in-process :class:`Network` (deterministic,
+the tier-1 default) and the TCP :class:`~repro.netio.SocketTransport`
+(real sockets between OS processes, in :mod:`repro.netio`).
+"""
+
+from .base import (DISCONNECTED, TIMEOUT, EndpointCollisionError,
+                   Transport, endpoint_node, is_reserved_endpoint)
 from .soap import build_envelope, parse_envelope
-from .transport import Network
-from .wsdl import Operation, Port, WSDLError, WSDLInterface, parse_wsdl
+from .transport import Network, node_endpoint
+from .wsdl import (Operation, Port, WSDLError, WSDLInterface, build_wsdl,
+                   parse_wsdl)
 
 __all__ = [
+    "DISCONNECTED", "TIMEOUT",
+    "EndpointCollisionError", "Transport",
+    "endpoint_node", "is_reserved_endpoint", "node_endpoint",
     "build_envelope", "parse_envelope",
     "Network",
-    "Operation", "Port", "WSDLError", "WSDLInterface", "parse_wsdl",
+    "Operation", "Port", "WSDLError", "WSDLInterface",
+    "build_wsdl", "parse_wsdl",
 ]

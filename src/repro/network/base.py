@@ -1,0 +1,138 @@
+"""The abstract transport interface both network backends implement.
+
+Two backends carry gateway envelopes between ``demaq://`` endpoints
+(DESIGN.md §2):
+
+* the **simulated** :class:`~repro.network.transport.Network` — an
+  in-process endpoint registry with virtual-time latency and
+  deterministic failure injection; the default for tests and anything
+  that needs reproducibility;
+* the **socket** :class:`~repro.netio.transport.SocketTransport` — real
+  TCP between OS processes, same envelopes, same failure markers.
+
+Everything above the transport (servers, routers, drivers, gateways)
+talks to this interface only, so the backends are interchangeable: the
+same application runs unchanged over either.
+
+Addressing is uniform: ``demaq://<node>/<path>``.  Path segments
+starting with ``!`` are reserved for the runtime (``!shard/<queue>`` is
+cluster ingest, ``!ctl`` the process-cluster control channel) and may
+not be claimed by application-declared gateway endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..xmldm import Document
+
+#: handler(envelope, source_endpoint) — registered per endpoint.
+Handler = Callable[[Document, str], None]
+#: callbacks for the sender
+OnDelivered = Callable[[], None]
+OnFailed = Callable[[str], None]   # receives a failure marker name
+
+#: §3.6 failure markers shared by both backends.
+DISCONNECTED = "disconnectedTransport"
+TIMEOUT = "deliveryTimeout"
+
+#: First character of reserved path segments (cluster ingest, control).
+RESERVED_MARK = "!"
+
+
+class EndpointCollisionError(ValueError):
+    """An endpoint registration clashed with an existing one."""
+
+
+def endpoint_node(endpoint: str) -> Optional[str]:
+    """The ``<node>`` of a ``demaq://<node>/...`` address, if any."""
+    if not endpoint.startswith("demaq://"):
+        return None
+    rest = endpoint[len("demaq://"):]
+    node = rest.split("/", 1)[0]
+    return node or None
+
+
+def endpoint_path(endpoint: str) -> str:
+    """The path part of a ``demaq://<node>/<path>`` address ('' if none)."""
+    if not endpoint.startswith("demaq://"):
+        return ""
+    rest = endpoint[len("demaq://"):]
+    return rest.split("/", 1)[1] if "/" in rest else ""
+
+
+def is_reserved_endpoint(endpoint: str) -> bool:
+    """Does the address use a runtime-reserved (``!``-prefixed) segment?"""
+    return any(segment.startswith(RESERVED_MARK)
+               for segment in endpoint_path(endpoint).split("/"))
+
+
+def collision_error(endpoint: str) -> EndpointCollisionError:
+    """A registration collision, explained in the caller's terms."""
+    if is_reserved_endpoint(endpoint):
+        return EndpointCollisionError(
+            f"endpoint {endpoint!r} is already registered — it lies in "
+            f"the runtime-reserved '!' namespace (cluster ingest / "
+            f"control); application gateways must not claim it")
+    return EndpointCollisionError(
+        f"endpoint {endpoint!r} is already registered — each address "
+        f"has exactly one handler; unregister the holder first")
+
+
+class Transport:
+    """Abstract envelope transport between ``demaq://`` endpoints.
+
+    The contract both backends honour:
+
+    * ``register`` raises :class:`EndpointCollisionError` on a duplicate
+      address instead of silently replacing the handler;
+    * ``send`` never blocks on the outcome — delivery and failure are
+      reported through the optional callbacks, which fire during a later
+      ``pump()`` on the pumping thread (handlers and callbacks therefore
+      run single-threaded per transport);
+    * failures carry the paper's §3.6 markers: ``disconnectedTransport``
+      (endpoint down / unreachable / unregistered) and
+      ``deliveryTimeout`` (forced failure, drop, or lost acknowledgement).
+    """
+
+    # -- topology ------------------------------------------------------------
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        raise NotImplementedError
+
+    def unregister(self, endpoint: str) -> None:
+        raise NotImplementedError
+
+    def is_registered(self, endpoint: str) -> bool:
+        raise NotImplementedError
+
+    def set_down(self, endpoint: str, down: bool = True) -> None:
+        raise NotImplementedError
+
+    def is_down(self, endpoint: str) -> bool:
+        raise NotImplementedError
+
+    def fail_next(self, endpoint: str, count: int = 1) -> None:
+        raise NotImplementedError
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, endpoint: str, envelope: Document, source: str = "",
+             on_delivered: OnDelivered | None = None,
+             on_failed: OnFailed | None = None) -> None:
+        raise NotImplementedError
+
+    def pump(self, now: float | None = None) -> int:
+        """Dispatch every due delivery/callback; returns the count."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        raise NotImplementedError
+
+    def next_due(self) -> float | None:
+        return None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release transport resources (sockets, threads).  Idempotent."""

@@ -19,10 +19,12 @@ import itertools
 import random
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 from ..queues.timers import Clock
 from ..xmldm import Document
+from .base import (Handler, OnDelivered, OnFailed, Transport,
+                   collision_error)
 
 
 def node_endpoint(node: str, queue: str) -> str:
@@ -34,12 +36,6 @@ def node_endpoint(node: str, queue: str) -> str:
     ordinary incoming gateways without collisions.
     """
     return f"demaq://{node}/!shard/{queue}"
-
-#: handler(envelope, source_endpoint) — registered per endpoint.
-Handler = Callable[[Document, str], None]
-#: callbacks for the sender
-OnDelivered = Callable[[], None]
-OnFailed = Callable[[str], None]   # receives a failure marker name
 
 
 @dataclass(order=True)
@@ -53,7 +49,7 @@ class _InFlight:
     on_failed: Optional[OnFailed] = field(compare=False, default=None)
 
 
-class Network:
+class Network(Transport):
     """Endpoint registry plus a latency/failure simulator.
 
     Thread-safe: several cluster node threads may ``send`` concurrently
@@ -83,7 +79,7 @@ class Network:
     def register(self, endpoint: str, handler: Handler) -> None:
         with self._mutex:
             if endpoint in self._handlers:
-                raise ValueError(f"endpoint {endpoint!r} already registered")
+                raise collision_error(endpoint)
             self._handlers[endpoint] = handler
 
     def unregister(self, endpoint: str) -> None:

@@ -10,8 +10,12 @@ outgoing messages match a declared operation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from ..xmldm import Document, parse
+from ..xmldm import Attribute, Document, Element, parse, serialize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..qdl.model import Application
 
 
 class WSDLError(Exception):
@@ -89,3 +93,43 @@ def parse_wsdl(source: str | Document) -> WSDLInterface:
     if not interface.ports:
         raise WSDLError("interface declares no ports")
     return interface
+
+
+#: Generated operations accept any payload root; the live gateway takes
+#: whole SOAP envelopes, so there is no single input element to name.
+ANY_INPUT = "any"
+
+
+def build_wsdl(app: "Application", address_base: str,
+               name: str | None = None) -> str:
+    """Generate the live-gateway interface description for *app*.
+
+    One port per externally enqueueable queue (incoming gateways and
+    basic queues — echo and outgoing queues are runtime-fed), addressed
+    under *address_base* the way the HTTP gateway routes them
+    (``<base>/enqueue/<queue>``).  The output round-trips through
+    :func:`parse_wsdl`, so a remote Demaq node can import it with
+    ``create queue … interface … port <Queue>Port``.
+    """
+    from ..qdl.model import QueueKind
+    ports: list[Element] = []
+    for queue_def in app.queues.values():
+        if queue_def.kind not in (QueueKind.BASIC,
+                                  QueueKind.INCOMING_GATEWAY):
+            continue
+        ports.append(Element("port", attributes=[
+            Attribute("name", f"{queue_def.name}Port"),
+            Attribute("address",
+                      f"{address_base.rstrip('/')}/enqueue/{queue_def.name}"),
+        ], children=[
+            Element("operation", attributes=[
+                Attribute("name", "enqueue"),
+                Attribute("input", ANY_INPUT),
+            ]),
+        ]))
+    if not ports:
+        raise WSDLError("application exposes no enqueueable queues")
+    definitions = Element("definitions",
+                          attributes=[Attribute("name", name or "demaq")],
+                          children=ports)
+    return serialize(Document([definitions]), indent=2)

@@ -1,0 +1,49 @@
+"""Shared gating and plumbing for the socket-transport test modules.
+
+Everything under ``tests/netio`` opens real TCP sockets and forks OS
+processes, so it is opt-in: set ``DEMAQ_NET_TESTS=1`` (the CI
+``net-smoke`` job does).  The tier-1 suite runs entirely on the
+simulated transport with no sockets opened.
+"""
+
+import os
+import time
+
+import pytest
+
+NET_TESTS = os.environ.get("DEMAQ_NET_TESTS", "") not in ("", "0")
+
+requires_net = pytest.mark.skipif(
+    not NET_TESTS,
+    reason="socket tests are opt-in: set DEMAQ_NET_TESTS=1 "
+           "(tier-1 stays on the simulated transport)")
+
+
+def pump_until(condition, *transports, timeout=5.0, interval=0.005):
+    """Pump every transport until *condition()* or the timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for transport in transports:
+            transport.pump()
+        if condition():
+            return True
+        time.sleep(interval)
+    return condition()
+
+
+@pytest.fixture()
+def transport_pair():
+    """Two connected SocketTransports on ephemeral localhost ports."""
+    from repro.netio import SocketTransport
+
+    book = {"a": ("127.0.0.1", 0), "b": ("127.0.0.1", 0)}
+    ta = SocketTransport("a", book)
+    book["a"] = (ta.host, ta.port)
+    tb = SocketTransport("b", book)
+    book["b"] = (tb.host, tb.port)
+    ta.addresses["b"] = book["b"]
+    try:
+        yield ta, tb
+    finally:
+        ta.close()
+        tb.close()

@@ -1,0 +1,114 @@
+"""The live HTTP gateway in front of a real process cluster.
+
+External producers POST SOAP envelopes over HTTP; the gateway routes
+them through the cluster router to worker processes over TCP; the WSDL
+the paper derives from queue definitions is served live over GET.
+"""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from tests.netio.conftest import requires_net
+
+from repro.netio import HttpGateway, ProcessCluster
+from repro.network import build_envelope, parse_wsdl
+from repro.xmldm import parse, serialize
+
+pytestmark = requires_net
+
+APP = """
+create queue work kind basic mode persistent;
+create queue done kind basic mode persistent;
+create property reqID as xs:string fixed
+    queue work value string(//job/@id);
+create property urgency as xs:integer
+    queue work value 0;
+create slicing byReq on reqID;
+create rule crunch for work
+    if (//job) then do enqueue
+        <ack id="{string(//job/@id)}"
+             urgency="{qs:property('urgency')}"/> into done
+"""
+
+JOBS = 10
+
+
+def post(url, payload):
+    request = urllib.request.Request(
+        url, data=payload.encode("utf-8"), method="POST",
+        headers={"Content-Type": "text/xml; charset=utf-8"})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+@pytest.fixture
+def live(tmp_path):
+    with ProcessCluster(APP, nodes=2,
+                        data_dir=str(tmp_path / "cluster")) as cluster:
+        with HttpGateway(cluster) as gateway:
+            yield cluster, gateway
+
+
+def test_post_soap_envelopes_end_to_end(live):
+    cluster, gateway = live
+    nodes = set()
+    for index in range(JOBS):
+        envelope = build_envelope(parse(f'<job id="j{index}"/>'),
+                                  {"urgency": index})
+        status, text = post(f"{gateway.base_url}/enqueue/work",
+                            serialize(envelope))
+        assert status == 202
+        assert 'queue="work"' in text
+        nodes.add(text.split('node="')[1].split('"')[0])
+    assert nodes <= {"node0", "node1"} and nodes
+
+    cluster.wait_idle()
+    acks = sorted(cluster.queue_texts("done"))
+    assert acks == sorted(
+        f'<ack id="j{i}" urgency="{i}"/>' for i in range(JOBS))
+    assert gateway.accepted == JOBS
+
+
+def test_post_bare_xml_document(live):
+    cluster, gateway = live
+    status, _ = post(f"{gateway.base_url}/enqueue/work", '<job id="bare"/>')
+    assert status == 202
+    cluster.wait_idle()
+    assert any("bare" in text for text in cluster.queue_texts("done"))
+
+
+def test_wsdl_served_live(live):
+    _, gateway = live
+    status, text = get(f"{gateway.base_url}/wsdl")
+    assert status == 200
+    description = parse_wsdl(text)
+    addresses = {name: port.address
+                 for name, port in description.ports.items()}
+    assert addresses == {
+        "workPort": f"{gateway.base_url}/enqueue/work",
+        "donePort": f"{gateway.base_url}/enqueue/done",
+    }
+
+
+def test_health_and_error_paths(live):
+    _, gateway = live
+    assert get(f"{gateway.base_url}/health")[0] == 200
+
+    with pytest.raises(urllib.error.HTTPError) as not_found:
+        post(f"{gateway.base_url}/enqueue/nosuch", "<x/>")
+    assert not_found.value.code == 404
+
+    with pytest.raises(urllib.error.HTTPError) as bad_xml:
+        post(f"{gateway.base_url}/enqueue/work", "<unclosed")
+    assert bad_xml.value.code == 400
+
+    with pytest.raises(urllib.error.HTTPError) as wrong_path:
+        get(f"{gateway.base_url}/nope")
+    assert wrong_path.value.code == 404

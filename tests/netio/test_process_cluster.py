@@ -1,0 +1,131 @@
+"""Multi-process cluster: boot, shard, quiesce, drain — all over TCP.
+
+Each node is its own OS process with its own store and WAL; the
+coordinator only ever talks to it through the socket transport.  The
+acceptance bar (ISSUE 6): a 2-process cluster boots, ingests through
+the router, spreads sliced work across both processes, reaches
+quiescence, and drains cleanly (exit code 0, durable stores).
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from tests.netio.conftest import requires_net
+
+from repro.netio import ProcessCluster
+
+pytestmark = requires_net
+
+SHARDED = """
+create queue work kind basic mode persistent;
+create queue done kind basic mode persistent;
+create queue echoQueue kind echo mode persistent;
+create property reqID as xs:string fixed
+    queue work value string(//job/@id);
+create slicing byReq on reqID;
+create rule crunch for work
+    if (//job) then do enqueue <ack id="{string(//job/@id)}"/> into done
+"""
+
+JOBS = 24
+
+
+def job(index):
+    return f'<job id="j{index}"/>'
+
+
+def test_two_process_cluster_processes_and_drains(tmp_path):
+    with ProcessCluster(SHARDED, nodes=2,
+                        data_dir=str(tmp_path / "cluster"),
+                        server_kwargs={"durability": "group"}) as cluster:
+        owners = {cluster.enqueue("work", job(i)) for i in range(JOBS)}
+        cluster.wait_idle()
+
+        assert cluster.queue_depth("done") == JOBS
+        acks = sorted(cluster.queue_texts("done"))
+        assert acks == sorted(f'<ack id="j{i}"/>' for i in range(JOBS))
+        # sliced work really spread over both processes
+        assert owners == {"node0", "node1"}
+        depths = cluster.shard_depths("done")
+        assert all(depth > 0 for depth in depths.values())
+        # every work message plus every ack it produced went through
+        # the scheduler→executor path on some process
+        assert cluster.messages_processed() == JOBS * 2
+
+        cluster.drain()
+        codes = {name: worker.proc.returncode
+                 for name, worker in cluster.workers.items()}
+        assert codes == {"node0": 0, "node1": 0}
+
+    # the drain left durable stores: every node directory has a WAL
+    for node in ("node0", "node1"):
+        assert (tmp_path / "cluster" / node).is_dir()
+
+
+def test_sigterm_drains_gracefully(tmp_path):
+    """SIGTERM is a graceful drain, not a kill: exit 0, work durable."""
+    with ProcessCluster(SHARDED, nodes=2,
+                        data_dir=str(tmp_path / "cluster"),
+                        server_kwargs={"durability": "group"}) as cluster:
+        for index in range(JOBS):
+            cluster.enqueue("work", job(index))
+        cluster.wait_idle()
+        done_before = cluster.queue_depth("done")
+
+        for worker in cluster.workers.values():
+            os.kill(worker.proc.pid, signal.SIGTERM)
+        deadline = time.monotonic() + 15.0
+        for worker in cluster.workers.values():
+            worker.proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            assert worker.proc.returncode == 0
+
+    # a rebooted cluster on the same directories still has everything
+    with ProcessCluster(SHARDED, nodes=2,
+                        data_dir=str(tmp_path / "cluster"),
+                        server_kwargs={"durability": "group"}) as cluster:
+        cluster.wait_idle()
+        assert cluster.queue_depth("done") == done_before
+        cluster.drain()
+
+
+def test_add_node_rebalances_over_sockets(tmp_path):
+    """A third process joins live; misplaced unprocessed messages ride
+    the socket transport to their new owners and nothing is lost."""
+    with ProcessCluster(SHARDED, nodes=2,
+                        data_dir=str(tmp_path / "cluster")) as cluster:
+        # park unprocessed messages: far-future echoes sit in the store
+        # until their timer fires, so they are live rebalance cargo
+        for index in range(JOBS):
+            cluster.enqueue("echoQueue", job(index),
+                            properties={"timeout": 3600, "target": "work"})
+        cluster.wait_idle()
+        assert cluster.queue_depth("echoQueue") == JOBS
+
+        moved = cluster.add_node("node2")
+        # 24 distinct slice keys: the new ring owns some of them
+        assert moved > 0
+        assert cluster.queue_depth("echoQueue") == JOBS      # none lost
+        assert cluster.shard_depths("echoQueue")["node2"] == moved
+
+        # the grown cluster still processes sliced work on all 3 nodes
+        for index in range(JOBS, JOBS * 2):
+            cluster.enqueue("work", job(index))
+        cluster.wait_idle()
+        assert sorted(cluster.queue_texts("done")) == \
+            sorted(f'<ack id="j{i}"/>' for i in range(JOBS, JOBS * 2))
+        assert int(cluster.status("node2")["processed"]) > 0
+        cluster.drain()
+
+
+def test_worker_crash_is_reported(tmp_path):
+    with ProcessCluster(SHARDED, nodes=2) as cluster:
+        cluster.enqueue("work", job(1))
+        cluster.wait_idle()
+        victim = cluster.workers["node0"]
+        victim.proc.kill()
+        victim.proc.wait()
+        with pytest.raises(Exception, match="node0.*exited"):
+            cluster.wait_idle(timeout=5.0)

@@ -1,0 +1,249 @@
+"""Socket transport: delivery, failure markers, reconnect, fidelity.
+
+The acceptance contract (ISSUE 6): delivery works end to end, failures
+surface the §3.6 markers (``disconnectedTransport`` for unreachable /
+unregistered endpoints, ``deliveryTimeout`` for injected failures), a
+restarted peer is reachable again over a fresh connection, and SOAP
+envelopes survive the serialize → TCP → parse hop byte-identically to
+the simulated transport.
+"""
+
+import time
+from decimal import Decimal
+
+import pytest
+
+from tests.netio.conftest import pump_until, requires_net
+
+from repro.netio import SocketTransport
+from repro.network import (EndpointCollisionError, Network, build_envelope,
+                          parse_envelope)
+from repro.queues import VirtualClock
+from repro.xmldm import parse, serialize
+from repro.xquery.atomics import XSDateTime
+
+pytestmark = requires_net
+
+
+def envelope(markup="<m/>", properties=None):
+    return build_envelope(parse(markup), properties or {})
+
+
+# -- delivery ---------------------------------------------------------------------
+
+
+def test_delivery_across_tcp(transport_pair):
+    ta, tb = transport_pair
+    received = []
+    tb.register("demaq://b/in",
+                lambda env, src: received.append((serialize(env), src)))
+    outcomes = []
+    ta.send("demaq://b/in", envelope("<hello/>"), source="demaq://a",
+            on_delivered=lambda: outcomes.append("delivered"))
+    assert pump_until(lambda: outcomes, tb, ta)
+    assert outcomes == ["delivered"]
+    assert len(received) == 1
+    assert received[0][1] == "demaq://a"
+    assert "<hello/>" in received[0][0]
+    assert tb.delivered == 1 and ta.sent == 1
+
+
+def test_loopback_delivery_still_crosses_serialization(transport_pair):
+    ta, _ = transport_pair
+    received = []
+    ta.register("demaq://a/self", lambda env, src: received.append(env))
+    ta.send("demaq://a/self", envelope("<loop/>"))
+    assert pump_until(lambda: received, ta)
+    # the delivered document is a fresh parse, not the sent object
+    assert received[0].root_element.name.local_name == "Envelope"
+
+
+def test_ack_arrives_after_handler_ran(transport_pair):
+    """A delivered callback means the receiver's handler completed."""
+    ta, tb = transport_pair
+    order = []
+    tb.register("demaq://b/in", lambda env, src: order.append("handled"))
+    ta.send("demaq://b/in", envelope(),
+            on_delivered=lambda: order.append("acked"))
+    assert pump_until(lambda: len(order) == 2, tb, ta)
+    assert order == ["handled", "acked"]
+
+
+# -- failure paths ----------------------------------------------------------------
+
+
+def test_unregistered_endpoint_fails_disconnected(transport_pair):
+    ta, tb = transport_pair
+    failures = []
+    ta.send("demaq://b/nowhere", envelope(), on_failed=failures.append)
+    assert pump_until(lambda: failures, tb, ta)
+    assert failures == ["disconnectedTransport"]
+
+
+def test_unknown_node_fails_disconnected(transport_pair):
+    ta, _ = transport_pair
+    failures = []
+    ta.send("demaq://nobody/in", envelope(), on_failed=failures.append)
+    assert pump_until(lambda: failures, ta)
+    assert failures == ["disconnectedTransport"]
+
+
+def test_down_endpoint_fails_and_recovers(transport_pair):
+    ta, tb = transport_pair
+    outcomes = []
+    tb.register("demaq://b/in", lambda env, src: outcomes.append("ok"))
+    tb.set_down("demaq://b/in")
+    ta.send("demaq://b/in", envelope(), on_failed=outcomes.append)
+    assert pump_until(lambda: outcomes, tb, ta)
+    tb.set_down("demaq://b/in", down=False)
+    ta.send("demaq://b/in", envelope(),
+            on_delivered=lambda: outcomes.append("acked"))
+    assert pump_until(lambda: len(outcomes) == 3, tb, ta)
+    assert outcomes == ["disconnectedTransport", "ok", "acked"]
+
+
+def test_fail_next_injects_delivery_timeouts(transport_pair):
+    ta, tb = transport_pair
+    outcomes = []
+    tb.register("demaq://b/in", lambda env, src: outcomes.append("ok"))
+    tb.fail_next("demaq://b/in", 2)
+    for expected in (1, 2, 4):    # one outcome per failed send, two for ok
+        ta.send("demaq://b/in", envelope(),
+                on_delivered=lambda: outcomes.append("acked"),
+                on_failed=outcomes.append)
+        assert pump_until(lambda: len(outcomes) >= expected, tb, ta)
+    assert outcomes == ["deliveryTimeout", "deliveryTimeout", "ok", "acked"]
+
+
+def test_handler_error_fails_the_send(transport_pair):
+    ta, tb = transport_pair
+
+    def explode(env, src):
+        raise RuntimeError("boom")
+
+    tb.register("demaq://b/in", explode)
+    failures = []
+    ta.send("demaq://b/in", envelope(), on_failed=failures.append)
+    assert pump_until(lambda: failures, tb, ta)
+    assert failures == ["deliveryTimeout"]
+    assert len(tb.handler_errors) == 1
+
+
+def test_dead_peer_fails_then_reconnect_succeeds(transport_pair):
+    ta, tb = transport_pair
+    tb.register("demaq://b/in", lambda env, src: None)
+    tb.close()
+    time.sleep(0.05)
+    outcomes = []
+    ta.send("demaq://b/in", envelope(), on_failed=outcomes.append)
+    assert pump_until(lambda: outcomes, ta)
+    assert outcomes == ["disconnectedTransport"]
+
+    # a new transport on the same port is reachable over a fresh dial
+    revived = SocketTransport("b", ta.addresses)
+    try:
+        received = []
+        revived.register("demaq://b/in",
+                         lambda env, src: received.append(1))
+        ta.send("demaq://b/in", envelope(),
+                on_delivered=lambda: outcomes.append("acked"),
+                on_failed=outcomes.append)
+        assert pump_until(lambda: len(outcomes) == 2, revived, ta)
+        assert outcomes == ["disconnectedTransport", "acked"]
+        assert received == [1]
+    finally:
+        revived.close()
+
+
+def test_lost_ack_times_out(transport_pair):
+    """An ack that never comes resolves as deliveryTimeout, not a hang."""
+    ta, tb = transport_pair
+    ta.ack_timeout = 0.2
+    # handler blocks the receiver's pump loop from ever acking by
+    # simply never being pumped: register but do not pump tb
+    tb.register("demaq://b/in", lambda env, src: None)
+    failures = []
+    ta.send("demaq://b/in", envelope(), on_failed=failures.append)
+    assert pump_until(lambda: failures, ta, timeout=2.0)   # only ta pumps
+    assert failures == ["deliveryTimeout"]
+
+
+def test_duplicate_registration_rejected(transport_pair):
+    ta, _ = transport_pair
+    ta.register("demaq://a/x", lambda env, src: None)
+    with pytest.raises(EndpointCollisionError):
+        ta.register("demaq://a/x", lambda env, src: None)
+
+
+# -- envelope fidelity over the wire (ISSUE 6 satellite) --------------------------
+
+ALL_TYPES = {
+    "string": "plain",
+    "unicode": "héllo — 日本語 🙂 <>&\"'",
+    "integer": 42,
+    "negative": -7,
+    "double": 1.5,
+    "boolean_t": True,
+    "boolean_f": False,
+    "decimal": Decimal("123.450"),
+    "datetime": XSDateTime.parse("2026-08-07T12:30:00Z"),
+}
+
+BODIES = [
+    "<order><id>7</id></order>",
+    "<note>non-ASCII: ünïcödé — 中文 — emoji 🙂</note>",
+    "<nested a=\"x&amp;y\"><b><c>deep &lt;text&gt;</c></b></nested>",
+    "<mixed>text <b>bold</b> tail</mixed>",
+]
+
+
+def test_envelope_round_trip_fidelity_over_tcp(transport_pair):
+    """Every property type and non-ASCII payloads survive the
+    serialize → TCP → parse hop with values and types intact."""
+    ta, tb = transport_pair
+    received = []
+    tb.register("demaq://b/in", lambda env, src: received.append(env))
+    for markup in BODIES:
+        ta.send("demaq://b/in", build_envelope(parse(markup), ALL_TYPES))
+    assert pump_until(lambda: len(received) == len(BODIES), tb, ta)
+    for markup, env in zip(BODIES, received):
+        body, properties = parse_envelope(env)
+        assert serialize(body) == serialize(parse(markup))
+        assert properties == ALL_TYPES
+        for key, value in properties.items():
+            assert type(value) is type(ALL_TYPES[key]), key
+
+
+def test_simulated_and_socket_transports_deliver_identical_envelopes(
+        transport_pair):
+    """Differential: the same send sequence yields byte-identical
+    envelopes (and identical source strings) over both backends."""
+    sends = [(f"demaq://b/in{i % 2}",
+              build_envelope(parse(markup),
+                             {"seq": i, **ALL_TYPES}),
+              f"demaq://a/src{i}")
+             for i, markup in enumerate(BODIES * 2)]
+
+    # simulated backend
+    network = Network(VirtualClock())
+    simulated = []
+    for suffix in ("0", "1"):
+        network.register(f"demaq://b/in{suffix}",
+                         lambda env, src: simulated.append(
+                             (serialize(env), src)))
+    for endpoint, env, source in sends:
+        network.send(endpoint, env, source=source)
+    network.pump()
+
+    # socket backend
+    ta, tb = transport_pair
+    socketed = []
+    for suffix in ("0", "1"):
+        tb.register(f"demaq://b/in{suffix}",
+                    lambda env, src: socketed.append(
+                        (serialize(env), src)))
+    for endpoint, env, source in sends:
+        ta.send(endpoint, env, source=source)
+    assert pump_until(lambda: len(socketed) == len(sends), tb, ta)
+
+    assert simulated == socketed

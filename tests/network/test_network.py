@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.network import (Network, WSDLError, build_envelope, parse_envelope,
-                           parse_wsdl)
+from repro.engine.errors import EngineError
+from repro.network import (EndpointCollisionError, Network, WSDLError,
+                           build_envelope, build_wsdl, node_endpoint,
+                           parse_envelope, parse_wsdl)
 from repro.queues import VirtualClock
 from repro.xmldm import parse, serialize
 
@@ -68,6 +70,23 @@ def test_wsdl_unknown_port():
 def test_wsdl_malformed(bad):
     with pytest.raises(WSDLError):
         parse_wsdl(bad)
+
+
+def test_build_wsdl_round_trips_through_parse():
+    from repro import compile_application
+    app = compile_application("""
+    create queue orders kind basic mode persistent;
+    create queue inbox kind incomingGateway mode persistent
+        endpoint "demaq://node/inbox";
+    create queue notify kind outgoingGateway mode transient
+        endpoint "demaq://remote/notify";
+    create rule r for orders if (//x) then do enqueue <y/> into notify
+    """)
+    interface = parse_wsdl(build_wsdl(app, "http://127.0.0.1:8080/"))
+    # enqueueable queues become ports; the runtime-fed one does not
+    assert sorted(interface.ports) == ["inboxPort", "ordersPort"]
+    assert interface.port("ordersPort").address == \
+        "http://127.0.0.1:8080/enqueue/orders"
 
 
 # -- transport --------------------------------------------------------------------------
@@ -153,8 +172,33 @@ def test_drop_rate_is_deterministic_per_seed():
 def test_duplicate_registration_rejected():
     _, network = make_network()
     network.register("e", lambda env, src: None)
-    with pytest.raises(ValueError):
+    with pytest.raises(EndpointCollisionError, match="exactly one handler"):
         network.register("e", lambda env, src: None)
+
+
+def test_collision_with_shard_ingest_names_reserved_namespace():
+    _, network = make_network()
+    ingest = node_endpoint("node0", "orders")
+    network.register(ingest, lambda env, src: None)
+    with pytest.raises(EndpointCollisionError, match="reserved"):
+        network.register(ingest, lambda env, src: None)
+
+
+def test_gateway_endpoint_may_not_claim_reserved_namespace():
+    from repro import DemaqServer
+    clock = VirtualClock()
+    network = Network(clock)
+    source = """
+    create queue inbox kind incomingGateway mode persistent
+        endpoint "demaq://node0/!shard/orders";
+    create queue done kind basic mode persistent;
+    create rule handle for inbox
+        if (//job) then do enqueue <ack/> into done
+    """
+    with pytest.raises(EngineError, match="reserved"):
+        DemaqServer(source, clock=clock, network=network)
+    # ...and the cluster-ingest address stayed unclaimed
+    assert not network.is_registered("demaq://node0/!shard/orders")
 
 
 def test_in_order_delivery_same_due_time():
