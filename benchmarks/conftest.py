@@ -72,14 +72,25 @@ def report(request):
     """
 
     def emit(label, **fields):
+        # A 'metrics' sub-dict (registry counters backing the row) is
+        # kept intact in the JSON artifact but only summarized in the
+        # printed line — the artifact is for machines, the line for eyes.
+        metrics = fields.pop("metrics", None)
         parts = "  ".join(f"{key}={value}" for key, value in fields.items())
-        print(f"\n[{request.node.name}] {label}: {parts}")
+        suffix = f"  metrics=<{len(metrics)} series>" if metrics else ""
+        print(f"\n[{request.node.name}] {label}: {parts}{suffix}")
         if RESULTS_PATH:
             entry = _session_results.setdefault(request.node.nodeid, {})
-            entry[label] = {
+            row = {
                 key: value if isinstance(value, (int, float, str, bool))
                 else str(value)
                 for key, value in fields.items()}
+            if metrics:
+                row["metrics"] = {
+                    key: value if isinstance(value, (int, float, str, bool))
+                    else str(value)
+                    for key, value in metrics.items()}
+            entry[label] = row
 
     return emit
 

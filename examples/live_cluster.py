@@ -73,6 +73,32 @@ def main() -> None:
             for text in cluster.queue_texts("audit"):
                 print(f"  {text}")
 
+            # the gateway serves live Prometheus text for the whole
+            # cluster (its own counters + every worker over ctl)
+            metrics = urllib.request.urlopen(
+                f"{gateway.base_url}/metrics", timeout=10).read().decode()
+            sentinels = ("demaq_gateway_accepted_total",
+                         "demaq_executor_messages_processed_total",
+                         "demaq_store_inserts_total",
+                         "demaq_scheduler_backlog")
+            print("\nGET /metrics (sentinel lines of "
+                  f"{len(metrics.splitlines())}):")
+            for line in metrics.splitlines():
+                if line.startswith(sentinels):
+                    print(f"  {line}")
+
+            # one POSTed order's lifecycle, stitched across processes
+            envelope = build_envelope(
+                parse("<order><orderID>oTrace</orderID>"
+                      "<customerID>trent</customerID></order>"), {})
+            routed = post(f"{gateway.base_url}/enqueue/orders",
+                          serialize(envelope))
+            trace_id = routed.split('trace="')[1].split('"')[0]
+            cluster.wait_idle()
+            print(f"\nlifecycle of trace {trace_id}:")
+            for span in cluster.trace(trace_id):
+                print(f"  {span['event']:<10} on {span['node']}")
+
             cluster.drain()
             print("\nworkers drained cleanly "
                   f"(exit codes: "

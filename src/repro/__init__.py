@@ -30,6 +30,7 @@ from .cluster import (ClusterDriver, ClusterServer, HashRing,
                       run_cluster_concurrent)
 from .engine import DemaqServer, run_cluster
 from .network import Network
+from .obs import MetricsRegistry, Tracer, render_prometheus
 from .qdl import Application, ValidationError, compile_application, parse_qdl
 from .queues import Message, RealClock, VirtualClock
 from .storage import MessageStore
@@ -42,6 +43,7 @@ __all__ = [
     "DemaqServer", "run_cluster",
     "ClusterDriver", "ClusterServer", "HashRing", "run_cluster_concurrent",
     "Network",
+    "MetricsRegistry", "Tracer", "render_prometheus",
     "Application", "ValidationError", "compile_application", "parse_qdl",
     "Message", "RealClock", "VirtualClock",
     "MessageStore",

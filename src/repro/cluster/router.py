@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Optional
 from ..engine import errors as err
 from ..network import build_envelope
 from ..network.transport import Network, node_endpoint
+from ..obs import TRACE_PROPERTY
 from ..qdl.model import Application, QueueKind
 from ..xmldm import Document, parse
 from ..xquery import DynamicContext, make_evaluator
@@ -132,12 +133,14 @@ class ClusterRouter:
     def __init__(self, app: Application, membership: ClusterMembership,
                  network: Network,
                  servers: "dict[str, DemaqServer] | None" = None,
-                 via_network: bool = True):
+                 via_network: bool = True,
+                 tracer=None):
         self.app = app
         self.membership = membership
         self.network = network
         self.servers = servers or {}
         self.via_network = via_network
+        self.tracer = tracer
         self.stats = RouterStatistics()
         self.undeliverable: list[Document] = []
         self.keys = RoutingKeys(app, membership)
@@ -165,6 +168,9 @@ class ClusterRouter:
         self.stats.routed += 1
         self.stats.forwarded_by_node[owner] = \
             self.stats.forwarded_by_node.get(owner, 0) + 1
+        if self.tracer is not None and self.tracer.enabled and properties:
+            self.tracer.record(properties.get(TRACE_PROPERTY), "routed",
+                               queue=queue, owner=owner)
         if not self.via_network and owner in self.servers:
             self.servers[owner].enqueue(queue, document, properties)
             return owner

@@ -28,6 +28,7 @@ import os
 
 from ..engine.server import DemaqServer
 from ..network.transport import Network, node_endpoint
+from ..obs import Tracer, merge_snapshots, stitch
 from ..qdl import Application, compile_application
 from ..qdl.model import QueueKind
 from ..queues import Clock, Message, VirtualClock
@@ -70,7 +71,8 @@ class ClusterServer:
 
         self.router = ClusterRouter(app, self.membership, self.network,
                                     servers=self.servers,
-                                    via_network=via_network)
+                                    via_network=via_network,
+                                    tracer=Tracer(node="router"))
         self.driver = ClusterDriver(list(self.servers.values()),
                                     network=self.network,
                                     real_time=real_time)
@@ -184,6 +186,19 @@ class ClusterServer:
     def messages_processed(self) -> int:
         return sum(server.executor.stats.messages_processed
                    for server in self.servers.values())
+
+    def metrics_snapshot(self) -> dict:
+        """Cluster-wide metrics: router tracer aside, every node summed."""
+        return merge_snapshots(server.metrics.snapshot()
+                               for server in self.servers.values())
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """One message's lifecycle spans stitched across all nodes."""
+        span_lists = [self.router.tracer.spans(trace_id)] \
+            if self.router.tracer is not None else []
+        span_lists.extend(server.tracer.spans(trace_id)
+                          for server in self.servers.values())
+        return stitch(span_lists, trace_id)
 
     def collect_garbage(self) -> int:
         return sum(server.collect_garbage()

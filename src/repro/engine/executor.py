@@ -12,8 +12,10 @@ transaction and the message is retried.
 from __future__ import annotations
 
 import sys
+from time import perf_counter
 from typing import TYPE_CHECKING
 
+from ..obs import COUNT_BUCKETS, TRACE_PROPERTY, MetricsRegistry
 from ..qdl.model import QueueKind
 from ..queues import Message, PropertyError
 from ..storage.errors import DeadlockError, LockTimeoutError
@@ -31,18 +33,52 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ExecutionStatistics:
-    """Per-server counters the benchmarks read."""
+    """Per-server counters the benchmarks read.
 
-    def __init__(self) -> None:
-        self.messages_processed = 0
-        self.rules_evaluated = 0
-        self.rules_skipped_by_prefilter = 0
-        self.rule_errors = 0
-        self.deadlock_retries = 0
-        self.enqueues = 0
-        self.resets = 0
-        self.batches_committed = 0
-        self.batch_members_rolled_back = 0
+    Since the telemetry plane landed these are *views* over the metrics
+    registry: each attribute reads a live registry counter, so the same
+    numbers show up under ``demaq_executor_*`` on ``/metrics``.
+    Counters stay live with ``DEMAQ_OBS=0`` (they are semantic engine
+    statistics, not optional telemetry).
+    """
+
+    _COUNTERS = {
+        "messages_processed": ("demaq_executor_messages_processed_total",
+                               "Messages fully processed"),
+        "rules_evaluated": ("demaq_executor_rules_evaluated_total",
+                            "Rule bodies evaluated"),
+        "rules_skipped_by_prefilter": (
+            "demaq_executor_rules_skipped_by_prefilter_total",
+            "Rule evaluations skipped by the element-name prefilter"),
+        "rule_errors": ("demaq_executor_rule_errors_total",
+                        "Rule evaluations escalated per §3.6"),
+        "deadlock_retries": ("demaq_executor_deadlock_retries_total",
+                             "Members retried after deadlock/lock timeout"),
+        "enqueues": ("demaq_executor_enqueues_total",
+                     "Messages inserted by rules or producers"),
+        "resets": ("demaq_executor_slice_resets_total",
+                   "Slice resets executed"),
+        "batches_committed": ("demaq_executor_batches_committed_total",
+                              "Multi-member batches committed"),
+        "batch_members_rolled_back": (
+            "demaq_executor_batch_members_rolled_back_total",
+            "Batch members rolled back to their savepoint"),
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry(enabled=False)
+        self._counters = {attr: registry.counter(name, help_)
+                          for attr, (name, help_) in self._COUNTERS.items()}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(name)
 
 
 class RuleExecutor:
@@ -50,7 +86,24 @@ class RuleExecutor:
 
     def __init__(self, server: "DemaqServer"):
         self.server = server
-        self.stats = ExecutionStatistics()
+        registry = getattr(server, "metrics", None)
+        if registry is None:
+            registry = MetricsRegistry(enabled=False)
+        self.metrics = registry
+        self.stats = ExecutionStatistics(registry)
+        self._batch_fill = registry.histogram(
+            "demaq_executor_batch_fill", "Members per committed batch",
+            buckets=COUNT_BUCKETS)
+        self._rule_timers: dict[str, object] = {}
+
+    def _rule_timer(self, rule_name: str):
+        timer = self._rule_timers.get(rule_name)
+        if timer is None:
+            timer = self.metrics.histogram(
+                "demaq_rule_seconds", "Per-rule evaluation time",
+                rule=rule_name)
+            self._rule_timers[rule_name] = timer
+        return timer
 
     # -- main entry ---------------------------------------------------------------
 
@@ -77,8 +130,10 @@ class RuleExecutor:
         """
         server = self.server
         store = server.store
+        tracer = server.tracer if server.tracer.enabled else None
         retry: list[int] = []
         abandoned: list[int] = []
+        traced: list[str] = []
         processed = 0
         stranded = 0
         txn = store.begin()
@@ -87,6 +142,11 @@ class RuleExecutor:
                 meta = store.get(msg_id)
                 if meta is None or meta.processed:
                     continue
+                trace = (meta.properties.get(TRACE_PROPERTY)
+                         if tracer is not None else None)
+                if trace is not None:
+                    tracer.record(trace, "scheduled", queue=meta.queue,
+                                  msg_id=msg_id)
                 message = Message(meta, store)
                 sp = txn.savepoint()
                 try:
@@ -94,8 +154,8 @@ class RuleExecutor:
                     store.publish(txn)
                 except (DeadlockError, LockTimeoutError):
                     txn.rollback_to_savepoint(sp)
-                    self.stats.deadlock_retries += 1
-                    self.stats.batch_members_rolled_back += 1
+                    self.stats.add("deadlock_retries")
+                    self.stats.add("batch_members_rolled_back")
                     retry.append(msg_id)
                     continue
                 except BaseException:
@@ -111,6 +171,10 @@ class RuleExecutor:
                     processed += 1
                 else:
                     stranded += 1
+                if trace is not None:
+                    tracer.record(trace, "executed", queue=meta.queue,
+                                  msg_id=msg_id)
+                    traced.append(trace)
         finally:
             try:
                 if txn.state is TxnState.ACTIVE and not txn.poisoned:
@@ -119,10 +183,14 @@ class RuleExecutor:
                     else:
                         store.abort(txn)
                 if txn.state is TxnState.COMMITTED:
-                    self.stats.messages_processed += processed
-                    self.stats.rule_errors += stranded
+                    self.stats.add("messages_processed", processed)
+                    self.stats.add("rule_errors", stranded)
                     if len(msg_ids) > 1:
-                        self.stats.batches_committed += 1
+                        self.stats.add("batches_committed")
+                    if processed or stranded:
+                        self._batch_fill.observe(processed + stranded)
+                    for trace in traced:
+                        tracer.record(trace, "committed")
                     server.after_commit(txn)
             finally:
                 server.locking.release(txn.txn_id)
@@ -162,7 +230,8 @@ class RuleExecutor:
                 f"message {meta.msg_id} arrived on undefined queue "
                 f"{meta.queue!r}",
                 queue=meta.queue, initial_message=message)
-            self._route_error(txn, document, None, meta.queue)
+            self._route_error(txn, document, None, meta.queue,
+                              trace=message.property(TRACE_PROPERTY))
             txn.mark_processed(meta.msg_id)
             return False
 
@@ -197,7 +266,7 @@ class RuleExecutor:
             if body_names is None:
                 body_names = element_names(message.body)
             if not (compiled.required_elements & body_names):
-                self.stats.rules_skipped_by_prefilter += 1
+                self.stats.add("rules_skipped_by_prefilter")
                 return body_names
 
         environment = RuleEnvironment(self.server, message, txn.txn_id,
@@ -205,7 +274,9 @@ class RuleExecutor:
         pul = PendingUpdateList()
         ctx = DynamicContext(item=message.body, environment=environment,
                              updates=pul)
-        self.stats.rules_evaluated += 1
+        self.stats.add("rules_evaluated")
+        timing = self.metrics.enabled
+        started = perf_counter() if timing else 0.0
         try:
             compiled.evaluator()(ctx)
         except (DeadlockError, LockTimeoutError):
@@ -213,6 +284,8 @@ class RuleExecutor:
         except (XQueryError, XMLError, PropertyError) as exc:
             self._handle_rule_error(txn, compiled, message, exc, pending)
             return body_names
+        if timing:
+            self._rule_timer(compiled.name).observe(perf_counter() - started)
         pending.extend((compiled, primitive) for primitive in pul)
         return body_names
 
@@ -246,7 +319,8 @@ class RuleExecutor:
                     txn, err.build_error_message(
                         err.MESSAGE, str(exc), rule=rule_name,
                         queue=message.queue, initial_message=message),
-                    rule_name, message.queue)
+                    rule_name, message.queue,
+                    trace=message.property(TRACE_PROPERTY))
         elif isinstance(primitive, ResetPrimitive):
             self._apply_reset(txn, compiled, message, primitive)
         else:  # pragma: no cover - defensive
@@ -266,7 +340,7 @@ class RuleExecutor:
                 return
         self.server.locking.lock_slice_write(txn.txn_id, slicing, key)
         txn.reset_slice(slicing, key)
-        self.stats.resets += 1
+        self.stats.add("resets")
 
     def enqueue_in_txn(self, txn, queue_name: str, body: Document,
                        explicit: dict[str, object] | None = None,
@@ -304,6 +378,12 @@ class RuleExecutor:
             if handle is not None and (explicit is None
                                        or "connectionHandle" not in explicit):
                 system["connectionHandle"] = handle
+            # The correlation id rides the same rails: every message a
+            # rule derives belongs to the trace of the one that fired it.
+            trace = trigger.property(TRACE_PROPERTY)
+            if trace is not None and (explicit is None
+                                      or TRACE_PROPERTY not in explicit):
+                system[TRACE_PROPERTY] = trace
         if system_extra:
             system.update(system_extra)
 
@@ -328,26 +408,32 @@ class RuleExecutor:
         payload = serialize(body).encode("utf-8")
         txn.insert_message(queue_name, payload, properties, slices,
                            persistent=queue_def.persistent)
-        self.stats.enqueues += 1
+        self.stats.add("enqueues")
 
     # -- error routing -----------------------------------------------------------------------
 
     def _handle_rule_error(self, txn, compiled: CompiledRule,
                            message: Message, exc: Exception,
                            pending) -> None:
-        self.stats.rule_errors += 1
+        self.stats.add("rule_errors")
         kind = err.MESSAGE if isinstance(exc, XMLError) else err.APPLICATION
         code = getattr(exc, "code", None)
         document = err.build_error_message(
             kind, str(exc), rule=compiled.name, queue=message.queue,
             code=code, initial_message=message)
-        self._route_error(txn, document, compiled.name, message.queue)
+        self._route_error(txn, document, compiled.name, message.queue,
+                          trace=message.property(TRACE_PROPERTY))
 
     def _route_error(self, txn, document: Document,
-                     rule_name: str | None, queue_name: str | None) -> None:
+                     rule_name: str | None, queue_name: str | None,
+                     trace: object | None = None) -> None:
         target = err.resolve_error_queue(self.server.app, rule_name,
                                          queue_name)
         if target is None:
             self.server.unhandled_errors.append(document)
             return
-        self.enqueue_in_txn(txn, target, document, creating_rule=rule_name)
+        # Escalated errors keep the triggering message's correlation id
+        # so an operator can follow a request into the error queue.
+        explicit = {TRACE_PROPERTY: trace} if trace is not None else None
+        self.enqueue_in_txn(txn, target, document, explicit=explicit,
+                            creating_rule=rule_name)

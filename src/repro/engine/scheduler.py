@@ -21,6 +21,7 @@ class _Entry:
     neg_priority: int
     seqno: int
     msg_id: int = field(compare=False)
+    queue: str = field(compare=False, default="")
 
 
 class Scheduler:
@@ -39,6 +40,10 @@ class Scheduler:
         self.scheduled = 0
         self.dispatched = 0
         self.requeues = 0
+        #: Per-queue counts of entries currently in the heap, maintained
+        #: incrementally so depth gauges are O(#queues) reads under the
+        #: scheduler lock — never the store latch, never O(depth).
+        self._depths: dict[str, int] = {}
 
     def queue_priority(self, queue: str) -> int:
         return self._priorities.get(queue, 0)
@@ -50,8 +55,10 @@ class Scheduler:
                 return
             self._enqueued.add(msg_id)
             heapq.heappush(self._heap,
-                           _Entry(-self.queue_priority(queue), seqno, msg_id))
+                           _Entry(-self.queue_priority(queue), seqno,
+                                  msg_id, queue))
             self.scheduled += 1
+            self._depths[queue] = self._depths.get(queue, 0) + 1
 
     def next_message(self) -> int | None:
         """Pop the most urgent unprocessed message id."""
@@ -73,6 +80,11 @@ class Scheduler:
                 entry = heapq.heappop(self._heap)
                 self._enqueued.discard(entry.msg_id)
                 batch.append(entry.msg_id)
+                depth = self._depths.get(entry.queue, 0) - 1
+                if depth > 0:
+                    self._depths[entry.queue] = depth
+                else:
+                    self._depths.pop(entry.queue, None)
             self.dispatched += len(batch)
             return batch
 
@@ -87,8 +99,10 @@ class Scheduler:
                 return
             self._enqueued.add(msg_id)
             heapq.heappush(self._heap,
-                           _Entry(-self.queue_priority(queue), seqno, msg_id))
+                           _Entry(-self.queue_priority(queue), seqno,
+                                  msg_id, queue))
             self.requeues += 1
+            self._depths[queue] = self._depths.get(queue, 0) + 1
 
     def has_work(self) -> bool:
         with self._lock:
@@ -97,3 +111,13 @@ class Scheduler:
     def backlog(self) -> int:
         with self._lock:
             return len(self._heap)
+
+    def backlog_for(self, queue: str) -> int:
+        """Unprocessed-entry count for one queue (metrics gauge path)."""
+        with self._lock:
+            return self._depths.get(queue, 0)
+
+    def queue_backlogs(self) -> dict[str, int]:
+        """Snapshot of per-queue backlog counts (queues at zero omitted)."""
+        with self._lock:
+            return dict(self._depths)

@@ -15,6 +15,7 @@ from typing import Iterable, Optional
 
 from ..network import (Network, build_envelope, is_reserved_endpoint,
                        parse_envelope, parse_wsdl)
+from ..obs import TRACE_PROPERTY, MetricsRegistry, Tracer
 from ..qdl import Application, compile_application
 from ..qdl.model import QueueDef, QueueKind
 from ..queues import (Clock, EchoService, Message, PropertyError,
@@ -56,13 +57,17 @@ class DemaqServer:
                  lock_timeout: float = 10.0,
                  register_gateways: bool = True,
                  durability: str | None = None,
-                 batch_size: int | None = None):
+                 batch_size: int | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None):
         if isinstance(app, str):
             app = compile_application(app)
         self.app = app
         self.name = name
         self.clock = clock or VirtualClock()
         self.network = network
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(node=name)
         if batch_size is None:
             batch_size = int(os.environ.get("DEMAQ_BATCH_SIZE", "1") or "1")
         if batch_size < 1:
@@ -73,7 +78,8 @@ class DemaqServer:
         self.store = MessageStore(data_dir, buffer_capacity=buffer_capacity,
                                   sync_commits=sync_commits,
                                   log_deletes=log_deletes,
-                                  durability=durability)
+                                  durability=durability,
+                                  metrics=self.metrics)
         self.locks = LockManager(lock_timeout)
         self.locking = LockingPolicy(self.locks, lock_granularity,
                                      lock_timeout)
@@ -91,9 +97,51 @@ class DemaqServer:
         self._pending_sends: list[int] = []
         self._send_attempts: dict[int, int] = {}
         self._wsdl_sources: dict[str, str] = {}
+        self._register_collectors()
         self._bootstrap()
         if network is not None and register_gateways:
             self._register_incoming_gateways()
+
+    def _register_collectors(self) -> None:
+        """Expose scheduler/lock/server state as pull metrics.
+
+        Collectors read through ``self`` so they survive
+        ``crash_and_recover`` rebuilding the scheduler underneath them.
+        """
+        registry = self.metrics
+        registry.collect("demaq_scheduler_scheduled_total",
+                         lambda: self.scheduler.scheduled,
+                         help="Messages handed to the scheduler")
+        registry.collect("demaq_scheduler_dispatched_total",
+                         lambda: self.scheduler.dispatched,
+                         help="Messages popped for execution")
+        registry.collect("demaq_scheduler_requeues_total",
+                         lambda: self.scheduler.requeues,
+                         help="Messages put back after an abort")
+        registry.collect("demaq_scheduler_backlog",
+                         lambda: self.scheduler.backlog(), kind="gauge",
+                         help="Unprocessed messages awaiting dispatch")
+        for queue in self.app.queues:
+            registry.collect(
+                "demaq_scheduler_queue_backlog",
+                lambda q=queue: self.scheduler.backlog_for(q),
+                kind="gauge", help="Per-queue scheduler backlog",
+                queue=queue)
+        registry.collect("demaq_locks_acquisitions_total",
+                         lambda: self.locks.acquisitions,
+                         help="Lock acquisitions granted")
+        registry.collect("demaq_locks_waits_total",
+                         lambda: self.locks.waits,
+                         help="Lock requests that had to wait")
+        registry.collect("demaq_locks_deadlocks_total",
+                         lambda: self.locks.deadlocks,
+                         help="Deadlocks detected and broken")
+        registry.collect("demaq_server_pending_sends",
+                         lambda: len(self._pending_sends), kind="gauge",
+                         help="Outgoing-gateway sends awaiting initiation")
+        registry.collect("demaq_server_unhandled_errors",
+                         lambda: len(self.unhandled_errors), kind="gauge",
+                         help="Error documents with no resolvable queue")
 
     # -- deployment helpers --------------------------------------------------------
 
@@ -163,12 +211,17 @@ class DemaqServer:
 
     def after_commit(self, txn) -> None:
         """Register every inserted message with the right subsystem."""
+        tracer = self.tracer if self.tracer.enabled else None
         for op in txn.ops:
             if not isinstance(op, InsertOp) or op.msg_id is None:
                 continue
             meta = self.store.get(op.msg_id)
             if meta is None:
                 continue
+            if tracer is not None:
+                tracer.record(meta.properties.get(TRACE_PROPERTY),
+                              "enqueued", queue=meta.queue,
+                              msg_id=meta.msg_id)
             queue_def = self.app.queues.get(op.queue)
             if queue_def is None:
                 continue
@@ -186,7 +239,8 @@ class DemaqServer:
                 f"echo message {meta.msg_id} has no valid 'target' property",
                 queue=meta.queue,
                 initial_message=Message(meta, self.store)),
-                None, meta.queue)
+                None, meta.queue,
+                trace=meta.properties.get(TRACE_PROPERTY))
             return
         timeout = meta.properties.get("timeout", 0)
         try:
@@ -263,7 +317,8 @@ class DemaqServer:
             self.locking.release(txn.txn_id)
             self._report_error(err.build_error_message(
                 err.MESSAGE, str(exc), queue=meta.queue,
-                initial_message=message), None, meta.queue)
+                initial_message=message), None, meta.queue,
+                trace=meta.properties.get(TRACE_PROPERTY))
             return
         finally:
             if txn.state.value == "active":
@@ -320,14 +375,24 @@ class DemaqServer:
                     err.MESSAGE,
                     f"<{root.name.local_name}> matches no operation of "
                     f"port {queue_def.port!r}", queue=meta.queue,
-                    initial_message=message), None, meta.queue)
+                    initial_message=message), None, meta.queue,
+                    trace=meta.properties.get(TRACE_PROPERTY))
                 self._mark_processed(msg_id)
                 return
         envelope = build_envelope(message.body, message.properties)
         self.network.send(
             endpoint, envelope, source=f"demaq://{self.name}",
-            on_delivered=lambda: self._mark_processed(msg_id),
+            on_delivered=lambda: self._delivered(msg_id),
             on_failed=lambda marker: self._send_failed(msg_id, marker))
+
+    def _delivered(self, msg_id: int) -> None:
+        if self.tracer.enabled:
+            meta = self.store.get(msg_id)
+            if meta is not None:
+                self.tracer.record(meta.properties.get(TRACE_PROPERTY),
+                                   "delivered", queue=meta.queue,
+                                   msg_id=msg_id)
+        self._mark_processed(msg_id)
 
     def _mark_processed(self, msg_id: int) -> None:
         meta = self.store.get(msg_id)
@@ -343,6 +408,10 @@ class DemaqServer:
         if meta is None:
             return
         queue_def = self.app.queues[meta.queue]
+        if self.tracer.enabled:
+            self.tracer.record(meta.properties.get(TRACE_PROPERTY),
+                               "failed", queue=meta.queue, marker=marker,
+                               msg_id=msg_id)
         attempts = self._send_attempts.get(msg_id, 0) + 1
         self._send_attempts[msg_id] = attempts
         if queue_def.uses_extension("WS-ReliableMessaging") \
@@ -353,7 +422,8 @@ class DemaqServer:
         self._report_error(err.build_error_message(
             err.NETWORK, f"delivery to remote endpoint failed ({marker})",
             queue=meta.queue, marker=marker, initial_message=message),
-            None, meta.queue)
+            None, meta.queue,
+            trace=meta.properties.get(TRACE_PROPERTY))
         self._mark_processed(msg_id)
 
     def _register_incoming_gateways(self) -> None:
@@ -417,6 +487,9 @@ class DemaqServer:
     def _receive(self, queue: str, envelope: Document, source: str,
                  relay: bool = True) -> None:
         body, properties = parse_envelope(envelope)
+        if self.tracer.enabled:
+            self.tracer.record(properties.get(TRACE_PROPERTY), "received",
+                               queue=queue, source=source)
         explicit = self._forwardable_properties(queue, properties) \
             if relay else dict(properties)
         txn = self.store.begin()
@@ -430,7 +503,7 @@ class DemaqServer:
             self.locking.release(txn.txn_id)
             self._report_error(err.build_error_message(
                 err.MESSAGE, str(exc), queue=queue, initial_message=body),
-                None, queue)
+                None, queue, trace=properties.get(TRACE_PROPERTY))
             return
         finally:
             if txn.state.value == "active":
@@ -441,14 +514,17 @@ class DemaqServer:
     # -- error reporting outside a rule transaction ------------------------------------------------
 
     def _report_error(self, document: Document, rule_name: str | None,
-                      queue_name: str | None) -> None:
+                      queue_name: str | None,
+                      trace: str | None = None) -> None:
         target = err.resolve_error_queue(self.app, rule_name, queue_name)
         if target is None:
             self.unhandled_errors.append(document)
             return
+        explicit = {TRACE_PROPERTY: trace} if trace is not None else None
         txn = self.store.begin()
         try:
-            self.executor.enqueue_in_txn(txn, target, document)
+            self.executor.enqueue_in_txn(txn, target, document,
+                                         explicit=explicit)
             self.store.commit(txn)
         finally:
             if txn.state.value == "active":

@@ -17,7 +17,15 @@ and serves:
   (:func:`~repro.network.build_wsdl`) with this gateway's base URL as
   the service address, so the paper's "interface description derives
   from the queue definitions" story is live;
-* ``GET /health`` — liveness probe for scripts and CI.
+* ``GET /health`` — liveness probe for scripts and CI;
+* ``GET /metrics`` — Prometheus text exposition of the whole cluster:
+  the target's ``metrics_snapshot()`` (coordinator + every worker over
+  the ctl channel) merged with the gateway's own registry.
+
+The gateway is also where lifecycle traces begin: each accepted POST
+without a ``traceId`` property gets one minted, recorded as the
+``received`` span, and answered back in the ``<routed trace="..."/>``
+response so callers can follow their message across the cluster.
 
 A background pump thread drives the target's ``pump()`` so routed
 messages actually move while HTTP threads only enqueue; the transport's
@@ -27,11 +35,14 @@ pump lock keeps that safe next to coordinator RPC polling.
 from __future__ import annotations
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..engine import errors as err
 from ..network import build_wsdl, parse_envelope
 from ..network.wsdl import WSDLError
+from ..obs import (MetricsRegistry, Tracer, ensure_trace, merge_snapshots,
+                   render_prometheus)
 from ..xmldm import XMLError, parse
 
 ENQUEUE_PREFIX = "/enqueue/"
@@ -42,12 +53,25 @@ class HttpGateway:
     """Serve one cluster over HTTP; context-managed like the cluster."""
 
     def __init__(self, cluster, host: str = "127.0.0.1", port: int = 0,
-                 pump_interval: float = 0.002):
+                 pump_interval: float = 0.002,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None):
         self.cluster = cluster
         self.app = cluster.app
         self.pump_interval = pump_interval
-        self.accepted = 0
-        self.rejected = 0
+        # Share the cluster's registry/tracer when it has them, so the
+        # gateway's "received" spans stitch with the router's "routed".
+        self.metrics = metrics or getattr(cluster, "metrics", None) \
+            or MetricsRegistry()
+        self.tracer = tracer or getattr(cluster, "tracer", None) \
+            or Tracer(node="gateway")
+        self._accepted = self.metrics.counter(
+            "demaq_gateway_accepted_total", "POSTs routed into the cluster")
+        self._rejected = self.metrics.counter(
+            "demaq_gateway_rejected_total", "POSTs refused")
+        self._request_timer = self.metrics.histogram(
+            "demaq_gateway_request_seconds",
+            "Enqueue request latency", route="enqueue")
 
         gateway = self
 
@@ -83,15 +107,26 @@ class HttpGateway:
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    # registry-backed views; benchmarks and tests read these as ints
+    @property
+    def accepted(self) -> int:
+        return self._accepted.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
     # -- request handling --------------------------------------------------------
 
     def _handle_post(self, request: BaseHTTPRequestHandler) -> None:
+        timing = self.metrics.enabled
+        started = time.perf_counter() if timing else 0.0
         if not request.path.startswith(ENQUEUE_PREFIX):
             self._respond(request, 404, "no such resource\n")
             return
         queue = request.path[len(ENQUEUE_PREFIX):]
         if queue not in self.app.queues:
-            self.rejected += 1
+            self._rejected.inc()
             self._respond(request, 404, f"unknown queue {queue!r}\n")
             return
         length = int(request.headers.get("Content-Length") or 0)
@@ -99,7 +134,7 @@ class HttpGateway:
         try:
             document = parse(payload.decode("utf-8"))
         except (UnicodeDecodeError, XMLError) as exc:
-            self.rejected += 1
+            self._rejected.inc()
             self._respond(request, 400, f"bad XML: {exc}\n")
             return
         root = document.root_element
@@ -107,16 +142,27 @@ class HttpGateway:
             body, properties = parse_envelope(document)
         else:
             body, properties = document, {}
+        trace_id = None
+        if self.tracer.enabled:
+            # The system boundary mints the correlation id (§4.2 entry
+            # point); from here it rides the envelope properties.
+            properties, trace_id = ensure_trace(properties)
+            self.tracer.record(trace_id, "received", queue=queue,
+                               source="http")
         try:
             owner = self.cluster.enqueue(queue, body, properties)
         except (err.EngineError, ValueError) as exc:
-            self.rejected += 1
+            self._rejected.inc()
             self._respond(request, 400, f"enqueue failed: {exc}\n")
             return
-        self.accepted += 1
+        self._accepted.inc()
+        trace_attr = f" trace=\"{trace_id}\"" if trace_id else ""
         self._respond(request, 202,
-                      f"<routed queue=\"{queue}\" node=\"{owner}\"/>\n",
+                      f"<routed queue=\"{queue}\" node=\"{owner}\""
+                      f"{trace_attr}/>\n",
                       content_type="text/xml")
+        if timing:
+            self._request_timer.observe(time.perf_counter() - started)
 
     def _handle_get(self, request: BaseHTTPRequestHandler) -> None:
         if request.path == "/wsdl":
@@ -128,8 +174,37 @@ class HttpGateway:
             self._respond(request, 200, wsdl, content_type="text/xml")
         elif request.path == "/health":
             self._respond(request, 200, "ok\n")
+        elif request.path == "/metrics":
+            try:
+                text = render_prometheus(self._aggregate_snapshot())
+            except err.EngineError as exc:
+                self._respond(request, 503, f"metrics unavailable: {exc}\n")
+                return
+            self._respond(request, 200, text,
+                          content_type="text/plain; version=0.0.4")
         else:
             self._respond(request, 404, "no such resource\n")
+
+    def _aggregate_snapshot(self) -> dict:
+        """Cluster-wide metrics merged with the gateway's own registry.
+
+        A ProcessCluster scrapes every worker over ctl; targets without
+        ``metrics_snapshot`` (a bare server, a simulated cluster) expose
+        their own registry; anything else still serves gateway counters.
+        """
+        cluster_registry = getattr(self.cluster, "metrics", None)
+        if hasattr(self.cluster, "metrics_snapshot"):
+            # covers the coordinator registry — only add our own when
+            # we are not sharing it (explicit metrics= at construction)
+            snapshots = [self.cluster.metrics_snapshot()]
+            if self.metrics is not cluster_registry:
+                snapshots.append(self.metrics.snapshot())
+        else:
+            snapshots = [self.metrics.snapshot()]
+            if cluster_registry is not None \
+                    and cluster_registry is not self.metrics:
+                snapshots.append(cluster_registry.snapshot())
+        return merge_snapshots(snapshots)
 
     @staticmethod
     def _respond(request: BaseHTTPRequestHandler, code: int, text: str,
@@ -145,7 +220,6 @@ class HttpGateway:
     # -- background pumping ------------------------------------------------------
 
     def _pump_loop(self) -> None:
-        import time
         while not self._closed:
             if self.cluster.pump() == 0:
                 time.sleep(self.pump_interval)

@@ -39,12 +39,18 @@ from ..cluster.membership import ClusterMembership
 from ..cluster.router import ClusterRouter
 from ..engine import errors as err
 from ..network import build_envelope, parse_envelope
+from ..obs import (MetricsRegistry, SpoolWriter, Tracer, merge_snapshots,
+                   pump_stream_to_spool, stitch)
 from ..qdl import compile_application
 from ..xmldm import Attribute, Document, Element, parse
 from .transport import SocketTransport
 from .worker import CTL_REPLY_PATH, READY_BANNER, ctl_endpoint
 
 GATE = "gate"
+
+#: Per-worker stderr spool cap; one rotated generation is kept, so disk
+#: use per worker is bounded at roughly twice this.
+SPOOL_CAP_BYTES = 512 * 1024
 
 
 def free_port(host: str = "127.0.0.1") -> int:
@@ -57,20 +63,21 @@ def free_port(host: str = "127.0.0.1") -> int:
 class WorkerProcess:
     """One spawned node process plus its plumbing."""
 
-    def __init__(self, name: str, proc: subprocess.Popen, stderr_path: str):
+    def __init__(self, name: str, proc: subprocess.Popen,
+                 spool: SpoolWriter):
         self.name = name
         self.proc = proc
-        self.stderr_path = stderr_path
+        self.spool = spool
+
+    @property
+    def stderr_path(self) -> str:
+        return self.spool.path
 
     def failure_detail(self) -> str:
-        try:
-            with open(self.stderr_path, encoding="utf-8",
-                      errors="replace") as handle:
-                tail = handle.read()[-2000:]
-        except OSError:
-            tail = ""
+        tail = self.spool.tail(2000)
         return (f"worker {self.name!r} exited with "
-                f"code {self.proc.returncode}"
+                f"code {self.proc.returncode} "
+                f"(spool: {self.stderr_path})"
                 + (f"; stderr tail:\n{tail}" if tail.strip() else ""))
 
 
@@ -82,7 +89,8 @@ class ProcessCluster:
                  host: str = "127.0.0.1",
                  server_kwargs: dict | None = None,
                  boot_timeout: float = 30.0,
-                 rpc_timeout: float = 30.0):
+                 rpc_timeout: float = 30.0,
+                 spool_cap_bytes: int = SPOOL_CAP_BYTES):
         if not isinstance(app, str):
             raise TypeError(
                 "ProcessCluster needs the QDL source text (worker "
@@ -94,6 +102,7 @@ class ProcessCluster:
         self.server_kwargs = dict(server_kwargs or {})
         self.boot_timeout = boot_timeout
         self.rpc_timeout = rpc_timeout
+        self.spool_cap_bytes = spool_cap_bytes
         self._spool = data_dir or tempfile.mkdtemp(prefix="demaq-netio-")
         os.makedirs(self._spool, exist_ok=True)
         self._data_dir = data_dir
@@ -104,10 +113,15 @@ class ProcessCluster:
             GATE: (host, free_port(host))}
         for name in names:
             self.addresses[name] = (host, free_port(host))
-        self.transport = SocketTransport(GATE, self.addresses)
+        #: coordinator-side telemetry (router spans, gate transport)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(node=GATE)
+        self.transport = SocketTransport(GATE, self.addresses,
+                                         metrics=self.metrics)
         self.membership = ClusterMembership(self.app, names)
         self.router = ClusterRouter(self.app, self.membership,
-                                    self.transport, via_network=True)
+                                    self.transport, via_network=True,
+                                    tracer=self.tracer)
 
         self._replies: dict[str, Element] = {}
         self._ctl_seq = 0
@@ -141,15 +155,20 @@ class ProcessCluster:
                                               else []),
                   "data_dir": data_dir,
                   "server": self.server_kwargs}
-        stderr = open(stderr_path, "w", encoding="utf-8")
+        # The worker's stderr goes through a capped, rotating spool
+        # rather than straight into an unbounded file: a crash-looping
+        # or chatty worker can no longer fill the disk over a long run.
+        spool = SpoolWriter(stderr_path, cap_bytes=self.spool_cap_bytes)
         try:
             proc = subprocess.Popen(
                 [sys.executable, "-m", "repro.netio.worker"],
                 stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-                stderr=stderr, env=env, text=True)
-        finally:
-            stderr.close()
-        worker = WorkerProcess(name, proc, stderr_path)
+                stderr=subprocess.PIPE, env=env, text=True)
+        except BaseException:
+            spool.close()
+            raise
+        pump_stream_to_spool(proc.stderr, spool)
+        worker = WorkerProcess(name, proc, spool)
         proc.stdin.write(json.dumps(config) + "\n")
         proc.stdin.flush()
         self._await_ready(worker)
@@ -290,6 +309,37 @@ class ProcessCluster:
         return sum(int(self.status(name)["processed"])
                    for name in self.node_names)
 
+    # -- telemetry aggregation ----------------------------------------------------
+
+    def worker_metrics(self, node: str) -> dict:
+        """One worker's registry snapshot via its ``!ctl`` endpoint."""
+        reply = self._rpc(node, "metrics")
+        for element in reply.child_elements("metrics"):
+            return json.loads(element.string_value)
+        return {}
+
+    def metrics_snapshot(self) -> dict:
+        """Cluster-wide snapshot: coordinator + every worker, summed."""
+        snapshots = [self.metrics.snapshot()]
+        snapshots.extend(self.worker_metrics(name)
+                         for name in self.node_names)
+        return merge_snapshots(snapshots)
+
+    def worker_spans(self, node: str, trace_id: str | None = None
+                     ) -> list[dict]:
+        attrs = {"trace": trace_id} if trace_id else None
+        reply = self._rpc(node, "trace", attrs)
+        for element in reply.child_elements("spans"):
+            return json.loads(element.string_value)
+        return []
+
+    def trace(self, trace_id: str) -> list[dict]:
+        """Stitch one message's lifecycle spans across all processes."""
+        span_lists = [self.tracer.spans(trace_id)]
+        span_lists.extend(self.worker_spans(name, trace_id)
+                          for name in self.node_names)
+        return stitch(span_lists, trace_id)
+
     # -- membership over the wire -------------------------------------------------
 
     def _membership_elements(self) -> list[Element]:
@@ -360,6 +410,7 @@ class ProcessCluster:
             except subprocess.TimeoutExpired:
                 worker.proc.kill()
                 worker.proc.wait()
+            worker.spool.close()
         if getattr(self, "transport", None) is not None:
             self.transport.close()
 

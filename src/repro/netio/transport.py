@@ -96,7 +96,8 @@ class SocketTransport(Transport):
 
     def __init__(self, node: str, addresses: dict[str, Address],
                  ack_timeout: float = 10.0,
-                 connect_timeout: float = 2.0):
+                 connect_timeout: float = 2.0,
+                 metrics=None):
         self.node = node
         self.addresses = dict(addresses)
         self.ack_timeout = ack_timeout
@@ -119,8 +120,29 @@ class SocketTransport(Transport):
         self.sent = 0
         self.delivered = 0
         self.failed = 0
+        #: §3.6 failure taxonomy: marker -> count, mirrored on /metrics
+        self.failed_by_marker: dict[str, int] = {}
         #: exceptions raised by handlers during pump (ack'd as failures)
         self.handler_errors: list[BaseException] = []
+        if metrics is not None:
+            metrics.collect("demaq_net_frames_sent_total",
+                            lambda: self.sent, node=node,
+                            help="Envelope frames sent")
+            metrics.collect("demaq_net_frames_delivered_total",
+                            lambda: self.delivered, node=node,
+                            help="Inbound frames handled and acknowledged")
+            metrics.collect("demaq_net_frames_failed_total",
+                            lambda: self.failed, node=node,
+                            help="Deliveries that failed (any marker)")
+            for marker in (DISCONNECTED, TIMEOUT):
+                metrics.collect(
+                    "demaq_net_delivery_failures_total",
+                    lambda m=marker: self.failed_by_marker.get(m, 0),
+                    node=node, marker=marker,
+                    help="Delivery failures by §3.6 marker")
+            metrics.collect("demaq_net_pending",
+                            lambda: self.pending(), kind="gauge", node=node,
+                            help="Frames queued or awaiting acknowledgement")
 
         host, port = self.addresses.get(node, ("127.0.0.1", 0))
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -302,8 +324,13 @@ class SocketTransport(Transport):
                         pending.on_delivered()
                 else:
                     self.failed += 1
+                    self._note_failure(marker)
                     if pending.on_failed is not None:
                         pending.on_failed(marker or TIMEOUT)
+
+    def _note_failure(self, marker: str | None) -> None:
+        key = marker or TIMEOUT
+        self.failed_by_marker[key] = self.failed_by_marker.get(key, 0) + 1
 
     def _dispatch(self, frame: dict, conn, extra) -> None:
         """Run one inbound delivery; *extra* is the connection's write
@@ -325,6 +352,7 @@ class SocketTransport(Transport):
             self.delivered += 1
         else:
             self.failed += 1
+            self._note_failure(marker)
         if conn is None:       # loopback: fire the callbacks in place
             callbacks: _PendingSend = extra
             if marker is None:
@@ -393,6 +421,9 @@ class SocketTransport(Transport):
                 self._events.append(("deliver", frame, conn, write_lock))
                 return
             self.failed += 1
+            key = marker or TIMEOUT
+            self.failed_by_marker[key] = \
+                self.failed_by_marker.get(key, 0) + 1
         ack = {"kind": "ack", "id": frame["id"], "ok": False,
                "marker": marker}
         try:

@@ -50,6 +50,8 @@ from ..cluster.router import RoutingKeys
 from ..engine.server import DemaqServer
 from ..network import build_envelope, parse_envelope
 from ..network.transport import node_endpoint
+from ..obs import (MetricsRegistry, Tracer, configure_json_logging,
+                   get_logger, log_event)
 from ..qdl import compile_application
 from ..qdl.model import QueueKind
 from ..queues import RealClock
@@ -71,14 +73,20 @@ class Worker:
     def __init__(self, config: dict):
         self.name = config["name"]
         self.app = compile_application(config["app"])
+        self.log = get_logger(f"worker.{self.name}")
+        #: one registry/tracer per worker process; the server shares them
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(node=self.name)
         addresses = {node: (host, int(port))
                      for node, (host, port) in config["addresses"].items()}
-        self.transport = SocketTransport(self.name, addresses)
+        self.transport = SocketTransport(self.name, addresses,
+                                         metrics=self.metrics)
         self.clock = RealClock()
         self.server = DemaqServer(self.app, clock=self.clock,
                                   network=self.transport, name=self.name,
                                   data_dir=config.get("data_dir"),
                                   register_gateways=False,
+                                  metrics=self.metrics, tracer=self.tracer,
                                   **(config.get("server") or {}))
         self.nodes: list[str] = list(config.get("nodes") or [self.name])
         self.membership = ClusterMembership(self.app, self.nodes)
@@ -172,10 +180,20 @@ class Worker:
             attrs.update(queue=queue)
             children = [Element("t", children=[Text(text)])
                         for text in self.server.queue_texts(queue)]
+        elif op == "metrics":
+            children = [Element("metrics", children=[
+                Text(json.dumps(self.metrics.snapshot()))])]
+        elif op == "trace":
+            trace_id = root.attribute_value("trace")
+            children = [Element("spans", children=[
+                Text(json.dumps(self.tracer.spans(trace_id or None)))])]
         elif op == "reconfigure":
             self._reconfigure(root)
         elif op == "rebalance":
-            attrs.update(moved=self._rebalance_out())
+            moved = self._rebalance_out()
+            attrs.update(moved=moved)
+            log_event(self.log, "rebalance", moved=moved,
+                      nodes=list(self.nodes))
         elif op == "stop":
             self.request_stop()
         else:
@@ -277,8 +295,15 @@ class Worker:
 
 
 def main() -> int:
+    # Structured JSON lines on stderr: the coordinator spools (and caps)
+    # this stream per worker, and crash reports quote its tail.
+    configure_json_logging(sys.stderr)
     config = json.loads(sys.stdin.readline())
     worker = Worker(config)
+    log_event(worker.log, "boot", node=worker.name,
+              port=worker.transport.port,
+              nodes=list(worker.nodes),
+              data_dir=config.get("data_dir"))
 
     def on_term(signum, frame):
         worker.request_stop()
@@ -286,7 +311,10 @@ def main() -> int:
     signal.signal(signal.SIGTERM, on_term)
     signal.signal(signal.SIGINT, on_term)
     print(f"{READY_BANNER} {worker.transport.port}", flush=True)
-    return worker.run()
+    code = worker.run()
+    log_event(worker.log, "drained", node=worker.name,
+              steps=worker.steps, migrated=worker.migrated_out)
+    return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,41 @@
+"""Unified telemetry plane: metrics registry, lifecycle tracing, logging.
+
+See DESIGN.md § Observability for the registry layout, metric naming
+convention, trace header format, and overhead budget.
+"""
+
+from .logs import (JsonLineFormatter, SpoolWriter, configure_json_logging,
+                   get_logger, log_event, pump_stream_to_spool)
+from .metrics import (COUNT_BUCKETS, LATENCY_BUCKETS, NULL_HISTOGRAM,
+                      OBS_ENV, Counter, Gauge, Histogram, MetricsRegistry,
+                      flatten_snapshot, merge_snapshots, obs_enabled,
+                      render_prometheus)
+from .trace import (EVENTS, TRACE_PROPERTY, Tracer, ensure_trace,
+                    new_trace_id, stitch)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "EVENTS",
+    "Gauge",
+    "Histogram",
+    "JsonLineFormatter",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_HISTOGRAM",
+    "OBS_ENV",
+    "SpoolWriter",
+    "TRACE_PROPERTY",
+    "Tracer",
+    "configure_json_logging",
+    "ensure_trace",
+    "flatten_snapshot",
+    "get_logger",
+    "log_event",
+    "merge_snapshots",
+    "new_trace_id",
+    "obs_enabled",
+    "pump_stream_to_spool",
+    "render_prometheus",
+    "stitch",
+]

@@ -1,0 +1,160 @@
+"""Structured JSON logging and capped spool files.
+
+``src/`` previously wrote nothing through :mod:`logging`; worker
+processes dumped bare tracebacks to an unbounded stderr spool.  This
+module gives every component a namespaced stdlib logger
+(``demaq.<component>``) with a JSON-lines formatter, and a
+:class:`SpoolWriter` that caps and rotates the per-worker spool files
+the process cluster keeps for crash reports.
+
+Library code calls :func:`get_logger` freely — the ``demaq`` root gets a
+``NullHandler`` so nothing prints unless a process opts in by calling
+:func:`configure_json_logging` (the worker main loop does, targeting its
+stderr spool).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+
+LOG_LEVEL_ENV = "DEMAQ_LOG_LEVEL"
+ROOT_LOGGER = "demaq"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {"ts": round(record.created, 6),
+                 "level": record.levelname.lower(),
+                 "logger": record.name,
+                 "event": record.getMessage()}
+        fields = getattr(record, "demaq", None)
+        if fields:
+            entry.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def log_event(logger: logging.Logger, event: str,
+              level: int = logging.INFO, **fields) -> None:
+    """Emit ``event`` with structured ``fields`` (JSON keys, not text)."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"demaq": fields})
+
+
+def configure_json_logging(stream=None, level: str | None = None,
+                           ) -> logging.Logger:
+    """Attach a JSON-lines handler to the ``demaq`` root logger.
+
+    Idempotent per stream; ``DEMAQ_LOG_LEVEL`` overrides ``level``
+    (default INFO).
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    chosen = os.environ.get(LOG_LEVEL_ENV) or level or "INFO"
+    root.setLevel(getattr(logging, chosen.upper(), logging.INFO))
+    for handler in root.handlers:
+        if getattr(handler, "_demaq_json", False) and \
+                getattr(handler, "stream", None) is stream:
+            return root
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    handler._demaq_json = True
+    root.addHandler(handler)
+    return root
+
+
+class SpoolWriter:
+    """A size-capped, self-rotating line sink backing worker stderr spools.
+
+    Keeps at most two generations on disk: the live file at ``path`` and
+    one rotated predecessor at ``path + ".1"``.  When the live file
+    would exceed ``cap_bytes`` it is closed, renamed over the rotated
+    slot, and a fresh file is started — so a chatty or crash-looping
+    worker can never fill the disk, while crash reports still find the
+    most recent output at a stable path.
+    """
+
+    def __init__(self, path: str, cap_bytes: int = 512 * 1024) -> None:
+        self.path = path
+        self.cap_bytes = max(1, cap_bytes)
+        self._lock = threading.Lock()
+        self._file = open(path, "w", encoding="utf-8")
+        self._written = 0
+        self.rotations = 0
+
+    @property
+    def rotated_path(self) -> str:
+        return self.path + ".1"
+
+    def write(self, text: str) -> None:
+        if not text:
+            return
+        data = text if text.endswith("\n") else text + "\n"
+        with self._lock:
+            if self._file.closed:
+                return
+            if self._written and \
+                    self._written + len(data) > self.cap_bytes:
+                self._rotate_locked()
+            self._file.write(data)
+            self._file.flush()
+            self._written += len(data)
+
+    def _rotate_locked(self) -> None:
+        self._file.close()
+        os.replace(self.path, self.rotated_path)
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._written = 0
+        self.rotations += 1
+
+    def tail(self, limit: int = 2000) -> str:
+        """Most recent output (live file, falling back across rotation)."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+        chunks = []
+        for candidate in (self.rotated_path, self.path):
+            try:
+                with open(candidate, "r", encoding="utf-8",
+                          errors="replace") as fh:
+                    chunks.append(fh.read())
+            except OSError:
+                continue
+        return "".join(chunks)[-limit:]
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+def pump_stream_to_spool(stream, spool: SpoolWriter) -> threading.Thread:
+    """Copy a subprocess pipe into a spool on a daemon thread."""
+
+    def drain() -> None:
+        try:
+            for line in stream:
+                spool.write(line)
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    thread = threading.Thread(target=drain, daemon=True,
+                              name=f"demaq-spool-{os.path.basename(spool.path)}")
+    thread.start()
+    return thread

@@ -1,0 +1,362 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the single funnel for every number the runtime emits
+(DESIGN.md § Observability).  Three instrument kinds cover the paper's
+runtime surface:
+
+* :class:`Counter` — monotone event counts.  Counters **always count**,
+  even when observability is disabled: the engine's semantic statistics
+  (``ExecutionStatistics``, ``WAL.stats()``) are views over them and
+  benchmarks read those views with ``DEMAQ_OBS=0``.  A single locked
+  integer increment is the whole cost.
+* :class:`Gauge` — point-in-time values (queue depths, pending frames).
+  Mostly registered as *pull* collectors via :meth:`MetricsRegistry.collect`
+  so a scrape reads the live value and steady-state pays nothing.
+* :class:`Histogram` — fixed-bucket latency/size distributions.  When the
+  registry is disabled, :meth:`MetricsRegistry.histogram` hands back a
+  shared no-op instrument and call sites skip their ``perf_counter``
+  pairs, so the disabled path stays inert.
+
+Naming convention: ``demaq_<subsystem>_<what>[_total|_seconds]`` with
+Prometheus semantics (counters end in ``_total``, durations in
+``_seconds``).  Snapshots are plain JSON dicts so worker processes can
+ship them over the ctl channel; :func:`merge_snapshots` sums them and
+:func:`render_prometheus` emits text exposition format for ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Iterable
+
+OBS_ENV = "DEMAQ_OBS"
+
+#: Default buckets for duration histograms, in seconds (100µs .. 10s).
+LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                   0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Default buckets for small-count histograms (batch fill and friends).
+COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def obs_enabled(default: bool = True) -> bool:
+    """Whether observability is on for this process (``DEMAQ_OBS``)."""
+    raw = os.environ.get(OBS_ENV)
+    if raw is None or raw == "":
+        return default
+    return raw not in ("0", "false", "no", "off")
+
+
+class Counter:
+    """A monotone counter.  ``inc`` is thread-safe and always live."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A settable point-in-time value."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative on read, per-bucket inside)."""
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Iterable[float] = LATENCY_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)   # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``+Inf``."""
+        with self._lock:
+            counts = list(self._counts)
+        out, running = [], 0
+        for bound, n in zip(self.buckets, counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+
+class _NullHistogram:
+    """Shared no-op histogram handed out by a disabled registry."""
+
+    buckets: tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        return [(float("inf"), 0)]
+
+
+NULL_HISTOGRAM = _NullHistogram()
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    __slots__ = ("kind", "help", "series")
+
+    def __init__(self, kind: str, help_: str) -> None:
+        self.kind = kind
+        self.help = help_
+        self.series: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+class MetricsRegistry:
+    """One registry per server (one per process in a worker).
+
+    ``enabled`` controls the *expensive* half of the plane — histograms,
+    timers, and tracing hooks.  Counters and pull collectors stay live
+    regardless because the engine's statistics objects are views over
+    them (see module docstring).
+    """
+
+    def __init__(self, enabled: bool | None = None) -> None:
+        self.enabled = obs_enabled() if enabled is None else enabled
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # -- instrument factories ----------------------------------------------------
+
+    def _series(self, name: str, kind: str, help_: str,
+                labels: dict[str, str], factory: Callable[[], object]):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(kind, help_)
+            instrument = family.series.get(key)
+            if instrument is None or not isinstance(
+                    instrument, (Counter, Gauge, Histogram)):
+                instrument = family.series[key] = factory()
+            return instrument
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._series(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._series(name, "gauge", help, labels, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = LATENCY_BUCKETS,
+                  **labels: str):
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._series(name, "histogram", help, labels,
+                            lambda: Histogram(buckets))
+
+    def collect(self, name: str, fn: Callable[[], float],
+                kind: str = "counter", help: str = "",
+                **labels: str) -> None:
+        """Register a pull collector; re-registering replaces the callback.
+
+        Replacement matters: ``crash_and_recover`` rebuilds engine objects
+        and re-registers their collectors over the stale closures.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(kind, help)
+            family.series[key] = fn
+
+    # -- snapshot / export -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every family, evaluating pull collectors."""
+        with self._lock:
+            families = {name: (f.kind, f.help, dict(f.series))
+                        for name, f in self._families.items()}
+        out: dict = {}
+        for name, (kind, help_, series) in sorted(families.items()):
+            rows = []
+            for key, instrument in sorted(series.items()):
+                labels = dict(key)
+                if isinstance(instrument, Histogram):
+                    rows.append({"labels": labels,
+                                 "count": instrument.count,
+                                 "sum": instrument.sum,
+                                 "buckets": [[le, n] for le, n
+                                             in instrument.cumulative()]})
+                elif isinstance(instrument, (Counter, Gauge)):
+                    rows.append({"labels": labels,
+                                 "value": instrument.value})
+                else:   # pull collector
+                    try:
+                        value = instrument()
+                    except Exception:
+                        continue
+                    rows.append({"labels": labels, "value": value})
+            out[name] = {"kind": kind, "help": help_, "series": rows}
+        return out
+
+    def values(self) -> dict[str, float]:
+        """Flat ``{name: total}`` map for benchmark report rows."""
+        return flatten_snapshot(self.snapshot())
+
+    def render(self) -> str:
+        return render_prometheus(self.snapshot())
+
+
+# -- snapshot algebra ------------------------------------------------------------
+
+def flatten_snapshot(snapshot: dict) -> dict[str, float]:
+    """Sum each family across label sets: histograms become _count/_sum."""
+    flat: dict[str, float] = {}
+    for name, family in snapshot.items():
+        if family["kind"] == "histogram":
+            flat[name + "_count"] = sum(r.get("count", 0)
+                                        for r in family["series"])
+            flat[name + "_sum"] = sum(r.get("sum", 0.0)
+                                      for r in family["series"])
+        else:
+            flat[name] = sum(r.get("value", 0) for r in family["series"])
+    return flat
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Sum several per-process snapshots into one cluster-wide view.
+
+    Counters, gauges, and histogram buckets all add; label sets that
+    appear in only some processes pass through unchanged.
+    """
+    merged: dict = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            target = merged.setdefault(
+                name, {"kind": family["kind"], "help": family["help"],
+                       "series": []})
+            index = {_label_key(r["labels"]): r for r in target["series"]}
+            for row in family["series"]:
+                key = _label_key(row["labels"])
+                existing = index.get(key)
+                if existing is None:
+                    copied = {"labels": dict(row["labels"])}
+                    if "buckets" in row:
+                        copied["count"] = row["count"]
+                        copied["sum"] = row["sum"]
+                        copied["buckets"] = [list(b) for b in row["buckets"]]
+                    else:
+                        copied["value"] = row["value"]
+                    target["series"].append(copied)
+                    index[key] = copied
+                elif "buckets" in row:
+                    existing["count"] += row["count"]
+                    existing["sum"] += row["sum"]
+                    merged_buckets = {le: n for le, n
+                                      in existing["buckets"]}
+                    for le, n in row["buckets"]:
+                        merged_buckets[le] = merged_buckets.get(le, 0) + n
+                    existing["buckets"] = [[le, n] for le, n
+                                           in sorted(merged_buckets.items())]
+                else:
+                    existing["value"] += row["value"]
+    return merged
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for name, family in sorted(snapshot.items()):
+        if family["help"]:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for row in family["series"]:
+            labels = row["labels"]
+            if "buckets" in row:
+                for le, count in row["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(le)
+                    lines.append(f"{name}_bucket"
+                                 f"{_format_labels(bucket_labels)} {count}")
+                lines.append(f"{name}_sum{_format_labels(labels)} "
+                             f"{_format_value(row['sum'])}")
+                lines.append(f"{name}_count{_format_labels(labels)} "
+                             f"{row['count']}")
+            else:
+                lines.append(f"{name}{_format_labels(labels)} "
+                             f"{_format_value(row['value'])}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,95 @@
+"""Message-lifecycle tracing: correlation ids and per-process span buffers.
+
+A trace id is minted once at the system boundary (the HTTP gateway, or
+any producer that sets the property explicitly) and rides in the message
+properties from then on.  Properties serialize into SOAP envelope header
+blocks (§4.2), so the id crosses sockets, rebalance re-ingestion, and
+§3.6 error-queue escalation without any extra wire format.
+
+Each process keeps a bounded ring buffer of :class:`Span` events
+(``received → routed → enqueued → scheduled → executed → committed →
+delivered``, plus ``failed``).  Buffers are stitched across workers by
+trace id: the coordinator asks each worker for its spans over the ctl
+channel and sorts the union by wall-clock timestamp (same-host clocks;
+per-process order is additionally preserved by a sequence number).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Iterable
+
+#: Message property carrying the correlation id (ad-hoc, so it passes
+#: through gateways, rebalance, and error routing untouched).
+TRACE_PROPERTY = "traceId"
+
+#: Canonical lifecycle event names, in nominal order.
+EVENTS = ("received", "routed", "enqueued", "scheduled", "executed",
+          "committed", "delivered", "failed")
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def ensure_trace(properties: dict) -> tuple[dict, str]:
+    """Return ``(properties, trace_id)``, minting an id if absent."""
+    trace_id = properties.get(TRACE_PROPERTY)
+    if trace_id is None:
+        trace_id = new_trace_id()
+        properties = dict(properties)
+        properties[TRACE_PROPERTY] = trace_id
+    return properties, str(trace_id)
+
+
+class Tracer:
+    """A bounded per-process span buffer (drop-oldest ring)."""
+
+    def __init__(self, node: str = "", enabled: bool | None = None,
+                 capacity: int = 4096) -> None:
+        from .metrics import obs_enabled
+        self.node = node
+        self.enabled = obs_enabled() if enabled is None else enabled
+        self._spans: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def record(self, trace_id, event: str, **detail) -> None:
+        """Append a span event; no-op when disabled or untraced."""
+        if not self.enabled or not trace_id:
+            return
+        span = {"trace": str(trace_id), "event": event, "node": self.node,
+                "ts": time.time()}
+        if detail:
+            span["detail"] = {k: v for k, v in detail.items()
+                              if v is not None}
+        with self._lock:
+            self._seq += 1
+            span["seq"] = self._seq
+            self._spans.append(span)
+
+    def spans(self, trace_id: str | None = None) -> list[dict]:
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [s for s in spans if s["trace"] == str(trace_id)]
+        return spans
+
+
+def stitch(span_lists: Iterable[list[dict]],
+           trace_id: str | None = None) -> list[dict]:
+    """Merge spans from several processes into one timeline.
+
+    Sorted by wall clock, tie-broken by (node, seq) so each process's
+    own ordering survives identical timestamps.
+    """
+    merged: list[dict] = []
+    for spans in span_lists:
+        merged.extend(spans)
+    if trace_id is not None:
+        merged = [s for s in merged if s["trace"] == str(trace_id)]
+    merged.sort(key=lambda s: (s["ts"], s.get("node", ""), s.get("seq", 0)))
+    return merged

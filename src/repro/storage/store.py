@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from decimal import Decimal
 from typing import Iterable, Optional
 
+from ..obs import MetricsRegistry
 from ..xmldm import Document, parse as parse_xml
 from ..xquery.atomics import XSDateTime
 from .buffer import BufferManager
@@ -140,8 +141,10 @@ class MessageStore:
                  recover: bool = True,
                  parse_cache_capacity: int = 1024,
                  durability: str | None = None,
-                 group_commit_max_wait: float = 0.05):
+                 group_commit_max_wait: float = 0.05,
+                 metrics: MetricsRegistry | None = None):
         self.directory = directory
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sync_commits = sync_commits
         self.log_deletes = log_deletes
         self.parse_cache_capacity = parse_cache_capacity
@@ -190,8 +193,68 @@ class MessageStore:
         self._next_msg_id = 1
         self._next_seqno = 1
 
+        self._commit_timer = self.metrics.histogram(
+            "demaq_store_commit_seconds",
+            "Transaction commit latency including the durability wait")
+        if self.metrics.enabled:
+            self.wal.fsync_timer = self.metrics.histogram(
+                "demaq_wal_fsync_seconds", "WAL force (fsync) latency")
+        self._register_collectors()
+
         if recover and directory is not None:
             self.recover()
+
+    def _register_collectors(self) -> None:
+        """Expose the storage counter bags as pull metrics."""
+        registry = self.metrics
+        for attr, name, help_ in (
+                ("inserts", "demaq_store_inserts_total",
+                 "Messages inserted"),
+                ("processed_marks", "demaq_store_processed_marks_total",
+                 "Processed-marks applied"),
+                ("deletes", "demaq_store_deletes_total",
+                 "Messages deleted"),
+                ("slice_resets", "demaq_store_slice_resets_total",
+                 "Slice resets applied"),
+                ("gc_runs", "demaq_store_gc_runs_total",
+                 "Garbage-collection passes"),
+                ("gc_deleted", "demaq_store_gc_deleted_total",
+                 "Messages reclaimed by GC"),
+                ("recoveries", "demaq_store_recoveries_total",
+                 "Recovery passes run"),
+                ("replayed_records", "demaq_store_replayed_records_total",
+                 "WAL records replayed during recovery"),
+                ("body_parses", "demaq_store_body_parses_total",
+                 "Message bodies parsed from storage"),
+                ("parse_cache_hits", "demaq_store_parse_cache_hits_total",
+                 "Body reads served from the parse cache")):
+            registry.collect(name, lambda a=attr: getattr(self.stats, a),
+                             help=help_)
+        registry.collect("demaq_wal_appended_records_total",
+                         lambda: self.wal.appended_records,
+                         help="WAL records appended")
+        registry.collect("demaq_wal_forces_total",
+                         lambda: self.wal.flushes,
+                         help="WAL forces (fsyncs); the group-commit "
+                              "coalescing ratio is commits/forces")
+        registry.collect("demaq_groupcommit_commits_total",
+                         lambda: self.group_commit.stats.commits,
+                         help="Commits passing the coordinator")
+        registry.collect("demaq_groupcommit_group_waits_total",
+                         lambda: self.group_commit.stats.group_waits,
+                         help="Commits that waited on another's force")
+        registry.collect("demaq_groupcommit_leader_forces_total",
+                         lambda: self.group_commit.stats.leader_forces,
+                         help="Forces issued as group leader")
+        registry.collect("demaq_buffer_hits_total",
+                         lambda: self.buffer.hits,
+                         help="Buffer-pool page hits")
+        registry.collect("demaq_buffer_misses_total",
+                         lambda: self.buffer.misses,
+                         help="Buffer-pool page misses")
+        registry.collect("demaq_buffer_evictions_total",
+                         lambda: self.buffer.evictions,
+                         help="Buffer-pool evictions")
 
     # -- transactions ------------------------------------------------------------
 
@@ -213,6 +276,8 @@ class MessageStore:
         state is safe to expose early: WAL forces are prefix-closed, so
         any later commit's force covers this one too.
         """
+        timing = self.metrics.enabled
+        started = time.perf_counter() if timing else 0.0
         commit_lsn = None
         with self._mutex:
             self._publish(txn)
@@ -222,6 +287,8 @@ class MessageStore:
                 commit_lsn = self.wal.end_lsn()
         if commit_lsn is not None:
             self.group_commit.commit(commit_lsn)
+        if timing:
+            self._commit_timer.observe(time.perf_counter() - started)
 
     def publish(self, txn: Transaction) -> None:
         """Chained-transaction boundary: log + apply the journal tail.

@@ -18,6 +18,7 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
@@ -76,6 +77,10 @@ class WriteAheadLog:
         self._flushed_lsn = self._size
         self.appended_records = 0
         self.flushes = 0
+        #: Optional histogram observing each force's duration; set by the
+        #: store when observability is enabled, None otherwise so the
+        #: disabled path never touches a clock.
+        self.fsync_timer = None
 
     # -- appending ------------------------------------------------------------
 
@@ -103,12 +108,16 @@ class WriteAheadLog:
     # -- durability ----------------------------------------------------------------
 
     def flush(self) -> None:
+        timer = self.fsync_timer
+        started = time.perf_counter() if timer is not None else 0.0
         with self._lock:
             if self._file is not None:
                 self._file.flush()
                 os.fsync(self._file.fileno())
             self._flushed_lsn = self.end_lsn()
             self.flushes += 1
+        if timer is not None:
+            timer.observe(time.perf_counter() - started)
 
     def flush_to(self, lsn: int) -> None:
         """WAL-before-data hook: ensure records up to *lsn* are durable."""

@@ -1,0 +1,157 @@
+"""The unified telemetry plane over a real multi-process cluster.
+
+Acceptance (ISSUE 7): a message POSTed to the HTTP gateway can have its
+full lifecycle stitched across OS-process boundaries by trace id, and
+``GET /metrics`` serves valid Prometheus text aggregating every worker.
+"""
+
+import json
+import os
+import urllib.request
+
+import pytest
+
+from tests.netio.conftest import requires_net
+from tests.obs.prom import parse_prometheus, total
+
+from repro.netio import HttpGateway, ProcessCluster
+from repro.network import build_envelope
+from repro.obs import TRACE_PROPERTY, new_trace_id
+from repro.xmldm import parse, serialize
+
+pytestmark = requires_net
+
+APP = """
+create queue work kind basic mode persistent;
+create queue done kind basic mode persistent;
+create property reqID as xs:string fixed
+    queue work value string(//job/@id);
+create slicing byReq on reqID;
+create rule crunch for work
+    if (//job) then do enqueue <ack id="{string(//job/@id)}"/> into done
+"""
+
+JOBS = 8
+
+LIFECYCLE = ("received", "routed", "enqueued", "scheduled",
+             "executed", "committed")
+
+
+def post(url, payload):
+    request = urllib.request.Request(
+        url, data=payload.encode("utf-8"), method="POST",
+        headers={"Content-Type": "text/xml; charset=utf-8"})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (response.status, response.read().decode("utf-8"),
+                response.headers.get("Content-Type", ""))
+
+
+@pytest.fixture
+def live(tmp_path):
+    with ProcessCluster(APP, nodes=2,
+                        data_dir=str(tmp_path / "cluster")) as cluster:
+        with HttpGateway(cluster) as gateway:
+            yield cluster, gateway
+
+
+def trace_of(response_text):
+    assert 'trace="' in response_text, response_text
+    return response_text.split('trace="')[1].split('"')[0]
+
+
+def test_lifecycle_stitches_across_process_boundaries(live):
+    cluster, gateway = live
+    status, text = post(f"{gateway.base_url}/enqueue/work",
+                        '<job id="traced"/>')
+    assert status == 202
+    trace_id = trace_of(text)
+    cluster.wait_idle()
+
+    spans = cluster.trace(trace_id)
+    events = [span["event"] for span in spans]
+    for expected in LIFECYCLE:
+        assert expected in events, (expected, events)
+    # the whole journey crosses at least one OS-process boundary:
+    # gateway/router spans live in the coordinator, the rest in a worker
+    nodes = {span["node"] for span in spans}
+    assert len(nodes) >= 2, nodes
+    worker_nodes = nodes & set(cluster.node_names)
+    assert worker_nodes, nodes
+    # stitching is chronological
+    times = [span["ts"] for span in spans]
+    assert times == sorted(times)
+
+
+def test_caller_supplied_trace_id_round_trips(live):
+    cluster, gateway = live
+    tid = new_trace_id()
+    envelope = build_envelope(parse('<job id="mine"/>'),
+                              {TRACE_PROPERTY: tid})
+    _, text = post(f"{gateway.base_url}/enqueue/work", serialize(envelope))
+    assert trace_of(text) == tid          # boundary keeps caller's id
+    cluster.wait_idle()
+    events = {span["event"] for span in cluster.trace(tid)}
+    assert "committed" in events
+
+
+def test_metrics_endpoint_serves_valid_prometheus(live):
+    cluster, gateway = live
+    for index in range(JOBS):
+        post(f"{gateway.base_url}/enqueue/work", f'<job id="j{index}"/>')
+    cluster.wait_idle()
+
+    status, text, content_type = get(f"{gateway.base_url}/metrics")
+    assert status == 200
+    assert content_type.startswith("text/plain")
+    samples = parse_prometheus(text)      # raises on malformed lines
+
+    # gateway-side sentinels
+    assert total(samples, "demaq_gateway_accepted_total") == JOBS
+    assert total(samples, "demaq_gateway_request_seconds_count") == JOBS
+    # worker-side sentinels, aggregated over both processes:
+    # each job plus its ack runs the executor on some worker
+    assert total(samples,
+                 "demaq_executor_messages_processed_total") >= JOBS * 2
+    assert total(samples, "demaq_store_inserts_total") >= JOBS * 2
+    assert "demaq_wal_forces_total" in samples
+    assert "demaq_scheduler_queue_backlog" in samples
+    assert samples["__types__"]["demaq_gateway_request_seconds"] \
+        == "histogram"
+
+
+def test_worker_ctl_metrics_and_trace_ops(live):
+    cluster, gateway = live
+    post(f"{gateway.base_url}/enqueue/work", '<job id="ctl"/>')
+    cluster.wait_idle()
+    processed = 0
+    for node in cluster.node_names:
+        snapshot = cluster.worker_metrics(node)
+        family = snapshot.get("demaq_executor_messages_processed_total")
+        if family:
+            processed += sum(row["value"] for row in family["series"])
+        # every worker answers the trace op, even with no matching spans
+        assert isinstance(cluster.worker_spans(node, "nope"), list)
+    assert processed >= 2    # the job and its ack
+
+
+def test_worker_stderr_spools_are_capped(tmp_path):
+    cap = 4096
+    with ProcessCluster(APP, nodes=2, data_dir=str(tmp_path / "cluster"),
+                        spool_cap_bytes=cap) as cluster:
+        for index in range(4):
+            cluster.enqueue("work", f'<job id="s{index}"/>')
+        cluster.wait_idle()
+        for name, worker in cluster.workers.items():
+            assert os.path.exists(worker.stderr_path)
+            assert os.path.getsize(worker.stderr_path) <= cap
+            # the boot line is structured JSON with the node name
+            first = worker.spool.tail(100_000).splitlines()[0]
+            entry = json.loads(first)
+            assert entry["event"] == "boot"
+            assert entry["node"] == name
+        cluster.drain()

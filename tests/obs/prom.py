@@ -1,0 +1,70 @@
+"""A strict little Prometheus text-format parser for the test suite.
+
+Validates the exposition format the gateway serves: ``# HELP`` / ``# TYPE``
+comment lines and ``name{labels} value`` samples.  Raises ``ValueError``
+on anything malformed so tests double as format validators.
+"""
+
+import re
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>[^\s]+)$')
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{name: [(labels, value), ...]}``.
+
+    Also returns the declared types under the ``"__types__"`` key.
+    """
+    samples: dict = {"__types__": {}}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(f"bad TYPE line: {line!r}")
+            samples["__types__"][name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        labels = {}
+        raw = match.group("labels")
+        if raw:
+            for pair in _split_labels(raw):
+                label_match = _LABEL.match(pair)
+                if label_match is None:
+                    raise ValueError(f"malformed label in {line!r}")
+                labels[label_match.group(1)] = label_match.group(2)
+        value_text = match.group("value")
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    return samples
+
+
+def _split_labels(raw: str) -> list[str]:
+    parts, depth_quote, current = [], False, []
+    for char in raw:
+        if char == '"' and (not current or current[-1] != "\\"):
+            depth_quote = not depth_quote
+        if char == "," and not depth_quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def total(samples: dict, name: str) -> float:
+    return sum(value for _labels, value in samples.get(name, []))

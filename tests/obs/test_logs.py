@@ -1,0 +1,96 @@
+"""Structured JSON logging and the capped worker spool."""
+
+import io
+import json
+import logging
+import os
+
+from repro.obs import (JsonLineFormatter, SpoolWriter,
+                       configure_json_logging, get_logger, log_event,
+                       pump_stream_to_spool)
+
+
+def test_json_formatter_emits_parseable_lines():
+    record = logging.LogRecord("demaq.test", logging.INFO, __file__, 1,
+                               "booted", None, None)
+    record.demaq = {"node": "node0", "port": 9101}
+    entry = json.loads(JsonLineFormatter().format(record))
+    assert entry["event"] == "booted"
+    assert entry["level"] == "info"
+    assert entry["logger"] == "demaq.test"
+    assert entry["node"] == "node0"
+    assert entry["port"] == 9101
+    assert isinstance(entry["ts"], float)
+
+
+def test_log_event_reaches_configured_stream():
+    stream = io.StringIO()
+    root = configure_json_logging(stream)
+    try:
+        log_event(get_logger("unit"), "something", count=3)
+        entry = json.loads(stream.getvalue().strip().splitlines()[-1])
+        assert entry["event"] == "something"
+        assert entry["count"] == 3
+    finally:
+        for handler in list(root.handlers):
+            if getattr(handler, "_demaq_json", False) \
+                    and getattr(handler, "stream", None) is stream:
+                root.removeHandler(handler)
+
+
+def test_configure_is_idempotent_per_stream():
+    stream = io.StringIO()
+    root = configure_json_logging(stream)
+    before = len(root.handlers)
+    configure_json_logging(stream)
+    try:
+        assert len(root.handlers) == before
+    finally:
+        for handler in list(root.handlers):
+            if getattr(handler, "_demaq_json", False) \
+                    and getattr(handler, "stream", None) is stream:
+                root.removeHandler(handler)
+
+
+def test_unconfigured_logging_stays_silent(capsys):
+    log_event(get_logger("quiet"), "nobody listens")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == ""
+
+
+def test_spool_writer_caps_and_rotates(tmp_path):
+    path = str(tmp_path / "node0.stderr")
+    spool = SpoolWriter(path, cap_bytes=100)
+    line = "x" * 40
+    for _ in range(10):
+        spool.write(line)
+    spool.close()
+    assert spool.rotations > 0
+    assert os.path.getsize(path) <= 100
+    assert os.path.getsize(spool.rotated_path) <= 100
+    # at most two generations ever exist
+    assert not os.path.exists(path + ".2")
+
+
+def test_spool_tail_spans_rotation(tmp_path):
+    path = str(tmp_path / "w.stderr")
+    spool = SpoolWriter(path, cap_bytes=64)
+    for index in range(12):
+        spool.write(f"line-{index:02d}")
+    tail = spool.tail(2000)
+    spool.close()
+    assert "line-11" in tail          # newest survives
+    assert len(tail) <= 2000
+
+
+def test_pump_stream_to_spool_copies_until_eof(tmp_path):
+    path = str(tmp_path / "p.stderr")
+    spool = SpoolWriter(path, cap_bytes=10_000)
+    stream = io.StringIO("alpha\nbeta\n")
+    thread = pump_stream_to_spool(stream, spool)
+    thread.join(timeout=5.0)
+    content = spool.tail(2000)
+    spool.close()
+    assert "alpha" in content
+    assert "beta" in content

@@ -1,0 +1,172 @@
+"""The metrics registry: instruments, snapshots, merging, exposition."""
+
+import threading
+
+from repro.obs import (LATENCY_BUCKETS, NULL_HISTOGRAM, MetricsRegistry,
+                       flatten_snapshot, merge_snapshots, render_prometheus)
+
+from .prom import parse_prometheus, total
+
+
+def test_counter_increments_and_reads():
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("demaq_test_total", "help text")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_same_name_and_labels_share_the_instrument():
+    registry = MetricsRegistry(enabled=True)
+    a = registry.counter("demaq_test_total", queue="q1")
+    b = registry.counter("demaq_test_total", queue="q1")
+    c = registry.counter("demaq_test_total", queue="q2")
+    a.inc()
+    assert b.value == 1
+    assert c.value == 0
+
+
+def test_counter_is_thread_safe():
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("demaq_race_total")
+
+    def spin():
+        for _ in range(10_000):
+            counter.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 40_000
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry(enabled=True)
+    gauge = registry.gauge("demaq_depth")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(3)
+    assert gauge.value == 12
+
+
+def test_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry(enabled=True)
+    histogram = registry.histogram("demaq_lat_seconds",
+                                   buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        histogram.observe(value)
+    cumulative = dict(histogram.cumulative())
+    assert cumulative[0.01] == 1
+    assert cumulative[0.1] == 2
+    assert cumulative[1.0] == 3
+    assert cumulative[float("inf")] == 4
+    assert histogram.count == 4
+    assert abs(histogram.sum - 5.555) < 1e-9
+
+
+def test_disabled_registry_histogram_is_noop_but_counters_count():
+    registry = MetricsRegistry(enabled=False)
+    histogram = registry.histogram("demaq_lat_seconds")
+    assert histogram is NULL_HISTOGRAM
+    histogram.observe(1.0)          # must not blow up, must not record
+    counter = registry.counter("demaq_semantic_total")
+    counter.inc(7)
+    assert counter.value == 7       # semantic counters stay live
+    snapshot = registry.snapshot()
+    assert "demaq_lat_seconds" not in snapshot
+    assert snapshot["demaq_semantic_total"]["series"][0]["value"] == 7
+
+
+def test_pull_collector_reads_live_and_is_replaceable():
+    registry = MetricsRegistry(enabled=True)
+    box = {"n": 3}
+    registry.collect("demaq_pull_total", lambda: box["n"])
+    assert flatten_snapshot(registry.snapshot())["demaq_pull_total"] == 3
+    box["n"] = 9
+    assert flatten_snapshot(registry.snapshot())["demaq_pull_total"] == 9
+    registry.collect("demaq_pull_total", lambda: 100)   # re-register
+    assert flatten_snapshot(registry.snapshot())["demaq_pull_total"] == 100
+
+
+def test_failing_collector_is_skipped_not_fatal():
+    registry = MetricsRegistry(enabled=True)
+    registry.collect("demaq_bad_total", lambda: 1 / 0)
+    registry.counter("demaq_ok_total").inc()
+    snapshot = registry.snapshot()
+    assert snapshot["demaq_bad_total"]["series"] == []
+    assert snapshot["demaq_ok_total"]["series"][0]["value"] == 1
+
+
+def test_snapshot_round_trips_histograms():
+    registry = MetricsRegistry(enabled=True)
+    registry.histogram("demaq_lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    row = registry.snapshot()["demaq_lat_seconds"]["series"][0]
+    assert row["count"] == 1
+    assert row["sum"] == 0.5
+    assert [0.1, 0] in row["buckets"]
+    assert [1.0, 1] in row["buckets"]
+
+
+def test_merge_snapshots_sums_counters_and_buckets():
+    def one():
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("demaq_c_total", node="n").inc(2)
+        registry.histogram("demaq_h_seconds", buckets=(1.0,)).observe(0.5)
+        return registry.snapshot()
+
+    merged = merge_snapshots([one(), one(), one()])
+    assert merged["demaq_c_total"]["series"][0]["value"] == 6
+    histogram = merged["demaq_h_seconds"]["series"][0]
+    assert histogram["count"] == 3
+    assert histogram["sum"] == 1.5
+    assert [1.0, 3] in histogram["buckets"]
+
+
+def test_merge_keeps_distinct_label_sets_apart():
+    a = MetricsRegistry(enabled=True)
+    a.counter("demaq_c_total", node="a").inc()
+    b = MetricsRegistry(enabled=True)
+    b.counter("demaq_c_total", node="b").inc(5)
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    by_node = {row["labels"]["node"]: row["value"]
+               for row in merged["demaq_c_total"]["series"]}
+    assert by_node == {"a": 1, "b": 5}
+
+
+def test_prometheus_rendering_parses_and_totals_match():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("demaq_events_total", "events seen",
+                     queue="orders").inc(3)
+    registry.gauge("demaq_backlog", "waiting").set(7)
+    registry.histogram("demaq_lat_seconds", "latency",
+                       buckets=LATENCY_BUCKETS).observe(0.002)
+    samples = parse_prometheus(registry.render())
+    assert samples["__types__"]["demaq_events_total"] == "counter"
+    assert samples["__types__"]["demaq_lat_seconds"] == "histogram"
+    assert total(samples, "demaq_events_total") == 3
+    assert total(samples, "demaq_backlog") == 7
+    assert total(samples, "demaq_lat_seconds_count") == 1
+    # histogram series end in an +Inf bucket equal to the count
+    inf_rows = [v for labels, v in samples["demaq_lat_seconds_bucket"]
+                if labels.get("le") == "+Inf"]
+    assert inf_rows == [1]
+    # labels survive rendering
+    assert samples["demaq_events_total"][0][0] == {"queue": "orders"}
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("demaq_esc_total", rule='we"ird\nvalue').inc()
+    rendered = render_prometheus(registry.snapshot())
+    samples = parse_prometheus(rendered)
+    assert total(samples, "demaq_esc_total") == 1
+
+
+def test_flatten_snapshot_sums_across_series():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("demaq_c_total", node="a").inc(1)
+    registry.counter("demaq_c_total", node="b").inc(2)
+    flat = flatten_snapshot(registry.snapshot())
+    assert flat["demaq_c_total"] == 3

@@ -1,0 +1,175 @@
+"""Trace-id propagation over the simulated network, rules, and rebalance.
+
+These run ungated against the :class:`repro.network.Network` simulation;
+the socket/OS-process variants live in ``tests/netio/test_observability.py``
+behind ``DEMAQ_NET_TESTS=1``.
+"""
+
+import pytest
+
+from repro import ClusterServer, DemaqServer, Network, run_cluster
+from repro.obs import TRACE_PROPERTY, Tracer, new_trace_id, obs_enabled
+from repro.queues import VirtualClock
+
+SENDER = """
+create queue work kind basic mode persistent;
+create queue toRemote kind outgoingGateway mode persistent
+    endpoint "demaq://remote/inbox";
+create queue netErrors kind basic mode persistent;
+create errorqueue netErrors;
+create rule fwd for work
+    if (//job) then do enqueue <job id="{string(//job/@id)}"/> into toRemote
+"""
+
+RECEIVER = """
+create queue inbox kind incomingGateway mode persistent
+    endpoint "demaq://remote/inbox";
+create queue done kind basic mode persistent;
+create rule handle for inbox
+    if (//job) then do enqueue <ack id="{string(//job/@id)}"/> into done
+"""
+
+PIPELINE = """
+create queue inbox kind basic mode persistent;
+create queue outbox kind basic mode persistent;
+create rule relay for inbox
+    if (//ping) then do enqueue <pong/> into outbox
+"""
+
+
+def make_pair():
+    clock = VirtualClock()
+    network = Network(clock)
+    sender = DemaqServer(SENDER, clock=clock, network=network, name="local")
+    receiver = DemaqServer(RECEIVER, clock=clock, network=network,
+                           name="remote")
+    return network, sender, receiver
+
+
+def test_rule_derived_enqueue_inherits_trace():
+    server = DemaqServer(PIPELINE)
+    tid = new_trace_id()
+    server.enqueue("inbox", "<ping/>", {TRACE_PROPERTY: tid})
+    server.run_until_idle()
+    derived = server.live_messages("outbox")[0]
+    assert derived.property(TRACE_PROPERTY) == tid
+
+
+def test_trace_survives_soap_round_trip():
+    _, sender, receiver = make_pair()
+    tid = new_trace_id()
+    sender.enqueue("work", '<job id="7"/>', {TRACE_PROPERTY: tid})
+    run_cluster([sender, receiver])
+    incoming = receiver.live_messages("inbox")[0]
+    assert incoming.property(TRACE_PROPERTY) == tid
+    # ...and on through the receiver's own rule-derived message
+    ack = receiver.live_messages("done")[0]
+    assert ack.property(TRACE_PROPERTY) == tid
+
+
+def test_delivery_failure_escalation_keeps_trace():
+    network, sender, receiver = make_pair()
+    network.set_down("demaq://remote/inbox")
+    tid = new_trace_id()
+    sender.enqueue("work", '<job id="9"/>', {TRACE_PROPERTY: tid})
+    run_cluster([sender, receiver])
+    errors = sender.live_messages("netErrors")
+    assert len(errors) == 1
+    # §3.6: the escalated error message still belongs to the same trace
+    assert errors[0].property(TRACE_PROPERTY) == tid
+    root = errors[0].body.root_element
+    assert root.first_child("disconnectedTransport") is not None
+
+
+def test_rule_error_escalation_keeps_trace():
+    source = """
+    create queue inbox kind basic mode persistent;
+    create queue oops kind basic mode persistent;
+    create rule bad for inbox errorqueue oops
+        if (//ping) then do enqueue <x>{1 idiv 0}</x> into inbox
+    """
+    server = DemaqServer(source)
+    tid = new_trace_id()
+    server.enqueue("inbox", "<ping/>", {TRACE_PROPERTY: tid})
+    server.run_until_idle()
+    errors = server.live_messages("oops")
+    assert len(errors) == 1
+    assert errors[0].property(TRACE_PROPERTY) == tid
+
+
+CLUSTER_APP = """
+create queue jobs kind basic mode persistent;
+create queue results kind basic mode persistent;
+create rule work for jobs
+    if (//job) then do enqueue <done id="{string(//job/@id)}"/> into results
+"""
+
+
+def test_trace_survives_cluster_rebalance():
+    cluster = ClusterServer(CLUSTER_APP, nodes=2)
+    tids = {}
+    for index in range(8):
+        tid = new_trace_id()
+        tids[f"<job id=\"{index}\"/>"] = tid
+        cluster.enqueue("jobs", f'<job id="{index}"/>',
+                        {TRACE_PROPERTY: tid})
+    cluster.network.pump()            # deliver, but do not process yet
+    cluster.add_node()                # migrates unprocessed messages
+    cluster.run_until_idle()
+    for message in cluster.live_messages("jobs"):
+        assert message.property(TRACE_PROPERTY) == tids[message.body_text()]
+    # derived results on the (possibly new) owner keep the trace too
+    done = {message.body_text(): message.property(TRACE_PROPERTY)
+            for message in cluster.live_messages("results")}
+    for index in range(8):
+        assert done[f'<done id="{index}"/>'] == \
+            tids[f'<job id="{index}"/>']
+
+
+def test_single_server_records_lifecycle_spans():
+    server = DemaqServer(PIPELINE, tracer=Tracer(node="solo", enabled=True))
+    tid = new_trace_id()
+    server.enqueue("inbox", "<ping/>", {TRACE_PROPERTY: tid})
+    server.run_until_idle()
+    spans = server.tracer.spans(tid)
+    events = [span["event"] for span in spans]
+    for expected in ("enqueued", "scheduled", "executed", "committed"):
+        assert expected in events, (expected, events)
+    # spans carry the node name and monotone sequence numbers
+    assert all(span["node"] == "solo" for span in spans)
+    seqs = [span["seq"] for span in spans]
+    assert seqs == sorted(seqs)
+
+
+def test_disabled_tracer_records_nothing():
+    server = DemaqServer(PIPELINE, tracer=Tracer(node="solo", enabled=False))
+    server.enqueue("inbox", "<ping/>", {TRACE_PROPERTY: new_trace_id()})
+    server.run_until_idle()
+    assert server.tracer.spans() == []
+
+
+@pytest.mark.skipif(not obs_enabled(),
+                    reason="cluster tracers follow DEMAQ_OBS")
+def test_cluster_trace_stitches_router_and_node_spans():
+    cluster = ClusterServer(CLUSTER_APP, nodes=2)
+    tid = new_trace_id()
+    cluster.enqueue("jobs", '<job id="1"/>', {TRACE_PROPERTY: tid})
+    cluster.run_until_idle()
+    spans = cluster.trace(tid)
+    events = {span["event"] for span in spans}
+    assert "routed" in events
+    for expected in ("scheduled", "executed", "committed"):
+        assert expected in events, (expected, events)
+    assert len({span["node"] for span in spans}) >= 2   # router + a node
+
+
+def test_scheduler_queue_backlogs_track_depth():
+    server = DemaqServer(PIPELINE)
+    for _ in range(3):
+        server.enqueue("inbox", "<ping/>")
+    assert server.scheduler.backlog_for("inbox") == 3
+    assert server.scheduler.queue_backlogs() == {"inbox": 3}
+    server.run_until_idle()
+    assert server.scheduler.backlog_for("inbox") == 0
+    assert server.scheduler.queue_backlogs() == {}
+    assert server.scheduler.backlog_for("nope") == 0
