@@ -31,8 +31,11 @@ WORKERS = 4
 
 
 def build_server(granularity):
+    # This bench compares the two 2PL granularities against each other,
+    # so MVCC (which removes the read locks entirely) is pinned off;
+    # bench_mvcc covers the MVCC-vs-2PL comparison.
     server = DemaqServer(APP, lock_granularity=granularity,
-                         lock_timeout=30.0)
+                         lock_timeout=30.0, mvcc=False)
     for index in range(MESSAGES):
         server.enqueue(
             "jobs",

@@ -1,0 +1,137 @@
+"""E13 — MVCC snapshot reads vs 2PL on the scan/correlation path.
+
+Claim (DESIGN.md §8): tagging index entries with create/delete LSNs and
+reading at a begin-time snapshot removes all read locks, so correlation
+rules that scan *other* queues stop deadlocking against each other's
+processed-marks.  Workload: two queues at depth ~2000 with live writers
+appending, and per-queue worker pools (the partitioned-deployment
+shape) whose rules each scan the opposite queue — the classic ABBA
+pattern: S on the scanned queue for the whole scan, then IX on the own
+queue for the processed-mark, in opposite orders on the two sides.
+
+Under 2PL nearly every concurrently processed left/right pair
+deadlocks; the victim's entire scan is wasted CPU (the cycle is only
+detected at the IX request, after the scan), and retries often
+re-collide because the opposite side is scanning continuously.  Under
+MVCC the scans take no locks at all, so the bench *hard-asserts* zero
+deadlock requeues — by construction, not by timing — and the shape
+assertion is the paper-style throughput win (>= 2x at real sizes;
+measured ~3x here).
+"""
+
+import threading
+from time import perf_counter
+
+from conftest import scaled, shape
+from repro import DemaqServer
+
+APP = """
+create queue left kind basic mode transient;
+create queue right kind basic mode transient;
+create rule lprobe for left
+    if (count(qs:queue("right")//n) < 0) then do enqueue <never/> into left;
+create rule rprobe for right
+    if (count(qs:queue("left")//n) < 0) then do enqueue <never/> into right;
+"""
+
+DEPTH = scaled(2000, smoke_size=80)       # preloaded messages per queue
+PICKS = scaled(150, smoke_size=30)        # messages processed per leg
+WRITES = scaled(200, smoke_size=10)       # live enqueues per writer
+READERS_PER_SIDE = 3
+WRITERS = 2
+FANOUT = 8                                # <n> elements per probe body
+
+
+def build_server(mvcc):
+    server = DemaqServer(APP, mvcc=mvcc, lock_timeout=30.0)
+    # every scan touches the whole corpus: keep all bodies parse-cached
+    server.store.parse_cache_capacity = DEPTH * 4
+    ids = {"left": [], "right": []}
+    for index in range(DEPTH * 2):
+        queue = "left" if index % 2 else "right"
+        body = "<probe>" + "".join(
+            f"<n>{index + k}</n>" for k in range(FANOUT)) + "</probe>"
+        ids[queue].append(server.enqueue(queue, body))
+    return server, ids
+
+
+def drive(server, ids):
+    """Per-queue readers process PICKS messages; writers append live."""
+    stop = threading.Event()
+
+    def reader(my_ids):
+        for msg_id in my_ids:
+            while not server.executor.process_message(msg_id):
+                pass                       # aborted (deadlock): retry
+
+    def writer(lane):
+        for index in range(WRITES):
+            if stop.is_set():
+                return
+            server.enqueue("left" if (lane + index) % 2 else "right",
+                           "<w/>")
+
+    work = []
+    per_reader = max(1, PICKS // 2 // READERS_PER_SIDE)
+    for queue in ("left", "right"):
+        for rank in range(READERS_PER_SIDE):
+            work.append(ids[queue][rank * per_reader:
+                                   (rank + 1) * per_reader])
+    threads = [threading.Thread(target=reader, args=(chunk,))
+               for chunk in work] \
+        + [threading.Thread(target=writer, args=(lane,))
+           for lane in range(WRITERS)]
+    started = perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads[:len(work)]:
+        thread.join()
+    stop.set()
+    for thread in threads[len(work):]:
+        thread.join()
+    elapsed = perf_counter() - started
+    return sum(len(chunk) for chunk in work), elapsed
+
+
+def test_shape_snapshot_reads_beat_2pl_with_live_writers(report):
+    twopl, twopl_ids = build_server(mvcc=False)
+    processed_2pl, t_2pl = drive(twopl, twopl_ids)
+    mvcc, mvcc_ids = build_server(mvcc=True)
+    processed_mvcc, t_mvcc = drive(mvcc, mvcc_ids)
+
+    assert processed_2pl == processed_mvcc > 0
+    # the headline invariant, by construction rather than by timing:
+    # snapshot reads take no locks, so reader/writer deadlocks are gone
+    assert mvcc.executor.stats.deadlock_retries == 0
+    assert mvcc.locks.deadlocks == 0
+
+    tput_2pl = processed_2pl / t_2pl
+    tput_mvcc = processed_mvcc / t_mvcc
+    report(f"{2 * READERS_PER_SIDE} readers over depth {DEPTH * 2}, "
+           f"{WRITERS} live writers",
+           mvcc_msgs_per_s=f"{tput_mvcc:.1f}",
+           twopl_msgs_per_s=f"{tput_2pl:.1f}",
+           speedup=f"{tput_mvcc / tput_2pl:.2f}x",
+           twopl_deadlock_retries=twopl.executor.stats.deadlock_retries,
+           twopl_backoffs=twopl.executor.stats.retry_backoffs,
+           twopl_lock_waits=twopl.locks.waits,
+           mvcc_lock_waits=mvcc.locks.waits)
+    shape(tput_mvcc >= 2 * tput_2pl,
+          "snapshot reads should at least double reader throughput "
+          "under cross-queue correlation with live writers")
+
+
+def test_shape_dead_versions_do_not_accumulate(report):
+    """Version GC rides the commit path: once probes are processed and
+    retention deletes them, no dead version outlives the horizon."""
+    server, ids = build_server(mvcc=True)
+    drive(server, ids)
+    reclaimed = server.collect_garbage()
+    report("version GC after drain",
+           reclaimed=reclaimed,
+           purged=server.store.stats.purged_versions,
+           dead_backlog=len(server.store._dead),
+           active_snapshots=len(server.store._snapshots))
+    assert reclaimed > 0
+    assert len(server.store._dead) == 0
+    assert len(server.store._snapshots) == 0

@@ -3,7 +3,10 @@
 Executes a :class:`~repro.cluster.membership.RebalancePlan`:
 
 * whole-queue **moves** ship every live message of the queue from the
-  old owner's store to the new owner's;
+  old owner's store to the new owner's — under MVCC the export reads a
+  registered store snapshot (a consistent cut that pins its versions
+  against purge) instead of quiescing the source's readers under one
+  long latch hold;
 * **rescans** walk each node's local shard of every per-message-placed
   queue (sliced queues and echo queues) and move the messages that now
   belong to a different node — resolved through the same

@@ -21,12 +21,16 @@ class RuleEnvironment(Environment):
     def __init__(self, server: "DemaqServer", message: "Message",
                  txn_id: int,
                  slicing: str | None = None,
-                 slice_key: object | None = None):
+                 slice_key: object | None = None,
+                 snapshot: int | None = None):
         self.server = server
         self.msg = message
         self.txn_id = txn_id
         self.slicing = slicing
         self._slice_key = slice_key
+        #: MVCC snapshot LSN every qs: read runs at (None under 2PL,
+        #: where the read locks below provide isolation instead).
+        self.snapshot = snapshot
 
     # -- qs: hooks ---------------------------------------------------------------
 
@@ -39,7 +43,8 @@ class RuleEnvironment(Environment):
         if name not in self.server.app.queues:
             raise DynamicError(f"qs:queue(): unknown queue {name!r}")
         self.server.locking.lock_queue_read(self.txn_id, name)
-        return [m.body for m in self.server.live_messages(name)]
+        return [m.body for m in
+                self.server.live_messages(name, snapshot=self.snapshot)]
 
     def queue_lookup(self, name: str, prop: str, values):
         """Index-backed equality read over one queue's messages.
@@ -58,7 +63,8 @@ class RuleEnvironment(Environment):
                 f"property {prop!r}")
         self.server.locking.lock_queue_read(self.txn_id, name)
         return [m.body for m in
-                self.server.indexed_live_messages(name, prop, values)]
+                self.server.indexed_live_messages(name, prop, values,
+                                                  snapshot=self.snapshot)]
 
     def slice_messages(self):
         if self.slicing is None:
@@ -68,7 +74,8 @@ class RuleEnvironment(Environment):
                                             self._slice_key)
         return [m.body for m in
                 self.server.slice_live_messages(self.slicing,
-                                                self._slice_key)]
+                                                self._slice_key,
+                                                snapshot=self.snapshot)]
 
     def slice_key(self):
         if self.slicing is None:

@@ -6,13 +6,19 @@ executing them together with the processed-mark in a single transaction
 against the message store.  Evaluation never observes its own updates —
 snapshot semantics — and concurrency control is 2PL through the
 :class:`~repro.engine.locking.LockingPolicy`; a deadlock aborts the
-transaction and the message is retried.
+transaction and the message is retried (after a jittered backoff so the
+conflicting pair does not immediately re-collide).  Under MVCC
+(``DEMAQ_MVCC``, default on) every rule read runs at the transaction's
+snapshot LSN instead of taking read locks, so reader/writer deadlocks
+cannot form and only write/write conflicts ever retry.
 """
 
 from __future__ import annotations
 
+import os
+import random
 import sys
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import TYPE_CHECKING
 
 from ..obs import COUNT_BUCKETS, TRACE_PROPERTY, MetricsRegistry
@@ -54,6 +60,9 @@ class ExecutionStatistics:
                         "Rule evaluations escalated per §3.6"),
         "deadlock_retries": ("demaq_executor_deadlock_retries_total",
                              "Members retried after deadlock/lock timeout"),
+        "retry_backoffs": ("demaq_executor_retry_backoffs_total",
+                           "Backoff sleeps taken before requeueing "
+                           "deadlocked/timed-out members"),
         "enqueues": ("demaq_executor_enqueues_total",
                      "Messages inserted by rules or producers"),
         "resets": ("demaq_executor_slice_resets_total",
@@ -95,6 +104,14 @@ class RuleExecutor:
             "demaq_executor_batch_fill", "Members per committed batch",
             buckets=COUNT_BUCKETS)
         self._rule_timers: dict[str, object] = {}
+        # Jittered exponential backoff before deadlock/timeout requeues:
+        # without it, the conflicting pair re-collides on the very next
+        # pick.  Full jitter, base doubling per consecutive failure of
+        # the same message, capped; DEMAQ_RETRY_BACKOFF=0 disables.
+        raw = os.environ.get("DEMAQ_RETRY_BACKOFF", "")
+        self.retry_backoff_base = float(raw) if raw else 0.002
+        self.retry_backoff_cap = 0.05
+        self._retry_attempts: dict[int, int] = {}
 
     def _rule_timer(self, rule_name: str):
         timer = self._rule_timers.get(rule_name)
@@ -156,6 +173,8 @@ class RuleExecutor:
                     txn.rollback_to_savepoint(sp)
                     self.stats.add("deadlock_retries")
                     self.stats.add("batch_members_rolled_back")
+                    self._retry_attempts[msg_id] = \
+                        self._retry_attempts.get(msg_id, 0) + 1
                     retry.append(msg_id)
                     continue
                 except BaseException:
@@ -167,6 +186,7 @@ class RuleExecutor:
                         txn.rollback_to_savepoint(sp)
                     abandoned.extend(msg_ids[position:])
                     raise
+                self._retry_attempts.pop(msg_id, None)
                 if normal:
                     processed += 1
                 else:
@@ -210,7 +230,23 @@ class RuleExecutor:
                         # store even though COMMIT failed; register them
                         # so they are scheduled, not stranded.
                         server.after_commit(txn)
+        # Backoff *after* the finally released this batch's locks:
+        # sleeping while holding them would widen the very collision
+        # window the backoff is meant to shrink.
+        self._backoff_before_retry(retry)
         return retry
+
+    def _backoff_before_retry(self, retry: list[int]) -> None:
+        """Jittered exponential backoff before requeueing aborted members."""
+        if not retry or self.retry_backoff_base <= 0:
+            return
+        attempt = max(self._retry_attempts.get(m, 1) for m in retry)
+        ceiling = min(self.retry_backoff_cap,
+                      self.retry_backoff_base * (2 ** (attempt - 1)))
+        delay = random.uniform(0.0, ceiling)
+        self.stats.add("retry_backoffs")
+        if delay > 0:
+            sleep(delay)
 
     def _process_into_txn(self, txn, meta, message: Message) -> bool:
         """Buffer the full processing of one message into *txn*.
@@ -270,7 +306,8 @@ class RuleExecutor:
                 return body_names
 
         environment = RuleEnvironment(self.server, message, txn.txn_id,
-                                      slicing, slice_key)
+                                      slicing, slice_key,
+                                      snapshot=txn.snapshot_lsn)
         pul = PendingUpdateList()
         ctx = DynamicContext(item=message.body, environment=environment,
                              updates=pul)

@@ -4,6 +4,11 @@ The slice policy takes intention locks on queues and real locks on the
 affected slices, so transactions touching *different* slices of one queue
 run concurrently; the queue policy locks whole queues.  ``bench_locking``
 compares the two under contention — the paper's claimed win.
+
+With ``mvcc=True`` the read-lock methods are no-ops: readers scan a
+consistent store snapshot instead, and only write locks (enqueue,
+processed-mark, slice reset) remain — reader/writer deadlocks disappear
+by construction.  ``bench_mvcc`` measures that.
 """
 
 from __future__ import annotations
@@ -15,19 +20,24 @@ class LockingPolicy:
     """Acquires locks for reads/writes at a chosen granularity."""
 
     def __init__(self, locks: LockManager, granularity: str = "slice",
-                 timeout: float | None = None):
+                 timeout: float | None = None, mvcc: bool = False):
         if granularity not in ("queue", "slice"):
             raise ValueError(f"unknown lock granularity {granularity!r}")
         self.locks = locks
         self.granularity = granularity
         self.timeout = timeout
+        self.mvcc = mvcc
 
     # -- reads ---------------------------------------------------------------
 
     def lock_queue_read(self, txn_id: int, queue: str) -> None:
+        if self.mvcc:
+            return      # snapshot reads need no S locks
         self.locks.acquire(txn_id, ("queue", queue), S, self.timeout)
 
     def lock_slice_read(self, txn_id: int, slicing: str, key: object) -> None:
+        if self.mvcc:
+            return      # snapshot reads need no S locks
         if self.granularity == "queue":
             # Coarse mode has no slice resources; serialize on the slicing.
             self.locks.acquire(txn_id, ("slicing", slicing), S, self.timeout)

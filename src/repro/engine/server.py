@@ -54,12 +54,13 @@ class DemaqServer:
                  sync_commits: bool = True,
                  log_deletes: bool = True,
                  buffer_capacity: int = 256,
-                 lock_timeout: float = 10.0,
+                 lock_timeout: float | None = None,
                  register_gateways: bool = True,
                  durability: str | None = None,
                  batch_size: int | None = None,
                  metrics: MetricsRegistry | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 mvcc: bool | None = None):
         if isinstance(app, str):
             app = compile_application(app)
         self.app = app
@@ -75,14 +76,25 @@ class DemaqServer:
         #: How many scheduler picks one execution step may run inside a
         #: single chained, group-committed transaction (§3.1 batching).
         self.batch_size = batch_size
+        if lock_timeout is None:
+            # DEMAQ_LOCK_TIMEOUT replaces the old hard-coded 10s: how
+            # long a blocked lock request waits before the member is
+            # rolled back and retried.
+            raw = os.environ.get("DEMAQ_LOCK_TIMEOUT", "")
+            lock_timeout = float(raw) if raw else 10.0
         self.store = MessageStore(data_dir, buffer_capacity=buffer_capacity,
                                   sync_commits=sync_commits,
                                   log_deletes=log_deletes,
                                   durability=durability,
-                                  metrics=self.metrics)
+                                  metrics=self.metrics,
+                                  mvcc=mvcc)
         self.locks = LockManager(lock_timeout)
         self.locking = LockingPolicy(self.locks, lock_granularity,
-                                     lock_timeout)
+                                     lock_timeout, mvcc=self.store.mvcc)
+        if self.metrics.enabled:
+            self.locks.wait_timer = self.metrics.histogram(
+                "demaq_lock_wait_seconds",
+                "Blocked lock-acquisition wait time")
         self.resolver = PropertyResolver(app)
         for index in app.indexes.values():
             self.store.create_property_index(index.queue,
@@ -534,18 +546,23 @@ class DemaqServer:
 
     # -- accessors --------------------------------------------------------------------------------------
 
-    def live_messages(self, queue: str) -> list[Message]:
-        """All retained messages of a queue (processed and not), in order."""
+    def live_messages(self, queue: str,
+                      snapshot: int | None = None) -> list[Message]:
+        """All retained messages of a queue (processed and not), in
+        order — at *snapshot* when given (MVCC), else current state."""
         return [Message(meta, self.store)
-                for meta in self.store.queue_messages(queue)]
+                for meta in self.store.queue_messages(queue,
+                                                      snapshot=snapshot)]
 
-    def slice_live_messages(self, slicing: str, key: object
-                            ) -> list[Message]:
+    def slice_live_messages(self, slicing: str, key: object,
+                            snapshot: int | None = None) -> list[Message]:
         return [Message(meta, self.store)
-                for meta in self.store.slice_messages(slicing, key)]
+                for meta in self.store.slice_messages(slicing, key,
+                                                      snapshot=snapshot)]
 
     def indexed_live_messages(self, queue: str, prop: str,
-                              values: Iterable[object]) -> list[Message]:
+                              values: Iterable[object],
+                              snapshot: int | None = None) -> list[Message]:
         """Messages of *queue* whose *prop* equals any probe value.
 
         Probes are coerced to the property's declared type before the
@@ -573,7 +590,8 @@ class DemaqServer:
                         and not _cast_preserves_value(value, typed):
                     continue
                 value = typed
-            for meta in self.store.property_lookup(queue, prop, value):
+            for meta in self.store.property_lookup(queue, prop, value,
+                                                   snapshot=snapshot):
                 by_id[meta.msg_id] = meta
         metas = sorted(by_id.values(), key=lambda m: m.seqno)
         return [Message(meta, self.store) for meta in metas]

@@ -69,6 +69,10 @@ class LockManager:
         self.acquisitions = 0
         self.waits = 0
         self.deadlocks = 0
+        #: Optional histogram observing blocked-acquisition wait time
+        #: (including waits ending in deadlock/timeout); set by the
+        #: server when observability is enabled, None otherwise.
+        self.wait_timer = None
 
     # -- public API -----------------------------------------------------------
 
@@ -78,6 +82,7 @@ class LockManager:
         if mode not in _STRENGTH:
             raise ValueError(f"unknown lock mode {mode!r}")
         deadline = None
+        waited_since = None
         with self._condition:
             state = self._resources.setdefault(resource, _ResourceState())
             held = state.holders.get(txn)
@@ -87,6 +92,8 @@ class LockManager:
                     return
             while not self._grantable(state, txn, mode):
                 self.waits += 1
+                if waited_since is None:
+                    waited_since = _now()
                 blockers = {other for other, other_mode in
                             state.holders.items()
                             if other != txn
@@ -95,6 +102,7 @@ class LockManager:
                 if self._creates_cycle(txn):
                     self._waits_for.pop(txn, None)
                     self.deadlocks += 1
+                    self._observe_wait(waited_since)
                     raise DeadlockError(
                         f"txn {txn} would deadlock waiting for {resource!r}")
                 if deadline is None:
@@ -104,12 +112,18 @@ class LockManager:
                 remaining = deadline - _now()
                 if remaining <= 0 or not self._condition.wait(remaining):
                     self._waits_for.pop(txn, None)
+                    self._observe_wait(waited_since)
                     raise LockTimeoutError(
                         f"txn {txn} timed out waiting for {resource!r}")
             self._waits_for.pop(txn, None)
+            self._observe_wait(waited_since)
             state.holders[txn] = mode
             self._held_by_txn.setdefault(txn, set()).add(resource)
             self.acquisitions += 1
+
+    def _observe_wait(self, waited_since: float | None) -> None:
+        if waited_since is not None and self.wait_timer is not None:
+            self.wait_timer.observe(_now() - waited_since)
 
     def release_all(self, txn: int) -> None:
         """Release every lock held by *txn* (end of transaction)."""

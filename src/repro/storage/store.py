@@ -16,6 +16,17 @@ Two deletion-logging modes reproduce the paper's §4.1 claim:
   deletability from slice membership and lifetimes, so the log carries
   no per-message delete records ("frees the system from the need to
   fully log message deletions").
+
+Multiversioning (``DEMAQ_MVCC``, default on): every catalog entry is
+tagged with a create LSN and (on retention deletion) a delete LSN, and
+every transaction takes a *snapshot LSN* at begin.  Readers filter index
+scans by visibility — ``created_lsn <= snapshot < deleted_lsn`` — so
+scans see a consistent cut of the store without read locks; physically
+removing a dead version waits until it is below the *version horizon*
+(the minimum active snapshot).  Messages are append-only and deletion is
+retention-driven (§2.3.3), so a "version chain" is never longer than
+one: created once, deleted at most once.  With MVCC off, deletion stays
+physical-immediate and 2PL read locks provide the reference semantics.
 """
 
 from __future__ import annotations
@@ -24,7 +35,9 @@ import json
 import os
 import threading
 import time
+from bisect import bisect_right
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from decimal import Decimal
 from typing import Iterable, Optional
@@ -109,6 +122,10 @@ class StoredMessage:
     slices: list[tuple[str, object, int]]   # (slicing, key, lifetime)
     processed: bool = False
     persistent: bool = True
+    #: Version tags (MVCC): the entry exists for snapshots in
+    #: [created_lsn, deleted_lsn).  ``deleted_lsn is None`` = live.
+    created_lsn: int = 0
+    deleted_lsn: int | None = None
 
     def property(self, name: str) -> object | None:
         return self.properties.get(name)
@@ -129,6 +146,7 @@ class StoreStatistics:
     replayed_records: int = 0
     body_parses: int = 0
     parse_cache_hits: int = 0
+    purged_versions: int = 0
 
 
 class MessageStore:
@@ -142,13 +160,21 @@ class MessageStore:
                  parse_cache_capacity: int = 1024,
                  durability: str | None = None,
                  group_commit_max_wait: float = 0.05,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 mvcc: bool | None = None):
         self.directory = directory
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sync_commits = sync_commits
         self.log_deletes = log_deletes
         self.parse_cache_capacity = parse_cache_capacity
         self._mutex = threading.RLock()
+
+        # Multiversion reads: explicit argument, then the DEMAQ_MVCC
+        # environment (how CI runs the suite per mode), default on.
+        if mvcc is None:
+            raw = os.environ.get("DEMAQ_MVCC", "")
+            mvcc = raw.strip().lower() not in ("0", "false", "no", "off")
+        self.mvcc = bool(mvcc)
 
         # Durability policy resolution: explicit argument, then the
         # DEMAQ_DURABILITY environment (how CI runs the whole suite per
@@ -190,6 +216,19 @@ class MessageStore:
         #: Chained transactions that have published but not committed;
         #: a checkpoint must not snapshot their in-flight state.
         self._published_open: set[int] = set()
+        #: LSN of the last published commit span: what a snapshot taken
+        #: right now would see.  Every publish raises it monotonically.
+        self._visible_lsn = 0
+        #: Active snapshots, token (txn id or read token) -> snapshot
+        #: LSN.  The minimum is the version horizon.
+        self._snapshots: dict[object, int] = {}
+        #: Dead versions awaiting purge: msg_id -> delete LSN.
+        self._dead: dict[int, int] = {}
+        #: Reset LSN history per slice key, ascending — how a snapshot
+        #: reader recovers the slice lifetime as of its snapshot.
+        #: Trimmed below the horizon.
+        self._reset_lsns: dict[tuple[str, object], list[int]] = {}
+        self._next_read_token = 1
         self._next_msg_id = 1
         self._next_seqno = 1
 
@@ -227,7 +266,9 @@ class MessageStore:
                 ("body_parses", "demaq_store_body_parses_total",
                  "Message bodies parsed from storage"),
                 ("parse_cache_hits", "demaq_store_parse_cache_hits_total",
-                 "Body reads served from the parse cache")):
+                 "Body reads served from the parse cache"),
+                ("purged_versions", "demaq_store_purged_versions_total",
+                 "Dead versions physically removed below the horizon")):
             registry.collect(name, lambda a=attr: getattr(self.stats, a),
                              help=help_)
         registry.collect("demaq_wal_appended_records_total",
@@ -255,6 +296,83 @@ class MessageStore:
         registry.collect("demaq_buffer_evictions_total",
                          lambda: self.buffer.evictions,
                          help="Buffer-pool evictions")
+        registry.collect("demaq_store_visible_lsn",
+                         lambda: self._visible_lsn, kind="gauge",
+                         help="LSN a fresh snapshot would read at")
+        registry.collect("demaq_store_snapshot_horizon",
+                         lambda: self.snapshot_horizon(), kind="gauge",
+                         help="Version horizon (minimum active snapshot)")
+        registry.collect("demaq_store_active_snapshots",
+                         lambda: len(self._snapshots), kind="gauge",
+                         help="Registered reader snapshots")
+        registry.collect("demaq_store_dead_versions",
+                         lambda: len(self._dead), kind="gauge",
+                         help="Deleted versions awaiting purge")
+
+    # -- snapshots (MVCC) --------------------------------------------------------
+
+    def visible_lsn(self) -> int:
+        with self._mutex:
+            return self._visible_lsn
+
+    def acquire_snapshot(self, token: object) -> int:
+        """Register *token* as a reader at the current visible LSN."""
+        with self._mutex:
+            snapshot = self._visible_lsn
+            self._snapshots[token] = snapshot
+            return snapshot
+
+    def release_snapshot(self, token: object) -> None:
+        with self._mutex:
+            self._snapshots.pop(token, None)
+
+    def snapshot_horizon(self) -> int:
+        """The version horizon: no active snapshot reads below it, so
+        versions deleted at or below it are physically reclaimable."""
+        with self._mutex:
+            if not self._snapshots:
+                return self._visible_lsn
+            return min(self._snapshots.values())
+
+    @contextmanager
+    def read_snapshot(self):
+        """A registered snapshot for a non-transactional reader.
+
+        Registration pins every version visible at the snapshot against
+        the purge horizon for the duration of the block.
+        """
+        with self._mutex:
+            token = ("read", self._next_read_token)
+            self._next_read_token += 1
+            snapshot = self._visible_lsn
+            self._snapshots[token] = snapshot
+        try:
+            yield snapshot
+        finally:
+            self.release_snapshot(token)
+
+    @staticmethod
+    def _visible(meta: StoredMessage, snapshot: int | None) -> bool:
+        """Is this version in the read set of *snapshot*?
+
+        ``snapshot=None`` is a current-state read: live versions only.
+        """
+        if snapshot is None:
+            return meta.deleted_lsn is None
+        return meta.created_lsn <= snapshot and \
+            (meta.deleted_lsn is None or meta.deleted_lsn > snapshot)
+
+    def _lifetime_at(self, slicing: str, key: object,
+                     snapshot: int | None) -> int:
+        """The slice lifetime as of *snapshot* (current when None)."""
+        current = self._lifetimes.get((slicing, key), 0)
+        if snapshot is None:
+            return current
+        resets = self._reset_lsns.get((slicing, key))
+        if not resets:
+            return current
+        happened_after = len(resets) - bisect_right(resets, snapshot)
+        return current - happened_after
 
     # -- transactions ------------------------------------------------------------
 
@@ -285,6 +403,17 @@ class MessageStore:
             if txn.logged_begin:
                 self.wal.append(walmod.COMMIT, txn.txn_id)
                 commit_lsn = self.wal.end_lsn()
+            # The committing transaction stops reading here; dropping
+            # its snapshot before the purge check keeps it from pinning
+            # its own deletions past its commit.
+            self._snapshots.pop(txn.txn_id, None)
+            if self.mvcc and self._dead:
+                # Opportunistic version GC on the commit path: with no
+                # active snapshot pinning them, dead versions go
+                # physical immediately — identical net state to 2PL's
+                # in-place delete; under concurrency the horizon defers
+                # exactly the versions some reader still needs.
+                self.purge_dead_versions()
         if commit_lsn is not None:
             self.group_commit.commit(commit_lsn)
         if timing:
@@ -303,6 +432,13 @@ class MessageStore:
             self._publish(txn)
             if txn.published_through:
                 self._published_open.add(txn.txn_id)
+            if self.mvcc and txn.txn_id in self._snapshots:
+                # A chained transaction reads each batch member at the
+                # batch's current snapshot: refresh it past the member
+                # just published so batch-mates observe its effects
+                # exactly as per-message commits would (§3.1).
+                txn.snapshot_lsn = self._visible_lsn
+                self._snapshots[txn.txn_id] = self._visible_lsn
 
     def _publish(self, txn: Transaction) -> None:
         """Log and apply journal entries past the published cursor."""
@@ -326,6 +462,9 @@ class MessageStore:
             # checkpoint, never through log replay.
             txn.poisoned = True
             self._published_open.discard(txn.txn_id)
+            # A poisoned transaction never reaches commit/abort, so its
+            # snapshot would pin the horizon forever — drop it here.
+            self._snapshots.pop(txn.txn_id, None)
             raise
 
     def _publish_suffix(self, txn: Transaction, suffix: list) -> None:
@@ -372,11 +511,17 @@ class MessageStore:
                 pending_sps.clear()
                 self._log_op(txn.txn_id, entry)
         # Apply pass: surviving data ops only, after all records are
-        # appended so page LSNs respect WAL-before-data.
+        # appended so page LSNs respect WAL-before-data.  The whole
+        # suffix shares one version LSN — the span becomes visible
+        # atomically under the latch, so snapshot readers see a commit
+        # span entirely or not at all.  max() keeps the tag monotonic
+        # when the suffix logged nothing (transient-only work).
+        span_lsn = max(self._visible_lsn + 1, self.wal.end_lsn())
         for entry, live in zip(suffix, flags):
             if live and not isinstance(entry, (SavepointOp, RollbackToOp)):
-                self._apply_op(entry)
+                self._apply_op(entry, span_lsn)
         txn.published_through = len(txn.ops)
+        self._visible_lsn = span_lsn
 
     def _log_op(self, txn_id: int, op) -> None:
         if isinstance(op, InsertOp):
@@ -398,23 +543,25 @@ class MessageStore:
         else:
             raise StorageError(f"unknown operation {op!r}")
 
-    def _apply_op(self, op) -> None:
+    def _apply_op(self, op, lsn: int) -> None:
         if isinstance(op, InsertOp):
             self._apply_insert(op.msg_id, op.queue, op.payload,
-                               op.properties, op.slices, op.persistent)
+                               op.properties, op.slices, op.persistent,
+                               created_lsn=lsn)
         elif isinstance(op, MarkProcessedOp):
             self._apply_processed(op.msg_id)
         elif isinstance(op, SliceResetOp):
-            self._apply_reset(op.slicing, op.key)
+            self._apply_reset(op.slicing, op.key, lsn=lsn)
         elif isinstance(op, DeleteOp):
-            self._apply_delete(op.msg_id)
+            self._apply_delete(op.msg_id, lsn=lsn)
 
     # -- operation application (shared by commit and recovery redo) ----------------
 
     def _apply_insert(self, msg_id: int, queue: str, payload: bytes,
                       properties: dict[str, object],
                       slices: Iterable[tuple[str, object]],
-                      persistent: bool = True) -> StoredMessage:
+                      persistent: bool = True,
+                      created_lsn: int = 0) -> StoredMessage:
         seqno = self._next_seqno
         self._next_seqno += 1
         rid = self.heap.store(payload, lsn=self.wal.end_lsn())
@@ -426,7 +573,8 @@ class MessageStore:
             self._slice_index.insert((slicing, key, lifetime, seqno), msg_id)
         meta = StoredMessage(msg_id, queue, seqno, rid.as_tuple(),
                              dict(properties), memberships,
-                             persistent=persistent)
+                             persistent=persistent,
+                             created_lsn=created_lsn)
         self._catalog[msg_id] = meta
         self._queue_index.insert((queue, seqno), msg_id)
         self._index_properties(meta)
@@ -459,13 +607,26 @@ class MessageStore:
             meta.processed = True
             self.stats.processed_marks += 1
 
-    def _apply_reset(self, slicing: str, key: object) -> None:
+    def _apply_reset(self, slicing: str, key: object,
+                     lsn: int = 0) -> None:
         key = _encode_key(key)
         self._lifetimes[(slicing, key)] = \
             self._lifetimes.get((slicing, key), 0) + 1
+        if self.mvcc:
+            self._reset_lsns.setdefault((slicing, key), []).append(lsn)
         self.stats.slice_resets += 1
 
-    def _apply_delete(self, msg_id: int) -> None:
+    def _apply_delete(self, msg_id: int, lsn: int = 0) -> None:
+        if self.mvcc:
+            # Logical delete: the version stays scannable by snapshots
+            # below *lsn* until the horizon passes it (then purged).
+            meta = self._catalog.get(msg_id)
+            if meta is None or meta.deleted_lsn is not None:
+                return
+            meta.deleted_lsn = lsn
+            self._dead[msg_id] = lsn
+            self.stats.deletes += 1
+            return
         meta = self._catalog.pop(msg_id, None)
         if meta is None:
             return
@@ -479,9 +640,13 @@ class MessageStore:
 
     # -- reads ------------------------------------------------------------------------
 
-    def get(self, msg_id: int) -> Optional[StoredMessage]:
+    def get(self, msg_id: int,
+            snapshot: int | None = None) -> Optional[StoredMessage]:
         with self._mutex:
-            return self._catalog.get(msg_id)
+            meta = self._catalog.get(msg_id)
+            if meta is None or not self._visible(meta, snapshot):
+                return None
+            return meta
 
     def body_bytes(self, msg_id: int) -> bytes:
         with self._mutex:
@@ -544,30 +709,40 @@ class MessageStore:
                     self._parse_cache.popitem(last=False)
             return entry
 
-    def queue_messages(self, queue: str) -> list[StoredMessage]:
-        """All live messages of a queue, in arrival order."""
+    def queue_messages(self, queue: str,
+                       snapshot: int | None = None) -> list[StoredMessage]:
+        """Messages of a queue visible at *snapshot* (live when None),
+        in arrival order."""
         with self._mutex:
-            return [self._catalog[msg_id]
-                    for _, msg_id in self._queue_index.prefix_items((queue,))
-                    if msg_id in self._catalog]
+            out = []
+            for _, msg_id in self._queue_index.prefix_items((queue,)):
+                meta = self._catalog.get(msg_id)
+                if meta is not None and self._visible(meta, snapshot):
+                    out.append(meta)
+            return out
 
-    def queue_depth(self, queue: str) -> int:
-        """Live-message count of a queue.
+    def queue_depth(self, queue: str, snapshot: int | None = None) -> int:
+        """Visible-message count of a queue.
 
         Counts straight off the queue index under the latch instead of
         materializing the full catalog-entry list.
         """
         with self._mutex:
-            return sum(1 for _, msg_id
-                       in self._queue_index.prefix_items((queue,))
-                       if msg_id in self._catalog)
+            count = 0
+            for _, msg_id in self._queue_index.prefix_items((queue,)):
+                meta = self._catalog.get(msg_id)
+                if meta is not None and self._visible(meta, snapshot):
+                    count += 1
+            return count
 
     def slice_lifetime(self, slicing: str, key: object) -> int:
         with self._mutex:
             return self._lifetimes.get((slicing, _encode_key(key)), 0)
 
-    def slice_messages(self, slicing: str, key: object) -> list[StoredMessage]:
-        """Messages of the slice's *current lifetime*, in arrival order.
+    def slice_messages(self, slicing: str, key: object,
+                       snapshot: int | None = None) -> list[StoredMessage]:
+        """Messages of the slice's lifetime *as of the snapshot* (current
+        when None), in arrival order.
 
         Uses the materialized B+-tree slice index (one range scan) — the
         §4.3 optimization.  ``slice_messages_scan`` is the unmaterialized
@@ -575,20 +750,25 @@ class MessageStore:
         """
         key = _encode_key(key)
         with self._mutex:
-            lifetime = self._lifetimes.get((slicing, key), 0)
-            return [self._catalog[msg_id]
-                    for _, msg_id in self._slice_index.prefix_items(
-                        (slicing, key, lifetime))
-                    if msg_id in self._catalog]
+            lifetime = self._lifetime_at(slicing, key, snapshot)
+            out = []
+            for _, msg_id in self._slice_index.prefix_items(
+                    (slicing, key, lifetime)):
+                meta = self._catalog.get(msg_id)
+                if meta is not None and self._visible(meta, snapshot):
+                    out.append(meta)
+            return out
 
-    def slice_messages_scan(self, slicing: str, key: object
+    def slice_messages_scan(self, slicing: str, key: object,
+                            snapshot: int | None = None
                             ) -> list[StoredMessage]:
         """Baseline slice access: full catalog scan (merged-query plan)."""
         key = _encode_key(key)
         with self._mutex:
-            lifetime = self._lifetimes.get((slicing, key), 0)
+            lifetime = self._lifetime_at(slicing, key, snapshot)
             out = [meta for meta in self._catalog.values()
-                   if (slicing, key, lifetime) in meta.slices]
+                   if (slicing, key, lifetime) in meta.slices
+                   and self._visible(meta, snapshot)]
             out.sort(key=lambda m: m.seqno)
             return out
 
@@ -638,7 +818,8 @@ class MessageStore:
                 raise StorageError(f"no index on ({queue!r}, {prop!r})")
             return tree.dump()
 
-    def property_lookup(self, queue: str, prop: str, value: object
+    def property_lookup(self, queue: str, prop: str, value: object,
+                        snapshot: int | None = None
                         ) -> list[StoredMessage]:
         """Equality lookup through the secondary index: one range scan
         over ``(tag, raw)``, results in arrival order."""
@@ -647,11 +828,15 @@ class MessageStore:
             tree = self._property_indexes.get((queue, prop))
             if tree is None:
                 raise StorageError(f"no index on ({queue!r}, {prop!r})")
-            return [self._catalog[msg_id]
-                    for _, msg_id in tree.prefix_items((tag, raw))
-                    if msg_id in self._catalog]
+            out = []
+            for _, msg_id in tree.prefix_items((tag, raw)):
+                meta = self._catalog.get(msg_id)
+                if meta is not None and self._visible(meta, snapshot):
+                    out.append(meta)
+            return out
 
-    def property_lookup_scan(self, queue: str, prop: str, value: object
+    def property_lookup_scan(self, queue: str, prop: str, value: object,
+                             snapshot: int | None = None
                              ) -> list[StoredMessage]:
         """Baseline for :meth:`property_lookup`: full queue scan with a
         per-message property comparison (same typed-value encoding as the
@@ -661,7 +846,7 @@ class MessageStore:
             out = []
             for _, msg_id in self._queue_index.prefix_items((queue,)):
                 meta = self._catalog.get(msg_id)
-                if meta is None:
+                if meta is None or not self._visible(meta, snapshot):
                     continue
                 stored = meta.properties.get(prop)
                 if stored is not None and encode_value(stored) == encoded:
@@ -671,26 +856,43 @@ class MessageStore:
     def export_queue_messages(self, queue: str
                               ) -> list[tuple[StoredMessage, bytes]]:
         """Handoff read for rebalancing: (catalog entry, body bytes) of
-        every live message of *queue*, in arrival order, under one latch
-        so a migrator sees a consistent cut of the queue.
+        every live message of *queue*, in arrival order.
+
+        Under MVCC this reads a registered snapshot: the latch is held
+        only briefly per message (the snapshot pins each visible version
+        against purge), so a migrator no longer quiesces readers for the
+        whole export.  Without MVCC it keeps the one-latch consistent
+        cut.
         """
-        with self._mutex:
+        if not self.mvcc:
+            with self._mutex:
+                out = []
+                for _, msg_id in self._queue_index.prefix_items((queue,)):
+                    meta = self._catalog.get(msg_id)
+                    if meta is not None:
+                        out.append((meta, self.heap.fetch(RID(*meta.rid))))
+                return out
+        with self.read_snapshot() as snapshot:
+            metas = self.queue_messages(queue, snapshot=snapshot)
             out = []
-            for _, msg_id in self._queue_index.prefix_items((queue,)):
-                meta = self._catalog.get(msg_id)
-                if meta is not None:
-                    out.append((meta, self.heap.fetch(RID(*meta.rid))))
+            for meta in metas:
+                with self._mutex:
+                    if meta.msg_id in self._catalog:
+                        out.append((meta, self.heap.fetch(RID(*meta.rid))))
             return out
 
     def unprocessed_messages(self) -> list[StoredMessage]:
         with self._mutex:
-            out = [m for m in self._catalog.values() if not m.processed]
+            out = [m for m in self._catalog.values()
+                   if not m.processed and m.deleted_lsn is None]
             out.sort(key=lambda m: m.seqno)
             return out
 
     def message_count(self) -> int:
+        """Live (visible-now) messages; dead versions awaiting purge do
+        not count."""
         with self._mutex:
-            return len(self._catalog)
+            return len(self._catalog) - len(self._dead)
 
     # -- retention / garbage collection -------------------------------------------------
 
@@ -709,17 +911,63 @@ class MessageStore:
         """
         with self._mutex:
             victims = [m for m in self._catalog.values()
-                       if m.processed and not self.is_retained(m)]
+                       if m.processed and m.deleted_lsn is None
+                       and not self.is_retained(m)]
             if not victims:
                 self.stats.gc_runs += 1
+                if self.mvcc:
+                    self.purge_dead_versions()
                 return 0
             txn = self.begin()
             for meta in victims:
                 txn.delete_message(meta.msg_id)
             self.commit(txn)
+            if self.mvcc:
+                # The retention-deletion commit is the version-GC hook:
+                # everything below the horizon goes physical right here.
+                self.purge_dead_versions()
             self.stats.gc_runs += 1
             self.stats.gc_deleted += len(victims)
             return len(victims)
+
+    def purge_dead_versions(self, horizon: int | None = None) -> int:
+        """Physically remove dead versions at or below the horizon.
+
+        A version deleted at LSN *d* is unreachable once no active
+        snapshot reads below *d*; then its catalog entry, heap record,
+        and index entries can go.  Reset-LSN histories are trimmed the
+        same way.  Returns the number of versions purged.
+        """
+        with self._mutex:
+            if horizon is None:
+                horizon = self.snapshot_horizon()
+            purged = 0
+            if self._dead:
+                victims = [msg_id for msg_id, lsn in self._dead.items()
+                           if lsn <= horizon]
+                for msg_id in victims:
+                    self._purge_one(msg_id)
+                purged = len(victims)
+                self.stats.purged_versions += purged
+            for key, resets in list(self._reset_lsns.items()):
+                keep = [lsn for lsn in resets if lsn > horizon]
+                if keep:
+                    self._reset_lsns[key] = keep
+                else:
+                    del self._reset_lsns[key]
+            return purged
+
+    def _purge_one(self, msg_id: int) -> None:
+        meta = self._catalog.pop(msg_id, None)
+        self._dead.pop(msg_id, None)
+        if meta is None:
+            return
+        self.heap.delete(RID(*meta.rid))
+        self._parse_cache.pop(msg_id, None)
+        self._queue_index.delete((meta.queue, meta.seqno))
+        for slicing, key, lifetime in meta.slices:
+            self._slice_index.delete((slicing, key, lifetime, meta.seqno))
+        self._unindex_properties(meta)
 
     # -- checkpoints and recovery ----------------------------------------------------------
 
@@ -736,10 +984,17 @@ class MessageStore:
                 raise StorageError(
                     "cannot checkpoint while a chained transaction has "
                     "published uncommitted work")
+            if self.mvcc:
+                # Reclaim what the horizon allows first; versions still
+                # pinned by an active snapshot are checkpointed *with*
+                # their delete LSN so a restart keeps them dead (no
+                # snapshot survives a restart, so recovery purges them).
+                self.purge_dead_versions()
             self.buffer.flush_all()
             snapshot = {
                 "next_msg_id": self._next_msg_id,
                 "next_seqno": self._next_seqno,
+                "visible_lsn": self._visible_lsn,
                 "lifetimes": [[s, k, v] for (s, k), v
                               in self._lifetimes.items()],
                 "messages": [
@@ -752,6 +1007,8 @@ class MessageStore:
                                        for k, v in m.properties.items()},
                         "slices": [[s, k, lt] for s, k, lt in m.slices],
                         "processed": m.processed,
+                        "created_lsn": m.created_lsn,
+                        "deleted_lsn": m.deleted_lsn,
                     }
                     for m in self._catalog.values() if m.persistent
                 ],
@@ -763,7 +1020,8 @@ class MessageStore:
                 os.fsync(fh.fileno())
             os.replace(tmp, self._checkpoint_path())
             self.wal.append(walmod.CHECKPOINT, None,
-                            wal_end=self.wal.end_lsn())
+                            wal_end=self.wal.end_lsn(),
+                            visible_lsn=self._visible_lsn)
             self.wal.flush()
 
     def simulate_crash(self, lose_unflushed: bool = False) -> None:
@@ -794,6 +1052,10 @@ class MessageStore:
             for pair in self._property_indexes:
                 self._property_indexes[pair] = BPlusTree()
             self._lifetimes.clear()
+            self._snapshots.clear()
+            self._dead.clear()
+            self._reset_lsns.clear()
+            self._visible_lsn = 0
 
     def recover(self) -> None:
         """Restore state from the checkpoint (if any) plus the WAL tail."""
@@ -810,6 +1072,10 @@ class MessageStore:
             for pair in self._property_indexes:
                 self._property_indexes[pair] = BPlusTree()
             self._lifetimes.clear()
+            self._snapshots.clear()
+            self._dead.clear()
+            self._reset_lsns.clear()
+            self._visible_lsn = 0
             self._next_msg_id = 1
             self._next_seqno = 1
 
@@ -836,15 +1102,22 @@ class MessageStore:
                 self._redo(record)
             self.stats.recoveries += 1
             self.stats.replayed_records = replayed
+            # No snapshot outlives a restart: everything that was dead
+            # at the crash is below the (fresh) horizon — purge it now
+            # so recovery lands on a fully compacted store.
+            self._visible_lsn = max(self._visible_lsn, self.wal.end_lsn())
             if not self.log_deletes:
                 # Derived deletion: recompute deletability instead of
                 # replaying delete records (there are none).
                 self.collect_garbage()
+            if self.mvcc:
+                self.purge_dead_versions()
             self.stats.last_recovery_seconds = time.perf_counter() - started
 
     def _load_snapshot(self, snapshot: dict) -> None:
         self._next_msg_id = snapshot["next_msg_id"]
         self._next_seqno = snapshot["next_seqno"]
+        self._visible_lsn = snapshot.get("visible_lsn", 0)
         for slicing, key, lifetime in snapshot["lifetimes"]:
             self._lifetimes[(slicing, key)] = lifetime
         for raw in snapshot["messages"]:
@@ -854,7 +1127,13 @@ class MessageStore:
                 properties={k: decode_value(v)
                             for k, v in raw["properties"].items()},
                 slices=[(s, k, lt) for s, k, lt in raw["slices"]],
-                processed=raw["processed"])
+                processed=raw["processed"],
+                created_lsn=raw.get("created_lsn", 0),
+                deleted_lsn=raw.get("deleted_lsn"))
+            if meta.deleted_lsn is not None:
+                # Dead-but-pinned at checkpoint time; indexed below so
+                # the post-replay purge can unhook it normally.
+                self._dead[meta.msg_id] = meta.deleted_lsn
             self._catalog[meta.msg_id] = meta
             self._queue_index.insert((meta.queue, meta.seqno), meta.msg_id)
             for slicing, key, lifetime in meta.slices:
@@ -863,6 +1142,10 @@ class MessageStore:
             self._index_properties(meta)
 
     def _redo(self, record) -> None:
+        # Version tags replay from the record's own LSN — that is what
+        # makes versioned index entries identical across crash recovery
+        # and torn-tail truncation (a truncated record simply never
+        # created or deleted its version).
         if record.type == walmod.MSG_INSERT:
             data = record.data
             if data["msg_id"] in self._catalog:
@@ -871,14 +1154,16 @@ class MessageStore:
                 data["msg_id"], data["queue"],
                 data["payload"].encode("utf-8"),
                 {k: decode_value(v) for k, v in data["properties"].items()},
-                [(s, k) for s, k in data["slices"]])
+                [(s, k) for s, k in data["slices"]],
+                created_lsn=record.lsn)
             self._next_msg_id = max(self._next_msg_id, data["msg_id"] + 1)
         elif record.type == walmod.MSG_PROCESSED:
             self._apply_processed(record.data["msg_id"])
         elif record.type == walmod.SLICE_RESET:
-            self._apply_reset(record.data["slicing"], record.data["key"])
+            self._apply_reset(record.data["slicing"], record.data["key"],
+                              lsn=record.lsn)
         elif record.type == walmod.MSG_DELETE:
-            self._apply_delete(record.data["msg_id"])
+            self._apply_delete(record.data["msg_id"], lsn=record.lsn)
         # BEGIN/COMMIT/ABORT/CHECKPOINT/SAVEPOINT/ROLLBACK_SP carry no
         # redo work of their own.
 

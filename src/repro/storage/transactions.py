@@ -95,6 +95,10 @@ class Transaction:
     ops: list = field(default_factory=list)
     published_through: int = 0
     logged_begin: bool = False
+    #: MVCC read position, taken at begin (None with MVCC off).  Reads
+    #: through this snapshot are lock-free; the store refreshes it at
+    #: each chained-publish boundary so batch members see batch-mates.
+    snapshot_lsn: int | None = None
     #: Set when a publish died midway (e.g. a WAL I/O error): the log
     #: may hold a partial suffix, so re-publishing would duplicate
     #: records — the transaction can only be dropped.
@@ -212,11 +216,20 @@ class TransactionManager:
     def begin(self) -> Transaction:
         with self._lock:
             self.begun += 1
-        return Transaction()
+        txn = Transaction()
+        if getattr(self.store, "mvcc", False):
+            # Snapshot registration goes through the store latch only
+            # (never this manager's lock) so a caller already inside
+            # the latch — e.g. collect_garbage — cannot deadlock.
+            txn.snapshot_lsn = self.store.acquire_snapshot(txn.txn_id)
+        return txn
 
     def commit(self, txn: Transaction) -> None:
         txn._require_active()
-        self.store.apply_transaction(txn)
+        try:
+            self.store.apply_transaction(txn)
+        finally:
+            self._drop_snapshot(txn)
         txn.state = TxnState.COMMITTED
         with self._lock:
             self.committed += 1
@@ -229,7 +242,13 @@ class TransactionManager:
             raise TransactionError(
                 f"txn {txn.txn_id} has published operations and can no "
                 f"longer abort")
+        self._drop_snapshot(txn)
         txn.ops.clear()
         txn.state = TxnState.ABORTED
         with self._lock:
             self.aborted += 1
+
+    def _drop_snapshot(self, txn: Transaction) -> None:
+        if txn.snapshot_lsn is not None:
+            self.store.release_snapshot(txn.txn_id)
+            txn.snapshot_lsn = None

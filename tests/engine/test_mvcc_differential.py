@@ -1,0 +1,239 @@
+"""MVCC-vs-2PL differential: snapshot reads must not change results.
+
+The tentpole contract: with ``mvcc=True`` rule reads scan a consistent
+store snapshot instead of taking S locks, but every observable outcome
+— messages, slices and lifetimes, properties, the error queue,
+retention decisions — is identical to 2PL execution.  The hypothesis
+differential at the bottom pins that over random workloads (slice
+joins, rule errors, batched execution); a separate test covers
+crash/recovery mid-chain, and the concurrency tests assert the headline
+win — reader/writer deadlocks disappear — plus the backoff/timeout
+knobs that ride along.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DemaqServer
+from repro.storage.errors import DeadlockError
+
+
+# -- shared differential machinery ---------------------------------------------
+
+DIFF_APP = """
+create errorqueue failures;
+create queue failures kind basic mode persistent;
+create queue intake kind basic mode persistent priority 2;
+create queue archive kind basic mode persistent;
+create property key as xs:string fixed queue intake, archive value //key;
+create slicing byKey on key;
+create rule split for intake
+    if (//item) then
+        do enqueue <copy><key>{string(//key)}</key><v>{string(//v)}</v></copy>
+            into archive;
+create rule boom for intake
+    if (//bad) then do enqueue <x>{1 div 0}</x> into archive;
+create rule tally for byKey
+    if (count(qs:slice()) >= 3 and not(qs:slice()[/full])) then
+        do enqueue <full><key>{string(qs:slicekey())}</key></full>
+            into archive;
+create rule retire for byKey
+    if (qs:slice()[/full]) then do reset;
+"""
+
+_message = st.tuples(st.sampled_from(["item", "bad"]),
+                     st.sampled_from(["k1", "k2", "k3"]),
+                     st.integers(min_value=0, max_value=9))
+
+
+def _body(kind, key, value):
+    if kind == "item":
+        return f"<item><key>{key}</key><v>{value}</v></item>"
+    return f"<bad><key>{key}</key></bad>"
+
+
+def _state(server):
+    out = {}
+    for queue in server.app.queues:
+        out[queue] = [
+            (m.meta.msg_id, m.meta.seqno, m.body_text(), m.meta.processed,
+             sorted((k, str(v)) for k, v in m.properties.items()),
+             sorted(m.meta.slices))
+            for m in server.live_messages(queue)]
+    out["#lifetimes"] = dict(server.store._lifetimes)
+    out["#unhandled"] = [str(d) for d in server.unhandled_errors]
+    return out
+
+
+def _run_workload(messages, mvcc, batch_size=1, data_dir=None):
+    server = DemaqServer(DIFF_APP, batch_size=batch_size, mvcc=mvcc,
+                         data_dir=data_dir)
+    for kind, key, value in messages:
+        server.enqueue("intake", _body(kind, key, value))
+    server.run_until_idle()
+    return server
+
+
+# -- the differential properties -----------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(messages=st.lists(_message, min_size=1, max_size=20),
+       batch_size=st.integers(min_value=1, max_value=9))
+def test_mvcc_execution_is_equivalent_to_2pl(messages, batch_size):
+    """Same messages, slices, properties, error queue — always."""
+    locked = _run_workload(messages, mvcc=False, batch_size=batch_size)
+    versioned = _run_workload(messages, mvcc=True, batch_size=batch_size)
+    assert _state(locked) == _state(versioned)
+    # retention decisions agree too (processed × slice lifetimes), and
+    # MVCC's deferred physical deletes converge to the same store
+    assert locked.collect_garbage() == versioned.collect_garbage()
+    assert _state(locked) == _state(versioned)
+    assert locked.executor.stats.messages_processed \
+        == versioned.executor.stats.messages_processed
+    assert locked.executor.stats.rule_errors \
+        == versioned.executor.stats.rule_errors
+    assert locked.store.message_count() == versioned.store.message_count()
+
+
+def test_mvcc_crash_recovery_mid_chain_matches_2pl(tmp_path):
+    """Crashing between batches and recovering must land both modes on
+    the same replayed state — versioned index records replay correctly."""
+    messages = [("item", "k1", 1), ("item", "k1", 2), ("bad", "k2", 0),
+                ("item", "k1", 3), ("item", "k2", 4), ("item", "k2", 5)]
+    states = []
+    for mvcc in (False, True):
+        server = DemaqServer(DIFF_APP, batch_size=3, mvcc=mvcc,
+                             data_dir=str(tmp_path / f"mvcc{mvcc:d}"))
+        for kind, key, value in messages[:3]:
+            server.enqueue("intake", _body(kind, key, value))
+        server.run_until_idle()
+        server.crash_and_recover()
+        for kind, key, value in messages[3:]:
+            server.enqueue("intake", _body(kind, key, value))
+        server.run_until_idle()
+        server.collect_garbage()
+        states.append(_state(server))
+        server.close()
+    assert states[0] == states[1]
+
+
+# -- concurrency: the headline win ---------------------------------------------
+
+CORRELATION_APP = """
+create queue left kind basic mode persistent;
+create queue right kind basic mode persistent;
+create queue out kind basic mode transient;
+create rule lscan for left
+    if (count(qs:queue("right")) >= 0) then
+        do enqueue <l/> into out;
+create rule rscan for right
+    if (count(qs:queue("left")) >= 0) then
+        do enqueue <r/> into out;
+"""
+
+
+def _drain_concurrently(server, workers=4):
+    def worker():
+        while True:
+            msg_id = server.scheduler.next_message()
+            if msg_id is None:
+                return
+            if not server.executor.process_message(msg_id):
+                meta = server.store.get(msg_id)
+                if meta is not None:
+                    server.scheduler.requeue(msg_id, meta.queue, meta.seqno)
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_cross_queue_scans_never_deadlock_under_mvcc():
+    """Rules scanning each other's queues deadlock under 2PL (S vs IX
+    on two queues in opposite orders); under MVCC the reads take no
+    locks, so no reader/writer deadlock can form."""
+    server = DemaqServer(CORRELATION_APP, mvcc=True)
+    for index in range(60):
+        server.enqueue("left" if index % 2 else "right", "<m/>")
+    _drain_concurrently(server)
+    assert server.executor.stats.deadlock_retries == 0
+    assert server.scheduler.requeues == 0
+    assert len(server.queue_texts("out")) == 60
+    assert server.locks.deadlocks == 0
+
+
+def test_rule_reads_take_no_locks_under_mvcc():
+    server = DemaqServer(CORRELATION_APP, mvcc=True)
+    msg = server.enqueue("left", "<m/>")
+    txn = server.store.begin()
+    meta = server.store.get(msg)
+    from repro.queues import Message
+    server.executor._process_into_txn(txn, meta, Message(meta, server.store))
+    # write locks only: the queue scans left no S locks behind
+    held = server.locks.held(txn.txn_id)
+    assert held, "processed-mark/enqueue write locks expected"
+    assert all(server.locks.mode_of(txn.txn_id, resource) in ("IX", "X")
+               for resource in held)
+    server.store.commit(txn)
+    server.locking.release(txn.txn_id)
+
+
+# -- the satellite knobs -------------------------------------------------------
+
+def test_backoff_sleeps_with_jittered_exponential_ceiling(monkeypatch):
+    server = DemaqServer("create queue q kind basic mode persistent;",
+                         mvcc=True)
+    ids = [server.enqueue("q", f"<m>{n}</m>") for n in range(3)]
+    victim = ids[0]
+    failures = {"left": 2}
+    real = server.executor._process_into_txn
+
+    def flaky(txn, meta, message):
+        if meta.msg_id == victim and failures["left"]:
+            failures["left"] -= 1
+            raise DeadlockError("simulated")
+        return real(txn, meta, message)
+
+    slept = []
+    monkeypatch.setattr(server.executor, "_process_into_txn", flaky)
+    monkeypatch.setattr("repro.engine.executor.sleep", slept.append)
+    server.run_until_idle()
+    assert all(server.store.get(i).processed for i in ids)
+    assert server.executor.stats.deadlock_retries == 2
+    assert server.executor.stats.retry_backoffs == 2
+    base, cap = (server.executor.retry_backoff_base,
+                 server.executor.retry_backoff_cap)
+    # full jitter: each sleep bounded by the attempt's doubling ceiling
+    for attempt, delay in enumerate(slept, start=1):
+        assert 0.0 <= delay <= min(cap, base * 2 ** (attempt - 1))
+    # a successful retry clears the attempt counter
+    assert server.executor._retry_attempts == {}
+
+
+def test_backoff_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("DEMAQ_RETRY_BACKOFF", "0")
+    server = DemaqServer("create queue q kind basic mode persistent;")
+    assert server.executor.retry_backoff_base == 0.0
+    server.executor._backoff_before_retry([1])     # must not sleep or count
+    assert server.executor.stats.retry_backoffs == 0
+    monkeypatch.setenv("DEMAQ_RETRY_BACKOFF", "0.01")
+    assert DemaqServer("create queue q kind basic mode transient;") \
+        .executor.retry_backoff_base == 0.01
+
+
+def test_lock_timeout_from_environment(monkeypatch):
+    monkeypatch.setenv("DEMAQ_LOCK_TIMEOUT", "2.5")
+    server = DemaqServer("create queue q kind basic mode transient;")
+    assert server.locks.default_timeout == 2.5
+    assert server.locking.timeout == 2.5
+    monkeypatch.delenv("DEMAQ_LOCK_TIMEOUT")
+    assert DemaqServer("create queue q kind basic mode transient;") \
+        .locks.default_timeout == 10.0
+    # the explicit argument wins over the environment
+    monkeypatch.setenv("DEMAQ_LOCK_TIMEOUT", "2.5")
+    assert DemaqServer("create queue q kind basic mode transient;",
+                       lock_timeout=7.0).locks.default_timeout == 7.0

@@ -1,0 +1,297 @@
+"""Multiversion reads (MVCC) at the store layer.
+
+Version visibility, the snapshot horizon, version GC, slice lifetimes
+as of a snapshot, and the recovery of versioned index state — the
+storage half of the lock-free scan/correlation path.
+"""
+
+import pytest
+
+from repro.storage import MessageStore, StorageError
+
+
+def enqueue(store, queue, body, properties=None, slices=(),
+            persistent=True):
+    txn = store.begin()
+    op = txn.insert_message(queue, body.encode(), properties or {},
+                            list(slices), persistent)
+    store.commit(txn)
+    return op.msg_id
+
+
+def delete(store, msg_id):
+    txn = store.begin()
+    txn.delete_message(msg_id)
+    store.commit(txn)
+
+
+# -- visibility ----------------------------------------------------------------
+
+def test_snapshot_does_not_see_later_inserts():
+    store = MessageStore(mvcc=True)
+    first = enqueue(store, "q", "<m>1</m>")
+    with store.read_snapshot() as snap:
+        second = enqueue(store, "q", "<m>2</m>")
+        at_snap = [m.msg_id for m in store.queue_messages("q",
+                                                          snapshot=snap)]
+        assert at_snap == [first]
+        assert store.get(second, snapshot=snap) is None
+        assert store.queue_depth("q", snapshot=snap) == 1
+    # current-state read sees both
+    assert [m.msg_id for m in store.queue_messages("q")] == [first, second]
+
+
+def test_snapshot_still_sees_deleted_version():
+    store = MessageStore(mvcc=True)
+    msg = enqueue(store, "q", "<m/>")
+    with store.read_snapshot() as snap:
+        delete(store, msg)
+        # current readers: gone.  The snapshot: still there.
+        assert store.get(msg) is None
+        assert store.queue_depth("q") == 0
+        assert store.get(msg, snapshot=snap) is not None
+        assert [m.msg_id
+                for m in store.queue_messages("q", snapshot=snap)] == [msg]
+        # the version is pinned against purge while the snapshot lives
+        assert store.stats.purged_versions == 0
+        assert store.body_bytes(msg) == b"<m/>"
+    # snapshot released: the dead version is below the horizon
+    assert store.purge_dead_versions() == 1
+    assert store.stats.purged_versions == 1
+    with pytest.raises(StorageError):
+        store.body_bytes(msg)
+
+
+def test_commit_purges_dead_versions_when_unpinned():
+    """With no active snapshot the commit path reclaims versions
+    immediately — the net state is identical to 2PL's in-place delete."""
+    store = MessageStore(mvcc=True)
+    msg = enqueue(store, "q", "<m/>")
+    delete(store, msg)
+    assert store.stats.purged_versions == 1
+    assert store.get(msg) is None
+    with pytest.raises(StorageError):
+        store.body_bytes(msg)
+    assert store.message_count() == 0
+    assert store.queue_messages("q") == []
+
+
+def test_message_count_excludes_pinned_dead_versions():
+    store = MessageStore(mvcc=True)
+    keep = enqueue(store, "q", "<keep/>")
+    doomed = enqueue(store, "q", "<dead/>")
+    with store.read_snapshot():
+        delete(store, doomed)
+        assert store.message_count() == 1
+        assert [m.msg_id for m in store.unprocessed_messages()] == [keep]
+
+
+def test_snapshot_horizon_is_minimum_active_snapshot():
+    store = MessageStore(mvcc=True)
+    enqueue(store, "q", "<m/>")
+    low = store.acquire_snapshot("reader-low")
+    enqueue(store, "q", "<m/>")
+    high = store.acquire_snapshot("reader-high")
+    assert low < high
+    assert store.snapshot_horizon() == low
+    store.release_snapshot("reader-low")
+    assert store.snapshot_horizon() == high
+    store.release_snapshot("reader-high")
+    assert store.snapshot_horizon() == store.visible_lsn()
+
+
+def test_transaction_snapshot_is_acquired_at_begin_and_released():
+    store = MessageStore(mvcc=True)
+    enqueue(store, "q", "<m/>")
+    txn = store.begin()
+    assert txn.snapshot_lsn == store.visible_lsn()
+    assert store.snapshot_horizon() == txn.snapshot_lsn
+    concurrent = enqueue(store, "q", "<m/>")
+    assert store.get(concurrent, snapshot=txn.snapshot_lsn) is None
+    store.commit(txn)
+    assert store.snapshot_horizon() == store.visible_lsn()
+    aborted = store.begin()
+    store.abort(aborted)
+    assert store.snapshot_horizon() == store.visible_lsn()
+
+
+def test_commit_span_becomes_visible_atomically():
+    """A multi-op transaction shares one version LSN: a snapshot sees
+    the whole span or none of it."""
+    store = MessageStore(mvcc=True)
+    txn = store.begin()
+    op_a = txn.insert_message("q", b"<a/>", {}, [])
+    op_b = txn.insert_message("q", b"<b/>", {}, [])
+    store.commit(txn)
+    a, b = op_a.msg_id, op_b.msg_id
+    assert store.get(a).created_lsn == store.get(b).created_lsn
+    with store.read_snapshot() as snap:
+        assert [m.msg_id for m in store.queue_messages("q",
+                                                       snapshot=snap)] \
+            == [a, b]
+
+
+# -- slices and properties at a snapshot ---------------------------------------
+
+def test_slice_reset_is_invisible_to_older_snapshots():
+    store = MessageStore(mvcc=True)
+    old = enqueue(store, "q", "<old/>", slices=[("s", "k")])
+    with store.read_snapshot() as snap:
+        txn = store.begin()
+        txn.reset_slice("s", "k")
+        store.commit(txn)
+        new = enqueue(store, "q", "<new/>", slices=[("s", "k")])
+        # current readers are in the new lifetime
+        assert [m.msg_id for m in store.slice_messages("s", "k")] == [new]
+        # the snapshot still reads the pre-reset lifetime
+        assert [m.msg_id
+                for m in store.slice_messages("s", "k",
+                                              snapshot=snap)] == [old]
+        assert [m.msg_id
+                for m in store.slice_messages_scan("s", "k",
+                                                   snapshot=snap)] == [old]
+
+
+def test_snapshot_taken_after_reset_reads_new_lifetime():
+    store = MessageStore(mvcc=True)
+    enqueue(store, "q", "<old/>", slices=[("s", "k")])
+    txn = store.begin()
+    txn.reset_slice("s", "k")
+    store.commit(txn)
+    new = enqueue(store, "q", "<new/>", slices=[("s", "k")])
+    with store.read_snapshot() as snap:
+        assert [m.msg_id
+                for m in store.slice_messages("s", "k",
+                                              snapshot=snap)] == [new]
+
+
+def test_property_index_respects_snapshots():
+    store = MessageStore(mvcc=True)
+    store.create_property_index("q", "key")
+    first = enqueue(store, "q", "<m/>", {"key": "a"})
+    with store.read_snapshot() as snap:
+        second = enqueue(store, "q", "<m/>", {"key": "a"})
+        for lookup in (store.property_lookup, store.property_lookup_scan):
+            assert [m.msg_id
+                    for m in lookup("q", "key", "a",
+                                    snapshot=snap)] == [first]
+            assert [m.msg_id
+                    for m in lookup("q", "key", "a")] == [first, second]
+
+
+def test_export_reads_a_consistent_snapshot():
+    store = MessageStore(mvcc=True)
+    ids = [enqueue(store, "q", f"<m>{i}</m>") for i in range(3)]
+    exported = [(meta.msg_id, payload)
+                for meta, payload in store.export_queue_messages("q")]
+    assert [msg_id for msg_id, _ in exported] == ids
+    assert exported[0][1] == b"<m>0</m>"
+
+
+# -- mode resolution -----------------------------------------------------------
+
+def test_mvcc_env_flag_resolution(monkeypatch):
+    monkeypatch.delenv("DEMAQ_MVCC", raising=False)
+    assert MessageStore().mvcc is True
+    for raw in ("0", "false", "no", "off"):
+        monkeypatch.setenv("DEMAQ_MVCC", raw)
+        assert MessageStore().mvcc is False
+    monkeypatch.setenv("DEMAQ_MVCC", "1")
+    assert MessageStore().mvcc is True
+    # the explicit argument wins over the environment
+    assert MessageStore(mvcc=False).mvcc is False
+
+
+def test_without_mvcc_deletes_are_physical():
+    store = MessageStore(mvcc=False)
+    msg = enqueue(store, "q", "<m/>")
+    token = store.acquire_snapshot("reader")
+    delete(store, msg)
+    # no version survives for the snapshot: 2PL semantics
+    assert store.get(msg, snapshot=token) is None
+    assert store.stats.purged_versions == 0
+    store.release_snapshot("reader")
+
+
+# -- recovery of versioned state -----------------------------------------------
+
+def test_recovery_replays_versioned_index_records(tmp_path):
+    store = MessageStore(str(tmp_path / "d"), mvcc=True)
+    keep = enqueue(store, "q", "<keep/>", slices=[("s", "k")])
+    doomed = enqueue(store, "q", "<dead/>")
+    txn = store.begin()
+    txn.reset_slice("s", "k")
+    store.commit(txn)
+    fresh = enqueue(store, "q", "<fresh/>", slices=[("s", "k")])
+    delete(store, doomed)
+
+    store.simulate_crash()
+    store.recover()
+    # versions and lifetimes replayed from record LSNs; no snapshot
+    # survives a restart, so dead versions are purged outright
+    assert store.get(doomed) is None
+    assert store.get(keep) is not None
+    assert [m.msg_id for m in store.slice_messages("s", "k")] == [fresh]
+    assert store.slice_lifetime("s", "k") == 1
+    assert store.queue_depth("q") == 2
+    # a fresh snapshot starts past everything replayed
+    assert store.visible_lsn() >= store.wal.end_lsn()
+    with store.read_snapshot() as snap:
+        assert store.get(keep, snapshot=snap) is not None
+    store.close()
+
+
+def test_power_cut_truncates_to_a_consistent_version_boundary(tmp_path):
+    """Losing the unflushed WAL tail (simulated power cut) must leave
+    replayed versions consistent — the torn tail simply never happened."""
+    store = MessageStore(str(tmp_path / "d"), mvcc=True,
+                         durability="async")
+    durable = enqueue(store, "q", "<durable/>")
+    store.wal.flush()
+    torn = enqueue(store, "q", "<torn/>")
+
+    store.simulate_crash(lose_unflushed=True)
+    store.recover()
+    assert store.get(durable) is not None
+    assert store.get(torn) is None
+    assert [m.msg_id for m in store.queue_messages("q")] == [durable]
+    # writes keep working after the truncated replay
+    after = enqueue(store, "q", "<after/>")
+    assert store.get(after).created_lsn > store.get(durable).created_lsn
+    store.close()
+
+
+def test_checkpoint_carries_pinned_dead_versions(tmp_path):
+    store = MessageStore(str(tmp_path / "d"), mvcc=True)
+    keep = enqueue(store, "q", "<keep/>")
+    doomed = enqueue(store, "q", "<dead/>")
+    token = store.acquire_snapshot("reader")
+    delete(store, doomed)
+    assert store.get(doomed, snapshot=token) is not None
+    store.checkpoint()
+    # the pinned version survived the checkpoint purge
+    assert store.get(doomed, snapshot=token) is not None
+
+    store.simulate_crash()
+    store.recover()
+    # restart drops all snapshots: the dead version is reclaimed
+    assert store.get(doomed) is None
+    assert store.get(keep) is not None
+    assert store.message_count() == 1
+    store.close()
+
+
+def test_collect_garbage_respects_the_horizon():
+    store = MessageStore(mvcc=True)
+    msg = enqueue(store, "q", "<m/>", slices=[("s", "k")])
+    txn = store.begin()
+    txn.mark_processed(msg)
+    txn.reset_slice("s", "k")
+    store.commit(txn)
+    with store.read_snapshot() as snap:
+        assert store.collect_garbage() == 1
+        # retention decided; the snapshot still reads the version
+        assert store.get(msg, snapshot=snap) is not None
+        assert store.get(msg) is None
+    assert store.purge_dead_versions() == 1
+    assert store.get(msg, snapshot=snap) is None
