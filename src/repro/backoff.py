@@ -1,0 +1,77 @@
+"""Full-jitter exponential backoff, shared across retry sites.
+
+One policy object covers the two places the runtime retries with
+backoff: the rule executor's deadlock/timeout requeue delay (PR 8) and
+the socket transport's transient-connect budget (failover windows leave
+a worker's listener down for a few milliseconds; an immediate
+``disconnectedTransport`` verdict would turn every such blip into a §3.6
+error-queue detour).
+
+Full jitter (delay drawn uniformly from ``[0, min(cap, base * 2**n)]``)
+is the standard cure for retry synchronization: under contention the
+retriers spread out instead of stampeding in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """A bounded full-jitter exponential backoff schedule.
+
+    ``base`` seconds doubles per attempt up to ``cap``; a ``base`` of 0
+    disables delays entirely (used by tests that want fast failure).
+    """
+
+    base: float = 0.002
+    cap: float = 0.05
+
+    def delay(self, attempt: int) -> float:
+        """The sleep before retry *attempt* (1-based): full jitter."""
+        if self.base <= 0.0 or attempt <= 0:
+            return 0.0
+        ceiling = min(self.cap, self.base * (2 ** (attempt - 1)))
+        return random.uniform(0.0, ceiling)
+
+    def sleep(self, attempt: int,
+              sleeper: Callable[[float], None] = time.sleep) -> float:
+        """Sleep the jittered delay for *attempt*; returns the delay."""
+        delay = self.delay(attempt)
+        if delay > 0.0:
+            sleeper(delay)
+        return delay
+
+    def retry(self, fn: Callable[[], object], attempts: int,
+              retryable: tuple[type[BaseException], ...] = (Exception,),
+              sleeper: Callable[[float], None] = time.sleep):
+        """Call *fn* up to *attempts* times, sleeping between failures.
+
+        Re-raises the last exception once the budget is spent.  The
+        budget is intentionally small everywhere this is used — backoff
+        masks transient blips, it must not hide a dead peer for long.
+        """
+        last: BaseException | None = None
+        for attempt in range(1, max(1, attempts) + 1):
+            try:
+                return fn()
+            except retryable as exc:      # noqa: PERF203 - retry loop
+                last = exc
+                if attempt < attempts:
+                    self.sleep(attempt, sleeper)
+        assert last is not None
+        raise last
+
+
+def policy_from_env(var: str, default_base: float = 0.002,
+                    cap: float = 0.05) -> BackoffPolicy:
+    """Build a policy from an env knob holding the base delay seconds."""
+    import os
+
+    raw = os.environ.get(var, "")
+    base = float(raw) if raw else default_base
+    return BackoffPolicy(base=base, cap=cap)

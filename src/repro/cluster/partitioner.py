@@ -120,6 +120,29 @@ class HashRing:
                     break
         return out
 
+    def successors(self, node: str, count: int = 1) -> list[str]:
+        """Up to *count* distinct other nodes after *node*'s first vnode.
+
+        The replica set for a shard (DESIGN.md §9): deterministic given
+        the membership, independent of any key, and stable under the
+        same minimal-disruption property as ownership — a join/leave
+        only reassigns the replicas adjacent to the affected node.
+        """
+        if node not in self._nodes:
+            raise LookupError(f"node {node!r} is not on the ring")
+        if count <= 0 or len(self._nodes) < 2:
+            return []
+        start = bisect.bisect_right(self._positions,
+                                    _hash(f"{node}{_SEP}vn0"))
+        out: list[str] = []
+        for offset in range(len(self._ring)):
+            other = self._ring[(start + offset) % len(self._ring)][1]
+            if other != node and other not in out:
+                out.append(other)
+                if len(out) >= count:
+                    break
+        return out
+
     # -- diagnostics ----------------------------------------------------------------
 
     def load_distribution(self, keys: Iterable[str]) -> dict[str, int]:

@@ -159,8 +159,16 @@ class ClusterRouter:
         return self.keys.owner_for_document(queue, document, properties)
 
     def enqueue(self, queue: str, body: str | Document,
-                properties: dict[str, object] | None = None) -> str:
-        """Route one message to its owner; returns the owner node name."""
+                properties: dict[str, object] | None = None,
+                on_delivered=None, on_failed=None) -> str:
+        """Route one message to its owner; returns the owner node name.
+
+        *on_delivered* / *on_failed* (optional) are forwarded to the
+        transport so callers that need per-message delivery outcomes —
+        the HTTP gateway's 503 mapping, the replication benchmarks —
+        can observe them; §3.6 error-queue fallback still runs first on
+        failure, so the message is never silently dropped either way.
+        """
         if queue not in self.app.queues:
             raise err.EngineError(f"enqueue into unknown queue {queue!r}")
         document = parse(body) if isinstance(body, str) else body
@@ -173,12 +181,19 @@ class ClusterRouter:
                                queue=queue, owner=owner)
         if not self.via_network and owner in self.servers:
             self.servers[owner].enqueue(queue, document, properties)
+            if on_delivered is not None:
+                on_delivered()
             return owner
         envelope = build_envelope(document, dict(properties or {}))
+
+        def forward_failed(marker: str) -> None:
+            self._forward_failed(queue, document, owner, marker)
+            if on_failed is not None:
+                on_failed(marker)
+
         self.network.send(
             node_endpoint(owner, queue), envelope, source=ROUTER_SOURCE,
-            on_failed=lambda marker: self._forward_failed(
-                queue, document, owner, marker))
+            on_delivered=on_delivered, on_failed=forward_failed)
         return owner
 
     # -- failure fallback (§3.6) -------------------------------------------------

@@ -16,11 +16,11 @@ cannot form and only write/write conflicts ever retry.
 from __future__ import annotations
 
 import os
-import random
 import sys
 from time import perf_counter, sleep
 from typing import TYPE_CHECKING
 
+from ..backoff import policy_from_env
 from ..obs import COUNT_BUCKETS, TRACE_PROPERTY, MetricsRegistry
 from ..qdl.model import QueueKind
 from ..queues import Message, PropertyError
@@ -108,10 +108,16 @@ class RuleExecutor:
         # without it, the conflicting pair re-collides on the very next
         # pick.  Full jitter, base doubling per consecutive failure of
         # the same message, capped; DEMAQ_RETRY_BACKOFF=0 disables.
-        raw = os.environ.get("DEMAQ_RETRY_BACKOFF", "")
-        self.retry_backoff_base = float(raw) if raw else 0.002
-        self.retry_backoff_cap = 0.05
+        self.retry_backoff = policy_from_env("DEMAQ_RETRY_BACKOFF")
         self._retry_attempts: dict[int, int] = {}
+
+    @property
+    def retry_backoff_base(self) -> float:
+        return self.retry_backoff.base
+
+    @property
+    def retry_backoff_cap(self) -> float:
+        return self.retry_backoff.cap
 
     def _rule_timer(self, rule_name: str):
         timer = self._rule_timers.get(rule_name)
@@ -238,15 +244,11 @@ class RuleExecutor:
 
     def _backoff_before_retry(self, retry: list[int]) -> None:
         """Jittered exponential backoff before requeueing aborted members."""
-        if not retry or self.retry_backoff_base <= 0:
+        if not retry or self.retry_backoff.base <= 0:
             return
         attempt = max(self._retry_attempts.get(m, 1) for m in retry)
-        ceiling = min(self.retry_backoff_cap,
-                      self.retry_backoff_base * (2 ** (attempt - 1)))
-        delay = random.uniform(0.0, ceiling)
         self.stats.add("retry_backoffs")
-        if delay > 0:
-            sleep(delay)
+        self.retry_backoff.sleep(attempt, sleeper=sleep)
 
     def _process_into_txn(self, txn, meta, message: Message) -> bool:
         """Buffer the full processing of one message into *txn*.

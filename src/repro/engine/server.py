@@ -60,7 +60,8 @@ class DemaqServer:
                  batch_size: int | None = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
-                 mvcc: bool | None = None):
+                 mvcc: bool | None = None,
+                 store: MessageStore | None = None):
         if isinstance(app, str):
             app = compile_application(app)
         self.app = app
@@ -82,12 +83,22 @@ class DemaqServer:
             # rolled back and retried.
             raw = os.environ.get("DEMAQ_LOCK_TIMEOUT", "")
             lock_timeout = float(raw) if raw else 10.0
-        self.store = MessageStore(data_dir, buffer_capacity=buffer_capacity,
-                                  sync_commits=sync_commits,
-                                  log_deletes=log_deletes,
-                                  durability=durability,
-                                  metrics=self.metrics,
-                                  mvcc=mvcc)
+        if store is not None:
+            # Replica promotion hands in a standby store whose state
+            # was built by continuous redo — adopt it instead of
+            # constructing (and recovering) a fresh one.
+            self.store = store
+        else:
+            self.store = MessageStore(data_dir,
+                                      buffer_capacity=buffer_capacity,
+                                      sync_commits=sync_commits,
+                                      log_deletes=log_deletes,
+                                      durability=durability,
+                                      metrics=self.metrics,
+                                      mvcc=mvcc)
+        #: Epoch fencing (DESIGN.md §9): a zombie primary whose shard
+        #: was promoted elsewhere refuses every ingest once fenced.
+        self.fenced = False
         self.locks = LockManager(lock_timeout)
         self.locking = LockingPolicy(self.locks, lock_granularity,
                                      lock_timeout, mvcc=self.store.mvcc)
@@ -498,6 +509,13 @@ class DemaqServer:
 
     def _receive(self, queue: str, envelope: Document, source: str,
                  relay: bool = True) -> None:
+        if self.fenced:
+            # A fenced zombie must not accept writes: the raised error
+            # fails the transport delivery, so the sender's failure
+            # marker (§3.6) routes the message elsewhere.
+            raise err.EngineError(
+                f"server {self.name!r} is fenced (shard promoted "
+                f"at a newer epoch)")
         body, properties = parse_envelope(envelope)
         if self.tracer.enabled:
             self.tracer.record(properties.get(TRACE_PROPERTY), "received",

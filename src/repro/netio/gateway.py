@@ -34,12 +34,14 @@ pump lock keeps that safe next to coordinator RPC polling.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..engine import errors as err
 from ..network import build_wsdl, parse_envelope
+from ..network.base import DISCONNECTED, TIMEOUT
 from ..network.wsdl import WSDLError
 from ..obs import (MetricsRegistry, Tracer, ensure_trace, merge_snapshots,
                    render_prometheus)
@@ -48,17 +50,32 @@ from ..xmldm import XMLError, parse
 ENQUEUE_PREFIX = "/enqueue/"
 _ENVELOPE_LOCAL = "Envelope"
 
+#: §3.6 transport markers the gateway maps to 503 + ``Retry-After`` —
+#: the owner is momentarily unreachable (crash window before failover,
+#: network fault); the producer should back off and retry.
+_RETRYABLE_MARKERS = (DISCONNECTED, TIMEOUT)
+
 
 class HttpGateway:
     """Serve one cluster over HTTP; context-managed like the cluster."""
 
     def __init__(self, cluster, host: str = "127.0.0.1", port: int = 0,
                  pump_interval: float = 0.002,
+                 confirm_timeout: float = 2.0,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None):
         self.cluster = cluster
         self.app = cluster.app
         self.pump_interval = pump_interval
+        self.confirm_timeout = confirm_timeout
+        # Targets whose enqueue reports delivery outcomes (the cluster
+        # router) get the 503/Retry-After mapping; bare servers keep
+        # the fire-and-forget 202.
+        try:
+            parameters = inspect.signature(cluster.enqueue).parameters
+        except (TypeError, ValueError):        # builtins, C callables
+            parameters = {}
+        self._confirm_delivery = "on_failed" in parameters
         # Share the cluster's registry/tracer when it has them, so the
         # gateway's "received" spans stitch with the router's "routed".
         self.metrics = metrics or getattr(cluster, "metrics", None) \
@@ -118,6 +135,12 @@ class HttpGateway:
 
     # -- request handling --------------------------------------------------------
 
+    def _reject(self, reason: str) -> None:
+        """Count a refused POST, both total and by reason label."""
+        self._rejected.inc()
+        self.metrics.counter("demaq_gateway_rejected_total",
+                             "POSTs refused", reason=reason).inc()
+
     def _handle_post(self, request: BaseHTTPRequestHandler) -> None:
         timing = self.metrics.enabled
         started = time.perf_counter() if timing else 0.0
@@ -126,7 +149,7 @@ class HttpGateway:
             return
         queue = request.path[len(ENQUEUE_PREFIX):]
         if queue not in self.app.queues:
-            self._rejected.inc()
+            self._reject("unknown-queue")
             self._respond(request, 404, f"unknown queue {queue!r}\n")
             return
         length = int(request.headers.get("Content-Length") or 0)
@@ -134,7 +157,7 @@ class HttpGateway:
         try:
             document = parse(payload.decode("utf-8"))
         except (UnicodeDecodeError, XMLError) as exc:
-            self._rejected.inc()
+            self._reject("bad-xml")
             self._respond(request, 400, f"bad XML: {exc}\n")
             return
         root = document.root_element
@@ -149,12 +172,42 @@ class HttpGateway:
             properties, trace_id = ensure_trace(properties)
             self.tracer.record(trace_id, "received", queue=queue,
                                source="http")
+        outcome: dict[str, str] = {}
+        settled = threading.Event()
+
+        def on_delivered() -> None:
+            settled.set()
+
+        def on_failed(marker: str) -> None:
+            outcome["marker"] = marker
+            settled.set()
+
+        kwargs = {"on_delivered": on_delivered, "on_failed": on_failed} \
+            if self._confirm_delivery else {}
         try:
-            owner = self.cluster.enqueue(queue, body, properties)
+            owner = self.cluster.enqueue(queue, body, properties, **kwargs)
         except (err.EngineError, ValueError) as exc:
-            self._rejected.inc()
+            self._reject("enqueue-failed")
             self._respond(request, 400, f"enqueue failed: {exc}\n")
             return
+        if self._confirm_delivery:
+            # Bounded wait for the transport verdict (the pump thread
+            # drives it).  A connect-refused owner fails synchronously;
+            # an ack past its deadline fails later — if neither arrives
+            # within the window, answer 202: the message is routed and
+            # §3.6 failover owns it from here (at-least-once hand-off).
+            settled.wait(self.confirm_timeout)
+            marker = outcome.get("marker")
+            if marker in _RETRYABLE_MARKERS:
+                self._reject(marker)
+                self._respond(request, 503,
+                              f"delivery to owner {owner!r} of queue "
+                              f"{queue!r} failed ({marker}); retry later\n",
+                              headers={"Retry-After": "1"})
+                if timing:
+                    self._request_timer.observe(
+                        time.perf_counter() - started)
+                return
         self._accepted.inc()
         trace_attr = f" trace=\"{trace_id}\"" if trace_id else ""
         self._respond(request, 202,
@@ -208,12 +261,15 @@ class HttpGateway:
 
     @staticmethod
     def _respond(request: BaseHTTPRequestHandler, code: int, text: str,
-                 content_type: str = "text/plain") -> None:
+                 content_type: str = "text/plain",
+                 headers: dict[str, str] | None = None) -> None:
         payload = text.encode("utf-8")
         request.send_response(code)
         request.send_header("Content-Type",
                             f"{content_type}; charset=utf-8")
         request.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            request.send_header(name, value)
         request.end_headers()
         request.wfile.write(payload)
 

@@ -42,6 +42,7 @@ from ..network import build_envelope, parse_envelope
 from ..obs import (MetricsRegistry, SpoolWriter, Tracer, merge_snapshots,
                    pump_stream_to_spool, stitch)
 from ..qdl import compile_application
+from ..replication import replica_count, replication_enabled
 from ..xmldm import Attribute, Document, Element, parse
 from .transport import SocketTransport
 from .worker import CTL_REPLY_PATH, READY_BANNER, ctl_endpoint
@@ -64,10 +65,12 @@ class WorkerProcess:
     """One spawned node process plus its plumbing."""
 
     def __init__(self, name: str, proc: subprocess.Popen,
-                 spool: SpoolWriter):
+                 spool: SpoolWriter, config: dict | None = None):
         self.name = name
         self.proc = proc
         self.spool = spool
+        #: the exact boot config (zombie restarts replay it verbatim)
+        self.config = config
 
     @property
     def stderr_path(self) -> str:
@@ -90,7 +93,10 @@ class ProcessCluster:
                  server_kwargs: dict | None = None,
                  boot_timeout: float = 30.0,
                  rpc_timeout: float = 30.0,
-                 spool_cap_bytes: int = SPOOL_CAP_BYTES):
+                 spool_cap_bytes: int = SPOOL_CAP_BYTES,
+                 replication: bool | None = None,
+                 replicas: int | None = None,
+                 chaos: dict | None = None):
         if not isinstance(app, str):
             raise TypeError(
                 "ProcessCluster needs the QDL source text (worker "
@@ -103,6 +109,24 @@ class ProcessCluster:
         self.boot_timeout = boot_timeout
         self.rpc_timeout = rpc_timeout
         self.spool_cap_bytes = spool_cap_bytes
+        #: WAL-shipping replication (DESIGN.md §9); default comes from
+        #: DEMAQ_REPLICATION / DEMAQ_REPLICA_COUNT so a whole test run
+        #: can be flipped replicated without touching call sites.
+        self.replication = replication_enabled() if replication is None \
+            else bool(replication)
+        self.replicas = replica_count() if replicas is None \
+            else max(0, int(replicas))
+        #: per-node chaos boot config, e.g. {"node0":
+        #: {"kill_after_commits": 3}} — fault injection for the tests.
+        self.chaos = dict(chaos or {})
+        #: shard -> authority epoch; bumped exactly once per failover.
+        self.fence_epochs: dict[str, int] = {}
+        #: shard -> worker process currently serving it (failover moves
+        #: entries; keys are shard names, values worker names).
+        self.hosting: dict[str, str] = {}
+        self.failed_workers: dict[str, WorkerProcess] = {}
+        self.zombies: dict[str, WorkerProcess] = {}
+        self._failing_over = False
         self._spool = data_dir or tempfile.mkdtemp(prefix="demaq-netio-")
         os.makedirs(self._spool, exist_ok=True)
         self._data_dir = data_dir
@@ -127,10 +151,14 @@ class ProcessCluster:
         self._ctl_seq = 0
         self.transport.register(f"demaq://{GATE}/{CTL_REPLY_PATH}",
                                 self._on_ctl_reply)
+        self._failovers = self.metrics.counter(
+            "demaq_cluster_failovers_total",
+            "Shard failovers (replica promotions) performed")
         self.workers: dict[str, WorkerProcess] = {}
         try:
             for name in names:
                 self.workers[name] = self._spawn(name)
+                self.hosting[name] = name
         except BaseException:
             self.close()
             raise
@@ -138,12 +166,6 @@ class ProcessCluster:
     # -- worker lifecycle --------------------------------------------------------
 
     def _spawn(self, name: str) -> WorkerProcess:
-        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
-            os.path.abspath(__file__))))
-        env = dict(os.environ)
-        env["PYTHONPATH"] = src_root + (
-            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-        stderr_path = os.path.join(self._spool, f"{name}.stderr")
         data_dir = None if self._data_dir is None \
             else os.path.join(self._data_dir, name)
         config = {"name": name,
@@ -155,6 +177,23 @@ class ProcessCluster:
                                               else []),
                   "data_dir": data_dir,
                   "server": self.server_kwargs}
+        if self.replication:
+            config["replication"] = {"enabled": True,
+                                     "replicas": self.replicas,
+                                     "epochs": dict(self.fence_epochs)}
+        if name in self.chaos:
+            config["chaos"] = self.chaos[name]
+        return self._launch(name, config)
+
+    def _launch(self, name: str, config: dict,
+                spool_suffix: str = "") -> WorkerProcess:
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        stderr_path = os.path.join(self._spool,
+                                   f"{name}{spool_suffix}.stderr")
         # The worker's stderr goes through a capped, rotating spool
         # rather than straight into an unbounded file: a crash-looping
         # or chatty worker can no longer fill the disk over a long run.
@@ -168,7 +207,7 @@ class ProcessCluster:
             spool.close()
             raise
         pump_stream_to_spool(proc.stderr, spool)
-        worker = WorkerProcess(name, proc, spool)
+        worker = WorkerProcess(name, proc, spool, config=config)
         proc.stdin.write(json.dumps(config) + "\n")
         proc.stdin.flush()
         self._await_ready(worker)
@@ -215,19 +254,35 @@ class ProcessCluster:
                              for key, value in (attrs or {}).items()],
                           children=list(children or []))
         failures: list[str] = []
+        envelope = build_envelope(
+            Document([request]),
+            {"ctlId": ctl_id,
+             "replyTo": f"demaq://{GATE}/{CTL_REPLY_PATH}"})
         self.transport.send(
-            ctl_endpoint(node),
-            build_envelope(Document([request]),
-                           {"ctlId": ctl_id,
-                            "replyTo": f"demaq://{GATE}/{CTL_REPLY_PATH}"}),
+            ctl_endpoint(node), envelope,
             source=f"demaq://{GATE}/{CTL_REPLY_PATH}",
             on_failed=failures.append)
         deadline = time.monotonic() + (timeout or self.rpc_timeout)
+        resends = 0
         while time.monotonic() < deadline:
             self.transport.pump()
             if ctl_id in self._replies:
                 return self._replies.pop(ctl_id)
             if failures:
+                # With replication on, a failed control send is often a
+                # crashed shard host: run failure detection (which may
+                # promote a replica and re-point the address book) and
+                # retry the RPC at the shard's new home.
+                if self.replication and not self._failing_over \
+                        and resends < 2:
+                    self._check_workers()
+                    failures.clear()
+                    resends += 1
+                    self.transport.send(
+                        ctl_endpoint(node), envelope,
+                        source=f"demaq://{GATE}/{CTL_REPLY_PATH}",
+                        on_failed=failures.append)
+                    continue
                 raise err.EngineError(
                     f"ctl {op!r} to {node!r} failed: {failures[0]}")
             self._check_workers()
@@ -237,16 +292,113 @@ class ProcessCluster:
             f"{timeout or self.rpc_timeout}s")
 
     def _check_workers(self) -> None:
-        for worker in self.workers.values():
+        """Failure detection: reap dead workers, fail over or raise."""
+        for name, worker in list(self.workers.items()):
             code = worker.proc.poll()
-            if code is not None and code != 0:
+            if code is None or code == 0:
+                continue
+            if self.replication and not self._failing_over:
+                self._failover(name)
+            else:
                 raise err.EngineError(worker.failure_detail())
+
+    def check(self) -> None:
+        """Pump the control plane and run failure detection once."""
+        self.transport.pump()
+        self._check_workers()
+
+    # -- failover (DESIGN.md §9) --------------------------------------------------
+
+    def _failover(self, victim: str) -> None:
+        """Promote the most-caught-up replica of a crashed shard host.
+
+        The dead shard keeps its name on the ring (membership does not
+        change); its address-book entry is re-pointed at the surviving
+        worker that held the longest shipped WAL prefix, that worker is
+        told to ``promote`` (seal the standby, serve the shard under a
+        bumped epoch), and the new roster — with per-shard epochs — is
+        broadcast so every survivor fences the old authority.
+        """
+        self._failing_over = True
+        try:
+            worker = self.workers.pop(victim)
+            self.failed_workers[victim] = worker
+            detail = worker.failure_detail()
+            best_host, best_end = None, -1
+            for name in list(self.workers):
+                try:
+                    reply = self._rpc(name, "repl-status")
+                except err.EngineError:
+                    continue
+                for standby in reply.child_elements("standby"):
+                    if standby.attribute_value("primary") != victim:
+                        continue
+                    end = int(standby.attribute_value("end") or 0)
+                    if end > best_end:
+                        best_host, best_end = name, end
+            if best_host is None:
+                raise err.EngineError(
+                    f"no replica to promote for {victim!r}: {detail}")
+            epoch = self.fence_epochs.get(victim, 0) + 1
+            self.fence_epochs[victim] = epoch
+            self.addresses[victim] = self.addresses[best_host]
+            self.transport.addresses[victim] = self.addresses[best_host]
+            reply = self._rpc(best_host, "promote",
+                              {"primary": victim, "epoch": epoch})
+            error = reply.attribute_value("error")
+            if error:
+                raise err.EngineError(
+                    f"promoting {victim!r} on {best_host!r} failed: "
+                    f"{error}")
+            self.hosting[victim] = best_host
+            self._failovers.inc()
+            roster = self._membership_elements()
+            for name in list(self.workers):
+                self._rpc(name, "reconfigure", children=roster)
+        finally:
+            self._failing_over = False
+
+    def restart_zombie(self, name: str) -> WorkerProcess:
+        """Reboot a failed-over worker with its ORIGINAL config.
+
+        The zombie binds its old port, recovers its old store, and —
+        crucially — boots with its *pre-failover* epoch and address
+        book.  Its first shipper probe reaches the promoted host, which
+        answers with a fence verdict; the zombie marks its shard fenced
+        and stops stepping it, so it can neither ship nor accept writes
+        (the epoch-fencing acceptance test).  Tracked separately from
+        live workers: the healthy cluster's failure detection and RPC
+        fan-outs ignore it.
+        """
+        worker = self.failed_workers.get(name)
+        if worker is None or worker.config is None:
+            raise err.EngineError(f"no failed worker {name!r} to restart")
+        zombie = self._launch(name, dict(worker.config),
+                              spool_suffix="-zombie")
+        self.zombies[name] = zombie
+        return zombie
+
+    def wait_zombie_fenced(self, name: str, timeout: float = 15.0) -> bool:
+        """Wait for a restarted zombie to log its ``fenced`` event."""
+        zombie = self.zombies[name]
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            tail = zombie.spool.tail(16000)
+            if '"fenced"' in tail:
+                return True
+            if zombie.proc.poll() is not None:
+                return '"fenced"' in zombie.spool.tail(16000)
+            time.sleep(0.05)
+        return False
 
     # -- the ClusterServer-like surface ------------------------------------------
 
-    def enqueue(self, queue: str, body, properties=None) -> str:
+    def enqueue(self, queue: str, body, properties=None,
+                on_delivered=None, on_failed=None) -> str:
         """Route one message to its owner process over TCP."""
-        return self.router.enqueue(queue, body, properties)
+        return self.router.enqueue(queue, body, properties,
+                                   on_delivered=on_delivered,
+                                   on_failed=on_failed)
 
     def pump(self) -> int:
         return self.transport.pump()
@@ -347,7 +499,10 @@ class ProcessCluster:
                         attributes=[Attribute("name", name),
                                     Attribute("host", self.addresses[name][0]),
                                     Attribute("port",
-                                              str(self.addresses[name][1]))])
+                                              str(self.addresses[name][1])),
+                                    Attribute("epoch",
+                                              str(self.fence_epochs.get(
+                                                  name, 0)))])
                 for name in self.node_names]
 
     def add_node(self, name: str | None = None) -> int:
@@ -368,6 +523,7 @@ class ProcessCluster:
         self.addresses[name] = (self.host, free_port(self.host))
         self.transport.addresses[name] = self.addresses[name]
         self.workers[name] = self._spawn(name)
+        self.hosting[name] = name
         self.membership.join(name)
         self.router.keys = type(self.router.keys)(self.app, self.membership)
         roster = self._membership_elements()
@@ -382,29 +538,57 @@ class ProcessCluster:
 
     # -- shutdown ----------------------------------------------------------------
 
-    def drain(self, timeout: float = 30.0) -> None:
-        """Graceful cluster stop: every worker drains and exits 0."""
+    def drain(self, timeout: float = 30.0, stop_timeout: float | None = None,
+              escalation_timeout: float = 5.0) -> dict[str, str]:
+        """Graceful cluster stop, escalating where grace fails.
+
+        Per worker: the ``stop`` control RPC (graceful drain, exit 0);
+        if that times out or the process ignores it, SIGTERM with a
+        bounded wait; if even that is ignored (a wedged worker),
+        SIGKILL.  Every child is always reaped.  Returns the map of
+        workers that needed escalation and how far it went
+        (``stop-failed`` / ``sigterm`` / ``sigkill``); raises only for
+        workers that exited nonzero *without* being escalated.
+        """
+        escalated: dict[str, str] = {}
         for name, worker in list(self.workers.items()):
             if worker.proc.poll() is None:
-                self._rpc(name, "stop", timeout=timeout)
-        for worker in self.workers.values():
+                try:
+                    self._rpc(name, "stop",
+                              timeout=stop_timeout or timeout)
+                except err.EngineError:
+                    escalated[name] = "stop-failed"
+        for name, worker in self.workers.items():
+            wait = escalation_timeout if name in escalated else timeout
             try:
-                worker.proc.wait(timeout=timeout)
+                worker.proc.wait(timeout=wait)
             except subprocess.TimeoutExpired:
-                worker.proc.kill()
-                worker.proc.wait()
-                raise err.EngineError(
-                    f"worker {worker.name!r} did not drain within "
-                    f"{timeout}s")
-            if worker.proc.returncode != 0:
+                worker.proc.terminate()
+                escalated[name] = "sigterm"
+                try:
+                    worker.proc.wait(timeout=escalation_timeout)
+                except subprocess.TimeoutExpired:
+                    worker.proc.kill()
+                    escalated[name] = "sigkill"
+                    worker.proc.wait()
+        for name, worker in self.workers.items():
+            if worker.proc.returncode != 0 and name not in escalated:
                 raise err.EngineError(worker.failure_detail())
+        self.drain_escalations = escalated
+        return escalated
+
+    def _all_spawned(self) -> list[WorkerProcess]:
+        out = list(getattr(self, "workers", {}).values())
+        out.extend(getattr(self, "zombies", {}).values())
+        out.extend(getattr(self, "failed_workers", {}).values())
+        return out
 
     def close(self) -> None:
         """Tear everything down, forcefully if needed."""
-        for worker in getattr(self, "workers", {}).values():
+        for worker in self._all_spawned():
             if worker.proc.poll() is None:
                 worker.proc.terminate()
-        for worker in getattr(self, "workers", {}).values():
+        for worker in self._all_spawned():
             try:
                 worker.proc.wait(timeout=5.0)
             except subprocess.TimeoutExpired:

@@ -34,12 +34,14 @@ never loses, matching WS-RM and the rebalancer's stance).
 from __future__ import annotations
 
 import itertools
+import os
 import socket
 import threading
 import time
 from collections import deque
-from typing import Optional
+from typing import Callable, Optional
 
+from ..backoff import policy_from_env
 from ..network.base import (DISCONNECTED, TIMEOUT, Handler, OnDelivered,
                             OnFailed, Transport, collision_error,
                             endpoint_node)
@@ -47,6 +49,68 @@ from ..xmldm import Document, parse, serialize
 from .wire import WireError, recv_frame, send_frame
 
 Address = tuple[str, int]
+
+#: Refused-connect retry budget before a dial maps to the §3.6
+#: ``disconnectedTransport`` marker (DEMAQ_CONNECT_RETRIES): failover
+#: and worker boot leave a listener down for a few milliseconds, and a
+#: single refused connect should not condemn the endpoint.
+DEFAULT_CONNECT_RETRIES = 3
+
+
+class ChaosPlan:
+    """Deterministic sender-side frame fault injection.
+
+    Budgets are consumed frame by frame in a fixed order — the first
+    ``drop`` outbound frames are discarded (the sender's ack deadline
+    turns each into ``deliveryTimeout``), the next ``duplicate`` are
+    written twice, the next ``delay`` are written ``delay_seconds``
+    late (later frames overtake them: genuine reordering).  Determinism
+    is the point: a test states exactly which frames misbehave.
+
+    Built from the environment (``DEMAQ_CHAOS_DROP`` /
+    ``DEMAQ_CHAOS_DUP`` / ``DEMAQ_CHAOS_DELAY`` /
+    ``DEMAQ_CHAOS_DELAY_SECONDS``) for worker processes, or assigned
+    directly to ``SocketTransport.chaos`` by tests.
+    """
+
+    def __init__(self, drop: int = 0, duplicate: int = 0, delay: int = 0,
+                 delay_seconds: float = 0.01):
+        self._lock = threading.Lock()
+        self.drop_budget = drop
+        self.dup_budget = duplicate
+        self.delay_budget = delay
+        self.delay_seconds = delay_seconds
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def next_action(self) -> str | None:
+        with self._lock:
+            if self.drop_budget > 0:
+                self.drop_budget -= 1
+                self.dropped += 1
+                return "drop"
+            if self.dup_budget > 0:
+                self.dup_budget -= 1
+                self.duplicated += 1
+                return "dup"
+            if self.delay_budget > 0:
+                self.delay_budget -= 1
+                self.delayed += 1
+                return "delay"
+        return None
+
+    @classmethod
+    def from_env(cls) -> "ChaosPlan | None":
+        drop = int(os.environ.get("DEMAQ_CHAOS_DROP", "0") or 0)
+        dup = int(os.environ.get("DEMAQ_CHAOS_DUP", "0") or 0)
+        delay = int(os.environ.get("DEMAQ_CHAOS_DELAY", "0") or 0)
+        if not (drop or dup or delay):
+            return None
+        seconds = float(os.environ.get("DEMAQ_CHAOS_DELAY_SECONDS",
+                                       "0.01") or 0.01)
+        return cls(drop=drop, duplicate=dup, delay=delay,
+                   delay_seconds=seconds)
 
 
 class _Peer:
@@ -102,6 +166,18 @@ class SocketTransport(Transport):
         self.addresses = dict(addresses)
         self.ack_timeout = ack_timeout
         self.connect_timeout = connect_timeout
+        #: Fault injection for outbound frames (None = no chaos).
+        self.chaos: ChaosPlan | None = ChaosPlan.from_env()
+        #: Full-jitter budget for refused connects (PR 8 backoff helper).
+        self.connect_backoff = policy_from_env("DEMAQ_CONNECT_BACKOFF",
+                                               default_base=0.01, cap=0.08)
+        raw_retries = os.environ.get("DEMAQ_CONNECT_RETRIES", "")
+        self.connect_retries = int(raw_retries) if raw_retries \
+            else DEFAULT_CONNECT_RETRIES
+        self.connect_retry_sleeps = 0
+        #: Replication fast path: ``repl`` frames are handed to this
+        #: callable on the *reader* thread (see repl_send).
+        self._repl_handler: Callable[[dict], dict | None] | None = None
 
         self._mutex = threading.Lock()
         #: serializes concurrent pump() callers (e.g. an HTTP gateway
@@ -251,23 +327,49 @@ class SocketTransport(Transport):
             except OSError:
                 return False
             try:
-                with peer.write_lock:
-                    send_frame(peer.sock, frame)
-                with self._mutex:
-                    peer.pending_ids.add(frame["id"])
-                pending.peer = peer
-                return True
+                if self._write_frame(peer, frame):
+                    with self._mutex:
+                        peer.pending_ids.add(frame["id"])
+                    pending.peer = peer
+                    return True
             except (OSError, WireError):
                 self._drop_peer(peer)
         return False
+
+    def _write_frame(self, peer: _Peer, frame: dict) -> bool:
+        """Write one frame, applying any chaos plan on the way out.
+
+        A dropped frame still reports True — the loss must look like
+        the network ate it, so the sender's ack deadline (not an error
+        path) discovers it.  Delayed frames are written by a timer so
+        later frames genuinely overtake them.
+        """
+        action = self.chaos.next_action() if self.chaos is not None else None
+        if action == "drop":
+            return True
+        if action == "delay":
+            def later() -> None:
+                try:
+                    with peer.write_lock:
+                        send_frame(peer.sock, frame)
+                except (OSError, WireError):
+                    pass    # sender's deadline covers the loss
+            timer = threading.Timer(self.chaos.delay_seconds, later)
+            timer.daemon = True
+            timer.start()
+            return True
+        with peer.write_lock:
+            send_frame(peer.sock, frame)
+            if action == "dup":
+                send_frame(peer.sock, frame)
+        return True
 
     def _peer(self, owner: str, fresh: bool = False) -> _Peer:
         with self._mutex:
             peer = self._peers.get(owner)
             if peer is not None and peer.alive and not fresh:
                 return peer
-        sock = socket.create_connection(self.addresses[owner],
-                                        timeout=self.connect_timeout)
+        sock = self._dial(owner)
         sock.settimeout(None)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         peer = _Peer(owner, sock)
@@ -279,6 +381,27 @@ class SocketTransport(Transport):
         self._spawn(lambda: self._reader(peer.sock, peer),
                     f"netio-peer-{self.node}-{owner}")
         return peer
+
+    def _dial(self, owner: str) -> socket.socket:
+        """Connect to *owner* with a small full-jitter retry budget.
+
+        A refused connect during worker boot or a failover window is
+        transient — the listener is milliseconds away from being back.
+        Only connection-refused/reset retries; anything else (timeout,
+        unroutable) propagates immediately and maps to
+        ``disconnectedTransport`` at the caller.
+        """
+        attempts = max(1, self.connect_retries)
+        for attempt in range(1, attempts + 1):
+            try:
+                return socket.create_connection(
+                    self.addresses[owner], timeout=self.connect_timeout)
+            except (ConnectionRefusedError, ConnectionResetError):
+                if attempt >= attempts:
+                    raise
+                self.connect_retry_sleeps += 1
+                self.connect_backoff.sleep(attempt)
+        raise OSError(f"unreachable: {owner}")   # pragma: no cover
 
     def _drop_peer(self, peer: _Peer) -> None:
         """Retire a dead outbound connection; fail its in-flight sends."""
@@ -299,6 +422,61 @@ class SocketTransport(Transport):
         pending = _PendingSend(on_delivered, on_failed, 0.0, None)
         with self._mutex:
             self._events.append(("complete", pending, ok, marker))
+
+    # -- replication fast path -------------------------------------------------
+
+    def set_repl_handler(self,
+                         handler: Callable[[dict], dict | None]) -> None:
+        """Install the handler for inbound ``repl`` frames.
+
+        Unlike envelope delivery, replication frames bypass the event
+        queue and run on the *reader* thread (the WAL-receiver model):
+        ingest commits execute inside :meth:`pump` holding the pump
+        lock, and a ``replica-ack`` commit waiting there for an
+        acknowledgement would deadlock if acks also needed the pump.
+        The handler's return value (ack or fence) is written straight
+        back on the same connection.
+        """
+        self._repl_handler = handler
+
+    def repl_send(self, node: str, frame: dict) -> bool:
+        """Write one replication frame to *node*; True if it left.
+
+        Fire-and-forget at the transport level — the replication
+        protocol has its own acknowledgement (LSN acks riding back as
+        ``repl`` frames), so there is no pending-send bookkeeping and
+        no ack deadline here.
+        """
+        if node == self.node or node not in self.addresses:
+            return False
+        frame = dict(frame)
+        frame["kind"] = "repl"
+        for attempt in (0, 1):
+            try:
+                peer = self._peer(node, fresh=attempt > 0)
+            except OSError:
+                return False
+            try:
+                return self._write_frame(peer, frame)
+            except (OSError, WireError):
+                self._drop_peer(peer)
+        return False
+
+    def _on_repl_frame(self, frame: dict, conn, write_lock) -> None:
+        handler = self._repl_handler
+        if handler is None:
+            return
+        try:
+            reply = handler(frame)
+        except BaseException as exc:    # noqa: BLE001 - reader must survive
+            self.handler_errors.append(exc)
+            return
+        if reply:
+            try:
+                with write_lock:
+                    send_frame(conn, reply)
+            except (OSError, WireError):
+                pass    # shipper resends; the protocol is idempotent
 
     # -- pumping (the only thread that runs handlers/callbacks) ---------------
 
@@ -397,6 +575,8 @@ class SocketTransport(Transport):
                     self._on_send_frame(frame, conn, write_lock)
                 elif kind == "ack":
                     self._on_ack_frame(frame)
+                elif kind == "repl":
+                    self._on_repl_frame(frame, conn, write_lock)
         except (OSError, WireError):
             pass
         finally:

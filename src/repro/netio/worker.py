@@ -16,7 +16,19 @@ Config keys::
                    "gate": ["127.0.0.1", 9100]},
      "nodes": ["node0", "node1"],          # membership (ring order)
      "data_dir": "/path/node0" | null,     # null: in-memory store
-     "server": {"durability": "group", "batch_size": 8, ...}}
+     "server": {"durability": "group", "batch_size": 8, ...},
+     "replication": {"enabled": true, "replicas": 1,
+                     "epochs": {"node0": 0, ...}},    # shard epochs
+     "chaos": {"kill_after_commits": 3,               # SIGKILL self
+               "net": {"drop": 2, "dup": 2, "delay": 2}}}
+
+With replication on (DESIGN.md §9) a worker may *host several shards*:
+its own, plus — after a failover — any shard it was promoted for.  Each
+hosted shard is a full :class:`DemaqServer` (own store, own WAL stream);
+``hosted`` maps shard name → server, and ingest/ctl/gateway endpoints
+are registered per hosted name, so a promoted shard keeps its identity
+on the ring and the router re-targets transparently once the address
+book maps the dead name to this worker's port.
 
 Control protocol — envelopes POSTed to ``demaq://<name>/!ctl`` whose
 body is ``<ctl op="..."/>`` with a ``replyTo`` property; the worker
@@ -25,12 +37,19 @@ answers with a ``<ctlReply .../>`` envelope carrying the request's
 
 * ``status`` — cumulative step counter, processed count, idleness;
 * ``depth`` (attr ``queue``) / ``texts`` (attr ``queue``) — shard reads;
-* ``reconfigure`` — new membership + address book (join/leave);
+* ``reconfigure`` — new membership + address book (join/leave); roster
+  entries may carry per-shard ``epoch`` attributes (fencing);
 * ``rebalance`` — push every unprocessed message that now belongs to a
   different owner to that owner's ``!shard`` ingest over the socket
   transport, deleting locally only after the owner's delivered ack
   (at-least-once; retained processed messages stay until retention
   reclaims them);
+* ``repl-status`` — per-primary standby positions (which failover uses
+  to pick the most-caught-up replica) and shipper state;
+* ``promote`` (attrs ``primary``, ``epoch``) — seal the standby for
+  *primary* and start serving that shard here under the new epoch;
+* ``wedge`` — chaos: reply, then spin forever ignoring SIGTERM (drives
+  the coordinator's stop → SIGTERM → SIGKILL escalation);
 * ``stop`` — graceful drain: finish the in-flight execution step,
   flush the group-commit coordinator, close the store, exit 0.
 
@@ -41,6 +60,7 @@ work on process termination.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import sys
 import time
@@ -55,12 +75,17 @@ from ..obs import (MetricsRegistry, Tracer, configure_json_logging,
 from ..qdl import compile_application
 from ..qdl.model import QueueKind
 from ..queues import RealClock
+from ..replication import ReplicaApplier, WalShipper
 from ..xmldm import Attribute, Document, Element, Text, parse
-from .transport import SocketTransport
+from .transport import ChaosPlan, SocketTransport
 
 CTL_PATH = "!ctl"
 CTL_REPLY_PATH = "!ctl-reply"
 READY_BANNER = "DEMAQ-WORKER-READY"
+
+#: MessageStore kwargs a standby store inherits from the server config.
+_STANDBY_STORE_KEYS = ("durability", "sync_commits", "log_deletes",
+                      "buffer_capacity", "mvcc")
 
 
 def ctl_endpoint(node: str) -> str:
@@ -68,13 +93,13 @@ def ctl_endpoint(node: str) -> str:
 
 
 class Worker:
-    """The per-process node runtime around one DemaqServer."""
+    """The per-process node runtime around one or more DemaqServers."""
 
     def __init__(self, config: dict):
         self.name = config["name"]
         self.app = compile_application(config["app"])
         self.log = get_logger(f"worker.{self.name}")
-        #: one registry/tracer per worker process; the server shares them
+        #: one registry/tracer per worker process; the servers share them
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(node=self.name)
         addresses = {node: (host, int(port))
@@ -82,50 +107,226 @@ class Worker:
         self.transport = SocketTransport(self.name, addresses,
                                          metrics=self.metrics)
         self.clock = RealClock()
+        self.data_dir = config.get("data_dir")
+        self.server_kwargs = dict(config.get("server") or {})
         self.server = DemaqServer(self.app, clock=self.clock,
                                   network=self.transport, name=self.name,
-                                  data_dir=config.get("data_dir"),
+                                  data_dir=self.data_dir,
                                   register_gateways=False,
                                   metrics=self.metrics, tracer=self.tracer,
-                                  **(config.get("server") or {}))
+                                  **self.server_kwargs)
+        #: shard name -> the server hosting it in this process.  Starts
+        #: as just our own shard; promotion adds the shards we adopt.
+        self.hosted: dict[str, DemaqServer] = {self.name: self.server}
         self.nodes: list[str] = list(config.get("nodes") or [self.name])
         self.membership = ClusterMembership(self.app, self.nodes)
         self.keys = RoutingKeys(self.app, self.membership)
-        self._gateway_queues: set[str] = set()
-        self._register_endpoints()
+        #: gateway queue -> hosted shard currently owning its endpoint
+        self._gateway_queues: dict[str, str] = {}
+
+        repl_cfg = config.get("replication") or {}
+        self.replication = bool(repl_cfg.get("enabled"))
+        self.replica_count = int(repl_cfg.get("replicas", 1))
+        #: shard -> authority epoch (fencing); bumped only by promotion.
+        self.shard_epochs: dict[str, int] = {
+            node: int(epoch)
+            for node, epoch in (repl_cfg.get("epochs") or {}).items()}
+        self.appliers: dict[str, ReplicaApplier] = {}
+        self.shippers: dict[str, WalShipper] = {}
+
+        self._register_endpoints(self.name)
+        self._place_gateways()
+        if self.replication:
+            self.transport.set_repl_handler(self._handle_repl)
+            self._sync_replication()
+
+        self._install_chaos(config.get("chaos") or {})
         self.steps = 0
         self.migrated_out = 0
         self._stopping = False
+        self._wedge_requested = False
 
     # -- endpoint wiring ------------------------------------------------------
 
-    def _register_endpoints(self) -> None:
+    def _register_endpoints(self, shard: str) -> None:
+        server = self.hosted[shard]
         for queue in self.app.queues:
-            self.server.register_ingest(node_endpoint(self.name, queue),
-                                        queue)
-        self.transport.register(ctl_endpoint(self.name), self._handle_ctl)
-        self._place_gateways()
+            server.register_ingest(node_endpoint(shard, queue), queue)
+        self.transport.register(
+            ctl_endpoint(shard),
+            lambda envelope, source, s=shard:
+                self._handle_ctl(envelope, source, s))
 
     def _place_gateways(self) -> None:
-        """Own the incoming-gateway endpoints the ring assigns here."""
+        """Own the incoming-gateway endpoints the ring assigns to any
+        shard hosted here (after promotion that includes the dead
+        primary's name — the ring itself never changes)."""
         for queue_def in self.app.queues.values():
             if queue_def.kind is not QueueKind.INCOMING_GATEWAY:
                 continue
             owner = self.membership.ring.owner(queue_def.name)
-            if owner == self.name \
-                    and queue_def.name not in self._gateway_queues:
-                self.server.register_incoming_gateway(queue_def.name)
-                self._gateway_queues.add(queue_def.name)
-            elif owner != self.name \
-                    and queue_def.name in self._gateway_queues:
-                self.server.unregister_incoming_gateway(queue_def.name)
-                self._gateway_queues.discard(queue_def.name)
+            target = owner if owner in self.hosted else None
+            current = self._gateway_queues.get(queue_def.name)
+            if current == target:
+                continue
+            if current is not None:
+                self.hosted[current].unregister_incoming_gateway(
+                    queue_def.name)
+                del self._gateway_queues[queue_def.name]
+            if target is not None:
+                self.hosted[target].register_incoming_gateway(queue_def.name)
+                self._gateway_queues[queue_def.name] = target
+
+    # -- replication wiring ----------------------------------------------------
+
+    def _standby_store_kwargs(self) -> dict:
+        kwargs = {key: value for key, value in self.server_kwargs.items()
+                  if key in _STANDBY_STORE_KEYS}
+        # Standby metrics stay out of the live registry until promotion
+        # makes the shard real (collectors would double-register names).
+        kwargs["metrics"] = MetricsRegistry(enabled=False)
+        return kwargs
+
+    def _sync_replication(self) -> None:
+        """Create/refresh shippers and appliers for the current ring."""
+        ring = self.membership.ring
+        for shard, server in self.hosted.items():
+            replicas = [node for node
+                        in ring.successors(shard, self.replica_count)
+                        if node not in self.hosted]
+            shipper = self.shippers.get(shard)
+            if shipper is None:
+                shipper = WalShipper(
+                    shard, server.store.wal, replicas,
+                    self.transport.repl_send,
+                    epoch=self.shard_epochs.get(shard, 0),
+                    metrics=self.metrics,
+                    on_fenced=lambda s=shard: self._fence_local(s))
+                server.store.group_commit.shipper = shipper
+                self.shippers[shard] = shipper
+                shipper.hello()
+            else:
+                shipper.set_replicas(replicas)
+        for primary in self.nodes:
+            if primary in self.hosted or primary in self.appliers:
+                continue
+            if self.name not in ring.successors(primary, self.replica_count):
+                continue
+            standby_dir = (os.path.join(self.data_dir, "standby", primary)
+                           if self.data_dir else None)
+            self.appliers[primary] = ReplicaApplier(
+                primary, self.name,
+                epoch=self.shard_epochs.get(primary, 0),
+                standby_dir=standby_dir, metrics=self.metrics,
+                store_kwargs=self._standby_store_kwargs())
+
+    def _handle_repl(self, frame: dict) -> dict | None:
+        """Replication frames, dispatched on the transport reader thread."""
+        op = frame.get("op")
+        primary = frame.get("primary")
+        if op in ("append", "hello"):
+            applier = self.appliers.get(primary)
+            if applier is None:
+                if primary in self.hosted and int(frame.get("epoch", 0)) \
+                        < self.shard_epochs.get(primary, 0):
+                    # A zombie pre-failover primary is shipping to the
+                    # node that was *promoted* for its shard: fence it.
+                    return {"kind": "repl", "op": "fence",
+                            "primary": primary, "node": self.name,
+                            "epoch": self.shard_epochs[primary]}
+                return None     # not a replica for this shard
+            return applier.receive(frame)
+        shipper = self.shippers.get(primary)
+        if shipper is not None:
+            if op == "ack":
+                shipper.on_ack(frame)
+            elif op == "fence":
+                shipper.on_fence(frame)
+        return None
+
+    def _fence_local(self, shard: str) -> None:
+        """A newer epoch exists for *shard*: stop accepting its writes."""
+        server = self.hosted.get(shard)
+        if server is not None and not server.fenced:
+            server.fenced = True
+            log_event(self.log, "fenced", node=self.name, shard=shard,
+                      epoch=self.shard_epochs.get(shard, 0))
+
+    def _apply_roster_epochs(self, epochs: dict[str, int]) -> None:
+        for shard, epoch in epochs.items():
+            if epoch <= self.shard_epochs.get(shard, 0):
+                self.shard_epochs.setdefault(shard, epoch)
+                continue
+            self.shard_epochs[shard] = epoch
+            applier = self.appliers.get(shard)
+            if applier is not None:
+                applier.advance_fence(epoch)
+            shipper = self.shippers.get(shard)
+            if shipper is not None and epoch > shipper.epoch:
+                # Someone else now owns this shard: we are the zombie.
+                shipper.fenced = True
+                self._fence_local(shard)
+
+    def _promote(self, primary: str, epoch: int) -> DemaqServer:
+        """Adopt *primary*'s shard: seal the standby, serve its name."""
+        applier = self.appliers.pop(primary)
+        store = applier.promote(epoch)
+        server = DemaqServer(self.app, clock=self.clock,
+                             network=self.transport, name=primary,
+                             register_gateways=False, store=store,
+                             metrics=self.metrics, tracer=self.tracer,
+                             **self.server_kwargs)
+        self.hosted[primary] = server
+        self.shard_epochs[primary] = epoch
+        self._register_endpoints(primary)
+        # The promoted name now resolves to this worker's listener.
+        self.transport.addresses[primary] = (self.transport.host,
+                                             self.transport.port)
+        self._place_gateways()
+        if self.replication:
+            self._sync_replication()
+        log_event(self.log, "promoted", node=self.name, shard=primary,
+                  epoch=epoch, standby_end=store.wal.end_lsn(),
+                  applied=applier.applied_records)
+        return server
+
+    # -- chaos -----------------------------------------------------------------
+
+    def _install_chaos(self, chaos_cfg: dict) -> None:
+        kill_after = int(chaos_cfg.get("kill_after_commits", 0) or 0)
+        if kill_after:
+            state = {"left": kill_after}
+
+            def commit_hook(lsn: int) -> None:
+                # Fires after the COMMIT record is appended and before
+                # any force — the torn-tail window.  SIGKILL: no atexit,
+                # no flush, exactly what a power cut looks like to the
+                # rest of the cluster.
+                state["left"] -= 1
+                if state["left"] <= 0:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            self.server.store.group_commit.commit_hook = commit_hook
+        net = chaos_cfg.get("net") or {}
+        if net:
+            self.transport.chaos = ChaosPlan(
+                drop=int(net.get("drop", 0) or 0),
+                duplicate=int(net.get("dup", 0) or 0),
+                delay=int(net.get("delay", 0) or 0),
+                delay_seconds=float(net.get("delay_seconds", 0.01) or 0.01))
 
     # -- the process main loop ------------------------------------------------
 
     def run(self) -> int:
         while not self._stopping:
-            worked = self.server.step_local()
+            worked = False
+            for server in list(self.hosted.values()):
+                # A fenced shard must not execute rules either: its
+                # outputs would leak into the healthy cluster as sends.
+                if server.fenced:
+                    continue
+                if server.step_local():
+                    worked = True
             delivered = self.transport.pump()
             if worked:
                 # local rule/echo/gateway work only — control-plane
@@ -144,18 +345,25 @@ class Worker:
 
         The main loop already finished its in-flight execution step (a
         whole batch transaction) before getting here; one last pump
-        completes outstanding acknowledgements, then the group-commit
-        coordinator forces the log tail so every acknowledged commit
-        survives the exit.
+        completes outstanding acknowledgements, then each hosted
+        shard's group-commit coordinator forces its log tail so every
+        acknowledged commit survives the exit.  Standby WALs are forced
+        too — a restart of this replica resumes from what it acked.
         """
         self.transport.pump()
-        self.server.store.group_commit.drain()
-        self.server.close()
+        for server in self.hosted.values():
+            server.store.group_commit.drain()
+        for applier in self.appliers.values():
+            applier.flush()
+        for server in self.hosted.values():
+            server.close()
         self.transport.close()
 
     # -- control channel ------------------------------------------------------
 
-    def _handle_ctl(self, envelope: Document, source: str) -> None:
+    def _handle_ctl(self, envelope: Document, source: str,
+                    shard: str | None = None) -> None:
+        server = self.hosted.get(shard or self.name, self.server)
         body, properties = parse_envelope(envelope)
         root = body.root_element
         op = root.attribute_value("op") if root is not None else None
@@ -165,21 +373,21 @@ class Worker:
 
         if op == "status":
             attrs.update(steps=self.steps,
-                         processed=self.server.executor.stats
-                         .messages_processed,
-                         backlog=self.server.scheduler.backlog(),
+                         processed=server.executor.stats.messages_processed,
+                         backlog=server.scheduler.backlog(),
                          pending=self.transport.pending(),
                          migrated=self.migrated_out,
+                         hosted=",".join(sorted(self.hosted)),
                          idle=self._idle())
         elif op == "depth":
             queue = root.attribute_value("queue")
             attrs.update(queue=queue,
-                         n=self.server.store.queue_depth(queue))
+                         n=server.store.queue_depth(queue))
         elif op == "texts":
             queue = root.attribute_value("queue")
             attrs.update(queue=queue)
             children = [Element("t", children=[Text(text)])
-                        for text in self.server.queue_texts(queue)]
+                        for text in server.queue_texts(queue)]
         elif op == "metrics":
             children = [Element("metrics", children=[
                 Text(json.dumps(self.metrics.snapshot()))])]
@@ -194,6 +402,33 @@ class Worker:
             attrs.update(moved=moved)
             log_event(self.log, "rebalance", moved=moved,
                       nodes=list(self.nodes))
+        elif op == "repl-status":
+            for applier in self.appliers.values():
+                status = applier.status()
+                children.append(Element("standby", attributes=[
+                    Attribute(key, str(value))
+                    for key, value in status.items()]))
+            for shipper in self.shippers.values():
+                status = shipper.status()
+                children.append(Element("shipper", attributes=[
+                    Attribute("primary", status["primary"]),
+                    Attribute("epoch", str(status["epoch"])),
+                    Attribute("fenced", str(status["fenced"])),
+                    Attribute("end", str(status["end"])),
+                    Attribute("acked", str(max(
+                        status["acked"].values(), default=0)))]))
+        elif op == "promote":
+            primary = root.attribute_value("primary")
+            epoch = int(root.attribute_value("epoch") or 0)
+            if primary in self.appliers:
+                promoted = self._promote(primary, epoch)
+                attrs.update(primary=primary, epoch=epoch,
+                             end=promoted.store.wal.end_lsn())
+            else:
+                attrs.update(error=f"no standby for {primary!r}")
+        elif op == "wedge":
+            self._wedge_requested = True
+            attrs.update(wedged=True)
         elif op == "stop":
             self.request_stop()
         else:
@@ -208,29 +443,61 @@ class Worker:
                 reply_to, build_envelope(Document([reply]),
                                          {"ctlId": properties.get("ctlId",
                                                                   "")}),
-                source=ctl_endpoint(self.name))
+                source=ctl_endpoint(shard or self.name))
+        if self._wedge_requested:
+            self._wedge()
+
+    def _wedge(self) -> None:    # pragma: no cover - killed by SIGKILL
+        """Chaos: stop responding to everything, including SIGTERM.
+
+        Models a worker that is alive (process exists, port bound) but
+        hung — the drain path cannot RPC it and SIGTERM is ignored, so
+        the coordinator must escalate to SIGKILL.
+        """
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        log_event(self.log, "wedged", node=self.name)
+        while True:
+            time.sleep(60)
 
     def _idle(self) -> bool:
         """No runnable work this instant (future echo timers excluded)."""
-        echo_due = self.server.echo.next_due()
-        return (self.server.scheduler.backlog() == 0
-                and not self.server._pending_sends
-                and self.transport.idle()
-                and (echo_due is None or echo_due > self.clock.now()))
+        now = self.clock.now()
+        for server in self.hosted.values():
+            if server.fenced:
+                continue
+            echo_due = server.echo.next_due()
+            if server.scheduler.backlog() or server._pending_sends \
+                    or (echo_due is not None and echo_due <= now):
+                return False
+        return self.transport.idle()
 
     # -- membership changes over the wire --------------------------------------
 
     def _reconfigure(self, root: Element) -> None:
-        """Adopt a new node list + address book (join/leave)."""
+        """Adopt a new node list + address book (join/leave/failover).
+
+        Roster entries may carry an ``epoch`` attribute per shard: the
+        coordinator distributes authority epochs this way, so a worker
+        that hosts a shard someone else was promoted for fences itself
+        even if it never saw the replica's fence verdict.
+        """
         nodes = [el.attribute_value("name")
                  for el in root.child_elements("node")]
+        epochs: dict[str, int] = {}
         for el in root.child_elements("node"):
-            self.transport.addresses[el.attribute_value("name")] = (
+            name = el.attribute_value("name")
+            self.transport.addresses[name] = (
                 el.attribute_value("host"), int(el.attribute_value("port")))
+            raw_epoch = el.attribute_value("epoch")
+            if raw_epoch is not None:
+                epochs[name] = int(raw_epoch)
         self.nodes = nodes
         self.membership = ClusterMembership(self.app, nodes)
         self.keys = RoutingKeys(self.app, self.membership)
+        self._apply_roster_epochs(epochs)
         self._place_gateways()
+        if self.replication:
+            self._sync_replication()
 
     def _rebalance_out(self) -> int:
         """Push every unprocessed message owned elsewhere to its owner.
@@ -242,29 +509,30 @@ class Worker:
         against history is shard-local either way (DESIGN.md §6).
         """
         moved = 0
-        for queue in self.app.queues:
-            for meta in list(self.server.store.queue_messages(queue)):
-                if meta.processed:
-                    continue
-                owner = self._owner_of(queue, meta)
-                if owner == self.name or owner not in self.nodes:
-                    continue
-                payload = self.server.store.body_bytes(meta.msg_id)
-                body = parse(payload.decode("utf-8"))
-                envelope = build_envelope(
-                    body, self._portable_properties(meta.properties))
-                self.transport.send(
-                    node_endpoint(owner, queue), envelope,
-                    source=f"demaq://{self.name}/!rebalance",
-                    on_delivered=lambda msg_id=meta.msg_id:
-                        self._migration_done(msg_id))
-                moved += 1
+        for shard, server in list(self.hosted.items()):
+            for queue in self.app.queues:
+                for meta in list(server.store.queue_messages(queue)):
+                    if meta.processed:
+                        continue
+                    owner = self._owner_of(queue, meta, server)
+                    if owner == shard or owner not in self.nodes:
+                        continue
+                    payload = server.store.body_bytes(meta.msg_id)
+                    body = parse(payload.decode("utf-8"))
+                    envelope = build_envelope(
+                        body, self._portable_properties(meta.properties))
+                    self.transport.send(
+                        node_endpoint(owner, queue), envelope,
+                        source=f"demaq://{shard}/!rebalance",
+                        on_delivered=lambda msg_id=meta.msg_id, s=server:
+                            self._migration_done(s, msg_id))
+                    moved += 1
         return moved
 
-    def _owner_of(self, queue: str, meta) -> str:
+    def _owner_of(self, queue: str, meta, server: DemaqServer) -> str:
         from ..cluster.rebalance import stored_message_owner
         return stored_message_owner(self.membership, self.keys, queue,
-                                    meta, self.server)
+                                    meta, server)
 
     def _portable_properties(self, properties: dict) -> dict:
         """Explicit properties that travel with a migrated message.
@@ -283,14 +551,14 @@ class Worker:
             out[name] = value
         return out
 
-    def _migration_done(self, msg_id: int) -> None:
-        meta = self.server.store.get(msg_id)
+    def _migration_done(self, server: DemaqServer, msg_id: int) -> None:
+        meta = server.store.get(msg_id)
         if meta is None:
             return
-        txn = self.server.store.begin()
+        txn = server.store.begin()
         txn.delete_message(msg_id)
-        self.server.store.commit(txn)
-        self.server.locking.release(txn.txn_id)
+        server.store.commit(txn)
+        server.locking.release(txn.txn_id)
         self.migrated_out += 1
 
 
@@ -303,6 +571,7 @@ def main() -> int:
     log_event(worker.log, "boot", node=worker.name,
               port=worker.transport.port,
               nodes=list(worker.nodes),
+              replication=worker.replication,
               data_dir=config.get("data_dir"))
 
     def on_term(signum, frame):

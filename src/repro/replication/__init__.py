@@ -1,0 +1,54 @@
+"""Shard replication via WAL shipping (DESIGN.md §9).
+
+Each shard's primary streams its WAL byte suffix to R ring-successor
+replicas; a replica applies committed transactions by continuous redo
+into a standby store and acknowledges the byte offset (= LSN) it holds.
+On primary loss the most-caught-up replica is promoted: it truncates
+any torn tail, seals its standby store, and starts serving under a
+bumped shard epoch — the old primary is *fenced* by that epoch, so a
+zombie process can neither ship nor accept writes.
+
+Everything here is transport-agnostic: the shipper talks through a
+``send_fn(replica, frame) -> bool`` callable and the applier consumes
+plain dict frames, so tier-1 tests wire the two directly together
+while the socket cluster rides ``SocketTransport.repl_send``.
+
+Gated behind ``DEMAQ_REPLICATION`` (default off — the unreplicated
+path stays the reference); ``DEMAQ_REPLICA_COUNT`` picks R (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+REPLICATION_ENV = "DEMAQ_REPLICATION"
+REPLICA_COUNT_ENV = "DEMAQ_REPLICA_COUNT"
+
+
+def replication_enabled(default: bool = False) -> bool:
+    """Whether WAL-shipping replication is on (``DEMAQ_REPLICATION``)."""
+    raw = os.environ.get(REPLICATION_ENV, "")
+    if raw == "":
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+def replica_count(default: int = 1) -> int:
+    """How many ring successors receive each shard's WAL stream."""
+    raw = os.environ.get(REPLICA_COUNT_ENV, "")
+    if not raw:
+        return default
+    return max(0, int(raw))
+
+
+from .applier import ReplicaApplier           # noqa: E402
+from .shipper import WalShipper               # noqa: E402
+
+__all__ = [
+    "REPLICATION_ENV",
+    "REPLICA_COUNT_ENV",
+    "ReplicaApplier",
+    "WalShipper",
+    "replica_count",
+    "replication_enabled",
+]

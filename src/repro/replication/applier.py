@@ -1,0 +1,219 @@
+"""The replica-side applier: continuous redo into a standby store.
+
+The applier owns a *standby WAL* that mirrors a byte prefix of the
+primary's log (offsets identical — shipping is a byte-range copy) and a
+*standby store* built over that WAL with continuous redo: as shipped
+bytes complete records, transactions are buffered per txn id and, on
+COMMIT, applied through the store's redo machinery (savepoint-rolled-
+back spans skipped exactly as crash recovery skips them).
+
+Delivery can be duplicated, reordered, or torn (the chaos harness makes
+sure of it); the applier is idempotent against all three:
+
+* a segment starting below the local end is a duplicate — the overlap
+  is trimmed (the bytes are identical, both sides hold the same
+  stream), and anything fully contained is dropped;
+* a segment starting above the local end is a gap — it is refused and
+  the acknowledgement carries the local end, rewinding the shipper;
+* a torn tail (half-shipped record at a crash) is physically truncated
+  the moment a newer epoch's stream arrives, before any new bytes are
+  accepted — redo never saw the torn bytes, so no state is lost.
+
+Epoch fencing: the applier remembers the highest epoch it has seen for
+its shard; frames from an older epoch get a ``fence`` verdict instead
+of an ack, which permanently stops the stale (zombie) shipper.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import threading
+
+from ..storage import wal as walmod
+from ..storage.store import MessageStore
+from ..storage.transactions import advance_txn_ids
+from ..storage.wal import WriteAheadLog
+
+#: Force the standby WAL every this-many applied bytes so a replica
+#: crash re-ships only a bounded suffix (the primary still holds it).
+FLUSH_EVERY_BYTES = 1 * 1024 * 1024
+
+
+class ReplicaApplier:
+    """Applies one primary's shipped WAL stream into a standby store."""
+
+    def __init__(self, primary: str, node: str, epoch: int = 0,
+                 standby_dir: str | None = None,
+                 metrics=None,
+                 store_kwargs: dict | None = None):
+        self.primary = primary
+        self.node = node
+        self.epoch = epoch
+        #: Minimum acceptable stream epoch; frames below it are fenced.
+        self.fence_epoch = epoch
+        self.promoted = False
+        self._lock = threading.RLock()
+        if standby_dir is not None:
+            os.makedirs(standby_dir, exist_ok=True)
+            self.wal = WriteAheadLog(os.path.join(standby_dir, "wal.log"))
+        else:
+            self.wal = WriteAheadLog(None)
+        kwargs = dict(store_kwargs or {})
+        kwargs.setdefault("recover", False)
+        self.store = MessageStore(standby_dir, wal=self.wal, **kwargs)
+        # The standby store must never force or ship on its own while
+        # in standby: redo bypasses commit, so its coordinator is idle
+        # until promotion hands the store to a live server.
+        self._parsed = 0          # byte offset parsed into records
+        self._last_flushed = 0
+        self._txn_buf: dict[int, list] = {}
+        self._max_txn = 0
+        self.applied_records = 0
+        self.fenced_rejects = 0
+        if metrics is not None:
+            self._applied_metric = metrics.counter(
+                "demaq_repl_applied_records_total",
+                "WAL records applied by continuous redo", shard=primary)
+            self._fence_metric = metrics.counter(
+                "demaq_repl_fenced_rejects_total",
+                "Stale-epoch frames refused with a fence verdict",
+                shard=primary)
+            metrics.collect(
+                "demaq_repl_standby_end", self.end_lsn, kind="gauge",
+                help="Byte length of the shipped WAL prefix held",
+                shard=primary)
+        else:
+            self._applied_metric = None
+            self._fence_metric = None
+        # A standby dir may already hold bytes from a previous run of
+        # this replica: fold them in before accepting new segments.
+        with self._lock:
+            self.wal.truncate_torn_tail()
+            self._advance_redo()
+
+    # -- the shipped-frame protocol ---------------------------------------------
+
+    def receive(self, frame: dict) -> dict | None:
+        """Handle one shipper frame; returns the reply frame (ack/fence)."""
+        with self._lock:
+            epoch = int(frame.get("epoch", 0))
+            if epoch < self.fence_epoch or self.promoted:
+                self.fenced_rejects += 1
+                if self._fence_metric is not None:
+                    self._fence_metric.inc()
+                return {"kind": "repl", "op": "fence",
+                        "primary": self.primary, "node": self.node,
+                        "epoch": max(self.fence_epoch,
+                                     self.epoch + (1 if self.promoted
+                                                   else 0))}
+            if epoch > self.epoch:
+                # A newer authority for this shard: heal any torn tail
+                # left by the old stream before taking new bytes (the
+                # new primary's prefix covers ours — DESIGN.md §9).
+                self.wal.truncate_torn_tail()
+                self.epoch = epoch
+                self.fence_epoch = max(self.fence_epoch, epoch)
+            if frame.get("op") == "hello":
+                return self._ack()
+            start = int(frame.get("start", 0))
+            raw = base64.b64decode(frame.get("data", ""))
+            local_end = self.wal.end_lsn()
+            if start > local_end:
+                # Gap (dropped/reordered frame): refuse, report our
+                # end so the shipper rewinds and resends the suffix.
+                return self._ack()
+            if start < local_end:
+                overlap = local_end - start
+                if overlap >= len(raw):
+                    return self._ack()      # pure duplicate
+                raw = raw[overlap:]
+            self.wal.append_bytes(raw)
+            self._advance_redo()
+            if self.wal.end_lsn() - self._last_flushed >= FLUSH_EVERY_BYTES:
+                self.flush()
+            return self._ack()
+
+    def _ack(self) -> dict:
+        return {"kind": "repl", "op": "ack", "primary": self.primary,
+                "node": self.node, "epoch": self.epoch,
+                "lsn": self.wal.end_lsn()}
+
+    # -- continuous redo ---------------------------------------------------------
+
+    def _advance_redo(self) -> None:
+        """Parse newly complete records and apply committed txns."""
+        for record, end in self.wal.scan(self._parsed):
+            self._parsed = end
+            txn = record.txn
+            if txn is None:
+                continue        # CHECKPOINT and friends: no redo work
+            self._max_txn = max(self._max_txn, txn)
+            buffered = self._txn_buf.setdefault(txn, [])
+            buffered.append(record)
+            if record.type == walmod.ABORT:
+                del self._txn_buf[txn]
+            elif record.type == walmod.COMMIT:
+                self._apply_committed(self._txn_buf.pop(txn))
+
+    def _apply_committed(self, records: list) -> None:
+        # Reuse recovery's rolled-back-span analysis so savepoint
+        # semantics match crash replay exactly (batch members that
+        # rolled back alone are logged but dead).
+        analysis = walmod.analyze_records(iter(records))
+        for record in records:
+            if analysis.is_rolled_back(record):
+                continue
+            self.store.redo_record(record)
+            self.applied_records += 1
+            if self._applied_metric is not None:
+                self._applied_metric.inc()
+
+    # -- standby state -----------------------------------------------------------
+
+    def end_lsn(self) -> int:
+        """Bytes of the primary's stream held (the LSN we ack)."""
+        return self.wal.end_lsn()
+
+    def flush(self) -> None:
+        """Force the standby WAL (bounds re-ship after a replica crash)."""
+        self.wal.flush()
+        self._last_flushed = self.wal.end_lsn()
+
+    def advance_fence(self, epoch: int) -> None:
+        """Raise the minimum acceptable epoch (roster reconfiguration)."""
+        with self._lock:
+            self.fence_epoch = max(self.fence_epoch, epoch)
+
+    # -- promotion ---------------------------------------------------------------
+
+    def promote(self, epoch: int) -> MessageStore:
+        """Seal the standby and return its store, ready to serve.
+
+        Promotion rules (DESIGN.md §9): truncate any torn tail (only
+        ever incomplete bytes redo never applied), drop buffered
+        transactions that never committed (losers by definition — their
+        COMMIT is not in the prefix), advance the txn-id counter past
+        everything seen so new commits cannot collide with old ids,
+        force the prefix durable, and fence every older epoch.
+        """
+        with self._lock:
+            self.epoch = epoch
+            self.fence_epoch = max(self.fence_epoch, epoch)
+            self.wal.truncate_torn_tail()
+            self._parsed = min(self._parsed, self.wal.end_lsn())
+            self._advance_redo()
+            self._txn_buf.clear()
+            if self._max_txn:
+                advance_txn_ids(self._max_txn + 1)
+            self.store.finish_redo()
+            self.wal.flush()
+            self.promoted = True
+            return self.store
+
+    def status(self) -> dict:
+        with self._lock:
+            return {"primary": self.primary, "epoch": self.epoch,
+                    "fence_epoch": self.fence_epoch, "end": self.end_lsn(),
+                    "applied": self.applied_records,
+                    "promoted": self.promoted}

@@ -1,0 +1,203 @@
+"""The primary-side WAL shipper.
+
+Rides the group-commit force path: :meth:`WalShipper.ship` is called by
+the :class:`~repro.storage.groupcommit.GroupCommitCoordinator` on every
+commit (all durability policies — replicas stream continuously), and
+``replica-ack`` commits additionally block in :meth:`await_acked` until
+one replica confirms it holds the commit's bytes in memory.
+
+LSNs are WAL byte offsets, so the protocol is a byte-suffix copy: each
+replica tracks ``sent`` and ``acked`` offsets; an acknowledgement below
+``sent`` is the replica reporting a gap (dropped or reordered frame)
+and simply rewinds ``sent`` so the suffix is resent.  Frames carry the
+shard's *epoch*; a replica that has seen a newer epoch replies with a
+fence verdict, which permanently stops this shipper — the zombie-
+primary half of epoch fencing (DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import base64
+import threading
+from typing import Callable
+
+from ..storage.wal import WriteAheadLog
+
+#: Cap on the byte payload of one shipped frame; bigger suffixes are
+#: streamed in consecutive frames (keeps frame sizes bounded under the
+#: transport's length-prefixed wire format).
+MAX_SEGMENT_BYTES = 512 * 1024
+
+
+class WalShipper:
+    """Streams one shard's WAL suffix to its replica set."""
+
+    def __init__(self, primary: str, wal: WriteAheadLog,
+                 replicas: list[str],
+                 send_fn: Callable[[str, dict], bool],
+                 epoch: int = 0,
+                 metrics=None,
+                 on_fenced: Callable[[], None] | None = None):
+        self.primary = primary
+        self.wal = wal
+        self.replicas = list(replicas)
+        self.send_fn = send_fn
+        self.epoch = epoch
+        self.on_fenced = on_fenced
+        self._cond = threading.Condition()
+        self._sent = {replica: 0 for replica in self.replicas}
+        self._acked = {replica: 0 for replica in self.replicas}
+        self.fenced = False
+        self.ship_failures = 0
+        if metrics is not None:
+            self._shipped_bytes = metrics.counter(
+                "demaq_repl_shipped_bytes_total",
+                "WAL bytes shipped to replicas", shard=primary)
+            self._acks = metrics.counter(
+                "demaq_repl_acks_total",
+                "Replica acknowledgements received", shard=primary)
+            metrics.collect(
+                "demaq_repl_lag_bytes", self.lag_bytes, kind="gauge",
+                help="WAL bytes not yet acknowledged by the most-caught-up "
+                     "replica", shard=primary)
+        else:
+            self._shipped_bytes = None
+            self._acks = None
+
+    # -- primary side ------------------------------------------------------------
+
+    def set_replicas(self, replicas: list[str]) -> None:
+        """Adopt a new replica set (membership reconfiguration)."""
+        with self._cond:
+            fresh = list(replicas)
+            for replica in fresh:
+                self._sent.setdefault(replica, 0)
+                self._acked.setdefault(replica, 0)
+            for stale in set(self._sent) - set(fresh):
+                del self._sent[stale]
+                del self._acked[stale]
+            self.replicas = fresh
+            self._cond.notify_all()
+
+    def ship(self, lsn: int | None = None) -> None:
+        """Send every replica the WAL suffix it is missing.
+
+        Never blocks on the network beyond the transport's own write;
+        a failed send leaves ``sent`` untouched so the suffix goes out
+        again on the next commit (or :meth:`hello` probe).  *lsn* is
+        advisory — shipping always streams through the current log end.
+        """
+        with self._cond:
+            if self.fenced or not self.replicas:
+                return
+            end = self.wal.end_lsn()
+            plan = [(replica, sent) for replica, sent in self._sent.items()
+                    if sent < end]
+        for replica, sent in plan:
+            while sent < end:
+                chunk_end = min(end, sent + MAX_SEGMENT_BYTES)
+                raw = self.wal.read_bytes(sent, chunk_end)
+                if not raw:
+                    break
+                frame = {"kind": "repl", "op": "append",
+                         "primary": self.primary, "epoch": self.epoch,
+                         "start": sent,
+                         "data": base64.b64encode(raw).decode("ascii")}
+                try:
+                    delivered = self.send_fn(replica, frame)
+                except Exception:
+                    delivered = False
+                if not delivered:
+                    with self._cond:
+                        self.ship_failures += 1
+                    break
+                if self._shipped_bytes is not None:
+                    self._shipped_bytes.inc(len(raw))
+                with self._cond:
+                    if self.fenced:
+                        return
+                    if self._sent.get(replica) != sent:
+                        # An ack rewound this replica mid-send (gap
+                        # report) or the replica left the set: stop and
+                        # let the next ship re-plan from the new mark.
+                        break
+                    self._sent[replica] = sent + len(raw)
+                sent += len(raw)
+
+    def hello(self) -> None:
+        """Probe every replica: elicits an ack (or a fence verdict).
+
+        Used at boot/promotion so the shipper learns each replica's
+        position — and so a restarted zombie discovers immediately that
+        its epoch is stale.
+        """
+        frame = {"kind": "repl", "op": "hello",
+                 "primary": self.primary, "epoch": self.epoch}
+        for replica in list(self.replicas):
+            try:
+                self.send_fn(replica, dict(frame))
+            except Exception:
+                with self._cond:
+                    self.ship_failures += 1
+
+    def await_acked(self, lsn: int, timeout: float) -> bool:
+        """Block until some replica has acknowledged through *lsn*.
+
+        Returns False on timeout, on a fenced shipper, or with no
+        replicas configured — the caller falls back to a local force.
+        """
+        with self._cond:
+            if not self.replicas:
+                return False
+            return self._cond.wait_for(
+                lambda: self.fenced
+                or max(self._acked.values(), default=0) >= lsn,
+                timeout=timeout) and not self.fenced
+
+    # -- replica-side frames (delivered on transport reader threads) -------------
+
+    def on_ack(self, frame: dict) -> None:
+        replica = frame.get("node")
+        lsn = int(frame.get("lsn", 0))
+        with self._cond:
+            if replica not in self._sent:
+                return
+            if self._acks is not None:
+                self._acks.inc()
+            self._acked[replica] = max(self._acked[replica], lsn)
+            if lsn < self._sent[replica]:
+                # The replica reports a gap (drop/reorder): rewind so
+                # the next ship resends the suffix it is missing.
+                self._sent[replica] = lsn
+            self._cond.notify_all()
+
+    def on_fence(self, frame: dict) -> None:
+        """A replica saw a newer epoch for this shard: stop forever."""
+        newer = int(frame.get("epoch", self.epoch + 1))
+        callback = None
+        with self._cond:
+            if newer <= self.epoch or self.fenced:
+                return
+            self.fenced = True
+            callback = self.on_fenced
+            self._cond.notify_all()
+        if callback is not None:
+            callback()
+
+    # -- introspection -----------------------------------------------------------
+
+    def acked_lsn(self) -> int:
+        """Highest LSN any replica has acknowledged."""
+        with self._cond:
+            return max(self._acked.values(), default=0)
+
+    def lag_bytes(self) -> int:
+        with self._cond:
+            best = max(self._acked.values(), default=0)
+        return max(0, self.wal.end_lsn() - best)
+
+    def status(self) -> dict:
+        with self._cond:
+            return {"primary": self.primary, "epoch": self.epoch,
+                    "fenced": self.fenced, "end": self.wal.end_lsn(),
+                    "sent": dict(self._sent), "acked": dict(self._acked)}

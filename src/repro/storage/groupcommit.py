@@ -25,6 +25,21 @@ Three policies, selected via ``MessageStore(durability=...)`` or the
 * ``async`` — commits acknowledge immediately and a background flusher
   thread forces the tail; a crash loses at most the unforced log tail
   (which torn-tail truncation discards cleanly on recovery).
+* ``replica-ack`` — the replication policy (DESIGN.md §9): the commit
+  acknowledges once at least one WAL-shipping replica holds the record
+  in memory, and the *local* fsync is deferred to the async flusher.
+  Durability becomes "on two nodes" instead of "on this disk" — a
+  single-node crash loses nothing acknowledged, and the acknowledgement
+  can beat a local fsync.  With no attached shipper, no live replica,
+  or a fenced epoch, every commit falls back to an inline force, so the
+  policy is never weaker than ``sync`` on a lone node.
+
+A coordinator optionally carries a ``shipper`` (attached by the worker
+when replication is on): every committed LSN is offered to it under
+*all* policies so replicas stream continuously, but only ``replica-ack``
+blocks on the acknowledgement.  ``commit_hook`` is the fault-injection
+seam: it fires after the COMMIT record is appended and *before* any
+force — exactly the torn-tail window the chaos harness SIGKILLs in.
 """
 
 from __future__ import annotations
@@ -35,7 +50,7 @@ import time
 from .errors import StorageError
 from .wal import WriteAheadLog
 
-POLICIES = ("sync", "group", "async")
+POLICIES = ("sync", "group", "async", "replica-ack")
 
 #: How long an idle async flusher thread lingers before exiting (it
 #: restarts on the next commit); bounds thread buildup across many
@@ -52,6 +67,8 @@ class GroupCommitStatistics:
         self.leader_forces = 0      # forces issued by a group leader
         self.inline_forces = 0      # sync forces + max_wait bailouts
         self.background_forces = 0  # forces issued by the async flusher
+        self.replica_acks = 0       # commits acknowledged by a replica
+        self.replica_ack_fallbacks = 0  # replica-ack commits forced inline
 
 
 class GroupCommitCoordinator:
@@ -73,6 +90,15 @@ class GroupCommitCoordinator:
         self._thread: threading.Thread | None = None
         self._closed = False
         self._paused = False
+        #: WAL shipper attached by the worker when replication is on;
+        #: consulted on every commit (see module docstring).
+        self.shipper = None
+        #: Fault-injection hook: called with the commit LSN after the
+        #: COMMIT append, before any force (chaos kill point).
+        self.commit_hook = None
+        #: How long a replica-ack commit waits for an acknowledgement
+        #: before falling back to an inline force.
+        self.replica_ack_wait = 0.25
 
     # -- the commit-side API ----------------------------------------------------
 
@@ -88,6 +114,18 @@ class GroupCommitCoordinator:
         # never tear (the WAL's own counters are guarded the same way).
         with self._cond:
             self.stats.commits += 1
+        hook = self.commit_hook
+        if hook is not None:
+            hook(lsn)
+        shipper = self.shipper
+        if shipper is not None:
+            try:
+                shipper.ship(lsn)
+            except Exception:   # shipping must never break local commit
+                shipper = None
+        if self.policy == "replica-ack":
+            self._commit_replica_ack(lsn, shipper)
+            return
         if self.policy == "sync":
             self.wal.flush_to(lsn)
             with self._cond:
@@ -103,6 +141,30 @@ class GroupCommitCoordinator:
                 self._cond.notify_all()
             return
         self._commit_group(lsn)
+
+    def _commit_replica_ack(self, lsn: int, shipper) -> None:
+        """Ack once a replica holds *lsn*; defer the local force.
+
+        The deferred force rides the async flusher so the local disk
+        still catches up promptly — ``replica-ack`` changes *when the
+        caller is released*, not whether the log gets forced.
+        """
+        if shipper is not None and shipper.await_acked(
+                lsn, self.replica_ack_wait):
+            with self._cond:
+                self.stats.replica_acks += 1
+                if not self._closed:
+                    if lsn > self._requested_lsn:
+                        self._requested_lsn = lsn
+                    self._ensure_flusher()
+                    self._cond.notify_all()
+                    return
+        # No shipper, no replica, fenced, or the ack timed out: never
+        # be weaker than sync — force inline before acknowledging.
+        self.wal.flush_to(lsn)
+        with self._cond:
+            self.stats.inline_forces += 1
+            self.stats.replica_ack_fallbacks += 1
 
     def _commit_group(self, lsn: int) -> None:
         deadline = time.monotonic() + self.max_wait

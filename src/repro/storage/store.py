@@ -52,7 +52,7 @@ from .groupcommit import GroupCommitCoordinator
 from .heap import RID, RecordHeap
 from .transactions import (DeleteOp, InsertOp, MarkProcessedOp, RollbackToOp,
                            SavepointOp, SliceResetOp, Transaction,
-                           TransactionManager, _replay)
+                           TransactionManager, _replay, advance_txn_ids)
 from .btree import BPlusTree
 from . import wal as walmod
 from .wal import WriteAheadLog
@@ -161,7 +161,8 @@ class MessageStore:
                  durability: str | None = None,
                  group_commit_max_wait: float = 0.05,
                  metrics: MetricsRegistry | None = None,
-                 mvcc: bool | None = None):
+                 mvcc: bool | None = None,
+                 wal: WriteAheadLog | None = None):
         self.directory = directory
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sync_commits = sync_commits
@@ -193,6 +194,13 @@ class MessageStore:
             os.makedirs(directory, exist_ok=True)
             self._disk = FileDiskManager(os.path.join(directory, "pages.dat"))
             self.wal = WriteAheadLog(os.path.join(directory, "wal.log"))
+        if wal is not None:
+            # Replication standby: the store adopts a WAL that already
+            # holds shipped bytes, so a promoted server keeps appending
+            # to the same byte stream the primary's replicas hold a
+            # prefix of (offsets never restart — DESIGN.md §9).
+            self.wal.close()
+            self.wal = wal
         self.group_commit = GroupCommitCoordinator(
             self.wal, durability, max_wait=group_commit_max_wait)
         self.buffer = BufferManager(self._disk, buffer_capacity,
@@ -1088,6 +1096,16 @@ class MessageStore:
                 self._load_snapshot(snapshot)
                 replay_from = checkpoint.data["wal_end"]
 
+            # Txn ids restart at 1 per process; move the counter past
+            # every id in the log so a new COMMIT cannot recycle an old
+            # loser's id and resurrect its records on the next replay.
+            max_txn = 0
+            for record in self.wal.records():
+                if record.txn is not None and record.txn > max_txn:
+                    max_txn = record.txn
+            if max_txn:
+                advance_txn_ids(max_txn + 1)
+
             analysis = walmod.analyze_records(self.wal.records(replay_from))
             replayed = 0
             for record in self.wal.records(replay_from):
@@ -1140,6 +1158,32 @@ class MessageStore:
                 self._slice_index.insert(
                     (slicing, key, lifetime, meta.seqno), meta.msg_id)
             self._index_properties(meta)
+
+    def redo_record(self, record) -> None:
+        """Apply one committed WAL record — replica continuous redo.
+
+        The applier feeds records of committed transactions (minus
+        rolled-back savepoint spans, which it analyzes itself) in log
+        order; idempotence comes from the same guards recovery relies
+        on (inserts keyed by msg_id, processed/delete marks absorbing
+        repeats).
+        """
+        with self._mutex:
+            self._redo(record)
+
+    def finish_redo(self) -> None:
+        """Seal a continuous-redo standby store for live service.
+
+        Mirrors the tail of :meth:`recover`: snapshot visibility moves
+        to the log end and anything dead below the fresh horizon is
+        purged, so a promoted replica starts from a compacted store.
+        """
+        with self._mutex:
+            self._visible_lsn = max(self._visible_lsn, self.wal.end_lsn())
+            if not self.log_deletes:
+                self.collect_garbage()
+            if self.mvcc:
+                self.purge_dead_versions()
 
     def _redo(self, record) -> None:
         # Version tags replay from the record's own LSN — that is what

@@ -26,6 +26,20 @@ from .errors import TransactionError
 _TXN_IDS = itertools.count(1)
 
 
+def advance_txn_ids(minimum: int) -> None:
+    """Ensure future txn ids start at or above *minimum*.
+
+    Txn ids are process-local and restart at 1, but WAL records key
+    redo analysis by txn id: after recovery (or replica promotion) a
+    fresh process appending COMMIT with a recycled id would resurrect
+    an old loser transaction's records on the next replay.  Recovery
+    calls this with (max txn id seen in the log) + 1.
+    """
+    global _TXN_IDS
+    current = next(_TXN_IDS)
+    _TXN_IDS = itertools.count(max(current, minimum))
+
+
 class TxnState(Enum):
     ACTIVE = "active"
     COMMITTED = "committed"

@@ -105,6 +105,44 @@ class WriteAheadLog:
         with self._lock:
             return self._size
 
+    # -- raw byte transfer (replication) ---------------------------------------
+
+    def read_bytes(self, start: int, end: int) -> bytes:
+        """Raw log bytes in ``[start, end)`` — the WAL-shipping payload.
+
+        LSNs are byte offsets, so a replica holding the byte prefix
+        ``[0, n)`` holds exactly the records below LSN *n*; shipping is
+        a plain byte-range copy with no re-encoding.
+        """
+        with self._lock:
+            end = min(end, self._size)
+            if start >= end:
+                return b""
+            if self._file is not None:
+                self._file.flush()
+                self._file.seek(start)
+                return self._file.read(end - start)
+            return bytes(self._buffer[start:end])
+
+    def append_bytes(self, raw: bytes) -> int:
+        """Append already-framed record bytes (replica standby apply).
+
+        The shipped bytes were framed by the primary's :meth:`append`,
+        so offsets inside them stay aligned with the primary's LSNs as
+        long as they are appended contiguously — the applier guarantees
+        that by trimming duplicates and acking gaps.  Returns the new
+        end LSN.
+        """
+        if not raw:
+            return self.end_lsn()
+        with self._lock:
+            if self._file is not None:
+                self._file.write(raw)
+            else:
+                self._buffer.extend(raw)
+            self._size += len(raw)
+            return self._size
+
     # -- durability ----------------------------------------------------------------
 
     def flush(self) -> None:
@@ -168,6 +206,14 @@ class WriteAheadLog:
         """Iterate records from *from_lsn*; stops cleanly at a torn tail."""
         for record, _ in self._scan(from_lsn):
             yield record
+
+    def scan(self, from_lsn: int = 0) -> Iterator[tuple[LogRecord, int]]:
+        """Like :meth:`records` but yields ``(record, end offset)``.
+
+        The replica applier uses the end offsets to track how far the
+        shipped byte stream has been parsed into complete records.
+        """
+        return self._scan(from_lsn)
 
     def _scan(self, from_lsn: int = 0
               ) -> Iterator[tuple[LogRecord, int]]:

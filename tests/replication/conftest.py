@@ -1,0 +1,70 @@
+"""Shared wiring for the tier-1 replication tests.
+
+Everything here runs in-process with no sockets: the shipper's
+``send_fn`` is a :class:`Wire` that hands frames straight to appliers
+and routes their replies back — the same frame protocol the socket
+cluster ships over TCP, minus the transport.
+"""
+
+from repro.replication import ReplicaApplier, WalShipper
+
+
+def commit_message(store, payload=b"<m/>", queue="q", properties=None):
+    """One committed single-insert transaction; returns the msg id."""
+    txn = store.begin()
+    op = txn.insert_message(queue, payload, dict(properties or {}), [])
+    store.commit(txn)
+    return op.msg_id
+
+
+class Wire:
+    """Synchronous shipper↔applier loopback with scriptable faults.
+
+    ``drop_next`` makes the next *n* frames vanish *after* the send
+    succeeds (the transport-chaos semantics: the sender believes the
+    write went out, the receiver never sees it).
+    """
+
+    def __init__(self):
+        self.appliers: dict[str, ReplicaApplier] = {}
+        self.shipper: WalShipper | None = None
+        self.drop_next = 0
+        self.sent_frames = 0
+        self.dropped_frames = 0
+
+    def attach(self, shipper: WalShipper) -> None:
+        self.shipper = shipper
+
+    def add_replica(self, name: str, applier: ReplicaApplier) -> None:
+        self.appliers[name] = applier
+
+    def send(self, replica: str, frame: dict) -> bool:
+        applier = self.appliers.get(replica)
+        if applier is None:
+            return False
+        self.sent_frames += 1
+        if self.drop_next > 0:
+            self.drop_next -= 1
+            self.dropped_frames += 1
+            return True                  # the network ate it silently
+        reply = applier.receive(frame)
+        if reply is not None and self.shipper is not None:
+            if reply.get("op") == "fence":
+                self.shipper.on_fence(reply)
+            else:
+                self.shipper.on_ack(reply)
+        return True
+
+
+def wire_replica(store, primary="p", replica="r", epoch=0,
+                 standby_dir=None, metrics=None):
+    """A primary store wired to one standby applier; returns the trio."""
+    wire = Wire()
+    applier = ReplicaApplier(primary, replica, epoch=epoch,
+                             standby_dir=standby_dir)
+    wire.add_replica(replica, applier)
+    shipper = WalShipper(primary, store.wal, [replica], wire.send,
+                         epoch=epoch, metrics=metrics)
+    wire.attach(shipper)
+    store.group_commit.shipper = shipper
+    return wire, shipper, applier

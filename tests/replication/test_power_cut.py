@@ -1,0 +1,108 @@
+"""Power-cut drills: primary AND replica die at adversarial points.
+
+``replica-ack`` is single-fault tolerant: an acked commit survives the
+loss of either the primary or the replica.  When BOTH die (a rack
+power cut), what must still hold is *consistency*, not durability —
+each side recovers to a committed prefix of the shared WAL stream, no
+torn transactions, no invented state, and the survivors' prefixes
+agree byte-for-byte.  These drills kill both sides at the nastiest
+points: between COMMIT-append and force on the primary, and mid-ship
+on the replica.
+"""
+
+import base64
+
+from repro.storage import MessageStore
+from repro.replication import ReplicaApplier
+
+from tests.replication.conftest import commit_message, wire_replica
+
+
+def bodies(store, queue="q"):
+    return sorted(store.body_text(meta.msg_id)
+                  for meta in store.queue_messages(queue))
+
+
+class TestPowerCut:
+    def test_both_die_after_ack_before_force(self, tmp_path):
+        """Primary killed in the COMMIT-append → force window, replica
+        killed before its standby flush: each side recovers to a clean
+        committed prefix and the prefixes agree."""
+        primary = MessageStore(str(tmp_path / "primary"),
+                               durability="replica-ack")
+        wire, shipper, applier = wire_replica(
+            primary, standby_dir=str(tmp_path / "standby"))
+        for index in range(5):
+            commit_message(primary, f"<m n='{index}'/>".encode())
+        acked = shipper.acked_lsn()
+        assert acked == primary.wal.end_lsn()
+        # power cut: the primary loses its unforced tail (replica-ack
+        # deferred the fsync), the replica loses its unflushed standby
+        # bytes (it acked from memory) — the worst legal double fault
+        primary.simulate_crash(lose_unflushed=True)
+        applier.wal.discard_unflushed()
+        applier.wal.close()
+
+        reborn_primary = MessageStore(str(tmp_path / "primary"),
+                                      durability="sync")
+        survivor = ReplicaApplier("p", "r", epoch=0,
+                                  standby_dir=str(tmp_path / "standby"))
+        promoted = survivor.promote(epoch=1)
+        # consistency: both recover committed prefixes of ONE stream
+        shorter = min(reborn_primary.wal.end_lsn(),
+                      promoted.wal.end_lsn())
+        assert reborn_primary.wal.read_bytes(0, shorter) == \
+            promoted.wal.read_bytes(0, shorter)
+        for body in bodies(promoted):
+            assert body.startswith("<m n=")
+        for body in bodies(reborn_primary):
+            assert body.startswith("<m n=")
+        reborn_primary.close()
+        promoted.close()
+
+    def test_replica_flush_bounds_double_fault_loss(self, tmp_path):
+        """With the standby flushed, a double power cut loses nothing
+        that was acked: the promoted replica has every commit."""
+        primary = MessageStore(str(tmp_path / "primary"),
+                               durability="replica-ack")
+        wire, shipper, applier = wire_replica(
+            primary, standby_dir=str(tmp_path / "standby"))
+        for index in range(5):
+            commit_message(primary, f"<m n='{index}'/>".encode())
+        applier.flush()                            # standby made durable
+        primary.simulate_crash(lose_unflushed=True)
+        applier.wal.close()
+
+        survivor = ReplicaApplier("p", "r", epoch=0,
+                                  standby_dir=str(tmp_path / "standby"))
+        promoted = survivor.promote(epoch=1)
+        assert bodies(promoted) == sorted(f"<m n='{index}'/>"
+                                          for index in range(5))
+        promoted.close()
+
+    def test_replica_dies_mid_ship_primary_dies_unforced(self, tmp_path):
+        """The replica crashes holding a torn fragment on disk AND the
+        primary crashes with an unforced tail: promotion of the
+        recovered standby yields only whole committed transactions."""
+        primary = MessageStore(str(tmp_path / "primary"),
+                               durability="sync")
+        wire, shipper, applier = wire_replica(
+            primary, standby_dir=str(tmp_path / "standby"))
+        commit_message(primary, b"<safe/>")
+        shipper.set_replicas([])                   # detach auto-repair
+        clean_end = primary.wal.end_lsn()
+        commit_message(primary, b"<doomed/>")
+        raw = primary.wal.read_bytes(clean_end, primary.wal.end_lsn())
+        torn = raw[:max(1, len(raw) - 7)]          # mid-record cut
+        applier.receive({"kind": "repl", "op": "append", "primary": "p",
+                         "epoch": 0, "start": clean_end,
+                         "data": base64.b64encode(torn).decode("ascii")})
+        applier.flush()                            # torn bytes hit disk
+        applier.wal.close()
+
+        survivor = ReplicaApplier("p", "r", epoch=0,
+                                  standby_dir=str(tmp_path / "standby"))
+        promoted = survivor.promote(epoch=1)
+        assert bodies(promoted) == ["<safe/>"]     # no torn replay
+        promoted.close()
+        primary.close()

@@ -1,0 +1,101 @@
+"""Replica promotion: the standby becomes the shard (tier 1).
+
+Promotion rules under test (DESIGN.md §9): the sealed standby holds
+exactly the committed transactions of the shipped prefix, torn tails
+are truncated rather than replayed, the transaction-id counter advances
+past everything the stream used (no id collisions on the promoted
+timeline), and the promoted store keeps writing the *same* WAL byte
+stream so the new epoch's shipping continues at the old offsets.
+"""
+
+from repro.storage import MessageStore
+
+from tests.replication.conftest import commit_message, wire_replica
+
+
+def queue_bodies(store, queue="q"):
+    return sorted(store.body_text(meta.msg_id)
+                  for meta in store.queue_messages(queue))
+
+
+class TestPromotion:
+    def test_promoted_store_equals_primary(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        for index in range(10):
+            commit_message(store, f"<m n='{index}'/>".encode())
+        promoted = applier.promote(epoch=1)
+        assert queue_bodies(promoted) == queue_bodies(store)
+        assert promoted.queue_depth("q") == store.queue_depth("q")
+        assert promoted.wal.end_lsn() == store.wal.end_lsn()
+
+    def test_torn_tail_is_truncated_not_replayed(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        commit_message(store, b"<whole/>")
+        clean_end = store.wal.end_lsn()
+        # hand-deliver half of the next transaction's bytes: the crash
+        # window where the primary died mid-ship
+        shipper.set_replicas([])                 # stop automatic repair
+        commit_message(store, b"<torn/>")
+        import base64
+        raw = store.wal.read_bytes(clean_end, store.wal.end_lsn())
+        torn = raw[:len(raw) // 2]
+        applier.receive({"kind": "repl", "op": "append", "primary": "p",
+                         "epoch": 0, "start": applier.end_lsn(),
+                         "data": base64.b64encode(torn).decode("ascii")})
+        assert applier.end_lsn() > clean_end     # torn bytes held
+        promoted = applier.promote(epoch=1)
+        # the physically incomplete frame is gone; complete records of
+        # the never-committed transaction may remain (a dangling BEGIN,
+        # exactly like a crashed primary's own log) but apply nothing
+        assert promoted.wal.end_lsn() < store.wal.end_lsn()
+        assert queue_bodies(promoted) == ["<whole/>"]
+
+    def test_promotion_advances_txn_ids(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        for _ in range(5):
+            commit_message(store, b"<m/>")
+        seen = applier._max_txn
+        promoted = applier.promote(epoch=1)
+        txn = promoted.begin()
+        try:
+            assert txn.txn_id > seen
+        finally:
+            promoted.abort(txn)
+
+    def test_promoted_store_continues_the_byte_stream(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        for _ in range(4):
+            commit_message(store, b"<old/>")
+        handover = store.wal.end_lsn()
+        promoted = applier.promote(epoch=1)
+        commit_message(promoted, b"<new/>")
+        # new commits append past the shipped prefix on the SAME log:
+        # a second-epoch shipper resumes at the old offsets, so the
+        # other replicas' prefixes stay aligned
+        assert promoted.wal.end_lsn() > handover
+        assert promoted.wal.read_bytes(0, handover) == \
+            store.wal.read_bytes(0, handover)
+        assert sorted(queue_bodies(promoted)) == \
+            ["<new/>"] + ["<old/>"] * 4
+
+    def test_promoted_standby_survives_restart(self, tmp_path):
+        """An on-disk standby recovers as a normal store after a crash
+        of the *promoted* process: the sealed prefix was forced."""
+        primary = MessageStore(str(tmp_path / "primary"),
+                               durability="sync")
+        wire, shipper, applier = wire_replica(
+            primary, standby_dir=str(tmp_path / "standby"))
+        for index in range(6):
+            commit_message(primary, f"<m n='{index}'/>".encode())
+        promoted = applier.promote(epoch=1)
+        commit_message(promoted, b"<post/>")
+        promoted.simulate_crash()
+        reborn = MessageStore(str(tmp_path / "standby"),
+                              durability="sync")
+        assert queue_bodies(reborn) == queue_bodies(primary) + ["<post/>"]
+        reborn.close()
+        primary.close()

@@ -1,0 +1,166 @@
+"""WAL shipping, the replica-ack policy, and epoch fencing (tier 1).
+
+The wire here is an in-process loopback carrying the exact frame
+protocol the socket cluster uses; the invariants under test are the
+ones DESIGN.md §9 promises:
+
+* the standby WAL is byte-identical to the primary's shipped prefix;
+* ``replica-ack`` commits acknowledge once one replica holds the
+  commit's bytes, with deferred local fsync — and fall back to an
+  inline force whenever no replica can confirm (never weaker than
+  ``sync``);
+* a stale-epoch shipper is permanently fenced by any replica that has
+  seen a newer epoch.
+"""
+
+import pytest
+
+from repro.storage import MessageStore
+
+from tests.replication.conftest import Wire, commit_message, wire_replica
+
+
+class TestShipping:
+    def test_standby_mirrors_primary_bytes(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        for index in range(8):
+            commit_message(store, f"<m n='{index}'/>".encode())
+        end = store.wal.end_lsn()
+        assert applier.end_lsn() == end
+        assert shipper.acked_lsn() == end
+        assert shipper.lag_bytes() == 0
+        assert applier.wal.read_bytes(0, end) == store.wal.read_bytes(0, end)
+        assert applier.applied_records == 8 * 3    # BEGIN+INSERT+COMMIT
+
+    def test_dropped_frame_is_resent_after_gap_ack(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        commit_message(store, b"<a/>")
+        wire.drop_next = 1
+        commit_message(store, b"<b/>")             # this segment vanishes
+        assert applier.end_lsn() < store.wal.end_lsn()
+        # next commit ships a segment starting past the replica's end;
+        # the gap ack rewinds the shipper, the one after resends all
+        commit_message(store, b"<c/>")
+        shipper.ship()
+        assert applier.end_lsn() == store.wal.end_lsn()
+        assert wire.dropped_frames == 1
+
+    def test_duplicate_delivery_is_idempotent(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        commit_message(store, b"<a/>")
+        end = store.wal.end_lsn()
+        raw = store.wal.read_bytes(0, end)
+        frame = {"kind": "repl", "op": "append", "primary": "p",
+                 "epoch": 0, "start": 0}
+        import base64
+        frame["data"] = base64.b64encode(raw).decode("ascii")
+        before = applier.applied_records
+        for _ in range(3):                        # replay the same bytes
+            reply = applier.receive(dict(frame))
+            assert reply["op"] == "ack" and reply["lsn"] == end
+        assert applier.applied_records == before  # nothing re-applied
+        assert applier.end_lsn() == end
+
+    def test_shipper_handles_replica_set_changes(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        commit_message(store, b"<a/>")
+        from repro.replication import ReplicaApplier
+        late = ReplicaApplier("p", "r2")
+        wire.add_replica("r2", late)
+        shipper.set_replicas(["r", "r2"])
+        shipper.ship()                            # catches r2 up from 0
+        assert late.end_lsn() == store.wal.end_lsn()
+        shipper.set_replicas(["r2"])              # r leaves the set
+        commit_message(store, b"<b/>")
+        assert late.end_lsn() == store.wal.end_lsn()
+        assert "r" not in shipper.status()["sent"]
+
+
+class TestReplicaAckPolicy:
+    def test_acks_without_inline_force(self):
+        store = MessageStore(durability="replica-ack")
+        wire, shipper, applier = wire_replica(store)
+        for index in range(6):
+            commit_message(store, f"<m n='{index}'/>".encode())
+        stats = store.group_commit.stats
+        assert stats.replica_acks == 6
+        assert stats.replica_ack_fallbacks == 0
+        assert stats.inline_forces == 0
+        # the replica holds every acked byte even though the primary's
+        # own fsync is deferred to the async flusher
+        assert applier.end_lsn() == store.wal.end_lsn()
+        store.close()
+
+    def test_falls_back_inline_without_replicas(self):
+        store = MessageStore(durability="replica-ack")
+        for index in range(3):
+            commit_message(store, f"<m n='{index}'/>".encode())
+        stats = store.group_commit.stats
+        assert stats.replica_ack_fallbacks == 3
+        assert stats.inline_forces == 3
+        # never weaker than sync: everything acked is already on disk
+        assert store.wal.flushed_lsn == store.wal.end_lsn()
+        store.close()
+
+    def test_falls_back_inline_when_replica_unresponsive(self):
+        store = MessageStore(durability="replica-ack")
+        wire, shipper, applier = wire_replica(store)
+        store.group_commit.replica_ack_wait = 0.01
+        wire.drop_next = 10**6                    # replica goes dark
+        commit_message(store, b"<m/>")
+        stats = store.group_commit.stats
+        assert stats.replica_acks == 0
+        assert stats.replica_ack_fallbacks == 1
+        assert store.wal.flushed_lsn == store.wal.end_lsn()
+        store.close()
+
+
+class TestFencing:
+    def test_stale_shipper_is_fenced_permanently(self):
+        store = MessageStore(durability="sync")
+        fenced_shards = []
+        wire = Wire()
+        from repro.replication import ReplicaApplier, WalShipper
+        applier = ReplicaApplier("p", "r", epoch=0)
+        wire.add_replica("r", applier)
+        shipper = WalShipper("p", store.wal, ["r"], wire.send, epoch=0,
+                             on_fenced=lambda: fenced_shards.append("p"))
+        wire.attach(shipper)
+        store.group_commit.shipper = shipper
+        commit_message(store, b"<a/>")
+        assert not shipper.fenced
+        applier.advance_fence(1)                  # a newer epoch exists
+        commit_message(store, b"<b/>")
+        assert shipper.fenced
+        assert fenced_shards == ["p"]
+        assert applier.fenced_rejects >= 1
+        # commits still succeed locally — fencing stops shipping only
+        end_before = applier.end_lsn()
+        commit_message(store, b"<c/>")
+        assert applier.end_lsn() == end_before
+        assert not shipper.await_acked(store.wal.end_lsn(), timeout=0.01)
+
+    def test_promoted_applier_fences_old_stream(self):
+        store = MessageStore(durability="sync")
+        wire, shipper, applier = wire_replica(store)
+        commit_message(store, b"<a/>")
+        applier.promote(epoch=1)
+        commit_message(store, b"<b/>")            # old primary writes on
+        assert shipper.fenced
+        assert applier.status()["promoted"] is True
+
+    def test_replica_ack_degrades_to_sync_after_fence(self):
+        store = MessageStore(durability="replica-ack")
+        wire, shipper, applier = wire_replica(store)
+        commit_message(store, b"<a/>")
+        applier.advance_fence(2)
+        store.group_commit.replica_ack_wait = 0.01
+        commit_message(store, b"<b/>")
+        stats = store.group_commit.stats
+        assert stats.replica_ack_fallbacks >= 1
+        assert store.wal.flushed_lsn == store.wal.end_lsn()
+        store.close()
