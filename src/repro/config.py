@@ -1,0 +1,333 @@
+"""The typed runtime configuration: every ``DEMAQ_*`` switch, one place.
+
+Before this module the runtime read 16+ environment variables from ten
+different call sites — the worker process re-derived its behaviour from
+``os.environ`` instead of inheriting explicit configuration, and the
+README's switch table drifted from the code.  :class:`RuntimeConfig` is
+the declarative registry: one frozen dataclass field per switch, each
+carrying its environment variable, parser, default, and one-line doc in
+the field metadata.
+
+Three consumption patterns:
+
+* :meth:`RuntimeConfig.from_env` — parse the full environment into one
+  validated config object (the coordinator does this once and ships the
+  result to workers as JSON);
+* :func:`read_field` — the lazy single-field read the library call
+  sites use (``read_field("mvcc")``).  It honours an installed config
+  first and falls back to a fresh environment parse, so per-test
+  ``monkeypatch.setenv`` keeps working in-process;
+* :func:`install` — pin an explicit config for this process.  The
+  worker installs the coordinator-shipped config at boot, making the
+  process's effective configuration explicit instead of ambient.
+
+``render_env_table()`` generates the README's switch table from the
+registry, and ``tests/test_config.py`` asserts the README matches it —
+the docs cannot drift again.  The same test greps the source tree: no
+``os.environ.get("DEMAQ_`` is allowed outside this module (bench/test
+harness gates excepted).
+
+This module is a leaf: it imports only the standard library, so every
+subsystem (obs, storage, replication, xquery) can read it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields
+from typing import Callable
+
+#: Group-commit durability policies (mirrors storage.groupcommit.POLICIES;
+#: duplicated here because config must stay import-cycle-free).
+_DURABILITY_POLICIES = ("", "sync", "group", "async", "replica-ack")
+
+#: Accepted XQuery backend spellings (mirrors xquery._BACKEND_ALIASES).
+_XQUERY_BACKENDS = ("interp", "interpreter", "interpreted",
+                    "compiled", "closure", "closures")
+
+_FALSE_WORDS = ("0", "false", "no", "off")
+
+
+def _parse_bool(raw: str) -> bool:
+    return raw.strip().lower() not in _FALSE_WORDS
+
+
+def _parse_int(raw: str) -> int:
+    return int(raw)
+
+
+def _parse_float(raw: str) -> float:
+    return float(raw)
+
+
+def _parse_str(raw: str) -> str:
+    return raw
+
+
+def _cfg(default, env: str, doc: str, parse: Callable[[str], object],
+         validate: Callable[[object], bool] | None = None,
+         table_default: str | None = None):
+    """One registry entry: a dataclass field with its env-var metadata."""
+    return field(default=default, metadata={
+        "env": env, "doc": doc, "parse": parse, "validate": validate,
+        "table_default": table_default})
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Every runtime switch, typed and validated.
+
+    Field order is documentation order: storage semantics first, then
+    engine, telemetry, replication, transport/chaos, the checkpoint and
+    truncation lifecycle, and finally the harness gates.
+    """
+
+    mvcc: bool = _cfg(
+        True, "DEMAQ_MVCC",
+        "Snapshot (MVCC) reads on the scan/correlation path: rule reads "
+        "run lock-free at a begin-time snapshot LSN (DESIGN.md §8). `0` "
+        "falls back to the 2PL reference path with read locks; CI runs "
+        "tier-1 under both.", _parse_bool)
+    durability: str = _cfg(
+        "", "DEMAQ_DURABILITY",
+        "Commit pipeline: `sync` (force per commit), `group` "
+        "(leader-coalesced force), `async` (acknowledge before force), "
+        "`replica-ack` (acknowledge once one replica holds the commit in "
+        "memory, fsync deferred; falls back to an inline force without a "
+        "live replica — DESIGN.md §9). Empty: derived from the server's "
+        "`sync_commits` flag (`sync`).", _parse_str,
+        validate=lambda v: v in _DURABILITY_POLICIES,
+        table_default="`sync`")
+    batch_size: int = _cfg(
+        1, "DEMAQ_BATCH_SIZE",
+        "Scheduler picks per chained, group-committed transaction "
+        "(§3.1 batching).", _parse_int, validate=lambda v: v >= 1)
+    lock_timeout: float = _cfg(
+        10.0, "DEMAQ_LOCK_TIMEOUT",
+        "Seconds a blocked lock acquisition waits before the member is "
+        "rolled back and retried.", _parse_float,
+        validate=lambda v: v > 0)
+    retry_backoff: float = _cfg(
+        0.002, "DEMAQ_RETRY_BACKOFF",
+        "Base seconds of the full-jitter exponential backoff before a "
+        "deadlocked/timed-out member requeues (doubles per consecutive "
+        "failure, capped at 50 ms); `0` disables.", _parse_float,
+        validate=lambda v: v >= 0)
+    xquery_backend: str = _cfg(
+        "compiled", "DEMAQ_XQUERY_BACKEND",
+        "`interp` selects the tree-walking reference interpreter on the "
+        "rule hot path.", _parse_str,
+        validate=lambda v: v.strip().lower() in _XQUERY_BACKENDS)
+    obs: bool = _cfg(
+        True, "DEMAQ_OBS",
+        "`0` disables histograms/tracing; semantic counters stay live "
+        "(overhead bound asserted by `benchmarks/bench_obs.py`).",
+        _parse_bool)
+    log_level: str = _cfg(
+        "INFO", "DEMAQ_LOG_LEVEL",
+        "Verbosity of the structured JSON worker logs.", _parse_str)
+    replication: bool = _cfg(
+        False, "DEMAQ_REPLICATION",
+        "`1` turns on WAL-shipping shard replication with automatic "
+        "replica promotion on worker crash (DESIGN.md §9); the "
+        "unreplicated path is the default.", _parse_bool,
+        table_default="off")
+    replica_count: int = _cfg(
+        1, "DEMAQ_REPLICA_COUNT",
+        "Ring-successor replicas each shard streams its WAL to when "
+        "replication is on.", _parse_int, validate=lambda v: v >= 0)
+    connect_retries: int = _cfg(
+        3, "DEMAQ_CONNECT_RETRIES",
+        "Refused-connect dial attempts before a send maps to "
+        "`disconnectedTransport` (covers the boot/failover window where "
+        "a listener is milliseconds away).", _parse_int,
+        validate=lambda v: v >= 1)
+    connect_backoff: float = _cfg(
+        0.01, "DEMAQ_CONNECT_BACKOFF",
+        "Base seconds of the full-jitter backoff between connect "
+        "retries (capped at 80 ms).", _parse_float,
+        validate=lambda v: v >= 0)
+    chaos_drop: int = _cfg(
+        0, "DEMAQ_CHAOS_DROP",
+        "Deterministic fault injection on the socket transport: the "
+        "first N outbound frames are dropped.", _parse_int,
+        validate=lambda v: v >= 0)
+    chaos_dup: int = _cfg(
+        0, "DEMAQ_CHAOS_DUP",
+        "Chaos budget: the next N outbound frames are duplicated.",
+        _parse_int, validate=lambda v: v >= 0)
+    chaos_delay: int = _cfg(
+        0, "DEMAQ_CHAOS_DELAY",
+        "Chaos budget: the next N outbound frames are delayed "
+        "(reordered past later frames).", _parse_int,
+        validate=lambda v: v >= 0)
+    chaos_delay_seconds: float = _cfg(
+        0.01, "DEMAQ_CHAOS_DELAY_SECONDS",
+        "How late a chaos-delayed frame is written.", _parse_float,
+        validate=lambda v: v >= 0)
+    checkpoint_interval_bytes: int = _cfg(
+        0, "DEMAQ_CHECKPOINT_BYTES",
+        "Fuzzy-checkpoint trigger: checkpoint once this many WAL bytes "
+        "accumulate since the last one (DESIGN.md §10). `0` disables "
+        "the byte trigger.", _parse_int, validate=lambda v: v >= 0)
+    checkpoint_interval_seconds: float = _cfg(
+        0.0, "DEMAQ_CHECKPOINT_SECONDS",
+        "Fuzzy-checkpoint trigger: checkpoint once this much wall-clock "
+        "time passes since the last one. `0` disables the clock "
+        "trigger.", _parse_float, validate=lambda v: v >= 0)
+    wal_ceiling_bytes: int = _cfg(
+        0, "DEMAQ_WAL_CEILING_BYTES",
+        "Hard WAL size target: when the live log exceeds this, the "
+        "scheduler checkpoints and force-truncates even past a lagging "
+        "replica's ack horizon (the replica re-seeds from checkpoint). "
+        "`0` disables the ceiling.", _parse_int,
+        validate=lambda v: v >= 0)
+    wal_truncate: bool = _cfg(
+        True, "DEMAQ_WAL_TRUNCATE",
+        "Whether scheduled checkpoints also truncate the WAL prefix "
+        "below the checkpoint/replica/snapshot horizon (DESIGN.md §10). "
+        "Explicit `truncate_wal()` calls ignore this.", _parse_bool)
+    net_tests: bool = _cfg(
+        False, "DEMAQ_NET_TESTS",
+        "`1` opens the real-socket test gate (`tests/netio`).",
+        _parse_bool, table_default="off")
+    bench_smoke: bool = _cfg(
+        False, "DEMAQ_BENCH_SMOKE",
+        "`1` shrinks benchmark workloads and downgrades timing-shape "
+        "assertions to warnings (CI).", _parse_bool, table_default="off")
+
+    def __post_init__(self):
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            expected = {_parse_bool: bool, _parse_int: int,
+                        _parse_float: float, _parse_str: str}[
+                            spec.metadata["parse"]]
+            if expected is float and isinstance(value, int) \
+                    and not isinstance(value, bool):
+                object.__setattr__(self, spec.name, float(value))
+                value = float(value)
+            if not isinstance(value, expected) \
+                    or (expected is int and isinstance(value, bool)):
+                raise ConfigError(
+                    f"{spec.name} must be {expected.__name__}, "
+                    f"got {value!r}")
+            validate = spec.metadata["validate"]
+            if validate is not None and not validate(value):
+                raise ConfigError(
+                    f"invalid value for {spec.name} "
+                    f"({spec.metadata['env']}): {value!r}")
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, environ=None) -> "RuntimeConfig":
+        """Parse the full environment into one validated config.
+
+        Unset/empty variables take the registry default.  Parsed fresh
+        on every call (no import-time caching), so tests that
+        monkeypatch the environment see their values.
+        """
+        environ = os.environ if environ is None else environ
+        values = {}
+        for spec in fields(cls):
+            raw = environ.get(spec.metadata["env"], "")
+            if raw != "":
+                try:
+                    values[spec.name] = spec.metadata["parse"](raw)
+                except (TypeError, ValueError) as exc:
+                    raise ConfigError(
+                        f"cannot parse {spec.metadata['env']}={raw!r} "
+                        f"for {spec.name}: {exc}") from exc
+        return cls(**values)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RuntimeConfig":
+        """Rebuild a config shipped as JSON (worker boot config)."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown config fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self) -> dict:
+        """A plain JSON-safe dict (the worker boot-config payload)."""
+        return {spec.name: getattr(self, spec.name)
+                for spec in fields(self)}
+
+    # -- documentation ---------------------------------------------------------
+
+    @classmethod
+    def render_env_table(cls) -> str:
+        """The README switch table, generated from the registry."""
+        lines = ["| Variable | Default | Effect |", "|---|---|---|"]
+        for spec in fields(cls):
+            shown = spec.metadata["table_default"]
+            if shown is None:
+                default = spec.default
+                if isinstance(default, bool):
+                    shown = f"`{'1' if default else '0'}`"
+                elif isinstance(default, float) and default == int(default) \
+                        and default != 0:
+                    shown = f"`{default}`"
+                else:
+                    shown = f"`{default}`"
+            doc = " ".join(spec.metadata["doc"].split())
+            lines.append(f"| `{spec.metadata['env']}` | {shown} | {doc} |")
+        return "\n".join(lines) + "\n"
+
+
+class ConfigError(ValueError):
+    """An invalid runtime-configuration value."""
+
+
+#: The per-process installed config (explicit beats ambient); None means
+#: read_field/active parse the environment lazily.
+_INSTALLED: RuntimeConfig | None = None
+
+
+def install(config: RuntimeConfig | None) -> None:
+    """Pin *config* as this process's effective configuration.
+
+    The worker process installs the coordinator-shipped config at boot
+    so its behaviour comes from explicit configuration, not from
+    whatever environment it happened to inherit.  ``install(None)``
+    reverts to lazy environment reads.
+    """
+    global _INSTALLED
+    _INSTALLED = config
+
+
+def active() -> RuntimeConfig:
+    """The effective config: the installed one, else a fresh env parse."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    return RuntimeConfig.from_env()
+
+
+_FIELD_INDEX = {spec.name: spec for spec in fields(RuntimeConfig)}
+
+
+def read_field(name: str):
+    """One field's effective value — the lazy library-call-site read.
+
+    Honours an installed config; otherwise parses just this field's
+    environment variable (fresh per call, monkeypatch-friendly).
+    """
+    spec = _FIELD_INDEX[name]
+    if _INSTALLED is not None:
+        return getattr(_INSTALLED, name)
+    raw = os.environ.get(spec.metadata["env"], "")
+    if raw == "":
+        return spec.default
+    try:
+        return spec.metadata["parse"](raw)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"cannot parse {spec.metadata['env']}={raw!r} "
+            f"for {name}: {exc}") from exc
+
+
+def env_var(name: str) -> str:
+    """The environment variable backing a config field."""
+    return _FIELD_INDEX[name].metadata["env"]

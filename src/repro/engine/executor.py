@@ -20,7 +20,8 @@ import sys
 from time import perf_counter, sleep
 from typing import TYPE_CHECKING
 
-from ..backoff import policy_from_env
+from ..backoff import BackoffPolicy
+from ..config import read_field
 from ..obs import COUNT_BUCKETS, TRACE_PROPERTY, MetricsRegistry
 from ..qdl.model import QueueKind
 from ..queues import Message, PropertyError
@@ -108,7 +109,8 @@ class RuleExecutor:
         # without it, the conflicting pair re-collides on the very next
         # pick.  Full jitter, base doubling per consecutive failure of
         # the same message, capped; DEMAQ_RETRY_BACKOFF=0 disables.
-        self.retry_backoff = policy_from_env("DEMAQ_RETRY_BACKOFF")
+        self.retry_backoff = BackoffPolicy(
+            base=read_field("retry_backoff"), cap=0.05)
         self._retry_attempts: dict[int, int] = {}
 
     @property

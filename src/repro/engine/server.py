@@ -10,9 +10,9 @@ Active Web node; several instances connected through a
 from __future__ import annotations
 
 import itertools
-import os
 from typing import Iterable, Optional
 
+from ..config import read_field
 from ..network import (Network, build_envelope, is_reserved_endpoint,
                        parse_envelope, parse_wsdl)
 from ..obs import TRACE_PROPERTY, MetricsRegistry, Tracer
@@ -20,7 +20,7 @@ from ..qdl import Application, compile_application
 from ..qdl.model import QueueDef, QueueKind
 from ..queues import (Clock, EchoService, Message, PropertyError,
                       PropertyResolver, VirtualClock)
-from ..storage import LockManager, MessageStore
+from ..storage import CheckpointScheduler, LockManager, MessageStore
 from ..storage.transactions import InsertOp
 from ..xmldm import Document, XMLError, parse
 from ..xquery.atomics import (UntypedAtomic, XSDateTime, cast_atomic,
@@ -71,7 +71,7 @@ class DemaqServer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(node=name)
         if batch_size is None:
-            batch_size = int(os.environ.get("DEMAQ_BATCH_SIZE", "1") or "1")
+            batch_size = read_field("batch_size")
         if batch_size < 1:
             raise err.EngineError(f"batch_size must be >= 1, got {batch_size}")
         #: How many scheduler picks one execution step may run inside a
@@ -81,8 +81,7 @@ class DemaqServer:
             # DEMAQ_LOCK_TIMEOUT replaces the old hard-coded 10s: how
             # long a blocked lock request waits before the member is
             # rolled back and retried.
-            raw = os.environ.get("DEMAQ_LOCK_TIMEOUT", "")
-            lock_timeout = float(raw) if raw else 10.0
+            lock_timeout = read_field("lock_timeout")
         if store is not None:
             # Replica promotion hands in a standby store whose state
             # was built by continuous redo — adopt it instead of
@@ -99,6 +98,14 @@ class DemaqServer:
         #: Epoch fencing (DESIGN.md §9): a zombie primary whose shard
         #: was promoted elsewhere refuses every ingest once fenced.
         self.fenced = False
+        #: Endurance operation (DESIGN.md §10): ticked from the work
+        #: loop; inert unless a checkpoint knob is configured.
+        self.checkpoints = CheckpointScheduler(
+            self.store,
+            interval_bytes=read_field("checkpoint_interval_bytes"),
+            interval_seconds=read_field("checkpoint_interval_seconds"),
+            wal_ceiling_bytes=read_field("wal_ceiling_bytes"),
+            truncate=read_field("wal_truncate"))
         self.locks = LockManager(lock_timeout)
         self.locking = LockingPolicy(self.locks, lock_granularity,
                                      lock_timeout, mvcc=self.store.mvcc)
@@ -312,6 +319,9 @@ class DemaqServer:
         steps = 0
         while steps < max_steps and self.step():
             steps += 1
+            self.checkpoints.maybe_run()
+        # One idle tick so the clock trigger fires on a quiet node too.
+        self.checkpoints.maybe_run()
         return steps
 
     def advance_time(self, seconds: float) -> int:
@@ -625,8 +635,11 @@ class DemaqServer:
     def collect_garbage(self) -> int:
         return self.store.collect_garbage()
 
-    def checkpoint(self) -> None:
-        self.store.checkpoint()
+    def checkpoint(self) -> str:
+        return self.store.checkpoint()
+
+    def truncate_wal(self, force: bool = False) -> int:
+        return self.store.truncate_wal(force=force)
 
     def crash_and_recover(self) -> None:
         """Test/bench hook: lose volatile state, then run recovery."""

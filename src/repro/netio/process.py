@@ -37,6 +37,7 @@ from typing import Iterable
 
 from ..cluster.membership import ClusterMembership
 from ..cluster.router import ClusterRouter
+from ..config import active
 from ..engine import errors as err
 from ..network import build_envelope, parse_envelope
 from ..obs import (MetricsRegistry, SpoolWriter, Tracer, merge_snapshots,
@@ -176,7 +177,11 @@ class ProcessCluster:
                                               not in self.node_names
                                               else []),
                   "data_dir": data_dir,
-                  "server": self.server_kwargs}
+                  "server": self.server_kwargs,
+                  # Explicit configuration ships with the boot config:
+                  # workers behave per the coordinator's effective
+                  # RuntimeConfig, not their inherited environment.
+                  "runtime": active().to_json()}
         if self.replication:
             config["replication"] = {"enabled": True,
                                      "replicas": self.replicas,

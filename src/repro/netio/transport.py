@@ -34,14 +34,14 @@ never loses, matching WS-RM and the rebalancer's stance).
 from __future__ import annotations
 
 import itertools
-import os
 import socket
 import threading
 import time
 from collections import deque
 from typing import Callable, Optional
 
-from ..backoff import policy_from_env
+from ..backoff import BackoffPolicy
+from ..config import read_field
 from ..network.base import (DISCONNECTED, TIMEOUT, Handler, OnDelivered,
                             OnFailed, Transport, collision_error,
                             endpoint_node)
@@ -49,12 +49,6 @@ from ..xmldm import Document, parse, serialize
 from .wire import WireError, recv_frame, send_frame
 
 Address = tuple[str, int]
-
-#: Refused-connect retry budget before a dial maps to the §3.6
-#: ``disconnectedTransport`` marker (DEMAQ_CONNECT_RETRIES): failover
-#: and worker boot leave a listener down for a few milliseconds, and a
-#: single refused connect should not condemn the endpoint.
-DEFAULT_CONNECT_RETRIES = 3
 
 
 class ChaosPlan:
@@ -102,15 +96,13 @@ class ChaosPlan:
 
     @classmethod
     def from_env(cls) -> "ChaosPlan | None":
-        drop = int(os.environ.get("DEMAQ_CHAOS_DROP", "0") or 0)
-        dup = int(os.environ.get("DEMAQ_CHAOS_DUP", "0") or 0)
-        delay = int(os.environ.get("DEMAQ_CHAOS_DELAY", "0") or 0)
+        drop = read_field("chaos_drop")
+        dup = read_field("chaos_dup")
+        delay = read_field("chaos_delay")
         if not (drop or dup or delay):
             return None
-        seconds = float(os.environ.get("DEMAQ_CHAOS_DELAY_SECONDS",
-                                       "0.01") or 0.01)
         return cls(drop=drop, duplicate=dup, delay=delay,
-                   delay_seconds=seconds)
+                   delay_seconds=read_field("chaos_delay_seconds"))
 
 
 class _Peer:
@@ -169,11 +161,9 @@ class SocketTransport(Transport):
         #: Fault injection for outbound frames (None = no chaos).
         self.chaos: ChaosPlan | None = ChaosPlan.from_env()
         #: Full-jitter budget for refused connects (PR 8 backoff helper).
-        self.connect_backoff = policy_from_env("DEMAQ_CONNECT_BACKOFF",
-                                               default_base=0.01, cap=0.08)
-        raw_retries = os.environ.get("DEMAQ_CONNECT_RETRIES", "")
-        self.connect_retries = int(raw_retries) if raw_retries \
-            else DEFAULT_CONNECT_RETRIES
+        self.connect_backoff = BackoffPolicy(
+            base=read_field("connect_backoff"), cap=0.08)
+        self.connect_retries = read_field("connect_retries")
         self.connect_retry_sleeps = 0
         #: Replication fast path: ``repl`` frames are handed to this
         #: callable on the *reader* thread (see repl_send).

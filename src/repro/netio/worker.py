@@ -17,6 +17,7 @@ Config keys::
      "nodes": ["node0", "node1"],          # membership (ring order)
      "data_dir": "/path/node0" | null,     # null: in-memory store
      "server": {"durability": "group", "batch_size": 8, ...},
+     "runtime": {"mvcc": true, ...},       # RuntimeConfig.to_json()
      "replication": {"enabled": true, "replicas": 1,
                      "epochs": {"node0": 0, ...}},    # shard epochs
      "chaos": {"kill_after_commits": 3,               # SIGKILL self
@@ -44,6 +45,10 @@ answers with a ``<ctlReply .../>`` envelope carrying the request's
   transport, deleting locally only after the owner's delivered ack
   (at-least-once; retained processed messages stay until retention
   reclaims them);
+* ``checkpoint`` — run a fuzzy checkpoint now (reports ``status``:
+  completed/deferred/skipped); ``truncate`` (attr ``force``) — drop the
+  reclaimable WAL prefix and report the bytes freed; ``config`` — the
+  effective :class:`~repro.config.RuntimeConfig` as JSON;
 * ``repl-status`` — per-primary standby positions (which failover uses
   to pick the most-caught-up replica) and shipper state;
 * ``promote`` (attrs ``primary``, ``epoch``) — seal the standby for
@@ -67,6 +72,7 @@ import time
 
 from ..cluster.membership import ClusterMembership
 from ..cluster.router import RoutingKeys
+from ..config import RuntimeConfig, active, install
 from ..engine.server import DemaqServer
 from ..network import build_envelope, parse_envelope
 from ..network.transport import node_endpoint
@@ -201,7 +207,8 @@ class Worker:
                     self.transport.repl_send,
                     epoch=self.shard_epochs.get(shard, 0),
                     metrics=self.metrics,
-                    on_fenced=lambda s=shard: self._fence_local(s))
+                    on_fenced=lambda s=shard: self._fence_local(s),
+                    reseed_fn=server.store.export_reseed_state)
                 server.store.group_commit.shipper = shipper
                 self.shippers[shard] = shipper
                 shipper.hello()
@@ -327,6 +334,7 @@ class Worker:
                     continue
                 if server.step_local():
                     worked = True
+                server.checkpoints.maybe_run()
             delivered = self.transport.pump()
             if worked:
                 # local rule/echo/gateway work only — control-plane
@@ -388,6 +396,17 @@ class Worker:
             attrs.update(queue=queue)
             children = [Element("t", children=[Text(text)])
                         for text in server.queue_texts(queue)]
+        elif op == "checkpoint":
+            attrs.update(status=server.checkpoint(),
+                         wal_start=server.store.wal.start_lsn(),
+                         wal_end=server.store.wal.end_lsn())
+        elif op == "truncate":
+            force = (root.attribute_value("force") or "") in ("1", "true")
+            attrs.update(dropped=server.truncate_wal(force=force),
+                         wal_start=server.store.wal.start_lsn())
+        elif op == "config":
+            children = [Element("config", children=[
+                Text(json.dumps(active().to_json()))])]
         elif op == "metrics":
             children = [Element("metrics", children=[
                 Text(json.dumps(self.metrics.snapshot()))])]
@@ -563,10 +582,15 @@ class Worker:
 
 
 def main() -> int:
+    config = json.loads(sys.stdin.readline())
+    # Pin the coordinator-shipped runtime config before anything reads a
+    # switch: from here on the process's behaviour is explicit, not
+    # inherited from whatever environment it happened to get.
+    if config.get("runtime") is not None:
+        install(RuntimeConfig.from_json(config["runtime"]))
     # Structured JSON lines on stderr: the coordinator spools (and caps)
     # this stream per worker, and crash reports quote its tail.
     configure_json_logging(sys.stderr)
-    config = json.loads(sys.stdin.readline())
     worker = Worker(config)
     log_event(worker.log, "boot", node=worker.name,
               port=worker.transport.port,

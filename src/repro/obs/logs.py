@@ -61,7 +61,11 @@ def configure_json_logging(stream=None, level: str | None = None,
     (default INFO).
     """
     root = logging.getLogger(ROOT_LOGGER)
-    chosen = os.environ.get(LOG_LEVEL_ENV) or level or "INFO"
+    from ..config import read_field
+    configured = read_field("log_level")
+    # A non-default configured level wins over the caller's argument
+    # (mirrors the old env-beats-argument behaviour).
+    chosen = (configured if configured != "INFO" else None) or level or "INFO"
     root.setLevel(getattr(logging, chosen.upper(), logging.INFO))
     for handler in root.handlers:
         if getattr(handler, "_demaq_json", False) and \

@@ -26,9 +26,10 @@ ship them over the ctl channel; :func:`merge_snapshots` sums them and
 
 from __future__ import annotations
 
-import os
 import threading
 from typing import Callable, Iterable
+
+from ..config import read_field
 
 OBS_ENV = "DEMAQ_OBS"
 
@@ -40,12 +41,9 @@ LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
-def obs_enabled(default: bool = True) -> bool:
+def obs_enabled() -> bool:
     """Whether observability is on for this process (``DEMAQ_OBS``)."""
-    raw = os.environ.get(OBS_ENV)
-    if raw is None or raw == "":
-        return default
-    return raw not in ("0", "false", "no", "off")
+    return read_field("obs")
 
 
 class Counter:

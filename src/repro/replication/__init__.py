@@ -19,26 +19,20 @@ path stays the reference); ``DEMAQ_REPLICA_COUNT`` picks R (default 1).
 
 from __future__ import annotations
 
-import os
+from ..config import read_field
 
 REPLICATION_ENV = "DEMAQ_REPLICATION"
 REPLICA_COUNT_ENV = "DEMAQ_REPLICA_COUNT"
 
 
-def replication_enabled(default: bool = False) -> bool:
+def replication_enabled() -> bool:
     """Whether WAL-shipping replication is on (``DEMAQ_REPLICATION``)."""
-    raw = os.environ.get(REPLICATION_ENV, "")
-    if raw == "":
-        return default
-    return raw.strip().lower() not in ("0", "false", "no", "off")
+    return read_field("replication")
 
 
-def replica_count(default: int = 1) -> int:
+def replica_count() -> int:
     """How many ring successors receive each shard's WAL stream."""
-    raw = os.environ.get(REPLICA_COUNT_ENV, "")
-    if not raw:
-        return default
-    return max(0, int(raw))
+    return max(0, read_field("replica_count"))
 
 
 from .applier import ReplicaApplier           # noqa: E402

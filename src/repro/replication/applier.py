@@ -116,6 +116,8 @@ class ReplicaApplier:
                 self.fence_epoch = max(self.fence_epoch, epoch)
             if frame.get("op") == "hello":
                 return self._ack()
+            if frame.get("op") == "reseed":
+                return self._reseed(frame)
             start = int(frame.get("start", 0))
             raw = base64.b64decode(frame.get("data", ""))
             local_end = self.wal.end_lsn()
@@ -133,6 +135,27 @@ class ReplicaApplier:
             if self.wal.end_lsn() - self._last_flushed >= FLUSH_EVERY_BYTES:
                 self.flush()
             return self._ack()
+
+    def _reseed(self, frame: dict) -> dict:
+        """Replace the standby with checkpoint state at a fresh base.
+
+        The primary truncated the suffix we still needed, so byte copy
+        cannot continue; the frame carries full store state captured at
+        the primary's log end *start*.  A frame whose *start* is at or
+        below our end is stale (every previously shipped byte ends at or
+        below any later capture's LSN) — pure duplicate, just ack our
+        position so the shipper's mark recovers.
+        """
+        start = int(frame.get("start", 0))
+        if start > self.wal.end_lsn():
+            self.wal.reset_to(start)
+            self.store.install_state(frame["state"])
+            self._parsed = start
+            self._txn_buf.clear()
+            self._max_txn = max(self._max_txn,
+                                frame["state"].get("next_txn", 1) - 1)
+            self.flush()
+        return self._ack()
 
     def _ack(self) -> dict:
         return {"kind": "repl", "op": "ack", "primary": self.primary,

@@ -37,13 +37,18 @@ class WalShipper:
                  send_fn: Callable[[str, dict], bool],
                  epoch: int = 0,
                  metrics=None,
-                 on_fenced: Callable[[], None] | None = None):
+                 on_fenced: Callable[[], None] | None = None,
+                 reseed_fn: Callable[[], tuple[int, dict]] | None = None):
         self.primary = primary
         self.wal = wal
         self.replicas = list(replicas)
         self.send_fn = send_fn
         self.epoch = epoch
         self.on_fenced = on_fenced
+        #: Captures ``(wal_end, full store state)`` for a replica whose
+        #: position fell below the truncated log's base (DESIGN.md §10).
+        self.reseed_fn = reseed_fn
+        self.reseeds = 0
         self._cond = threading.Condition()
         self._sent = {replica: 0 for replica in self.replicas}
         self._acked = {replica: 0 for replica in self.replicas}
@@ -94,6 +99,13 @@ class WalShipper:
             plan = [(replica, sent) for replica, sent in self._sent.items()
                     if sent < end]
         for replica, sent in plan:
+            if sent < self.wal.start_lsn():
+                # The suffix this replica needs was truncated away: the
+                # byte-copy protocol cannot catch it up.  Ship the full
+                # checkpoint state instead; bytes resume at its LSN.
+                sent = self._reseed(replica, sent)
+                if sent is None:
+                    continue
             while sent < end:
                 chunk_end = min(end, sent + MAX_SEGMENT_BYTES)
                 raw = self.wal.read_bytes(sent, chunk_end)
@@ -123,6 +135,33 @@ class WalShipper:
                         break
                     self._sent[replica] = sent + len(raw)
                 sent += len(raw)
+
+    def _reseed(self, replica: str, sent: int) -> int | None:
+        """Send full checkpoint state; returns the new sent mark.
+
+        Returns None when re-seeding is unavailable or the send failed —
+        the replica's mark is left untouched and a later ship retries.
+        """
+        if self.reseed_fn is None:
+            return None
+        start, state = self.reseed_fn()
+        frame = {"kind": "repl", "op": "reseed",
+                 "primary": self.primary, "epoch": self.epoch,
+                 "start": start, "state": state}
+        try:
+            delivered = self.send_fn(replica, frame)
+        except Exception:
+            delivered = False
+        if not delivered:
+            with self._cond:
+                self.ship_failures += 1
+            return None
+        with self._cond:
+            if self.fenced or self._sent.get(replica) != sent:
+                return None
+            self._sent[replica] = start
+            self.reseeds += 1
+        return start
 
     def hello(self) -> None:
         """Probe every replica: elicits an ack (or a fence verdict).
@@ -190,6 +229,16 @@ class WalShipper:
         """Highest LSN any replica has acknowledged."""
         with self._cond:
             return max(self._acked.values(), default=0)
+
+    def min_acked(self) -> int | None:
+        """Lowest replica ack — the truncation horizon's replica term.
+
+        None with no replicas configured (no constraint to respect).
+        """
+        with self._cond:
+            if not self._acked:
+                return None
+            return min(self._acked.values())
 
     def lag_bytes(self) -> int:
         with self._cond:

@@ -9,6 +9,7 @@ deferred-update transactions.
 
 from .btree import BPlusTree
 from .buffer import BufferManager
+from .checkpoint import CheckpointScheduler
 from .disk import PAGE_SIZE, FileDiskManager, InMemoryDiskManager
 from .errors import (BufferError_, DeadlockError, LockError, LockTimeoutError,
                      PageError, StorageError, TransactionError, WALError)
@@ -23,7 +24,8 @@ from .transactions import Transaction, TransactionManager, TxnState
 from .wal import LogAnalysis, LogRecord, WALStats, WriteAheadLog
 
 __all__ = [
-    "BPlusTree", "BufferManager", "PAGE_SIZE", "FileDiskManager",
+    "BPlusTree", "BufferManager", "CheckpointScheduler",
+    "PAGE_SIZE", "FileDiskManager",
     "InMemoryDiskManager",
     "BufferError_", "DeadlockError", "LockError", "LockTimeoutError",
     "PageError", "StorageError", "TransactionError", "WALError",

@@ -121,6 +121,12 @@ class BufferManager:
 
     # -- checkpoint support ------------------------------------------------------------
 
+    def dirty_page_ids(self) -> list[int]:
+        """Resident dirty pages — the fuzzy checkpoint's work list."""
+        with self._lock:
+            return sorted(page_id for page_id, frame in self._frames.items()
+                          if frame.dirty)
+
     def flush_page(self, page_id: int) -> None:
         with self._lock:
             frame = self._frames.get(page_id)

@@ -1,0 +1,101 @@
+"""The checkpoint scheduler: endurance operation for the storage layer.
+
+A Demaq node that runs for days accumulates WAL without bound unless
+someone checkpoints and truncates — the paper's retention-driven
+deletion (§2.3.3, §4.1) reclaims *messages* but never *log space*.  The
+scheduler closes that loop (DESIGN.md §10): it is a tickable policy
+object the server drives from its scheduling loop (and the worker from
+its request loop), so no extra thread is needed and ticks never race
+transaction execution.
+
+Triggers, checked per tick:
+
+* *byte trigger* — ``interval_bytes`` of WAL appended since the last
+  completed checkpoint;
+* *clock trigger* — ``interval_seconds`` of wall time elapsed since
+  the last completed checkpoint;
+* *retry* — the previous attempt returned ``"deferred"`` (a chained
+  batch had published uncommitted work); the next tick retries
+  regardless of the other triggers;
+* *ceiling* — the live log exceeds ``wal_ceiling_bytes``; the follow-up
+  truncation then runs in *force* mode, dropping the replica-ack
+  constraint so a lagging replica re-seeds from checkpoint instead of
+  holding the log hostage.
+
+All intervals default to 0 = disabled, so a store without explicit
+configuration never checkpoints behind the application's back.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class CheckpointScheduler:
+    """Drives fuzzy checkpoints + WAL truncation off explicit ticks."""
+
+    def __init__(self, store, interval_bytes: int = 0,
+                 interval_seconds: float = 0.0,
+                 wal_ceiling_bytes: int = 0,
+                 truncate: bool = True):
+        self.store = store
+        self.interval_bytes = interval_bytes
+        self.interval_seconds = interval_seconds
+        self.wal_ceiling_bytes = wal_ceiling_bytes
+        self.truncate = truncate
+        self._last_lsn = store.wal.end_lsn()
+        self._last_time = time.monotonic()
+        self._retry_pending = False
+        self.runs = 0
+        self.deferred = 0
+        self.truncated_bytes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.interval_bytes or self.interval_seconds
+                    or self.wal_ceiling_bytes)
+
+    def _over_ceiling(self) -> bool:
+        return bool(self.wal_ceiling_bytes) and \
+            self.store.wal.size_bytes() > self.wal_ceiling_bytes
+
+    def _due(self) -> bool:
+        if self._retry_pending:
+            return True
+        if self._over_ceiling():
+            return True
+        if self.interval_bytes and \
+                self.store.wal.end_lsn() - self._last_lsn >= \
+                self.interval_bytes:
+            return True
+        if self.interval_seconds and \
+                time.monotonic() - self._last_time >= self.interval_seconds:
+            return True
+        return False
+
+    def maybe_run(self) -> str | None:
+        """One tick: checkpoint (+ truncate) if a trigger fired.
+
+        Returns the checkpoint status when an attempt ran, None when
+        nothing was due.
+        """
+        if not self.enabled or not self._due():
+            return None
+        status = self.store.checkpoint()
+        if status == "deferred":
+            # A chained batch holds published uncommitted work; retry
+            # on the next tick instead of waiting out a full interval.
+            self._retry_pending = True
+            self.deferred += 1
+            return status
+        self._retry_pending = False
+        if status == "completed":
+            self.runs += 1
+            self._last_lsn = self.store.wal.end_lsn()
+            self._last_time = time.monotonic()
+            if self.truncate:
+                # Over the ceiling, drop the replica constraint: the
+                # lagging replica re-seeds from checkpoint state.
+                self.truncated_bytes += self.store.truncate_wal(
+                    force=self._over_ceiling())
+        return status

@@ -39,6 +39,14 @@ class RecordHeap:
     def __init__(self, buffer: BufferManager):
         self.buffer = buffer
         self._open_page: int | None = None
+        #: Pages where deletes freed space — candidates for reuse so
+        #: retention deletion returns storage instead of only growing.
+        self._free_pages: set[int] = set()
+
+    def reset_hints(self) -> None:
+        """Forget placement hints (after recovery/crash simulation)."""
+        self._open_page = None
+        self._free_pages.clear()
 
     def store(self, record: bytes, lsn: int = 0) -> RID:
         """Write *record*, returning its RID.
@@ -70,6 +78,20 @@ class RecordHeap:
                 pass
             finally:
                 self.buffer.unpin(page_id, dirty=True)
+        # Deletes left holes behind: probe a bounded number of candidate
+        # pages before extending the heap (compaction-by-reuse, §4.1
+        # retention reclaims space, not just messages).
+        for page_id in sorted(self._free_pages)[:8]:
+            page = self.buffer.pin(page_id)
+            try:
+                slot = page.insert(payload)
+                page.raise_lsn(lsn)
+            except PageError:
+                self._free_pages.discard(page_id)
+                self.buffer.unpin(page_id)
+            else:
+                self.buffer.unpin(page_id, dirty=True)
+                return page_id, slot
         page_id, page = self.buffer.new_page()
         try:
             slot = page.insert(payload)
@@ -99,15 +121,22 @@ class RecordHeap:
         return b"".join(parts)
 
     def delete(self, rid: RID, lsn: int = 0) -> None:
-        """Free every chunk of a record."""
+        """Free every chunk of a record.  Idempotent: an already-freed
+        slot ends the walk (a record's chunks are freed together, so a
+        freed head means the whole chain is gone — redo may replay a
+        delete whose effect a fuzzy checkpoint already captured)."""
         page_id, slot = rid.page_id, rid.slot
         while page_id != _NO_PAGE:
             page = self.buffer.pin(page_id)
             try:
-                raw = page.read(slot)
+                try:
+                    raw = page.read(slot)
+                except PageError:
+                    break  # slot already freed — chain is gone
                 next_page, next_slot = _CHUNK_HEADER.unpack_from(raw, 0)
                 page.delete(slot)
                 page.lsn = max(page.lsn, lsn)
+                self._free_pages.add(page_id)
             finally:
                 self.buffer.unpin(page_id, dirty=True)
             page_id, slot = next_page, next_slot

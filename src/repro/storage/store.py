@@ -31,6 +31,7 @@ physical-immediate and 2PL read locks provide the reference semantics.
 
 from __future__ import annotations
 
+import base64
 import json
 import os
 import threading
@@ -42,6 +43,7 @@ from dataclasses import dataclass, field
 from decimal import Decimal
 from typing import Iterable, Optional
 
+from ..config import read_field
 from ..obs import MetricsRegistry
 from ..xmldm import Document, parse as parse_xml
 from ..xquery.atomics import XSDateTime
@@ -52,7 +54,8 @@ from .groupcommit import GroupCommitCoordinator
 from .heap import RID, RecordHeap
 from .transactions import (DeleteOp, InsertOp, MarkProcessedOp, RollbackToOp,
                            SavepointOp, SliceResetOp, Transaction,
-                           TransactionManager, _replay, advance_txn_ids)
+                           TransactionManager, _replay, advance_txn_ids,
+                           next_txn_id_hint)
 from .btree import BPlusTree
 from . import wal as walmod
 from .wal import WriteAheadLog
@@ -147,6 +150,10 @@ class StoreStatistics:
     body_parses: int = 0
     parse_cache_hits: int = 0
     purged_versions: int = 0
+    checkpoints: int = 0
+    checkpoints_deferred: int = 0
+    wal_truncations: int = 0
+    wal_truncated_bytes: int = 0
 
 
 class MessageStore:
@@ -170,19 +177,19 @@ class MessageStore:
         self.parse_cache_capacity = parse_cache_capacity
         self._mutex = threading.RLock()
 
-        # Multiversion reads: explicit argument, then the DEMAQ_MVCC
-        # environment (how CI runs the suite per mode), default on.
+        # Multiversion reads: explicit argument, then the runtime config
+        # (DEMAQ_MVCC — how CI runs the suite per mode), default on.
         if mvcc is None:
-            raw = os.environ.get("DEMAQ_MVCC", "")
-            mvcc = raw.strip().lower() not in ("0", "false", "no", "off")
+            mvcc = read_field("mvcc")
         self.mvcc = bool(mvcc)
 
         # Durability policy resolution: explicit argument, then the
-        # DEMAQ_DURABILITY environment (how CI runs the whole suite per
-        # policy), then the legacy sync_commits flag (False always meant
-        # "acknowledge before force").  The coordinator validates it.
+        # runtime config (DEMAQ_DURABILITY — how CI runs the whole suite
+        # per policy), then the legacy sync_commits flag (False always
+        # meant "acknowledge before force").  The coordinator validates
+        # it.
         if durability is None:
-            durability = os.environ.get("DEMAQ_DURABILITY") or \
+            durability = read_field("durability") or \
                 ("sync" if sync_commits else "async")
         self.durability = durability
         self._group_commit_max_wait = group_commit_max_wait
@@ -239,6 +246,12 @@ class MessageStore:
         self._next_read_token = 1
         self._next_msg_id = 1
         self._next_seqno = 1
+        #: Serializes whole checkpoints (scheduler vs. ctl op).
+        self._checkpoint_lock = threading.Lock()
+        #: While a fuzzy checkpoint's page flush is in flight, the purge
+        #: horizon is capped here so no RID the snapshot catalog
+        #: references is physically freed before the checkpoint lands.
+        self._checkpoint_pin: int | None = None
 
         self._commit_timer = self.metrics.histogram(
             "demaq_store_commit_seconds",
@@ -276,7 +289,15 @@ class MessageStore:
                 ("parse_cache_hits", "demaq_store_parse_cache_hits_total",
                  "Body reads served from the parse cache"),
                 ("purged_versions", "demaq_store_purged_versions_total",
-                 "Dead versions physically removed below the horizon")):
+                 "Dead versions physically removed below the horizon"),
+                ("checkpoints", "demaq_checkpoint_total",
+                 "Checkpoints completed"),
+                ("checkpoints_deferred", "demaq_checkpoint_deferred_total",
+                 "Checkpoints deferred by an open chained batch"),
+                ("wal_truncations", "demaq_wal_truncations_total",
+                 "WAL prefix truncations applied"),
+                ("wal_truncated_bytes", "demaq_wal_truncated_bytes_total",
+                 "WAL bytes physically dropped by truncation")):
             registry.collect(name, lambda a=attr: getattr(self.stats, a),
                              help=help_)
         registry.collect("demaq_wal_appended_records_total",
@@ -316,6 +337,17 @@ class MessageStore:
         registry.collect("demaq_store_dead_versions",
                          lambda: len(self._dead), kind="gauge",
                          help="Deleted versions awaiting purge")
+        registry.collect("demaq_wal_size_bytes",
+                         lambda: self.wal.size_bytes(), kind="gauge",
+                         help="WAL bytes physically retained "
+                              "(end LSN minus truncation base)")
+        registry.collect("demaq_wal_start_lsn",
+                         lambda: self.wal.start_lsn(), kind="gauge",
+                         help="First LSN still present in the log")
+        registry.collect("demaq_store_last_recovery_seconds",
+                         lambda: self.stats.last_recovery_seconds,
+                         kind="gauge",
+                         help="Duration of the most recent recovery pass")
 
     # -- snapshots (MVCC) --------------------------------------------------------
 
@@ -638,7 +670,7 @@ class MessageStore:
         meta = self._catalog.pop(msg_id, None)
         if meta is None:
             return
-        self.heap.delete(RID(*meta.rid))
+        self.heap.delete(RID(*meta.rid), lsn=lsn)
         self._parse_cache.pop(msg_id, None)
         self._queue_index.delete((meta.queue, meta.seqno))
         for slicing, key, lifetime in meta.slices:
@@ -949,6 +981,11 @@ class MessageStore:
         with self._mutex:
             if horizon is None:
                 horizon = self.snapshot_horizon()
+            if self._checkpoint_pin is not None:
+                # A fuzzy checkpoint captured the catalog and is still
+                # flushing pages: versions live in that snapshot must
+                # keep their heap records until the checkpoint lands.
+                horizon = min(horizon, self._checkpoint_pin)
             purged = 0
             if self._dead:
                 victims = [msg_id for msg_id, lsn in self._dead.items()
@@ -967,10 +1004,10 @@ class MessageStore:
 
     def _purge_one(self, msg_id: int) -> None:
         meta = self._catalog.pop(msg_id, None)
-        self._dead.pop(msg_id, None)
+        deleted_lsn = self._dead.pop(msg_id, None)
         if meta is None:
             return
-        self.heap.delete(RID(*meta.rid))
+        self.heap.delete(RID(*meta.rid), lsn=deleted_lsn or 0)
         self._parse_cache.pop(msg_id, None)
         self._queue_index.delete((meta.queue, meta.seqno))
         for slicing, key, lifetime in meta.slices:
@@ -983,54 +1020,183 @@ class MessageStore:
         assert self.directory is not None
         return os.path.join(self.directory, "checkpoint.json")
 
-    def checkpoint(self) -> None:
-        """Flush pages, snapshot the catalog, and log a checkpoint record."""
+    def _snapshot_state(self) -> dict:
+        """The catalog snapshot dict — caller holds the latch."""
+        return {
+            "next_msg_id": self._next_msg_id,
+            "next_seqno": self._next_seqno,
+            "next_txn": next_txn_id_hint(),
+            "visible_lsn": self._visible_lsn,
+            "lifetimes": [[s, k, v] for (s, k), v
+                          in self._lifetimes.items()],
+            "messages": [
+                {
+                    "msg_id": m.msg_id,
+                    "queue": m.queue,
+                    "seqno": m.seqno,
+                    "rid": list(m.rid),
+                    "properties": {k: encode_value(v)
+                                   for k, v in m.properties.items()},
+                    "slices": [[s, k, lt] for s, k, lt in m.slices],
+                    "processed": m.processed,
+                    "created_lsn": m.created_lsn,
+                    "deleted_lsn": m.deleted_lsn,
+                }
+                for m in self._catalog.values() if m.persistent
+            ],
+        }
+
+    def checkpoint(self) -> str:
+        """Fuzzy checkpoint: snapshot under the latch, flush pages
+        incrementally, then log CHECKPOINT.
+
+        Returns ``"completed"``, ``"deferred"`` (a chained transaction
+        has published uncommitted work — the scheduler retries), or
+        ``"skipped"`` (in-memory store, nothing to checkpoint against).
+
+        The snapshot and its LSN are captured in one latch acquisition
+        (phase 1); dirty pages are then flushed one short latch
+        acquisition at a time, so commits interleave with the page sweep
+        instead of stalling behind one long ``flush_all`` (phase 2).
+        Records appended during phase 2 land *after* the snapshot LSN
+        and are replayed on recovery — replay is idempotent (inserts
+        keyed by msg_id, processed/delete marks absorb repeats, heap
+        deletes tolerate already-freed slots), so the fuzziness is
+        invisible.  The CHECKPOINT record's ``wal_end`` is the snapshot
+        LSN, not the append-time LSN: recovery must replay everything
+        the snapshot did not see.
+        """
         if self.directory is None:
-            return
+            return "skipped"
+        with self._checkpoint_lock:
+            with self._mutex:
+                if self._published_open:
+                    self.stats.checkpoints_deferred += 1
+                    return "deferred"
+                if self.mvcc:
+                    # Reclaim what the horizon allows first; versions
+                    # still pinned by an active snapshot are
+                    # checkpointed *with* their delete LSN so a restart
+                    # keeps them dead (no snapshot survives a restart,
+                    # so recovery purges them).
+                    self.purge_dead_versions()
+                checkpoint_lsn = self.wal.end_lsn()
+                snapshot = self._snapshot_state()
+                dirty = self.buffer.dirty_page_ids()
+                self._checkpoint_pin = checkpoint_lsn
+            try:
+                for page_id in dirty:
+                    # Brief per-page latch: a page image must not be
+                    # copied mid-mutation, but commits may run between
+                    # pages — that is the incremental part.
+                    with self._mutex:
+                        self.buffer.flush_page(page_id)
+                self._disk.sync()
+                tmp = self._checkpoint_path() + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(snapshot, fh)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self._checkpoint_path())
+            finally:
+                with self._mutex:
+                    self._checkpoint_pin = None
+            with self._mutex:
+                self.wal.append(walmod.CHECKPOINT, None,
+                                wal_end=checkpoint_lsn,
+                                visible_lsn=snapshot["visible_lsn"])
+                self.wal.flush()
+                self.stats.checkpoints += 1
+        return "completed"
+
+    def truncate_wal(self, force: bool = False) -> int:
+        """Physically drop the WAL prefix no longer needed; returns
+        bytes dropped.
+
+        The truncation point is ``min(checkpoint wal_end, version
+        horizon, replica ack horizon)`` — everything below it is (a)
+        reconstructible from the checkpoint, (b) invisible to every
+        active snapshot, and (c) already held by every replica.  With
+        ``force=True`` the replica constraint is dropped (the WAL
+        ceiling breach case): a replica still needing the dropped prefix
+        re-seeds from checkpoint state instead of holding the log
+        hostage (DESIGN.md §10).
+        """
         with self._mutex:
-            if self._published_open:
-                raise StorageError(
-                    "cannot checkpoint while a chained transaction has "
-                    "published uncommitted work")
-            if self.mvcc:
-                # Reclaim what the horizon allows first; versions still
-                # pinned by an active snapshot are checkpointed *with*
-                # their delete LSN so a restart keeps them dead (no
-                # snapshot survives a restart, so recovery purges them).
-                self.purge_dead_versions()
-            self.buffer.flush_all()
-            snapshot = {
-                "next_msg_id": self._next_msg_id,
-                "next_seqno": self._next_seqno,
-                "visible_lsn": self._visible_lsn,
-                "lifetimes": [[s, k, v] for (s, k), v
-                              in self._lifetimes.items()],
-                "messages": [
-                    {
-                        "msg_id": m.msg_id,
-                        "queue": m.queue,
-                        "seqno": m.seqno,
-                        "rid": list(m.rid),
-                        "properties": {k: encode_value(v)
-                                       for k, v in m.properties.items()},
-                        "slices": [[s, k, lt] for s, k, lt in m.slices],
-                        "processed": m.processed,
-                        "created_lsn": m.created_lsn,
-                        "deleted_lsn": m.deleted_lsn,
-                    }
-                    for m in self._catalog.values() if m.persistent
-                ],
-            }
-            tmp = self._checkpoint_path() + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(snapshot, fh)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self._checkpoint_path())
-            self.wal.append(walmod.CHECKPOINT, None,
-                            wal_end=self.wal.end_lsn(),
-                            visible_lsn=self._visible_lsn)
-            self.wal.flush()
+            checkpoint = self.wal.last_checkpoint()
+            if checkpoint is None:
+                return 0
+            target = min(checkpoint.data["wal_end"],
+                         self.snapshot_horizon())
+            shipper = getattr(self.group_commit, "shipper", None)
+            if shipper is not None and not force:
+                acked = shipper.min_acked()
+                if acked is not None:
+                    target = min(target, acked)
+            dropped = self.wal.truncate_prefix(target)
+            if dropped:
+                self.stats.wal_truncations += 1
+                self.stats.wal_truncated_bytes += dropped
+            return dropped
+
+    # -- replica re-seed (truncated-past-the-horizon standby) -----------------------
+
+    def export_reseed_state(self) -> tuple[int, dict]:
+        """Capture ``(wal_end, state)`` for re-seeding a lagging replica.
+
+        Unlike the checkpoint snapshot, the state carries message
+        *bodies* (the replica has no pages.dat to read them from).
+        Shipped bytes resume exactly at the returned LSN.
+        """
+        with self._mutex:
+            state = self._snapshot_state()
+            for raw in state["messages"]:
+                body = self.heap.fetch(RID(*raw.pop("rid")))
+                raw["body"] = base64.b64encode(body).decode("ascii")
+            return self.wal.end_lsn(), state
+
+    def install_state(self, state: dict) -> None:
+        """Replace all store contents with re-seed *state* (standby)."""
+        with self._mutex:
+            self.buffer.drop_all()
+            self._catalog.clear()
+            self._parse_cache.clear()
+            self._queue_index = BPlusTree()
+            self._slice_index = BPlusTree()
+            for pair in self._property_indexes:
+                self._property_indexes[pair] = BPlusTree()
+            self._lifetimes.clear()
+            self._snapshots.clear()
+            self._dead.clear()
+            self._reset_lsns.clear()
+            self.heap.reset_hints()
+            self._next_msg_id = state["next_msg_id"]
+            self._next_seqno = state["next_seqno"]
+            self._visible_lsn = state["visible_lsn"]
+            advance_txn_ids(state["next_txn"])
+            for slicing, key, lifetime in state["lifetimes"]:
+                self._lifetimes[(slicing, key)] = lifetime
+            for raw in state["messages"]:
+                body = base64.b64decode(raw["body"])
+                rid = self.heap.store(body, lsn=self.wal.end_lsn())
+                meta = StoredMessage(
+                    msg_id=raw["msg_id"], queue=raw["queue"],
+                    seqno=raw["seqno"], rid=rid.as_tuple(),
+                    properties={k: decode_value(v)
+                                for k, v in raw["properties"].items()},
+                    slices=[(s, k, lt) for s, k, lt in raw["slices"]],
+                    processed=raw["processed"],
+                    created_lsn=raw.get("created_lsn", 0),
+                    deleted_lsn=raw.get("deleted_lsn"))
+                if meta.deleted_lsn is not None:
+                    self._dead[meta.msg_id] = meta.deleted_lsn
+                self._catalog[meta.msg_id] = meta
+                self._queue_index.insert((meta.queue, meta.seqno),
+                                         meta.msg_id)
+                for slicing, key, lifetime in meta.slices:
+                    self._slice_index.insert(
+                        (slicing, key, lifetime, meta.seqno), meta.msg_id)
+                self._index_properties(meta)
 
     def simulate_crash(self, lose_unflushed: bool = False) -> None:
         """Drop all volatile state (buffer pool + in-memory structures).
@@ -1053,6 +1219,7 @@ class MessageStore:
             max_wait=self._group_commit_max_wait)
         with self._mutex:
             self.buffer.drop_all()
+            self.heap.reset_hints()
             self._catalog.clear()
             self._parse_cache.clear()
             self._queue_index = BPlusTree()
@@ -1073,6 +1240,7 @@ class MessageStore:
             # extend the valid log, not hide behind garbage.
             self.wal.truncate_torn_tail()
             self._published_open.clear()
+            self.heap.reset_hints()
             self._catalog.clear()
             self._parse_cache.clear()
             self._queue_index = BPlusTree()
@@ -1088,6 +1256,7 @@ class MessageStore:
             self._next_seqno = 1
 
             replay_from = 0
+            next_txn_floor = 1
             checkpoint = self.wal.last_checkpoint()
             if checkpoint is not None and os.path.exists(
                     self._checkpoint_path()):
@@ -1095,16 +1264,21 @@ class MessageStore:
                     snapshot = json.load(fh)
                 self._load_snapshot(snapshot)
                 replay_from = checkpoint.data["wal_end"]
+                next_txn_floor = snapshot.get("next_txn", 1)
 
             # Txn ids restart at 1 per process; move the counter past
             # every id in the log so a new COMMIT cannot recycle an old
             # loser's id and resurrect its records on the next replay.
+            # Bounded: the checkpoint snapshot carries the id watermark
+            # for everything below ``replay_from``, so only the tail is
+            # scanned — recovery cost tracks the checkpoint interval,
+            # not total log history.
             max_txn = 0
-            for record in self.wal.records():
+            for record in self.wal.records(replay_from):
                 if record.txn is not None and record.txn > max_txn:
                     max_txn = record.txn
-            if max_txn:
-                advance_txn_ids(max_txn + 1)
+            if max_txn or next_txn_floor > 1:
+                advance_txn_ids(max(max_txn + 1, next_txn_floor))
 
             analysis = walmod.analyze_records(self.wal.records(replay_from))
             replayed = 0

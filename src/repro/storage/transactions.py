@@ -40,6 +40,19 @@ def advance_txn_ids(minimum: int) -> None:
     _TXN_IDS = itertools.count(max(current, minimum))
 
 
+def next_txn_id_hint() -> int:
+    """The next txn id that would be handed out (checkpoint metadata).
+
+    Peeking consumes one id and re-creates the counter — checkpoints
+    record this so bounded recovery can advance the id space without
+    scanning the truncated log prefix.
+    """
+    global _TXN_IDS
+    current = next(_TXN_IDS)
+    _TXN_IDS = itertools.count(current)
+    return current
+
+
 class TxnState(Enum):
     ACTIVE = "active"
     COMMITTED = "committed"

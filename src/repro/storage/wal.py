@@ -5,6 +5,15 @@ payload is a JSON object; the LSN of a record is its byte offset.  A torn
 tail (partial record after a crash) is detected by length/CRC and cleanly
 truncated — everything before it is intact.
 
+Prefix truncation (DESIGN.md §10): a log may start at a non-zero *base
+LSN* — the file then opens with a small header (magic + u64 base) and
+byte ``base + i`` of the logical stream lives at file offset
+``header + i``.  LSNs stay absolute forever: truncating the prefix below
+a checkpoint rewrites the file with a higher base but never renumbers a
+record, so replication byte-offsets and page LSNs remain comparable
+across truncations.  Headerless files are the legacy base-0 format and
+keep opening unchanged.
+
 Demaq's append-only message model (paper §2.3.3/§4.1) shows up here
 directly: message *inserts* carry their payload (the log is the data, so
 redo needs no undo images), and with retention-derived deletion the store
@@ -26,6 +35,12 @@ from typing import Iterator, Optional
 from .errors import WALError
 
 _FRAME = struct.Struct("<II")
+
+#: File header of a prefix-truncated log: magic + u64 base LSN.  Legacy
+#: logs have no header (base 0); the magic cannot collide with a record
+#: frame whose first four bytes are a little-endian length.
+_WAL_MAGIC = b"DMQWAL10"
+_BASE_HEADER = struct.Struct("<8sQ")
 
 # Record types
 BEGIN = "begin"
@@ -65,6 +80,12 @@ class WriteAheadLog:
     def __init__(self, path: str | None = None):
         self.path = path
         self._lock = threading.RLock()
+        #: First LSN still present (the base); bytes below it were
+        #: physically truncated away.  All public offsets stay absolute.
+        self._start = 0
+        #: File offset where logical byte ``_start`` lives (the header
+        #: size; 0 for legacy headerless files and memory logs).
+        self._data_offset = 0
         if path is None:
             self._file = None
             self._buffer = bytearray()
@@ -72,8 +93,14 @@ class WriteAheadLog:
         else:
             self._file = open(path, "a+b")
             self._buffer = None
+            self._file.seek(0)
+            head = self._file.read(_BASE_HEADER.size)
+            if len(head) == _BASE_HEADER.size \
+                    and head[:len(_WAL_MAGIC)] == _WAL_MAGIC:
+                self._start = _BASE_HEADER.unpack(head)[1]
+                self._data_offset = _BASE_HEADER.size
             self._file.seek(0, os.SEEK_END)
-            self._size = self._file.tell()
+            self._size = self._start + self._file.tell() - self._data_offset
         self._flushed_lsn = self._size
         self.appended_records = 0
         self.flushes = 0
@@ -105,6 +132,11 @@ class WriteAheadLog:
         with self._lock:
             return self._size
 
+    def start_lsn(self) -> int:
+        """First LSN still physically present (the truncation base)."""
+        with self._lock:
+            return self._start
+
     # -- raw byte transfer (replication) ---------------------------------------
 
     def read_bytes(self, start: int, end: int) -> bytes:
@@ -118,11 +150,16 @@ class WriteAheadLog:
             end = min(end, self._size)
             if start >= end:
                 return b""
+            if start < self._start:
+                raise WALError(
+                    f"WAL bytes below {self._start} were truncated "
+                    f"(requested {start})")
             if self._file is not None:
                 self._file.flush()
-                self._file.seek(start)
+                self._file.seek(start - self._start + self._data_offset)
                 return self._file.read(end - start)
-            return bytes(self._buffer[start:end])
+            return bytes(self._buffer[start - self._start:
+                                      end - self._start])
 
     def append_bytes(self, raw: bytes) -> int:
         """Append already-framed record bytes (replica standby apply).
@@ -194,9 +231,10 @@ class WriteAheadLog:
                 return 0
             if self._file is not None:
                 self._file.flush()
-                self._file.truncate(self._flushed_lsn)
+                self._file.truncate(
+                    self._flushed_lsn - self._start + self._data_offset)
             else:
-                del self._buffer[self._flushed_lsn:]
+                del self._buffer[self._flushed_lsn - self._start:]
             self._size = self._flushed_lsn
             return lost
 
@@ -221,20 +259,22 @@ class WriteAheadLog:
         stopping at the first torn/corrupt frame — the one shared frame
         walk behind reading and tail truncation."""
         with self._lock:
+            base = self._start
             if self._file is not None:
                 self._file.flush()
-                self._file.seek(0)
-                raw = self._file.read(self._size)
+                self._file.seek(self._data_offset)
+                raw = self._file.read(self._size - base)
             else:
                 raw = bytes(self._buffer)
-        offset = from_lsn
-        while offset + _FRAME.size <= len(raw):
-            length, crc = _FRAME.unpack_from(raw, offset)
+        # A record below the truncation base is gone; start at the base.
+        offset = max(from_lsn, base)
+        while offset - base + _FRAME.size <= len(raw):
+            length, crc = _FRAME.unpack_from(raw, offset - base)
             start = offset + _FRAME.size
             end = start + length
-            if end > len(raw):
+            if end - base > len(raw):
                 return  # torn tail
-            payload = raw[start:end]
+            payload = raw[start - base:end - base]
             if zlib.crc32(payload) != crc:
                 return  # torn/corrupt tail
             try:
@@ -260,19 +300,77 @@ class WriteAheadLog:
                 return 0
             if self._file is not None:
                 self._file.flush()
-                self._file.truncate(end)
+                self._file.truncate(end - self._start + self._data_offset)
             else:
-                del self._buffer[end:]
+                del self._buffer[end - self._start:]
             self._size = end
             self._flushed_lsn = min(self._flushed_lsn, end)
             return lost
 
     def _valid_end(self) -> int:
         """Offset just past the last well-formed record."""
-        end = 0
+        end = self._start
         for _, end in self._scan():
             pass
         return end
+
+    # -- prefix truncation (checkpointing) -------------------------------------
+
+    def truncate_prefix(self, new_start: int) -> int:
+        """Physically drop all bytes below *new_start*; returns bytes dropped.
+
+        Only flushed bytes may be dropped (a crash between the rewrite
+        and the next force must not lose unforced tail records), and the
+        base never moves backwards.  File mode rewrites the log as
+        ``header(new base) + suffix`` via a temp file + atomic rename so
+        a crash mid-truncation leaves either the old or the new log.
+        """
+        with self._lock:
+            new_start = min(new_start, self._flushed_lsn)
+            dropped = new_start - self._start
+            if dropped <= 0:
+                return 0
+            if self._file is not None:
+                self._file.flush()
+                self._file.seek(new_start - self._start + self._data_offset)
+                suffix = self._file.read()
+                tmp = self.path + ".truncate"
+                with open(tmp, "wb") as out:
+                    out.write(_BASE_HEADER.pack(_WAL_MAGIC, new_start))
+                    out.write(suffix)
+                    out.flush()
+                    os.fsync(out.fileno())
+                self._file.close()
+                os.replace(tmp, self.path)
+                self._file = open(self.path, "a+b")
+            else:
+                del self._buffer[:new_start - self._start]
+            self._start = new_start
+            self._data_offset = _BASE_HEADER.size if self._file is not None \
+                else 0
+            return dropped
+
+    def reset_to(self, start: int) -> None:
+        """Drop ALL content and restart the log at base *start*.
+
+        Standby re-seed: after installing a checkpoint state captured at
+        primary LSN *start*, the replica's old log is obsolete — shipped
+        bytes resume exactly at *start*.
+        """
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                with open(self.path, "wb") as out:
+                    out.write(_BASE_HEADER.pack(_WAL_MAGIC, start))
+                    out.flush()
+                    os.fsync(out.fileno())
+                self._file = open(self.path, "a+b")
+                self._data_offset = _BASE_HEADER.size
+            else:
+                self._buffer.clear()
+            self._start = start
+            self._size = start
+            self._flushed_lsn = start
 
     def last_checkpoint(self) -> Optional[LogRecord]:
         checkpoint = None
@@ -282,7 +380,9 @@ class WriteAheadLog:
         return checkpoint
 
     def size_bytes(self) -> int:
-        return self.end_lsn()
+        """Physical bytes retained (logical end minus truncated base)."""
+        with self._lock:
+            return self._size - self._start
 
     def close(self) -> None:
         with self._lock:

@@ -22,8 +22,7 @@ variable (``compiled`` when unset); :func:`make_evaluator` hands out a
 
 from __future__ import annotations
 
-import os
-
+from ..config import read_field
 from ..xmldm import Node
 from . import ast
 from .atomics import UntypedAtomic, XSDateTime, cast_atomic
@@ -58,8 +57,8 @@ def _resolve_backend(name: str, where: str) -> str:
 
 def active_backend() -> str:
     """The selected backend name: ``"compiled"`` (default) or ``"interp"``."""
-    raw = os.environ.get(BACKEND_ENV_VAR)
-    if raw is None or not raw.strip():
+    raw = read_field("xquery_backend")
+    if not raw.strip():
         return "compiled"
     return _resolve_backend(raw, f" in ${BACKEND_ENV_VAR}")
 

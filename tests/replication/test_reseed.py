@@ -1,0 +1,152 @@
+"""Replica re-seed after the primary truncates past the ack horizon.
+
+WAL shipping is a byte-suffix copy, so a replica whose position falls
+below the truncated log's base can never catch up by bytes alone.  The
+shipper detects the condition (``sent < wal.start_lsn()``) and ships
+full checkpoint state instead; the stream resumes at the capture LSN
+(DESIGN.md §10).  The hypothesis property at the bottom drives the
+whole lifecycle — lag, force-truncate, re-seed, resume — and asserts
+zero acked-commit loss at every shape.
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication import ReplicaApplier, WalShipper
+from repro.storage import MessageStore
+
+from tests.replication.conftest import Wire, commit_message
+
+
+def wire_reseedable(store, primary="p", replica="r"):
+    """A replica wired to *store* with the re-seed path enabled."""
+    wire = Wire()
+    applier = ReplicaApplier(primary, replica)
+    wire.add_replica(replica, applier)
+    shipper = WalShipper(primary, store.wal, [replica], wire.send,
+                         reseed_fn=store.export_reseed_state)
+    wire.attach(shipper)
+    store.group_commit.shipper = shipper
+    return wire, shipper, applier
+
+
+def lag_truncate_reseed(store, wire, shipper, lag_commits):
+    """Drop *lag_commits* shipped frames, then force-truncate past them."""
+    wire.drop_next = 10_000
+    for i in range(lag_commits):
+        commit_message(store, f"<lag n='{i}'/>".encode())
+    wire.drop_next = 0
+    assert store.checkpoint() == "completed"
+    dropped = store.truncate_wal(force=True)
+    assert dropped > 0
+    # The replica's stale ack (via a probe) rewinds the shipper's sent
+    # mark below the new log base; the next ship must re-seed.
+    shipper.hello()
+    shipper.ship()
+    return dropped
+
+
+def assert_converged(store, applier):
+    assert applier.wal.end_lsn() == store.wal.end_lsn()
+    assert applier.store.queue_depth("q") == store.queue_depth("q")
+    for meta in store.queue_messages("q"):
+        assert applier.store.body_bytes(meta.msg_id) == \
+            store.body_bytes(meta.msg_id)
+
+
+def test_truncation_past_replica_triggers_reseed(tmp_path):
+    store = MessageStore(str(tmp_path / "p"))
+    wire, shipper, applier = wire_reseedable(store)
+    acked = [commit_message(store, f"<pre n='{i}'/>".encode())
+             for i in range(3)]
+    lag_truncate_reseed(store, wire, shipper, lag_commits=4)
+    assert shipper.reseeds == 1
+    assert_converged(store, applier)
+    # Every commit the replica ever acknowledged is still there.
+    for msg_id in acked:
+        assert applier.store.body_bytes(msg_id) == \
+            store.body_bytes(msg_id)
+    # Byte shipping resumes normally after the re-seed.
+    after = commit_message(store, b"<after/>")
+    assert shipper.reseeds == 1
+    assert applier.store.body_bytes(after) == b"<after/>"
+    assert shipper.min_acked() == store.wal.end_lsn()
+    store.close()
+
+
+def test_promoted_reseeded_standby_serves_everything(tmp_path):
+    store = MessageStore(str(tmp_path / "p"))
+    wire, shipper, applier = wire_reseedable(store)
+    ids = [commit_message(store, f"<m n='{i}'/>".encode())
+           for i in range(2)]
+    lag_truncate_reseed(store, wire, shipper, lag_commits=3)
+    ids.append(commit_message(store, b"<tail/>"))
+    promoted = applier.promote(epoch=1)
+    assert promoted.message_count() == store.message_count()
+    for msg_id in ids:
+        assert promoted.body_bytes(msg_id) == store.body_bytes(msg_id)
+    store.close()
+
+
+def test_stale_reseed_frame_is_a_pure_duplicate(tmp_path):
+    store = MessageStore(str(tmp_path / "p"))
+    wire, shipper, applier = wire_reseedable(store)
+    for i in range(3):
+        commit_message(store, f"<m n='{i}'/>".encode())
+    end = applier.wal.end_lsn()
+    start, state = store.export_reseed_state()
+    # A capture at or below the standby's end carries nothing new.
+    reply = applier.receive({"kind": "repl", "op": "reseed",
+                             "primary": "p", "epoch": 0,
+                             "start": min(start, end), "state": state})
+    assert reply["op"] == "ack" and reply["lsn"] == end
+    assert applier.store.queue_depth("q") == store.queue_depth("q")
+    store.close()
+
+
+def test_reseed_unavailable_leaves_the_replica_parked(tmp_path):
+    store = MessageStore(str(tmp_path / "p"))
+    wire = Wire()
+    applier = ReplicaApplier("p", "r")
+    wire.add_replica("r", applier)
+    shipper = WalShipper("p", store.wal, ["r"], wire.send)   # no reseed_fn
+    wire.attach(shipper)
+    store.group_commit.shipper = shipper
+    commit_message(store, b"<pre/>")
+    behind = applier.wal.end_lsn()
+    wire.drop_next = 10_000
+    commit_message(store, b"<lost/>")
+    wire.drop_next = 0
+    store.checkpoint()
+    store.truncate_wal(force=True)
+    shipper.hello()
+    shipper.ship()
+    # Without a re-seed source the replica cannot advance — but nothing
+    # crashes and its held prefix stays intact.
+    assert shipper.reseeds == 0
+    assert applier.wal.end_lsn() == behind
+    store.close()
+
+
+@settings(max_examples=15, deadline=None)
+@given(pre=st.integers(min_value=0, max_value=3),
+       lag=st.integers(min_value=1, max_value=5),
+       post=st.integers(min_value=0, max_value=3))
+def test_reseed_loses_no_acked_commit(pre, lag, post):
+    """Any mix of acked / lagged / resumed commits converges losslessly."""
+    with tempfile.TemporaryDirectory(prefix="demaq-reseed-") as directory:
+        store = MessageStore(directory)
+        wire, shipper, applier = wire_reseedable(store)
+        acked = [commit_message(store, f"<pre n='{i}'/>".encode())
+                 for i in range(pre)]
+        lag_truncate_reseed(store, wire, shipper, lag_commits=lag)
+        for i in range(post):
+            commit_message(store, f"<post n='{i}'/>".encode())
+        assert shipper.reseeds == 1
+        assert_converged(store, applier)
+        for msg_id in acked:
+            assert applier.store.body_bytes(msg_id) == \
+                store.body_bytes(msg_id)
+        store.close()

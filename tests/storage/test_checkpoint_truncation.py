@@ -1,0 +1,267 @@
+"""Fuzzy checkpoints, WAL truncation, and the checkpoint scheduler.
+
+The endurance loop (DESIGN.md §10): checkpoints bound what recovery
+replays, truncation bounds what the log retains, and the scheduler
+drives both off byte/clock/ceiling triggers.  The truncation horizon is
+``min(checkpoint wal_end, snapshot horizon, replica ack)``; each clause
+gets its own test here, plus the force mode that drops the replica
+clause when the WAL ceiling is breached.
+"""
+
+import pytest
+
+from repro.storage import (CheckpointScheduler, MessageStore, WALError,
+                           WriteAheadLog)
+from repro.storage import wal as walmod
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import InMemoryDiskManager
+from repro.storage.heap import RecordHeap
+
+
+def enqueue(store, queue, body, properties=None, slices=()):
+    txn = store.begin()
+    op = txn.insert_message(queue, body.encode(), properties or {},
+                            list(slices))
+    store.commit(txn)
+    return op.msg_id
+
+
+def delete(store, msg_id):
+    txn = store.begin()
+    txn.delete_message(msg_id)
+    store.commit(txn)
+
+
+class _StubShipper:
+    """A shipper whose only job is to report a replica ack horizon."""
+
+    def __init__(self, acked):
+        self.acked = acked
+
+    def min_acked(self):
+        return self.acked
+
+
+# -- WAL base offset -------------------------------------------------------------
+
+
+def test_wal_truncate_prefix_keeps_absolute_lsns(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "wal.log"))
+    first = wal.append(walmod.MSG_INSERT, 1, msg_id=1)
+    wal.append(walmod.COMMIT, 1)
+    second = wal.append(walmod.MSG_INSERT, 2, msg_id=2)
+    wal.append(walmod.COMMIT, 2)
+    wal.flush()
+    end = wal.end_lsn()
+
+    dropped = wal.truncate_prefix(second)
+    assert dropped == second - first
+    assert wal.start_lsn() == second
+    assert wal.end_lsn() == end                 # LSNs stay absolute
+    assert [r.data["msg_id"] for r in wal.records()
+            if r.type == walmod.MSG_INSERT] == [2]
+    with pytest.raises(WALError):
+        wal.read_bytes(0, second)
+    wal.close()
+
+    reopened = WriteAheadLog(str(tmp_path / "wal.log"))
+    assert reopened.start_lsn() == second
+    assert reopened.end_lsn() == end
+    assert [r.data["msg_id"] for r in reopened.records()
+            if r.type == walmod.MSG_INSERT] == [2]
+    reopened.close()
+
+
+# -- truncation horizon ----------------------------------------------------------
+
+
+def test_truncate_without_checkpoint_is_a_noop(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    enqueue(store, "q", "<m/>")
+    assert store.truncate_wal() == 0
+    assert store.wal.start_lsn() == 0
+    store.close()
+
+
+def test_truncate_drops_prefix_below_checkpoint(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    for i in range(10):
+        enqueue(store, "q", f"<m>{i}</m>")
+    assert store.checkpoint() == "completed"
+    wal_end = store.wal.last_checkpoint().data["wal_end"]
+    horizon = min(wal_end, store.snapshot_horizon())
+    dropped = store.truncate_wal()
+    assert dropped == horizon > 0
+    assert store.wal.start_lsn() == horizon
+    assert store.stats.wal_truncations == 1
+    assert store.stats.wal_truncated_bytes == dropped
+    store.close()
+
+
+def test_recovery_after_truncation_starts_at_checkpoint(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    ids = [enqueue(store, "q", f"<m>{i}</m>") for i in range(10)]
+    store.checkpoint()
+    store.truncate_wal()
+    after = enqueue(store, "q", "<after/>")
+    store.simulate_crash()
+    store.recover()
+    # Only the one post-checkpoint transaction is replayed.
+    assert store.stats.replayed_records <= 4
+    for i, msg_id in enumerate(ids):
+        assert store.body_bytes(msg_id) == f"<m>{i}</m>".encode()
+    assert store.body_bytes(after) == b"<after/>"
+    store.close()
+
+    reopened = MessageStore(str(tmp_path / "s"))
+    assert reopened.message_count() == 11
+    assert reopened.body_bytes(after) == b"<after/>"
+    reopened.close()
+
+
+def test_active_snapshot_pins_the_truncation_horizon(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    enqueue(store, "q", "<old/>")
+    token = object()
+    pinned = store.acquire_snapshot(token)
+    for i in range(5):
+        enqueue(store, "q", f"<m>{i}</m>")
+    store.checkpoint()
+    assert store.truncate_wal() == pinned       # capped at the snapshot
+    assert store.wal.start_lsn() == pinned
+    store.release_snapshot(token)
+    assert store.truncate_wal() > 0             # the rest goes now
+    assert store.wal.start_lsn() == \
+        min(store.wal.last_checkpoint().data["wal_end"],
+            store.snapshot_horizon())
+    store.close()
+
+
+def test_replica_ack_pins_truncation_unless_forced(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    enqueue(store, "q", "<first/>")
+    lag = store.wal.end_lsn()
+    for i in range(5):
+        enqueue(store, "q", f"<m>{i}</m>")
+    store.checkpoint()
+    store.group_commit.shipper = _StubShipper(lag)
+    assert store.truncate_wal() == lag          # replica holds the log
+    assert store.wal.start_lsn() == lag
+    assert store.truncate_wal(force=True) > 0   # ceiling breach: re-seed
+    assert store.wal.start_lsn() == \
+        min(store.wal.last_checkpoint().data["wal_end"],
+            store.snapshot_horizon())
+    store.close()
+
+
+def test_checkpoint_skipped_for_in_memory_store():
+    store = MessageStore()
+    enqueue(store, "q", "<m/>")
+    assert store.checkpoint() == "skipped"
+
+
+# -- the scheduler ---------------------------------------------------------------
+
+
+def test_scheduler_is_inert_by_default(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    scheduler = CheckpointScheduler(store)
+    assert not scheduler.enabled
+    enqueue(store, "q", "<m/>")
+    assert scheduler.maybe_run() is None
+    assert store.stats.checkpoints == 0
+    store.close()
+
+
+def test_scheduler_byte_trigger_checkpoints_and_truncates(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    scheduler = CheckpointScheduler(store, interval_bytes=256)
+    assert scheduler.enabled
+    assert scheduler.maybe_run() is None        # nothing appended yet
+    while store.wal.end_lsn() < 256:
+        enqueue(store, "q", "<mmmm/>")
+    assert scheduler.maybe_run() == "completed"
+    assert scheduler.runs == 1
+    assert scheduler.truncated_bytes > 0
+    assert store.wal.start_lsn() > 0
+    # The mark moved: the next tick is not due again immediately.
+    assert scheduler.maybe_run() is None
+    store.close()
+
+
+def test_scheduler_retries_a_deferred_checkpoint(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    scheduler = CheckpointScheduler(store, interval_bytes=1)
+    open_txn = store.begin()
+    open_txn.insert_message("q", b"<open/>", {}, [])
+    store.publish(open_txn)                     # chained batch mid-flight
+    assert scheduler.maybe_run() == "deferred"
+    assert scheduler.deferred == 1
+    store.commit(open_txn)
+    # Retry fires on the very next tick, not after another interval.
+    assert scheduler.maybe_run() == "completed"
+    assert scheduler.runs == 1
+    store.close()
+
+
+def test_scheduler_ceiling_forces_past_a_lagging_replica(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    store.group_commit.shipper = _StubShipper(0)    # replica acked nothing
+    scheduler = CheckpointScheduler(store, wal_ceiling_bytes=512)
+    while store.wal.size_bytes() <= 512:
+        enqueue(store, "q", "<mmmm/>")
+    assert scheduler.maybe_run() == "completed"
+    # Force mode ignored the replica's ack horizon entirely.
+    assert store.wal.start_lsn() == \
+        min(store.wal.last_checkpoint().data["wal_end"],
+            store.snapshot_horizon()) > 0
+    store.close()
+
+
+def test_scheduler_keeps_wal_below_ceiling_over_a_soak(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    ceiling = 8192
+    scheduler = CheckpointScheduler(store, wal_ceiling_bytes=ceiling)
+    for i in range(200):
+        msg = enqueue(store, "q", f"<m>{i}</m>")
+        delete(store, msg)
+        scheduler.maybe_run()
+    scheduler.maybe_run()
+    # One transaction can overshoot before the next tick notices; the
+    # steady state stays within a transaction of the ceiling.
+    assert store.wal.size_bytes() <= ceiling + 1024
+    assert scheduler.runs >= 2
+    store.close()
+
+
+# -- heap page reuse -------------------------------------------------------------
+
+
+def test_heap_reuses_freed_pages():
+    heap = RecordHeap(BufferManager(InMemoryDiskManager()))
+    rids = [heap.store(bytes([65 + i]) * 900) for i in range(20)]
+    plateau = heap.buffer.disk.page_count
+    for rid in rids:
+        heap.delete(rid)
+    again = [heap.store(bytes([97 + i]) * 900) for i in range(20)]
+    assert heap.buffer.disk.page_count == plateau       # no new pages
+    for i, rid in enumerate(again):
+        assert heap.fetch(rid) == bytes([97 + i]) * 900
+
+
+def test_store_level_delete_insert_cycle_reuses_pages(tmp_path):
+    store = MessageStore(str(tmp_path / "s"))
+    for i in range(50):
+        enqueue(store, "q", f"<padding>{'x' * 500}</padding>")
+    plateau = None
+    for round_ in range(10):
+        ids = [enqueue(store, "q", f"<r{round_}>{'y' * 500}</r{round_}>")
+               for _ in range(20)]
+        for msg_id in ids:
+            delete(store, msg_id)
+        if round_ == 2:
+            plateau = store._disk.page_count
+    assert plateau is not None
+    # Page growth flatlines once the free list covers the working set.
+    assert store._disk.page_count <= plateau + 2
+    store.close()

@@ -95,15 +95,15 @@ class TestChainedPublish:
         store.commit(txn)
         store.close()
 
-    def test_checkpoint_refuses_open_chained_transaction(self, tmp_path):
+    def test_checkpoint_defers_on_open_chained_transaction(self, tmp_path):
         store = MessageStore(str(tmp_path / "cp"))
         txn = store.begin()
         _insert(txn, 1)
         store.publish(txn)
-        with pytest.raises(StorageError):
-            store.checkpoint()
+        assert store.checkpoint() == "deferred"
+        assert store.stats.checkpoints_deferred == 1
         store.commit(txn)
-        store.checkpoint()
+        assert store.checkpoint() == "completed"
         store.close()
 
     def test_rolled_back_member_is_logged_and_skipped(self, tmp_path):

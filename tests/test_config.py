@@ -1,0 +1,162 @@
+"""The typed runtime-config registry: parsing, precedence, anti-drift.
+
+Two structural guarantees live here: the README's environment-switch
+table is generated from the registry (so the docs cannot drift from the
+code), and no library module reads ``DEMAQ_*`` from the environment
+directly (so ``RuntimeConfig`` stays the single parse source — the
+bench/test harness gates are the only sanctioned exceptions).
+"""
+
+import os
+
+import pytest
+
+from repro.config import (ConfigError, RuntimeConfig, active, env_var,
+                          install, read_field)
+
+
+@pytest.fixture(autouse=True)
+def no_installed_config():
+    install(None)
+    yield
+    install(None)
+
+
+# -- parsing ---------------------------------------------------------------------
+
+
+def test_defaults():
+    config = RuntimeConfig.from_env(environ={})
+    assert config.mvcc is True
+    assert config.durability == ""
+    assert config.batch_size == 1
+    assert config.lock_timeout == 10.0
+    assert config.checkpoint_interval_bytes == 0
+    assert config.wal_ceiling_bytes == 0
+    assert config.wal_truncate is True
+
+
+def test_parses_every_field_kind():
+    config = RuntimeConfig.from_env(environ={
+        "DEMAQ_MVCC": "0",
+        "DEMAQ_DURABILITY": "group",
+        "DEMAQ_BATCH_SIZE": "8",
+        "DEMAQ_LOCK_TIMEOUT": "2.5",
+        "DEMAQ_CHECKPOINT_BYTES": "65536",
+        "DEMAQ_WAL_CEILING_BYTES": "1048576",
+        "DEMAQ_WAL_TRUNCATE": "off"})
+    assert config.mvcc is False
+    assert config.durability == "group"
+    assert config.batch_size == 8
+    assert config.lock_timeout == 2.5
+    assert config.checkpoint_interval_bytes == 65536
+    assert config.wal_ceiling_bytes == 1048576
+    assert config.wal_truncate is False
+
+
+def test_empty_string_means_unset():
+    config = RuntimeConfig.from_env(environ={"DEMAQ_BATCH_SIZE": ""})
+    assert config.batch_size == 1
+
+
+@pytest.mark.parametrize("env, value", [
+    ("DEMAQ_BATCH_SIZE", "nope"),
+    ("DEMAQ_BATCH_SIZE", "0"),
+    ("DEMAQ_DURABILITY", "paranoid"),
+    ("DEMAQ_XQUERY_BACKEND", "llvm"),
+    ("DEMAQ_LOCK_TIMEOUT", "-1"),
+    ("DEMAQ_CHECKPOINT_BYTES", "-5"),
+    ("DEMAQ_REPLICA_COUNT", "-1"),
+])
+def test_invalid_values_raise(env, value):
+    with pytest.raises(ConfigError):
+        RuntimeConfig.from_env(environ={env: value})
+
+
+def test_json_round_trip():
+    config = RuntimeConfig.from_env(environ={
+        "DEMAQ_DURABILITY": "async", "DEMAQ_WAL_CEILING_BYTES": "4096"})
+    clone = RuntimeConfig.from_json(config.to_json())
+    assert clone == config
+
+
+def test_from_json_rejects_unknown_fields():
+    with pytest.raises(ConfigError):
+        RuntimeConfig.from_json({"warp_drive": True})
+
+
+def test_constructor_validates_types():
+    with pytest.raises(ConfigError):
+        RuntimeConfig(batch_size="8")
+
+
+# -- precedence ------------------------------------------------------------------
+
+
+def test_installed_config_beats_the_environment(monkeypatch):
+    monkeypatch.setenv("DEMAQ_BATCH_SIZE", "3")
+    assert read_field("batch_size") == 3
+    install(RuntimeConfig(batch_size=16))
+    assert read_field("batch_size") == 16
+    assert active().batch_size == 16
+    install(None)
+    assert read_field("batch_size") == 3
+
+
+def test_read_field_is_monkeypatch_friendly(monkeypatch):
+    assert read_field("wal_ceiling_bytes") == 0
+    monkeypatch.setenv("DEMAQ_WAL_CEILING_BYTES", "2048")
+    assert read_field("wal_ceiling_bytes") == 2048
+
+
+def test_env_var_mapping():
+    assert env_var("checkpoint_interval_bytes") == "DEMAQ_CHECKPOINT_BYTES"
+    assert env_var("mvcc") == "DEMAQ_MVCC"
+
+
+# -- anti-drift ------------------------------------------------------------------
+
+
+def _repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_readme_table_matches_the_registry():
+    with open(os.path.join(_repo_root(), "README.md"),
+              encoding="utf-8") as fh:
+        readme = fh.read()
+    assert RuntimeConfig.render_env_table() in readme, \
+        "README env-switch table drifted: regenerate it with " \
+        "RuntimeConfig.render_env_table()"
+
+
+#: Files allowed to read DEMAQ_* directly: the registry itself, and the
+#: bench/test harness gates that must work before repro is importable.
+_ENV_READ_ALLOWED = {
+    os.path.join("src", "repro", "config.py"),
+    os.path.join("benchmarks", "conftest.py"),
+    os.path.join("tests", "netio", "conftest.py"),
+    os.path.join("tests", "test_config.py"),      # the needles below
+}
+
+
+def test_no_direct_demaq_env_reads_outside_the_registry():
+    root = _repo_root()
+    offenders = []
+    for top in ("src", "benchmarks", "tests", "examples"):
+        for dirpath, _, filenames in os.walk(os.path.join(root, top)):
+            for filename in filenames:
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                relative = os.path.relpath(path, root)
+                if relative in _ENV_READ_ALLOWED:
+                    continue
+                with open(path, encoding="utf-8") as fh:
+                    source = fh.read()
+                if 'os.environ.get("DEMAQ_' in source \
+                        or "os.environ.get('DEMAQ_" in source \
+                        or 'os.getenv("DEMAQ_' in source:
+                    offenders.append(relative)
+    assert not offenders, \
+        f"direct DEMAQ_* environment reads outside repro.config: {offenders}"
